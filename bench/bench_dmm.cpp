@@ -1,0 +1,126 @@
+// E6 — Lemmas 2-4: matrix-multiplication costs on 1D and 3D grids.
+//
+// (a) 3D mm's bandwidth follows (IJK/P)^(2/3) across P (cube-root grids);
+// (b) the 1D specializations of Lemma 3 move only the two smaller matrix
+//     faces (IJK/maxdim), beating the 3D layout when one dimension dominates;
+// (c) crossover: for square multiplies the 3D algorithm wins on words.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "cost/model.hpp"
+#include "la/packing.hpp"
+#include "mm/mm_1d.hpp"
+#include "mm/mm_3d.hpp"
+
+namespace b = qr3d::bench;
+namespace cost = qr3d::cost;
+namespace la = qr3d::la;
+namespace mm = qr3d::mm;
+namespace sim = qr3d::sim;
+
+namespace {
+
+std::vector<double> local_buffer(const mm::Layout& layout, int rank, const la::Matrix& a) {
+  std::vector<double> buf;
+  layout.for_each_local(rank, [&](la::index_t i, la::index_t j) { buf.push_back(a(i, j)); });
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  b::banner("E6", "Lemmas 2-4: 1D vs 3D matrix multiplication costs");
+
+  std::printf("(a) 3D mm bandwidth ~ (IJK/P)^(2/3): cubic multiply, P sweep\n");
+  {
+    const la::index_t N = 48;
+    b::Table t({"P", "grid", "words(meas)", "(IJK/P)^(2/3)", "ratio", "msgs(meas)"});
+    la::Matrix A = la::random_matrix(N, N, 661);
+    la::Matrix B = la::random_matrix(N, N, 662);
+    for (int P : {1, 8, 27, 64}) {
+      const auto g = mm::Grid3::choose(N, N, N, P);
+      mm::DmmLayout da(mm::DmmOperand::A, N, N, N, g, P);
+      mm::DmmLayout db(mm::DmmOperand::B, N, N, N, g, P);
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        auto a = local_buffer(da, c.rank(), A);
+        auto bb = local_buffer(db, c.rank(), B);
+        mm::mm_3d_core(c, N, N, N, g, a, bb);
+      });
+      const double bound = std::pow(static_cast<double>(N) * N * N / P, 2.0 / 3.0);
+      char grid[32];
+      std::snprintf(grid, sizeof(grid), "%dx%dx%d", g.Q, g.R, g.S);
+      t.row({std::to_string(P), grid, b::num(cp.words), b::num(bound),
+             b::ratio(cp.words, bound), b::num(cp.msgs)});
+    }
+    t.print();
+  }
+
+  std::printf("(b) Lemma 3 1D specializations: dominant-dimension multiplies\n");
+  {
+    b::Table t({"case", "I", "J", "K", "P", "words(meas)", "model IJK/maxdim", "ratio",
+                "msgs(meas)"});
+    const int P = 16;
+    {  // K dominant: inner product C = X^H Y reduced to root.
+      const la::index_t I = 24, J = 16, K = 4096;
+      la::Matrix X = la::random_matrix(K, I, 663);
+      la::Matrix Y = la::random_matrix(K, J, 664);
+      mm::CyclicRows lx(K, I, P), ly(K, J, P);
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Xl = la::from_vector(lx.local_rows(c.rank()), I, local_buffer(lx, c.rank(), X));
+        la::Matrix Yl = la::from_vector(ly.local_rows(c.rank()), J, local_buffer(ly, c.rank(), Y));
+        mm::mm_1d_inner(c, 0, Xl.view(), Yl.view());
+      });
+      const auto mdl = cost::mm_1d(I, J, K, P);
+      t.row({"inner (K max)", std::to_string(I), std::to_string(J), std::to_string(K),
+             std::to_string(P), b::num(cp.words), b::num(mdl.words), b::ratio(cp.words, mdl.words),
+             b::num(cp.msgs)});
+    }
+    {  // I dominant: C = A * B with B broadcast.
+      const la::index_t I = 4096, J = 16, K = 24;
+      la::Matrix A = la::random_matrix(I, K, 665);
+      la::Matrix B = la::random_matrix(K, J, 666);
+      mm::CyclicRows laA(I, K, P);
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = la::from_vector(laA.local_rows(c.rank()), K, local_buffer(laA, c.rank(), A));
+        mm::mm_1d_outer(c, 0, Al.view(), c.rank() == 0 ? B : la::Matrix(K, J), K, J);
+      });
+      const auto mdl = cost::mm_1d(I, J, K, P);
+      t.row({"outer (I max)", std::to_string(I), std::to_string(J), std::to_string(K),
+             std::to_string(P), b::num(cp.words), b::num(mdl.words), b::ratio(cp.words, mdl.words),
+             b::num(cp.msgs)});
+    }
+    t.print();
+  }
+
+  std::printf("(c) crossover: square multiply — 3D beats a 1D layout on words\n");
+  {
+    const la::index_t N = 64;
+    const int P = 64;
+    la::Matrix A = la::random_matrix(N, N, 667);
+    la::Matrix B = la::random_matrix(N, N, 668);
+    b::Table t({"algorithm", "words(meas)", "msgs(meas)"});
+    {
+      const auto g = mm::Grid3::choose(N, N, N, P);
+      mm::DmmLayout da(mm::DmmOperand::A, N, N, N, g, P);
+      mm::DmmLayout db(mm::DmmOperand::B, N, N, N, g, P);
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        auto a = local_buffer(da, c.rank(), A);
+        auto bb = local_buffer(db, c.rank(), B);
+        mm::mm_3d_core(c, N, N, N, g, a, bb);
+      });
+      t.row({"3D (Lemma 4)", b::num(cp.words), b::num(cp.msgs)});
+    }
+    {
+      // 1D: rows of A distributed, B broadcast from the root — the Lemma 3
+      // outer form applied outside its dominant-dimension regime.
+      mm::CyclicRows laA(N, N, P);
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = la::from_vector(laA.local_rows(c.rank()), N, local_buffer(laA, c.rank(), A));
+        mm::mm_1d_outer(c, 0, Al.view(), c.rank() == 0 ? B : la::Matrix(N, N), N, N);
+      });
+      t.row({"1D broadcast (Lemma 3 outer)", b::num(cp.words), b::num(cp.msgs)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E10 — google-benchmark timings of the local substrate: la:: kernels and
+// simulator overheads.  These are wall-clock sanity numbers (the paper's
+// claims are cost-model claims; this bench just documents that the substrate
+// is not pathological).
+#include <benchmark/benchmark.h>
+
+#include "la/blas.hpp"
+#include "la/householder.hpp"
+#include "la/lu.hpp"
+#include "la/random.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+
+namespace la = qr3d::la;
+namespace sim = qr3d::sim;
+
+static void BM_Gemm(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  la::Matrix A = la::random_matrix(n, n, 1);
+  la::Matrix B = la::random_matrix(n, n, 2);
+  la::Matrix C(n, n);
+  for (auto _ : state) {
+    la::gemm(1.0, la::Op::NoTrans, la::ConstMatrixView(A.view()), la::Op::NoTrans,
+             la::ConstMatrixView(B.view()), 0.0, C.view());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_Geqrt(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  la::Matrix A = la::random_matrix(4 * n, n, 3);
+  for (auto _ : state) {
+    la::Matrix F = la::copy<double>(A.view());
+    la::Matrix T(n, n);
+    la::geqrt(F.view(), T.view());
+    benchmark::DoNotOptimize(F.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (4 * n) * n * n);
+}
+BENCHMARK(BM_Geqrt)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_ApplyQ(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  la::QrFactors f = la::qr_factor<double>(la::random_matrix(4 * n, n, 4).view());
+  la::Matrix C = la::random_matrix(4 * n, n, 5);
+  for (auto _ : state) {
+    la::Matrix D = la::copy<double>(C.view());
+    la::apply_q<double>(f.V.view(), f.T_.view(), la::Op::ConjTrans, D.view());
+    benchmark::DoNotOptimize(D.data());
+  }
+}
+BENCHMARK(BM_ApplyQ)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_LuSignShift(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  la::Matrix X = la::random_matrix(n, n, 6);
+  for (auto _ : state) {
+    auto lu = la::lu_sign_shift<double>(la::ConstMatrixView(X.view()));
+    benchmark::DoNotOptimize(lu.U.data());
+  }
+}
+BENCHMARK(BM_LuSignShift)->Arg(16)->Arg(64);
+
+static void BM_MachineSpawn(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Machine machine(P);
+    machine.run([](sim::Comm&) {});
+  }
+}
+BENCHMARK(BM_MachineSpawn)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_PingPong(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  sim::Machine machine(2);
+  for (auto _ : state) {
+    machine.run([&](sim::Comm& c) {
+      for (int i = 0; i < 10; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, std::vector<double>(words, 1.0), 1);
+          c.recv(1, 2);
+        } else {
+          c.recv(0, 1);
+          c.send(0, std::vector<double>(words, 1.0), 2);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_PingPong)->Arg(8)->Arg(1024);
+
+BENCHMARK_MAIN();

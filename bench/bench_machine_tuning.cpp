@@ -1,0 +1,68 @@
+// E9 — Machine tuning (the paper's opening motivation): pick (delta,
+// epsilon) per machine profile by minimizing the Eq. (13) model under its
+// (alpha, beta, gamma), then validate on the simulator by comparing the
+// measured alpha-beta-gamma time of the tuned run against the fixed
+// Theorem 1 defaults (delta = 2/3, eps = 1) and the extremes.
+#include "bench_util.hpp"
+#include "core/caqr_eg_3d.hpp"
+#include "cost/tuner.hpp"
+#include "sim/profiles.hpp"
+
+namespace b = qr3d::bench;
+namespace core = qr3d::core;
+namespace cost = qr3d::cost;
+namespace la = qr3d::la;
+namespace mm = qr3d::mm;
+namespace sim = qr3d::sim;
+
+int main() {
+  b::banner("E9", "Tuning the tradeoff parameters per machine profile");
+
+  const la::index_t m = 256, n = 128;
+  const int P = 32;
+  la::Matrix A = la::random_matrix(m, n, 999);
+  mm::CyclicRows lay(m, n, P, 0);
+
+  auto measure_time = [&](const sim::CostParams& prof, double delta, double eps) {
+    core::CaqrEg3dOptions opts;
+    opts.delta = delta;
+    opts.epsilon = eps;
+    sim::Machine machine(P, prof);
+    machine.run([&](sim::Comm& c) {
+      la::Matrix Al = b::cyclic_local(lay, c.rank(), A);
+      core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
+    });
+    return machine.critical_path().time;
+  };
+
+  std::printf("problem: m=%lld n=%lld P=%d\n\n", static_cast<long long>(m),
+              static_cast<long long>(n), P);
+
+  // Measured simulated time over a coarse (delta, eps) grid, per profile;
+  // the tuner (which never sees measurements, only the Eq. (13) model) should
+  // land within a small factor of the measured grid optimum.
+  const double deltas[] = {0.0, 1.0 / 3.0, 2.0 / 3.0};
+  const double epss[] = {0.0, 0.5, 1.0};
+  b::Table t({"machine", "alpha", "beta", "tuned delta", "tuned eps", "time(tuned)",
+              "grid best", "grid worst", "tuned/best"});
+  for (const auto& prof : sim::profiles::all()) {
+    const auto tuned = cost::tune_3d(m, n, P, prof);
+    const double t_tuned = measure_time(prof, tuned.delta, tuned.epsilon);
+    double best = 1e300, worst = 0.0;
+    for (double d : deltas)
+      for (double e : epss) {
+        const double tt = measure_time(prof, d, e);
+        best = std::min(best, tt);
+        worst = std::max(worst, tt);
+      }
+    t.row({prof.name, b::num(prof.alpha), b::num(prof.beta), b::num(tuned.delta),
+           b::num(tuned.epsilon), b::num(t_tuned), b::num(best), b::num(worst),
+           b::num(t_tuned / best)});
+  }
+  t.print();
+  std::printf("expected: the tuned parameters differ per machine; the model-driven\n");
+  std::printf("choice lands within a small factor of the measured grid optimum while\n");
+  std::printf("the worst fixed choice is 10-1000x off — tuning matters, as the paper\n");
+  std::printf("argues (constants beyond an asymptotic model account for the gap).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E2 — Table 2: square-ish comparison (m/n = O(P)).
+//
+//   2D-HOUSE:    n^2/(nP/m)^(1/2) words,  n log P messages
+//   CAQR:        n^2/(nP/m)^(1/2) words,  (nP/m)^(1/2) (log P)^2 messages
+//   3D-CAQR-EG:  n^2/(nP/m)^d     words,  (nP/m)^d (log P)^2 messages
+//
+// The expected shape: CAQR matches 2D-HOUSE's bandwidth but slashes latency;
+// 3D-CAQR-EG reduces bandwidth further as delta grows (at a latency price).
+// At these simulation scales the log-factor overhead terms of Eq. (13) are
+// not negligible (Section 8.4's limitation), so 3D-CAQR-EG's measured words
+// improve with delta but sit above the clean Table 2 model; the ordering
+// between algorithms is the signal.
+#include "bench_util.hpp"
+#include "core/caqr_2d.hpp"
+#include "core/caqr_eg_3d.hpp"
+#include "core/house_2d.hpp"
+#include "cost/model.hpp"
+
+namespace b = qr3d::bench;
+namespace core = qr3d::core;
+namespace cost = qr3d::cost;
+namespace la = qr3d::la;
+namespace mm = qr3d::mm;
+namespace sim = qr3d::sim;
+
+namespace {
+
+la::Matrix bc_local(const core::BlockCyclic& bc, int pr, int pc, const la::Matrix& A) {
+  la::Matrix out(bc.local_rows(pr), bc.local_cols(pc));
+  for (la::index_t li = 0; li < out.rows(); ++li)
+    for (la::index_t lj = 0; lj < out.cols(); ++lj)
+      out(li, lj) = A(bc.grow(pr, li), bc.gcol(pc, lj));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  b::banner("E2", "Table 2: QR costs for square-ish matrices (m/n = O(P))");
+
+  for (auto [m, n, P] : {std::tuple<la::index_t, la::index_t, int>{128, 128, 16},
+                         std::tuple<la::index_t, la::index_t, int>{256, 128, 16},
+                         std::tuple<la::index_t, la::index_t, int>{192, 192, 64}}) {
+    la::Matrix A = la::random_matrix(m, n, 222);
+    std::printf("m=%lld n=%lld P=%d (nP/m = %.1f)\n", static_cast<long long>(m),
+                static_cast<long long>(n), P, static_cast<double>(n) * P / m);
+
+    b::Table t({"algorithm", "words(meas)", "words(model)", "w-ratio", "msgs(meas)",
+                "msgs(model)", "m-ratio"});
+
+    const core::ProcGrid2 grid = core::ProcGrid2::choose(m, n, P);
+
+    {  // 2D-HOUSE, b = Theta(1).
+      core::House2dOptions opts;
+      opts.grid_r = grid.r;
+      opts.grid_c = grid.c;
+      core::BlockCyclic bc{m, n, 1, grid};
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = bc_local(bc, bc.g.row_of(c.rank()), bc.g.col_of(c.rank()), A);
+        core::house_2d(c, la::ConstMatrixView(Al.view()), m, n, opts);
+      });
+      const auto mdl = cost::table2_house_2d(m, n, P);
+      t.row({"2D-HOUSE (b=1)", b::num(cp.words), b::num(mdl.words),
+             b::ratio(cp.words, mdl.words), b::num(cp.msgs), b::num(mdl.msgs),
+             b::ratio(cp.msgs, mdl.msgs)});
+    }
+
+    {  // CAQR with derived b.
+      core::Caqr2dOptions opts;
+      opts.grid_r = grid.r;
+      opts.grid_c = grid.c;
+      const double r = std::max(1.0, static_cast<double>(n) * P / m);
+      const la::index_t cb =
+          std::min<la::index_t>(n, static_cast<la::index_t>(std::ceil(n / std::sqrt(r))));
+      core::BlockCyclic bc{m, n, cb, grid};
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = bc_local(bc, bc.g.row_of(c.rank()), bc.g.col_of(c.rank()), A);
+        core::caqr_2d(c, la::ConstMatrixView(Al.view()), m, n, opts);
+      });
+      const auto mdl = cost::table2_caqr(m, n, P);
+      t.row({"CAQR", b::num(cp.words), b::num(mdl.words), b::ratio(cp.words, mdl.words),
+             b::num(cp.msgs), b::num(mdl.msgs), b::ratio(cp.msgs, mdl.msgs)});
+    }
+
+    for (double delta : {0.5, 7.0 / 12.0, 2.0 / 3.0}) {
+      core::CaqrEg3dOptions opts;
+      opts.delta = delta;
+      opts.alltoall_alg = qr3d::coll::Alg::Index;  // see bench_theorem1 note
+      mm::CyclicRows lay(m, n, P, 0);
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = b::cyclic_local(lay, c.rank(), A);
+        core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
+      });
+      const auto mdl = cost::table2_caqr_eg_3d(m, n, P, delta);
+      char name[64];
+      std::snprintf(name, sizeof(name), "3D-CAQR-EG (delta=%.2f)", delta);
+      t.row({name, b::num(cp.words), b::num(mdl.words), b::ratio(cp.words, mdl.words),
+             b::num(cp.msgs), b::num(mdl.msgs), b::ratio(cp.msgs, mdl.msgs)});
+    }
+
+    const auto lb = cost::lower_bound_squareish(m, n, P);
+    t.row({"lower bound (Sec 8.3)", b::num(lb.words), "-", "-", b::num(lb.msgs), "-", "-"});
+    t.print();
+  }
+  return 0;
+}

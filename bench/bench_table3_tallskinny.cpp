@@ -1,0 +1,64 @@
+// E3 — Table 3: tall-skinny comparison (m/n >= P).
+//
+//   1D-HOUSE:    n^2 log P words,        n log P messages
+//   TSQR:        n^2 log P words,        log P messages
+//   1D-CAQR-EG:  n^2 (log P)^(1-e) words, (log P)^(1+e) messages
+//
+// The harness reproduces the table's rows: measured critical-path costs per
+// algorithm across P, with the model columns beside them.  The expected
+// shape: TSQR kills 1D-HOUSE's Theta(n) latency factor; 1D-CAQR-EG (eps = 1)
+// further removes the log P bandwidth factor at a log P latency price.
+#include "bench_util.hpp"
+#include "core/caqr_eg_1d.hpp"
+#include "core/house_1d.hpp"
+#include "core/tsqr.hpp"
+#include "cost/model.hpp"
+
+namespace b = qr3d::bench;
+namespace core = qr3d::core;
+namespace cost = qr3d::cost;
+namespace la = qr3d::la;
+namespace sim = qr3d::sim;
+
+int main() {
+  b::banner("E3", "Table 3: QR costs for tall/skinny matrices (m/n >= P)");
+
+  const la::index_t n = 32;
+  for (int P : {8, 32, 128}) {
+    const la::index_t m = static_cast<la::index_t>(P) * 2 * n;
+    la::Matrix A = la::random_matrix(m, n, 333);
+    std::printf("m=%lld n=%lld P=%d\n", static_cast<long long>(m), static_cast<long long>(n), P);
+
+    b::Table t({"algorithm", "flops(meas)", "flops(model)", "words(meas)", "words(model)",
+                "w-ratio", "msgs(meas)", "msgs(model)", "m-ratio"});
+
+    auto run = [&](const char* name, const cost::Costs& model,
+                   const std::function<void(sim::Comm&, la::ConstMatrixView)>& algo) {
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = b::block_local(m, P, c.rank(), A);
+        algo(c, la::ConstMatrixView(Al.view()));
+      });
+      t.row({name, b::num(cp.flops), b::num(model.flops), b::num(cp.words), b::num(model.words),
+             b::ratio(cp.words, model.words), b::num(cp.msgs), b::num(model.msgs),
+             b::ratio(cp.msgs, model.msgs)});
+    };
+
+    run("1D-HOUSE", cost::table3_house_1d(m, n, P),
+        [](sim::Comm& c, la::ConstMatrixView Al) { core::house_1d(c, Al); });
+    run("TSQR", cost::table3_tsqr(m, n, P),
+        [](sim::Comm& c, la::ConstMatrixView Al) { core::tsqr(c, Al); });
+    for (double eps : {0.0, 0.5, 1.0}) {
+      core::CaqrEg1dOptions opts;
+      opts.epsilon = eps;
+      char name[64];
+      std::snprintf(name, sizeof(name), "1D-CAQR-EG (eps=%.1f)", eps);
+      run(name, cost::table3_caqr_eg_1d(m, n, P, eps),
+          [&](sim::Comm& c, la::ConstMatrixView Al) { core::caqr_eg_1d(c, Al, opts); });
+    }
+    const auto lb = cost::lower_bound_tall_skinny(m, n, P);
+    t.row({"lower bound (Sec 8.3)", b::num(lb.flops), "-", b::num(lb.words), "-", "-",
+           b::num(lb.msgs), "-", "-"});
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E4 — Theorem 1: 3D-CAQR-EG's bandwidth/latency tradeoff (delta sweep).
+//
+// Two views, because the clean n^2/(nP/m)^delta regime needs the hypothesis
+// Eq. (2), which demands processor counts far beyond what a simulation can
+// host (Section 8.4 calls this the main limitation):
+//
+//  (1) measured, at feasible scale: the latency side of the tradeoff is
+//      unambiguous (messages rise steeply with delta); the bandwidth side
+//      shows a mild decrease before the Eq. (13) overhead terms (all-to-all
+//      volume ~ mn/P log(n/b) log P + P^2 terms) flatten it;
+//  (2) the exact Eq. (13) model evaluated at a cluster-scale point that
+//      satisfies Eq. (2), where words fall by the predicted (nP/m)^(delta)
+//      factor while messages grow — the Theorem 1 shape.
+//
+// The single-phase (index) all-to-all is used for the measured sweep: with
+// the near-uniform blocks these redistributions produce, it halves the
+// constant relative to two-phase and makes the small-scale trend visible.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/caqr_eg_3d.hpp"
+#include "core/params.hpp"
+#include "cost/model.hpp"
+
+namespace b = qr3d::bench;
+namespace core = qr3d::core;
+namespace cost = qr3d::cost;
+namespace la = qr3d::la;
+namespace mm = qr3d::mm;
+namespace sim = qr3d::sim;
+
+int main() {
+  b::banner("E4", "Theorem 1: bandwidth/latency tradeoff of 3D-CAQR-EG (delta sweep)");
+
+  std::printf("(1) measured critical-path costs (index all-to-all)\n");
+  for (auto [m, n, P] : {std::tuple<la::index_t, la::index_t, int>{512, 256, 16},
+                         std::tuple<la::index_t, la::index_t, int>{1024, 256, 16}}) {
+    la::Matrix A = la::random_matrix(m, n, 444);
+    mm::CyclicRows lay(m, n, P, 0);
+    std::printf("m=%lld n=%lld P=%d (nP/m = %.1f)\n", static_cast<long long>(m),
+                static_cast<long long>(n), P, static_cast<double>(n) * P / m);
+
+    b::Table t({"delta", "b", "b*", "words(meas)", "msgs(meas)", "words(model)", "msgs(model)"});
+    for (double delta : {0.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0}) {
+      core::CaqrEg3dOptions opts;
+      opts.delta = delta;
+      opts.alltoall_alg = qr3d::coll::Alg::Index;
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = b::cyclic_local(lay, c.rank(), A);
+        core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
+      });
+      const la::index_t bb = core::block_size_3d(m, n, P, delta);
+      const la::index_t bs = core::base_block_size_3d(bb, P, opts.epsilon);
+      const auto mdl = cost::caqr_eg_3d(m, n, P, delta, opts.epsilon);
+      char dl[16];
+      std::snprintf(dl, sizeof(dl), "%.3f", delta);
+      t.row({dl, std::to_string(bb), std::to_string(bs), b::num(cp.words), b::num(cp.msgs),
+             b::num(mdl.words), b::num(mdl.msgs)});
+    }
+    t.print();
+  }
+  std::printf("expected: messages rise steeply with delta; words dip mildly, then the\n");
+  std::printf("Eq. (13) overhead terms flatten them (Section 8.4's limitation).\n\n");
+
+  std::printf("(2) Eq. (13) model at a cluster-scale point satisfying Eq. (2):\n");
+  {
+    const double m = std::pow(2.0, 40), n = std::pow(2.0, 40);
+    const int P = 1 << 16;
+    std::printf("m = n = 2^40, P = 2^16; Table 2 target: words ~ n^2/(nP/m)^delta\n");
+    b::Table t({"delta", "words(model)", "words/n^2", "msgs(model)",
+                "Table-2 words n^2/(nP/m)^d"});
+    for (double delta : {0.5, 7.0 / 12.0, 2.0 / 3.0}) {
+      const auto mdl = cost::caqr_eg_3d(m, n, P, delta, 1.0);
+      const auto t2 = cost::table2_caqr_eg_3d(m, n, P, delta);
+      char dl[16];
+      std::snprintf(dl, sizeof(dl), "%.3f", delta);
+      t.row({dl, b::num(mdl.words), b::num(mdl.words / (n * n)), b::num(mdl.msgs),
+             b::num(t2.words)});
+    }
+    t.print();
+    std::printf("expected: model words fall ~4x from delta=1/2 to 2/3 and track the\n");
+    std::printf("Table 2 target; messages rise by the same (nP/m)^(1/6) factor.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E5 — Theorem 2: 1D-CAQR-EG's bandwidth/latency tradeoff (epsilon sweep).
+//
+// At eps = 0 the algorithm is TSQR (b = n): log P messages, n^2 log P words.
+// As eps grows toward 1, words decay by (log P)^(1-eps) to the Omega(n^2)
+// lower bound while messages grow by (log P)^(1+eps).
+#include "bench_util.hpp"
+#include "core/caqr_eg_1d.hpp"
+#include "core/params.hpp"
+#include "core/tsqr.hpp"
+#include "cost/model.hpp"
+
+namespace b = qr3d::bench;
+namespace core = qr3d::core;
+namespace cost = qr3d::cost;
+namespace la = qr3d::la;
+namespace sim = qr3d::sim;
+
+int main() {
+  b::banner("E5", "Theorem 2: bandwidth/latency tradeoff of 1D-CAQR-EG (epsilon sweep)");
+
+  const la::index_t n = 64;
+  for (int P : {16, 64, 256}) {
+    const la::index_t m = static_cast<la::index_t>(P) * n;
+    la::Matrix A = la::random_matrix(m, n, 555);
+    std::printf("m=%lld n=%lld P=%d; words lower bound n^2 = %s\n", static_cast<long long>(m),
+                static_cast<long long>(n), P, b::num(static_cast<double>(n) * n).c_str());
+
+    b::Table t({"epsilon", "b", "words(meas)", "words/n^2", "msgs(meas)", "words(model)",
+                "msgs(model)"});
+
+    {  // TSQR reference row.
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = b::block_local(m, P, c.rank(), A);
+        core::tsqr(c, la::ConstMatrixView(Al.view()));
+      });
+      const auto mdl = cost::tsqr(m, n, P);
+      t.row({"TSQR", std::to_string(n), b::num(cp.words),
+             b::num(cp.words / (static_cast<double>(n) * n)), b::num(cp.msgs),
+             b::num(mdl.words), b::num(mdl.msgs)});
+    }
+    for (double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      core::CaqrEg1dOptions opts;
+      opts.epsilon = eps;
+      const auto cp = b::measure(P, [&](sim::Comm& c) {
+        la::Matrix Al = b::block_local(m, P, c.rank(), A);
+        core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()), opts);
+      });
+      const auto mdl = cost::caqr_eg_1d(m, n, P, eps);
+      char el[16];
+      std::snprintf(el, sizeof(el), "%.2f", eps);
+      t.row({el, std::to_string(core::block_size_1d(n, P, eps)), b::num(cp.words),
+             b::num(cp.words / (static_cast<double>(n) * n)), b::num(cp.msgs),
+             b::num(mdl.words), b::num(mdl.msgs)});
+    }
+    t.print();
+  }
+  return 0;
+}

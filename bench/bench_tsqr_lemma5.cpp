@@ -1,0 +1,48 @@
+// E7 — Lemma 5 and the Section 5/6 discussion: TSQR's log P bandwidth factor
+// and how 1D-CAQR-EG removes it.
+//
+// TSQR's reduce/broadcast-like trees change block *contents* at every node
+// (QR of stacked R-factors), so the bidirectional-exchange trick that removes
+// the log P bandwidth factor from ordinary reduce/broadcast is inapplicable.
+// 1D-CAQR-EG's inductive case replaces most of that traffic with plain
+// reduce/broadcast that CAN use bidirectional exchange.  This bench shows:
+// (a) TSQR words grow with log P at fixed n (Lemma 5),
+// (b) 1D-CAQR-EG words stay ~n^2 across the same sweep (Theorem 2).
+#include "bench_util.hpp"
+#include "core/caqr_eg_1d.hpp"
+#include "core/tsqr.hpp"
+#include "cost/model.hpp"
+
+namespace b = qr3d::bench;
+namespace core = qr3d::core;
+namespace cost = qr3d::cost;
+namespace la = qr3d::la;
+namespace sim = qr3d::sim;
+
+int main() {
+  b::banner("E7", "Lemma 5: TSQR costs, and the log P factor 1D-CAQR-EG removes");
+
+  const la::index_t n = 48;
+  b::Table t({"P", "log2P", "tsqr words", "tsqr words/n^2", "eg words", "eg words/n^2",
+              "tsqr msgs", "eg msgs"});
+  for (int P : {4, 8, 16, 32, 64, 128, 256}) {
+    const la::index_t m = static_cast<la::index_t>(P) * n;
+    la::Matrix A = la::random_matrix(m, n, 777);
+    const auto ts = b::measure(P, [&](sim::Comm& c) {
+      la::Matrix Al = b::block_local(m, P, c.rank(), A);
+      core::tsqr(c, la::ConstMatrixView(Al.view()));
+    });
+    core::CaqrEg1dOptions opts;
+    opts.epsilon = 1.0;
+    const auto eg = b::measure(P, [&](sim::Comm& c) {
+      la::Matrix Al = b::block_local(m, P, c.rank(), A);
+      core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()), opts);
+    });
+    const double n2 = static_cast<double>(n) * n;
+    t.row({std::to_string(P), b::num(cost::lg(P)), b::num(ts.words), b::num(ts.words / n2),
+           b::num(eg.words), b::num(eg.words / n2), b::num(ts.msgs), b::num(eg.msgs)});
+  }
+  t.print();
+  std::printf("expected shape: tsqr words/n^2 grows ~ log2 P; eg words/n^2 stays O(1).\n");
+  return 0;
+}

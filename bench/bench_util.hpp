@@ -1,0 +1,106 @@
+// Shared helpers for the benchmark harness: distributed-input builders,
+// measured-vs-model table printing, and simulated runs.
+//
+// Every bench binary regenerates one table/figure/claim from the paper (see
+// DESIGN.md section 5).  "Measured" numbers are the simulator's per-metric
+// critical-path counts (Section 3 semantics); "model" numbers come from
+// cost/model.hpp with constants 1, so the meaningful signal is the *ratio's
+// stability across the sweep* and the ordering between algorithms, not the
+// absolute value.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/random.hpp"
+#include "mm/layout.hpp"
+#include "sim/machine.hpp"
+
+namespace qr3d::bench {
+
+/// Run `body` on a fresh P-rank machine and return the critical-path costs.
+inline sim::CostClock measure(int P, const std::function<void(sim::Comm&)>& body,
+                              sim::CostParams params = {}) {
+  sim::Machine machine(P, std::move(params));
+  machine.run(body);
+  return machine.critical_path();
+}
+
+/// This rank's rows of A under a row-cyclic layout.
+inline la::Matrix cyclic_local(const mm::CyclicRows& lay, int rank, const la::Matrix& A) {
+  la::Matrix out(lay.local_rows(rank), A.cols());
+  for (la::index_t li = 0; li < out.rows(); ++li)
+    for (la::index_t j = 0; j < A.cols(); ++j) out(li, j) = A(lay.global_row(rank, li), j);
+  return out;
+}
+
+/// Balanced block-row slice (rank 0 gets the top rows).
+inline la::Matrix block_local(la::index_t m, int P, int rank, const la::Matrix& A) {
+  mm::BlockRows b = mm::BlockRows::balanced(m, A.cols(), P);
+  return la::copy<double>(
+      A.block(b.row_start(rank), 0, b.row_end(rank) - b.row_start(rank), A.cols()));
+}
+
+// --- Minimal fixed-width table printer. --------------------------------------
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& r : rows_)
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], r[i].size());
+    auto print_row = [&](const std::vector<std::string>& r) {
+      std::printf("|");
+      for (std::size_t i = 0; i < widths.size(); ++i)
+        std::printf(" %-*s |", static_cast<int>(widths[i]), i < r.size() ? r[i].c_str() : "");
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t w : widths) std::printf("%s|", std::string(w + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string num(double x) {
+  char buf[64];
+  if (x == 0.0) return "0";
+  if (std::abs(x) >= 1e5 || std::abs(x) < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g", x);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", x);
+  }
+  return buf;
+}
+
+inline std::string ratio(double measured, double model) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", model == 0.0 ? 0.0 : measured / model);
+  return buf;
+}
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("=============================================================\n\n");
+}
+
+}  // namespace qr3d::bench

@@ -1,0 +1,160 @@
+// all-to-all algorithms (Appendix A.3).
+//
+//   * Index: the radix-2 index algorithm of [BHK+97].  Blocks hop toward
+//     their destinations in d = ceil(log2 P) rounds; in round i a processor
+//     forwards every held block whose relative label (dest - here mod P) has
+//     bit i set to (here + 2^i) mod P.
+//   * TwoPhase: the load-balancing variant of [HBJ96].  Each block (p -> q)
+//     is first dealt element-cyclically over intermediate processors starting
+//     at (p + q) mod P, routed by one index all-to-all, re-addressed, and
+//     routed by a second; this caps per-processor traffic at
+//     O((B* + P^2) log P) regardless of block-size skew.
+//
+// Payloads are self-describing streams of records (the receiver need not know
+// incoming block sizes): [count, {src, dest, k0, stride, len, data...}...].
+// Metadata words are charged like any other words, consistent with the +P^2
+// slack in Table 1's bound.
+#include "coll/coll.hpp"
+
+#include <cmath>
+
+#include "la/error.hpp"
+
+namespace qr3d::coll::detail {
+
+namespace {
+
+constexpr int kTagAllToAll = 9201;
+
+struct Record {
+  int target = 0;  // current routing destination
+  int src = 0;     // original source rank
+  int dest = 0;    // final destination rank
+  long k0 = 0;     // first element index within the (src -> dest) block
+  long stride = 1; // element index stride
+  std::vector<double> data;
+};
+
+std::vector<double> serialize(const std::vector<Record>& records) {
+  std::size_t words = 1;
+  for (const auto& r : records) words += 6 + r.data.size();
+  std::vector<double> payload;
+  payload.reserve(words);
+  payload.push_back(static_cast<double>(records.size()));
+  for (const auto& r : records) {
+    payload.push_back(static_cast<double>(r.target));
+    payload.push_back(static_cast<double>(r.src));
+    payload.push_back(static_cast<double>(r.dest));
+    payload.push_back(static_cast<double>(r.k0));
+    payload.push_back(static_cast<double>(r.stride));
+    payload.push_back(static_cast<double>(r.data.size()));
+    payload.insert(payload.end(), r.data.begin(), r.data.end());
+  }
+  return payload;
+}
+
+std::vector<Record> deserialize(const std::vector<double>& payload) {
+  std::size_t off = 0;
+  const auto n = static_cast<std::size_t>(payload[off++]);
+  std::vector<Record> records(n);
+  for (auto& r : records) {
+    r.target = static_cast<int>(payload[off++]);
+    r.src = static_cast<int>(payload[off++]);
+    r.dest = static_cast<int>(payload[off++]);
+    r.k0 = static_cast<long>(payload[off++]);
+    r.stride = static_cast<long>(payload[off++]);
+    const auto len = static_cast<std::size_t>(payload[off++]);
+    r.data.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                  payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+  }
+  QR3D_ASSERT(off == payload.size(), "all_to_all record stream corrupt");
+  return records;
+}
+
+/// Route records to their `target` ranks with the radix-2 index algorithm.
+std::vector<Record> index_route(sim::Comm& comm, std::vector<Record> records) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  for (int step = 1; step < P; step <<= 1) {
+    std::vector<Record> keep, forward;
+    for (auto& r : records) {
+      const int label = (r.target - me + P) % P;
+      ((label & step) != 0 ? forward : keep).push_back(std::move(r));
+    }
+    comm.send((me + step) % P, serialize(forward), kTagAllToAll);
+    records = std::move(keep);
+    auto arrived = deserialize(comm.recv((me - step % P + P) % P, kTagAllToAll));
+    for (auto& r : arrived) records.push_back(std::move(r));
+  }
+  return records;
+}
+
+/// Place routed records into per-source blocks.
+std::vector<std::vector<double>> assemble(int P, const std::vector<Record>& records) {
+  std::vector<std::vector<double>> incoming(static_cast<std::size_t>(P));
+  for (const auto& r : records) {
+    auto& block = incoming[static_cast<std::size_t>(r.src)];
+    const std::size_t need =
+        static_cast<std::size_t>(r.k0 + (static_cast<long>(r.data.size()) - 1) * r.stride + 1);
+    if (!r.data.empty() && block.size() < need) block.resize(need, 0.0);
+    for (std::size_t j = 0; j < r.data.size(); ++j)
+      block[static_cast<std::size_t>(r.k0) + j * static_cast<std::size_t>(r.stride)] = r.data[j];
+  }
+  return incoming;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> all_to_all_index(sim::Comm& comm,
+                                                  std::vector<std::vector<double>> outgoing) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  QR3D_CHECK(static_cast<int>(outgoing.size()) == P, "all_to_all: need P outgoing blocks");
+
+  std::vector<Record> records;
+  for (int q = 0; q < P; ++q) {
+    if (q == me || outgoing[static_cast<std::size_t>(q)].empty()) continue;
+    records.push_back(Record{q, me, q, 0, 1, std::move(outgoing[static_cast<std::size_t>(q)])});
+  }
+  auto incoming = assemble(P, index_route(comm, std::move(records)));
+  incoming[static_cast<std::size_t>(me)] = std::move(outgoing[static_cast<std::size_t>(me)]);
+  return incoming;
+}
+
+std::vector<std::vector<double>> all_to_all_two_phase(sim::Comm& comm,
+                                                      std::vector<std::vector<double>> outgoing) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  QR3D_CHECK(static_cast<int>(outgoing.size()) == P, "all_to_all: need P outgoing blocks");
+
+  // Phase 0: deal each outgoing block element-cyclically over intermediates,
+  // starting at (me + q) mod P so different (p, q) pairs interleave evenly.
+  std::vector<Record> records;
+  for (int q = 0; q < P; ++q) {
+    if (q == me) continue;
+    const auto& block = outgoing[static_cast<std::size_t>(q)];
+    const long B = static_cast<long>(block.size());
+    if (B == 0) continue;
+    for (int w = 0; w < P; ++w) {
+      const long k0 = ((w - me - q) % P + P) % P;
+      if (k0 >= B) continue;
+      Record r{w, me, q, k0, P, {}};
+      r.data.reserve(static_cast<std::size_t>((B - k0 - 1) / P + 1));
+      for (long k = k0; k < B; k += P) r.data.push_back(block[static_cast<std::size_t>(k)]);
+      records.push_back(std::move(r));
+    }
+  }
+
+  // Phase 1: route chunks to intermediates; Phase 2: re-address and route to
+  // final destinations.
+  records = index_route(comm, std::move(records));
+  for (auto& r : records) r.target = r.dest;
+  records = index_route(comm, std::move(records));
+
+  auto incoming = assemble(P, records);
+  incoming[static_cast<std::size_t>(me)] = std::move(outgoing[static_cast<std::size_t>(me)]);
+  return incoming;
+}
+
+}  // namespace qr3d::coll::detail

@@ -1,0 +1,247 @@
+// Bidirectional-exchange collectives (Appendix A.2): recursive halving
+// (reduce-scatter) and recursive doubling (all-gather), plus the large-block
+// broadcast / reduce / all-reduce compositions built from them.
+//
+// Ranges [lo, hi) split into F = [lo, lo+size1) and S = [lo+size1, hi) with
+// size1 = ceil(s/2).  F[i] pairs with S[i]; when s is odd the extra rank
+// e = F[size1-1] is handled per the paper: in reduce-scatter e sends to
+// p = S[size2-1] and receives nothing; in all-gather (reversed pattern) e
+// receives from p and sends nothing.
+#include "coll/coll.hpp"
+
+#include "la/error.hpp"
+
+namespace qr3d::coll::detail {
+
+namespace {
+
+constexpr int kTagReduceScatter = 9101;
+constexpr int kTagAllGather = 9102;
+
+/// Split a length-B buffer into P chunks of size ceil(B/P) (last ones may be
+/// short or empty); chunk q covers [q*c, min((q+1)*c, B)).
+std::vector<std::size_t> chunk_counts(std::size_t B, int P) {
+  const std::size_t c = (B + static_cast<std::size_t>(P) - 1) / static_cast<std::size_t>(P);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(P), 0);
+  for (int q = 0; q < P; ++q) {
+    const std::size_t b = static_cast<std::size_t>(q) * c;
+    counts[static_cast<std::size_t>(q)] = b >= B ? 0 : std::min(c, B - b);
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<double> reduce_scatter_bidir(sim::Comm& comm,
+                                         std::vector<std::vector<double>> blocks) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  QR3D_CHECK(static_cast<int>(blocks.size()) == P, "reduce_scatter: need P contributions");
+  if (P == 1) return std::move(blocks[0]);
+
+  // Sizes must agree across ranks; capture them for (un)packing payloads.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(P));
+  for (int q = 0; q < P; ++q) counts[static_cast<std::size_t>(q)] = blocks[static_cast<std::size_t>(q)].size();
+
+  int lo = 0, hi = P;
+  while (hi - lo > 1) {
+    const int s = hi - lo;
+    const int size1 = (s + 1) / 2;
+    const int size2 = s - size1;
+    const bool in_f = me < lo + size1;
+    const int other_lo = in_f ? lo + size1 : lo;
+    const int other_hi = in_f ? hi : lo + size1;
+
+    auto pack_other_set = [&]() {
+      std::vector<double> payload;
+      for (int q = other_lo; q < other_hi; ++q) {
+        auto& b = blocks[static_cast<std::size_t>(q)];
+        payload.insert(payload.end(), b.begin(), b.end());
+        b.clear();
+      }
+      return payload;
+    };
+    auto unpack_and_add = [&](const std::vector<double>& payload, int set_lo, int set_hi) {
+      std::size_t off = 0;
+      for (int q = set_lo; q < set_hi; ++q) {
+        const std::size_t c = counts[static_cast<std::size_t>(q)];
+        auto& b = blocks[static_cast<std::size_t>(q)];
+        QR3D_ASSERT(b.size() == c, "reduce_scatter: lost block");
+        for (std::size_t i = 0; i < c; ++i) b[i] += payload[off + i];
+        off += c;
+      }
+      comm.charge_flops(static_cast<double>(off));
+      QR3D_ASSERT(off == payload.size(), "reduce_scatter payload size mismatch");
+    };
+
+    if (in_f) {
+      const int i = me - lo;
+      if (i < size2) {
+        const int partner = lo + size1 + i;
+        comm.send(partner, pack_other_set(), kTagReduceScatter);
+        unpack_and_add(comm.recv(partner, kTagReduceScatter), lo, lo + size1);
+      } else {
+        // Extra rank (odd split): sends to S's last rank, receives nothing.
+        comm.send(hi - 1, pack_other_set(), kTagReduceScatter);
+      }
+      hi = lo + size1;
+    } else {
+      const int j = me - lo - size1;
+      const int partner = lo + j;
+      comm.send(partner, pack_other_set(), kTagReduceScatter);
+      unpack_and_add(comm.recv(partner, kTagReduceScatter), lo + size1, hi);
+      if (size1 > size2 && j == size2 - 1) {
+        unpack_and_add(comm.recv(lo + size1 - 1, kTagReduceScatter), lo + size1, hi);
+      }
+      lo = lo + size1;
+    }
+  }
+  return std::move(blocks[static_cast<std::size_t>(me)]);
+}
+
+namespace {
+
+/// Recursive-doubling all-gather over relative range [lo, hi); head recursion
+/// so exchanges happen smallest-set-first (reversing reduce-scatter).
+void all_gather_rec(sim::Comm& comm, std::vector<std::vector<double>>& blocks,
+                    const std::vector<std::size_t>& counts, int lo, int hi) {
+  const int s = hi - lo;
+  if (s <= 1) return;
+  const int me = comm.rank();
+  const int size1 = (s + 1) / 2;
+  const int size2 = s - size1;
+  const bool in_f = me < lo + size1;
+
+  if (in_f) {
+    all_gather_rec(comm, blocks, counts, lo, lo + size1);
+  } else {
+    all_gather_rec(comm, blocks, counts, lo + size1, hi);
+  }
+
+  auto pack_set = [&](int set_lo, int set_hi) {
+    std::vector<double> payload;
+    for (int q = set_lo; q < set_hi; ++q) {
+      const auto& b = blocks[static_cast<std::size_t>(q)];
+      QR3D_ASSERT(b.size() == counts[static_cast<std::size_t>(q)], "all_gather: missing block");
+      payload.insert(payload.end(), b.begin(), b.end());
+    }
+    return payload;
+  };
+  auto unpack_set = [&](const std::vector<double>& payload, int set_lo, int set_hi) {
+    std::size_t off = 0;
+    for (int q = set_lo; q < set_hi; ++q) {
+      const std::size_t c = counts[static_cast<std::size_t>(q)];
+      blocks[static_cast<std::size_t>(q)].assign(
+          payload.begin() + static_cast<std::ptrdiff_t>(off),
+          payload.begin() + static_cast<std::ptrdiff_t>(off + c));
+      off += c;
+    }
+    QR3D_ASSERT(off == payload.size(), "all_gather payload size mismatch");
+  };
+
+  if (in_f) {
+    const int i = me - lo;
+    if (i < size2) {
+      const int partner = lo + size1 + i;
+      comm.send(partner, pack_set(lo, lo + size1), kTagAllGather);
+      unpack_set(comm.recv(partner, kTagAllGather), lo + size1, hi);
+    } else {
+      // Extra rank: receives S's blocks from p, sends nothing.
+      unpack_set(comm.recv(hi - 1, kTagAllGather), lo + size1, hi);
+    }
+  } else {
+    const int j = me - lo - size1;
+    const int partner = lo + j;
+    comm.send(partner, pack_set(lo + size1, hi), kTagAllGather);
+    if (size1 > size2 && j == size2 - 1) {
+      comm.send(lo + size1 - 1, pack_set(lo + size1, hi), kTagAllGather);
+    }
+    unpack_set(comm.recv(partner, kTagAllGather), lo, lo + size1);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> all_gather_bidir(sim::Comm& comm, std::vector<double> mine,
+                                                  const std::vector<std::size_t>& counts) {
+  const int P = comm.size();
+  QR3D_CHECK(static_cast<int>(counts.size()) == P, "all_gather: counts size");
+  QR3D_CHECK(mine.size() == counts[static_cast<std::size_t>(comm.rank())],
+             "all_gather: my block size does not match counts");
+  std::vector<std::vector<double>> blocks(static_cast<std::size_t>(P));
+  blocks[static_cast<std::size_t>(comm.rank())] = std::move(mine);
+  all_gather_rec(comm, blocks, counts, 0, P);
+  return blocks;
+}
+
+void broadcast_bidir(sim::Comm& comm, int root, std::vector<double>& data) {
+  const int P = comm.size();
+  if (P == 1) return;
+  const auto counts = chunk_counts(data.size(), P);
+
+  std::vector<std::vector<double>> chunks;
+  if (comm.rank() == root) {
+    chunks.resize(static_cast<std::size_t>(P));
+    std::size_t off = 0;
+    for (int q = 0; q < P; ++q) {
+      const std::size_t c = counts[static_cast<std::size_t>(q)];
+      chunks[static_cast<std::size_t>(q)].assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                                                 data.begin() + static_cast<std::ptrdiff_t>(off + c));
+      off += c;
+    }
+  }
+  std::vector<double> my_chunk = scatter_binomial(comm, root, chunks, counts);
+  auto all = all_gather_bidir(comm, std::move(my_chunk), counts);
+  data.clear();
+  for (int q = 0; q < P; ++q)
+    data.insert(data.end(), all[static_cast<std::size_t>(q)].begin(),
+                all[static_cast<std::size_t>(q)].end());
+}
+
+void reduce_bidir(sim::Comm& comm, int root, std::vector<double>& data) {
+  const int P = comm.size();
+  if (P == 1) return;
+  const auto counts = chunk_counts(data.size(), P);
+
+  std::vector<std::vector<double>> contributions(static_cast<std::size_t>(P));
+  std::size_t off = 0;
+  for (int q = 0; q < P; ++q) {
+    const std::size_t c = counts[static_cast<std::size_t>(q)];
+    contributions[static_cast<std::size_t>(q)].assign(
+        data.begin() + static_cast<std::ptrdiff_t>(off),
+        data.begin() + static_cast<std::ptrdiff_t>(off + c));
+    off += c;
+  }
+  std::vector<double> my_chunk = reduce_scatter_bidir(comm, std::move(contributions));
+  auto gathered = gather_binomial(comm, root, std::move(my_chunk), counts);
+  if (comm.rank() == root) {
+    data.clear();
+    for (int q = 0; q < P; ++q)
+      data.insert(data.end(), gathered[static_cast<std::size_t>(q)].begin(),
+                  gathered[static_cast<std::size_t>(q)].end());
+  }
+}
+
+void all_reduce_bidir(sim::Comm& comm, std::vector<double>& data) {
+  const int P = comm.size();
+  if (P == 1) return;
+  const auto counts = chunk_counts(data.size(), P);
+
+  std::vector<std::vector<double>> contributions(static_cast<std::size_t>(P));
+  std::size_t off = 0;
+  for (int q = 0; q < P; ++q) {
+    const std::size_t c = counts[static_cast<std::size_t>(q)];
+    contributions[static_cast<std::size_t>(q)].assign(
+        data.begin() + static_cast<std::ptrdiff_t>(off),
+        data.begin() + static_cast<std::ptrdiff_t>(off + c));
+    off += c;
+  }
+  std::vector<double> my_chunk = reduce_scatter_bidir(comm, std::move(contributions));
+  auto all = all_gather_bidir(comm, std::move(my_chunk), counts);
+  data.clear();
+  for (int q = 0; q < P; ++q)
+    data.insert(data.end(), all[static_cast<std::size_t>(q)].begin(),
+                all[static_cast<std::size_t>(q)].end());
+}
+
+}  // namespace qr3d::coll::detail

@@ -1,0 +1,184 @@
+// Binomial-tree collectives (Appendix A.1).
+//
+// All algorithms recurse on ranges [lo, hi) of *relative* ranks
+// rr = (rank - root) mod P, splitting into [lo, mid) and [mid, hi) with
+// mid = lo + ceil((hi-lo)/2); the range root sits at lo.  This works for any
+// P, not just powers of two.
+#include "coll/coll.hpp"
+
+#include "la/error.hpp"
+
+namespace qr3d::coll::detail {
+
+namespace {
+
+constexpr int kTagScatter = 9001;
+constexpr int kTagGather = 9002;
+constexpr int kTagBroadcast = 9003;
+constexpr int kTagReduce = 9004;
+
+int rel(int rank, int root, int P) { return (rank - root + P) % P; }
+int abs_rank(int rr, int root, int P) { return (rr + root) % P; }
+
+void add_into(sim::Comm& comm, std::vector<double>& dst, const std::vector<double>& src) {
+  QR3D_ASSERT(dst.size() == src.size(), "reduction block size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  comm.charge_flops(static_cast<double>(dst.size()));
+}
+
+}  // namespace
+
+std::vector<double> scatter_binomial(sim::Comm& comm, int root,
+                                     const std::vector<std::vector<double>>& blocks,
+                                     const std::vector<std::size_t>& counts) {
+  const int P = comm.size();
+  const int me = rel(comm.rank(), root, P);
+  QR3D_CHECK(static_cast<int>(counts.size()) == P, "scatter: counts size");
+  if (P == 1) return blocks.empty() ? std::vector<double>{} : blocks[static_cast<std::size_t>(root)];
+
+  // Blocks I currently hold, keyed by relative rank; the root starts with all.
+  std::vector<std::vector<double>> held(static_cast<std::size_t>(P));
+  if (me == 0) {
+    QR3D_CHECK(static_cast<int>(blocks.size()) == P, "scatter: root must pass P blocks");
+    for (int q = 0; q < P; ++q) {
+      const auto& b = blocks[static_cast<std::size_t>(abs_rank(q, root, P))];
+      QR3D_CHECK(b.size() == counts[static_cast<std::size_t>(abs_rank(q, root, P))],
+                 "scatter: block size does not match counts");
+      held[static_cast<std::size_t>(q)] = b;
+    }
+  }
+
+  int lo = 0, hi = P;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (me == lo) {
+      std::vector<double> payload;
+      for (int q = mid; q < hi; ++q) {
+        auto& b = held[static_cast<std::size_t>(q)];
+        payload.insert(payload.end(), b.begin(), b.end());
+        b.clear();
+      }
+      comm.send(abs_rank(mid, root, P), std::move(payload), kTagScatter);
+    } else if (me == mid) {
+      std::vector<double> payload = comm.recv(abs_rank(lo, root, P), kTagScatter);
+      std::size_t off = 0;
+      for (int q = mid; q < hi; ++q) {
+        const std::size_t c = counts[static_cast<std::size_t>(abs_rank(q, root, P))];
+        held[static_cast<std::size_t>(q)].assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                                                 payload.begin() + static_cast<std::ptrdiff_t>(off + c));
+        off += c;
+      }
+      QR3D_ASSERT(off == payload.size(), "scatter payload size mismatch");
+    }
+    if (me < mid) hi = mid; else lo = mid;
+  }
+  return std::move(held[static_cast<std::size_t>(me)]);
+}
+
+namespace {
+
+// Depth-first recursion shared by gather and reduce: combine_up(lo, hi) makes
+// the range root (relative rank lo) hold the combined data of its range.
+template <class Combine>
+void combine_up(sim::Comm& comm, int root, int lo, int hi, int me, Combine&& combine_recv) {
+  if (hi - lo <= 1) return;
+  const int P = comm.size();
+  const int mid = lo + (hi - lo + 1) / 2;
+  if (me < mid) {
+    combine_up(comm, root, lo, mid, me, combine_recv);
+  } else {
+    combine_up(comm, root, mid, hi, me, combine_recv);
+  }
+  if (me == mid) {
+    combine_recv(/*send_to=*/abs_rank(lo, root, P), /*recv_from=*/-1, mid, hi);
+  } else if (me == lo) {
+    combine_recv(/*send_to=*/-1, /*recv_from=*/abs_rank(mid, root, P), mid, hi);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> gather_binomial(sim::Comm& comm, int root,
+                                                 std::vector<double> mine,
+                                                 const std::vector<std::size_t>& counts) {
+  const int P = comm.size();
+  const int me = rel(comm.rank(), root, P);
+  QR3D_CHECK(static_cast<int>(counts.size()) == P, "gather: counts size");
+  QR3D_CHECK(mine.size() == counts[static_cast<std::size_t>(comm.rank())],
+             "gather: my block size does not match counts");
+
+  std::vector<std::vector<double>> held(static_cast<std::size_t>(P));
+  held[static_cast<std::size_t>(me)] = std::move(mine);
+  if (P == 1) {
+    std::vector<std::vector<double>> out(1);
+    out[0] = std::move(held[0]);
+    return out;
+  }
+
+  combine_up(comm, root, 0, P, me, [&](int send_to, int recv_from, int mid, int hi) {
+    if (send_to >= 0) {
+      std::vector<double> payload;
+      for (int q = mid; q < hi; ++q) {
+        auto& b = held[static_cast<std::size_t>(q)];
+        payload.insert(payload.end(), b.begin(), b.end());
+        b.clear();
+      }
+      comm.send(send_to, std::move(payload), kTagGather);
+    } else {
+      std::vector<double> payload = comm.recv(recv_from, kTagGather);
+      std::size_t off = 0;
+      for (int q = mid; q < hi; ++q) {
+        const std::size_t c = counts[static_cast<std::size_t>(abs_rank(q, root, P))];
+        held[static_cast<std::size_t>(q)].assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                                                 payload.begin() + static_cast<std::ptrdiff_t>(off + c));
+        off += c;
+      }
+      QR3D_ASSERT(off == payload.size(), "gather payload size mismatch");
+    }
+  });
+
+  std::vector<std::vector<double>> out(static_cast<std::size_t>(P));
+  if (me == 0) {
+    for (int q = 0; q < P; ++q)
+      out[static_cast<std::size_t>(abs_rank(q, root, P))] = std::move(held[static_cast<std::size_t>(q)]);
+  }
+  return out;
+}
+
+void broadcast_binomial(sim::Comm& comm, int root, std::vector<double>& data) {
+  const int P = comm.size();
+  if (P == 1) return;
+  const int me = rel(comm.rank(), root, P);
+  int lo = 0, hi = P;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (me == lo) {
+      comm.send(abs_rank(mid, root, P), data, kTagBroadcast);
+    } else if (me == mid) {
+      std::vector<double> payload = comm.recv(abs_rank(lo, root, P), kTagBroadcast);
+      QR3D_CHECK(payload.size() == data.size(), "broadcast: data must be pre-sized on all ranks");
+      data = std::move(payload);
+    }
+    if (me < mid) hi = mid; else lo = mid;
+  }
+}
+
+void reduce_binomial(sim::Comm& comm, int root, std::vector<double>& data) {
+  const int P = comm.size();
+  if (P == 1) return;
+  const int me = rel(comm.rank(), root, P);
+  combine_up(comm, root, 0, P, me, [&](int send_to, int recv_from, int, int) {
+    if (send_to >= 0) {
+      comm.send(send_to, data, kTagReduce);
+    } else {
+      add_into(comm, data, comm.recv(recv_from, kTagReduce));
+    }
+  });
+}
+
+void all_reduce_binomial(sim::Comm& comm, std::vector<double>& data) {
+  reduce_binomial(comm, 0, data);
+  broadcast_binomial(comm, 0, data);
+}
+
+}  // namespace qr3d::coll::detail

@@ -1,0 +1,137 @@
+// Public collective entry points with the Lemma 1 / Table 1 algorithm
+// selection: for broadcast and (all-)reduce, Auto compares the binomial-tree
+// bound B log P against the bidirectional-exchange bound ~(B + P) and picks
+// the smaller, reproducing Table 1's min(B log P, B + P) envelope.
+#include "coll/coll.hpp"
+
+#include <cmath>
+
+#include "la/error.hpp"
+
+namespace qr3d::coll {
+
+namespace {
+
+int ceil_log2(int P) {
+  int l = 0;
+  while ((1 << l) < P) ++l;
+  return l;
+}
+
+/// True if the binomial tree is the cheaper variant for a B-word
+/// broadcast/reduce over P ranks (Table 1: B log P vs ~2B + P).
+bool binomial_wins(std::size_t B, int P) {
+  const double L = static_cast<double>(ceil_log2(P));
+  const double b = static_cast<double>(B);
+  return b * L <= 2.0 * b + static_cast<double>(P);
+}
+
+}  // namespace
+
+std::vector<double> scatter(sim::Comm& comm, int root,
+                            const std::vector<std::vector<double>>& blocks,
+                            const std::vector<std::size_t>& counts, Alg alg) {
+  QR3D_CHECK(alg == Alg::Auto || alg == Alg::Binomial, "scatter: binomial only");
+  return detail::scatter_binomial(comm, root, blocks, counts);
+}
+
+std::vector<std::vector<double>> gather(sim::Comm& comm, int root, std::vector<double> mine,
+                                        const std::vector<std::size_t>& counts, Alg alg) {
+  QR3D_CHECK(alg == Alg::Auto || alg == Alg::Binomial, "gather: binomial only");
+  return detail::gather_binomial(comm, root, std::move(mine), counts);
+}
+
+void broadcast(sim::Comm& comm, int root, std::vector<double>& data, Alg alg) {
+  if (comm.size() == 1) return;
+  switch (alg) {
+    case Alg::Binomial:
+      detail::broadcast_binomial(comm, root, data);
+      return;
+    case Alg::BidirExchange:
+      detail::broadcast_bidir(comm, root, data);
+      return;
+    case Alg::Auto:
+      if (binomial_wins(data.size(), comm.size())) {
+        detail::broadcast_binomial(comm, root, data);
+      } else {
+        detail::broadcast_bidir(comm, root, data);
+      }
+      return;
+    default:
+      QR3D_CHECK(false, "broadcast: unsupported algorithm");
+  }
+}
+
+void reduce(sim::Comm& comm, int root, std::vector<double>& data, Alg alg) {
+  if (comm.size() == 1) return;
+  switch (alg) {
+    case Alg::Binomial:
+      detail::reduce_binomial(comm, root, data);
+      return;
+    case Alg::BidirExchange:
+      detail::reduce_bidir(comm, root, data);
+      return;
+    case Alg::Auto:
+      if (binomial_wins(data.size(), comm.size())) {
+        detail::reduce_binomial(comm, root, data);
+      } else {
+        detail::reduce_bidir(comm, root, data);
+      }
+      return;
+    default:
+      QR3D_CHECK(false, "reduce: unsupported algorithm");
+  }
+}
+
+void all_reduce(sim::Comm& comm, std::vector<double>& data, Alg alg) {
+  if (comm.size() == 1) return;
+  switch (alg) {
+    case Alg::Binomial:
+      detail::all_reduce_binomial(comm, data);
+      return;
+    case Alg::BidirExchange:
+      detail::all_reduce_bidir(comm, data);
+      return;
+    case Alg::Auto:
+      if (binomial_wins(data.size(), comm.size())) {
+        detail::all_reduce_binomial(comm, data);
+      } else {
+        detail::all_reduce_bidir(comm, data);
+      }
+      return;
+    default:
+      QR3D_CHECK(false, "all_reduce: unsupported algorithm");
+  }
+}
+
+std::vector<std::vector<double>> all_gather(sim::Comm& comm, std::vector<double> mine,
+                                            const std::vector<std::size_t>& counts, Alg alg) {
+  QR3D_CHECK(alg == Alg::Auto || alg == Alg::BidirExchange,
+             "all_gather: bidirectional exchange only");
+  return detail::all_gather_bidir(comm, std::move(mine), counts);
+}
+
+std::vector<double> reduce_scatter(sim::Comm& comm, std::vector<std::vector<double>> contributions,
+                                   Alg alg) {
+  QR3D_CHECK(alg == Alg::Auto || alg == Alg::BidirExchange,
+             "reduce_scatter: bidirectional exchange only");
+  return detail::reduce_scatter_bidir(comm, std::move(contributions));
+}
+
+std::vector<std::vector<double>> all_to_all(sim::Comm& comm,
+                                            std::vector<std::vector<double>> outgoing, Alg alg) {
+  switch (alg) {
+    case Alg::Index:
+      return detail::all_to_all_index(comm, std::move(outgoing));
+    case Alg::Auto:
+    case Alg::TwoPhase:
+      // The paper performs all of its all-to-alls with the two-phase
+      // approach (Section 7.2), so Auto defers to it.
+      return detail::all_to_all_two_phase(comm, std::move(outgoing));
+    default:
+      QR3D_CHECK(false, "all_to_all: unsupported algorithm");
+  }
+  return {};
+}
+
+}  // namespace qr3d::coll

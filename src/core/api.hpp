@@ -1,0 +1,57 @@
+// High-level driver API: the entry points a downstream user calls.
+//
+//   * qr()            — factor a row-cyclic matrix, picking the algorithm the
+//                       paper recommends for the aspect ratio (Section 1):
+//                       m/n >= P goes straight to the tall-skinny base case,
+//                       otherwise the full 3D-CAQR-EG recursion runs with the
+//                       Theorem 1 parameters (optionally machine-tuned).
+//   * apply_q_cyclic  — apply Q or Q^H (from a CyclicQr) to a row-cyclic
+//                       block of vectors using the same 3D multiplication
+//                       machinery the factorization uses.
+//   * gather_to_root  — collect a row-cyclic matrix on rank 0 (convenience
+//                       for small factors like R in examples and tests).
+#pragma once
+
+#include "core/caqr_eg_3d.hpp"
+#include "la/blas.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d::core {
+
+enum class Algorithm {
+  Auto,      ///< aspect-ratio dispatch per Section 1
+  CaqrEg3d,  ///< force the full recursion
+  BaseCase,  ///< force the tall-skinny path (b = n)
+};
+
+struct QrOptions {
+  Algorithm algorithm = Algorithm::Auto;
+  /// Tune (delta, epsilon) for the machine's cost parameters instead of the
+  /// Theorem 1 defaults.
+  bool tune_for_machine = false;
+  CaqrEg3dOptions params;
+};
+
+/// Factor a row-cyclic m x n matrix (row i on rank i mod P).  Collective.
+CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+            QrOptions opts = {});
+
+/// X := Q * X (op = NoTrans) or Q^H * X (op = ConjTrans), where Q comes from
+/// a CyclicQr of an m x n matrix and X is a row-cyclic m x k block.
+/// Collective; returns this rank's rows of the result.
+la::Matrix apply_q_cyclic(sim::Comm& comm, const CyclicQr& f, la::index_t m, la::index_t n,
+                          const la::Matrix& X_local, la::index_t k, la::Op op);
+
+/// Gather a row-cyclic (rows x cols) matrix onto rank 0 (empty elsewhere).
+la::Matrix gather_to_root(sim::Comm& comm, const la::Matrix& local, la::index_t rows,
+                          la::index_t cols);
+
+/// Section 2.3: in Householder representation "T need not be stored, since
+/// T = (triu(V^H V) + diag(V^H V)/2)^{-1}".  Rebuild the kernel from a
+/// row-cyclic basis: the Gram matrix comes from a 3D multiplication, the
+/// small triangular inversion runs on rank 0, and the result is scattered
+/// back row-cyclically.  Enables the Section 8.4 variant that never stores T.
+la::Matrix rebuild_kernel_cyclic(sim::Comm& comm, const la::Matrix& V_local, la::index_t m,
+                                 la::index_t n);
+
+}  // namespace qr3d::core

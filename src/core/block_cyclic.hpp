@@ -1,0 +1,95 @@
+// 2D block-cyclic distribution machinery for the Section 8.1 baselines
+// (2D-HOUSE and CAQR), mirroring ScaLAPACK's layout: the matrix is tiled in
+// b x b blocks and block (I, J) lives on grid processor (I mod r, J mod c).
+#pragma once
+
+#include <cmath>
+
+#include "la/matrix.hpp"
+
+namespace qr3d::core {
+
+/// r x c processor grid; world rank w <-> (w mod r, w div r).
+struct ProcGrid2 {
+  int r = 1;
+  int c = 1;
+
+  int size() const { return r * c; }
+  int row_of(int w) const { return w % r; }
+  int col_of(int w) const { return w / r; }
+  int rank_of(int pr, int pc) const { return pr + pc * r; }
+
+  /// Section 8.1's grid for an m x n matrix on P ranks:
+  /// c = Theta((nP/m)^(1/2)), r = P/c — snapped to a divisor of P.
+  static ProcGrid2 choose(la::index_t m, la::index_t n, int P) {
+    const double ideal = std::sqrt(static_cast<double>(n) * P / static_cast<double>(m));
+    int best = 1;
+    double best_gap = 1e300;
+    for (int c = 1; c <= P; ++c) {
+      if (P % c != 0) continue;
+      const double gap = std::abs(std::log(static_cast<double>(c) / std::max(1.0, ideal)));
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = c;
+      }
+    }
+    return ProcGrid2{P / best, best};
+  }
+};
+
+/// Index arithmetic for an m x n matrix in b x b block-cyclic layout on grid
+/// g.  Local storage on (pr, pc) is the dense matrix of its rows and columns
+/// sorted by global index.
+struct BlockCyclic {
+  la::index_t m = 0;
+  la::index_t n = 0;
+  la::index_t b = 1;
+  ProcGrid2 g;
+
+  int owner(la::index_t i, la::index_t j) const {
+    return g.rank_of(static_cast<int>((i / b) % g.r), static_cast<int>((j / b) % g.c));
+  }
+
+  /// Local row index of global row i (valid on i's owning grid row).
+  la::index_t lrow(la::index_t i) const { return (i / (b * g.r)) * b + i % b; }
+  la::index_t lcol(la::index_t j) const { return (j / (b * g.c)) * b + j % b; }
+
+  /// Global row of local row li on grid row pr.
+  la::index_t grow(int pr, la::index_t li) const {
+    return (li / b * g.r + pr) * b + li % b;
+  }
+  la::index_t gcol(int pc, la::index_t lj) const {
+    return (lj / b * g.c + pc) * b + lj % b;
+  }
+
+  la::index_t local_rows(int pr) const { return local_extent(m, g.r, pr); }
+  la::index_t local_cols(int pc) const { return local_extent(n, g.c, pc); }
+
+  /// Number of local rows on pr with global index < i (i.e. the local row
+  /// index where global row i would start).
+  la::index_t local_rows_below(int pr, la::index_t i) const {
+    const la::index_t B = i / b;  // global block of i
+    const la::index_t full = count_blocks_before(B, g.r, pr) * b;
+    return full + ((static_cast<int>(B % g.r) == pr) ? i % b : 0);
+  }
+  la::index_t local_cols_before(int pc, la::index_t j) const {
+    const la::index_t B = j / b;
+    const la::index_t full = count_blocks_before(B, g.c, pc) * b;
+    return full + ((static_cast<int>(B % g.c) == pc) ? j % b : 0);
+  }
+
+ private:
+  static la::index_t count_blocks_before(la::index_t B, int p, int which) {
+    // #{blk < B : blk mod p == which}
+    return B / p + ((static_cast<la::index_t>(which) < B % p) ? 1 : 0);
+  }
+  la::index_t local_extent(la::index_t total, int p, int which) const {
+    la::index_t cnt = 0;
+    const la::index_t nb = (total + b - 1) / b;
+    for (la::index_t B = which; B < nb; B += p)
+      cnt += std::min(b, total - B * b);
+    return cnt;
+  }
+};
+
+}  // namespace qr3d::core

@@ -1,0 +1,117 @@
+#include "core/caqr_2d.hpp"
+
+#include <cmath>
+
+#include "coll/coll.hpp"
+#include "core/tsqr.hpp"
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+#include "la/packing.hpp"
+
+namespace qr3d::core {
+
+namespace {
+
+/// TSQR's data contract for panel k: every *participating* grid row (one
+/// still holding panel rows) must hold at least jb of them, and the diagonal
+/// owner's first jb panel rows must be the top ones (guaranteed by the
+/// block-cyclic layout since jb <= b).  Grid rows that have run out of rows
+/// simply sit the panel out, as in a real CAQR.  Pure layout arithmetic,
+/// identical on all ranks.
+bool tsqr_panel_feasible(const BlockCyclic& bc, la::index_t j0, la::index_t jb) {
+  for (int pr = 0; pr < bc.g.r; ++pr) {
+    const la::index_t rows = bc.local_rows(pr) - bc.local_rows_below(pr, j0);
+    if (rows != 0 && rows < jb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Grid2dQr caqr_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+                 Caqr2dOptions opts) {
+  QR3D_CHECK(m >= n && n >= 1, "caqr_2d: need m >= n >= 1");
+  const int P = comm.size();
+  ProcGrid2 grid = (opts.grid_r > 0 && opts.grid_c > 0)
+                       ? ProcGrid2{opts.grid_r, opts.grid_c}
+                       : ProcGrid2::choose(m, n, P);
+  QR3D_CHECK(grid.size() == P, "caqr_2d: grid must use all ranks");
+
+  la::index_t b = opts.b;
+  if (b == 0) {
+    // Section 8.1: b = Theta(n / (nP/m)^(1/2)).
+    const double ratio = std::max(1.0, static_cast<double>(n) * P / static_cast<double>(m));
+    b = std::max<la::index_t>(1, static_cast<la::index_t>(std::ceil(n / std::sqrt(ratio))));
+  }
+  b = std::min(b, n);
+  BlockCyclic bc{m, n, b, grid};
+
+  detail::Grid2dCtx ctx = detail::make_grid2d_ctx(comm, bc);
+  QR3D_CHECK(A_local.rows() == bc.local_rows(ctx.pr) && A_local.cols() == bc.local_cols(ctx.pc),
+             "caqr_2d: local block shape mismatch");
+
+  Grid2dQr out;
+  out.layout = bc;
+  out.local = la::copy<double>(A_local);
+
+  for (la::index_t j0 = 0; j0 < n; j0 += b) {
+    const la::index_t jb = std::min(b, n - j0);
+    const int pc_k = static_cast<int>((j0 / b) % grid.c);
+    const int pr_k = static_cast<int>((j0 / b) % grid.r);
+    const la::index_t lr0 = bc.local_rows_below(ctx.pr, j0);
+    const la::index_t rows_below = bc.local_rows(ctx.pr) - lr0;
+
+    la::Matrix Vpanel;
+    la::Matrix Tk;
+    if (tsqr_panel_feasible(bc, j0, jb)) {
+      // Renumber the participating panel-column ranks (those still holding
+      // panel rows) so the diagonal owner is rank 0 (TSQR's root).
+      const bool participates = ctx.pc == pc_k && rows_below > 0;
+      sim::Comm pcomm =
+          comm.split(participates ? 0 : -1, (ctx.pr - pr_k + grid.r) % grid.r);
+      if (participates) {
+        const la::index_t lj0 = bc.local_cols_before(pc_k, j0);
+        la::Matrix panel = la::copy<double>(
+            la::ConstMatrixView(out.local.view()).block(lr0, lj0, rows_below, jb));
+        DistributedQr r = tsqr(pcomm, la::ConstMatrixView(panel.view()));
+        Vpanel = std::move(r.V);
+
+        // Write back: R on the diagonal owner, reflectors below the diagonal.
+        if (ctx.pr == pr_k) {
+          for (la::index_t jj = 0; jj < jb; ++jj)
+            for (la::index_t ii = 0; ii <= jj; ++ii)
+              out.local(lr0 + ii, lj0 + jj) = r.R(ii, jj);
+        }
+        for (la::index_t li = 0; li < rows_below; ++li) {
+          const la::index_t i = bc.grow(ctx.pr, lr0 + li);
+          for (la::index_t jj = 0; jj < jb; ++jj)
+            if (i > j0 + jj) out.local(li + lr0, lj0 + jj) = Vpanel(li, jj);
+        }
+
+        Tk = std::move(r.T);  // valid on the diagonal owner (pcomm rank 0)
+      } else {
+        Vpanel = la::Matrix(rows_below, jb);
+        Tk = la::Matrix(jb, jb);
+      }
+      // Replicate T over the whole panel column (including grid rows that
+      // sat the TSQR out — they still root the trailing update's row-wise
+      // T broadcast).
+      if (ctx.pc == pc_k) {
+        std::vector<double> tflat(static_cast<std::size_t>(jb * jb));
+        if (ctx.pr == pr_k) tflat = la::to_vector(Tk.view());
+        coll::broadcast(ctx.col_comm, pr_k, tflat);
+        Tk = la::from_vector(jb, jb, tflat);
+      }
+    } else {
+      // Tail panel too short for TSQR on some grid row: column-by-column
+      // fallback (identical maths, 2D-HOUSE panel cost).
+      Tk = detail::panel_householder(comm, ctx, out.local, j0, jb, Vpanel);
+    }
+
+    detail::trailing_update(comm, ctx, out.local, Vpanel, Tk, j0, jb);
+    out.T.push_back(std::move(Tk));
+  }
+  return out;
+}
+
+}  // namespace qr3d::core

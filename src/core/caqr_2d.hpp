@@ -1,0 +1,31 @@
+// CAQR [DGHL12] (Section 8.1): 2D block-cyclic blocked QR whose panels are
+// factored by TSQR instead of column-by-column Householder — Table 2's row 2.
+//
+// Same layout and trailing update as 2D-HOUSE, but each b-column panel costs
+// O(log P) messages (one TSQR) instead of Theta(b log P), so with
+// b = Theta(n/(nP/m)^(1/2)) the message count drops from Theta(n log P) to
+// Theta((nP/m)^(1/2) (log P)^2) while the word count stays at
+// n^2/(nP/m)^(1/2).  3D-CAQR-EG (Table 2's row 3) then trades words down
+// further via 3D multiplication.
+//
+// Implementation note: TSQR requires every participating rank to hold at
+// least jb panel rows; trailing panels where the block-cyclic layout leaves
+// some grid row short fall back to the column-by-column panel (same result,
+// 2D-HOUSE panel cost) — a constant number of panels at most.
+#pragma once
+
+#include "core/house_2d.hpp"
+
+namespace qr3d::core {
+
+struct Caqr2dOptions {
+  la::index_t b = 0;  ///< 0 = Theta(n/(nP/m)^(1/2)) per Section 8.1
+  int grid_r = 0;     ///< 0 = choose per Section 8.1
+  int grid_c = 0;
+};
+
+/// Collective over `comm`; A_local as in house_2d.
+Grid2dQr caqr_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+                 Caqr2dOptions opts = {});
+
+}  // namespace qr3d::core

@@ -1,0 +1,99 @@
+#include "core/caqr_eg_1d.hpp"
+
+#include "core/params.hpp"
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+#include "mm/mm_1d.hpp"
+
+namespace qr3d::core {
+
+namespace {
+
+/// The qr-eg recursion (Algorithm 2) on the current column block.
+/// Invariants maintained by the recursion:
+///   * every rank's local row count never drops below the current n;
+///   * rank 0's first k local rows are the current submatrix's top k rows.
+DistributedQr recurse(sim::Comm& comm, la::ConstMatrixView A_local,
+                      const CaqrEg1dOptions& opts, la::index_t b) {
+  const la::index_t n = A_local.cols();
+  const la::index_t mp = A_local.rows();
+  const bool is_root = comm.rank() == 0;
+
+  if (n <= b) {
+    return tsqr(comm, A_local);
+  }
+
+  const la::index_t n1 = n / 2;
+  const la::index_t n2 = n - n1;
+
+  // Line 5: left recursive call on [A11; A21].
+  DistributedQr left = recurse(comm, A_local.left_cols(n1), opts, b);
+
+  // Lines 6-7: M1 = V_L^H * [A12; A22] (1D dmm, reduce to root), then
+  // M2 = T_L^H * M1 locally on the root.
+  la::Matrix M1 = mm::mm_1d_inner(comm, 0, left.V.view(), A_local.right_cols(n2),
+                                  opts.reduce_alg);
+  la::Matrix M2;
+  if (is_root) {
+    M2 = la::multiply<double>(la::Op::ConjTrans, left.T.view(), la::Op::NoTrans, M1.view());
+    comm.charge_flops(la::flops::gemm(n1, n2, n1));
+  }
+
+  // Line 8: [B12; B22] = [A12; A22] - V_L * M2 (1D dmm, broadcast of M2).
+  la::Matrix B = mm::mm_1d_outer(comm, 0, left.V.view(), M2, n1, n2, opts.bcast_alg);
+  la::scale(-1.0, B.view());
+  la::add(1.0, A_local.right_cols(n2), B.view());
+  comm.charge_flops(la::flops::add(mp, n2));
+
+  // Line 9: right recursive call on B22 (everything below the top n1 rows;
+  // only the root owns rows of B12).
+  la::ConstMatrixView B22 =
+      is_root ? la::ConstMatrixView(B.view()).block(n1, 0, mp - n1, n2) : B.view();
+  DistributedQr right = recurse(comm, B22, opts, b);
+
+  // Line 10: V = [V_L, [0; V_R]] — local assembly.
+  DistributedQr out;
+  out.V = la::Matrix(mp, n);
+  la::assign<double>(out.V.block(0, 0, mp, n1), left.V.view());
+  const la::index_t top = is_root ? n1 : 0;  // rows of this rank above B22
+  la::assign<double>(out.V.block(top, n1, mp - top, n2), right.V.view());
+
+  // Line 11: M3 = V_L^H * [0; V_R] = (V_L's B22 rows)^H * V_R.
+  la::ConstMatrixView VLb =
+      is_root ? la::ConstMatrixView(left.V.view()).block(n1, 0, mp - n1, n1) : left.V.view();
+  la::Matrix M3 = mm::mm_1d_inner(comm, 0, VLb, right.V.view(), opts.reduce_alg);
+
+  if (is_root) {
+    // Lines 12-13: M4 = M3 * T_R; T = [[T_L, -T_L M4], [0, T_R]].
+    la::Matrix M4 = la::multiply<double>(la::Op::NoTrans, M3.view(), la::Op::NoTrans,
+                                         right.T.view());
+    la::Matrix T12 = la::multiply<double>(la::Op::NoTrans, left.T.view(), la::Op::NoTrans,
+                                          M4.view());
+    comm.charge_flops(la::flops::gemm(n1, n2, n2) + la::flops::gemm(n1, n2, n1));
+    out.T = la::Matrix(n, n);
+    la::assign<double>(out.T.block(0, 0, n1, n1), left.T.view());
+    la::assign<double>(out.T.block(n1, n1, n2, n2), right.T.view());
+    la::scale(-1.0, T12.view());
+    la::assign<double>(out.T.block(0, n1, n1, n2), la::ConstMatrixView(T12.view()));
+
+    // Line 14: R = [[R_L, B12], [0, R_R]].
+    out.R = la::Matrix(n, n);
+    la::assign<double>(out.R.block(0, 0, n1, n1), left.R.view());
+    la::assign<double>(out.R.block(0, n1, n1, n2), la::ConstMatrixView(B.view()).top_rows(n1));
+    la::assign<double>(out.R.block(n1, n1, n2, n2), right.R.view());
+  }
+  return out;
+}
+
+}  // namespace
+
+DistributedQr caqr_eg_1d(sim::Comm& comm, la::ConstMatrixView A_local, CaqrEg1dOptions opts) {
+  const la::index_t n = A_local.cols();
+  QR3D_CHECK(n >= 1, "caqr_eg_1d: need at least one column");
+  QR3D_CHECK(A_local.rows() >= n, "caqr_eg_1d: every rank needs m_p >= n rows");
+  const la::index_t b = opts.b > 0 ? std::min(opts.b, n)
+                                   : block_size_1d(n, comm.size(), opts.epsilon);
+  return recurse(comm, A_local, opts, b);
+}
+
+}  // namespace qr3d::core

@@ -1,0 +1,39 @@
+// 1D-CAQR-EG (Section 6): Elmroth-Gustavson recursive QR with TSQR base
+// cases and 1D matrix multiplications in the inductive case.
+//
+// Input contract (same as TSQR): each rank owns m_p >= n rows; rank 0 (the
+// root) owns the leading n rows of A as its first n local rows.  Output: V
+// distributed like A, T and R (n x n) on the root.
+//
+// The point of the algorithm (Section 6.3): splitting the recursion at
+// b = Theta(n/(log P)^epsilon) moves most of the arithmetic and bandwidth
+// out of TSQR's binomial trees — whose blocks change content at every node
+// and therefore cannot use bidirectional exchange — into plain reduce /
+// broadcast collectives that can.  With epsilon = 1 this removes TSQR's
+// log P bandwidth factor at the price of a log P latency factor (Theorem 2).
+#pragma once
+
+#include "coll/coll.hpp"
+#include "core/qr_result.hpp"
+#include "core/tsqr.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d::core {
+
+struct CaqrEg1dOptions {
+  /// Recursion threshold; 0 derives b from epsilon via Eq. (10).
+  la::index_t b = 0;
+  /// Bandwidth/latency tradeoff parameter of Theorem 2 (used when b == 0).
+  double epsilon = 1.0;
+  /// Collective algorithm for the inductive case's reduce and broadcast
+  /// (Auto realizes the bidirectional-exchange saving; Binomial is the
+  /// ablation that degrades back to TSQR-like bandwidth).
+  coll::Alg reduce_alg = coll::Alg::Auto;
+  coll::Alg bcast_alg = coll::Alg::Auto;
+};
+
+/// Collective over `comm`.  See the file comment for the data contract.
+DistributedQr caqr_eg_1d(sim::Comm& comm, la::ConstMatrixView A_local,
+                         CaqrEg1dOptions opts = {});
+
+}  // namespace qr3d::core

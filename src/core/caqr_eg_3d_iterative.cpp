@@ -1,0 +1,93 @@
+#include "core/caqr_eg_3d_iterative.hpp"
+
+#include "core/params.hpp"
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+#include "la/packing.hpp"
+#include "mm/layout.hpp"
+#include "mm/mm_3d.hpp"
+#include "mm/redistribute.hpp"
+
+namespace qr3d::core {
+
+using la::index_t;
+
+IterativeQr caqr_eg_3d_iterative(sim::Comm& comm, la::ConstMatrixView A_local, index_t m,
+                                 index_t n, IterativeOptions opts) {
+  const int P = comm.size();
+  QR3D_CHECK(m >= n && n >= 1, "caqr_eg_3d_iterative: need m >= n >= 1");
+  QR3D_CHECK(A_local.rows() == mm::CyclicRows(m, n, P, 0).local_rows(comm.rank()),
+             "caqr_eg_3d_iterative: local row count must match the row-cyclic layout");
+  const index_t b =
+      opts.panel > 0 ? std::min(opts.panel, n) : block_size_3d(m, n, P, opts.inner.delta);
+  const int me = comm.rank();
+  const index_t mp = A_local.rows();
+
+  IterativeQr out;
+  la::Matrix B = la::copy<double>(A_local);  // working trailing matrix
+  out.V = la::Matrix(mp, n);
+  const mm::CyclicRows rlay(n, n, P, 0);
+  out.R = la::Matrix(rlay.local_rows(me), n);
+
+  for (index_t j0 = 0; j0 < n; j0 += b) {
+    const index_t bk = std::min(b, n - j0);
+    const index_t mprime = m - j0;
+    out.panel_starts.push_back(j0);
+
+    // Renumber ranks so the trailing rows are shift-0 row-cyclic: world row
+    // g >= j0 lives on world rank g mod P = scomm rank (g - j0) mod P.
+    sim::Comm scomm = comm.split(0, ((me - j0) % P + P) % P);
+
+    // My trailing rows start below my rows of [0, j0).
+    const index_t above = mm::CyclicRows(j0, 1, P, 0).local_rows(me);
+    la::Matrix panel = la::copy<double>(
+        la::ConstMatrixView(B.view()).block(above, j0, mp - above, bk));
+
+    CyclicQr pf = caqr_eg_3d(scomm, la::ConstMatrixView(panel.view()), mprime, bk, opts.inner);
+
+    // V_k lands below row j0 in my V block (zeros above — shifts line up).
+    la::assign<double>(out.V.block(above, j0, mp - above, bk), pf.V.view());
+
+    // Panel R: its rows are world rows j0..j0+bk, which are exactly my R
+    // rows at local indices >= r_above.
+    const index_t r_above = mm::CyclicRows(j0, 1, P, 0).local_rows(me);
+    la::assign<double>(out.R.block(r_above, j0, pf.R.rows(), bk), pf.R.view());
+
+    // Keep the panel kernel, re-homed so row t lives on world rank t mod P.
+    {
+      const mm::CyclicRows from(bk, bk, P, 0);                       // scomm numbering
+      const mm::CyclicRows to(bk, bk, P, (P - static_cast<int>(j0 % P)) % P);
+      auto buf = mm::redistribute(scomm, from, to, la::to_vector(pf.T.view()));
+      out.T_blocks.push_back(mm::unpack_rows(to, scomm.rank(), buf));
+    }
+
+    // Trailing update: C := C - V_k (T_k^H (V_k^H C)) for columns > panel.
+    const index_t nrest = n - j0 - bk;
+    if (nrest > 0) {
+      const mm::CyclicRows lay_c(mprime, nrest, P, 0);
+      const mm::CyclicRows lay_bknrest(bk, nrest, P, 0);
+      const mm::CyclicCols lay_vh(bk, mprime, P, 0);
+      const mm::CyclicCols lay_th(bk, bk, P, 0);
+      const mm::CyclicRows lay_v(mprime, bk, P, 0);
+
+      la::MatrixView C = B.block(above, j0 + bk, mp - above, nrest);
+      auto m1 = mm::mm_3d(scomm, bk, nrest, mprime, lay_vh, la::to_vector_rowmajor(pf.V.view()),
+                          lay_c, la::to_vector(la::ConstMatrixView(C)), lay_bknrest,
+                          opts.inner.alltoall_alg);
+      auto m2 = mm::mm_3d(scomm, bk, nrest, bk, lay_th, la::to_vector_rowmajor(pf.T.view()),
+                          lay_bknrest, m1, lay_bknrest, opts.inner.alltoall_alg);
+      auto vm2 = mm::mm_3d(scomm, mprime, nrest, bk, lay_v, la::to_vector(pf.V.view()),
+                           lay_bknrest, m2, lay_c, opts.inner.alltoall_alg);
+      la::Matrix VM2 = mm::unpack_rows(lay_c, scomm.rank(), vm2);
+      la::add(-1.0, la::ConstMatrixView(VM2.view()), C);
+      comm.charge_flops(la::flops::add(mp - above, nrest));
+
+      // The updated panel rows (world rows j0..j0+bk) are R's B12 block.
+      la::assign<double>(out.R.block(r_above, j0 + bk, pf.R.rows(), nrest),
+                         la::ConstMatrixView(C).top_rows(pf.R.rows()));
+    }
+  }
+  return out;
+}
+
+}  // namespace qr3d::core

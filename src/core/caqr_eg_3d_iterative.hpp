@@ -1,0 +1,50 @@
+// Right-looking iterative top level (the Section 8.4 extension).
+//
+// "If the full T is not desired, by replacing the top level of recursion
+// with a right-looking iterative qr-eg variant, we can avoid ever computing
+// superdiagonal blocks of T; this does, however, restrict the available
+// parallelism."
+//
+// The matrix is processed in column panels of width b.  Each panel is
+// factored by the full recursive 3D-CAQR-EG (on a rank-renumbered
+// communicator so the panel's rows are shift-0 row-cyclic), the trailing
+// columns are updated with three 3D multiplications (Q_k^H C = C − V_k
+// (T_k^H (V_k^H C))), and only the panel's own b x b kernel is kept:
+// Q = Q_0 Q_1 ... Q_{K-1}, A = Q [R; 0], with T storage sum_k b_k^2 words
+// instead of n^2.
+#pragma once
+
+#include <vector>
+
+#include "core/caqr_eg_3d.hpp"
+
+namespace qr3d::core {
+
+/// Factorization with block-diagonal kernel storage.  All matrices are
+/// row-cyclic with shift 0: V like A; R like A's top n rows; T_blocks[k] is
+/// the k-th panel's kernel with its rows distributed cyclically.
+struct IterativeQr {
+  la::Matrix V;                          ///< m x n basis (unit lower trapezoidal)
+  la::Matrix R;                          ///< n x n R-factor
+  std::vector<la::Matrix> T_blocks;      ///< per-panel kernels (local rows)
+  std::vector<la::index_t> panel_starts; ///< first column of each panel
+
+  la::index_t panel_width(std::size_t k, la::index_t n) const {
+    const la::index_t j0 = panel_starts[k];
+    const la::index_t j1 = k + 1 < panel_starts.size() ? panel_starts[k + 1] : n;
+    return j1 - j0;
+  }
+};
+
+struct IterativeOptions {
+  /// Panel width; 0 derives it from delta like the recursive top level.
+  la::index_t panel = 0;
+  /// Options for the recursive factorization of each panel.
+  CaqrEg3dOptions inner;
+};
+
+/// Collective over `comm`; input contract identical to caqr_eg_3d.
+IterativeQr caqr_eg_3d_iterative(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m,
+                                 la::index_t n, IterativeOptions opts = {});
+
+}  // namespace qr3d::core

@@ -1,0 +1,97 @@
+#include "core/house_1d.hpp"
+
+#include <cmath>
+
+#include "coll/coll.hpp"
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+#include "la/triangular.hpp"
+#include "mm/mm_1d.hpp"
+
+namespace qr3d::core {
+
+DistributedQr house_1d(sim::Comm& comm, la::ConstMatrixView A_local) {
+  const int me = comm.rank();
+  const la::index_t mp = A_local.rows();
+  const la::index_t n = A_local.cols();
+  QR3D_CHECK(mp >= n, "house_1d: every rank needs at least n rows");
+  const bool is_root = me == 0;
+
+  la::Matrix F = la::copy<double>(A_local);
+  la::Matrix V(mp, n);
+  std::vector<double> taus(static_cast<std::size_t>(n), 0.0);
+
+  for (la::index_t j = 0; j < n; ++j) {
+    // Rows of column j at or below the diagonal on this rank: non-roots hold
+    // only rows >= n > j; the root's rows < j hold R and are excluded.
+    const la::index_t lo = is_root ? j : 0;
+
+    // Column norm (1-word all-reduce).
+    std::vector<double> scalars(1, 0.0);
+    for (la::index_t i = lo; i < mp; ++i) scalars[0] += F(i, j) * F(i, j);
+    comm.charge_flops(2.0 * static_cast<double>(mp - lo));
+    coll::all_reduce(comm, scalars);
+
+    // Root turns (alpha, ||x||) into the reflector parameters and shares
+    // them (2-word broadcast): scale for v's tail, tau for the update.
+    scalars.resize(2);
+    if (is_root) {
+      const double normx = std::sqrt(scalars[0]);
+      const double alpha = F(j, j);
+      if (normx == 0.0) {
+        scalars = {0.0, 0.0};
+        F(j, j) = 0.0;
+      } else {
+        const double beta = alpha >= 0.0 ? -normx : normx;
+        scalars = {1.0 / (alpha - beta), (beta - alpha) / beta};
+        F(j, j) = beta;  // R(j, j)
+      }
+    }
+    coll::broadcast(comm, 0, scalars);
+    const double scale = scalars[0];
+    const double tau = scalars[1];
+    taus[static_cast<std::size_t>(j)] = tau;
+
+    // Form v (unit head at the diagonal, held by the root).
+    if (is_root) V(j, j) = 1.0;
+    for (la::index_t i = is_root ? j + 1 : 0; i < mp; ++i) V(i, j) = F(i, j) * scale;
+    comm.charge_flops(static_cast<double>(mp - lo));
+
+    if (tau != 0.0 && j + 1 < n) {
+      // w = v^H * F(:, j+1:) — an (n-j-1)-word all-reduce.
+      std::vector<double> w(static_cast<std::size_t>(n - j - 1), 0.0);
+      for (la::index_t cjj = j + 1; cjj < n; ++cjj) {
+        double s = 0.0;
+        for (la::index_t i = lo; i < mp; ++i) s += V(i, j) * F(i, cjj);
+        w[static_cast<std::size_t>(cjj - j - 1)] = s;
+      }
+      comm.charge_flops(2.0 * static_cast<double>(mp - lo) * static_cast<double>(n - j - 1));
+      coll::all_reduce(comm, w);
+
+      // F(:, j+1:) -= tau * v * w.
+      for (la::index_t cjj = j + 1; cjj < n; ++cjj) {
+        const double twj = tau * w[static_cast<std::size_t>(cjj - j - 1)];
+        for (la::index_t i = lo; i < mp; ++i) F(i, cjj) -= V(i, j) * twj;
+      }
+      comm.charge_flops(2.0 * static_cast<double>(mp - lo) * static_cast<double>(n - j - 1));
+    }
+  }
+
+  DistributedQr out;
+  out.V = std::move(V);
+
+  // T from the distributed Gram matrix G = V^H V (reduced to the root) and
+  // the reflector scalars, via the larft recurrence.
+  la::Matrix G = mm::mm_1d_inner(comm, 0, out.V.view(), out.V.view());
+  if (is_root) {
+    out.T = la::kernel_from_gram(la::ConstMatrixView(G.view()), taus);
+    comm.charge_flops(la::flops::trtri(n));
+    out.R = la::Matrix(n, n);
+    for (la::index_t j = 0; j < n; ++j)
+      for (la::index_t i = 0; i <= j; ++i) out.R(i, j) = F(i, j);
+  }
+  return out;
+}
+
+}  // namespace qr3d::core

@@ -1,0 +1,19 @@
+// 1D-HOUSE (Section 8.1): unblocked right-looking Householder QR on a 1D
+// block-row distribution — the classical baseline of Table 3.
+//
+// Data contract matches TSQR: every rank owns m_p >= n rows; rank 0 owns the
+// leading n rows as its first local rows.  Per column, the norm and the
+// trailing-update inner product are all-reduces, so the critical path costs
+// are Theta(n^2 log P) words and Theta(n log P) messages — the log P
+// bandwidth and Theta(n) latency gaps Table 3 shows against TSQR and
+// 1D-CAQR-EG.
+#pragma once
+
+#include "core/qr_result.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d::core {
+
+DistributedQr house_1d(sim::Comm& comm, la::ConstMatrixView A_local);
+
+}  // namespace qr3d::core

@@ -1,0 +1,191 @@
+#include "core/house_2d.hpp"
+
+#include <cmath>
+
+#include "coll/coll.hpp"
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+#include "la/packing.hpp"
+
+namespace qr3d::core {
+
+namespace detail {
+
+Grid2dCtx make_grid2d_ctx(sim::Comm& comm, const BlockCyclic& bc) {
+  QR3D_CHECK(bc.g.size() == comm.size(), "grid2d: grid must cover the communicator");
+  Grid2dCtx ctx;
+  ctx.bc = bc;
+  ctx.pr = bc.g.row_of(comm.rank());
+  ctx.pc = bc.g.col_of(comm.rank());
+  ctx.row_comm = comm.split(ctx.pr, ctx.pc);  // rank within == pc
+  ctx.col_comm = comm.split(ctx.pc, ctx.pr);  // rank within == pr
+  return ctx;
+}
+
+la::Matrix panel_householder(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, la::index_t j0,
+                             la::index_t jb, la::Matrix& Vpanel) {
+  const BlockCyclic& bc = ctx.bc;
+  const int pc_k = static_cast<int>((j0 / bc.b) % bc.g.c);
+  const int pr_k = static_cast<int>((j0 / bc.b) % bc.g.r);
+  const la::index_t lr0 = bc.local_rows_below(ctx.pr, j0);
+  const la::index_t rows_below = bc.local_rows(ctx.pr) - lr0;
+  la::Matrix Tk(jb, jb);
+  Vpanel = la::Matrix(rows_below, jb);
+  if (ctx.pc != pc_k) return Tk;  // other grid columns idle during the panel
+
+  const la::index_t lj0 = bc.local_cols_before(pc_k, j0);
+  std::vector<double> taus(static_cast<std::size_t>(jb), 0.0);
+
+  for (la::index_t jj = 0; jj < jb; ++jj) {
+    const la::index_t j = j0 + jj;
+    const la::index_t lj = lj0 + jj;
+    const la::index_t lo = bc.local_rows_below(ctx.pr, j);
+    const la::index_t nloc = bc.local_rows(ctx.pr);
+
+    // Column norm below (and including) the diagonal.
+    std::vector<double> scalars(1, 0.0);
+    for (la::index_t li = lo; li < nloc; ++li) scalars[0] += F(li, lj) * F(li, lj);
+    comm.charge_flops(2.0 * static_cast<double>(nloc - lo));
+    coll::all_reduce(ctx.col_comm, scalars);
+
+    // The diagonal owner (grid row pr_k for the whole panel) computes the
+    // reflector parameters and broadcasts (scale, tau).
+    scalars.resize(2);
+    if (ctx.pr == pr_k) {
+      const double normx = std::sqrt(scalars[0]);
+      const la::index_t ldiag = bc.lrow(j);
+      const double alpha = F(ldiag, lj);
+      if (normx == 0.0) {
+        scalars = {0.0, 0.0};
+        F(ldiag, lj) = 0.0;
+      } else {
+        const double beta = alpha >= 0.0 ? -normx : normx;
+        scalars = {1.0 / (alpha - beta), (beta - alpha) / beta};
+        F(ldiag, lj) = beta;
+      }
+    }
+    coll::broadcast(ctx.col_comm, pr_k, scalars);
+    const double scale = scalars[0];
+    const double tau = scalars[1];
+    taus[static_cast<std::size_t>(jj)] = tau;
+
+    // Scale the reflector tail in place (strictly below the diagonal).
+    const la::index_t tail = (ctx.pr == pr_k) ? bc.lrow(j) + 1 : lo;
+    for (la::index_t li = tail; li < nloc; ++li) F(li, lj) *= scale;
+    comm.charge_flops(static_cast<double>(nloc - tail));
+
+    if (tau != 0.0 && jj + 1 < jb) {
+      // w = v^H * F(:, remaining panel columns); all-reduce down the column.
+      std::vector<double> w(static_cast<std::size_t>(jb - jj - 1), 0.0);
+      for (la::index_t cj = jj + 1; cj < jb; ++cj) {
+        double s = (ctx.pr == pr_k) ? F(bc.lrow(j), lj0 + cj) : 0.0;  // v's unit head
+        for (la::index_t li = tail; li < nloc; ++li) s += F(li, lj) * F(li, lj0 + cj);
+        w[static_cast<std::size_t>(cj - jj - 1)] = s;
+      }
+      comm.charge_flops(2.0 * static_cast<double>(nloc - tail) * static_cast<double>(jb - jj - 1));
+      coll::all_reduce(ctx.col_comm, w);
+      for (la::index_t cj = jj + 1; cj < jb; ++cj) {
+        const double twj = tau * w[static_cast<std::size_t>(cj - jj - 1)];
+        if (ctx.pr == pr_k) F(bc.lrow(j), lj0 + cj) -= twj;
+        for (la::index_t li = tail; li < nloc; ++li) F(li, lj0 + cj) -= F(li, lj) * twj;
+      }
+      comm.charge_flops(2.0 * static_cast<double>(nloc - tail) * static_cast<double>(jb - jj - 1));
+    }
+  }
+
+  // Explicit panel reflectors (unit diagonal, zeros above).
+  for (la::index_t li = 0; li < rows_below; ++li) {
+    const la::index_t i = bc.grow(ctx.pr, lr0 + li);
+    for (la::index_t jj = 0; jj < jb; ++jj) {
+      const la::index_t j = j0 + jj;
+      if (i > j) Vpanel(li, jj) = F(lr0 + li, lj0 + jj);
+      else if (i == j) Vpanel(li, jj) = 1.0;
+    }
+  }
+
+  // T from G = V^H V (all-reduce over the column; every column rank builds T
+  // via the larft recurrence, which handles tau = 0 columns).
+  la::Matrix G = la::multiply<double>(la::Op::ConjTrans, Vpanel.view(), la::Op::NoTrans,
+                                      Vpanel.view());
+  comm.charge_flops(la::flops::gemm(jb, jb, rows_below));
+  std::vector<double> gflat = la::to_vector(G.view());
+  coll::all_reduce(ctx.col_comm, gflat);
+  G = la::from_vector(jb, jb, gflat);
+  Tk = la::kernel_from_gram(la::ConstMatrixView(G.view()), taus);
+  comm.charge_flops(la::flops::trtri(jb));
+  return Tk;
+}
+
+void trailing_update(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, const la::Matrix& Vpanel,
+                     la::Matrix& Tk, la::index_t j0, la::index_t jb) {
+  const BlockCyclic& bc = ctx.bc;
+  const int pc_k = static_cast<int>((j0 / bc.b) % bc.g.c);
+  const la::index_t lr0 = bc.local_rows_below(ctx.pr, j0);
+  const la::index_t rows_below = bc.local_rows(ctx.pr) - lr0;
+  const la::index_t lc0 = bc.local_cols_before(ctx.pc, j0 + jb);
+  const la::index_t ncl = bc.local_cols(ctx.pc) - lc0;
+
+  // Broadcast V (this grid row's panel rows) and T along the grid row.
+  std::vector<double> vflat(static_cast<std::size_t>(rows_below * jb));
+  if (ctx.pc == pc_k) vflat = la::to_vector(Vpanel.view());
+  coll::broadcast(ctx.row_comm, pc_k, vflat);
+  la::Matrix V = la::from_vector(rows_below, jb, vflat);
+
+  std::vector<double> tflat(static_cast<std::size_t>(jb * jb));
+  if (ctx.pc == pc_k) tflat = la::to_vector(Tk.view());
+  coll::broadcast(ctx.row_comm, pc_k, tflat);
+  Tk = la::from_vector(jb, jb, tflat);
+
+  // Every member of a grid column has the same ncl, so columns with no
+  // trailing data skip the column reduction as a group (no schedule skew).
+  if (ncl == 0) return;
+
+  // W = V^H * C, summed down the grid column.
+  la::MatrixView C = F.block(lr0, lc0, rows_below, ncl);
+  la::Matrix W = la::multiply<double>(la::Op::ConjTrans, V.view(), la::Op::NoTrans,
+                                      la::ConstMatrixView(C));
+  comm.charge_flops(la::flops::gemm(jb, ncl, rows_below));
+  std::vector<double> wflat = la::to_vector(W.view());
+  coll::all_reduce(ctx.col_comm, wflat);
+  W = la::from_vector(jb, ncl, wflat);
+
+  // W := T^H W;  C -= V W.   (Q_k^H = I - V T^H V^H.)
+  la::trmm(la::Side::Left, la::Uplo::Upper, la::Op::ConjTrans, la::Diag::NonUnit, 1.0, Tk.view(),
+           W.view());
+  la::gemm(-1.0, la::Op::NoTrans, la::ConstMatrixView(V.view()), la::Op::NoTrans,
+           la::ConstMatrixView(W.view()), 1.0, C);
+  comm.charge_flops(la::flops::trmm(jb, ncl) + la::flops::gemm(rows_below, ncl, jb));
+}
+
+}  // namespace detail
+
+Grid2dQr house_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+                  House2dOptions opts) {
+  QR3D_CHECK(m >= n && n >= 1, "house_2d: need m >= n >= 1");
+  const int P = comm.size();
+  ProcGrid2 grid = (opts.grid_r > 0 && opts.grid_c > 0)
+                       ? ProcGrid2{opts.grid_r, opts.grid_c}
+                       : ProcGrid2::choose(m, n, P);
+  QR3D_CHECK(grid.size() == P, "house_2d: grid must use all ranks");
+  BlockCyclic bc{m, n, std::max<la::index_t>(1, opts.b), grid};
+
+  detail::Grid2dCtx ctx = detail::make_grid2d_ctx(comm, bc);
+  QR3D_CHECK(A_local.rows() == bc.local_rows(ctx.pr) && A_local.cols() == bc.local_cols(ctx.pc),
+             "house_2d: local block shape mismatch");
+
+  Grid2dQr out;
+  out.layout = bc;
+  out.local = la::copy<double>(A_local);
+
+  for (la::index_t j0 = 0; j0 < n; j0 += bc.b) {
+    const la::index_t jb = std::min(bc.b, n - j0);
+    la::Matrix Vpanel;
+    la::Matrix Tk = detail::panel_householder(comm, ctx, out.local, j0, jb, Vpanel);
+    detail::trailing_update(comm, ctx, out.local, Vpanel, Tk, j0, jb);
+    out.T.push_back(std::move(Tk));
+  }
+  return out;
+}
+
+}  // namespace qr3d::core

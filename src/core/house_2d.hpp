@@ -1,0 +1,69 @@
+// 2D-HOUSE (Section 8.1): blocked right-looking Householder QR on a 2D
+// block-cyclic layout — the ScaLAPACK-style (PDGEQRF) baseline of Table 2.
+//
+// The matrix lives in b x b block-cyclic layout on an r x c grid (c =
+// Theta((nP/m)^(1/2)) by default).  Each panel of b columns is factored
+// column-by-column down its grid column (all-reduces over the column
+// communicator), then the trailing matrix is updated with the compact-WY
+// form: V broadcast along grid rows, W = V^H C reduced along grid columns.
+// With b = Theta(1) this attains Table 2's row 1: n^2/(nP/m)^(1/2) words but
+// Theta(n log P) messages — the latency that CAQR and 3D-CAQR-EG remove.
+#pragma once
+
+#include <vector>
+
+#include "core/block_cyclic.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d::core {
+
+/// Output of the 2D algorithms: the factored matrix in local block-cyclic
+/// storage (R on/above the diagonal, Householder vectors below), plus one
+/// replicated kernel per panel.  Q = prod_k (I - V_k T_k V_k^H).
+struct Grid2dQr {
+  BlockCyclic layout;
+  la::Matrix local;            ///< this rank's factored entries
+  std::vector<la::Matrix> T;   ///< per-panel kernels (replicated)
+};
+
+struct House2dOptions {
+  la::index_t b = 1;  ///< algorithmic = distribution block size (paper: Theta(1))
+  int grid_r = 0;     ///< 0 = choose per Section 8.1
+  int grid_c = 0;
+};
+
+/// Collective over `comm`.  A_local is this rank's block-cyclic local matrix
+/// (rows/cols sorted by global index) for the layout implied by the options.
+Grid2dQr house_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+                  House2dOptions opts = {});
+
+namespace detail {
+
+/// Per-rank context for the 2D algorithms' communicators.
+struct Grid2dCtx {
+  BlockCyclic bc;
+  int pr = 0;
+  int pc = 0;
+  sim::Comm row_comm;  ///< my grid row, ranks ordered by pc
+  sim::Comm col_comm;  ///< my grid column, ranks ordered by pr
+};
+
+Grid2dCtx make_grid2d_ctx(sim::Comm& comm, const BlockCyclic& bc);
+
+/// Factor panel k (columns [j0, j0+jb)) in place, column by column
+/// (house_2d's panel; also caqr_2d's fallback).  Returns the replicated
+/// T kernel; fills Vpanel with this rank's explicit panel reflectors
+/// (rows >= j0).  Only grid-column pc_k ranks compute; everyone gets T via
+/// the row broadcast done by the caller's trailing update.
+la::Matrix panel_householder(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, la::index_t j0,
+                             la::index_t jb, la::Matrix& Vpanel);
+
+/// Apply (I - V T^H V^H)^H ... i.e. Q_k^H to the trailing columns >= j0+jb:
+/// row-broadcast of V and T from grid column pc_k, column all-reduce of
+/// W = V^H C, local update.  Collective over the whole grid.
+void trailing_update(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, const la::Matrix& Vpanel,
+                     la::Matrix& Tk, la::index_t j0, la::index_t jb);
+
+}  // namespace detail
+
+}  // namespace qr3d::core

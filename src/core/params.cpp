@@ -1,0 +1,42 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qr3d::core {
+
+int log2_ceil(int P) {
+  int l = 0;
+  while ((1 << l) < P) ++l;
+  return std::max(1, l);
+}
+
+namespace {
+
+la::index_t clamp_block(double b, la::index_t n) {
+  if (!(b >= 1.0)) return 1;
+  return std::min<la::index_t>(n, static_cast<la::index_t>(std::ceil(b)));
+}
+
+}  // namespace
+
+la::index_t block_size_1d(la::index_t n, int P, double epsilon) {
+  QR3D_CHECK(n >= 1 && P >= 1, "block_size_1d: bad arguments");
+  const double L = static_cast<double>(log2_ceil(P));
+  return clamp_block(static_cast<double>(n) / std::pow(L, epsilon), n);
+}
+
+la::index_t block_size_3d(la::index_t m, la::index_t n, int P, double delta) {
+  QR3D_CHECK(m >= n && n >= 1 && P >= 1, "block_size_3d: bad arguments");
+  const double ratio = static_cast<double>(n) * P / static_cast<double>(m);
+  if (ratio <= 1.0) return n;  // taller than P-to-1 aspect: base case directly
+  return clamp_block(static_cast<double>(n) / std::pow(ratio, delta), n);
+}
+
+la::index_t base_block_size_3d(la::index_t b, int P, double epsilon) {
+  QR3D_CHECK(b >= 1 && P >= 1, "base_block_size_3d: bad arguments");
+  const double L = static_cast<double>(log2_ceil(P));
+  return clamp_block(static_cast<double>(b) / std::pow(L, epsilon), b);
+}
+
+}  // namespace qr3d::core

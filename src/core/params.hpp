@@ -1,0 +1,30 @@
+// Block-size (recursion threshold) selection — Equations (10) and (12).
+//
+//   1D-CAQR-EG: b  = Theta(n / (log P)^epsilon)         [Eq. 10]
+//   3D-CAQR-EG: b  = Theta(n / (nP/m)^delta),
+//               b* = Theta(b / (log P)^epsilon)         [Eq. 12]
+//
+// epsilon in [0, 1] trades bandwidth for latency in the 1D algorithm
+// (epsilon = 1 proves Theorem 2); delta in [1/2, 2/3] does the same for the
+// 3D algorithm (Theorem 1).  Values are clamped to [1, n]; b = n means
+// "invoke the base case immediately" (the sensible reading of epsilon < 0 /
+// delta <= 0 discussed in Sections 6.3 and 7.3).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace qr3d::core {
+
+/// ceil(log2(P)), at least 1.
+int log2_ceil(int P);
+
+/// Eq. (10): b = n / (log2 P)^epsilon, clamped to [1, n].
+la::index_t block_size_1d(la::index_t n, int P, double epsilon);
+
+/// Eq. (12) first part: b = n / (nP/m)^delta, clamped to [1, n].
+la::index_t block_size_3d(la::index_t m, la::index_t n, int P, double delta);
+
+/// Eq. (12) second part: b* = b / (log2 P)^epsilon, clamped to [1, b].
+la::index_t base_block_size_3d(la::index_t b, int P, double epsilon);
+
+}  // namespace qr3d::core

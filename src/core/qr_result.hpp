@@ -1,0 +1,24 @@
+// Result types shared by the distributed QR algorithms.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace qr3d::core {
+
+/// Result of a 1D (block-row distributed) QR: TSQR, 1D-CAQR-EG, 1D-HOUSE.
+/// V is stored in Householder representation, Q = I - V T V^H, A = Q [R; 0].
+struct DistributedQr {
+  la::Matrix V;  ///< this rank's rows of the m x n basis (distributed like A)
+  la::Matrix T;  ///< n x n upper-triangular kernel; root rank only
+  la::Matrix R;  ///< n x n upper-triangular R-factor; root rank only
+};
+
+/// Result of 3D-CAQR-EG: everything row-cyclic (Section 7's output spec).
+/// V's rows are distributed like A's; T and R like A's top n rows.
+struct CyclicQr {
+  la::Matrix V;  ///< local rows of the m x n basis, CyclicRows(m, n, P)
+  la::Matrix T;  ///< local rows of the n x n kernel, CyclicRows(n, n, P)
+  la::Matrix R;  ///< local rows of the n x n R-factor, CyclicRows(n, n, P)
+};
+
+}  // namespace qr3d::core

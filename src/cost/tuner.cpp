@@ -1,0 +1,38 @@
+#include "cost/tuner.hpp"
+
+namespace qr3d::cost {
+
+Tuned3d tune_3d(double m, double n, int P, const sim::CostParams& machine, int steps) {
+  Tuned3d best;
+  double best_time = -1.0;
+  for (int i = 0; i < steps; ++i) {
+    const double delta = static_cast<double>(i) / (steps - 1);
+    for (int j = 0; j < steps; ++j) {
+      const double eps = static_cast<double>(j) / (steps - 1);
+      const Costs c = caqr_eg_3d(m, n, P, delta, eps);
+      const double t = c.time(machine);
+      if (best_time < 0.0 || t < best_time) {
+        best_time = t;
+        best = Tuned3d{delta, eps, c};
+      }
+    }
+  }
+  return best;
+}
+
+Tuned1d tune_1d(double m, double n, int P, const sim::CostParams& machine, int steps) {
+  Tuned1d best;
+  double best_time = -1.0;
+  for (int j = 0; j < steps; ++j) {
+    const double eps = static_cast<double>(j) / (steps - 1);
+    const Costs c = caqr_eg_1d(m, n, P, eps);
+    const double t = c.time(machine);
+    if (best_time < 0.0 || t < best_time) {
+      best_time = t;
+      best = Tuned1d{eps, c};
+    }
+  }
+  return best;
+}
+
+}  // namespace qr3d::cost

@@ -1,0 +1,33 @@
+// Machine-aware parameter tuning (the paper's opening promise: "by varying a
+// parameter ... we can tune this algorithm for machines with different
+// communication costs").
+//
+// Grid-searches the tradeoff parameters over their analyzed ranges against
+// the closed-form model of cost/model.hpp under a given alpha-beta-gamma
+// profile, returning the predicted-optimal (delta, epsilon) — or epsilon
+// alone for tall-skinny problems that call 1D-CAQR-EG directly.
+#pragma once
+
+#include "cost/model.hpp"
+
+namespace qr3d::cost {
+
+struct Tuned3d {
+  double delta = 2.0 / 3.0;
+  double epsilon = 1.0;
+  Costs predicted;
+};
+
+struct Tuned1d {
+  double epsilon = 1.0;
+  Costs predicted;
+};
+
+/// Best (delta, epsilon) for 3D-CAQR-EG on (m, n, P) under `machine`;
+/// delta in [0, 1], epsilon in [0, 1] on a `steps`-point grid.
+Tuned3d tune_3d(double m, double n, int P, const sim::CostParams& machine, int steps = 33);
+
+/// Best epsilon for 1D-CAQR-EG (tall-skinny direct call).
+Tuned1d tune_1d(double m, double n, int P, const sim::CostParams& machine, int steps = 33);
+
+}  // namespace qr3d::cost

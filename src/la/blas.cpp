@@ -1,0 +1,185 @@
+#include "la/blas.hpp"
+
+#include <complex>
+
+namespace qr3d::la {
+
+namespace {
+
+template <class T>
+T elem(ConstMatrixViewT<T> A, Op op, index_t i, index_t j) {
+  return op == Op::NoTrans ? A(i, j) : conj_if(A(j, i));
+}
+
+}  // namespace
+
+template <class T>
+void gemm(T alpha, Op opa, arg<ConstMatrixViewT<T>> A, Op opb, arg<ConstMatrixViewT<T>> B,
+          T beta, arg<MatrixViewT<T>> C) {
+  const index_t m = C.rows();
+  const index_t n = C.cols();
+  const index_t k = (opa == Op::NoTrans) ? A.cols() : A.rows();
+  const index_t am = (opa == Op::NoTrans) ? A.rows() : A.cols();
+  const index_t bk = (opb == Op::NoTrans) ? B.rows() : B.cols();
+  const index_t bn = (opb == Op::NoTrans) ? B.cols() : B.rows();
+  QR3D_CHECK(am == m && bk == k && bn == n, "gemm shape mismatch");
+
+  if (beta == T{0}) {
+    set_zero(C);
+  } else if (beta != T{1}) {
+    scale(beta, C);
+  }
+  if (alpha == T{0} || k == 0) return;
+
+  // Column-major friendly: accumulate into column j of C.
+  if (opa == Op::NoTrans) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t l = 0; l < k; ++l) {
+        const T blj = alpha * elem(B, opb, l, j);
+        if (blj == T{0}) continue;
+        for (index_t i = 0; i < m; ++i) C(i, j) += A(i, l) * blj;
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        T s{};
+        for (index_t l = 0; l < k; ++l) s += conj_if(A(l, i)) * elem(B, opb, l, j);
+        C(i, j) += alpha * s;
+      }
+    }
+  }
+}
+
+template <class T>
+void trmm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<T>> Tri,
+          arg<MatrixViewT<T>> B) {
+  const index_t n = Tri.rows();
+  QR3D_CHECK(Tri.cols() == n, "trmm: triangle must be square");
+  QR3D_CHECK((side == Side::Left ? B.rows() : B.cols()) == n, "trmm shape mismatch");
+
+  // Effective orientation of the triangle after op: ConjTrans flips Upper<->Lower.
+  const bool eff_upper = (uplo == Uplo::Upper) == (op == Op::NoTrans);
+  auto t = [&](index_t i, index_t j) -> T {
+    if (diag == Diag::Unit && i == j) return T{1};
+    return op == Op::NoTrans ? Tri(i, j) : conj_if(Tri(j, i));
+  };
+
+  if (side == Side::Left) {
+    // B := alpha * op(Tri) * B.  Process each column independently.
+    for (index_t j = 0; j < B.cols(); ++j) {
+      if (eff_upper) {
+        for (index_t i = 0; i < n; ++i) {
+          T s{};
+          for (index_t l = i; l < n; ++l) s += t(i, l) * B(l, j);
+          B(i, j) = alpha * s;
+        }
+      } else {
+        for (index_t i = n - 1; i >= 0; --i) {
+          T s{};
+          for (index_t l = 0; l <= i; ++l) s += t(i, l) * B(l, j);
+          B(i, j) = alpha * s;
+        }
+      }
+    }
+  } else {
+    // B := alpha * B * op(Tri).  Process each row independently.
+    for (index_t i = 0; i < B.rows(); ++i) {
+      if (eff_upper) {
+        for (index_t j = n - 1; j >= 0; --j) {
+          T s{};
+          for (index_t l = 0; l <= j; ++l) s += B(i, l) * t(l, j);
+          B(i, j) = alpha * s;
+        }
+      } else {
+        for (index_t j = 0; j < n; ++j) {
+          T s{};
+          for (index_t l = j; l < n; ++l) s += B(i, l) * t(l, j);
+          B(i, j) = alpha * s;
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<T>> Tri,
+          arg<MatrixViewT<T>> B) {
+  const index_t n = Tri.rows();
+  QR3D_CHECK(Tri.cols() == n, "trsm: triangle must be square");
+  QR3D_CHECK((side == Side::Left ? B.rows() : B.cols()) == n, "trsm shape mismatch");
+
+  const bool eff_upper = (uplo == Uplo::Upper) == (op == Op::NoTrans);
+  auto t = [&](index_t i, index_t j) -> T {
+    if (diag == Diag::Unit && i == j) return T{1};
+    return op == Op::NoTrans ? Tri(i, j) : conj_if(Tri(j, i));
+  };
+
+  if (alpha != T{1}) scale(alpha, B);
+
+  if (side == Side::Left) {
+    // Solve op(Tri) * X = B column by column.
+    for (index_t j = 0; j < B.cols(); ++j) {
+      if (eff_upper) {
+        for (index_t i = n - 1; i >= 0; --i) {
+          T s = B(i, j);
+          for (index_t l = i + 1; l < n; ++l) s -= t(i, l) * B(l, j);
+          B(i, j) = (diag == Diag::Unit) ? s : s / t(i, i);
+        }
+      } else {
+        for (index_t i = 0; i < n; ++i) {
+          T s = B(i, j);
+          for (index_t l = 0; l < i; ++l) s -= t(i, l) * B(l, j);
+          B(i, j) = (diag == Diag::Unit) ? s : s / t(i, i);
+        }
+      }
+    }
+  } else {
+    // Solve X * op(Tri) = B row by row.
+    for (index_t i = 0; i < B.rows(); ++i) {
+      if (eff_upper) {
+        for (index_t j = 0; j < n; ++j) {
+          T s = B(i, j);
+          for (index_t l = 0; l < j; ++l) s -= B(i, l) * t(l, j);
+          B(i, j) = (diag == Diag::Unit) ? s : s / t(j, j);
+        }
+      } else {
+        for (index_t j = n - 1; j >= 0; --j) {
+          T s = B(i, j);
+          for (index_t l = j + 1; l < n; ++l) s -= B(i, l) * t(l, j);
+          B(i, j) = (diag == Diag::Unit) ? s : s / t(j, j);
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+void add(T alpha, arg<ConstMatrixViewT<T>> A, arg<MatrixViewT<T>> B) {
+  QR3D_CHECK(A.rows() == B.rows() && A.cols() == B.cols(), "add shape mismatch");
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i) B(i, j) += alpha * A(i, j);
+}
+
+template <class T>
+void scale(T alpha, arg<MatrixViewT<T>> A) {
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i) A(i, j) *= alpha;
+}
+
+#define QR3D_INSTANTIATE_BLAS(T)                                                              \
+  template void gemm<T>(T, Op, arg<ConstMatrixViewT<T>>, Op, arg<ConstMatrixViewT<T>>, T,     \
+                        arg<MatrixViewT<T>>);                                                 \
+  template void trmm<T>(Side, Uplo, Op, Diag, T, arg<ConstMatrixViewT<T>>,                    \
+                        arg<MatrixViewT<T>>);                                                 \
+  template void trsm<T>(Side, Uplo, Op, Diag, T, arg<ConstMatrixViewT<T>>,                    \
+                        arg<MatrixViewT<T>>);                                                 \
+  template void add<T>(T, arg<ConstMatrixViewT<T>>, arg<MatrixViewT<T>>);                     \
+  template void scale<T>(T, arg<MatrixViewT<T>>);
+
+QR3D_INSTANTIATE_BLAS(double)
+QR3D_INSTANTIATE_BLAS(std::complex<double>)
+
+#undef QR3D_INSTANTIATE_BLAS
+
+}  // namespace qr3d::la

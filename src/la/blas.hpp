@@ -1,0 +1,63 @@
+// BLAS-like dense kernels (reference implementations, column-major).
+//
+// These are the local building blocks the paper assumes from (P)BLAS: general
+// matrix multiply, triangular multiply/solve, and entrywise updates.  They
+// are deliberately simple O(mnk) loops — the reproduction measures costs in
+// the alpha-beta-gamma model, so kernel micro-tuning is out of scope (the
+// loop order is still cache-reasonable for column-major data).
+#pragma once
+
+#include <type_traits>
+
+#include "la/matrix.hpp"
+
+namespace qr3d::la {
+
+enum class Op { NoTrans, ConjTrans };
+enum class Side { Left, Right };
+enum class Uplo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+
+// View parameters are wrapped in std::type_identity_t so they do not
+// participate in template-argument deduction: T is fixed by the scalar
+// argument (or given explicitly), and owning matrices / mutable views convert
+// implicitly to the const views the kernels expect.
+template <class X>
+using arg = std::type_identity_t<X>;
+
+/// C := alpha * op(A) * op(B) + beta * C.
+template <class T>
+void gemm(T alpha, Op opa, arg<ConstMatrixViewT<T>> A, Op opb, arg<ConstMatrixViewT<T>> B, T beta,
+          arg<MatrixViewT<T>> C);
+
+/// B := alpha * op(Tri) * B (Side::Left) or alpha * B * op(Tri) (Side::Right),
+/// where Tri is triangular as described by (uplo, diag).
+template <class T>
+void trmm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<T>> Tri,
+          arg<MatrixViewT<T>> B);
+
+/// Solve op(Tri) * X = alpha * B (Side::Left) or X * op(Tri) = alpha * B
+/// (Side::Right) for X, overwriting B.
+template <class T>
+void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<T>> Tri,
+          arg<MatrixViewT<T>> B);
+
+/// B += alpha * A (entrywise).
+template <class T>
+void add(T alpha, arg<ConstMatrixViewT<T>> A, arg<MatrixViewT<T>> B);
+
+/// A *= alpha (entrywise).
+template <class T>
+void scale(T alpha, arg<MatrixViewT<T>> A);
+
+/// Convenience: owning-matrix product op(A)*op(B).  Call as multiply<T>(...).
+template <class T>
+MatrixT<T> multiply(Op opa, arg<ConstMatrixViewT<T>> A, Op opb, arg<ConstMatrixViewT<T>> B) {
+  index_t m = (opa == Op::NoTrans) ? A.rows() : A.cols();
+  index_t n = (opb == Op::NoTrans) ? B.cols() : B.rows();
+  MatrixT<T> C(m, n);
+  gemm(T{1}, opa, A, opb, B, T{0}, C.view());
+  return C;
+}
+
+}  // namespace qr3d::la

@@ -1,0 +1,43 @@
+// Precondition checking for the qr3d library.
+//
+// All public entry points validate their arguments with QR3D_CHECK and throw
+// std::invalid_argument on violation; internal consistency assumptions use
+// QR3D_ASSERT and throw std::logic_error.  Exceptions (rather than abort)
+// keep the simulated-machine threads unwound cleanly in tests.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qr3d {
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "qr3d precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_logic(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "qr3d internal invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+#define QR3D_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) ::qr3d::detail::throw_invalid(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define QR3D_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) ::qr3d::detail::throw_logic(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+}  // namespace qr3d

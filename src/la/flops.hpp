@@ -1,0 +1,38 @@
+// Standard floating-point operation counts for the kernels in la/.
+//
+// Distributed algorithms charge these counts to the simulated machine's cost
+// clocks (sim::Comm::charge_flops) right after invoking the corresponding
+// kernel, so the simulator's arithmetic critical path reflects the paper's
+// #operations metric (Section 3) rather than wall-clock noise.
+#pragma once
+
+#include <cstdint>
+
+namespace qr3d::la::flops {
+
+using count_t = double;  // counts overflow int64 for large sweeps; double is exact enough
+
+/// C (m x n) += A (m x k) * B (k x n): mnk multiplies + mnk adds.
+inline count_t gemm(count_t m, count_t n, count_t k) { return 2.0 * m * n * k; }
+
+/// Triangular multiply / solve with an n x n triangle against m vectors.
+inline count_t trmm(count_t n, count_t m) { return n * n * m; }
+inline count_t trsm(count_t n, count_t m) { return n * n * m; }
+
+/// Householder QR of an m x n (m >= n) panel, R + V + T (dgeqrt-style).
+inline count_t geqrt(count_t m, count_t n) { return 2.0 * m * n * n + n * n * n / 3.0; }
+
+/// LU (no pivoting) of an n x n matrix.
+inline count_t lu(count_t n) { return 2.0 / 3.0 * n * n * n; }
+
+/// Inversion of an n x n triangular matrix.
+inline count_t trtri(count_t n) { return n * n * n / 3.0; }
+
+/// Apply Q = I - V T V^H (V: m x k basis, T: k x k kernel) to m x c columns:
+/// two gemms plus one trmm (LAPACK larfb).
+inline count_t larfb(count_t m, count_t k, count_t c) { return 4.0 * m * k * c + k * k * c; }
+
+/// Entrywise add/subtract of an m x n matrix.
+inline count_t add(count_t m, count_t n) { return m * n; }
+
+}  // namespace qr3d::la::flops

@@ -1,0 +1,184 @@
+#include "la/householder.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "la/triangular.hpp"
+
+namespace qr3d::la {
+
+namespace {
+
+template <class T>
+double abs_of(const T& x) {
+  return std::abs(x);
+}
+
+/// sgn(z) = z/|z| with sgn(0) = 1, per the paper's convention in Appendix C.
+template <class T>
+T sgn(const T& z) {
+  const double a = abs_of(z);
+  return a == 0.0 ? T{1} : z / T{a};
+}
+
+/// Generate a Householder reflector for the vector x = A(j:m, j), in place:
+/// on return A(j,j) = beta (the R diagonal entry), A(j+1:m, j) holds the
+/// reflector tail v (v_0 = 1 implicit), and tau is returned.
+/// H = I - tau*v*v^H maps x to beta*e1 with beta = -sgn(x_0)*||x||.
+template <class T>
+T make_reflector(MatrixViewT<T> A, index_t j) {
+  const index_t m = A.rows();
+  const T alpha = A(j, j);
+  double norm2 = 0.0;
+  for (index_t i = j; i < m; ++i) norm2 += std::norm(std::complex<double>(A(i, j)));
+  const double normx = std::sqrt(norm2);
+  if (normx == 0.0) {
+    A(j, j) = T{0};
+    return T{0};
+  }
+  const T beta = -sgn(alpha) * T{normx};
+  const T tau = (beta - alpha) / beta;
+  const T scale = T{1} / (alpha - beta);
+  for (index_t i = j + 1; i < m; ++i) A(i, j) *= scale;
+  A(j, j) = beta;
+  return tau;
+}
+
+/// Apply H = I - tau*v*v^H (v packed in column j of A, unit head at row j)
+/// to A(j:m, j+1:n).
+template <class T>
+void apply_reflector(MatrixViewT<T> A, index_t j, T tau) {
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  if (tau == T{0}) return;
+  for (index_t c = j + 1; c < n; ++c) {
+    T w = A(j, c);  // v_0 = 1
+    for (index_t i = j + 1; i < m; ++i) w += conj_if(A(i, j)) * A(i, c);
+    w *= tau;
+    A(j, c) -= w;
+    for (index_t i = j + 1; i < m; ++i) A(i, c) -= A(i, j) * w;
+  }
+}
+
+}  // namespace
+
+template <class T>
+void geqrt(MatrixViewT<T> A, MatrixViewT<T> Tk) {
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  QR3D_CHECK(m >= n, "geqrt requires m >= n");
+  QR3D_CHECK(Tk.rows() == n && Tk.cols() == n, "geqrt: T must be n x n");
+
+  std::vector<T> tau(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    tau[j] = make_reflector(A, j);
+    apply_reflector(A, j, tau[j]);
+  }
+
+  // larft, forward column-wise: T(0:j, j) = -tau_j * T(0:j,0:j) * (V(:,0:j)^H v_j).
+  set_zero(Tk);
+  for (index_t j = 0; j < n; ++j) {
+    Tk(j, j) = tau[j];
+    if (j == 0 || tau[j] == T{0}) continue;
+    std::vector<T> z(static_cast<std::size_t>(j));
+    for (index_t l = 0; l < j; ++l) {
+      // v_j has unit head at row j, zeros above; V(:,l) has explicit entries
+      // below row l and unit head at row l (rows < j of v_j contribute nothing).
+      T s = conj_if(A(j, l));  // row j of column l times v_j's unit head
+      for (index_t i = j + 1; i < m; ++i) s += conj_if(A(i, l)) * A(i, j);
+      z[l] = s;
+    }
+    for (index_t i = 0; i < j; ++i) {
+      T s{};
+      for (index_t l = i; l < j; ++l) s += Tk(i, l) * z[l];
+      Tk(i, j) = -tau[j] * s;
+    }
+  }
+}
+
+template <class T>
+MatrixT<T> extract_v(ConstMatrixViewT<T> f) {
+  const index_t m = f.rows();
+  const index_t n = f.cols();
+  MatrixT<T> V(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    V(j, j) = T{1};
+    for (index_t i = j + 1; i < m; ++i) V(i, j) = f(i, j);
+  }
+  return V;
+}
+
+template <class T>
+MatrixT<T> extract_r(ConstMatrixViewT<T> f) {
+  const index_t n = f.cols();
+  MatrixT<T> R(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j && i < f.rows(); ++i) R(i, j) = f(i, j);
+  return R;
+}
+
+template <class T>
+QrFactorsT<T> qr_factor(ConstMatrixViewT<T> A) {
+  MatrixT<T> F = copy(A);
+  MatrixT<T> Tk(A.cols(), A.cols());
+  geqrt(F.view(), Tk.view());
+  return QrFactorsT<T>{extract_v<T>(F.view()), std::move(Tk), extract_r<T>(F.view())};
+}
+
+template <class T>
+void apply_q(ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tk, Op op, MatrixViewT<T> C) {
+  const index_t k = V.cols();
+  QR3D_CHECK(V.rows() == C.rows(), "apply_q: row mismatch");
+  QR3D_CHECK(Tk.rows() == k && Tk.cols() == k, "apply_q: kernel shape");
+  if (k == 0 || C.cols() == 0) return;
+  // W = V^H C;  W = op(T) W;  C -= V W.
+  MatrixT<T> W = multiply<T>(Op::ConjTrans, V, Op::NoTrans, ConstMatrixViewT<T>(C));
+  trmm(Side::Left, Uplo::Upper, op, Diag::NonUnit, T{1}, Tk, W.view());
+  gemm(T{-1}, Op::NoTrans, V, Op::NoTrans, ConstMatrixViewT<T>(W.view()), T{1}, C);
+}
+
+template <class T>
+MatrixT<T> recompute_t(ConstMatrixViewT<T> V) {
+  const index_t n = V.cols();
+  MatrixT<T> G = multiply<T>(Op::ConjTrans, V, Op::NoTrans, V);
+  MatrixT<T> Tinv(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    Tinv(j, j) = G(j, j) / T{2};
+    for (index_t i = 0; i < j; ++i) Tinv(i, j) = G(i, j);
+  }
+  return invert_triangular(Uplo::Upper, Diag::NonUnit, ConstMatrixViewT<T>(Tinv.view()));
+}
+
+Matrix kernel_from_gram(ConstMatrixView G, const std::vector<double>& taus) {
+  const index_t n = G.rows();
+  QR3D_CHECK(G.cols() == n && static_cast<index_t>(taus.size()) == n,
+             "kernel_from_gram: shape mismatch");
+  Matrix Tk(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    const double tau = taus[static_cast<std::size_t>(j)];
+    Tk(j, j) = tau;
+    if (tau == 0.0) continue;
+    for (index_t i = 0; i < j; ++i) {
+      double s = 0.0;
+      for (index_t l = i; l < j; ++l) s += Tk(i, l) * G(l, j);
+      Tk(i, j) = -tau * s;
+    }
+  }
+  return Tk;
+}
+
+#define QR3D_INSTANTIATE_HH(T)                                                   \
+  template void geqrt<T>(MatrixViewT<T>, MatrixViewT<T>);                        \
+  template QrFactorsT<T> qr_factor<T>(ConstMatrixViewT<T>);                      \
+  template MatrixT<T> extract_v<T>(ConstMatrixViewT<T>);                         \
+  template MatrixT<T> extract_r<T>(ConstMatrixViewT<T>);                         \
+  template void apply_q<T>(ConstMatrixViewT<T>, ConstMatrixViewT<T>, Op,         \
+                           MatrixViewT<T>);                                      \
+  template MatrixT<T> recompute_t<T>(ConstMatrixViewT<T>);
+
+QR3D_INSTANTIATE_HH(double)
+QR3D_INSTANTIATE_HH(std::complex<double>)
+
+#undef QR3D_INSTANTIATE_HH
+
+}  // namespace qr3d::la

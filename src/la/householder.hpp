@@ -1,0 +1,66 @@
+// Householder QR kernels (compact WY / "Householder representation").
+//
+// Conventions follow Section 2.3 of the paper: a QR decomposition is carried
+// as (V, T, R) with Q = I - V*T*V^H, V m-by-n unit lower trapezoidal and T
+// n-by-n upper triangular, so that A = Q * [R; 0].  Equivalently
+// Q = H_0 H_1 ... H_{n-1} with H_j = I - tau_j v_j v_j^H (LAPACK forward
+// column-wise order).
+//
+// The distributed algorithms store V as an explicit dense matrix (unit
+// diagonal and zeros above stored explicitly); the paper likewise chooses not
+// to exploit the trapezoidal structure since it does not change asymptotics.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "la/blas.hpp"
+
+namespace qr3d::la {
+
+/// Result of a local QR decomposition in Householder representation.
+template <class T>
+struct QrFactorsT {
+  MatrixT<T> V;  ///< m x n, unit lower trapezoidal (explicit entries)
+  MatrixT<T> T_; ///< n x n, upper triangular kernel
+  MatrixT<T> R;  ///< n x n, upper triangular R-factor (leading rows convention)
+};
+
+using QrFactors = QrFactorsT<double>;
+
+/// In-place Householder QR of A (m x n, m >= n): on return A holds V's strict
+/// lower trapezoid below the diagonal and R on/above it; T is filled with the
+/// n x n upper triangular kernel.  (LAPACK dgeqrt, unblocked.)
+template <class T>
+void geqrt(MatrixViewT<T> A, MatrixViewT<T> Tkernel);
+
+/// Householder QR returning explicit (V, T, R).  A is not modified.
+template <class T>
+QrFactorsT<T> qr_factor(ConstMatrixViewT<T> A);
+
+/// Extract the explicit unit-lower-trapezoidal V from a geqrt-factored matrix.
+template <class T>
+MatrixT<T> extract_v(ConstMatrixViewT<T> factored);
+
+/// Extract the n x n upper-triangular R from a geqrt-factored matrix.
+template <class T>
+MatrixT<T> extract_r(ConstMatrixViewT<T> factored);
+
+/// C := (I - V * op(T) * V^H) * C, i.e. apply Q (op = NoTrans) or Q^H
+/// (op = ConjTrans) given the Householder representation.  V is the explicit
+/// dense basis.  (LAPACK larfb with forward column-wise storage.)
+template <class T>
+void apply_q(ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tkernel, Op op, MatrixViewT<T> C);
+
+/// Reconstruct the kernel from the basis per Section 2.3:
+///   T = (strict_upper(V^H V) + diag(V^H V)/2)^{-1}.
+/// Valid whenever (V, T) came from a Householder-representation QR.
+template <class T>
+MatrixT<T> recompute_t(ConstMatrixViewT<T> V);
+
+/// Build the kernel from the Gram matrix G = V^H V and the reflector scalars
+/// (larft recurrence: T(0:j, j) = -tau_j * T(0:j, 0:j) * G(0:j, j)).  Unlike
+/// the inversion formula this handles tau_j = 0 (zero columns) gracefully.
+/// Used by the distributed baselines, where G is an all-reduce away but V's
+/// rows are scattered.
+Matrix kernel_from_gram(ConstMatrixView G, const std::vector<double>& taus);
+
+}  // namespace qr3d::la

@@ -1,0 +1,43 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+#include <complex>
+
+namespace qr3d::la {
+
+template <class T>
+LuSignShiftT<T> lu_sign_shift(ConstMatrixViewT<T> X) {
+  const index_t n = X.rows();
+  QR3D_CHECK(X.cols() == n, "lu_sign_shift: must be square");
+  MatrixT<T> W = copy(X);
+  std::vector<T> S(static_cast<std::size_t>(n));
+
+  for (index_t j = 0; j < n; ++j) {
+    const double a = std::abs(std::complex<double>(W(j, j)));
+    const T s = (a == 0.0) ? T{1} : W(j, j) / T{a};
+    S[j] = s;
+    W(j, j) += s;
+    const T piv = W(j, j);
+    for (index_t i = j + 1; i < n; ++i) {
+      const T l = W(i, j) / piv;
+      W(i, j) = l;
+      for (index_t c = j + 1; c < n; ++c) W(i, c) -= l * W(j, c);
+    }
+  }
+
+  LuSignShiftT<T> out;
+  out.L = MatrixT<T>::identity(n);
+  out.U = MatrixT<T>(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) out.L(i, j) = W(i, j);
+    for (index_t i = 0; i <= j; ++i) out.U(i, j) = W(i, j);
+  }
+  out.S = std::move(S);
+  return out;
+}
+
+template LuSignShiftT<double> lu_sign_shift<double>(ConstMatrixViewT<double>);
+template LuSignShiftT<std::complex<double>> lu_sign_shift<std::complex<double>>(
+    ConstMatrixViewT<std::complex<double>>);
+
+}  // namespace qr3d::la

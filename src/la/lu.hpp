@@ -1,0 +1,30 @@
+// LU decomposition with the diagonal sign-shift of [BDG+15, Lemma 6.2].
+//
+// Used by TSQR's Householder-reconstruction step (Appendix C of the paper):
+// row-reducing X while adding S_jj = sgn(X_jj) to the diagonal before each
+// elimination yields X + S = L*U without pivoting, and the magnitude of each
+// pivot dominates its column (implicit partial pivoting), which is what makes
+// the reconstruction numerically stable.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace qr3d::la {
+
+template <class T>
+struct LuSignShiftT {
+  MatrixT<T> L;       ///< n x n unit lower triangular
+  MatrixT<T> U;       ///< n x n upper triangular
+  std::vector<T> S;   ///< diagonal of the sign matrix: X + diag(S) = L*U
+};
+
+using LuSignShift = LuSignShiftT<double>;
+
+/// Factor X + S = L*U with S_jj = sgn(X̂_jj) chosen during elimination
+/// (sgn(z) = z/|z|, sgn(0) = 1).
+template <class T>
+LuSignShiftT<T> lu_sign_shift(ConstMatrixViewT<T> X);
+
+}  // namespace qr3d::la

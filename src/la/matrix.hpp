@@ -1,0 +1,189 @@
+// Column-major dense matrices and non-owning views.
+//
+// `MatrixT<T>` owns its storage; `MatrixViewT<T>` / `ConstMatrixViewT<T>` are
+// (pointer, rows, cols, leading-dimension) windows into a matrix, in the
+// LAPACK tradition.  All qr3d kernels operate on views so panel algorithms
+// can factor/update submatrices in place without copies.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "la/error.hpp"
+
+namespace qr3d::la {
+
+using index_t = std::ptrdiff_t;
+
+template <class T>
+class MatrixT;
+
+/// Non-owning mutable window into a column-major matrix.
+template <class T>
+class MatrixViewT {
+ public:
+  MatrixViewT() = default;
+  MatrixViewT(T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    QR3D_CHECK(rows >= 0 && cols >= 0 && ld >= rows, "bad view shape");
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  T* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(index_t i, index_t j) const { return data_[i + j * ld_]; }
+
+  /// Subview of rows [i0, i0+r) x columns [j0, j0+c).
+  MatrixViewT block(index_t i0, index_t j0, index_t r, index_t c) const {
+    QR3D_CHECK(i0 >= 0 && j0 >= 0 && r >= 0 && c >= 0 && i0 + r <= rows_ && j0 + c <= cols_,
+               "block out of range");
+    return MatrixViewT(data_ + i0 + j0 * ld_, r, c, ld_);
+  }
+  MatrixViewT col(index_t j) const { return block(0, j, rows_, 1); }
+  MatrixViewT top_rows(index_t r) const { return block(0, 0, r, cols_); }
+  MatrixViewT bottom_rows(index_t r) const { return block(rows_ - r, 0, r, cols_); }
+  MatrixViewT left_cols(index_t c) const { return block(0, 0, rows_, c); }
+  MatrixViewT right_cols(index_t c) const { return block(0, cols_ - c, rows_, c); }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Non-owning read-only window into a column-major matrix.
+template <class T>
+class ConstMatrixViewT {
+ public:
+  ConstMatrixViewT() = default;
+  ConstMatrixViewT(const T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    QR3D_CHECK(rows >= 0 && cols >= 0 && ld >= rows, "bad view shape");
+  }
+  // Implicit mutable-to-const conversion.
+  ConstMatrixViewT(MatrixViewT<T> v) : ConstMatrixViewT(v.data(), v.rows(), v.cols(), v.ld()) {}
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  const T* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  const T& operator()(index_t i, index_t j) const { return data_[i + j * ld_]; }
+
+  ConstMatrixViewT block(index_t i0, index_t j0, index_t r, index_t c) const {
+    QR3D_CHECK(i0 >= 0 && j0 >= 0 && r >= 0 && c >= 0 && i0 + r <= rows_ && j0 + c <= cols_,
+               "block out of range");
+    return ConstMatrixViewT(data_ + i0 + j0 * ld_, r, c, ld_);
+  }
+  ConstMatrixViewT col(index_t j) const { return block(0, j, rows_, 1); }
+  ConstMatrixViewT top_rows(index_t r) const { return block(0, 0, r, cols_); }
+  ConstMatrixViewT bottom_rows(index_t r) const { return block(rows_ - r, 0, r, cols_); }
+  ConstMatrixViewT left_cols(index_t c) const { return block(0, 0, rows_, c); }
+  ConstMatrixViewT right_cols(index_t c) const { return block(0, cols_ - c, rows_, c); }
+
+ private:
+  const T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Owning column-major dense matrix, value-initialized to zero.
+template <class T>
+class MatrixT {
+ public:
+  MatrixT() = default;
+  MatrixT(index_t rows, index_t cols) : rows_(rows), cols_(cols), data_(size_check(rows, cols)) {}
+
+  static MatrixT identity(index_t n) {
+    MatrixT I(n, n);
+    for (index_t i = 0; i < n; ++i) I(i, i) = T{1};
+    return I;
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return rows_; }
+  index_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator()(index_t i, index_t j) { return data_[i + j * rows_]; }
+  const T& operator()(index_t i, index_t j) const { return data_[i + j * rows_]; }
+
+  MatrixViewT<T> view() { return MatrixViewT<T>(data(), rows_, cols_, rows_); }
+  ConstMatrixViewT<T> view() const { return ConstMatrixViewT<T>(data(), rows_, cols_, rows_); }
+  operator MatrixViewT<T>() { return view(); }
+  operator ConstMatrixViewT<T>() const { return view(); }
+
+  MatrixViewT<T> block(index_t i0, index_t j0, index_t r, index_t c) {
+    return view().block(i0, j0, r, c);
+  }
+  ConstMatrixViewT<T> block(index_t i0, index_t j0, index_t r, index_t c) const {
+    return view().block(i0, j0, r, c);
+  }
+
+  bool operator==(const MatrixT& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  static std::vector<T> size_check(index_t r, index_t c) {
+    QR3D_CHECK(r >= 0 && c >= 0, "negative matrix dimension");
+    return std::vector<T>(static_cast<std::size_t>(r) * static_cast<std::size_t>(c), T{});
+  }
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = MatrixT<double>;
+using MatrixView = MatrixViewT<double>;
+using ConstMatrixView = ConstMatrixViewT<double>;
+using ZMatrix = MatrixT<std::complex<double>>;
+using ZMatrixView = MatrixViewT<std::complex<double>>;
+using ZConstMatrixView = ConstMatrixViewT<std::complex<double>>;
+
+/// conj() that is the identity for real scalars.
+template <class T>
+T conj_if(const T& x) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return x;
+  } else {
+    return std::conj(x);
+  }
+}
+
+/// Deep copy of a view into an owning matrix.
+template <class T>
+MatrixT<T> copy(ConstMatrixViewT<T> a) {
+  MatrixT<T> out(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) out(i, j) = a(i, j);
+  return out;
+}
+
+/// dst := src (shapes must match).
+template <class T>
+void assign(MatrixViewT<T> dst, ConstMatrixViewT<T> src) {
+  QR3D_CHECK(dst.rows() == src.rows() && dst.cols() == src.cols(), "assign shape mismatch");
+  for (index_t j = 0; j < src.cols(); ++j)
+    for (index_t i = 0; i < src.rows(); ++i) dst(i, j) = src(i, j);
+}
+
+template <class T>
+void set_zero(MatrixViewT<T> a) {
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) a(i, j) = T{};
+}
+
+}  // namespace qr3d::la

@@ -1,0 +1,59 @@
+#include "la/packing.hpp"
+
+namespace qr3d::la {
+
+std::vector<double> to_vector(ConstMatrixView a) {
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(a.rows() * a.cols()));
+  append(v, a);
+  return v;
+}
+
+std::vector<double> to_vector_rowmajor(ConstMatrixView a) {
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(a.rows() * a.cols()));
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j) v.push_back(a(i, j));
+  return v;
+}
+
+Matrix from_vector(index_t rows, index_t cols, const std::vector<double>& v) {
+  QR3D_CHECK(static_cast<index_t>(v.size()) == rows * cols, "from_vector size mismatch");
+  std::size_t off = 0;
+  return read_matrix(v, off, rows, cols);
+}
+
+void append(std::vector<double>& out, ConstMatrixView a) {
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) out.push_back(a(i, j));
+}
+
+Matrix read_matrix(const std::vector<double>& v, std::size_t& offset, index_t rows, index_t cols) {
+  QR3D_CHECK(offset + static_cast<std::size_t>(rows * cols) <= v.size(),
+             "read_matrix out of range");
+  Matrix a(rows, cols);
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i) a(i, j) = v[offset++];
+  return a;
+}
+
+std::vector<double> pack_upper(ConstMatrixView a) {
+  const index_t n = a.cols();
+  QR3D_CHECK(a.rows() >= n, "pack_upper: too few rows");
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(packed_upper_size(n)));
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) v.push_back(a(i, j));
+  return v;
+}
+
+Matrix unpack_upper(index_t n, const std::vector<double>& v) {
+  QR3D_CHECK(static_cast<index_t>(v.size()) == packed_upper_size(n), "unpack_upper size mismatch");
+  Matrix a(n, n);
+  std::size_t k = 0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) a(i, j) = v[k++];
+  return a;
+}
+
+}  // namespace qr3d::la

@@ -1,0 +1,40 @@
+// Serialization helpers between matrices and flat word vectors.
+//
+// Simulated messages are vectors of words (doubles); these helpers define the
+// canonical (column-major) wire formats, including the packed-triangle format
+// used by TSQR whose message size n(n+1)/2 the paper counts explicitly.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace qr3d::la {
+
+/// Column-major flattening of a view.
+std::vector<double> to_vector(ConstMatrixView a);
+
+/// Row-major flattening of a view — the canonical buffer of a matrix viewed
+/// through its transpose (e.g. a CyclicCols layout of V^H built from the
+/// locally stored rows of V).
+std::vector<double> to_vector_rowmajor(ConstMatrixView a);
+
+/// Inverse of to_vector.
+Matrix from_vector(index_t rows, index_t cols, const std::vector<double>& v);
+
+/// Append a view's column-major flattening to out.
+void append(std::vector<double>& out, ConstMatrixView a);
+
+/// Read rows*cols words starting at offset (advancing it) into a matrix.
+Matrix read_matrix(const std::vector<double>& v, std::size_t& offset, index_t rows, index_t cols);
+
+/// Pack the upper triangle (including diagonal) of an n x n matrix,
+/// column-major: n(n+1)/2 words.
+std::vector<double> pack_upper(ConstMatrixView a);
+
+/// Inverse of pack_upper; strictly-lower entries are zero.
+Matrix unpack_upper(index_t n, const std::vector<double>& v);
+
+inline index_t packed_upper_size(index_t n) { return n * (n + 1) / 2; }
+
+}  // namespace qr3d::la

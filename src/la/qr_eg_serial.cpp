@@ -1,0 +1,64 @@
+#include "la/qr_eg_serial.hpp"
+
+#include <complex>
+
+#include "la/blas.hpp"
+
+namespace qr3d::la {
+
+template <class T>
+QrFactorsT<T> qr_factor_recursive(ConstMatrixViewT<T> A, index_t threshold) {
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  QR3D_CHECK(m >= n, "qr_factor_recursive: need m >= n");
+  QR3D_CHECK(threshold >= 1, "qr_factor_recursive: threshold >= 1");
+
+  if (n <= threshold) {
+    return qr_factor<T>(A);
+  }
+  const index_t n1 = n / 2;
+  const index_t n2 = n - n1;
+
+  // Line 5: left recursion.
+  QrFactorsT<T> left = qr_factor_recursive<T>(A.left_cols(n1), threshold);
+
+  // Lines 6-8: B = A2 - V_L (T_L^H (V_L^H A2)).
+  MatrixT<T> M1 = multiply<T>(Op::ConjTrans, left.V.view(), Op::NoTrans, A.right_cols(n2));
+  trmm(Side::Left, Uplo::Upper, Op::ConjTrans, Diag::NonUnit, T{1}, left.T_.view(), M1.view());
+  MatrixT<T> B = copy(A.right_cols(n2));
+  gemm(T{-1}, Op::NoTrans, ConstMatrixViewT<T>(left.V.view()), Op::NoTrans,
+       ConstMatrixViewT<T>(M1.view()), T{1}, B.view());
+
+  // Line 9: right recursion on B22.
+  QrFactorsT<T> right =
+      qr_factor_recursive<T>(ConstMatrixViewT<T>(B.view()).bottom_rows(m - n1), threshold);
+
+  QrFactorsT<T> out;
+  // Line 10: V = [V_L, [0; V_R]].
+  out.V = MatrixT<T>(m, n);
+  assign<T>(out.V.block(0, 0, m, n1), left.V.view());
+  assign<T>(out.V.block(n1, n1, m - n1, n2), right.V.view());
+
+  // Lines 11-13: T = [[T_L, -T_L (V_L's lower part^H V_R) T_R], [0, T_R]].
+  MatrixT<T> M3 = multiply<T>(Op::ConjTrans, ConstMatrixViewT<T>(left.V.view()).bottom_rows(m - n1),
+                              Op::NoTrans, right.V.view());
+  trmm(Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit, T{1}, right.T_.view(), M3.view());
+  trmm(Side::Left, Uplo::Upper, Op::NoTrans, Diag::NonUnit, T{-1}, left.T_.view(), M3.view());
+  out.T_ = MatrixT<T>(n, n);
+  assign<T>(out.T_.block(0, 0, n1, n1), left.T_.view());
+  assign<T>(out.T_.block(0, n1, n1, n2), ConstMatrixViewT<T>(M3.view()));
+  assign<T>(out.T_.block(n1, n1, n2, n2), right.T_.view());
+
+  // Line 14: R = [[R_L, B12], [0, R_R]].
+  out.R = MatrixT<T>(n, n);
+  assign<T>(out.R.block(0, 0, n1, n1), left.R.view());
+  assign<T>(out.R.block(0, n1, n1, n2), ConstMatrixViewT<T>(B.view()).top_rows(n1));
+  assign<T>(out.R.block(n1, n1, n2, n2), right.R.view());
+  return out;
+}
+
+template QrFactorsT<double> qr_factor_recursive<double>(ConstMatrixViewT<double>, index_t);
+template QrFactorsT<std::complex<double>> qr_factor_recursive<std::complex<double>>(
+    ConstMatrixViewT<std::complex<double>>, index_t);
+
+}  // namespace qr3d::la

@@ -1,0 +1,20 @@
+// Serial Elmroth-Gustavson recursive QR (Section 2.4; LAPACK _geqrt3).
+//
+// Algorithm 2 (qr-eg) executed on one processor: split the columns in half,
+// factor the left panel recursively, update the right panel through the
+// compact-WY form, factor its lower part recursively, and assemble (V, T, R)
+// with six small matrix multiplications.  Identical output to the unblocked
+// qr_factor in exact arithmetic, but gemm-rich — the locality benefit [EG00]
+// reports, and the template both distributed algorithms instantiate.
+#pragma once
+
+#include "la/householder.hpp"
+
+namespace qr3d::la {
+
+/// Recursive QR of A (m x n, m >= n) with recursion threshold `threshold`
+/// (columns at or below it use the unblocked geqrt).
+template <class T>
+QrFactorsT<T> qr_factor_recursive(ConstMatrixViewT<T> A, index_t threshold = 8);
+
+}  // namespace qr3d::la

@@ -1,0 +1,56 @@
+#include "la/random.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "la/blas.hpp"
+#include "la/householder.hpp"
+
+namespace qr3d::la {
+
+Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = dist(rng);
+  return a;
+}
+
+ZMatrix random_zmatrix(index_t m, index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  ZMatrix a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = {dist(rng), dist(rng)};
+  return a;
+}
+
+Matrix graded_matrix(index_t m, index_t n, double cond, std::uint64_t seed) {
+  QR3D_CHECK(m >= n && n >= 1 && cond >= 1.0, "graded_matrix: need m >= n >= 1, cond >= 1");
+  // Orthogonal factors from QR of random matrices (using our own kernels).
+  QrFactors f1 = qr_factor<double>(random_matrix(m, n, seed).view());
+  QrFactors f2 = qr_factor<double>(random_matrix(n, n, seed + 1).view());
+
+  // D with log-spaced singular values.
+  Matrix D(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const double t = (n == 1) ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    D(i, i) = std::pow(cond, -t);
+  }
+
+  // A = Q1 * [D; 0], then A := A * Q2^T  ==  apply Q2 from the right via
+  // (Q2 * A^T)^T.  Cheaper: form Q2's first-n columns explicitly (n x n).
+  Matrix A(m, n);
+  assign(A.block(0, 0, n, n), ConstMatrixView(D.view()));
+  apply_q<double>(f1.V, f1.T_, Op::NoTrans, A.view());
+
+  Matrix Q2 = Matrix::identity(n);
+  apply_q<double>(f2.V, f2.T_, Op::NoTrans, Q2.view());
+  Matrix out(m, n);
+  gemm(1.0, Op::NoTrans, ConstMatrixView(A.view()), Op::ConjTrans, ConstMatrixView(Q2.view()),
+       0.0, out.view());
+  return out;
+}
+
+}  // namespace qr3d::la

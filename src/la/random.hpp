@@ -1,0 +1,21 @@
+// Deterministic random test-matrix generators.
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+
+namespace qr3d::la {
+
+/// m x n matrix with i.i.d. uniform(-1, 1) entries from a seeded mt19937_64.
+Matrix random_matrix(index_t m, index_t n, std::uint64_t seed);
+
+/// Complex variant (real and imaginary parts uniform(-1, 1)).
+ZMatrix random_zmatrix(index_t m, index_t n, std::uint64_t seed);
+
+/// m x n matrix (m >= n) with prescribed 2-norm condition number: built as
+/// Q1 * D * Q2^T with random orthogonal factors and log-spaced singular
+/// values in [1/cond, 1].  Exercises the near-rank-deficient regime.
+Matrix graded_matrix(index_t m, index_t n, double cond, std::uint64_t seed);
+
+}  // namespace qr3d::la

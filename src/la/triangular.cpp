@@ -1,0 +1,32 @@
+#include "la/triangular.hpp"
+
+#include <complex>
+
+namespace qr3d::la {
+
+template <class T>
+MatrixT<T> invert_triangular(Uplo uplo, Diag diag, ConstMatrixViewT<T> Tri) {
+  const index_t n = Tri.rows();
+  QR3D_CHECK(Tri.cols() == n, "invert_triangular: must be square");
+  MatrixT<T> X = MatrixT<T>::identity(n);
+  trsm(Side::Left, uplo, Op::NoTrans, diag, T{1}, Tri, X.view());
+  // The inverse of a triangular matrix is triangular of the same kind; round
+  // tiny fill from the solve down to exact zeros.
+  make_triangular(uplo, X.view());
+  return X;
+}
+
+template <class T>
+void make_triangular(Uplo uplo, MatrixViewT<T> A) {
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i)
+      if ((uplo == Uplo::Upper && i > j) || (uplo == Uplo::Lower && i < j)) A(i, j) = T{};
+}
+
+template MatrixT<double> invert_triangular<double>(Uplo, Diag, ConstMatrixViewT<double>);
+template MatrixT<std::complex<double>> invert_triangular<std::complex<double>>(
+    Uplo, Diag, ConstMatrixViewT<std::complex<double>>);
+template void make_triangular<double>(Uplo, MatrixViewT<double>);
+template void make_triangular<std::complex<double>>(Uplo, MatrixViewT<std::complex<double>>);
+
+}  // namespace qr3d::la

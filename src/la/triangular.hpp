@@ -1,0 +1,18 @@
+// Triangular matrix utilities.
+#pragma once
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace qr3d::la {
+
+/// Return the inverse of the triangular matrix Tri (n x n).
+template <class T>
+MatrixT<T> invert_triangular(Uplo uplo, Diag diag, ConstMatrixViewT<T> Tri);
+
+/// Zero out the part of A strictly below (keep_upper) or above its main
+/// diagonal, producing an exactly triangular matrix in place.
+template <class T>
+void make_triangular(Uplo uplo, MatrixViewT<T> A);
+
+}  // namespace qr3d::la

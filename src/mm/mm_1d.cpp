@@ -1,0 +1,41 @@
+#include "mm/mm_1d.hpp"
+
+#include "la/flops.hpp"
+#include "la/packing.hpp"
+
+namespace qr3d::mm {
+
+la::Matrix mm_1d_inner(sim::Comm& comm, int root, la::ConstMatrixView X_local,
+                       la::ConstMatrixView Y_local, coll::Alg alg) {
+  QR3D_CHECK(X_local.rows() == Y_local.rows(), "mm_1d_inner: row blocks must conform");
+  const la::index_t I = X_local.cols();
+  const la::index_t J = Y_local.cols();
+  la::Matrix G(I, J);
+  la::gemm(1.0, la::Op::ConjTrans, X_local, la::Op::NoTrans, Y_local, 0.0, G.view());
+  comm.charge_flops(la::flops::gemm(I, J, X_local.rows()));
+
+  std::vector<double> flat = la::to_vector(G.view());
+  coll::reduce(comm, root, flat, alg);
+  if (comm.rank() != root) return {};
+  return la::from_vector(I, J, flat);
+}
+
+la::Matrix mm_1d_outer(sim::Comm& comm, int root, la::ConstMatrixView A_local,
+                       const la::Matrix& B_root, la::index_t K, la::index_t J, coll::Alg alg) {
+  QR3D_CHECK(A_local.cols() == K, "mm_1d_outer: A column count must equal K");
+  std::vector<double> flat(static_cast<std::size_t>(K * J));
+  if (comm.rank() == root) {
+    QR3D_CHECK(B_root.rows() == K && B_root.cols() == J, "mm_1d_outer: B shape");
+    flat = la::to_vector(B_root.view());
+  }
+  coll::broadcast(comm, root, flat, alg);
+  la::Matrix B = la::from_vector(K, J, flat);
+
+  la::Matrix C(A_local.rows(), J);
+  la::gemm(1.0, la::Op::NoTrans, A_local, la::Op::NoTrans, la::ConstMatrixView(B.view()), 0.0,
+           C.view());
+  comm.charge_flops(la::flops::gemm(A_local.rows(), J, K));
+  return C;
+}
+
+}  // namespace qr3d::mm

@@ -1,0 +1,37 @@
+// 1D parallel matrix multiplication (Lemma 3 / Appendix B.2).
+//
+// Two specializations on a one-dimensional processor grid, used by the
+// inductive case of 1D-CAQR-EG (Section 6.2):
+//
+//   * mm_1d_inner (K = max(I,J,K)): X (K x I) and Y (K x J) share a row
+//     distribution; each rank multiplies its row blocks locally and the
+//     partial products are reduced to the root.  C = X^H * Y lands on root.
+//
+//   * mm_1d_outer (I = max(I,J,K)): A (I x K) is row-distributed, B (K x J)
+//     lives on the root; B is broadcast and each rank computes its rows of
+//     C = A * B locally, so C inherits A's distribution.
+//
+// With Auto collectives the reduce/broadcast switch to bidirectional
+// exchange once blocks are large, which is precisely how 1D-CAQR-EG recovers
+// the log P bandwidth factor that TSQR cannot (end of Section 5).
+#pragma once
+
+#include "coll/coll.hpp"
+#include "la/blas.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d::mm {
+
+/// C = X^H * Y reduced to `root`; returns C (I x J) on root, empty elsewhere.
+/// X_local (k_p x I) and Y_local (k_p x J) are conforming row blocks.
+la::Matrix mm_1d_inner(sim::Comm& comm, int root, la::ConstMatrixView X_local,
+                       la::ConstMatrixView Y_local, coll::Alg alg = coll::Alg::Auto);
+
+/// C_local = A_local * B with B (K x J) valid on root only (pass any K x J
+/// matrix elsewhere; it is overwritten by the broadcast).  Returns this
+/// rank's rows of C.
+la::Matrix mm_1d_outer(sim::Comm& comm, int root, la::ConstMatrixView A_local,
+                       const la::Matrix& B_root, la::index_t K, la::index_t J,
+                       coll::Alg alg = coll::Alg::Auto);
+
+}  // namespace qr3d::mm

@@ -1,0 +1,106 @@
+#include "mm/mm_3d.hpp"
+
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+#include "la/packing.hpp"
+#include "mm/redistribute.hpp"
+
+namespace qr3d::mm {
+
+namespace {
+
+/// Counts of the balanced split of a flattened (rows x cols) block.
+std::vector<std::size_t> split_counts(index_t rows, index_t cols, int ways) {
+  BalancedPartition split{rows * cols, ways};
+  std::vector<std::size_t> counts(static_cast<std::size_t>(ways));
+  for (int w = 0; w < ways; ++w) counts[static_cast<std::size_t>(w)] =
+      static_cast<std::size_t>(split.size(w));
+  return counts;
+}
+
+/// Concatenate all-gathered chunks (already ordered by fiber rank = block
+/// position order) into a column-major block matrix.
+la::Matrix assemble_block(index_t rows, index_t cols,
+                          const std::vector<std::vector<double>>& chunks) {
+  la::Matrix block(rows, cols);
+  std::size_t k = 0;
+  double* data = block.data();
+  for (const auto& c : chunks)
+    for (double v : c) data[k++] = v;
+  QR3D_ASSERT(k == static_cast<std::size_t>(rows * cols), "assemble_block size mismatch");
+  return block;
+}
+
+}  // namespace
+
+std::vector<double> mm_3d_core(sim::Comm& comm, index_t I, index_t J, index_t K, const Grid3& grid,
+                               const std::vector<double>& a_dmm,
+                               const std::vector<double>& b_dmm) {
+  const int me = comm.rank();
+  const bool active = me < grid.size();
+  const int q = active ? grid.q_of(me) : -1;
+  const int r = active ? grid.r_of(me) : -1;
+  const int s = active ? grid.s_of(me) : -1;
+
+  const BalancedPartition Ipart{I, grid.Q};
+  const BalancedPartition Jpart{J, grid.R};
+  const BalancedPartition Kpart{K, grid.S};
+
+  // All-gather A's (q, s) block along the R-fiber.
+  sim::Comm fiber_r = comm.split(active ? q + grid.Q * s : -1, r);
+  la::Matrix Ablock;
+  if (active) {
+    auto chunks = coll::all_gather(fiber_r, a_dmm, split_counts(Ipart.size(q), Kpart.size(s), grid.R));
+    Ablock = assemble_block(Ipart.size(q), Kpart.size(s), chunks);
+  }
+
+  // All-gather B's (s, r) block along the Q-fiber.
+  sim::Comm fiber_q = comm.split(active ? r + grid.R * s : -1, q);
+  la::Matrix Bblock;
+  if (active) {
+    auto chunks = coll::all_gather(fiber_q, b_dmm, split_counts(Kpart.size(s), Jpart.size(r), grid.Q));
+    Bblock = assemble_block(Kpart.size(s), Jpart.size(r), chunks);
+  }
+
+  // Local sub-brick multiply.
+  la::Matrix Z;
+  if (active) {
+    Z = la::multiply<double>(la::Op::NoTrans, Ablock.view(), la::Op::NoTrans, Bblock.view());
+    comm.charge_flops(la::flops::gemm(Ipart.size(q), Jpart.size(r), Kpart.size(s)));
+  }
+
+  // Reduce-scatter C's (q, r) block along the S-fiber.
+  sim::Comm fiber_s = comm.split(active ? q + grid.Q * r : -1, s);
+  if (!active) return {};
+  const index_t zrows = Ipart.size(q);
+  const index_t zcols = Jpart.size(r);
+  BalancedPartition split{zrows * zcols, grid.S};
+  std::vector<double> flat = la::to_vector(Z.view());
+  std::vector<std::vector<double>> contributions(static_cast<std::size_t>(grid.S));
+  for (int w = 0; w < grid.S; ++w)
+    contributions[static_cast<std::size_t>(w)].assign(
+        flat.begin() + split.start(w), flat.begin() + split.start(w + 1));
+  return coll::reduce_scatter(fiber_s, std::move(contributions));
+}
+
+std::vector<double> mm_3d(sim::Comm& comm, index_t I, index_t J, index_t K,
+                          const Layout& A_layout, const std::vector<double>& a_local,
+                          const Layout& B_layout, const std::vector<double>& b_local,
+                          const Layout& C_layout, coll::Alg alltoall_alg) {
+  const int P = comm.size();
+  QR3D_CHECK(A_layout.rows() == I && A_layout.cols() == K, "mm_3d: A layout shape");
+  QR3D_CHECK(B_layout.rows() == K && B_layout.cols() == J, "mm_3d: B layout shape");
+  QR3D_CHECK(C_layout.rows() == I && C_layout.cols() == J, "mm_3d: C layout shape");
+
+  const Grid3 grid = Grid3::choose(I, J, K, P);
+  const DmmLayout da(DmmOperand::A, I, J, K, grid, P);
+  const DmmLayout db(DmmOperand::B, I, J, K, grid, P);
+  const DmmLayout dc(DmmOperand::C, I, J, K, grid, P);
+
+  const auto a_dmm = redistribute(comm, A_layout, da, a_local, alltoall_alg);
+  const auto b_dmm = redistribute(comm, B_layout, db, b_local, alltoall_alg);
+  const auto c_dmm = mm_3d_core(comm, I, J, K, grid, a_dmm, b_dmm);
+  return redistribute(comm, dc, C_layout, c_dmm, alltoall_alg);
+}
+
+}  // namespace qr3d::mm

@@ -1,0 +1,37 @@
+// 3D parallel matrix multiplication (Lemma 4 / Appendix B) with the
+// before/after all-to-all redistributions of Section 7.2.
+//
+// The multiplication brick [I] x [J] x [K] is tiled over a Q x R x S grid
+// chosen by Grid3::choose (near-cubical sub-bricks, rho = (IJK/P)^(1/3)).
+// The algorithm is exactly Appendix B.1: all-gather A blocks along R-fibers,
+// all-gather B blocks along Q-fibers, multiply locally, reduce-scatter C
+// blocks along S-fibers — giving bandwidth O((IJK/P)^(2/3)) instead of the
+// 1D/2D O(IJK / max-dim / sqrt(P)) forms.
+//
+// Inputs/outputs are flat buffers in their layouts' canonical enumeration
+// order; mm_3d redistributes them to/from the DmmLayout internally, as the
+// paper's inductive case does.
+#pragma once
+
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "mm/layout.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d::mm {
+
+/// C (I x J) = A (I x K) * B (K x J), all distributed over the communicator.
+/// Returns this rank's C buffer in C_layout enumeration order.
+std::vector<double> mm_3d(sim::Comm& comm, index_t I, index_t J, index_t K,
+                          const Layout& A_layout, const std::vector<double>& a_local,
+                          const Layout& B_layout, const std::vector<double>& b_local,
+                          const Layout& C_layout, coll::Alg alltoall_alg = coll::Alg::Auto);
+
+/// The core Lemma 4 kernel with data already in DmmLayout order (no
+/// redistribution): exposed for tests and the E6 bench.
+std::vector<double> mm_3d_core(sim::Comm& comm, index_t I, index_t J, index_t K, const Grid3& grid,
+                               const std::vector<double>& a_dmm,
+                               const std::vector<double>& b_dmm);
+
+}  // namespace qr3d::mm

@@ -1,0 +1,72 @@
+#include "mm/redistribute.hpp"
+
+namespace qr3d::mm {
+
+std::vector<double> redistribute(sim::Comm& comm, const Layout& from, const Layout& to,
+                                 const std::vector<double>& local, coll::Alg alg) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  QR3D_CHECK(from.rows() == to.rows() && from.cols() == to.cols(),
+             "redistribute: shape mismatch");
+  QR3D_CHECK(from.ranks() == P && to.ranks() == P, "redistribute: rank-count mismatch");
+  QR3D_CHECK(static_cast<index_t>(local.size()) == from.local_count(me),
+             "redistribute: local buffer size mismatch");
+
+  // Bucket my elements by target owner, in canonical order.
+  std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(P));
+  {
+    std::size_t k = 0;
+    from.for_each_local(me, [&](index_t i, index_t j) {
+      outgoing[static_cast<std::size_t>(to.owner(i, j))].push_back(local[k++]);
+    });
+  }
+
+  auto incoming = coll::all_to_all(comm, std::move(outgoing), alg);
+
+  // Drain incoming blocks in canonical order of my target elements.
+  std::vector<double> result;
+  result.reserve(static_cast<std::size_t>(to.local_count(me)));
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(P), 0);
+  to.for_each_local(me, [&](index_t i, index_t j) {
+    const auto src = static_cast<std::size_t>(from.owner(i, j));
+    QR3D_ASSERT(cursor[src] < incoming[src].size(), "redistribute: short block");
+    result.push_back(incoming[src][cursor[src]++]);
+  });
+  for (int p = 0; p < P; ++p)
+    QR3D_ASSERT(cursor[static_cast<std::size_t>(p)] == incoming[static_cast<std::size_t>(p)].size(),
+                "redistribute: unconsumed data");
+  return result;
+}
+
+std::vector<double> pack_local(const Layout& layout, int rank, la::ConstMatrixView local_rows) {
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(layout.local_count(rank)));
+  index_t li = 0, lj = -1;
+  index_t prev_i = -1;
+  layout.for_each_local(rank, [&](index_t i, index_t j) {
+    // Elements arrive column by column; track the local row index within the
+    // column (rows visited in ascending global order match local storage).
+    if (lj != j) {
+      lj = j;
+      li = 0;
+      prev_i = -1;
+    }
+    QR3D_ASSERT(i > prev_i, "pack_local: enumeration not row-sorted");
+    prev_i = i;
+    buf.push_back(local_rows(li++, j));
+  });
+  return buf;
+}
+
+la::Matrix unpack_rows(const CyclicRows& layout, int rank, const std::vector<double>& buf) {
+  const index_t nloc = layout.local_rows(rank);
+  QR3D_CHECK(static_cast<index_t>(buf.size()) == nloc * layout.cols(),
+             "unpack_rows: buffer size mismatch");
+  la::Matrix out(nloc, layout.cols());
+  std::size_t k = 0;
+  for (index_t j = 0; j < layout.cols(); ++j)
+    for (index_t i = 0; i < nloc; ++i) out(i, j) = buf[k++];
+  return out;
+}
+
+}  // namespace qr3d::mm

@@ -1,0 +1,31 @@
+// Layout-to-layout redistribution via all-to-all (Section 7.2).
+//
+// Both endpoints enumerate their element sets in the canonical global order
+// defined by Layout, so payloads carry values only (no indices): the k-th
+// element rank p sends to rank q equals the k-th element q expects from p.
+// The paper performs exactly this conversion (row/column-cyclic <-> dmm
+// layout) before and after every inductive-case matrix multiplication of
+// 3D-CAQR-EG, using the two-phase all-to-all.
+#pragma once
+
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "mm/layout.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d::mm {
+
+/// Move a distributed matrix from layout `from` to layout `to`.  `local` is
+/// this rank's buffer in `from`-enumeration order; the result is in
+/// `to`-enumeration order.  Collective over the communicator.
+std::vector<double> redistribute(sim::Comm& comm, const Layout& from, const Layout& to,
+                                 const std::vector<double>& local,
+                                 coll::Alg alg = coll::Alg::Auto);
+
+/// Convenience: local buffer of a CyclicRows-distributed matrix from its
+/// local row-block (rows sorted by global index), and back.
+std::vector<double> pack_local(const Layout& layout, int rank, la::ConstMatrixView local_rows);
+la::Matrix unpack_rows(const CyclicRows& layout, int rank, const std::vector<double>& buf);
+
+}  // namespace qr3d::mm

@@ -1,0 +1,125 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "la/error.hpp"
+
+namespace qr3d::sim {
+
+void Comm::send(int dst, std::vector<double> payload, int tag) {
+  QR3D_CHECK(valid(), "send on invalid communicator");
+  QR3D_CHECK(dst >= 0 && dst < size(), "send: destination out of range");
+  QR3D_CHECK(dst != rank_, "send: self-messages are not part of the cost model");
+
+  const double w = static_cast<double>(payload.size());
+  const CostParams& cp = machine_->params();
+  clock_->msgs += 1;
+  clock_->words += w;
+  clock_->time += cp.alpha + cp.beta * w;
+  totals_->msgs_sent += 1;
+  totals_->words_sent += w;
+
+  detail::Envelope e;
+  e.src_global = group_->members[static_cast<std::size_t>(rank_)];
+  e.context = group_->context;
+  e.tag = tag;
+  e.payload = std::move(payload);
+  e.clock = *clock_;
+  const int dst_global = group_->members[static_cast<std::size_t>(dst)];
+  machine_->mailboxes_[static_cast<std::size_t>(dst_global)].push(std::move(e));
+}
+
+std::vector<double> Comm::recv(int src, int tag) {
+  QR3D_CHECK(valid(), "recv on invalid communicator");
+  QR3D_CHECK(src >= 0 && src < size(), "recv: source out of range");
+  QR3D_CHECK(src != rank_, "recv: self-messages are not part of the cost model");
+
+  const int me_global = group_->members[static_cast<std::size_t>(rank_)];
+  const int src_global = group_->members[static_cast<std::size_t>(src)];
+  detail::Envelope e = machine_->mailboxes_[static_cast<std::size_t>(me_global)].pop_match(
+      src_global, group_->context, tag, [this]() { return machine_->aborted(); });
+
+  const double w = static_cast<double>(e.payload.size());
+  const CostParams& cp = machine_->params();
+  clock_->merge(e.clock);
+  clock_->msgs += 1;
+  clock_->words += w;
+  clock_->time += cp.alpha + cp.beta * w;
+  return std::move(e.payload);
+}
+
+void Comm::charge_flops(double f) {
+  clock_->flops += f;
+  clock_->time += f * machine_->params().gamma;
+  totals_->flops += f;
+}
+
+Comm Comm::split(int color, int key) {
+  QR3D_CHECK(valid(), "split on invalid communicator");
+  auto& g = *group_;
+  const int n = size();
+
+  std::unique_lock<std::mutex> lock(g.mu);
+  if (g.colors.empty()) {
+    g.colors.assign(static_cast<std::size_t>(n), 0);
+    g.keys.assign(static_cast<std::size_t>(n), 0);
+    g.out_group.assign(static_cast<std::size_t>(n), nullptr);
+    g.out_rank.assign(static_cast<std::size_t>(n), -1);
+  }
+  g.colors[static_cast<std::size_t>(rank_)] = color;
+  g.keys[static_cast<std::size_t>(rank_)] = key;
+  g.arrived++;
+
+  if (g.arrived == n) {
+    // Last arrival builds all result groups.
+    std::map<int, std::vector<std::pair<int, int>>> by_color;  // color -> (key, local rank)
+    for (int p = 0; p < n; ++p) {
+      const int c = g.colors[static_cast<std::size_t>(p)];
+      if (c >= 0) by_color[c].emplace_back(g.keys[static_cast<std::size_t>(p)], p);
+    }
+    for (auto& [c, v] : by_color) {
+      std::sort(v.begin(), v.end());
+      auto ng = std::make_shared<detail::GroupShared>();
+      ng->context = machine_->new_context();
+      ng->members.reserve(v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        const int local = v[i].second;
+        ng->members.push_back(g.members[static_cast<std::size_t>(local)]);
+        g.out_group[static_cast<std::size_t>(local)] = ng;
+        g.out_rank[static_cast<std::size_t>(local)] = static_cast<int>(i);
+      }
+    }
+    g.ready = true;
+    g.cv.notify_all();
+  } else {
+    g.cv.wait(lock, [&g]() { return g.ready; });
+  }
+
+  auto out = g.out_group[static_cast<std::size_t>(rank_)];
+  const int out_rank = g.out_rank[static_cast<std::size_t>(rank_)];
+  g.out_group[static_cast<std::size_t>(rank_)] = nullptr;
+
+  // Last pickup resets the coordination state for the next split().
+  g.picked_up++;
+  if (g.picked_up == n) {
+    g.arrived = 0;
+    g.picked_up = 0;
+    g.ready = false;
+    g.colors.clear();
+    g.keys.clear();
+    g.out_group.clear();
+    g.out_rank.clear();
+    g.cv.notify_all();
+  } else {
+    // Wait until everyone picked up, so a rank cannot race into the next
+    // split() round on this communicator while state is being reset.
+    g.cv.wait(lock, [&g]() { return g.picked_up == 0; });
+  }
+
+  if (!out) return Comm(machine_, nullptr, -1, clock_, totals_);
+  return Comm(machine_, std::move(out), out_rank, clock_, totals_);
+}
+
+}  // namespace qr3d::sim

@@ -1,0 +1,104 @@
+#include "sim/machine.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "la/error.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d::sim {
+
+namespace detail {
+
+void Mailbox::push(Envelope e) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(std::move(e));
+  }
+  cv_.notify_all();
+}
+
+Envelope Mailbox::pop_match(int src_global, std::uint64_t context, int tag,
+                            const std::function<bool()>& aborted) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+      if (it->src_global == src_global && it->context == context && it->tag == tag) {
+        Envelope e = std::move(*it);
+        q_.erase(it);
+        return e;
+      }
+    }
+    if (aborted()) throw std::runtime_error("qr3d::sim: machine aborted while waiting for message");
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::notify_abort() { cv_.notify_all(); }
+
+void Mailbox::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  q_.clear();
+}
+
+}  // namespace detail
+
+Machine::Machine(int P, CostParams params)
+    : P_(P), params_(std::move(params)), mailboxes_(static_cast<std::size_t>(P)),
+      clocks_(static_cast<std::size_t>(P)), totals_(static_cast<std::size_t>(P)) {
+  QR3D_CHECK(P >= 1, "machine needs at least one processor");
+}
+
+void Machine::run(const std::function<void(Comm&)>& body) {
+  for (auto& mb : mailboxes_) mb.clear();
+  for (auto& c : clocks_) c = CostClock{};
+  for (auto& t : totals_) t = CostTotals{};
+  aborted_ = false;
+  next_context_ = 1;
+
+  auto world = std::make_shared<detail::GroupShared>();
+  world->context = 0;
+  world->members.resize(static_cast<std::size_t>(P_));
+  for (int p = 0; p < P_; ++p) world->members[static_cast<std::size_t>(p)] = p;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(P_));
+  for (int p = 0; p < P_; ++p) {
+    threads.emplace_back([this, p, &body, &world, &errors]() {
+      Comm comm(this, world, p, &clocks_[static_cast<std::size_t>(p)],
+                &totals_[static_cast<std::size_t>(p)]);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(p)] = std::current_exception();
+        aborted_ = true;
+        for (auto& mb : mailboxes_) mb.notify_abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+CostClock Machine::critical_path() const {
+  CostClock c;
+  for (const auto& rc : clocks_) c.merge(rc);
+  return c;
+}
+
+const CostClock& Machine::rank_clock(int p) const {
+  QR3D_CHECK(p >= 0 && p < P_, "rank out of range");
+  return clocks_[static_cast<std::size_t>(p)];
+}
+
+CostTotals Machine::totals() const {
+  CostTotals t;
+  for (const auto& rt : totals_) t += rt;
+  return t;
+}
+
+}  // namespace qr3d::sim

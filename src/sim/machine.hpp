@@ -1,0 +1,113 @@
+// Simulated distributed-memory machine: P processors with private memories
+// exchanging asynchronous point-to-point messages (the model of Section 3).
+//
+// Each simulated processor runs as one OS thread executing the same SPMD
+// body, mirroring MPI semantics: matched send/recv on (source, communicator,
+// tag) with FIFO ordering per triple.  This is the substitution for an MPI
+// cluster documented in DESIGN.md — the paper's claims are statements about
+// the alpha-beta-gamma cost model, which this machine implements exactly and
+// instruments (see sim/clock.hpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace qr3d::sim {
+
+class Comm;
+
+namespace detail {
+
+struct Envelope {
+  int src_global = -1;
+  std::uint64_t context = 0;
+  int tag = 0;
+  std::vector<double> payload;
+  CostClock clock;
+};
+
+class Mailbox {
+ public:
+  void push(Envelope e);
+  /// Block until a message from (src, context, tag) arrives, then return the
+  /// first such message (FIFO per key).  Throws if the machine aborts.
+  Envelope pop_match(int src_global, std::uint64_t context, int tag,
+                     const std::function<bool()>& aborted);
+  void notify_abort();
+  void clear();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> q_;
+};
+
+/// Shared per-communicator state used to coordinate split() without
+/// messages (communicator construction is bookkeeping, not communication).
+struct GroupShared {
+  std::uint64_t context = 0;
+  std::vector<int> members;  // global ranks, indexed by local rank
+
+  // split() coordination.
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  int picked_up = 0;
+  bool ready = false;
+  std::vector<int> colors, keys;  // indexed by local rank
+  // Result per local rank: the new group and the local rank within it.
+  std::vector<std::shared_ptr<GroupShared>> out_group;
+  std::vector<int> out_rank;
+};
+
+}  // namespace detail
+
+/// The simulated machine.  Construct with the processor count and cost
+/// parameters, then call run() with an SPMD body; afterwards query the
+/// measured critical-path costs.
+class Machine {
+ public:
+  explicit Machine(int P, CostParams params = {});
+
+  int size() const { return P_; }
+  const CostParams& params() const { return params_; }
+
+  /// Execute `body` on all P simulated processors (one thread each) and wait
+  /// for completion.  Cost clocks and mailboxes are reset first.  If any rank
+  /// throws, all ranks are aborted and the lowest-ranked exception rethrown.
+  void run(const std::function<void(Comm&)>& body);
+
+  /// Critical-path costs of the last run: per-metric maxima over processors.
+  CostClock critical_path() const;
+
+  /// Clock of an individual rank after the last run.
+  const CostClock& rank_clock(int p) const;
+
+  /// Aggregate volume counters of the last run (summed over processors).
+  CostTotals totals() const;
+
+ private:
+  friend class Comm;
+
+  std::uint64_t new_context() { return next_context_++; }
+  bool aborted() const { return aborted_; }
+
+  int P_;
+  CostParams params_;
+  std::vector<detail::Mailbox> mailboxes_;
+  std::vector<CostClock> clocks_;
+  std::vector<CostTotals> totals_;
+  std::atomic<std::uint64_t> next_context_{1};
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace qr3d::sim

@@ -1,0 +1,33 @@
+// Representative machine cost profiles (alpha = latency per message,
+// beta = time per word, gamma = time per flop), used by the machine-tuning
+// experiment (E9): the paper's motivation is that the bandwidth/latency
+// tradeoff parameter should be chosen per machine.
+//
+// Values are stylized ratios, not measurements of specific hardware: what
+// matters for the experiment is the alpha/beta/gamma ordering, which spans
+// low-latency HPC interconnects to high-latency commodity networks.
+#pragma once
+
+#include <array>
+
+#include "sim/clock.hpp"
+
+namespace qr3d::sim::profiles {
+
+/// Tightly-coupled HPC fabric: cheap messages, fast links.
+inline CostParams hpc_fabric() { return {1e-6, 1e-9, 1e-11, "hpc-fabric"}; }
+
+/// Commodity cluster: Ethernet-ish latency, decent bandwidth.
+inline CostParams commodity_cluster() { return {5e-5, 5e-9, 1e-11, "commodity-cluster"}; }
+
+/// Cloud/virtualized network: high latency, moderate bandwidth.
+inline CostParams cloud() { return {1e-3, 2e-8, 1e-11, "cloud"}; }
+
+/// Bandwidth-starved machine: messages cheap relative to moving words.
+inline CostParams bandwidth_starved() { return {1e-6, 1e-7, 1e-11, "bandwidth-starved"}; }
+
+inline std::array<CostParams, 4> all() {
+  return {hpc_fabric(), commodity_cluster(), cloud(), bandwidth_starved()};
+}
+
+}  // namespace qr3d::sim::profiles

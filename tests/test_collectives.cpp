@@ -1,0 +1,362 @@
+// Tests for the collectives library (src/coll): value correctness of all
+// eight collectives across rank counts (including non-powers of two) and
+// algorithm variants, plus measured-cost assertions against Table 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "sim/machine.hpp"
+
+namespace coll = qr3d::coll;
+namespace sim = qr3d::sim;
+using coll::Alg;
+
+namespace {
+
+double ceil_log2(int P) {
+  int l = 0;
+  while ((1 << l) < P) ++l;
+  return std::max(1, l);
+}
+
+/// Deterministic test block from rank p to rank q of size `len`.
+std::vector<double> make_block(int p, int q, std::size_t len) {
+  std::vector<double> v(len);
+  for (std::size_t i = 0; i < len; ++i)
+    v[i] = 1000.0 * p + 10.0 * q + static_cast<double>(i % 7);
+  return v;
+}
+
+}  // namespace
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesP, ScatterDeliversRootBlocks) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  for (int root : {0, P - 1, P / 2}) {
+    m.run([&](sim::Comm& c) {
+      std::vector<std::size_t> counts(P);
+      for (int q = 0; q < P; ++q) counts[q] = 3 + static_cast<std::size_t>(q % 4);
+      std::vector<std::vector<double>> blocks;
+      if (c.rank() == root) {
+        blocks.resize(P);
+        for (int q = 0; q < P; ++q) blocks[q] = make_block(root, q, counts[q]);
+      }
+      auto mine = coll::scatter(c, root, blocks, counts);
+      EXPECT_EQ(mine, make_block(root, c.rank(), counts[c.rank()]));
+    });
+  }
+}
+
+TEST_P(CollectivesP, GatherCollectsAllBlocks) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  for (int root : {0, P - 1}) {
+    m.run([&](sim::Comm& c) {
+      std::vector<std::size_t> counts(P);
+      for (int q = 0; q < P; ++q) counts[q] = 2 + static_cast<std::size_t>((q * 3) % 5);
+      auto out = coll::gather(c, root, make_block(c.rank(), root, counts[c.rank()]), counts);
+      if (c.rank() == root) {
+        ASSERT_EQ(static_cast<int>(out.size()), P);
+        for (int q = 0; q < P; ++q) EXPECT_EQ(out[q], make_block(q, root, counts[q]));
+      }
+    });
+  }
+}
+
+TEST_P(CollectivesP, BroadcastBothAlgorithmsAgree) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  for (Alg alg : {Alg::Binomial, Alg::BidirExchange, Alg::Auto}) {
+    for (std::size_t B : {std::size_t{1}, std::size_t{5}, std::size_t{257}}) {
+      m.run([&](sim::Comm& c) {
+        const int root = P > 2 ? 2 : 0;
+        std::vector<double> data(B, 0.0);
+        if (c.rank() == root) data = make_block(root, root, B);
+        coll::broadcast(c, root, data, alg);
+        EXPECT_EQ(data, make_block(root, root, B));
+      });
+    }
+  }
+}
+
+TEST_P(CollectivesP, ReduceSumsToRoot) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  for (Alg alg : {Alg::Binomial, Alg::BidirExchange, Alg::Auto}) {
+    for (std::size_t B : {std::size_t{1}, std::size_t{64}}) {
+      m.run([&](sim::Comm& c) {
+        const int root = P - 1;
+        std::vector<double> data(B);
+        for (std::size_t i = 0; i < B; ++i) data[i] = c.rank() + 1.0 + static_cast<double>(i);
+        coll::reduce(c, root, data, alg);
+        if (c.rank() == root) {
+          const double ranksum = P * (P + 1) / 2.0;
+          for (std::size_t i = 0; i < B; ++i)
+            EXPECT_DOUBLE_EQ(data[i], ranksum + static_cast<double>(P * i));
+        }
+      });
+    }
+  }
+}
+
+TEST_P(CollectivesP, AllReduceDeliversSumEverywhere) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  for (Alg alg : {Alg::Binomial, Alg::BidirExchange, Alg::Auto}) {
+    m.run([&](sim::Comm& c) {
+      std::vector<double> data = {static_cast<double>(c.rank()), 1.0};
+      coll::all_reduce(c, data, alg);
+      EXPECT_DOUBLE_EQ(data[0], P * (P - 1) / 2.0);
+      EXPECT_DOUBLE_EQ(data[1], static_cast<double>(P));
+    });
+  }
+}
+
+TEST_P(CollectivesP, AllGatherDeliversAllBlocksEverywhere) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  m.run([&](sim::Comm& c) {
+    std::vector<std::size_t> counts(P);
+    for (int q = 0; q < P; ++q) counts[q] = 1 + static_cast<std::size_t>(q % 3);
+    auto all = coll::all_gather(c, make_block(c.rank(), 0, counts[c.rank()]), counts);
+    ASSERT_EQ(static_cast<int>(all.size()), P);
+    for (int q = 0; q < P; ++q) EXPECT_EQ(all[q], make_block(q, 0, counts[q]));
+  });
+}
+
+TEST_P(CollectivesP, ReduceScatterSumsPerDestination) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  m.run([&](sim::Comm& c) {
+    std::vector<std::vector<double>> contributions(P);
+    for (int q = 0; q < P; ++q) {
+      contributions[q].assign(2 + static_cast<std::size_t>(q % 3), 0.0);
+      for (std::size_t i = 0; i < contributions[q].size(); ++i)
+        contributions[q][i] = c.rank() * 100.0 + q + static_cast<double>(i);
+    }
+    auto mine = coll::reduce_scatter(c, std::move(contributions));
+    const std::size_t len = 2 + static_cast<std::size_t>(c.rank() % 3);
+    ASSERT_EQ(mine.size(), len);
+    const double ranksum = 100.0 * P * (P - 1) / 2.0;
+    for (std::size_t i = 0; i < len; ++i)
+      EXPECT_DOUBLE_EQ(mine[i], ranksum + P * (c.rank() + static_cast<double>(i)));
+  });
+}
+
+TEST_P(CollectivesP, AllToAllBothAlgorithmsDeliver) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  for (Alg alg : {Alg::Index, Alg::TwoPhase, Alg::Auto}) {
+    m.run([&](sim::Comm& c) {
+      std::vector<std::vector<double>> outgoing(P);
+      for (int q = 0; q < P; ++q)
+        outgoing[q] = make_block(c.rank(), q, 1 + static_cast<std::size_t>((c.rank() + q) % 5));
+      auto incoming = coll::all_to_all(c, std::move(outgoing), alg);
+      ASSERT_EQ(static_cast<int>(incoming.size()), P);
+      for (int p = 0; p < P; ++p)
+        EXPECT_EQ(incoming[p], make_block(p, c.rank(), 1 + static_cast<std::size_t>((p + c.rank()) % 5)));
+    });
+  }
+}
+
+TEST_P(CollectivesP, AllToAllWithEmptyAndSkewedBlocks) {
+  const int P = GetParam();
+  sim::Machine m(P);
+  for (Alg alg : {Alg::Index, Alg::TwoPhase}) {
+    m.run([&](sim::Comm& c) {
+      // Only rank 0 sends, and only to rank P-1 (maximal skew); everything
+      // else is empty.
+      std::vector<std::vector<double>> outgoing(P);
+      if (c.rank() == 0) outgoing[P - 1] = make_block(0, P - 1, 97);
+      auto incoming = coll::all_to_all(c, std::move(outgoing), alg);
+      if (c.rank() == P - 1 && P > 1) {
+        EXPECT_EQ(incoming[0], make_block(0, P - 1, 97));
+      }
+      for (int p = 0; p < P; ++p) {
+        // For P == 1 the "transfer" is the locally-kept self block.
+        const bool is_big_transfer = (c.rank() == P - 1 && p == 0);
+        if (!is_big_transfer) {
+          EXPECT_TRUE(incoming[p].empty()) << "unexpected data from " << p;
+        }
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17));
+
+// ---------------------------------------------------------------------------
+// Table 1 cost assertions: measured critical-path words/messages stay within
+// a constant factor of the stated bounds.
+// ---------------------------------------------------------------------------
+
+class CollectiveCosts : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CollectiveCosts, BroadcastMeetsTable1Bound) {
+  auto [P, B] = GetParam();
+  sim::Machine m(P);
+  m.run([&](sim::Comm& c) {
+    std::vector<double> data(B, 1.0);
+    coll::broadcast(c, 0, data);
+  });
+  const double L = ceil_log2(P);
+  const double bound_words = std::min(B * L, B + static_cast<double>(P));
+  EXPECT_LE(m.critical_path().words, 4.0 * bound_words + 4.0 * P);
+  EXPECT_LE(m.critical_path().msgs, 6.0 * L);
+}
+
+TEST_P(CollectiveCosts, ReduceMeetsTable1Bound) {
+  auto [P, B] = GetParam();
+  sim::Machine m(P);
+  m.run([&](sim::Comm& c) {
+    std::vector<double> data(B, 1.0);
+    coll::reduce(c, 0, data);
+  });
+  const double L = ceil_log2(P);
+  const double bound = std::min(B * L, B + static_cast<double>(P));
+  EXPECT_LE(m.critical_path().words, 4.0 * bound + 4.0 * P);
+  EXPECT_LE(m.critical_path().flops, 4.0 * bound + 4.0 * P);
+  EXPECT_LE(m.critical_path().msgs, 6.0 * L);
+}
+
+TEST_P(CollectiveCosts, ScatterGatherMeetTable1Bound) {
+  auto [P, B] = GetParam();
+  sim::Machine m(P);
+  std::vector<std::size_t> counts(P, static_cast<std::size_t>(B));
+  m.run([&](sim::Comm& c) {
+    std::vector<std::vector<double>> blocks;
+    if (c.rank() == 0) blocks.assign(P, std::vector<double>(B, 1.0));
+    auto mine = coll::scatter(c, 0, blocks, counts);
+    coll::gather(c, 0, std::move(mine), counts);
+  });
+  const double L = ceil_log2(P);
+  // scatter + gather each (P-1)B words, log P messages.
+  EXPECT_LE(m.critical_path().words, 4.0 * (P - 1.0) * B + 4.0 * P);
+  EXPECT_LE(m.critical_path().msgs, 8.0 * L);
+}
+
+TEST_P(CollectiveCosts, AllGatherReduceScatterMeetTable1Bound) {
+  auto [P, B] = GetParam();
+  sim::Machine m(P);
+  std::vector<std::size_t> counts(P, static_cast<std::size_t>(B));
+  m.run([&](sim::Comm& c) {
+    std::vector<std::vector<double>> contribs(P, std::vector<double>(B, 1.0));
+    auto mine = coll::reduce_scatter(c, std::move(contribs));
+    coll::all_gather(c, std::vector<double>(B, 1.0), counts);
+  });
+  const double L = ceil_log2(P);
+  EXPECT_LE(m.critical_path().words, 8.0 * (P - 1.0) * B + 4.0 * P);
+  EXPECT_LE(m.critical_path().msgs, 10.0 * L);
+}
+
+TEST_P(CollectiveCosts, AllToAllTwoPhaseMeetsTable1Bound) {
+  auto [P, B] = GetParam();
+  sim::Machine m(P);
+  m.run([&](sim::Comm& c) {
+    std::vector<std::vector<double>> outgoing(P, std::vector<double>(B, 1.0));
+    coll::all_to_all(c, std::move(outgoing), Alg::TwoPhase);
+  });
+  const double L = ceil_log2(P);
+  const double Bstar = static_cast<double>(B) * P;  // uniform blocks
+  // Table 1: (B* + P^2) log P words, log P messages (two index rounds here).
+  EXPECT_LE(m.critical_path().words, 8.0 * (Bstar + static_cast<double>(P) * P) * L);
+  EXPECT_LE(m.critical_path().msgs, 8.0 * L);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CollectiveCosts,
+                         ::testing::Combine(::testing::Values(2, 4, 7, 16, 32),
+                                            ::testing::Values(1, 16, 256, 2048)));
+
+// The headline of Appendix A.2: for large blocks, bidirectional-exchange
+// broadcast/reduce beat the binomial tree's B log P bandwidth.
+TEST(CollectiveCosts, BidirBeatsBinomialForLargeBlocks) {
+  const int P = 32;
+  const int B = 4096;
+  auto measure = [&](Alg alg) {
+    sim::Machine m(P);
+    m.run([&](sim::Comm& c) {
+      std::vector<double> data(B, 1.0);
+      coll::broadcast(c, 0, data, alg);
+    });
+    return m.critical_path();
+  };
+  const auto bin = measure(Alg::Binomial);
+  const auto bidir = measure(Alg::BidirExchange);
+  // Binomial moves ~B log P on the root's path; bidir ~2B.
+  EXPECT_GT(bin.words, 2.5 * bidir.words);
+  // The price: more messages.
+  EXPECT_GE(bidir.msgs, bin.msgs);
+  // Auto must pick the cheaper-bandwidth variant here.
+  const auto aut = measure(Alg::Auto);
+  EXPECT_LE(aut.words, bidir.words * 1.01);
+}
+
+TEST(CollectiveCosts, BinomialBeatsBidirForTinyBlocks) {
+  const int P = 32;
+  auto measure = [&](Alg alg) {
+    sim::Machine m(P);
+    m.run([&](sim::Comm& c) {
+      std::vector<double> data(2, 1.0);
+      coll::broadcast(c, 0, data, alg);
+    });
+    return m.critical_path();
+  };
+  const auto bin = measure(Alg::Binomial);
+  const auto aut = measure(Alg::Auto);
+  EXPECT_DOUBLE_EQ(aut.words, bin.words);
+  EXPECT_DOUBLE_EQ(aut.msgs, bin.msgs);
+}
+
+// Two-phase all-to-all bounds per-processor traffic by row/column sums (B*),
+// not by P * max-block; with one huge block the index algorithm forwards the
+// whole block through log P hops while two-phase spreads it.
+TEST(CollectiveCosts, TwoPhaseBalancesSkewedAllToAll) {
+  const int P = 16;
+  const std::size_t big = 16384;
+  auto measure = [&](Alg alg) {
+    sim::Machine m(P);
+    m.run([&](sim::Comm& c) {
+      std::vector<std::vector<double>> outgoing(P);
+      if (c.rank() == 0) outgoing[P - 1].assign(big, 1.0);
+      coll::all_to_all(c, std::move(outgoing), alg);
+    });
+    return m.critical_path();
+  };
+  const auto index = measure(Alg::Index);
+  const auto two = measure(Alg::TwoPhase);
+  // Index: the big block can traverse up to log2(P)=4 hops end to end; the
+  // two-phase words path stays near 2*big + metadata.
+  EXPECT_LT(two.words, 0.75 * index.words);
+}
+
+TEST(CollectiveCosts, ReduceScatterFlopsMatchTable1) {
+  // Table 1: reduce-scatter performs (P-1)B additions along the path.
+  const int P = 8;
+  const std::size_t B = 256;
+  sim::Machine m(P);
+  m.run([&](sim::Comm& c) {
+    std::vector<std::vector<double>> contribs(P, std::vector<double>(B, 1.0));
+    coll::reduce_scatter(c, std::move(contribs));
+  });
+  EXPECT_LE(m.critical_path().flops, 2.0 * (P - 1.0) * B);
+  EXPECT_GE(m.critical_path().flops, 0.5 * B);
+}
+
+TEST(CollectiveCosts, BroadcastValueIndependentOfAlgorithmUnderSubComms) {
+  // Collectives on split communicators stay isolated per group.
+  const int P = 8;
+  sim::Machine m(P);
+  m.run([&](sim::Comm& c) {
+    sim::Comm half = c.split(c.rank() % 2, c.rank());
+    std::vector<double> data(33, 0.0);
+    if (half.rank() == 0) data.assign(33, 5.0 + c.rank() % 2);
+    coll::broadcast(half, 0, data);
+    for (double x : data) EXPECT_DOUBLE_EQ(x, 5.0 + c.rank() % 2);
+  });
+}

@@ -1,0 +1,316 @@
+// Tests for the Section 8.1 baselines: 1D-HOUSE, 2D-HOUSE and CAQR,
+// including the Table 2 / Table 3 cost-shape assertions against the new
+// algorithms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/caqr_2d.hpp"
+#include "core/caqr_eg_1d.hpp"
+#include "core/house_1d.hpp"
+#include "core/house_2d.hpp"
+#include "core/params.hpp"
+#include "core/tsqr.hpp"
+#include "la/checks.hpp"
+#include "la/householder.hpp"
+#include "la/random.hpp"
+#include "mm/layout.hpp"
+#include "sim/machine.hpp"
+
+namespace core = qr3d::core;
+namespace la = qr3d::la;
+namespace mm = qr3d::mm;
+namespace sim = qr3d::sim;
+using la::index_t;
+
+namespace {
+
+std::vector<index_t> block_starts(index_t m, int P) {
+  mm::BlockRows b = mm::BlockRows::balanced(m, 1, P);
+  std::vector<index_t> starts(static_cast<std::size_t>(P) + 1);
+  for (int p = 0; p <= P; ++p)
+    starts[static_cast<std::size_t>(p)] = p == P ? m : b.row_start(p);
+  return starts;
+}
+
+/// This rank's local block-cyclic matrix for global A.
+la::Matrix bc_local(const core::BlockCyclic& bc, int pr, int pc, const la::Matrix& A) {
+  la::Matrix out(bc.local_rows(pr), bc.local_cols(pc));
+  for (index_t li = 0; li < out.rows(); ++li)
+    for (index_t lj = 0; lj < out.cols(); ++lj)
+      out(li, lj) = A(bc.grow(pr, li), bc.gcol(pc, lj));
+  return out;
+}
+
+/// Reassemble the global factored matrix from all ranks' local storage.
+la::Matrix bc_assemble(const core::BlockCyclic& bc, const std::vector<la::Matrix>& locals) {
+  la::Matrix F(bc.m, bc.n);
+  for (int w = 0; w < bc.g.size(); ++w) {
+    const int pr = bc.g.row_of(w);
+    const int pc = bc.g.col_of(w);
+    const la::Matrix& L = locals[static_cast<std::size_t>(w)];
+    for (index_t li = 0; li < L.rows(); ++li)
+      for (index_t lj = 0; lj < L.cols(); ++lj) F(bc.grow(pr, li), bc.gcol(pc, lj)) = L(li, lj);
+  }
+  return F;
+}
+
+/// Check a 2D result: Q = prod_k (I - V_k T_k V_k^H) applied to [R; 0]
+/// reproduces A, and R matches the reference |R|.
+void expect_valid_2d(const la::Matrix& A, const core::BlockCyclic& bc,
+                     const std::vector<la::Matrix>& locals, const std::vector<la::Matrix>& Ts,
+                     double tol = 1e-10) {
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  la::Matrix F = bc_assemble(bc, locals);
+
+  // C = [R; 0].
+  la::Matrix C(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) C(i, j) = F(i, j);
+
+  // Apply panels from the last to the first.
+  const index_t K = static_cast<index_t>(Ts.size());
+  for (index_t k = K - 1; k >= 0; --k) {
+    const index_t j0 = k * bc.b;
+    const index_t jb = std::min(bc.b, n - j0);
+    la::Matrix V(m - j0, jb);
+    for (index_t i = j0; i < m; ++i)
+      for (index_t jj = 0; jj < jb; ++jj) {
+        const index_t j = j0 + jj;
+        if (i > j) V(i - j0, jj) = F(i, j);
+        else if (i == j) V(i - j0, jj) = 1.0;
+      }
+    la::MatrixView Csub = C.block(j0, 0, m - j0, n);
+    la::apply_q<double>(V.view(), Ts[static_cast<std::size_t>(k)].view(), la::Op::NoTrans, Csub);
+  }
+
+  const double na = la::frobenius_norm(A.view());
+  EXPECT_LT(la::diff_norm(C.view(), A.view()) / (na == 0 ? 1.0 : na), tol);
+
+  // |R| agrees with a reference local QR.
+  la::QrFactors ref = la::qr_factor<double>(A.view());
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i; j < n; ++j)
+      EXPECT_NEAR(std::abs(F(i, j)), std::abs(ref.R(i, j)), 1e-8 * (1.0 + std::abs(ref.R(i, j))));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// 1D-HOUSE
+// ---------------------------------------------------------------------------
+
+class House1dCase : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(House1dCase, FactorsReconstruct) {
+  auto [m, n, P] = GetParam();
+  la::Matrix A = la::random_matrix(m, n, 4000 + m + n + P);
+  const auto starts = block_starts(m, P);
+  sim::Machine machine(P);
+  std::vector<la::Matrix> vs(P);
+  la::Matrix T, R;
+  machine.run([&](sim::Comm& c) {
+    la::Matrix Al = la::copy<double>(
+        A.block(starts[c.rank()], 0, starts[c.rank() + 1] - starts[c.rank()], n));
+    core::DistributedQr r = core::house_1d(c, la::ConstMatrixView(Al.view()));
+    vs[c.rank()] = std::move(r.V);
+    if (c.rank() == 0) {
+      T = std::move(r.T);
+      R = std::move(r.R);
+    }
+  });
+  la::Matrix V(m, n);
+  for (int p = 0; p < P; ++p)
+    la::assign<double>(V.block(starts[p], 0, starts[p + 1] - starts[p], n), vs[p].view());
+
+  EXPECT_TRUE(la::is_unit_lower_trapezoidal(V.view(), 1e-12));
+  EXPECT_TRUE(la::is_upper_triangular(T.view(), 1e-12));
+  EXPECT_LT(la::qr_residual(A.view(), V.view(), T.view(), R.view()), 1e-11);
+  EXPECT_LT(la::orthogonality_loss(V.view(), T.view()), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, House1dCase,
+                         ::testing::Values(std::tuple{24, 6, 1}, std::tuple{32, 8, 2},
+                                           std::tuple{64, 8, 4}, std::tuple{60, 5, 6},
+                                           std::tuple{96, 12, 8}, std::tuple{26, 2, 13}));
+
+TEST(House1d, ZeroMatrixIsHandled) {
+  la::Matrix A(32, 4);  // all zeros: every tau = 0
+  const auto starts = block_starts(32, 4);
+  sim::Machine machine(4);
+  machine.run([&](sim::Comm& c) {
+    la::Matrix Al = la::copy<double>(
+        A.block(starts[c.rank()], 0, starts[c.rank() + 1] - starts[c.rank()], 4));
+    core::DistributedQr r = core::house_1d(c, la::ConstMatrixView(Al.view()));
+    if (c.rank() == 0) {
+      EXPECT_LT(la::frobenius_norm(r.R.view()), 1e-14);
+      EXPECT_LT(la::frobenius_norm(r.T.view()), 1e-14);  // all kernels zero
+    }
+  });
+}
+
+TEST(House1d, CostsMatchTable3Row1) {
+  // Table 3: n^2 log P words, n log P messages.
+  const index_t n = 16;
+  for (int P : {4, 16}) {
+    const index_t m = static_cast<index_t>(P) * 2 * n;
+    la::Matrix A = la::random_matrix(m, n, 9);
+    const auto starts = block_starts(m, P);
+    sim::Machine machine(P);
+    machine.run([&](sim::Comm& c) {
+      la::Matrix Al = la::copy<double>(
+          A.block(starts[c.rank()], 0, starts[c.rank() + 1] - starts[c.rank()], n));
+      core::house_1d(c, la::ConstMatrixView(Al.view()));
+    });
+    const double L = core::log2_ceil(P);
+    const auto cp = machine.critical_path();
+    EXPECT_LE(cp.words, 10.0 * static_cast<double>(n) * n * L + 10.0 * n * P);
+    EXPECT_LE(cp.msgs, 24.0 * static_cast<double>(n) * L);
+    // Latency really is Theta(n log P): much more than TSQR's Theta(log P).
+    EXPECT_GE(cp.msgs, static_cast<double>(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2D-HOUSE and CAQR
+// ---------------------------------------------------------------------------
+
+class Grid2dCase
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int, int>> {};
+
+TEST_P(Grid2dCase, House2dFactorsReconstruct) {
+  auto [m, n, P, b, r, c] = GetParam();
+  la::Matrix A = la::random_matrix(m, n, 5000 + m + n + P + b);
+  core::House2dOptions opts;
+  opts.b = b;
+  opts.grid_r = r;
+  opts.grid_c = c;
+  core::BlockCyclic bc{m, n, b, core::ProcGrid2{r, c}};
+
+  sim::Machine machine(P);
+  std::vector<la::Matrix> locals(P);
+  std::vector<la::Matrix> Ts;
+  machine.run([&](sim::Comm& comm) {
+    la::Matrix Al = bc_local(bc, bc.g.row_of(comm.rank()), bc.g.col_of(comm.rank()), A);
+    core::Grid2dQr out = core::house_2d(comm, la::ConstMatrixView(Al.view()), m, n, opts);
+    locals[comm.rank()] = std::move(out.local);
+    if (comm.rank() == 0) Ts = std::move(out.T);
+  });
+  expect_valid_2d(A, bc, locals, Ts);
+}
+
+TEST_P(Grid2dCase, Caqr2dFactorsReconstruct) {
+  auto [m, n, P, b, r, c] = GetParam();
+  la::Matrix A = la::random_matrix(m, n, 6000 + m + n + P + b);
+  core::Caqr2dOptions opts;
+  opts.b = b;
+  opts.grid_r = r;
+  opts.grid_c = c;
+  core::BlockCyclic bc{m, n, b, core::ProcGrid2{r, c}};
+
+  sim::Machine machine(P);
+  std::vector<la::Matrix> locals(P);
+  std::vector<la::Matrix> Ts;
+  machine.run([&](sim::Comm& comm) {
+    la::Matrix Al = bc_local(bc, bc.g.row_of(comm.rank()), bc.g.col_of(comm.rank()), A);
+    core::Grid2dQr out = core::caqr_2d(comm, la::ConstMatrixView(Al.view()), m, n, opts);
+    locals[comm.rank()] = std::move(out.local);
+    if (comm.rank() == 0) Ts = std::move(out.T);
+  });
+  expect_valid_2d(A, bc, locals, Ts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesGridsBlocks, Grid2dCase,
+    ::testing::Values(std::tuple{16, 8, 1, 2, 1, 1},     // single rank
+                      std::tuple{32, 16, 4, 2, 2, 2},    // square grid
+                      std::tuple{48, 12, 4, 3, 4, 1},    // column grid
+                      std::tuple{40, 20, 4, 4, 1, 4},    // row grid
+                      std::tuple{64, 32, 8, 4, 4, 2},    // rectangular
+                      std::tuple{33, 17, 6, 3, 3, 2},    // non-divisible shapes
+                      std::tuple{72, 24, 12, 4, 4, 3},   // larger grid
+                      std::tuple{24, 24, 4, 5, 2, 2}));  // square matrix, odd b
+
+TEST(Grid2d, ProcGridChooseMatchesAspectRatio) {
+  // Square matrix: c ~ sqrt(P).
+  auto g1 = core::ProcGrid2::choose(256, 256, 16);
+  EXPECT_EQ(g1.c, 4);
+  EXPECT_EQ(g1.r, 4);
+  // Very tall: c -> 1 (row-dominant grid).
+  auto g2 = core::ProcGrid2::choose(1 << 16, 16, 16);
+  EXPECT_EQ(g2.c, 1);
+  EXPECT_EQ(g2.r, 16);
+  // Always exact cover.
+  for (int P : {6, 12, 7}) {
+    auto g = core::ProcGrid2::choose(1000, 100, P);
+    EXPECT_EQ(g.size(), P);
+  }
+}
+
+TEST(Grid2d, BlockCyclicIndexRoundTrip) {
+  core::BlockCyclic bc{37, 23, 4, core::ProcGrid2{3, 2}};
+  index_t total = 0;
+  for (int pr = 0; pr < 3; ++pr) {
+    for (index_t li = 0; li < bc.local_rows(pr); ++li) {
+      const index_t i = bc.grow(pr, li);
+      EXPECT_LT(i, 37);
+      EXPECT_EQ(bc.lrow(i), li);
+      EXPECT_EQ(static_cast<int>((i / 4) % 3), pr);
+    }
+    total += bc.local_rows(pr);
+  }
+  EXPECT_EQ(total, 37);
+  for (int pc = 0; pc < 2; ++pc)
+    for (index_t lj = 0; lj < bc.local_cols(pc); ++lj)
+      EXPECT_EQ(bc.lcol(bc.gcol(pc, lj)), lj);
+  // local_rows_below is the local insertion point.
+  for (int pr = 0; pr < 3; ++pr)
+    for (index_t i = 0; i <= 37; ++i) {
+      index_t cnt = 0;
+      for (index_t li = 0; li < bc.local_rows(pr); ++li)
+        if (bc.grow(pr, li) < i) ++cnt;
+      EXPECT_EQ(bc.local_rows_below(pr, i), cnt) << "pr=" << pr << " i=" << i;
+    }
+}
+
+TEST(Grid2d, CaqrBeatsHouse2dOnMessages) {
+  // Table 2, rows 1 vs 2: same words order, but CAQR needs far fewer
+  // messages because panels are TSQR (log P) instead of b columns of
+  // all-reduces.
+  const index_t m = 512, n = 128;
+  const int P = 16;
+  la::Matrix A = la::random_matrix(m, n, 10);
+
+  auto measure = [&](auto&& run) {
+    sim::Machine machine(P);
+    machine.run(run);
+    return machine.critical_path();
+  };
+
+  core::ProcGrid2 grid = core::ProcGrid2::choose(m, n, P);
+  core::House2dOptions hopts;  // b = 1, Theta(1) per the Table 2 setup
+  hopts.grid_r = grid.r;
+  hopts.grid_c = grid.c;
+  core::BlockCyclic hbc{m, n, 1, grid};
+  const auto house = measure([&](sim::Comm& comm) {
+    la::Matrix Al = bc_local(hbc, hbc.g.row_of(comm.rank()), hbc.g.col_of(comm.rank()), A);
+    core::house_2d(comm, la::ConstMatrixView(Al.view()), m, n, hopts);
+  });
+
+  core::Caqr2dOptions copts;  // derived b
+  copts.grid_r = grid.r;
+  copts.grid_c = grid.c;
+  // Compute the derived b to build matching local blocks.
+  const double ratio = std::max(1.0, static_cast<double>(n) * P / static_cast<double>(m));
+  const index_t cb = std::min<index_t>(
+      n, static_cast<index_t>(std::ceil(n / std::sqrt(ratio))));
+  core::BlockCyclic cbc{m, n, cb, grid};
+  const auto caqr = measure([&](sim::Comm& comm) {
+    la::Matrix Al = bc_local(cbc, cbc.g.row_of(comm.rank()), cbc.g.col_of(comm.rank()), A);
+    core::caqr_2d(comm, la::ConstMatrixView(Al.view()), m, n, copts);
+  });
+
+  EXPECT_LT(caqr.msgs, 0.5 * house.msgs);
+}

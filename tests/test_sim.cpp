@@ -1,0 +1,245 @@
+// Unit tests for the simulated machine (src/sim): message semantics,
+// communicator splitting, and the Section 3 critical-path cost accounting.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+
+namespace sim = qr3d::sim;
+
+TEST(Machine, SingleRankRuns) {
+  sim::Machine m(1);
+  int ran = 0;
+  m.run([&](sim::Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ran = 1;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Machine, PingPongValues) {
+  sim::Machine m(2);
+  m.run([](sim::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, {1.0, 2.0, 3.0}, 7);
+      auto back = c.recv(1, 8);
+      ASSERT_EQ(back.size(), 1u);
+      EXPECT_DOUBLE_EQ(back[0], 6.0);
+    } else {
+      auto v = c.recv(0, 7);
+      double s = 0;
+      for (double x : v) s += x;
+      c.send(0, {s}, 8);
+    }
+  });
+}
+
+TEST(Machine, FifoOrderPerSourceAndTag) {
+  sim::Machine m(2);
+  m.run([](sim::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, {1.0}, 5);
+      c.send(1, {2.0}, 5);
+      c.send(1, {3.0}, 6);
+    } else {
+      // Tag 6 can be taken first even though it was sent last.
+      EXPECT_DOUBLE_EQ(c.recv(0, 6)[0], 3.0);
+      EXPECT_DOUBLE_EQ(c.recv(0, 5)[0], 1.0);
+      EXPECT_DOUBLE_EQ(c.recv(0, 5)[0], 2.0);
+    }
+  });
+}
+
+TEST(Machine, SendCostAccounting) {
+  sim::CostParams cp;
+  cp.alpha = 2.0;
+  cp.beta = 0.5;
+  cp.gamma = 0.0;
+  sim::Machine m(2, cp);
+  m.run([](sim::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, std::vector<double>(10, 1.0), 1);
+    } else {
+      c.recv(0, 1);
+    }
+  });
+  // Sender path: one send task of 10 words.
+  EXPECT_DOUBLE_EQ(m.rank_clock(0).msgs, 1.0);
+  EXPECT_DOUBLE_EQ(m.rank_clock(0).words, 10.0);
+  EXPECT_DOUBLE_EQ(m.rank_clock(0).time, 2.0 + 0.5 * 10.0);
+  // Receiver path: the send task (via the message edge) plus its own receive
+  // task, each alpha + 10*beta; words/messages likewise accumulate both ends.
+  EXPECT_DOUBLE_EQ(m.rank_clock(1).msgs, 2.0);
+  EXPECT_DOUBLE_EQ(m.rank_clock(1).words, 20.0);
+  EXPECT_DOUBLE_EQ(m.rank_clock(1).time, 2.0 * (2.0 + 0.5 * 10.0));
+}
+
+TEST(Machine, CriticalPathTakesMaxAcrossIndependentWork) {
+  sim::CostParams cp;
+  cp.alpha = 0.0;
+  cp.beta = 0.0;
+  cp.gamma = 1.0;
+  sim::Machine m(2, cp);
+  m.run([](sim::Comm& c) {
+    c.charge_flops(c.rank() == 0 ? 100.0 : 40.0);
+  });
+  EXPECT_DOUBLE_EQ(m.critical_path().flops, 100.0);
+  EXPECT_DOUBLE_EQ(m.totals().flops, 140.0);
+}
+
+TEST(Machine, ReceiveMergesSenderClock) {
+  sim::CostParams cp;
+  cp.alpha = 1.0;
+  cp.beta = 0.0;
+  cp.gamma = 1.0;
+  sim::Machine m(2, cp);
+  m.run([](sim::Comm& c) {
+    if (c.rank() == 0) {
+      c.charge_flops(50.0);
+      c.send(1, {}, 3);
+    } else {
+      c.charge_flops(5.0);
+      c.recv(0, 3);
+      // Receiver's flop path is max(5, 50) = 50 — flops ride the message edge.
+      EXPECT_DOUBLE_EQ(c.clock().flops, 50.0);
+      // Time: max(5*gamma, 50*gamma + alpha) + alpha = 52.
+      EXPECT_DOUBLE_EQ(c.clock().time, 52.0);
+    }
+  });
+}
+
+TEST(Machine, PerMetricPathsAreIndependent) {
+  // Rank 0 does flops then sends; rank 1 sends lots of words to rank 2.
+  // Rank 2's words-path and flops-path run through different predecessors.
+  sim::CostParams cp;
+  cp.alpha = 0.0;
+  cp.beta = 1.0;
+  cp.gamma = 1.0;
+  sim::Machine m(3, cp);
+  m.run([](sim::Comm& c) {
+    if (c.rank() == 0) {
+      c.charge_flops(1000.0);
+      c.send(2, {1.0}, 1);  // 1 word
+    } else if (c.rank() == 1) {
+      c.send(2, std::vector<double>(100, 0.0), 2);  // 100 words, no flops
+    } else {
+      c.recv(0, 1);
+      c.recv(1, 2);
+    }
+  });
+  const auto& clk = m.rank_clock(2);
+  EXPECT_DOUBLE_EQ(clk.flops, 1000.0);  // via rank 0's message edge
+  // words: recv(0) gives max(0,1)+1 = 2; recv(1) gives max(2,100)+100 = 200.
+  EXPECT_DOUBLE_EQ(clk.words, 200.0);
+  EXPECT_DOUBLE_EQ(clk.msgs, 3.0);  // one sender hop + two receives
+}
+
+TEST(Machine, SplitFormsRowGroups) {
+  sim::Machine m(6);
+  m.run([](sim::Comm& world) {
+    // Two groups of three: color = rank / 3, ordered by rank.
+    sim::Comm row = world.split(world.rank() / 3, world.rank());
+    EXPECT_EQ(row.size(), 3);
+    EXPECT_EQ(row.rank(), world.rank() % 3);
+    // Ring message inside the group: values never cross groups.
+    const double tag_val = 100.0 * (world.rank() / 3) + row.rank();
+    row.send((row.rank() + 1) % 3 == row.rank() ? row.rank() : (row.rank() + 1) % 3, {tag_val}, 4);
+    auto v = row.recv((row.rank() + 2) % 3, 4);
+    EXPECT_DOUBLE_EQ(v[0], 100.0 * (world.rank() / 3) + (row.rank() + 2) % 3);
+  });
+}
+
+TEST(Machine, SplitWithKeyReordersRanks) {
+  sim::Machine m(4);
+  m.run([](sim::Comm& world) {
+    // Reverse order via key.
+    sim::Comm rev = world.split(0, -world.rank());
+    EXPECT_EQ(rev.size(), 4);
+    EXPECT_EQ(rev.rank(), 3 - world.rank());
+  });
+}
+
+TEST(Machine, SplitNegativeColorYieldsInvalidComm) {
+  sim::Machine m(4);
+  m.run([](sim::Comm& world) {
+    sim::Comm c = world.split(world.rank() == 0 ? -1 : 0, world.rank());
+    if (world.rank() == 0) {
+      EXPECT_FALSE(c.valid());
+    } else {
+      ASSERT_TRUE(c.valid());
+      EXPECT_EQ(c.size(), 3);
+    }
+  });
+}
+
+TEST(Machine, RepeatedSplitsOnSameComm) {
+  sim::Machine m(4);
+  m.run([](sim::Comm& world) {
+    for (int round = 0; round < 3; ++round) {
+      sim::Comm c = world.split(world.rank() % 2, world.rank());
+      EXPECT_EQ(c.size(), 2);
+    }
+  });
+}
+
+TEST(Machine, SubCommMessagesDoNotCrossIntoParent) {
+  sim::Machine m(2);
+  m.run([](sim::Comm& world) {
+    sim::Comm sub = world.split(0, world.rank());
+    if (world.rank() == 0) {
+      sub.send(1, {42.0}, 9);
+      world.send(1, {7.0}, 9);
+    } else {
+      // Same (src, tag) but different communicators must not be confused.
+      EXPECT_DOUBLE_EQ(world.recv(0, 9)[0], 7.0);
+      EXPECT_DOUBLE_EQ(sub.recv(0, 9)[0], 42.0);
+    }
+  });
+}
+
+TEST(Machine, ExceptionInOneRankAbortsRun) {
+  sim::Machine m(3);
+  EXPECT_THROW(m.run([](sim::Comm& c) {
+    if (c.rank() == 0) throw std::runtime_error("boom");
+    // Other ranks block on a message that never arrives; the abort must
+    // unblock them instead of hanging the test.
+    c.recv(0, 1);
+  }),
+               std::runtime_error);
+}
+
+TEST(Machine, SelfSendIsRejected) {
+  sim::Machine m(2);
+  EXPECT_THROW(m.run([](sim::Comm& c) { c.send(c.rank(), {1.0}, 0); }), std::invalid_argument);
+}
+
+TEST(Machine, RunResetsStateBetweenRuns) {
+  sim::Machine m(2);
+  auto body = [](sim::Comm& c) {
+    if (c.rank() == 0) c.send(1, {1.0}, 1);
+    else c.recv(0, 1);
+  };
+  m.run(body);
+  const double w1 = m.critical_path().words;
+  m.run(body);
+  EXPECT_DOUBLE_EQ(m.critical_path().words, w1);
+}
+
+TEST(Machine, EmptyMessageCostsOnlyLatency) {
+  sim::CostParams cp;
+  cp.alpha = 3.0;
+  cp.beta = 100.0;
+  cp.gamma = 0.0;
+  sim::Machine m(2, cp);
+  m.run([](sim::Comm& c) {
+    if (c.rank() == 0) c.send(1, {}, 1);
+    else c.recv(0, 1);
+  });
+  EXPECT_DOUBLE_EQ(m.rank_clock(1).time, 6.0);
+  EXPECT_DOUBLE_EQ(m.rank_clock(1).words, 0.0);
+  EXPECT_DOUBLE_EQ(m.rank_clock(1).msgs, 2.0);
+}
