@@ -9,9 +9,6 @@
 //     bandwidth saving of Theorem 2 disappears, demonstrating that the
 //     bidirectional-exchange reduce/broadcast is exactly where the win lives.
 #include "bench_util.hpp"
-#include "coll/coll.hpp"
-#include "core/caqr_eg_1d.hpp"
-#include "cost/model.hpp"
 
 namespace b = qr3d::bench;
 namespace coll = qr3d::coll;
@@ -88,7 +85,7 @@ int main() {
         opts.bcast_alg = Alg::Binomial;
       }
       const auto cp = b::measure(P, [&](sim::Comm& c) {
-        la::Matrix Al = b::block_local(m, P, c.rank(), A);
+        la::Matrix Al = b::block_local(c, A);
         core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()), opts);
       });
       t.row({forced ? "binomial (ablated)" : "auto (bidirectional)", b::num(cp.words),

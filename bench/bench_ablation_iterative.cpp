@@ -7,9 +7,6 @@
 // multiplications are long and thin (restricting the 3D grids — the
 // "restricts the available parallelism" remark).
 #include "bench_util.hpp"
-#include "core/caqr_eg_3d.hpp"
-#include "core/caqr_eg_3d_iterative.hpp"
-#include "core/params.hpp"
 
 namespace b = qr3d::bench;
 namespace core = qr3d::core;
@@ -23,7 +20,6 @@ int main() {
   for (auto [m, n, P] : {std::tuple<la::index_t, la::index_t, int>{256, 128, 16},
                          std::tuple<la::index_t, la::index_t, int>{512, 256, 16}}) {
     la::Matrix A = la::random_matrix(m, n, 1111);
-    mm::CyclicRows lay(m, n, P, 0);
     const la::index_t bpanel = core::block_size_3d(m, n, P, 2.0 / 3.0);
     std::printf("m=%lld n=%lld P=%d (panel width %lld)\n", static_cast<long long>(m),
                 static_cast<long long>(n), P, static_cast<long long>(bpanel));
@@ -34,7 +30,7 @@ int main() {
       opts.b = bpanel;
       opts.alltoall_alg = qr3d::coll::Alg::Index;
       const auto cp = b::measure(P, [&](sim::Comm& c) {
-        core::caqr_eg_3d(c, la::ConstMatrixView(b::cyclic_local(lay, c.rank(), A).view()), m, n,
+        core::caqr_eg_3d(c, la::ConstMatrixView(b::cyclic_local(c, A).view()), m, n,
                          opts);
       });
       t.row({"recursive (full T)", b::num(cp.flops), b::num(cp.words), b::num(cp.msgs),
@@ -47,7 +43,7 @@ int main() {
       double kernel_words = 0.0;
       const auto cp = b::measure(P, [&](sim::Comm& c) {
         core::IterativeQr f = core::caqr_eg_3d_iterative(
-            c, la::ConstMatrixView(b::cyclic_local(lay, c.rank(), A).view()), m, n, opts);
+            c, la::ConstMatrixView(b::cyclic_local(c, A).view()), m, n, opts);
         if (c.rank() == 0) {
           kernel_words = 0.0;
           for (std::size_t k = 0; k < f.panel_starts.size(); ++k) {

@@ -7,10 +7,6 @@
 #include <cmath>
 
 #include "bench_util.hpp"
-#include "cost/model.hpp"
-#include "la/packing.hpp"
-#include "mm/mm_1d.hpp"
-#include "mm/mm_3d.hpp"
 
 namespace b = qr3d::bench;
 namespace cost = qr3d::cost;

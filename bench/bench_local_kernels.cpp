@@ -4,12 +4,8 @@
 // is not pathological).
 #include <benchmark/benchmark.h>
 
-#include "la/blas.hpp"
-#include "la/householder.hpp"
-#include "la/lu.hpp"
-#include "la/random.hpp"
-#include "sim/comm.hpp"
-#include "sim/machine.hpp"
+#include "qr3d.hpp"
+
 
 namespace la = qr3d::la;
 namespace sim = qr3d::sim;

@@ -4,9 +4,6 @@
 // measured alpha-beta-gamma time of the tuned run against the fixed
 // Theorem 1 defaults (delta = 2/3, eps = 1) and the extremes.
 #include "bench_util.hpp"
-#include "core/caqr_eg_3d.hpp"
-#include "cost/tuner.hpp"
-#include "sim/profiles.hpp"
 
 namespace b = qr3d::bench;
 namespace core = qr3d::core;
@@ -21,7 +18,6 @@ int main() {
   const la::index_t m = 256, n = 128;
   const int P = 32;
   la::Matrix A = la::random_matrix(m, n, 999);
-  mm::CyclicRows lay(m, n, P, 0);
 
   auto measure_time = [&](const sim::CostParams& prof, double delta, double eps) {
     core::CaqrEg3dOptions opts;
@@ -29,7 +25,7 @@ int main() {
     opts.epsilon = eps;
     sim::Machine machine(P, prof);
     machine.run([&](sim::Comm& c) {
-      la::Matrix Al = b::cyclic_local(lay, c.rank(), A);
+      la::Matrix Al = b::cyclic_local(c, A);
       core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
     });
     return machine.critical_path().time;

@@ -7,8 +7,6 @@
 #include <cmath>
 
 #include "bench_util.hpp"
-#include "coll/coll.hpp"
-#include "cost/model.hpp"
 
 namespace b = qr3d::bench;
 namespace coll = qr3d::coll;

@@ -11,10 +11,6 @@
 // improve with delta but sit above the clean Table 2 model; the ordering
 // between algorithms is the signal.
 #include "bench_util.hpp"
-#include "core/caqr_2d.hpp"
-#include "core/caqr_eg_3d.hpp"
-#include "core/house_2d.hpp"
-#include "cost/model.hpp"
 
 namespace b = qr3d::bench;
 namespace core = qr3d::core;
@@ -86,9 +82,8 @@ int main() {
       core::CaqrEg3dOptions opts;
       opts.delta = delta;
       opts.alltoall_alg = qr3d::coll::Alg::Index;  // see bench_theorem1 note
-      mm::CyclicRows lay(m, n, P, 0);
       const auto cp = b::measure(P, [&](sim::Comm& c) {
-        la::Matrix Al = b::cyclic_local(lay, c.rank(), A);
+        la::Matrix Al = b::cyclic_local(c, A);
         core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
       });
       const auto mdl = cost::table2_caqr_eg_3d(m, n, P, delta);

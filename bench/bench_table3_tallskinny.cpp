@@ -9,10 +9,6 @@
 // shape: TSQR kills 1D-HOUSE's Theta(n) latency factor; 1D-CAQR-EG (eps = 1)
 // further removes the log P bandwidth factor at a log P latency price.
 #include "bench_util.hpp"
-#include "core/caqr_eg_1d.hpp"
-#include "core/house_1d.hpp"
-#include "core/tsqr.hpp"
-#include "cost/model.hpp"
 
 namespace b = qr3d::bench;
 namespace core = qr3d::core;
@@ -35,7 +31,7 @@ int main() {
     auto run = [&](const char* name, const cost::Costs& model,
                    const std::function<void(sim::Comm&, la::ConstMatrixView)>& algo) {
       const auto cp = b::measure(P, [&](sim::Comm& c) {
-        la::Matrix Al = b::block_local(m, P, c.rank(), A);
+        la::Matrix Al = b::block_local(c, A);
         algo(c, la::ConstMatrixView(Al.view()));
       });
       t.row({name, b::num(cp.flops), b::num(model.flops), b::num(cp.words), b::num(model.words),

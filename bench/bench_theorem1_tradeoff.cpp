@@ -18,9 +18,6 @@
 #include <cmath>
 
 #include "bench_util.hpp"
-#include "core/caqr_eg_3d.hpp"
-#include "core/params.hpp"
-#include "cost/model.hpp"
 
 namespace b = qr3d::bench;
 namespace core = qr3d::core;
@@ -36,7 +33,6 @@ int main() {
   for (auto [m, n, P] : {std::tuple<la::index_t, la::index_t, int>{512, 256, 16},
                          std::tuple<la::index_t, la::index_t, int>{1024, 256, 16}}) {
     la::Matrix A = la::random_matrix(m, n, 444);
-    mm::CyclicRows lay(m, n, P, 0);
     std::printf("m=%lld n=%lld P=%d (nP/m = %.1f)\n", static_cast<long long>(m),
                 static_cast<long long>(n), P, static_cast<double>(n) * P / m);
 
@@ -46,7 +42,7 @@ int main() {
       opts.delta = delta;
       opts.alltoall_alg = qr3d::coll::Alg::Index;
       const auto cp = b::measure(P, [&](sim::Comm& c) {
-        la::Matrix Al = b::cyclic_local(lay, c.rank(), A);
+        la::Matrix Al = b::cyclic_local(c, A);
         core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
       });
       const la::index_t bb = core::block_size_3d(m, n, P, delta);

@@ -4,10 +4,6 @@
 // As eps grows toward 1, words decay by (log P)^(1-eps) to the Omega(n^2)
 // lower bound while messages grow by (log P)^(1+eps).
 #include "bench_util.hpp"
-#include "core/caqr_eg_1d.hpp"
-#include "core/params.hpp"
-#include "core/tsqr.hpp"
-#include "cost/model.hpp"
 
 namespace b = qr3d::bench;
 namespace core = qr3d::core;
@@ -30,7 +26,7 @@ int main() {
 
     {  // TSQR reference row.
       const auto cp = b::measure(P, [&](sim::Comm& c) {
-        la::Matrix Al = b::block_local(m, P, c.rank(), A);
+        la::Matrix Al = b::block_local(c, A);
         core::tsqr(c, la::ConstMatrixView(Al.view()));
       });
       const auto mdl = cost::tsqr(m, n, P);
@@ -42,7 +38,7 @@ int main() {
       core::CaqrEg1dOptions opts;
       opts.epsilon = eps;
       const auto cp = b::measure(P, [&](sim::Comm& c) {
-        la::Matrix Al = b::block_local(m, P, c.rank(), A);
+        la::Matrix Al = b::block_local(c, A);
         core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()), opts);
       });
       const auto mdl = cost::caqr_eg_1d(m, n, P, eps);

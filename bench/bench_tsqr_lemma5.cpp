@@ -9,9 +9,6 @@
 // (a) TSQR words grow with log P at fixed n (Lemma 5),
 // (b) 1D-CAQR-EG words stay ~n^2 across the same sweep (Theorem 2).
 #include "bench_util.hpp"
-#include "core/caqr_eg_1d.hpp"
-#include "core/tsqr.hpp"
-#include "cost/model.hpp"
 
 namespace b = qr3d::bench;
 namespace core = qr3d::core;
@@ -29,13 +26,13 @@ int main() {
     const la::index_t m = static_cast<la::index_t>(P) * n;
     la::Matrix A = la::random_matrix(m, n, 777);
     const auto ts = b::measure(P, [&](sim::Comm& c) {
-      la::Matrix Al = b::block_local(m, P, c.rank(), A);
+      la::Matrix Al = b::block_local(c, A);
       core::tsqr(c, la::ConstMatrixView(Al.view()));
     });
     core::CaqrEg1dOptions opts;
     opts.epsilon = 1.0;
     const auto eg = b::measure(P, [&](sim::Comm& c) {
-      la::Matrix Al = b::block_local(m, P, c.rank(), A);
+      la::Matrix Al = b::block_local(c, A);
       core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()), opts);
     });
     const double n2 = static_cast<double>(n) * n;

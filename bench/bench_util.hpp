@@ -14,10 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "la/matrix.hpp"
-#include "la/random.hpp"
-#include "mm/layout.hpp"
-#include "sim/machine.hpp"
+#include "qr3d.hpp"
 
 namespace qr3d::bench {
 
@@ -29,19 +26,14 @@ inline sim::CostClock measure(int P, const std::function<void(sim::Comm&)>& body
   return machine.critical_path();
 }
 
-/// This rank's rows of A under a row-cyclic layout.
-inline la::Matrix cyclic_local(const mm::CyclicRows& lay, int rank, const la::Matrix& A) {
-  la::Matrix out(lay.local_rows(rank), A.cols());
-  for (la::index_t li = 0; li < out.rows(); ++li)
-    for (la::index_t j = 0; j < A.cols(); ++j) out(li, j) = A(lay.global_row(rank, li), j);
-  return out;
+/// This rank's rows of A under a row-cyclic layout (via DistMatrix).
+inline la::Matrix cyclic_local(sim::Comm& comm, const la::Matrix& A) {
+  return DistMatrix::local_of(comm, A.view(), Dist::CyclicRows);
 }
 
-/// Balanced block-row slice (rank 0 gets the top rows).
-inline la::Matrix block_local(la::index_t m, int P, int rank, const la::Matrix& A) {
-  mm::BlockRows b = mm::BlockRows::balanced(m, A.cols(), P);
-  return la::copy<double>(
-      A.block(b.row_start(rank), 0, b.row_end(rank) - b.row_start(rank), A.cols()));
+/// Balanced block-row slice, rank 0 getting the top rows (via DistMatrix).
+inline la::Matrix block_local(sim::Comm& comm, const la::Matrix& A) {
+  return DistMatrix::local_of(comm, A.view(), Dist::BlockRows);
 }
 
 // --- Minimal fixed-width table printer. --------------------------------------

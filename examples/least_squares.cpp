@@ -1,23 +1,15 @@
 // Least squares via distributed QR — the motivating application from the
-// paper's introduction.
+// paper's introduction, now a single call into the library:
 //
-// Solve min_x ||A x - b||_2 for an overdetermined system:
-//   1. factor A = Q R with 3D-CAQR-EG,
-//   2. y = Q^H b (apply_q_cyclic reuses the 3D multiplication machinery),
-//   3. solve R x = y_top on the root and report the residual.
-#include <cmath>
+//   x = solver.factor(A).solve_least_squares(b)
+//
+// does A = QR, y = Q^H b (3D multiplication machinery), and the triangular
+// solve R x = y_top, returning x replicated on every rank.
 #include <cstdio>
 
-#include "core/api.hpp"
-#include "la/blas.hpp"
-#include "la/checks.hpp"
-#include "la/random.hpp"
-#include "mm/layout.hpp"
-#include "sim/machine.hpp"
+#include "qr3d.hpp"
 
-namespace core = qr3d::core;
 namespace la = qr3d::la;
-namespace mm = qr3d::mm;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -31,32 +23,14 @@ int main() {
   la::Matrix noise = la::random_matrix(m, 1, 13);
   la::add(1e-6, la::ConstMatrixView(noise.view()), b.view());
 
-  mm::CyclicRows alay(m, n, P, 0);
-  mm::CyclicRows blay(m, 1, P, 0);
-
   sim::Machine machine(P);
   machine.run([&](sim::Comm& comm) {
-    la::Matrix A_local(alay.local_rows(comm.rank()), n);
-    la::Matrix b_local(blay.local_rows(comm.rank()), 1);
-    for (la::index_t li = 0; li < A_local.rows(); ++li) {
-      const la::index_t i = alay.global_row(comm.rank(), li);
-      for (la::index_t j = 0; j < n; ++j) A_local(li, j) = A(i, j);
-      b_local(li, 0) = b(i, 0);
-    }
+    qr3d::DistMatrix Ad = qr3d::DistMatrix::from_global(comm, A.view());
+    qr3d::DistMatrix bd = qr3d::DistMatrix::from_global(comm, b.view());
 
-    core::CyclicQr f = core::qr(comm, la::ConstMatrixView(A_local.view()), m, n);
+    la::Matrix x = qr3d::solve_least_squares(Ad, bd);
 
-    // y = Q^H b, still row-cyclic.
-    la::Matrix y_local = core::apply_q_cyclic(comm, f, m, n, b_local, 1, la::Op::ConjTrans);
-
-    // Solve R x = y_top on the root (R is small: n x n).
-    la::Matrix R = core::gather_to_root(comm, f.R, n, n);
-    la::Matrix y = core::gather_to_root(comm, y_local, m, 1);
     if (comm.rank() == 0) {
-      la::Matrix x = la::copy<double>(y.block(0, 0, n, 1));
-      la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0, R.view(),
-               x.view());
-
       la::Matrix r = la::copy<double>(b.view());
       la::gemm(-1.0, la::Op::NoTrans, la::ConstMatrixView(A.view()), la::Op::NoTrans,
                la::ConstMatrixView(x.view()), 1.0, r.view());

@@ -5,38 +5,27 @@
 // For four stylized machine profiles, the analytic model of Eq. (13) picks
 // (delta, epsilon); the example then runs 3D-CAQR-EG under each profile with
 // the tuned and the untuned parameters and prints the simulated runtimes.
+// QrOptions::with_tune_for_machine() is the facade switch; the Solver caches
+// the tuned parameters per problem shape.
 #include <cstdio>
 
-#include "core/api.hpp"
-#include "cost/tuner.hpp"
-#include "la/random.hpp"
-#include "mm/layout.hpp"
-#include "sim/machine.hpp"
-#include "sim/profiles.hpp"
+#include "qr3d.hpp"
 
-namespace core = qr3d::core;
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
-namespace mm = qr3d::mm;
 namespace sim = qr3d::sim;
 
 int main() {
   const la::index_t m = 128, n = 64;
   const int P = 16;
   la::Matrix A = la::random_matrix(m, n, 7);
-  mm::CyclicRows layout(m, n, P, 0);
 
   auto simulate = [&](const sim::CostParams& prof, bool tuned) {
     sim::Machine machine(P, prof);
+    qr3d::Solver solver(
+        qr3d::QrOptions().with_algorithm(qr3d::Algorithm::CaqrEg3d).with_tune_for_machine(tuned));
     machine.run([&](sim::Comm& comm) {
-      la::Matrix A_local(layout.local_rows(comm.rank()), n);
-      for (la::index_t li = 0; li < A_local.rows(); ++li)
-        for (la::index_t j = 0; j < n; ++j)
-          A_local(li, j) = A(layout.global_row(comm.rank(), li), j);
-      core::QrOptions opts;
-      opts.algorithm = core::Algorithm::CaqrEg3d;
-      opts.tune_for_machine = tuned;
-      core::qr(comm, la::ConstMatrixView(A_local.view()), m, n, opts);
+      solver.factor(qr3d::DistMatrix::from_global(comm, A.view()));
     });
     return machine.critical_path().time;
   };

@@ -4,20 +4,14 @@
 // per processor, exact alpha-beta-gamma cost accounting).  Your code runs as
 // an SPMD body against a Comm, exactly like an MPI program:
 //
-//   1. build this rank's rows of A (row-cyclic layout: row i on rank i % P);
-//   2. call core::qr(...) — collective;
-//   3. use the Householder factors (V, T, R), also distributed.
+//   1. wrap this rank's rows of A in a qr3d::DistMatrix (row-cyclic layout);
+//   2. factor it through a qr3d::Solver — collective;
+//   3. use the Householder factors (V, T, R), also DistMatrix-distributed.
 #include <cstdio>
 
-#include "core/api.hpp"
-#include "la/checks.hpp"
-#include "la/random.hpp"
-#include "mm/layout.hpp"
-#include "sim/machine.hpp"
+#include "qr3d.hpp"
 
-namespace core = qr3d::core;
 namespace la = qr3d::la;
-namespace mm = qr3d::mm;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -27,24 +21,20 @@ int main() {
   // The full matrix exists only in this driver, to build local blocks and to
   // check the answer; the simulated ranks only ever see their own rows.
   la::Matrix A = la::random_matrix(m, n, 2024);
-  mm::CyclicRows layout(m, n, P, 0);
 
   sim::Machine machine(P);
   machine.run([&](sim::Comm& comm) {
-    // This rank's rows of A.
-    la::Matrix A_local(layout.local_rows(comm.rank()), n);
-    for (la::index_t li = 0; li < A_local.rows(); ++li)
-      for (la::index_t j = 0; j < n; ++j)
-        A_local(li, j) = A(layout.global_row(comm.rank(), li), j);
+    // This rank's rows of A, row-cyclic.
+    qr3d::DistMatrix Ad = qr3d::DistMatrix::from_global(comm, A.view());
 
-    // Factor: V is row-cyclic like A; T and R are row-cyclic n x n.
-    core::CyclicQr f = core::qr(comm, la::ConstMatrixView(A_local.view()), m, n);
+    // Factor: V is distributed like A; T and R are row-cyclic n x n.
+    qr3d::Factorization f = qr3d::Solver().factor(Ad);
 
     // Verify on rank 0: gather the factors and check the Householder
     // reconstruction A = (I - V T V^H) [R; 0] and orthogonality.
-    la::Matrix V = core::gather_to_root(comm, f.V, m, n);
-    la::Matrix T = core::gather_to_root(comm, f.T, n, n);
-    la::Matrix R = core::gather_to_root(comm, f.R, n, n);
+    la::Matrix V = f.v().gather();
+    la::Matrix T = f.t().gather();
+    la::Matrix R = f.r().gather();
     if (comm.rank() == 0) {
       std::printf("backward error |A - QR|/|A|     : %.2e\n",
                   la::qr_residual(A.view(), V.view(), T.view(), R.view()));

@@ -1,5 +1,6 @@
 // Tall-skinny polynomial regression: the m/n >= P regime where the paper
-// says to call the base-case machinery (TSQR / 1D-CAQR-EG) directly.
+// says to call the base-case machinery (TSQR / 1D-CAQR-EG) directly —
+// qr3d::Algorithm::Auto makes that dispatch for you.
 //
 // Fits a degree-7 polynomial to 16384 noisy samples on 16 simulated
 // processors.  The Vandermonde-style design matrix is mildly ill-conditioned,
@@ -8,17 +9,9 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/api.hpp"
-#include "core/caqr_eg_1d.hpp"
-#include "la/blas.hpp"
-#include "la/checks.hpp"
-#include "la/random.hpp"
-#include "mm/layout.hpp"
-#include "sim/machine.hpp"
+#include "qr3d.hpp"
 
-namespace core = qr3d::core;
 namespace la = qr3d::la;
-namespace mm = qr3d::mm;
 namespace sim = qr3d::sim;
 
 namespace {
@@ -48,31 +41,16 @@ int main() {
     b(i, 0) = poly_true(t) + 1e-8 * noise(i, 0);
   }
 
-  mm::CyclicRows alay(m, n, P, 0);
-  mm::CyclicRows blay(m, 1, P, 0);
-
   sim::Machine machine(P);
   machine.run([&](sim::Comm& comm) {
-    la::Matrix A_local(alay.local_rows(comm.rank()), n);
-    la::Matrix b_local(blay.local_rows(comm.rank()), 1);
-    for (la::index_t li = 0; li < A_local.rows(); ++li) {
-      const la::index_t i = alay.global_row(comm.rank(), li);
-      for (la::index_t j = 0; j < n; ++j) A_local(li, j) = A(i, j);
-      b_local(li, 0) = b(i, 0);
-    }
+    qr3d::DistMatrix Ad = qr3d::DistMatrix::from_global(comm, A.view());
+    qr3d::DistMatrix bd = qr3d::DistMatrix::from_global(comm, b.view());
 
     // Aspect ratio m/n = 2048 >> P, so Algorithm::Auto dispatches straight
     // to the tall-skinny base case (Section 1's advice).
-    core::CyclicQr f = core::qr(comm, la::ConstMatrixView(A_local.view()), m, n);
-    la::Matrix y_local = core::apply_q_cyclic(comm, f, m, n, b_local, 1, la::Op::ConjTrans);
+    la::Matrix x = qr3d::solve_least_squares(Ad, bd);
 
-    la::Matrix R = core::gather_to_root(comm, f.R, n, n);
-    la::Matrix y = core::gather_to_root(comm, y_local, m, 1);
     if (comm.rank() == 0) {
-      la::Matrix x = la::copy<double>(y.block(0, 0, n, 1));
-      la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0, R.view(),
-               x.view());
-
       std::printf("fitted coefficients (true: 1, -2, 0.5, 4, -1, 0, 0, 0):\n  ");
       for (la::index_t j = 0; j < n; ++j) std::printf("%+.6f ", x(j, 0));
       std::printf("\n");

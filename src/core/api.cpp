@@ -1,5 +1,6 @@
 #include "core/api.hpp"
 
+#include "core/dist_matrix.hpp"
 #include "cost/tuner.hpp"
 #include "la/flops.hpp"
 #include "la/packing.hpp"
@@ -9,12 +10,9 @@
 
 namespace qr3d::core {
 
-CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
-            QrOptions opts) {
-  const int P = comm.size();
-  CaqrEg3dOptions params = opts.params;
-
-  switch (opts.algorithm) {
+CaqrEg3dOptions resolve_algorithm(la::index_t m, la::index_t n, int P, Algorithm alg,
+                                  CaqrEg3dOptions params) {
+  switch (alg) {
     case Algorithm::BaseCase:
       params.b = n;  // immediate base case: conversion + 1D-CAQR-EG
       break;
@@ -27,6 +25,13 @@ CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::ind
     case Algorithm::CaqrEg3d:
       break;
   }
+  return params;
+}
+
+CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+            QrOptions opts) {
+  const int P = comm.size();
+  CaqrEg3dOptions params = resolve_algorithm(m, n, P, opts.algorithm, opts.params);
 
   if (opts.tune_for_machine && params.b == 0) {
     const cost::Tuned3d t = cost::tune_3d(static_cast<double>(m), static_cast<double>(n), P,
@@ -37,8 +42,9 @@ CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::ind
   return caqr_eg_3d(comm, A_local, m, n, params);
 }
 
-la::Matrix apply_q_cyclic(sim::Comm& comm, const CyclicQr& f, la::index_t m, la::index_t n,
-                          const la::Matrix& X_local, la::index_t k, la::Op op) {
+la::Matrix apply_q_cyclic(sim::Comm& comm, const la::Matrix& V_local, const la::Matrix& T_local,
+                          la::index_t m, la::index_t n, const la::Matrix& X_local, la::index_t k,
+                          la::Op op) {
   const int P = comm.size();
   const mm::CyclicRows lay_x(m, k, P, 0);
   const mm::CyclicRows lay_v(m, n, P, 0);
@@ -50,17 +56,18 @@ la::Matrix apply_q_cyclic(sim::Comm& comm, const CyclicQr& f, la::index_t m, la:
              "apply_q_cyclic: X layout mismatch");
 
   // M1 = V^H X  (n x k).
-  auto m1 = mm::mm_3d(comm, n, k, m, lay_vh, la::to_vector_rowmajor(f.V.view()), lay_x,
+  auto m1 = mm::mm_3d(comm, n, k, m, lay_vh, la::to_vector_rowmajor(V_local.view()), lay_x,
                       la::to_vector(X_local.view()), lay_nk);
   // M2 = op(T) M1.
   std::vector<double> m2;
   if (op == la::Op::NoTrans) {
-    m2 = mm::mm_3d(comm, n, k, n, lay_t, la::to_vector(f.T.view()), lay_nk, m1, lay_nk);
+    m2 = mm::mm_3d(comm, n, k, n, lay_t, la::to_vector(T_local.view()), lay_nk, m1, lay_nk);
   } else {
-    m2 = mm::mm_3d(comm, n, k, n, lay_th, la::to_vector_rowmajor(f.T.view()), lay_nk, m1, lay_nk);
+    m2 = mm::mm_3d(comm, n, k, n, lay_th, la::to_vector_rowmajor(T_local.view()), lay_nk, m1,
+                   lay_nk);
   }
   // Y = X - V M2.
-  auto vm2 = mm::mm_3d(comm, m, k, n, lay_v, la::to_vector(f.V.view()), lay_nk, m2, lay_x);
+  auto vm2 = mm::mm_3d(comm, m, k, n, lay_v, la::to_vector(V_local.view()), lay_nk, m2, lay_x);
   la::Matrix Y = mm::unpack_rows(lay_x, comm.rank(), vm2);
   la::scale(-1.0, Y.view());
   la::add(1.0, la::ConstMatrixView(X_local.view()), Y.view());
@@ -68,14 +75,14 @@ la::Matrix apply_q_cyclic(sim::Comm& comm, const CyclicQr& f, la::index_t m, la:
   return Y;
 }
 
+la::Matrix apply_q_cyclic(sim::Comm& comm, const CyclicQr& f, la::index_t m, la::index_t n,
+                          const la::Matrix& X_local, la::index_t k, la::Op op) {
+  return apply_q_cyclic(comm, f.V, f.T, m, n, X_local, k, op);
+}
+
 la::Matrix gather_to_root(sim::Comm& comm, const la::Matrix& local, la::index_t rows,
                           la::index_t cols) {
-  const int P = comm.size();
-  const mm::CyclicRows from(rows, cols, P, 0);
-  const mm::Replicated0 to(rows, cols, P, 0);
-  auto buf = mm::redistribute(comm, from, to, la::to_vector(local.view()));
-  if (comm.rank() != 0) return {};
-  return la::from_vector(rows, cols, buf);
+  return DistMatrix::gather_local(comm, local.view(), rows, cols, Dist::CyclicRows, 0);
 }
 
 la::Matrix rebuild_kernel_cyclic(sim::Comm& comm, const la::Matrix& V_local, la::index_t m,

@@ -1,15 +1,17 @@
-// High-level driver API: the entry points a downstream user calls.
+// Low-level driver entry points over raw local blocks.
 //
-//   * qr()            — factor a row-cyclic matrix, picking the algorithm the
-//                       paper recommends for the aspect ratio (Section 1):
-//                       m/n >= P goes straight to the tall-skinny base case,
-//                       otherwise the full 3D-CAQR-EG recursion runs with the
-//                       Theorem 1 parameters (optionally machine-tuned).
-//   * apply_q_cyclic  — apply Q or Q^H (from a CyclicQr) to a row-cyclic
-//                       block of vectors using the same 3D multiplication
-//                       machinery the factorization uses.
-//   * gather_to_root  — collect a row-cyclic matrix on rank 0 (convenience
-//                       for small factors like R in examples and tests).
+// These are the procedural primitives underneath the public facade
+// (qr3d.hpp's DistMatrix / Solver / Factorization); prefer the facade in new
+// code.  They remain for internal callers and as the single implementation
+// point the object layer delegates to:
+//
+//   * qr()               — factor a row-cyclic matrix with the Section 1
+//                          aspect-ratio dispatch (resolve_algorithm) and
+//                          optional machine tuning.
+//   * apply_q_cyclic     — apply Q or Q^H to a row-cyclic block of vectors
+//                          using the 3D multiplication machinery.
+//   * gather_to_root     — thin wrapper over DistMatrix::gather.
+//   * rebuild_kernel_cyclic — the Section 2.3 "T need not be stored" rebuild.
 #pragma once
 
 #include "core/caqr_eg_3d.hpp"
@@ -32,17 +34,30 @@ struct QrOptions {
   CaqrEg3dOptions params;
 };
 
+/// Resolve the Section 1 dispatch into concrete recursion parameters:
+/// BaseCase (and Auto with m/n >= P) pins b = n so the conversion + 1D base
+/// case runs immediately.  Shared by core::qr and qr3d::Solver.
+CaqrEg3dOptions resolve_algorithm(la::index_t m, la::index_t n, int P, Algorithm alg,
+                                  CaqrEg3dOptions params);
+
 /// Factor a row-cyclic m x n matrix (row i on rank i mod P).  Collective.
 CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
             QrOptions opts = {});
 
-/// X := Q * X (op = NoTrans) or Q^H * X (op = ConjTrans), where Q comes from
-/// a CyclicQr of an m x n matrix and X is a row-cyclic m x k block.
-/// Collective; returns this rank's rows of the result.
+/// X := Q * X (op = NoTrans) or Q^H * X (op = ConjTrans), where Q is given by
+/// the row-cyclic Householder factors (V_local, T_local) of an m x n matrix
+/// and X is a row-cyclic m x k block.  Collective; returns this rank's rows
+/// of the result.
+la::Matrix apply_q_cyclic(sim::Comm& comm, const la::Matrix& V_local, const la::Matrix& T_local,
+                          la::index_t m, la::index_t n, const la::Matrix& X_local, la::index_t k,
+                          la::Op op);
+
+/// Convenience overload taking the factorization bundle.
 la::Matrix apply_q_cyclic(sim::Comm& comm, const CyclicQr& f, la::index_t m, la::index_t n,
                           const la::Matrix& X_local, la::index_t k, la::Op op);
 
 /// Gather a row-cyclic (rows x cols) matrix onto rank 0 (empty elsewhere).
+/// Thin wrapper over qr3d::DistMatrix::gather — kept for internal callers.
 la::Matrix gather_to_root(sim::Comm& comm, const la::Matrix& local, la::index_t rows,
                           la::index_t cols);
 

@@ -1,0 +1,172 @@
+#include "core/dist_matrix.hpp"
+
+#include <utility>
+
+#include "coll/coll.hpp"
+#include "la/packing.hpp"
+#include "la/random.hpp"
+#include "mm/redistribute.hpp"
+
+namespace qr3d {
+
+namespace {
+
+/// Rows owned by `rank` under (dist, rows, P), as a [first, count, stride)
+/// description: global row of local li is first + li * stride.
+struct LocalRows {
+  la::index_t first = 0;
+  la::index_t count = 0;
+  la::index_t stride = 1;
+};
+
+LocalRows local_rows_of(Dist dist, la::index_t rows, la::index_t cols, int P, int rank) {
+  switch (dist) {
+    case Dist::CyclicRows: {
+      const mm::CyclicRows lay(rows, cols, P, 0);
+      return {lay.first_row(rank), lay.local_rows(rank), P};
+    }
+    case Dist::BlockRows: {
+      const mm::BlockRows lay = mm::BlockRows::balanced(rows, cols, P);
+      return {lay.row_start(rank), lay.row_end(rank) - lay.row_start(rank), 1};
+    }
+  }
+  QR3D_ASSERT(false, "unknown Dist");
+}
+
+}  // namespace
+
+DistMatrix::DistMatrix(sim::Comm& comm, la::index_t rows, la::index_t cols, Dist dist,
+                       la::Matrix local)
+    : comm_(&comm), rows_(rows), cols_(cols), dist_(dist), local_(std::move(local)) {}
+
+std::unique_ptr<mm::Layout> DistMatrix::layout_of(Dist dist, la::index_t rows, la::index_t cols,
+                                                  int P) {
+  switch (dist) {
+    case Dist::CyclicRows:
+      return std::make_unique<mm::CyclicRows>(rows, cols, P, 0);
+    case Dist::BlockRows:
+      return std::make_unique<mm::BlockRows>(mm::BlockRows::balanced(rows, cols, P));
+  }
+  QR3D_ASSERT(false, "unknown Dist");
+}
+
+std::unique_ptr<mm::Layout> DistMatrix::layout() const {
+  QR3D_CHECK(valid(), "DistMatrix: invalid placeholder");
+  return layout_of(dist_, rows_, cols_, comm_->size());
+}
+
+sim::Comm& DistMatrix::comm() const {
+  QR3D_CHECK(valid(), "DistMatrix: invalid placeholder");
+  return *comm_;
+}
+
+la::index_t DistMatrix::global_row(la::index_t li) const {
+  const LocalRows lr = local_rows_of(dist_, rows_, cols_, comm().size(), comm_->rank());
+  QR3D_CHECK(li >= 0 && li < lr.count, "DistMatrix::global_row: local index out of range");
+  return lr.first + li * lr.stride;
+}
+
+la::Matrix DistMatrix::local_of(sim::Comm& comm, la::ConstMatrixView A, Dist dist) {
+  const LocalRows lr = local_rows_of(dist, A.rows(), A.cols(), comm.size(), comm.rank());
+  la::Matrix local(lr.count, A.cols());
+  for (la::index_t li = 0; li < lr.count; ++li)
+    for (la::index_t j = 0; j < A.cols(); ++j) local(li, j) = A(lr.first + li * lr.stride, j);
+  return local;
+}
+
+DistMatrix DistMatrix::from_global(sim::Comm& comm, la::ConstMatrixView A, Dist dist) {
+  return DistMatrix(comm, A.rows(), A.cols(), dist, local_of(comm, A, dist));
+}
+
+DistMatrix DistMatrix::random(sim::Comm& comm, la::index_t rows, la::index_t cols,
+                              std::uint64_t seed, Dist dist) {
+  return from_global(comm, la::random_matrix(rows, cols, seed).view(), dist);
+}
+
+DistMatrix DistMatrix::wrap(sim::Comm& comm, la::Matrix local, la::index_t rows, la::index_t cols,
+                            Dist dist) {
+  const LocalRows lr = local_rows_of(dist, rows, cols, comm.size(), comm.rank());
+  QR3D_CHECK(local.rows() == lr.count && local.cols() == cols,
+             "DistMatrix::wrap: local block does not match the layout");
+  return DistMatrix(comm, rows, cols, dist, std::move(local));
+}
+
+DistMatrix DistMatrix::zeros(sim::Comm& comm, la::index_t rows, la::index_t cols, Dist dist) {
+  const LocalRows lr = local_rows_of(dist, rows, cols, comm.size(), comm.rank());
+  return DistMatrix(comm, rows, cols, dist, la::Matrix(lr.count, cols));
+}
+
+DistMatrix DistMatrix::scatter(sim::Comm& comm, const la::Matrix& A_root, la::index_t rows,
+                               la::index_t cols, Dist dist, int root) {
+  QR3D_CHECK(root >= 0 && root < comm.size(), "DistMatrix::scatter: bad root");
+  const int P = comm.size();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(P));
+  for (int q = 0; q < P; ++q) {
+    const LocalRows lr = local_rows_of(dist, rows, cols, P, q);
+    counts[static_cast<std::size_t>(q)] = static_cast<std::size_t>(lr.count * cols);
+  }
+  std::vector<std::vector<double>> blocks;
+  if (comm.rank() == root) {
+    QR3D_CHECK(A_root.rows() == rows && A_root.cols() == cols,
+               "DistMatrix::scatter: root matrix shape mismatch");
+    blocks.resize(static_cast<std::size_t>(P));
+    for (int q = 0; q < P; ++q) {
+      const LocalRows lr = local_rows_of(dist, rows, cols, P, q);
+      auto& b = blocks[static_cast<std::size_t>(q)];
+      b.reserve(counts[static_cast<std::size_t>(q)]);
+      // Column-major over the local row block: the canonical wire format.
+      for (la::index_t j = 0; j < cols; ++j)
+        for (la::index_t li = 0; li < lr.count; ++li)
+          b.push_back(A_root(lr.first + li * lr.stride, j));
+    }
+  }
+  std::vector<double> mine = coll::scatter(comm, root, blocks, counts);
+  const LocalRows lr = local_rows_of(dist, rows, cols, P, comm.rank());
+  return DistMatrix(comm, rows, cols, dist, la::from_vector(lr.count, cols, mine));
+}
+
+la::Matrix DistMatrix::gather_local(sim::Comm& comm, la::ConstMatrixView local, la::index_t rows,
+                                    la::index_t cols, Dist dist, int root) {
+  QR3D_CHECK(root >= 0 && root < comm.size(), "DistMatrix::gather: bad root");
+  const LocalRows lr = local_rows_of(dist, rows, cols, comm.size(), comm.rank());
+  QR3D_CHECK(local.rows() == lr.count && local.cols() == cols,
+             "DistMatrix::gather: local block does not match the layout");
+  const auto from = layout_of(dist, rows, cols, comm.size());
+  const mm::Replicated0 to(rows, cols, comm.size(), root);
+  auto buf = mm::redistribute(comm, *from, to, la::to_vector(local));
+  if (comm.rank() != root) return {};
+  return la::from_vector(rows, cols, buf);
+}
+
+la::Matrix DistMatrix::gather(int root) const {
+  return gather_local(this->comm(), local_.view(), rows_, cols_, dist_, root);
+}
+
+la::Matrix DistMatrix::replicate_from_root(sim::Comm& comm, const la::Matrix& at_root,
+                                           la::index_t rows, la::index_t cols, int root) {
+  QR3D_CHECK(root >= 0 && root < comm.size(), "DistMatrix::replicate_from_root: bad root");
+  std::vector<double> flat(static_cast<std::size_t>(rows * cols));
+  if (comm.rank() == root) {
+    QR3D_CHECK(at_root.rows() == rows && at_root.cols() == cols,
+               "DistMatrix::replicate_from_root: root matrix shape mismatch");
+    flat = la::to_vector(at_root.view());
+  }
+  coll::broadcast(comm, root, flat);
+  return la::from_vector(rows, cols, flat);
+}
+
+la::Matrix DistMatrix::gather_all() const {
+  return replicate_from_root(this->comm(), gather(0), rows_, cols_, 0);
+}
+
+DistMatrix DistMatrix::redistribute(Dist target) const {
+  sim::Comm& comm = this->comm();
+  if (target == dist_) return *this;
+  const auto from = layout();
+  const auto to = layout_of(target, rows_, cols_, comm.size());
+  auto buf = mm::redistribute(comm, *from, *to, la::to_vector(local_.view()));
+  const LocalRows lr = local_rows_of(target, rows_, cols_, comm.size(), comm.rank());
+  return DistMatrix(comm, rows_, cols_, target, la::from_vector(lr.count, cols_, buf));
+}
+
+}  // namespace qr3d

@@ -1,0 +1,132 @@
+// qr3d::DistMatrix — the library's distributed-matrix abstraction.
+//
+// A DistMatrix owns this rank's rows of a global m x n matrix together with
+// the communicator it is distributed over and a layout tag.  It is the one
+// place that knows how to slice, scatter, gather and redistribute row
+// distributions; every example, bench and test builds its inputs through it
+// instead of hand-rolling `global_row` loops.
+//
+// Layouts (extensible; both enumerate local data column-major over the local
+// row block, so the flat wire format is simply the local matrix's storage):
+//   * Dist::CyclicRows — row i on rank i mod P; the native input/output
+//     distribution of 3D-CAQR-EG (Section 7).
+//   * Dist::BlockRows  — balanced contiguous blocks, rank 0 holding the top
+//     rows; the input contract of the 1D family (TSQR, 1D-CAQR-EG).
+//
+// All factories and methods marked "collective" must be called by every rank
+// of the communicator, like MPI collectives.
+//
+// LIFETIME: a DistMatrix holds a reference to the rank's Comm, which lives on
+// the simulated processor's stack for the duration of Machine::run.  Like an
+// MPI_Comm-derived object, it must not outlive the SPMD body it was created
+// in — gather() (or std::move the local() block out) before run() returns if
+// the driver needs the data afterwards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "la/matrix.hpp"
+#include "mm/layout.hpp"
+#include "sim/comm.hpp"
+
+namespace qr3d {
+
+enum class Dist {
+  CyclicRows,  ///< row i lives on rank i mod P
+  BlockRows,   ///< balanced contiguous row blocks (rank 0 gets the top rows)
+};
+
+class DistMatrix {
+ public:
+  /// Invalid placeholder (valid() == false); assign a factory result to it.
+  DistMatrix() = default;
+
+  // --- Factories -----------------------------------------------------------
+
+  /// Slice a driver-side replicated matrix: every rank passes the same
+  /// global A and keeps its own rows.  No communication (the matrix already
+  /// exists everywhere); this is how tests and examples build inputs.
+  static DistMatrix from_global(sim::Comm& comm, la::ConstMatrixView A,
+                                Dist dist = Dist::CyclicRows);
+
+  /// Just the local row block of from_global, as a plain matrix — for call
+  /// sites that feed a raw-local API and don't need the DistMatrix handle.
+  static la::Matrix local_of(sim::Comm& comm, la::ConstMatrixView A,
+                             Dist dist = Dist::CyclicRows);
+
+  /// Deterministic uniform(-1, 1) test matrix, identical to
+  /// from_global(la::random_matrix(m, n, seed)).  No communication.
+  static DistMatrix random(sim::Comm& comm, la::index_t rows, la::index_t cols,
+                           std::uint64_t seed, Dist dist = Dist::CyclicRows);
+
+  /// Distribute root's matrix to all ranks (collective; A_root is ignored on
+  /// other ranks but its dimensions must be passed consistently everywhere).
+  static DistMatrix scatter(sim::Comm& comm, const la::Matrix& A_root, la::index_t rows,
+                            la::index_t cols, Dist dist = Dist::CyclicRows, int root = 0);
+
+  /// Adopt an already-distributed local row block (validated against the
+  /// layout).  No communication.
+  static DistMatrix wrap(sim::Comm& comm, la::Matrix local, la::index_t rows, la::index_t cols,
+                         Dist dist = Dist::CyclicRows);
+
+  /// All-zero distributed matrix.  No communication.
+  static DistMatrix zeros(sim::Comm& comm, la::index_t rows, la::index_t cols,
+                          Dist dist = Dist::CyclicRows);
+
+  // --- Collective data movement --------------------------------------------
+
+  /// Collect the full matrix on `root` (empty elsewhere).  Collective.
+  la::Matrix gather(int root = 0) const;
+
+  /// gather() from a raw local block without constructing a DistMatrix (and
+  /// without copying the block).  Collective.
+  static la::Matrix gather_local(sim::Comm& comm, la::ConstMatrixView local, la::index_t rows,
+                                 la::index_t cols, Dist dist = Dist::CyclicRows, int root = 0);
+
+  /// Collect the full matrix on every rank.  Collective.
+  la::Matrix gather_all() const;
+
+  /// Replicate root's (rows x cols) matrix on every rank (the broadcast half
+  /// of gather_all; at_root is ignored on other ranks).  Collective.
+  static la::Matrix replicate_from_root(sim::Comm& comm, const la::Matrix& at_root,
+                                        la::index_t rows, la::index_t cols, int root = 0);
+
+  /// Move to another layout.  Collective; no-op copy if already there.
+  DistMatrix redistribute(Dist target) const;
+
+  // --- Accessors -----------------------------------------------------------
+
+  bool valid() const { return comm_ != nullptr; }
+  sim::Comm& comm() const;
+  la::index_t rows() const { return rows_; }
+  la::index_t cols() const { return cols_; }
+  Dist dist() const { return dist_; }
+
+  /// This rank's rows, ascending by global index (column-major storage).
+  const la::Matrix& local() const { return local_; }
+  la::Matrix& local() { return local_; }
+
+  la::index_t local_rows() const { return local_.rows(); }
+  /// Global index of local row `li` on this rank.
+  la::index_t global_row(la::index_t li) const;
+
+  /// The mm:: layout object describing this distribution (for interop with
+  /// the redistribution / 3D-multiplication machinery).
+  std::unique_ptr<mm::Layout> layout() const;
+
+  /// Layout object of a hypothetical (rows x cols) matrix in `dist` over P.
+  static std::unique_ptr<mm::Layout> layout_of(Dist dist, la::index_t rows, la::index_t cols,
+                                               int P);
+
+ private:
+  DistMatrix(sim::Comm& comm, la::index_t rows, la::index_t cols, Dist dist, la::Matrix local);
+
+  sim::Comm* comm_ = nullptr;
+  la::index_t rows_ = 0;
+  la::index_t cols_ = 0;
+  Dist dist_ = Dist::CyclicRows;
+  la::Matrix local_;
+};
+
+}  // namespace qr3d

@@ -1,0 +1,65 @@
+// qr3d — single public umbrella header.
+//
+// Include this (and nothing under core/, mm/, la/, sim/, coll/, cost/
+// directly) from applications, examples and benches.  The public surface is:
+//
+//   qr3d::DistMatrix      distributed matrix: scatter/gather/random/from_global
+//   qr3d::QrOptions       validated options builder (delta, epsilon, tuning)
+//   qr3d::Solver          factor(A) -> Factorization, caches tuned parameters
+//   qr3d::Factorization   apply_q / explicit_q / r / rebuild_kernel /
+//                         solve_least_squares
+//   qr3d::factor, qr3d::solve_least_squares   one-shot conveniences
+//
+// Supporting namespaces re-exported for power users (the simulated machine,
+// dense kernels, collectives, cost models, and the individual algorithms the
+// paper compares):
+//
+//   qr3d::sim    Machine / Comm / machine profiles (alpha-beta-gamma model)
+//   qr3d::la     dense matrices, BLAS-like kernels, checks, random generators
+//   qr3d::coll   the eight collectives of Section 3
+//   qr3d::mm     layouts, redistribution, 1D/3D matrix multiplication
+//   qr3d::core   TSQR, 1D/3D-CAQR-EG, 2D baselines, block-size rules
+//   qr3d::cost   closed-form cost models (Tables 1-3) and the machine tuner
+#pragma once
+
+// Dense linear algebra.
+#include "la/blas.hpp"
+#include "la/checks.hpp"
+#include "la/householder.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "la/packing.hpp"
+#include "la/qr_eg_serial.hpp"
+#include "la/random.hpp"
+#include "la/triangular.hpp"
+
+// Simulated machine and collectives.
+#include "coll/coll.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "sim/profiles.hpp"
+
+// Layouts and distributed matrix multiplication.
+#include "mm/layout.hpp"
+#include "mm/mm_1d.hpp"
+#include "mm/mm_3d.hpp"
+#include "mm/redistribute.hpp"
+
+// The QR algorithms and their parameters.
+#include "core/api.hpp"
+#include "core/caqr_2d.hpp"
+#include "core/caqr_eg_1d.hpp"
+#include "core/caqr_eg_3d.hpp"
+#include "core/caqr_eg_3d_iterative.hpp"
+#include "core/house_1d.hpp"
+#include "core/house_2d.hpp"
+#include "core/params.hpp"
+#include "core/tsqr.hpp"
+
+// Cost models and tuning.
+#include "cost/model.hpp"
+#include "cost/tuner.hpp"
+
+// The public facade.
+#include "core/dist_matrix.hpp"
+#include "core/solver.hpp"

@@ -4,14 +4,7 @@
 
 #include <cmath>
 
-#include "core/api.hpp"
-#include "cost/model.hpp"
-#include "cost/tuner.hpp"
-#include "la/checks.hpp"
-#include "la/random.hpp"
-#include "mm/layout.hpp"
-#include "sim/machine.hpp"
-#include "sim/profiles.hpp"
+#include "qr3d.hpp"
 
 namespace core = qr3d::core;
 namespace cost = qr3d::cost;
@@ -135,11 +128,8 @@ TEST(Tuner, ProfilesProduceFiniteDistinctChoices) {
 
 namespace {
 
-la::Matrix cyclic_local(const mm::CyclicRows& lay, int rank, const la::Matrix& A) {
-  la::Matrix out(lay.local_rows(rank), A.cols());
-  for (index_t li = 0; li < out.rows(); ++li)
-    for (index_t j = 0; j < A.cols(); ++j) out(li, j) = A(lay.global_row(rank, li), j);
-  return out;
+la::Matrix cyclic_local(sim::Comm& c, const la::Matrix& A) {
+  return qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::CyclicRows);
 }
 
 }  // namespace
@@ -149,13 +139,11 @@ class ApiCase : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 TEST_P(ApiCase, QrAndApplyQRoundTrip) {
   auto [m, n, P] = GetParam();
   la::Matrix A = la::random_matrix(m, n, 7000 + m + n);
-  mm::CyclicRows lay(m, n, P, 0);
-  mm::CyclicRows xlay(m, 3, P, 0);
   la::Matrix X = la::random_matrix(m, 3, 7100 + m);
 
   sim::Machine machine(P);
   machine.run([&](sim::Comm& c) {
-    la::Matrix Al = cyclic_local(lay, c.rank(), A);
+    la::Matrix Al = cyclic_local(c, A);
     core::CyclicQr f = core::qr(c, la::ConstMatrixView(Al.view()), m, n);
 
     // Q^H A should be [R; 0]: apply Q^H to A's local rows.
@@ -169,7 +157,7 @@ TEST_P(ApiCase, QrAndApplyQRoundTrip) {
     }
 
     // Q Q^H x == x.
-    la::Matrix Xl = cyclic_local(xlay, c.rank(), X);
+    la::Matrix Xl = cyclic_local(c, X);
     la::Matrix Y = core::apply_q_cyclic(c, f, m, n, Xl, 3, la::Op::ConjTrans);
     la::Matrix Z = core::apply_q_cyclic(c, f, m, n, Y, 3, la::Op::NoTrans);
     EXPECT_LT(la::diff_norm(Z.view(), Xl.view()), 1e-10 * (1.0 + la::frobenius_norm(Xl.view())));
@@ -185,11 +173,10 @@ TEST(Api, ForcedAlgorithmsAgreeOnR) {
   const index_t m = 36, n = 12;
   const int P = 4;
   la::Matrix A = la::random_matrix(m, n, 42);
-  mm::CyclicRows lay(m, n, P, 0);
   for (core::Algorithm alg : {core::Algorithm::CaqrEg3d, core::Algorithm::BaseCase}) {
     sim::Machine machine(P);
     machine.run([&](sim::Comm& c) {
-      la::Matrix Al = cyclic_local(lay, c.rank(), A);
+      la::Matrix Al = cyclic_local(c, A);
       core::QrOptions opts;
       opts.algorithm = alg;
       core::CyclicQr f = core::qr(c, la::ConstMatrixView(Al.view()), m, n, opts);
@@ -209,10 +196,9 @@ TEST(Api, TunedQrStillCorrect) {
   const index_t m = 32, n = 16;
   const int P = 8;
   la::Matrix A = la::random_matrix(m, n, 77);
-  mm::CyclicRows lay(m, n, P, 0);
   sim::Machine machine(P, sim::profiles::cloud());
   machine.run([&](sim::Comm& c) {
-    la::Matrix Al = cyclic_local(lay, c.rank(), A);
+    la::Matrix Al = cyclic_local(c, A);
     core::QrOptions opts;
     opts.tune_for_machine = true;
     core::CyclicQr f = core::qr(c, la::ConstMatrixView(Al.view()), m, n, opts);
@@ -227,10 +213,9 @@ TEST(Api, GatherToRootRoundTrip) {
   const index_t rows = 17, cols = 5;
   const int P = 3;
   la::Matrix A = la::random_matrix(rows, cols, 3);
-  mm::CyclicRows lay(rows, cols, P, 0);
   sim::Machine machine(P);
   machine.run([&](sim::Comm& c) {
-    la::Matrix loc = cyclic_local(lay, c.rank(), A);
+    la::Matrix loc = cyclic_local(c, A);
     la::Matrix full = core::gather_to_root(c, loc, rows, cols);
     if (c.rank() == 0) {
       EXPECT_LT(la::diff_norm(full.view(), A.view()), 1e-15);

@@ -7,6 +7,7 @@
 
 #include "core/caqr_eg_1d.hpp"
 #include "core/caqr_eg_3d.hpp"
+#include "core/dist_matrix.hpp"
 #include "core/params.hpp"
 #include "core/tsqr.hpp"
 #include "la/checks.hpp"
@@ -249,9 +250,7 @@ Assembled run_3d(const la::Matrix& A, int P, core::CaqrEg3dOptions opts) {
   sim::Machine machine(P);
   std::vector<core::CyclicQr> results(P);
   machine.run([&](sim::Comm& c) {
-    la::Matrix Al(vlay.local_rows(c.rank()), n);
-    for (index_t li = 0; li < Al.rows(); ++li)
-      for (index_t j = 0; j < n; ++j) Al(li, j) = A(vlay.global_row(c.rank(), li), j);
+    la::Matrix Al = qr3d::DistMatrix::local_of(c, A.view());
     results[c.rank()] = core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
   });
   Assembled out;

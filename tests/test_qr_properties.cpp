@@ -5,20 +5,7 @@
 
 #include <cmath>
 
-#include "core/api.hpp"
-#include "core/caqr_2d.hpp"
-#include "core/caqr_eg_1d.hpp"
-#include "core/caqr_eg_3d.hpp"
-#include "core/caqr_eg_3d_iterative.hpp"
-#include "core/house_1d.hpp"
-#include "core/house_2d.hpp"
-#include "core/tsqr.hpp"
-#include "la/checks.hpp"
-#include "la/householder.hpp"
-#include "la/random.hpp"
-#include "mm/layout.hpp"
-#include "mm/mm_3d.hpp"
-#include "sim/machine.hpp"
+#include "qr3d.hpp"
 
 namespace core = qr3d::core;
 namespace la = qr3d::la;
@@ -28,17 +15,13 @@ using la::index_t;
 
 namespace {
 
-la::Matrix cyclic_local(const mm::CyclicRows& lay, int rank, const la::Matrix& A) {
-  la::Matrix out(lay.local_rows(rank), A.cols());
-  for (index_t li = 0; li < out.rows(); ++li)
-    for (index_t j = 0; j < A.cols(); ++j) out(li, j) = A(lay.global_row(rank, li), j);
-  return out;
+// Distribution helpers: the one DistMatrix implementation, nothing hand-rolled.
+la::Matrix cyclic_local(sim::Comm& c, const la::Matrix& A) {
+  return qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::CyclicRows);
 }
 
-la::Matrix block_local(index_t m, int P, int rank, const la::Matrix& A) {
-  mm::BlockRows b = mm::BlockRows::balanced(m, A.cols(), P);
-  return la::copy<double>(
-      A.block(b.row_start(rank), 0, b.row_end(rank) - b.row_start(rank), A.cols()));
+la::Matrix block_local(sim::Comm& c, const la::Matrix& A) {
+  return qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::BlockRows);
 }
 
 /// |R| from every algorithm on the same matrix (QR unique up to row signs).
@@ -58,7 +41,7 @@ std::vector<la::Matrix> all_algorithm_abs_r(const la::Matrix& A, int P) {
     sim::Machine machine(P);
     la::Matrix R;
     machine.run([&](sim::Comm& c) {
-      la::Matrix Al = block_local(m, P, c.rank(), A);
+      la::Matrix Al = block_local(c, A);
       core::DistributedQr r;
       if (which == 0) r = core::tsqr(c, la::ConstMatrixView(Al.view()));
       if (which == 1) r = core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()));
@@ -72,12 +55,11 @@ std::vector<la::Matrix> all_algorithm_abs_r(const la::Matrix& A, int P) {
   {
     sim::Machine machine(P);
     la::Matrix R;
-    mm::CyclicRows lay(m, n, P, 0);
     machine.run([&](sim::Comm& c) {
       core::CaqrEg3dOptions opts;
       opts.b = std::max<index_t>(1, n / 2);
       core::CyclicQr f = core::caqr_eg_3d(
-          c, la::ConstMatrixView(cyclic_local(lay, c.rank(), A).view()), m, n, opts);
+          c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n, opts);
       la::Matrix Rg = core::gather_to_root(c, f.R, n, n);
       if (c.rank() == 0) R = std::move(Rg);
     });
@@ -140,12 +122,11 @@ TEST(Determinism, IdenticalRunsProduceIdenticalCostsAndFactors) {
   const index_t m = 48, n = 12;
   const int P = 6;
   la::Matrix A = la::random_matrix(m, n, 31);
-  mm::CyclicRows lay(m, n, P, 0);
 
   auto run_once = [&](la::Matrix& R_out) {
     sim::Machine machine(P);
     machine.run([&](sim::Comm& c) {
-      core::CyclicQr f = core::qr(c, la::ConstMatrixView(cyclic_local(lay, c.rank(), A).view()),
+      core::CyclicQr f = core::qr(c, la::ConstMatrixView(cyclic_local(c, A).view()),
                                   m, n);
       la::Matrix Rg = core::gather_to_root(c, f.R, n, n);
       if (c.rank() == 0) R_out = std::move(Rg);
@@ -177,13 +158,12 @@ TEST(CostClock, TimeRespectsPerMetricBoundsAcrossAlgorithms) {
     // The 1D algorithm needs m/n >= P; the 3D one runs square-ish.
     const index_t m = which == 0 ? 64 : static_cast<index_t>(P) * 2 * n;
     la::Matrix A = la::random_matrix(m, n, 17);
-    mm::CyclicRows lay(m, n, P, 0);
     sim::Machine machine(P, params);
     machine.run([&](sim::Comm& c) {
       if (which == 0) {
-        core::qr(c, la::ConstMatrixView(cyclic_local(lay, c.rank(), A).view()), m, n);
+        core::qr(c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n);
       } else {
-        la::Matrix Al = block_local(m, P, c.rank(), A);
+        la::Matrix Al = block_local(c, A);
         core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()));
       }
     });
@@ -206,7 +186,7 @@ TEST(DistributionInvariance, TsqrRMatchesAcrossBlockSplits) {
     sim::Machine machine(P);
     la::Matrix R;
     machine.run([&](sim::Comm& c) {
-      la::Matrix Al = block_local(m, P, c.rank(), A);
+      la::Matrix Al = block_local(c, A);
       core::DistributedQr r = core::tsqr(c, la::ConstMatrixView(Al.view()));
       if (c.rank() == 0) R = std::move(r.R);
     });
@@ -227,11 +207,10 @@ TEST(KernelRebuild, Section23IdentityHoldsForDistributedV) {
   const index_t m = 40, n = 10;
   const int P = 5;
   la::Matrix A = la::random_matrix(m, n, 41);
-  mm::CyclicRows lay(m, n, P, 0);
   sim::Machine machine(P);
   machine.run([&](sim::Comm& c) {
     core::CyclicQr f =
-        core::qr(c, la::ConstMatrixView(cyclic_local(lay, c.rank(), A).view()), m, n);
+        core::qr(c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n);
     la::Matrix T_rebuilt = core::rebuild_kernel_cyclic(c, f.V, m, n);
     la::Matrix T1 = core::gather_to_root(c, f.T, n, n);
     la::Matrix T2 = core::gather_to_root(c, T_rebuilt, n, n);
@@ -247,11 +226,10 @@ TEST(GradedMatrices, AllAlgorithmsStayStableAcrossConditioning) {
   for (double cond : {1e4, 1e8, 1e12}) {
     la::Matrix A = la::graded_matrix(m, n, cond, 61);
     // 3D path.
-    mm::CyclicRows lay(m, n, P, 0);
     sim::Machine machine(P);
     machine.run([&](sim::Comm& c) {
       core::CyclicQr f =
-          core::qr(c, la::ConstMatrixView(cyclic_local(lay, c.rank(), A).view()), m, n);
+          core::qr(c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n);
       la::Matrix V = core::gather_to_root(c, f.V, m, n);
       la::Matrix T = core::gather_to_root(c, f.T, n, n);
       la::Matrix R = core::gather_to_root(c, f.R, n, n);
@@ -339,7 +317,6 @@ TEST(IterativeTopLevel, ReconstructsAndAgreesWithRecursive) {
   const index_t m = 48, n = 16;
   const int P = 4;
   la::Matrix A = la::random_matrix(m, n, 71);
-  mm::CyclicRows lay(m, n, P, 0);
 
   sim::Machine machine(P);
   la::Matrix V, R, R_rec;
@@ -350,7 +327,7 @@ TEST(IterativeTopLevel, ReconstructsAndAgreesWithRecursive) {
     opts.panel = 6;  // three panels: 6 + 6 + 4
     opts.inner.b = 3;
     core::IterativeQr f = core::caqr_eg_3d_iterative(
-        c, la::ConstMatrixView(cyclic_local(lay, c.rank(), A).view()), m, n, opts);
+        c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n, opts);
     la::Matrix Vg = core::gather_to_root(c, f.V, m, n);
     la::Matrix Rg = core::gather_to_root(c, f.R, n, n);
     std::vector<la::Matrix> Tg;
@@ -362,7 +339,7 @@ TEST(IterativeTopLevel, ReconstructsAndAgreesWithRecursive) {
     core::CaqrEg3dOptions ropts;
     ropts.b = 6;
     core::CyclicQr rec = core::caqr_eg_3d(
-        c, la::ConstMatrixView(cyclic_local(lay, c.rank(), A).view()), m, n, ropts);
+        c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n, ropts);
     la::Matrix Rr = core::gather_to_root(c, rec.R, n, n);
     if (c.rank() == 0) {
       V = std::move(Vg);
@@ -403,13 +380,12 @@ TEST(IterativeTopLevel, KernelStorageIsBlockDiagonal) {
   const index_t m = 64, n = 32;
   const int P = 4;
   la::Matrix A = la::random_matrix(m, n, 72);
-  mm::CyclicRows lay(m, n, P, 0);
   sim::Machine machine(P);
   machine.run([&](sim::Comm& c) {
     core::IterativeOptions opts;
     opts.panel = 8;
     core::IterativeQr f = core::caqr_eg_3d_iterative(
-        c, la::ConstMatrixView(cyclic_local(lay, c.rank(), A).view()), m, n, opts);
+        c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n, opts);
     index_t kernel_words = 0;
     for (std::size_t k = 0; k < f.T_blocks.size(); ++k) {
       const index_t bk = f.panel_width(k, n);
