@@ -14,6 +14,7 @@ namespace b = qr3d::bench;
 namespace coll = qr3d::coll;
 namespace core = qr3d::core;
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 using coll::Alg;
 
@@ -26,7 +27,7 @@ int main() {
                 "auto picked"});
     for (std::size_t B : {std::size_t{4}, std::size_t{64}, std::size_t{1024}, std::size_t{16384}}) {
       auto run = [&](Alg alg) {
-        return b::measure(64, [&](sim::Comm& c) {
+        return b::measure(64, [&](backend::Comm& c) {
           std::vector<double> data(B, 1.0);
           coll::broadcast(c, 0, data, alg);
         });
@@ -51,7 +52,7 @@ int main() {
     b::Table t({"pattern", "index words", "two-phase words", "index msgs", "two-phase msgs"});
     auto run = [&](Alg alg, bool skewed) {
       const std::size_t big = 8192;
-      return b::measure(16, [&](sim::Comm& c) {
+      return b::measure(16, [&](backend::Comm& c) {
         std::vector<std::vector<double>> out(c.size());
         if (skewed) {
           if (c.rank() == 0) out[c.size() - 1].assign(big, 1.0);
@@ -84,7 +85,7 @@ int main() {
         opts.reduce_alg = Alg::Binomial;
         opts.bcast_alg = Alg::Binomial;
       }
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         la::Matrix Al = b::block_local(c, A);
         core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()), opts);
       });

@@ -12,6 +12,7 @@ namespace b = qr3d::bench;
 namespace core = qr3d::core;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -29,7 +30,7 @@ int main() {
       core::CaqrEg3dOptions opts;
       opts.b = bpanel;
       opts.alltoall_alg = qr3d::coll::Alg::Index;
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         core::caqr_eg_3d(c, la::ConstMatrixView(b::cyclic_local(c, A).view()), m, n,
                          opts);
       });
@@ -41,7 +42,7 @@ int main() {
       opts.panel = bpanel;
       opts.inner.alltoall_alg = qr3d::coll::Alg::Index;
       double kernel_words = 0.0;
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         core::IterativeQr f = core::caqr_eg_3d_iterative(
             c, la::ConstMatrixView(b::cyclic_local(c, A).view()), m, n, opts);
         if (c.rank() == 0) {

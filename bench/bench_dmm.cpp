@@ -12,6 +12,7 @@ namespace b = qr3d::bench;
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 namespace {
@@ -37,7 +38,7 @@ int main() {
       const auto g = mm::Grid3::choose(N, N, N, P);
       mm::DmmLayout da(mm::DmmOperand::A, N, N, N, g, P);
       mm::DmmLayout db(mm::DmmOperand::B, N, N, N, g, P);
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         auto a = local_buffer(da, c.rank(), A);
         auto bb = local_buffer(db, c.rank(), B);
         mm::mm_3d_core(c, N, N, N, g, a, bb);
@@ -61,7 +62,7 @@ int main() {
       la::Matrix X = la::random_matrix(K, I, 663);
       la::Matrix Y = la::random_matrix(K, J, 664);
       mm::CyclicRows lx(K, I, P), ly(K, J, P);
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         la::Matrix Xl = la::from_vector(lx.local_rows(c.rank()), I, local_buffer(lx, c.rank(), X));
         la::Matrix Yl = la::from_vector(ly.local_rows(c.rank()), J, local_buffer(ly, c.rank(), Y));
         mm::mm_1d_inner(c, 0, Xl.view(), Yl.view());
@@ -76,7 +77,7 @@ int main() {
       la::Matrix A = la::random_matrix(I, K, 665);
       la::Matrix B = la::random_matrix(K, J, 666);
       mm::CyclicRows laA(I, K, P);
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         la::Matrix Al = la::from_vector(laA.local_rows(c.rank()), K, local_buffer(laA, c.rank(), A));
         mm::mm_1d_outer(c, 0, Al.view(), c.rank() == 0 ? B : la::Matrix(K, J), K, J);
       });
@@ -99,7 +100,7 @@ int main() {
       const auto g = mm::Grid3::choose(N, N, N, P);
       mm::DmmLayout da(mm::DmmOperand::A, N, N, N, g, P);
       mm::DmmLayout db(mm::DmmOperand::B, N, N, N, g, P);
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         auto a = local_buffer(da, c.rank(), A);
         auto bb = local_buffer(db, c.rank(), B);
         mm::mm_3d_core(c, N, N, N, g, a, bb);
@@ -110,7 +111,7 @@ int main() {
       // 1D: rows of A distributed, B broadcast from the root — the Lemma 3
       // outer form applied outside its dominant-dimension regime.
       mm::CyclicRows laA(N, N, P);
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         la::Matrix Al = la::from_vector(laA.local_rows(c.rank()), N, local_buffer(laA, c.rank(), A));
         mm::mm_1d_outer(c, 0, Al.view(), c.rank() == 0 ? B : la::Matrix(N, N), N, N);
       });

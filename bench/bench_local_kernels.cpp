@@ -8,6 +8,7 @@
 
 
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 static void BM_Gemm(benchmark::State& state) {
@@ -63,7 +64,7 @@ static void BM_MachineSpawn(benchmark::State& state) {
   const int P = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Machine machine(P);
-    machine.run([](sim::Comm&) {});
+    machine.run([](backend::Comm&) {});
   }
 }
 BENCHMARK(BM_MachineSpawn)->Arg(4)->Arg(16)->Arg(64);
@@ -72,7 +73,7 @@ static void BM_PingPong(benchmark::State& state) {
   const std::size_t words = static_cast<std::size_t>(state.range(0));
   sim::Machine machine(2);
   for (auto _ : state) {
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       for (int i = 0; i < 10; ++i) {
         if (c.rank() == 0) {
           c.send(1, std::vector<double>(words, 1.0), 1);

@@ -10,6 +10,7 @@ namespace core = qr3d::core;
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -24,7 +25,7 @@ int main() {
     opts.delta = delta;
     opts.epsilon = eps;
     sim::Machine machine(P, prof);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       la::Matrix Al = b::cyclic_local(c, A);
       core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
     });

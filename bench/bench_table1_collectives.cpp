@@ -11,13 +11,14 @@
 namespace b = qr3d::bench;
 namespace coll = qr3d::coll;
 namespace cost = qr3d::cost;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 namespace {
 
 struct Probe {
   const char* name;
-  std::function<void(sim::Comm&, std::size_t)> run;
+  std::function<void(backend::Comm&, std::size_t)> run;
   std::function<cost::Costs(double, int)> model;
 };
 
@@ -26,7 +27,7 @@ void sweep(const Probe& probe) {
               "m-ratio"});
   for (int P : {4, 16, 64, 256}) {
     for (std::size_t B : {std::size_t{8}, std::size_t{512}, std::size_t{8192}}) {
-      const auto cp = b::measure(P, [&](sim::Comm& c) { probe.run(c, B); });
+      const auto cp = b::measure(P, [&](backend::Comm& c) { probe.run(c, B); });
       const auto mdl = probe.model(static_cast<double>(B), P);
       t.row({std::to_string(P), std::to_string(B), b::num(cp.words), b::num(mdl.words),
              b::ratio(cp.words, mdl.words), b::num(cp.msgs), b::num(mdl.msgs),
@@ -44,7 +45,7 @@ int main() {
 
   const Probe probes[] = {
       {"scatter",
-       [](sim::Comm& c, std::size_t B) {
+       [](backend::Comm& c, std::size_t B) {
          std::vector<std::size_t> counts(c.size(), B);
          std::vector<std::vector<double>> blocks;
          if (c.rank() == 0) blocks.assign(c.size(), std::vector<double>(B, 1.0));
@@ -52,43 +53,43 @@ int main() {
        },
        [](double B, int P) { return cost::scatter(B, P); }},
       {"gather",
-       [](sim::Comm& c, std::size_t B) {
+       [](backend::Comm& c, std::size_t B) {
          std::vector<std::size_t> counts(c.size(), B);
          coll::gather(c, 0, std::vector<double>(B, 1.0), counts);
        },
        [](double B, int P) { return cost::gather(B, P); }},
       {"broadcast (Auto = min of binomial/bidirectional)",
-       [](sim::Comm& c, std::size_t B) {
+       [](backend::Comm& c, std::size_t B) {
          std::vector<double> data(B, 1.0);
          coll::broadcast(c, 0, data);
        },
        [](double B, int P) { return cost::broadcast(B, P); }},
       {"reduce (Auto)",
-       [](sim::Comm& c, std::size_t B) {
+       [](backend::Comm& c, std::size_t B) {
          std::vector<double> data(B, 1.0);
          coll::reduce(c, 0, data);
        },
        [](double B, int P) { return cost::reduce(B, P); }},
       {"all-gather",
-       [](sim::Comm& c, std::size_t B) {
+       [](backend::Comm& c, std::size_t B) {
          std::vector<std::size_t> counts(c.size(), B);
          coll::all_gather(c, std::vector<double>(B, 1.0), counts);
        },
        [](double B, int P) { return cost::all_gather(B, P); }},
       {"all-reduce (Auto)",
-       [](sim::Comm& c, std::size_t B) {
+       [](backend::Comm& c, std::size_t B) {
          std::vector<double> data(B, 1.0);
          coll::all_reduce(c, data);
        },
        [](double B, int P) { return cost::all_reduce(B, P); }},
       {"reduce-scatter",
-       [](sim::Comm& c, std::size_t B) {
+       [](backend::Comm& c, std::size_t B) {
          std::vector<std::vector<double>> contrib(c.size(), std::vector<double>(B, 1.0));
          coll::reduce_scatter(c, std::move(contrib));
        },
        [](double B, int P) { return cost::reduce_scatter(B, P); }},
       {"all-to-all (two-phase, uniform blocks: B* = BP)",
-       [](sim::Comm& c, std::size_t B) {
+       [](backend::Comm& c, std::size_t B) {
          std::vector<std::vector<double>> out(c.size(), std::vector<double>(B, 1.0));
          coll::all_to_all(c, std::move(out));
        },

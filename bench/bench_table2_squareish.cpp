@@ -17,6 +17,7 @@ namespace core = qr3d::core;
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 namespace {
@@ -31,8 +32,11 @@ la::Matrix bc_local(const core::BlockCyclic& bc, int pr, int pc, const la::Matri
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const backend::Kind kind = b::parse_backend(argc, argv);
   b::banner("E2", "Table 2: QR costs for square-ish matrices (m/n = O(P))");
+  if (kind == backend::Kind::Thread)
+    std::printf("backend=%s: real std::thread ranks, wall-clock measured\n\n", backend::kind_name(kind));
 
   for (auto [m, n, P] : {std::tuple<la::index_t, la::index_t, int>{128, 128, 16},
                          std::tuple<la::index_t, la::index_t, int>{256, 128, 16},
@@ -41,8 +45,22 @@ int main() {
     std::printf("m=%lld n=%lld P=%d (nP/m = %.1f)\n", static_cast<long long>(m),
                 static_cast<long long>(n), P, static_cast<double>(n) * P / m);
 
-    b::Table t({"algorithm", "words(meas)", "words(model)", "w-ratio", "msgs(meas)",
-                "msgs(model)", "m-ratio"});
+    b::Table t(kind == backend::Kind::Thread
+                   ? std::vector<std::string>{"algorithm", "wall(thread)", "time(model units)"}
+                   : std::vector<std::string>{"algorithm", "words(meas)", "words(model)",
+                                              "w-ratio", "msgs(meas)", "msgs(model)", "m-ratio"});
+
+    auto add_row = [&](const char* name, const cost::Costs& mdl,
+                       const std::function<void(backend::Comm&)>& body) {
+      if (kind == backend::Kind::Thread) {
+        const double wall = b::measure_wall(kind, P, body);
+        t.row({name, b::secs(wall), b::num(mdl.flops + mdl.words + mdl.msgs)});
+        return;
+      }
+      const auto cp = b::measure(P, body);
+      t.row({name, b::num(cp.words), b::num(mdl.words), b::ratio(cp.words, mdl.words),
+             b::num(cp.msgs), b::num(mdl.msgs), b::ratio(cp.msgs, mdl.msgs)});
+    };
 
     const core::ProcGrid2 grid = core::ProcGrid2::choose(m, n, P);
 
@@ -51,14 +69,10 @@ int main() {
       opts.grid_r = grid.r;
       opts.grid_c = grid.c;
       core::BlockCyclic bc{m, n, 1, grid};
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      add_row("2D-HOUSE (b=1)", cost::table2_house_2d(m, n, P), [&](backend::Comm& c) {
         la::Matrix Al = bc_local(bc, bc.g.row_of(c.rank()), bc.g.col_of(c.rank()), A);
         core::house_2d(c, la::ConstMatrixView(Al.view()), m, n, opts);
       });
-      const auto mdl = cost::table2_house_2d(m, n, P);
-      t.row({"2D-HOUSE (b=1)", b::num(cp.words), b::num(mdl.words),
-             b::ratio(cp.words, mdl.words), b::num(cp.msgs), b::num(mdl.msgs),
-             b::ratio(cp.msgs, mdl.msgs)});
     }
 
     {  // CAQR with derived b.
@@ -69,32 +83,28 @@ int main() {
       const la::index_t cb =
           std::min<la::index_t>(n, static_cast<la::index_t>(std::ceil(n / std::sqrt(r))));
       core::BlockCyclic bc{m, n, cb, grid};
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      add_row("CAQR", cost::table2_caqr(m, n, P), [&](backend::Comm& c) {
         la::Matrix Al = bc_local(bc, bc.g.row_of(c.rank()), bc.g.col_of(c.rank()), A);
         core::caqr_2d(c, la::ConstMatrixView(Al.view()), m, n, opts);
       });
-      const auto mdl = cost::table2_caqr(m, n, P);
-      t.row({"CAQR", b::num(cp.words), b::num(mdl.words), b::ratio(cp.words, mdl.words),
-             b::num(cp.msgs), b::num(mdl.msgs), b::ratio(cp.msgs, mdl.msgs)});
     }
 
     for (double delta : {0.5, 7.0 / 12.0, 2.0 / 3.0}) {
       core::CaqrEg3dOptions opts;
       opts.delta = delta;
       opts.alltoall_alg = qr3d::coll::Alg::Index;  // see bench_theorem1 note
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "3D-CAQR-EG (delta=%.2f)", delta);
+      add_row(name, cost::table2_caqr_eg_3d(m, n, P, delta), [&](backend::Comm& c) {
         la::Matrix Al = b::cyclic_local(c, A);
         core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
       });
-      const auto mdl = cost::table2_caqr_eg_3d(m, n, P, delta);
-      char name[64];
-      std::snprintf(name, sizeof(name), "3D-CAQR-EG (delta=%.2f)", delta);
-      t.row({name, b::num(cp.words), b::num(mdl.words), b::ratio(cp.words, mdl.words),
-             b::num(cp.msgs), b::num(mdl.msgs), b::ratio(cp.msgs, mdl.msgs)});
     }
 
-    const auto lb = cost::lower_bound_squareish(m, n, P);
-    t.row({"lower bound (Sec 8.3)", b::num(lb.words), "-", "-", b::num(lb.msgs), "-", "-"});
+    if (kind == backend::Kind::Simulated) {
+      const auto lb = cost::lower_bound_squareish(m, n, P);
+      t.row({"lower bound (Sec 8.3)", b::num(lb.words), "-", "-", b::num(lb.msgs), "-", "-"});
+    }
     t.print();
   }
   return 0;

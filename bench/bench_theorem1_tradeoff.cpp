@@ -24,6 +24,7 @@ namespace core = qr3d::core;
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -41,7 +42,7 @@ int main() {
       core::CaqrEg3dOptions opts;
       opts.delta = delta;
       opts.alltoall_alg = qr3d::coll::Alg::Index;
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         la::Matrix Al = b::cyclic_local(c, A);
         core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
       });

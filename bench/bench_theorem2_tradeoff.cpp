@@ -9,6 +9,7 @@ namespace b = qr3d::bench;
 namespace core = qr3d::core;
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -25,7 +26,7 @@ int main() {
                 "msgs(model)"});
 
     {  // TSQR reference row.
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         la::Matrix Al = b::block_local(c, A);
         core::tsqr(c, la::ConstMatrixView(Al.view()));
       });
@@ -37,7 +38,7 @@ int main() {
     for (double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
       core::CaqrEg1dOptions opts;
       opts.epsilon = eps;
-      const auto cp = b::measure(P, [&](sim::Comm& c) {
+      const auto cp = b::measure(P, [&](backend::Comm& c) {
         la::Matrix Al = b::block_local(c, A);
         core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()), opts);
       });

@@ -14,6 +14,7 @@ namespace b = qr3d::bench;
 namespace core = qr3d::core;
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -25,13 +26,13 @@ int main() {
   for (int P : {4, 8, 16, 32, 64, 128, 256}) {
     const la::index_t m = static_cast<la::index_t>(P) * n;
     la::Matrix A = la::random_matrix(m, n, 777);
-    const auto ts = b::measure(P, [&](sim::Comm& c) {
+    const auto ts = b::measure(P, [&](backend::Comm& c) {
       la::Matrix Al = b::block_local(c, A);
       core::tsqr(c, la::ConstMatrixView(Al.view()));
     });
     core::CaqrEg1dOptions opts;
     opts.epsilon = 1.0;
-    const auto eg = b::measure(P, [&](sim::Comm& c) {
+    const auto eg = b::measure(P, [&](backend::Comm& c) {
       la::Matrix Al = b::block_local(c, A);
       core::caqr_eg_1d(c, la::ConstMatrixView(Al.view()), opts);
     });

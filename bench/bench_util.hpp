@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -19,20 +21,51 @@
 namespace qr3d::bench {
 
 /// Run `body` on a fresh P-rank machine and return the critical-path costs.
-inline sim::CostClock measure(int P, const std::function<void(sim::Comm&)>& body,
+inline sim::CostClock measure(int P, const std::function<void(backend::Comm&)>& body,
                               sim::CostParams params = {}) {
   sim::Machine machine(P, std::move(params));
   machine.run(body);
   return machine.critical_path();
 }
 
+/// Run `body` on a fresh P-rank machine of the given backend kind and return
+/// the wall-clock seconds of the run.  On the thread backend this is the
+/// real measurement; on the simulator it is the host time spent simulating.
+inline double measure_wall(backend::Kind kind, int P,
+                           const std::function<void(backend::Comm&)>& body,
+                           sim::CostParams params = {}) {
+  auto machine = backend::make_machine(kind, P, std::move(params));
+  machine->run(body);
+  return machine->last_wall_seconds();
+}
+
+/// Shared `--backend=sim|thread` flag for the bench mains (default: sim).
+/// Unknown --backend values fail loudly instead of silently simulating.
+inline backend::Kind parse_backend(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend=thread") == 0) return backend::Kind::Thread;
+    if (std::strcmp(argv[i], "--backend=sim") == 0) return backend::Kind::Simulated;
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      std::fprintf(stderr, "unknown %s (expected --backend=sim or --backend=thread)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return backend::Kind::Simulated;
+}
+
+inline std::string secs(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  return buf;
+}
+
 /// This rank's rows of A under a row-cyclic layout (via DistMatrix).
-inline la::Matrix cyclic_local(sim::Comm& comm, const la::Matrix& A) {
+inline la::Matrix cyclic_local(backend::Comm& comm, const la::Matrix& A) {
   return DistMatrix::local_of(comm, A.view(), Dist::CyclicRows);
 }
 
 /// Balanced block-row slice, rank 0 getting the top rows (via DistMatrix).
-inline la::Matrix block_local(sim::Comm& comm, const la::Matrix& A) {
+inline la::Matrix block_local(backend::Comm& comm, const la::Matrix& A) {
   return DistMatrix::local_of(comm, A.view(), Dist::BlockRows);
 }
 

@@ -10,6 +10,7 @@
 #include "qr3d.hpp"
 
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -24,7 +25,7 @@ int main() {
   la::add(1e-6, la::ConstMatrixView(noise.view()), b.view());
 
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& comm) {
+  machine.run([&](backend::Comm& comm) {
     qr3d::DistMatrix Ad = qr3d::DistMatrix::from_global(comm, A.view());
     qr3d::DistMatrix bd = qr3d::DistMatrix::from_global(comm, b.view());
 

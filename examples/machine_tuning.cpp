@@ -13,6 +13,7 @@
 
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -24,7 +25,7 @@ int main() {
     sim::Machine machine(P, prof);
     qr3d::Solver solver(
         qr3d::QrOptions().with_algorithm(qr3d::Algorithm::CaqrEg3d).with_tune_for_machine(tuned));
-    machine.run([&](sim::Comm& comm) {
+    machine.run([&](backend::Comm& comm) {
       solver.factor(qr3d::DistMatrix::from_global(comm, A.view()));
     });
     return machine.critical_path().time;

@@ -12,6 +12,7 @@
 #include "qr3d.hpp"
 
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 int main() {
@@ -23,7 +24,7 @@ int main() {
   la::Matrix A = la::random_matrix(m, n, 2024);
 
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& comm) {
+  machine.run([&](backend::Comm& comm) {
     // This rank's rows of A, row-cyclic.
     qr3d::DistMatrix Ad = qr3d::DistMatrix::from_global(comm, A.view());
 

@@ -12,6 +12,7 @@
 #include "qr3d.hpp"
 
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 namespace {
@@ -42,7 +43,7 @@ int main() {
   }
 
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& comm) {
+  machine.run([&](backend::Comm& comm) {
     qr3d::DistMatrix Ad = qr3d::DistMatrix::from_global(comm, A.view());
     qr3d::DistMatrix bd = qr3d::DistMatrix::from_global(comm, b.view());
 

@@ -1,0 +1,74 @@
+#include "backend/comm.hpp"
+
+#include "backend/thread_machine.hpp"
+#include "la/error.hpp"
+#include "sim/machine.hpp"
+
+namespace qr3d::backend {
+
+int Comm::rank() const {
+  QR3D_CHECK(valid(), "rank() on invalid communicator");
+  return impl_->rank();
+}
+
+int Comm::size() const {
+  QR3D_CHECK(valid(), "size() on invalid communicator");
+  return impl_->size();
+}
+
+const sim::CostParams& Comm::params() const {
+  QR3D_CHECK(valid(), "params() on invalid communicator");
+  return impl_->params();
+}
+
+void Comm::send(int dst, std::vector<double>&& payload, int tag) {
+  QR3D_CHECK(valid(), "send on invalid communicator");
+  QR3D_CHECK(dst >= 0 && dst < size(), "send: destination out of range");
+  QR3D_CHECK(dst != rank(), "send: self-messages are not part of the cost model");
+  impl_->send(dst, std::move(payload), tag);
+}
+
+void Comm::send_copy(int dst, const double* data, std::size_t n, int tag) {
+  send(dst, std::vector<double>(data, data + n), tag);
+}
+
+std::vector<double> Comm::recv(int src, int tag) {
+  QR3D_CHECK(valid(), "recv on invalid communicator");
+  QR3D_CHECK(src >= 0 && src < size(), "recv: source out of range");
+  QR3D_CHECK(src != rank(), "recv: self-messages are not part of the cost model");
+  return impl_->recv(src, tag);
+}
+
+void Comm::charge_flops(double f) {
+  QR3D_CHECK(valid(), "charge_flops on invalid communicator");
+  impl_->charge_flops(f);
+}
+
+Comm Comm::split(int color, int key) {
+  QR3D_CHECK(valid(), "split on invalid communicator");
+  return Comm(impl_->split(color, key));
+}
+
+const sim::CostClock* Comm::cost_clock() const {
+  QR3D_CHECK(valid(), "cost_clock on invalid communicator");
+  return impl_->cost_clock();
+}
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Simulated: return "sim";
+    case Kind::Thread: return "thread";
+  }
+  return "?";
+}
+
+std::unique_ptr<Machine> make_machine(Kind kind, int P, sim::CostParams params) {
+  switch (kind) {
+    case Kind::Simulated: return std::make_unique<sim::Machine>(P, std::move(params));
+    case Kind::Thread: return std::make_unique<ThreadMachine>(P, std::move(params));
+  }
+  QR3D_CHECK(false, "unknown backend kind");
+  return nullptr;
+}
+
+}  // namespace qr3d::backend

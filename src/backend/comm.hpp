@@ -1,0 +1,150 @@
+// Backend-polymorphic execution layer: the communicator every algorithm in
+// coll/, mm/ and core/ is written against, plus the abstract Machine that
+// owns the ranks.
+//
+// Two backends implement this interface today:
+//
+//   * sim::Machine       (sim/machine.hpp)  — the alpha-beta-gamma simulator
+//     of Section 3.  Messages carry cost clocks; after run() the machine
+//     reports per-metric critical paths.  This backend is the *oracle*: its
+//     results define correctness for every other backend (see
+//     tests/test_backend_conformance.cpp).
+//
+//   * backend::ThreadMachine (backend/thread_machine.hpp) — P real
+//     std::thread ranks exchanging actual buffers through mailboxes with a
+//     lock-free fast path, measured by wall clock instead of simulated time.
+//
+// Comm is a small value-type handle (copyable, storable in structs, returned
+// from split()) delegating to a per-rank CommImpl.  Algorithms never know
+// which backend they run on; a future MPI backend only has to implement
+// CommImpl/Machine and inherits the whole algorithm stack plus the
+// conformance suite for free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace qr3d::backend {
+
+/// Per-(rank, communicator) backend implementation.  One instance exists for
+/// every communicator a rank participates in; the Comm handle owns it via
+/// shared_ptr so sub-communicators survive as long as any handle does.
+class CommImpl {
+ public:
+  virtual ~CommImpl() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Cost parameters of the machine.  Real backends return the parameters
+  /// they were constructed with — collectives still use them to pick the
+  /// variant minimizing the modelled cost (Alg::Auto), and the tuner uses
+  /// them to choose (delta, epsilon).
+  virtual const sim::CostParams& params() const = 0;
+
+  /// Asynchronous point-to-point send; the payload is donated (moved).
+  virtual void send(int dst, std::vector<double>&& payload, int tag) = 0;
+
+  /// Blocking receive from local rank `src` with matching `tag` (FIFO per
+  /// (src, tag)).
+  virtual std::vector<double> recv(int src, int tag) = 0;
+
+  /// Account `f` local arithmetic operations.  The simulator advances the
+  /// rank's critical-path clock; real backends may ignore this (their
+  /// arithmetic is measured by the wall clock).
+  virtual void charge_flops(double f) = 0;
+
+  /// Collective split (MPI_Comm_split semantics).  Returns the new group's
+  /// impl for this rank, or nullptr when color < 0.
+  virtual std::shared_ptr<CommImpl> split(int color, int key) = 0;
+
+  /// The rank's simulated critical-path clock, or nullptr on backends that
+  /// do not do cost accounting.
+  virtual const sim::CostClock* cost_clock() const { return nullptr; }
+};
+
+/// Value-type communicator handle.  Copyable and cheap (one shared_ptr);
+/// default-constructed handles are invalid placeholders (valid() == false),
+/// as produced by split(color < 0).
+///
+/// Argument validation lives here so every backend inherits it: sends and
+/// receives check rank ranges and reject self-messages (not part of the cost
+/// model, and a deadlock on a real backend's blocking recv of itself).
+class Comm {
+ public:
+  Comm() = default;
+  explicit Comm(std::shared_ptr<CommImpl> impl) : impl_(std::move(impl)) {}
+
+  bool valid() const { return impl_ != nullptr; }
+  int rank() const;
+  int size() const;
+  const sim::CostParams& params() const;
+
+  /// Asynchronous point-to-point send donating `payload` to the backend —
+  /// the buffer is moved into the message, never copied.  Callers that need
+  /// to keep their buffer use send_copy().
+  void send(int dst, std::vector<double>&& payload, int tag);
+
+  /// Send a copy of `[data, data + n)`.  The one place a payload copy
+  /// happens, and it is explicit at the call site.
+  void send_copy(int dst, const double* data, std::size_t n, int tag);
+  void send_copy(int dst, const std::vector<double>& payload, int tag) {
+    send_copy(dst, payload.data(), payload.size(), tag);
+  }
+
+  /// Blocking receive from local rank `src` with matching `tag` (FIFO per
+  /// (src, tag)).
+  std::vector<double> recv(int src, int tag);
+
+  /// Account `f` local arithmetic operations (see CommImpl::charge_flops).
+  void charge_flops(double f);
+
+  /// Collectively split this communicator: ranks passing the same `color`
+  /// form a new communicator, ordered by (key, old rank).  Every member must
+  /// call split; ranks passing color < 0 receive an invalid communicator.
+  Comm split(int color, int key);
+
+  /// This rank's simulated cost clock (nullptr on real backends).
+  const sim::CostClock* cost_clock() const;
+
+ private:
+  std::shared_ptr<CommImpl> impl_;
+};
+
+/// Execution backend selector.
+enum class Kind {
+  Simulated,  ///< alpha-beta-gamma cost simulator (sim::Machine)
+  Thread,     ///< real std::thread ranks, wall-clock measured (ThreadMachine)
+};
+
+const char* kind_name(Kind k);
+
+/// Abstract machine: P ranks executing the same SPMD body.  Concrete
+/// machines add their own post-run queries (the simulator's critical_path(),
+/// the thread machine's nothing-but-wall-clock).
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  virtual Kind kind() const = 0;
+  virtual int size() const = 0;
+  virtual const sim::CostParams& params() const = 0;
+
+  /// Execute `body` on all ranks and wait for completion.  If any rank
+  /// throws, all ranks are aborted and the lowest-ranked exception rethrown.
+  virtual void run(const std::function<void(Comm&)>& body) = 0;
+
+  /// Wall-clock seconds spent inside the last run() (spawn to join).
+  virtual double last_wall_seconds() const = 0;
+};
+
+/// Construct a machine of the given kind.  `params` drives cost accounting
+/// on the simulator and algorithm selection (Alg::Auto, tuning) everywhere.
+std::unique_ptr<Machine> make_machine(Kind kind, int P, sim::CostParams params = {});
+
+}  // namespace qr3d::backend

@@ -1,0 +1,229 @@
+#include "backend/thread_machine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "la/error.hpp"
+
+namespace qr3d::backend {
+
+namespace detail {
+
+void ThreadMailbox::push(ThreadEnvelope e) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(std::move(e));
+    pushes_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+ThreadEnvelope ThreadMailbox::pop_match(int src_global, std::uint64_t context, int tag,
+                                        const std::atomic<bool>& aborted) {
+  for (;;) {
+    std::uint64_t seen;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (auto it = q_.begin(); it != q_.end(); ++it) {
+        if (it->src_global == src_global && it->context == context && it->tag == tag) {
+          ThreadEnvelope e = std::move(*it);
+          q_.erase(it);
+          return e;
+        }
+      }
+      if (aborted.load(std::memory_order_acquire))
+        throw std::runtime_error("qr3d::backend: thread machine aborted while waiting for message");
+      seen = pushes_.load(std::memory_order_acquire);
+    }
+
+    // Fast path: the sender is usually a running thread that will push any
+    // moment now — spin (yielding) on the push counter before sleeping.
+    bool changed = false;
+    for (int spin = 0; spin < 512; ++spin) {
+      if (pushes_.load(std::memory_order_acquire) != seen ||
+          aborted.load(std::memory_order_acquire)) {
+        changed = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (changed) continue;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&]() {
+      return pushes_.load(std::memory_order_acquire) != seen ||
+             aborted.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void ThreadMailbox::notify_abort() {
+  // Taking the mutex serializes with a receiver that has just evaluated its
+  // wait predicate but not yet gone to sleep — notifying without it can be
+  // lost, leaving the receiver blocked forever after an abort.
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+void ThreadMailbox::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  q_.clear();
+}
+
+/// Per-(rank, communicator) implementation over the thread machine.
+class ThreadComm : public CommImpl {
+ public:
+  ThreadComm(ThreadMachine* machine, std::shared_ptr<ThreadGroup> group, int rank)
+      : machine_(machine), group_(std::move(group)), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return static_cast<int>(group_->members.size()); }
+  const sim::CostParams& params() const override { return machine_->params(); }
+
+  void send(int dst, std::vector<double>&& payload, int tag) override {
+    ThreadEnvelope e;
+    e.src_global = group_->members[static_cast<std::size_t>(rank_)];
+    e.context = group_->context;
+    e.tag = tag;
+    e.payload = std::move(payload);
+    const int dst_global = group_->members[static_cast<std::size_t>(dst)];
+    machine_->mailboxes_[static_cast<std::size_t>(dst_global)].push(std::move(e));
+  }
+
+  std::vector<double> recv(int src, int tag) override {
+    const int me_global = group_->members[static_cast<std::size_t>(rank_)];
+    const int src_global = group_->members[static_cast<std::size_t>(src)];
+    ThreadEnvelope e = machine_->mailboxes_[static_cast<std::size_t>(me_global)].pop_match(
+        src_global, group_->context, tag, machine_->aborted_);
+    return std::move(e.payload);
+  }
+
+  void charge_flops(double) override {}  // real arithmetic is on the wall clock
+
+  std::shared_ptr<CommImpl> split(int color, int key) override {
+    auto& g = *group_;
+    const int n = size();
+
+    // The rendezvous must not outlive an abort: a rank that threw will never
+    // arrive, so waiters poll the abort flag instead of sleeping forever.
+    auto wait_or_abort = [&](std::unique_lock<std::mutex>& lk, auto&& pred) {
+      while (!g.cv.wait_for(lk, std::chrono::milliseconds(1), pred)) {
+        if (machine_->aborted_.load(std::memory_order_acquire))
+          throw std::runtime_error(
+              "qr3d::backend: thread machine aborted during communicator split");
+      }
+    };
+
+    std::unique_lock<std::mutex> lock(g.mu);
+    if (g.colors.empty()) {
+      g.colors.assign(static_cast<std::size_t>(n), 0);
+      g.keys.assign(static_cast<std::size_t>(n), 0);
+      g.out_group.assign(static_cast<std::size_t>(n), nullptr);
+      g.out_rank.assign(static_cast<std::size_t>(n), -1);
+    }
+    g.colors[static_cast<std::size_t>(rank_)] = color;
+    g.keys[static_cast<std::size_t>(rank_)] = key;
+    g.arrived++;
+
+    if (g.arrived == n) {
+      // Last arrival builds all result groups.
+      std::map<int, std::vector<std::pair<int, int>>> by_color;  // color -> (key, local rank)
+      for (int p = 0; p < n; ++p) {
+        const int c = g.colors[static_cast<std::size_t>(p)];
+        if (c >= 0) by_color[c].emplace_back(g.keys[static_cast<std::size_t>(p)], p);
+      }
+      for (auto& [c, v] : by_color) {
+        std::sort(v.begin(), v.end());
+        auto ng = std::make_shared<ThreadGroup>();
+        ng->context = machine_->new_context();
+        ng->members.reserve(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          const int local = v[i].second;
+          ng->members.push_back(g.members[static_cast<std::size_t>(local)]);
+          g.out_group[static_cast<std::size_t>(local)] = ng;
+          g.out_rank[static_cast<std::size_t>(local)] = static_cast<int>(i);
+        }
+      }
+      g.ready = true;
+      g.cv.notify_all();
+    } else {
+      wait_or_abort(lock, [&g]() { return g.ready; });
+    }
+
+    auto out = g.out_group[static_cast<std::size_t>(rank_)];
+    const int out_rank = g.out_rank[static_cast<std::size_t>(rank_)];
+    g.out_group[static_cast<std::size_t>(rank_)] = nullptr;
+
+    // Last pickup resets the coordination state for the next split().
+    g.picked_up++;
+    if (g.picked_up == n) {
+      g.arrived = 0;
+      g.picked_up = 0;
+      g.ready = false;
+      g.colors.clear();
+      g.keys.clear();
+      g.out_group.clear();
+      g.out_rank.clear();
+      g.cv.notify_all();
+    } else {
+      // Wait until everyone picked up, so a rank cannot race into the next
+      // split() round on this communicator while state is being reset.
+      wait_or_abort(lock, [&g]() { return g.picked_up == 0; });
+    }
+
+    if (!out) return nullptr;
+    return std::make_shared<ThreadComm>(machine_, std::move(out), out_rank);
+  }
+
+ private:
+  ThreadMachine* machine_;
+  std::shared_ptr<ThreadGroup> group_;
+  int rank_;
+};
+
+}  // namespace detail
+
+ThreadMachine::ThreadMachine(int P, sim::CostParams params)
+    : P_(P), params_(std::move(params)), mailboxes_(static_cast<std::size_t>(P)) {
+  QR3D_CHECK(P >= 1, "thread machine needs at least one rank");
+}
+
+void ThreadMachine::run(const std::function<void(Comm&)>& body) {
+  for (auto& mb : mailboxes_) mb.clear();
+  aborted_.store(false, std::memory_order_release);
+  next_context_.store(1, std::memory_order_release);
+
+  auto world = std::make_shared<detail::ThreadGroup>();
+  world->context = 0;
+  world->members.resize(static_cast<std::size_t>(P_));
+  for (int p = 0; p < P_; ++p) world->members[static_cast<std::size_t>(p)] = p;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(P_));
+  for (int p = 0; p < P_; ++p) {
+    threads.emplace_back([this, p, &body, &world, &errors]() {
+      Comm comm(std::make_shared<detail::ThreadComm>(this, world, p));
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(p)] = std::current_exception();
+        aborted_.store(true, std::memory_order_release);
+        for (auto& mb : mailboxes_) mb.notify_abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace qr3d::backend

@@ -1,0 +1,112 @@
+// Real threaded execution backend: P std::thread ranks exchanging actual
+// buffers through per-rank mailboxes, measured by wall clock.
+//
+// The message-passing semantics are identical to the simulator's (matched
+// (source, communicator, tag) with FIFO per triple, MPI_Comm_split-style
+// split()), but the implementation is independent: no cost clocks ride on
+// messages, charge_flops is a no-op, and the only measurement is
+// last_wall_seconds().  The conformance suite
+// (tests/test_backend_conformance.cpp) pins this backend's results to the
+// simulator's, bitwise, for every algorithm in the repository.
+//
+// Mailboxes are "lock-free-ish": pushes bump an atomic counter, and a
+// blocked receiver first spins on that counter (yielding) for a short bound
+// before falling back to a condition-variable wait, so the fine-grained
+// messages of the collectives usually rendezvous without sleeping.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "backend/comm.hpp"
+
+namespace qr3d::backend {
+
+namespace detail {
+
+struct ThreadEnvelope {
+  int src_global = -1;
+  std::uint64_t context = 0;
+  int tag = 0;
+  std::vector<double> payload;
+};
+
+class ThreadMailbox {
+ public:
+  void push(ThreadEnvelope e);
+  /// Block until a message from (src, context, tag) arrives, then return the
+  /// first such message (FIFO per key).  Throws if the machine aborts.
+  ThreadEnvelope pop_match(int src_global, std::uint64_t context, int tag,
+                           const std::atomic<bool>& aborted);
+  void notify_abort();
+  void clear();
+
+ private:
+  /// Bumped (under mu_) on every push; lets pop_match spin briefly on the
+  /// fast path before blocking on cv_.
+  std::atomic<std::uint64_t> pushes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ThreadEnvelope> q_;
+};
+
+/// Shared per-communicator state coordinating split() without messages
+/// (communicator construction is bookkeeping, not communication).
+struct ThreadGroup {
+  std::uint64_t context = 0;
+  std::vector<int> members;  // global ranks, indexed by local rank
+
+  // split() rendezvous.
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  int picked_up = 0;
+  bool ready = false;
+  std::vector<int> colors, keys;  // indexed by local rank
+  std::vector<std::shared_ptr<ThreadGroup>> out_group;
+  std::vector<int> out_rank;
+};
+
+class ThreadComm;
+
+}  // namespace detail
+
+/// The real threaded machine.  Construct with the rank count and (optional)
+/// cost parameters — the latter are not charged anywhere but still drive
+/// Alg::Auto collective selection and machine tuning, so the same code makes
+/// the same algorithmic choices on both backends.
+class ThreadMachine : public Machine {
+ public:
+  explicit ThreadMachine(int P, sim::CostParams params = {});
+
+  Kind kind() const override { return Kind::Thread; }
+  int size() const override { return P_; }
+  const sim::CostParams& params() const override { return params_; }
+
+  /// Execute `body` on P OS threads and wait.  If any rank throws, all ranks
+  /// are aborted and the lowest-ranked exception rethrown.
+  void run(const std::function<void(Comm&)>& body) override;
+
+  /// Wall-clock seconds of the last run() (thread spawn to join).
+  double last_wall_seconds() const override { return wall_seconds_; }
+
+ private:
+  friend class detail::ThreadComm;
+
+  std::uint64_t new_context() { return next_context_.fetch_add(1); }
+
+  int P_;
+  sim::CostParams params_;
+  std::vector<detail::ThreadMailbox> mailboxes_;
+  std::atomic<std::uint64_t> next_context_{1};
+  std::atomic<bool> aborted_{false};
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace qr3d::backend

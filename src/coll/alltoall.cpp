@@ -73,7 +73,7 @@ std::vector<Record> deserialize(const std::vector<double>& payload) {
 }
 
 /// Route records to their `target` ranks with the radix-2 index algorithm.
-std::vector<Record> index_route(sim::Comm& comm, std::vector<Record> records) {
+std::vector<Record> index_route(backend::Comm& comm, std::vector<Record> records) {
   const int P = comm.size();
   const int me = comm.rank();
   for (int step = 1; step < P; step <<= 1) {
@@ -106,7 +106,7 @@ std::vector<std::vector<double>> assemble(int P, const std::vector<Record>& reco
 
 }  // namespace
 
-std::vector<std::vector<double>> all_to_all_index(sim::Comm& comm,
+std::vector<std::vector<double>> all_to_all_index(backend::Comm& comm,
                                                   std::vector<std::vector<double>> outgoing) {
   const int P = comm.size();
   const int me = comm.rank();
@@ -122,7 +122,7 @@ std::vector<std::vector<double>> all_to_all_index(sim::Comm& comm,
   return incoming;
 }
 
-std::vector<std::vector<double>> all_to_all_two_phase(sim::Comm& comm,
+std::vector<std::vector<double>> all_to_all_two_phase(backend::Comm& comm,
                                                       std::vector<std::vector<double>> outgoing) {
   const int P = comm.size();
   const int me = comm.rank();

@@ -32,7 +32,7 @@ std::vector<std::size_t> chunk_counts(std::size_t B, int P) {
 
 }  // namespace
 
-std::vector<double> reduce_scatter_bidir(sim::Comm& comm,
+std::vector<double> reduce_scatter_bidir(backend::Comm& comm,
                                          std::vector<std::vector<double>> blocks) {
   const int P = comm.size();
   const int me = comm.rank();
@@ -103,7 +103,7 @@ namespace {
 
 /// Recursive-doubling all-gather over relative range [lo, hi); head recursion
 /// so exchanges happen smallest-set-first (reversing reduce-scatter).
-void all_gather_rec(sim::Comm& comm, std::vector<std::vector<double>>& blocks,
+void all_gather_rec(backend::Comm& comm, std::vector<std::vector<double>>& blocks,
                     const std::vector<std::size_t>& counts, int lo, int hi) {
   const int s = hi - lo;
   if (s <= 1) return;
@@ -162,7 +162,7 @@ void all_gather_rec(sim::Comm& comm, std::vector<std::vector<double>>& blocks,
 
 }  // namespace
 
-std::vector<std::vector<double>> all_gather_bidir(sim::Comm& comm, std::vector<double> mine,
+std::vector<std::vector<double>> all_gather_bidir(backend::Comm& comm, std::vector<double> mine,
                                                   const std::vector<std::size_t>& counts) {
   const int P = comm.size();
   QR3D_CHECK(static_cast<int>(counts.size()) == P, "all_gather: counts size");
@@ -174,7 +174,7 @@ std::vector<std::vector<double>> all_gather_bidir(sim::Comm& comm, std::vector<d
   return blocks;
 }
 
-void broadcast_bidir(sim::Comm& comm, int root, std::vector<double>& data) {
+void broadcast_bidir(backend::Comm& comm, int root, std::vector<double>& data) {
   const int P = comm.size();
   if (P == 1) return;
   const auto counts = chunk_counts(data.size(), P);
@@ -198,7 +198,7 @@ void broadcast_bidir(sim::Comm& comm, int root, std::vector<double>& data) {
                 all[static_cast<std::size_t>(q)].end());
 }
 
-void reduce_bidir(sim::Comm& comm, int root, std::vector<double>& data) {
+void reduce_bidir(backend::Comm& comm, int root, std::vector<double>& data) {
   const int P = comm.size();
   if (P == 1) return;
   const auto counts = chunk_counts(data.size(), P);
@@ -222,7 +222,7 @@ void reduce_bidir(sim::Comm& comm, int root, std::vector<double>& data) {
   }
 }
 
-void all_reduce_bidir(sim::Comm& comm, std::vector<double>& data) {
+void all_reduce_bidir(backend::Comm& comm, std::vector<double>& data) {
   const int P = comm.size();
   if (P == 1) return;
   const auto counts = chunk_counts(data.size(), P);

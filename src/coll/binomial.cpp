@@ -20,7 +20,7 @@ constexpr int kTagReduce = 9004;
 int rel(int rank, int root, int P) { return (rank - root + P) % P; }
 int abs_rank(int rr, int root, int P) { return (rr + root) % P; }
 
-void add_into(sim::Comm& comm, std::vector<double>& dst, const std::vector<double>& src) {
+void add_into(backend::Comm& comm, std::vector<double>& dst, const std::vector<double>& src) {
   QR3D_ASSERT(dst.size() == src.size(), "reduction block size mismatch");
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
   comm.charge_flops(static_cast<double>(dst.size()));
@@ -28,7 +28,7 @@ void add_into(sim::Comm& comm, std::vector<double>& dst, const std::vector<doubl
 
 }  // namespace
 
-std::vector<double> scatter_binomial(sim::Comm& comm, int root,
+std::vector<double> scatter_binomial(backend::Comm& comm, int root,
                                      const std::vector<std::vector<double>>& blocks,
                                      const std::vector<std::size_t>& counts) {
   const int P = comm.size();
@@ -80,7 +80,7 @@ namespace {
 // Depth-first recursion shared by gather and reduce: combine_up(lo, hi) makes
 // the range root (relative rank lo) hold the combined data of its range.
 template <class Combine>
-void combine_up(sim::Comm& comm, int root, int lo, int hi, int me, Combine&& combine_recv) {
+void combine_up(backend::Comm& comm, int root, int lo, int hi, int me, Combine&& combine_recv) {
   if (hi - lo <= 1) return;
   const int P = comm.size();
   const int mid = lo + (hi - lo + 1) / 2;
@@ -98,7 +98,7 @@ void combine_up(sim::Comm& comm, int root, int lo, int hi, int me, Combine&& com
 
 }  // namespace
 
-std::vector<std::vector<double>> gather_binomial(sim::Comm& comm, int root,
+std::vector<std::vector<double>> gather_binomial(backend::Comm& comm, int root,
                                                  std::vector<double> mine,
                                                  const std::vector<std::size_t>& counts) {
   const int P = comm.size();
@@ -145,7 +145,7 @@ std::vector<std::vector<double>> gather_binomial(sim::Comm& comm, int root,
   return out;
 }
 
-void broadcast_binomial(sim::Comm& comm, int root, std::vector<double>& data) {
+void broadcast_binomial(backend::Comm& comm, int root, std::vector<double>& data) {
   const int P = comm.size();
   if (P == 1) return;
   const int me = rel(comm.rank(), root, P);
@@ -153,7 +153,8 @@ void broadcast_binomial(sim::Comm& comm, int root, std::vector<double>& data) {
   while (hi - lo > 1) {
     const int mid = lo + (hi - lo + 1) / 2;
     if (me == lo) {
-      comm.send(abs_rank(mid, root, P), data, kTagBroadcast);
+      // The sender keeps forwarding `data` down the tree — copy is inherent.
+      comm.send_copy(abs_rank(mid, root, P), data, kTagBroadcast);
     } else if (me == mid) {
       std::vector<double> payload = comm.recv(abs_rank(lo, root, P), kTagBroadcast);
       QR3D_CHECK(payload.size() == data.size(), "broadcast: data must be pre-sized on all ranks");
@@ -163,21 +164,24 @@ void broadcast_binomial(sim::Comm& comm, int root, std::vector<double>& data) {
   }
 }
 
-void reduce_binomial(sim::Comm& comm, int root, std::vector<double>& data) {
+void reduce_binomial(backend::Comm& comm, int root, std::vector<double>& data) {
   const int P = comm.size();
   if (P == 1) return;
   const int me = rel(comm.rank(), root, P);
   combine_up(comm, root, 0, P, me, [&](int send_to, int recv_from, int, int) {
     if (send_to >= 0) {
-      comm.send(send_to, data, kTagReduce);
+      // A rank sends up the tree exactly once and is then done: donate.
+      comm.send(send_to, std::move(data), kTagReduce);
     } else {
       add_into(comm, data, comm.recv(recv_from, kTagReduce));
     }
   });
 }
 
-void all_reduce_binomial(sim::Comm& comm, std::vector<double>& data) {
+void all_reduce_binomial(backend::Comm& comm, std::vector<double>& data) {
+  const std::size_t n = data.size();
   reduce_binomial(comm, 0, data);
+  data.resize(n);  // non-roots donated their buffer to the reduction
   broadcast_binomial(comm, 0, data);
 }
 

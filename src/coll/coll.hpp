@@ -22,7 +22,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::coll {
 
@@ -30,66 +30,66 @@ enum class Alg { Auto, Binomial, BidirExchange, Index, TwoPhase };
 
 /// Root's `blocks[q]` is delivered to rank q (blocks ignored on non-roots).
 /// `counts[q]` = size of block q, known by all ranks.
-std::vector<double> scatter(sim::Comm& comm, int root, const std::vector<std::vector<double>>& blocks,
+std::vector<double> scatter(backend::Comm& comm, int root, const std::vector<std::vector<double>>& blocks,
                             const std::vector<std::size_t>& counts, Alg alg = Alg::Auto);
 
 /// Gather every rank's `mine` (of size counts[rank]) to the root; returns the
 /// per-rank blocks at the root (empty elsewhere).
-std::vector<std::vector<double>> gather(sim::Comm& comm, int root, std::vector<double> mine,
+std::vector<std::vector<double>> gather(backend::Comm& comm, int root, std::vector<double> mine,
                                         const std::vector<std::size_t>& counts,
                                         Alg alg = Alg::Auto);
 
 /// Broadcast root's `data` to all ranks.  `data` must be pre-sized to the
 /// broadcast length on every rank (MPI semantics).
-void broadcast(sim::Comm& comm, int root, std::vector<double>& data, Alg alg = Alg::Auto);
+void broadcast(backend::Comm& comm, int root, std::vector<double>& data, Alg alg = Alg::Auto);
 
 /// Elementwise-sum reduction to the root (result in root's `data`; other
 /// ranks' `data` is scratch afterwards).
-void reduce(sim::Comm& comm, int root, std::vector<double>& data, Alg alg = Alg::Auto);
+void reduce(backend::Comm& comm, int root, std::vector<double>& data, Alg alg = Alg::Auto);
 
 /// Elementwise-sum reduction delivered to every rank.
-void all_reduce(sim::Comm& comm, std::vector<double>& data, Alg alg = Alg::Auto);
+void all_reduce(backend::Comm& comm, std::vector<double>& data, Alg alg = Alg::Auto);
 
 /// Every rank contributes `mine` (size counts[rank]); returns all blocks on
 /// every rank.
-std::vector<std::vector<double>> all_gather(sim::Comm& comm, std::vector<double> mine,
+std::vector<std::vector<double>> all_gather(backend::Comm& comm, std::vector<double> mine,
                                             const std::vector<std::size_t>& counts,
                                             Alg alg = Alg::Auto);
 
 /// Every rank contributes `contributions[q]` destined for rank q (sizes must
 /// agree across ranks per destination); returns this rank's elementwise sum.
-std::vector<double> reduce_scatter(sim::Comm& comm, std::vector<std::vector<double>> contributions,
+std::vector<double> reduce_scatter(backend::Comm& comm, std::vector<std::vector<double>> contributions,
                                    Alg alg = Alg::Auto);
 
 /// Personalized exchange: `outgoing[q]` goes to rank q; returns incoming
 /// blocks indexed by source.  Block sizes may be arbitrary and need not be
 /// known at the receiver.  Auto uses the two-phase algorithm, as the paper
 /// does for all its all-to-alls.
-std::vector<std::vector<double>> all_to_all(sim::Comm& comm,
+std::vector<std::vector<double>> all_to_all(backend::Comm& comm,
                                             std::vector<std::vector<double>> outgoing,
                                             Alg alg = Alg::Auto);
 
 namespace detail {
 
 // Algorithm variants (exposed for tests and the E8 ablation bench).
-std::vector<double> scatter_binomial(sim::Comm&, int root, const std::vector<std::vector<double>>&,
+std::vector<double> scatter_binomial(backend::Comm&, int root, const std::vector<std::vector<double>>&,
                                      const std::vector<std::size_t>& counts);
-std::vector<std::vector<double>> gather_binomial(sim::Comm&, int root, std::vector<double> mine,
+std::vector<std::vector<double>> gather_binomial(backend::Comm&, int root, std::vector<double> mine,
                                                  const std::vector<std::size_t>& counts);
-void broadcast_binomial(sim::Comm&, int root, std::vector<double>& data);
-void reduce_binomial(sim::Comm&, int root, std::vector<double>& data);
-void all_reduce_binomial(sim::Comm&, std::vector<double>& data);
+void broadcast_binomial(backend::Comm&, int root, std::vector<double>& data);
+void reduce_binomial(backend::Comm&, int root, std::vector<double>& data);
+void all_reduce_binomial(backend::Comm&, std::vector<double>& data);
 
-std::vector<double> reduce_scatter_bidir(sim::Comm&, std::vector<std::vector<double>> contributions);
-std::vector<std::vector<double>> all_gather_bidir(sim::Comm&, std::vector<double> mine,
+std::vector<double> reduce_scatter_bidir(backend::Comm&, std::vector<std::vector<double>> contributions);
+std::vector<std::vector<double>> all_gather_bidir(backend::Comm&, std::vector<double> mine,
                                                   const std::vector<std::size_t>& counts);
-void broadcast_bidir(sim::Comm&, int root, std::vector<double>& data);
-void reduce_bidir(sim::Comm&, int root, std::vector<double>& data);
-void all_reduce_bidir(sim::Comm&, std::vector<double>& data);
+void broadcast_bidir(backend::Comm&, int root, std::vector<double>& data);
+void reduce_bidir(backend::Comm&, int root, std::vector<double>& data);
+void all_reduce_bidir(backend::Comm&, std::vector<double>& data);
 
-std::vector<std::vector<double>> all_to_all_index(sim::Comm&,
+std::vector<std::vector<double>> all_to_all_index(backend::Comm&,
                                                   std::vector<std::vector<double>> outgoing);
-std::vector<std::vector<double>> all_to_all_two_phase(sim::Comm&,
+std::vector<std::vector<double>> all_to_all_two_phase(backend::Comm&,
                                                       std::vector<std::vector<double>> outgoing);
 
 }  // namespace detail

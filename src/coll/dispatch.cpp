@@ -28,20 +28,20 @@ bool binomial_wins(std::size_t B, int P) {
 
 }  // namespace
 
-std::vector<double> scatter(sim::Comm& comm, int root,
+std::vector<double> scatter(backend::Comm& comm, int root,
                             const std::vector<std::vector<double>>& blocks,
                             const std::vector<std::size_t>& counts, Alg alg) {
   QR3D_CHECK(alg == Alg::Auto || alg == Alg::Binomial, "scatter: binomial only");
   return detail::scatter_binomial(comm, root, blocks, counts);
 }
 
-std::vector<std::vector<double>> gather(sim::Comm& comm, int root, std::vector<double> mine,
+std::vector<std::vector<double>> gather(backend::Comm& comm, int root, std::vector<double> mine,
                                         const std::vector<std::size_t>& counts, Alg alg) {
   QR3D_CHECK(alg == Alg::Auto || alg == Alg::Binomial, "gather: binomial only");
   return detail::gather_binomial(comm, root, std::move(mine), counts);
 }
 
-void broadcast(sim::Comm& comm, int root, std::vector<double>& data, Alg alg) {
+void broadcast(backend::Comm& comm, int root, std::vector<double>& data, Alg alg) {
   if (comm.size() == 1) return;
   switch (alg) {
     case Alg::Binomial:
@@ -62,7 +62,7 @@ void broadcast(sim::Comm& comm, int root, std::vector<double>& data, Alg alg) {
   }
 }
 
-void reduce(sim::Comm& comm, int root, std::vector<double>& data, Alg alg) {
+void reduce(backend::Comm& comm, int root, std::vector<double>& data, Alg alg) {
   if (comm.size() == 1) return;
   switch (alg) {
     case Alg::Binomial:
@@ -83,7 +83,7 @@ void reduce(sim::Comm& comm, int root, std::vector<double>& data, Alg alg) {
   }
 }
 
-void all_reduce(sim::Comm& comm, std::vector<double>& data, Alg alg) {
+void all_reduce(backend::Comm& comm, std::vector<double>& data, Alg alg) {
   if (comm.size() == 1) return;
   switch (alg) {
     case Alg::Binomial:
@@ -104,21 +104,21 @@ void all_reduce(sim::Comm& comm, std::vector<double>& data, Alg alg) {
   }
 }
 
-std::vector<std::vector<double>> all_gather(sim::Comm& comm, std::vector<double> mine,
+std::vector<std::vector<double>> all_gather(backend::Comm& comm, std::vector<double> mine,
                                             const std::vector<std::size_t>& counts, Alg alg) {
   QR3D_CHECK(alg == Alg::Auto || alg == Alg::BidirExchange,
              "all_gather: bidirectional exchange only");
   return detail::all_gather_bidir(comm, std::move(mine), counts);
 }
 
-std::vector<double> reduce_scatter(sim::Comm& comm, std::vector<std::vector<double>> contributions,
+std::vector<double> reduce_scatter(backend::Comm& comm, std::vector<std::vector<double>> contributions,
                                    Alg alg) {
   QR3D_CHECK(alg == Alg::Auto || alg == Alg::BidirExchange,
              "reduce_scatter: bidirectional exchange only");
   return detail::reduce_scatter_bidir(comm, std::move(contributions));
 }
 
-std::vector<std::vector<double>> all_to_all(sim::Comm& comm,
+std::vector<std::vector<double>> all_to_all(backend::Comm& comm,
                                             std::vector<std::vector<double>> outgoing, Alg alg) {
   switch (alg) {
     case Alg::Index:

@@ -28,7 +28,7 @@ CaqrEg3dOptions resolve_algorithm(la::index_t m, la::index_t n, int P, Algorithm
   return params;
 }
 
-CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+CyclicQr qr(backend::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
             QrOptions opts) {
   const int P = comm.size();
   CaqrEg3dOptions params = resolve_algorithm(m, n, P, opts.algorithm, opts.params);
@@ -42,7 +42,7 @@ CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::ind
   return caqr_eg_3d(comm, A_local, m, n, params);
 }
 
-la::Matrix apply_q_cyclic(sim::Comm& comm, const la::Matrix& V_local, const la::Matrix& T_local,
+la::Matrix apply_q_cyclic(backend::Comm& comm, const la::Matrix& V_local, const la::Matrix& T_local,
                           la::index_t m, la::index_t n, const la::Matrix& X_local, la::index_t k,
                           la::Op op) {
   const int P = comm.size();
@@ -75,17 +75,17 @@ la::Matrix apply_q_cyclic(sim::Comm& comm, const la::Matrix& V_local, const la::
   return Y;
 }
 
-la::Matrix apply_q_cyclic(sim::Comm& comm, const CyclicQr& f, la::index_t m, la::index_t n,
+la::Matrix apply_q_cyclic(backend::Comm& comm, const CyclicQr& f, la::index_t m, la::index_t n,
                           const la::Matrix& X_local, la::index_t k, la::Op op) {
   return apply_q_cyclic(comm, f.V, f.T, m, n, X_local, k, op);
 }
 
-la::Matrix gather_to_root(sim::Comm& comm, const la::Matrix& local, la::index_t rows,
+la::Matrix gather_to_root(backend::Comm& comm, const la::Matrix& local, la::index_t rows,
                           la::index_t cols) {
   return DistMatrix::gather_local(comm, local.view(), rows, cols, Dist::CyclicRows, 0);
 }
 
-la::Matrix rebuild_kernel_cyclic(sim::Comm& comm, const la::Matrix& V_local, la::index_t m,
+la::Matrix rebuild_kernel_cyclic(backend::Comm& comm, const la::Matrix& V_local, la::index_t m,
                                  la::index_t n) {
   const int P = comm.size();
   const mm::CyclicRows lay_v(m, n, P, 0);

@@ -16,7 +16,7 @@
 
 #include "core/caqr_eg_3d.hpp"
 #include "la/blas.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::core {
 
@@ -41,24 +41,24 @@ CaqrEg3dOptions resolve_algorithm(la::index_t m, la::index_t n, int P, Algorithm
                                   CaqrEg3dOptions params);
 
 /// Factor a row-cyclic m x n matrix (row i on rank i mod P).  Collective.
-CyclicQr qr(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+CyclicQr qr(backend::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
             QrOptions opts = {});
 
 /// X := Q * X (op = NoTrans) or Q^H * X (op = ConjTrans), where Q is given by
 /// the row-cyclic Householder factors (V_local, T_local) of an m x n matrix
 /// and X is a row-cyclic m x k block.  Collective; returns this rank's rows
 /// of the result.
-la::Matrix apply_q_cyclic(sim::Comm& comm, const la::Matrix& V_local, const la::Matrix& T_local,
+la::Matrix apply_q_cyclic(backend::Comm& comm, const la::Matrix& V_local, const la::Matrix& T_local,
                           la::index_t m, la::index_t n, const la::Matrix& X_local, la::index_t k,
                           la::Op op);
 
 /// Convenience overload taking the factorization bundle.
-la::Matrix apply_q_cyclic(sim::Comm& comm, const CyclicQr& f, la::index_t m, la::index_t n,
+la::Matrix apply_q_cyclic(backend::Comm& comm, const CyclicQr& f, la::index_t m, la::index_t n,
                           const la::Matrix& X_local, la::index_t k, la::Op op);
 
 /// Gather a row-cyclic (rows x cols) matrix onto rank 0 (empty elsewhere).
 /// Thin wrapper over qr3d::DistMatrix::gather — kept for internal callers.
-la::Matrix gather_to_root(sim::Comm& comm, const la::Matrix& local, la::index_t rows,
+la::Matrix gather_to_root(backend::Comm& comm, const la::Matrix& local, la::index_t rows,
                           la::index_t cols);
 
 /// Section 2.3: in Householder representation "T need not be stored, since
@@ -66,7 +66,7 @@ la::Matrix gather_to_root(sim::Comm& comm, const la::Matrix& local, la::index_t 
 /// row-cyclic basis: the Gram matrix comes from a 3D multiplication, the
 /// small triangular inversion runs on rank 0, and the result is scattered
 /// back row-cyclically.  Enables the Section 8.4 variant that never stores T.
-la::Matrix rebuild_kernel_cyclic(sim::Comm& comm, const la::Matrix& V_local, la::index_t m,
+la::Matrix rebuild_kernel_cyclic(backend::Comm& comm, const la::Matrix& V_local, la::index_t m,
                                  la::index_t n);
 
 }  // namespace qr3d::core

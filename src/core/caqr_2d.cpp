@@ -28,7 +28,7 @@ bool tsqr_panel_feasible(const BlockCyclic& bc, la::index_t j0, la::index_t jb) 
 
 }  // namespace
 
-Grid2dQr caqr_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+Grid2dQr caqr_2d(backend::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
                  Caqr2dOptions opts) {
   QR3D_CHECK(m >= n && n >= 1, "caqr_2d: need m >= n >= 1");
   const int P = comm.size();
@@ -67,7 +67,7 @@ Grid2dQr caqr_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la
       // Renumber the participating panel-column ranks (those still holding
       // panel rows) so the diagonal owner is rank 0 (TSQR's root).
       const bool participates = ctx.pc == pc_k && rows_below > 0;
-      sim::Comm pcomm =
+      backend::Comm pcomm =
           comm.split(participates ? 0 : -1, (ctx.pr - pr_k + grid.r) % grid.r);
       if (participates) {
         const la::index_t lj0 = bc.local_cols_before(pc_k, j0);

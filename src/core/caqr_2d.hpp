@@ -25,7 +25,7 @@ struct Caqr2dOptions {
 };
 
 /// Collective over `comm`; A_local as in house_2d.
-Grid2dQr caqr_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+Grid2dQr caqr_2d(backend::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
                  Caqr2dOptions opts = {});
 
 }  // namespace qr3d::core

@@ -13,7 +13,7 @@ namespace {
 /// Invariants maintained by the recursion:
 ///   * every rank's local row count never drops below the current n;
 ///   * rank 0's first k local rows are the current submatrix's top k rows.
-DistributedQr recurse(sim::Comm& comm, la::ConstMatrixView A_local,
+DistributedQr recurse(backend::Comm& comm, la::ConstMatrixView A_local,
                       const CaqrEg1dOptions& opts, la::index_t b) {
   const la::index_t n = A_local.cols();
   const la::index_t mp = A_local.rows();
@@ -87,7 +87,7 @@ DistributedQr recurse(sim::Comm& comm, la::ConstMatrixView A_local,
 
 }  // namespace
 
-DistributedQr caqr_eg_1d(sim::Comm& comm, la::ConstMatrixView A_local, CaqrEg1dOptions opts) {
+DistributedQr caqr_eg_1d(backend::Comm& comm, la::ConstMatrixView A_local, CaqrEg1dOptions opts) {
   const la::index_t n = A_local.cols();
   QR3D_CHECK(n >= 1, "caqr_eg_1d: need at least one column");
   QR3D_CHECK(A_local.rows() >= n, "caqr_eg_1d: every rank needs m_p >= n rows");

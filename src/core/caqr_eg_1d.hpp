@@ -16,7 +16,7 @@
 #include "coll/coll.hpp"
 #include "core/qr_result.hpp"
 #include "core/tsqr.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::core {
 
@@ -33,7 +33,7 @@ struct CaqrEg1dOptions {
 };
 
 /// Collective over `comm`.  See the file comment for the data contract.
-DistributedQr caqr_eg_1d(sim::Comm& comm, la::ConstMatrixView A_local,
+DistributedQr caqr_eg_1d(backend::Comm& comm, la::ConstMatrixView A_local,
                          CaqrEg1dOptions opts = {});
 
 }  // namespace qr3d::core

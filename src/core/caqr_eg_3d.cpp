@@ -95,7 +95,7 @@ la::Matrix select_rows(const la::Matrix& a, const std::vector<index_t>& all_rows
 
 /// Scatter an n x cols matrix from rcomm rank 0 into CyclicRows(n, cols, P, 0)
 /// local blocks.
-la::Matrix scatter_cyclic(sim::Comm& rcomm, const la::Matrix& full_on_root, index_t n,
+la::Matrix scatter_cyclic(backend::Comm& rcomm, const la::Matrix& full_on_root, index_t n,
                           index_t cols) {
   const int P = rcomm.size();
   mm::CyclicRows layout(n, cols, P, 0);
@@ -118,13 +118,13 @@ la::Matrix scatter_cyclic(sim::Comm& rcomm, const la::Matrix& full_on_root, inde
 }
 
 /// Base case (Section 7.1): layout conversion + 1D-CAQR-EG + reversal.
-CyclicQr base_case(sim::Comm& comm, la::ConstMatrixView A_local, index_t m, index_t n, int shift,
+CyclicQr base_case(backend::Comm& comm, la::ConstMatrixView A_local, index_t m, index_t n, int shift,
                    index_t bstar) {
   const int P = comm.size();
   // Normalize the shift away: renumber ranks so the owner of row 0 becomes
   // relative rank 0; all layout math below is in relative ranks (r mod P).
   const int rr = ((comm.rank() - shift) % P + P) % P;
-  sim::Comm rcomm = comm.split(0, rr);
+  backend::Comm rcomm = comm.split(0, rr);
   QR3D_ASSERT(rcomm.rank() == rr, "base_case: rank renumbering failed");
 
   const auto plan = detail::BaseConversionPlan::make(m, n, P);
@@ -133,7 +133,7 @@ CyclicQr base_case(sim::Comm& comm, la::ConstMatrixView A_local, index_t m, inde
   // --- Phase 1: gather rows within each group to its representative. -------
   const bool owns_rows = rr < plan.Pprime;
   const int g = owns_rows ? rr % plan.Pstar : -1;
-  sim::Comm gcomm = rcomm.split(g, rr);
+  backend::Comm gcomm = rcomm.split(g, rr);
   const bool is_rep = owns_rows && rr == g;
 
   la::Matrix grouped;  // representative's rows, ordered by plan.group_rows[g]
@@ -161,7 +161,7 @@ CyclicQr base_case(sim::Comm& comm, la::ConstMatrixView A_local, index_t m, inde
   }
 
   // --- Phase 2: move the top n rows to rep 0, rebalancing with a scatter. --
-  sim::Comm repcomm = rcomm.split(is_rep ? 0 : -1, rr);
+  backend::Comm repcomm = rcomm.split(is_rep ? 0 : -1, rr);
   std::vector<std::size_t> top_counts(static_cast<std::size_t>(plan.Pstar));
   for (int h = 0; h < plan.Pstar; ++h)
     top_counts[static_cast<std::size_t>(h)] =
@@ -325,7 +325,7 @@ CyclicQr base_case(sim::Comm& comm, la::ConstMatrixView A_local, index_t m, inde
 
 /// The qr-eg recursion (Section 7.2).  `shift` tracks how the current
 /// submatrix's rows map to ranks: global row r lives on (r + shift) mod P.
-CyclicQr recurse(sim::Comm& comm, const CaqrEg3dOptions& opts, la::ConstMatrixView A_local,
+CyclicQr recurse(backend::Comm& comm, const CaqrEg3dOptions& opts, la::ConstMatrixView A_local,
                  index_t m, index_t n, int shift, index_t b, index_t bstar) {
   const int P = comm.size();
   if (n <= b) {
@@ -417,7 +417,7 @@ CyclicQr recurse(sim::Comm& comm, const CaqrEg3dOptions& opts, la::ConstMatrixVi
 
 }  // namespace
 
-CyclicQr caqr_eg_3d(sim::Comm& comm, la::ConstMatrixView A_local, index_t m, index_t n,
+CyclicQr caqr_eg_3d(backend::Comm& comm, la::ConstMatrixView A_local, index_t m, index_t n,
                     CaqrEg3dOptions opts) {
   const int P = comm.size();
   QR3D_CHECK(m >= n && n >= 1, "caqr_eg_3d: need m >= n >= 1");

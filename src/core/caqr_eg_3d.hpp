@@ -21,7 +21,7 @@
 
 #include "coll/coll.hpp"
 #include "core/qr_result.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::core {
 
@@ -42,7 +42,7 @@ struct CaqrEg3dOptions {
 
 /// Collective over `comm`.  A_local holds this rank's rows (ascending global
 /// index) of the m x n matrix.
-CyclicQr caqr_eg_3d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+CyclicQr caqr_eg_3d(backend::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
                     CaqrEg3dOptions opts = {});
 
 namespace detail {

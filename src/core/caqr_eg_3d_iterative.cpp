@@ -12,7 +12,7 @@ namespace qr3d::core {
 
 using la::index_t;
 
-IterativeQr caqr_eg_3d_iterative(sim::Comm& comm, la::ConstMatrixView A_local, index_t m,
+IterativeQr caqr_eg_3d_iterative(backend::Comm& comm, la::ConstMatrixView A_local, index_t m,
                                  index_t n, IterativeOptions opts) {
   const int P = comm.size();
   QR3D_CHECK(m >= n && n >= 1, "caqr_eg_3d_iterative: need m >= n >= 1");
@@ -36,7 +36,7 @@ IterativeQr caqr_eg_3d_iterative(sim::Comm& comm, la::ConstMatrixView A_local, i
 
     // Renumber ranks so the trailing rows are shift-0 row-cyclic: world row
     // g >= j0 lives on world rank g mod P = scomm rank (g - j0) mod P.
-    sim::Comm scomm = comm.split(0, ((me - j0) % P + P) % P);
+    backend::Comm scomm = comm.split(0, ((me - j0) % P + P) % P);
 
     // My trailing rows start below my rows of [0, j0).
     const index_t above = mm::CyclicRows(j0, 1, P, 0).local_rows(me);

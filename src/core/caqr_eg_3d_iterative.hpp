@@ -44,7 +44,7 @@ struct IterativeOptions {
 };
 
 /// Collective over `comm`; input contract identical to caqr_eg_3d.
-IterativeQr caqr_eg_3d_iterative(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m,
+IterativeQr caqr_eg_3d_iterative(backend::Comm& comm, la::ConstMatrixView A_local, la::index_t m,
                                  la::index_t n, IterativeOptions opts = {});
 
 }  // namespace qr3d::core

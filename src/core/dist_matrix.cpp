@@ -35,7 +35,7 @@ LocalRows local_rows_of(Dist dist, la::index_t rows, la::index_t cols, int P, in
 
 }  // namespace
 
-DistMatrix::DistMatrix(sim::Comm& comm, la::index_t rows, la::index_t cols, Dist dist,
+DistMatrix::DistMatrix(backend::Comm& comm, la::index_t rows, la::index_t cols, Dist dist,
                        la::Matrix local)
     : comm_(&comm), rows_(rows), cols_(cols), dist_(dist), local_(std::move(local)) {}
 
@@ -55,7 +55,7 @@ std::unique_ptr<mm::Layout> DistMatrix::layout() const {
   return layout_of(dist_, rows_, cols_, comm_->size());
 }
 
-sim::Comm& DistMatrix::comm() const {
+backend::Comm& DistMatrix::comm() const {
   QR3D_CHECK(valid(), "DistMatrix: invalid placeholder");
   return *comm_;
 }
@@ -66,7 +66,7 @@ la::index_t DistMatrix::global_row(la::index_t li) const {
   return lr.first + li * lr.stride;
 }
 
-la::Matrix DistMatrix::local_of(sim::Comm& comm, la::ConstMatrixView A, Dist dist) {
+la::Matrix DistMatrix::local_of(backend::Comm& comm, la::ConstMatrixView A, Dist dist) {
   const LocalRows lr = local_rows_of(dist, A.rows(), A.cols(), comm.size(), comm.rank());
   la::Matrix local(lr.count, A.cols());
   for (la::index_t li = 0; li < lr.count; ++li)
@@ -74,16 +74,16 @@ la::Matrix DistMatrix::local_of(sim::Comm& comm, la::ConstMatrixView A, Dist dis
   return local;
 }
 
-DistMatrix DistMatrix::from_global(sim::Comm& comm, la::ConstMatrixView A, Dist dist) {
+DistMatrix DistMatrix::from_global(backend::Comm& comm, la::ConstMatrixView A, Dist dist) {
   return DistMatrix(comm, A.rows(), A.cols(), dist, local_of(comm, A, dist));
 }
 
-DistMatrix DistMatrix::random(sim::Comm& comm, la::index_t rows, la::index_t cols,
+DistMatrix DistMatrix::random(backend::Comm& comm, la::index_t rows, la::index_t cols,
                               std::uint64_t seed, Dist dist) {
   return from_global(comm, la::random_matrix(rows, cols, seed).view(), dist);
 }
 
-DistMatrix DistMatrix::wrap(sim::Comm& comm, la::Matrix local, la::index_t rows, la::index_t cols,
+DistMatrix DistMatrix::wrap(backend::Comm& comm, la::Matrix local, la::index_t rows, la::index_t cols,
                             Dist dist) {
   const LocalRows lr = local_rows_of(dist, rows, cols, comm.size(), comm.rank());
   QR3D_CHECK(local.rows() == lr.count && local.cols() == cols,
@@ -91,12 +91,12 @@ DistMatrix DistMatrix::wrap(sim::Comm& comm, la::Matrix local, la::index_t rows,
   return DistMatrix(comm, rows, cols, dist, std::move(local));
 }
 
-DistMatrix DistMatrix::zeros(sim::Comm& comm, la::index_t rows, la::index_t cols, Dist dist) {
+DistMatrix DistMatrix::zeros(backend::Comm& comm, la::index_t rows, la::index_t cols, Dist dist) {
   const LocalRows lr = local_rows_of(dist, rows, cols, comm.size(), comm.rank());
   return DistMatrix(comm, rows, cols, dist, la::Matrix(lr.count, cols));
 }
 
-DistMatrix DistMatrix::scatter(sim::Comm& comm, const la::Matrix& A_root, la::index_t rows,
+DistMatrix DistMatrix::scatter(backend::Comm& comm, const la::Matrix& A_root, la::index_t rows,
                                la::index_t cols, Dist dist, int root) {
   QR3D_CHECK(root >= 0 && root < comm.size(), "DistMatrix::scatter: bad root");
   const int P = comm.size();
@@ -125,7 +125,7 @@ DistMatrix DistMatrix::scatter(sim::Comm& comm, const la::Matrix& A_root, la::in
   return DistMatrix(comm, rows, cols, dist, la::from_vector(lr.count, cols, mine));
 }
 
-la::Matrix DistMatrix::gather_local(sim::Comm& comm, la::ConstMatrixView local, la::index_t rows,
+la::Matrix DistMatrix::gather_local(backend::Comm& comm, la::ConstMatrixView local, la::index_t rows,
                                     la::index_t cols, Dist dist, int root) {
   QR3D_CHECK(root >= 0 && root < comm.size(), "DistMatrix::gather: bad root");
   const LocalRows lr = local_rows_of(dist, rows, cols, comm.size(), comm.rank());
@@ -142,7 +142,7 @@ la::Matrix DistMatrix::gather(int root) const {
   return gather_local(this->comm(), local_.view(), rows_, cols_, dist_, root);
 }
 
-la::Matrix DistMatrix::replicate_from_root(sim::Comm& comm, const la::Matrix& at_root,
+la::Matrix DistMatrix::replicate_from_root(backend::Comm& comm, const la::Matrix& at_root,
                                            la::index_t rows, la::index_t cols, int root) {
   QR3D_CHECK(root >= 0 && root < comm.size(), "DistMatrix::replicate_from_root: bad root");
   std::vector<double> flat(static_cast<std::size_t>(rows * cols));
@@ -160,7 +160,7 @@ la::Matrix DistMatrix::gather_all() const {
 }
 
 DistMatrix DistMatrix::redistribute(Dist target) const {
-  sim::Comm& comm = this->comm();
+  backend::Comm& comm = this->comm();
   if (target == dist_) return *this;
   const auto from = layout();
   const auto to = layout_of(target, rows_, cols_, comm.size());

@@ -28,7 +28,7 @@
 
 #include "la/matrix.hpp"
 #include "mm/layout.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d {
 
@@ -47,31 +47,31 @@ class DistMatrix {
   /// Slice a driver-side replicated matrix: every rank passes the same
   /// global A and keeps its own rows.  No communication (the matrix already
   /// exists everywhere); this is how tests and examples build inputs.
-  static DistMatrix from_global(sim::Comm& comm, la::ConstMatrixView A,
+  static DistMatrix from_global(backend::Comm& comm, la::ConstMatrixView A,
                                 Dist dist = Dist::CyclicRows);
 
   /// Just the local row block of from_global, as a plain matrix — for call
   /// sites that feed a raw-local API and don't need the DistMatrix handle.
-  static la::Matrix local_of(sim::Comm& comm, la::ConstMatrixView A,
+  static la::Matrix local_of(backend::Comm& comm, la::ConstMatrixView A,
                              Dist dist = Dist::CyclicRows);
 
   /// Deterministic uniform(-1, 1) test matrix, identical to
   /// from_global(la::random_matrix(m, n, seed)).  No communication.
-  static DistMatrix random(sim::Comm& comm, la::index_t rows, la::index_t cols,
+  static DistMatrix random(backend::Comm& comm, la::index_t rows, la::index_t cols,
                            std::uint64_t seed, Dist dist = Dist::CyclicRows);
 
   /// Distribute root's matrix to all ranks (collective; A_root is ignored on
   /// other ranks but its dimensions must be passed consistently everywhere).
-  static DistMatrix scatter(sim::Comm& comm, const la::Matrix& A_root, la::index_t rows,
+  static DistMatrix scatter(backend::Comm& comm, const la::Matrix& A_root, la::index_t rows,
                             la::index_t cols, Dist dist = Dist::CyclicRows, int root = 0);
 
   /// Adopt an already-distributed local row block (validated against the
   /// layout).  No communication.
-  static DistMatrix wrap(sim::Comm& comm, la::Matrix local, la::index_t rows, la::index_t cols,
+  static DistMatrix wrap(backend::Comm& comm, la::Matrix local, la::index_t rows, la::index_t cols,
                          Dist dist = Dist::CyclicRows);
 
   /// All-zero distributed matrix.  No communication.
-  static DistMatrix zeros(sim::Comm& comm, la::index_t rows, la::index_t cols,
+  static DistMatrix zeros(backend::Comm& comm, la::index_t rows, la::index_t cols,
                           Dist dist = Dist::CyclicRows);
 
   // --- Collective data movement --------------------------------------------
@@ -81,7 +81,7 @@ class DistMatrix {
 
   /// gather() from a raw local block without constructing a DistMatrix (and
   /// without copying the block).  Collective.
-  static la::Matrix gather_local(sim::Comm& comm, la::ConstMatrixView local, la::index_t rows,
+  static la::Matrix gather_local(backend::Comm& comm, la::ConstMatrixView local, la::index_t rows,
                                  la::index_t cols, Dist dist = Dist::CyclicRows, int root = 0);
 
   /// Collect the full matrix on every rank.  Collective.
@@ -89,7 +89,7 @@ class DistMatrix {
 
   /// Replicate root's (rows x cols) matrix on every rank (the broadcast half
   /// of gather_all; at_root is ignored on other ranks).  Collective.
-  static la::Matrix replicate_from_root(sim::Comm& comm, const la::Matrix& at_root,
+  static la::Matrix replicate_from_root(backend::Comm& comm, const la::Matrix& at_root,
                                         la::index_t rows, la::index_t cols, int root = 0);
 
   /// Move to another layout.  Collective; no-op copy if already there.
@@ -98,7 +98,7 @@ class DistMatrix {
   // --- Accessors -----------------------------------------------------------
 
   bool valid() const { return comm_ != nullptr; }
-  sim::Comm& comm() const;
+  backend::Comm& comm() const;
   la::index_t rows() const { return rows_; }
   la::index_t cols() const { return cols_; }
   Dist dist() const { return dist_; }
@@ -120,9 +120,9 @@ class DistMatrix {
                                                int P);
 
  private:
-  DistMatrix(sim::Comm& comm, la::index_t rows, la::index_t cols, Dist dist, la::Matrix local);
+  DistMatrix(backend::Comm& comm, la::index_t rows, la::index_t cols, Dist dist, la::Matrix local);
 
-  sim::Comm* comm_ = nullptr;
+  backend::Comm* comm_ = nullptr;
   la::index_t rows_ = 0;
   la::index_t cols_ = 0;
   Dist dist_ = Dist::CyclicRows;

@@ -11,7 +11,7 @@
 
 namespace qr3d::core {
 
-DistributedQr house_1d(sim::Comm& comm, la::ConstMatrixView A_local) {
+DistributedQr house_1d(backend::Comm& comm, la::ConstMatrixView A_local) {
   const int me = comm.rank();
   const la::index_t mp = A_local.rows();
   const la::index_t n = A_local.cols();

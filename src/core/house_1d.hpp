@@ -10,10 +10,10 @@
 #pragma once
 
 #include "core/qr_result.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::core {
 
-DistributedQr house_1d(sim::Comm& comm, la::ConstMatrixView A_local);
+DistributedQr house_1d(backend::Comm& comm, la::ConstMatrixView A_local);
 
 }  // namespace qr3d::core

@@ -12,7 +12,7 @@ namespace qr3d::core {
 
 namespace detail {
 
-Grid2dCtx make_grid2d_ctx(sim::Comm& comm, const BlockCyclic& bc) {
+Grid2dCtx make_grid2d_ctx(backend::Comm& comm, const BlockCyclic& bc) {
   QR3D_CHECK(bc.g.size() == comm.size(), "grid2d: grid must cover the communicator");
   Grid2dCtx ctx;
   ctx.bc = bc;
@@ -23,7 +23,7 @@ Grid2dCtx make_grid2d_ctx(sim::Comm& comm, const BlockCyclic& bc) {
   return ctx;
 }
 
-la::Matrix panel_householder(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, la::index_t j0,
+la::Matrix panel_householder(backend::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, la::index_t j0,
                              la::index_t jb, la::Matrix& Vpanel) {
   const BlockCyclic& bc = ctx.bc;
   const int pc_k = static_cast<int>((j0 / bc.b) % bc.g.c);
@@ -117,7 +117,7 @@ la::Matrix panel_householder(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, la:
   return Tk;
 }
 
-void trailing_update(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, const la::Matrix& Vpanel,
+void trailing_update(backend::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, const la::Matrix& Vpanel,
                      la::Matrix& Tk, la::index_t j0, la::index_t jb) {
   const BlockCyclic& bc = ctx.bc;
   const int pc_k = static_cast<int>((j0 / bc.b) % bc.g.c);
@@ -160,7 +160,7 @@ void trailing_update(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, const la::M
 
 }  // namespace detail
 
-Grid2dQr house_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+Grid2dQr house_2d(backend::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
                   House2dOptions opts) {
   QR3D_CHECK(m >= n && n >= 1, "house_2d: need m >= n >= 1");
   const int P = comm.size();

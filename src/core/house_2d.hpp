@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/block_cyclic.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::core {
 
@@ -34,7 +34,7 @@ struct House2dOptions {
 
 /// Collective over `comm`.  A_local is this rank's block-cyclic local matrix
 /// (rows/cols sorted by global index) for the layout implied by the options.
-Grid2dQr house_2d(sim::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
+Grid2dQr house_2d(backend::Comm& comm, la::ConstMatrixView A_local, la::index_t m, la::index_t n,
                   House2dOptions opts = {});
 
 namespace detail {
@@ -44,24 +44,24 @@ struct Grid2dCtx {
   BlockCyclic bc;
   int pr = 0;
   int pc = 0;
-  sim::Comm row_comm;  ///< my grid row, ranks ordered by pc
-  sim::Comm col_comm;  ///< my grid column, ranks ordered by pr
+  backend::Comm row_comm;  ///< my grid row, ranks ordered by pc
+  backend::Comm col_comm;  ///< my grid column, ranks ordered by pr
 };
 
-Grid2dCtx make_grid2d_ctx(sim::Comm& comm, const BlockCyclic& bc);
+Grid2dCtx make_grid2d_ctx(backend::Comm& comm, const BlockCyclic& bc);
 
 /// Factor panel k (columns [j0, j0+jb)) in place, column by column
 /// (house_2d's panel; also caqr_2d's fallback).  Returns the replicated
 /// T kernel; fills Vpanel with this rank's explicit panel reflectors
 /// (rows >= j0).  Only grid-column pc_k ranks compute; everyone gets T via
 /// the row broadcast done by the caller's trailing update.
-la::Matrix panel_householder(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, la::index_t j0,
+la::Matrix panel_householder(backend::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, la::index_t j0,
                              la::index_t jb, la::Matrix& Vpanel);
 
 /// Apply (I - V T^H V^H)^H ... i.e. Q_k^H to the trailing columns >= j0+jb:
 /// row-broadcast of V and T from grid column pc_k, column all-reduce of
 /// W = V^H C, local update.  Collective over the whole grid.
-void trailing_update(sim::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, const la::Matrix& Vpanel,
+void trailing_update(backend::Comm& comm, Grid2dCtx& ctx, la::Matrix& F, const la::Matrix& Vpanel,
                      la::Matrix& Tk, la::index_t j0, la::index_t jb);
 
 }  // namespace detail

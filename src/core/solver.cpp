@@ -56,7 +56,7 @@ void QrOptions::validate(la::index_t m, la::index_t n, int P) const {
 
 Factorization Solver::factor(const DistMatrix& A) const {
   QR3D_CHECK(A.valid(), "Solver::factor: invalid DistMatrix");
-  sim::Comm& comm = A.comm();
+  backend::Comm& comm = A.comm();
   const la::index_t m = A.rows(), n = A.cols();
   const int P = comm.size();
   opts_.validate(m, n, P);
@@ -108,7 +108,7 @@ Solver::TunedEntry Solver::tuned_for(la::index_t m, la::index_t n, int P,
 DistMatrix Factorization::apply_q(const DistMatrix& X, la::Op op) const {
   QR3D_CHECK(X.valid(), "Factorization::apply_q: invalid DistMatrix");
   QR3D_CHECK(X.rows() == m_, "Factorization::apply_q: X must have the factored row count");
-  sim::Comm& comm = this->comm();
+  backend::Comm& comm = this->comm();
   QR3D_CHECK(&X.comm() == &comm,
              "Factorization::apply_q: X lives on a different communicator than the factors");
   DistMatrix moved;
@@ -140,7 +140,7 @@ const DistMatrix& Factorization::rebuild_kernel() const {
 la::Matrix Factorization::solve_least_squares(const DistMatrix& B) const {
   QR3D_CHECK(B.valid(), "solve_least_squares: invalid DistMatrix");
   QR3D_CHECK(B.rows() == m_, "solve_least_squares: B must have A's row count");
-  sim::Comm& comm = this->comm();
+  backend::Comm& comm = this->comm();
   QR3D_CHECK(&B.comm() == &comm,
              "solve_least_squares: B lives on a different communicator than the factors");
   const int P = comm.size();
@@ -169,6 +169,11 @@ la::Matrix Factorization::solve_least_squares(const DistMatrix& B) const {
 // ---------------------------------------------------------------------------
 // Free-function conveniences
 // ---------------------------------------------------------------------------
+
+std::unique_ptr<backend::Machine> make_machine(const QrOptions& opts, int P,
+                                               sim::CostParams params) {
+  return backend::make_machine(opts.backend(), P, std::move(params));
+}
 
 Factorization factor(const DistMatrix& A, const QrOptions& opts) {
   return Solver(opts).factor(A);

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "backend/comm.hpp"
 #include "coll/coll.hpp"
 #include "core/api.hpp"
 #include "core/dist_matrix.hpp"
@@ -28,6 +29,10 @@ namespace qr3d {
 /// Algorithm choice (Auto / CaqrEg3d / BaseCase) — the same dispatch the
 /// low-level core::qr driver takes, re-exported at the facade.
 using Algorithm = core::Algorithm;
+
+/// Execution backend selector (Simulated / Thread), re-exported at the
+/// facade.  See make_machine() below.
+using Backend = backend::Kind;
 
 /// Validated options builder.  Setters check ranges immediately and return
 /// *this for chaining; problem-dependent checks run in Solver::factor.
@@ -58,6 +63,13 @@ class QrOptions {
     alltoall_ = alg;
     return *this;
   }
+  /// Execution backend for machines built via qr3d::make_machine(opts, ...).
+  /// The Solver itself is backend-agnostic — it factors on whatever
+  /// communicator the DistMatrix lives on.
+  QrOptions& with_backend(Backend b) {
+    backend_ = b;
+    return *this;
+  }
 
   Algorithm algorithm() const { return algorithm_; }
   double delta() const { return delta_; }
@@ -66,6 +78,7 @@ class QrOptions {
   la::index_t base_block_size() const { return b_star_; }
   bool tune_for_machine() const { return tune_for_machine_; }
   coll::Alg alltoall() const { return alltoall_; }
+  Backend backend() const { return backend_; }
 
   /// Problem-dependent validation: shape (m >= n >= 1, P >= 1) and threshold
   /// ordering (b <= n, b* <= n, b* <= b when both are pinned).  Called by
@@ -80,6 +93,7 @@ class QrOptions {
   la::index_t b_star_ = 0;
   bool tune_for_machine_ = false;
   coll::Alg alltoall_ = coll::Alg::Auto;
+  Backend backend_ = Backend::Simulated;
 };
 
 /// Handle to a computed factorization A = Q [R; 0] with Q = I - V T V^H in
@@ -92,7 +106,7 @@ class Factorization {
  public:
   la::index_t rows() const { return m_; }
   la::index_t cols() const { return n_; }
-  sim::Comm& comm() const { return v_.comm(); }
+  backend::Comm& comm() const { return v_.comm(); }
 
   /// The m x n Householder basis (unit lower trapezoidal), row-cyclic.
   const DistMatrix& v() const { return v_; }
@@ -168,6 +182,20 @@ class Solver {
   mutable std::mutex tuned_mu_;
   mutable std::vector<TunedEntry> tuned_cache_;
 };
+
+/// Machine-agnostic entry point: build the execution backend selected by
+/// `opts.backend()` — the cost-model simulator or the real threaded machine.
+/// Every algorithm (and the whole Solver API) runs unchanged on either:
+///
+///   auto machine = qr3d::make_machine(QrOptions().with_backend(Backend::Thread), P);
+///   machine->run([&](qr3d::backend::Comm& c) { ... Solver().factor(A) ... });
+///
+/// `params` drives cost accounting on the simulator; on the thread backend it
+/// still steers Alg::Auto collective selection and machine tuning, so both
+/// backends make identical algorithmic choices (a prerequisite for the
+/// conformance suite's bitwise comparisons).
+std::unique_ptr<backend::Machine> make_machine(const QrOptions& opts, int P,
+                                               sim::CostParams params = {});
 
 /// Convenience free functions over a default Solver.
 Factorization factor(const DistMatrix& A, const QrOptions& opts = {});

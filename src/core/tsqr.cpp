@@ -27,7 +27,7 @@ struct TreeNode {
 
 }  // namespace
 
-DistributedQr tsqr(sim::Comm& comm, la::ConstMatrixView A_local, TsqrOptions opts) {
+DistributedQr tsqr(backend::Comm& comm, la::ConstMatrixView A_local, TsqrOptions opts) {
   const int P = comm.size();
   const int me = comm.rank();
   const la::index_t mp = A_local.rows();

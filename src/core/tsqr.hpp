@@ -21,7 +21,7 @@
 #include "coll/coll.hpp"
 #include "core/qr_result.hpp"
 #include "la/matrix.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::core {
 
@@ -38,6 +38,6 @@ struct TsqrOptions {
 
 /// Collective over `comm`; see file comment for the data-distribution
 /// contract.  Root is rank 0.
-DistributedQr tsqr(sim::Comm& comm, la::ConstMatrixView A_local, TsqrOptions opts = {});
+DistributedQr tsqr(backend::Comm& comm, la::ConstMatrixView A_local, TsqrOptions opts = {});
 
 }  // namespace qr3d::core

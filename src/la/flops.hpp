@@ -1,7 +1,7 @@
 // Standard floating-point operation counts for the kernels in la/.
 //
 // Distributed algorithms charge these counts to the simulated machine's cost
-// clocks (sim::Comm::charge_flops) right after invoking the corresponding
+// clocks (backend::Comm::charge_flops) right after invoking the corresponding
 // kernel, so the simulator's arithmetic critical path reflects the paper's
 // #operations metric (Section 3) rather than wall-clock noise.
 #pragma once

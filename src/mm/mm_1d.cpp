@@ -5,7 +5,7 @@
 
 namespace qr3d::mm {
 
-la::Matrix mm_1d_inner(sim::Comm& comm, int root, la::ConstMatrixView X_local,
+la::Matrix mm_1d_inner(backend::Comm& comm, int root, la::ConstMatrixView X_local,
                        la::ConstMatrixView Y_local, coll::Alg alg) {
   QR3D_CHECK(X_local.rows() == Y_local.rows(), "mm_1d_inner: row blocks must conform");
   const la::index_t I = X_local.cols();
@@ -20,7 +20,7 @@ la::Matrix mm_1d_inner(sim::Comm& comm, int root, la::ConstMatrixView X_local,
   return la::from_vector(I, J, flat);
 }
 
-la::Matrix mm_1d_outer(sim::Comm& comm, int root, la::ConstMatrixView A_local,
+la::Matrix mm_1d_outer(backend::Comm& comm, int root, la::ConstMatrixView A_local,
                        const la::Matrix& B_root, la::index_t K, la::index_t J, coll::Alg alg) {
   QR3D_CHECK(A_local.cols() == K, "mm_1d_outer: A column count must equal K");
   std::vector<double> flat(static_cast<std::size_t>(K * J));

@@ -18,19 +18,19 @@
 
 #include "coll/coll.hpp"
 #include "la/blas.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::mm {
 
 /// C = X^H * Y reduced to `root`; returns C (I x J) on root, empty elsewhere.
 /// X_local (k_p x I) and Y_local (k_p x J) are conforming row blocks.
-la::Matrix mm_1d_inner(sim::Comm& comm, int root, la::ConstMatrixView X_local,
+la::Matrix mm_1d_inner(backend::Comm& comm, int root, la::ConstMatrixView X_local,
                        la::ConstMatrixView Y_local, coll::Alg alg = coll::Alg::Auto);
 
 /// C_local = A_local * B with B (K x J) valid on root only (pass any K x J
 /// matrix elsewhere; it is overwritten by the broadcast).  Returns this
 /// rank's rows of C.
-la::Matrix mm_1d_outer(sim::Comm& comm, int root, la::ConstMatrixView A_local,
+la::Matrix mm_1d_outer(backend::Comm& comm, int root, la::ConstMatrixView A_local,
                        const la::Matrix& B_root, la::index_t K, la::index_t J,
                        coll::Alg alg = coll::Alg::Auto);
 

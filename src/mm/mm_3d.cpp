@@ -33,7 +33,7 @@ la::Matrix assemble_block(index_t rows, index_t cols,
 
 }  // namespace
 
-std::vector<double> mm_3d_core(sim::Comm& comm, index_t I, index_t J, index_t K, const Grid3& grid,
+std::vector<double> mm_3d_core(backend::Comm& comm, index_t I, index_t J, index_t K, const Grid3& grid,
                                const std::vector<double>& a_dmm,
                                const std::vector<double>& b_dmm) {
   const int me = comm.rank();
@@ -47,7 +47,7 @@ std::vector<double> mm_3d_core(sim::Comm& comm, index_t I, index_t J, index_t K,
   const BalancedPartition Kpart{K, grid.S};
 
   // All-gather A's (q, s) block along the R-fiber.
-  sim::Comm fiber_r = comm.split(active ? q + grid.Q * s : -1, r);
+  backend::Comm fiber_r = comm.split(active ? q + grid.Q * s : -1, r);
   la::Matrix Ablock;
   if (active) {
     auto chunks = coll::all_gather(fiber_r, a_dmm, split_counts(Ipart.size(q), Kpart.size(s), grid.R));
@@ -55,7 +55,7 @@ std::vector<double> mm_3d_core(sim::Comm& comm, index_t I, index_t J, index_t K,
   }
 
   // All-gather B's (s, r) block along the Q-fiber.
-  sim::Comm fiber_q = comm.split(active ? r + grid.R * s : -1, q);
+  backend::Comm fiber_q = comm.split(active ? r + grid.R * s : -1, q);
   la::Matrix Bblock;
   if (active) {
     auto chunks = coll::all_gather(fiber_q, b_dmm, split_counts(Kpart.size(s), Jpart.size(r), grid.Q));
@@ -70,7 +70,7 @@ std::vector<double> mm_3d_core(sim::Comm& comm, index_t I, index_t J, index_t K,
   }
 
   // Reduce-scatter C's (q, r) block along the S-fiber.
-  sim::Comm fiber_s = comm.split(active ? q + grid.Q * r : -1, s);
+  backend::Comm fiber_s = comm.split(active ? q + grid.Q * r : -1, s);
   if (!active) return {};
   const index_t zrows = Ipart.size(q);
   const index_t zcols = Jpart.size(r);
@@ -83,7 +83,7 @@ std::vector<double> mm_3d_core(sim::Comm& comm, index_t I, index_t J, index_t K,
   return coll::reduce_scatter(fiber_s, std::move(contributions));
 }
 
-std::vector<double> mm_3d(sim::Comm& comm, index_t I, index_t J, index_t K,
+std::vector<double> mm_3d(backend::Comm& comm, index_t I, index_t J, index_t K,
                           const Layout& A_layout, const std::vector<double>& a_local,
                           const Layout& B_layout, const std::vector<double>& b_local,
                           const Layout& C_layout, coll::Alg alltoall_alg) {

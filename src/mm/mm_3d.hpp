@@ -17,20 +17,20 @@
 
 #include "coll/coll.hpp"
 #include "mm/layout.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::mm {
 
 /// C (I x J) = A (I x K) * B (K x J), all distributed over the communicator.
 /// Returns this rank's C buffer in C_layout enumeration order.
-std::vector<double> mm_3d(sim::Comm& comm, index_t I, index_t J, index_t K,
+std::vector<double> mm_3d(backend::Comm& comm, index_t I, index_t J, index_t K,
                           const Layout& A_layout, const std::vector<double>& a_local,
                           const Layout& B_layout, const std::vector<double>& b_local,
                           const Layout& C_layout, coll::Alg alltoall_alg = coll::Alg::Auto);
 
 /// The core Lemma 4 kernel with data already in DmmLayout order (no
 /// redistribution): exposed for tests and the E6 bench.
-std::vector<double> mm_3d_core(sim::Comm& comm, index_t I, index_t J, index_t K, const Grid3& grid,
+std::vector<double> mm_3d_core(backend::Comm& comm, index_t I, index_t J, index_t K, const Grid3& grid,
                                const std::vector<double>& a_dmm,
                                const std::vector<double>& b_dmm);
 

@@ -2,7 +2,7 @@
 
 namespace qr3d::mm {
 
-std::vector<double> redistribute(sim::Comm& comm, const Layout& from, const Layout& to,
+std::vector<double> redistribute(backend::Comm& comm, const Layout& from, const Layout& to,
                                  const std::vector<double>& local, coll::Alg alg) {
   const int P = comm.size();
   const int me = comm.rank();

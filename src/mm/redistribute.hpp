@@ -12,14 +12,14 @@
 
 #include "coll/coll.hpp"
 #include "mm/layout.hpp"
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 
 namespace qr3d::mm {
 
 /// Move a distributed matrix from layout `from` to layout `to`.  `local` is
 /// this rank's buffer in `from`-enumeration order; the result is in
 /// `to`-enumeration order.  Collective over the communicator.
-std::vector<double> redistribute(sim::Comm& comm, const Layout& from, const Layout& to,
+std::vector<double> redistribute(backend::Comm& comm, const Layout& from, const Layout& to,
                                  const std::vector<double>& local,
                                  coll::Alg alg = coll::Alg::Auto);
 

@@ -10,16 +10,25 @@
 //                         solve_least_squares
 //   qr3d::factor, qr3d::solve_least_squares   one-shot conveniences
 //
-// Supporting namespaces re-exported for power users (the simulated machine,
+// Execution is backend-polymorphic: algorithms run against qr3d::backend::
+// Comm and can execute on the cost-model simulator (the oracle) or on real
+// threads measured by wall clock — select with QrOptions::with_backend and
+// construct via qr3d::make_machine(opts, P):
+//
+//   qr3d::Backend         Simulated | Thread
+//   qr3d::make_machine    build the selected backend::Machine
+//
+// Supporting namespaces re-exported for power users (the execution backends,
 // dense kernels, collectives, cost models, and the individual algorithms the
 // paper compares):
 //
-//   qr3d::sim    Machine / Comm / machine profiles (alpha-beta-gamma model)
-//   qr3d::la     dense matrices, BLAS-like kernels, checks, random generators
-//   qr3d::coll   the eight collectives of Section 3
-//   qr3d::mm     layouts, redistribution, 1D/3D matrix multiplication
-//   qr3d::core   TSQR, 1D/3D-CAQR-EG, 2D baselines, block-size rules
-//   qr3d::cost   closed-form cost models (Tables 1-3) and the machine tuner
+//   qr3d::backend  Comm handle, abstract Machine, ThreadMachine, make_machine
+//   qr3d::sim      simulated Machine / machine profiles (alpha-beta-gamma)
+//   qr3d::la       dense matrices, BLAS-like kernels, checks, random generators
+//   qr3d::coll     the eight collectives of Section 3
+//   qr3d::mm       layouts, redistribution, 1D/3D matrix multiplication
+//   qr3d::core     TSQR, 1D/3D-CAQR-EG, 2D baselines, block-size rules
+//   qr3d::cost     closed-form cost models (Tables 1-3) and the machine tuner
 #pragma once
 
 // Dense linear algebra.
@@ -33,7 +42,9 @@
 #include "la/random.hpp"
 #include "la/triangular.hpp"
 
-// Simulated machine and collectives.
+// Execution backends and collectives.
+#include "backend/comm.hpp"
+#include "backend/thread_machine.hpp"
 #include "coll/coll.hpp"
 #include "sim/comm.hpp"
 #include "sim/machine.hpp"

@@ -1,18 +1,16 @@
 #include "sim/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <stdexcept>
 #include <tuple>
 
 #include "la/error.hpp"
 
 namespace qr3d::sim {
 
-void Comm::send(int dst, std::vector<double> payload, int tag) {
-  QR3D_CHECK(valid(), "send on invalid communicator");
-  QR3D_CHECK(dst >= 0 && dst < size(), "send: destination out of range");
-  QR3D_CHECK(dst != rank_, "send: self-messages are not part of the cost model");
-
+void SimComm::send(int dst, std::vector<double>&& payload, int tag) {
   const double w = static_cast<double>(payload.size());
   const CostParams& cp = machine_->params();
   clock_->msgs += 1;
@@ -31,11 +29,7 @@ void Comm::send(int dst, std::vector<double> payload, int tag) {
   machine_->mailboxes_[static_cast<std::size_t>(dst_global)].push(std::move(e));
 }
 
-std::vector<double> Comm::recv(int src, int tag) {
-  QR3D_CHECK(valid(), "recv on invalid communicator");
-  QR3D_CHECK(src >= 0 && src < size(), "recv: source out of range");
-  QR3D_CHECK(src != rank_, "recv: self-messages are not part of the cost model");
-
+std::vector<double> SimComm::recv(int src, int tag) {
   const int me_global = group_->members[static_cast<std::size_t>(rank_)];
   const int src_global = group_->members[static_cast<std::size_t>(src)];
   detail::Envelope e = machine_->mailboxes_[static_cast<std::size_t>(me_global)].pop_match(
@@ -50,16 +44,24 @@ std::vector<double> Comm::recv(int src, int tag) {
   return std::move(e.payload);
 }
 
-void Comm::charge_flops(double f) {
+void SimComm::charge_flops(double f) {
   clock_->flops += f;
   clock_->time += f * machine_->params().gamma;
   totals_->flops += f;
 }
 
-Comm Comm::split(int color, int key) {
-  QR3D_CHECK(valid(), "split on invalid communicator");
+std::shared_ptr<backend::CommImpl> SimComm::split(int color, int key) {
   auto& g = *group_;
   const int n = size();
+
+  // The rendezvous must not outlive an abort: a rank that threw will never
+  // arrive, so waiters poll the abort flag instead of sleeping forever.
+  auto wait_or_abort = [&](std::unique_lock<std::mutex>& lk, auto&& pred) {
+    while (!g.cv.wait_for(lk, std::chrono::milliseconds(1), pred)) {
+      if (machine_->aborted())
+        throw std::runtime_error("qr3d::sim: machine aborted during communicator split");
+    }
+  };
 
   std::unique_lock<std::mutex> lock(g.mu);
   if (g.colors.empty()) {
@@ -94,7 +96,7 @@ Comm Comm::split(int color, int key) {
     g.ready = true;
     g.cv.notify_all();
   } else {
-    g.cv.wait(lock, [&g]() { return g.ready; });
+    wait_or_abort(lock, [&g]() { return g.ready; });
   }
 
   auto out = g.out_group[static_cast<std::size_t>(rank_)];
@@ -115,11 +117,11 @@ Comm Comm::split(int color, int key) {
   } else {
     // Wait until everyone picked up, so a rank cannot race into the next
     // split() round on this communicator while state is being reset.
-    g.cv.wait(lock, [&g]() { return g.picked_up == 0; });
+    wait_or_abort(lock, [&g]() { return g.picked_up == 0; });
   }
 
-  if (!out) return Comm(machine_, nullptr, -1, clock_, totals_);
-  return Comm(machine_, std::move(out), out_rank, clock_, totals_);
+  if (!out) return nullptr;
+  return std::make_shared<SimComm>(machine_, std::move(out), out_rank, clock_, totals_);
 }
 
 }  // namespace qr3d::sim

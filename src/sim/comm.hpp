@@ -1,64 +1,51 @@
-// Communicator handle: the per-rank interface to the simulated machine.
+// The simulated backend's communicator implementation.
 //
-// Mirrors the MPI communicator abstraction: point-to-point send/recv matched
-// on (source, communicator, tag), plus split() to form sub-communicators
-// (e.g. processor-grid fibers for 3D matrix multiplication).  All collectives
-// (coll/) and algorithms (core/, mm/) are written against this interface
-// only, so porting to real MPI is a mechanical substitution.
+// SimComm realizes backend::CommImpl over the simulated alpha-beta-gamma
+// machine: point-to-point send/recv matched on (source, communicator, tag)
+// with FIFO ordering, MPI_Comm_split-style split(), and Section 3
+// critical-path cost accounting on every message and flop.  Algorithms never
+// see this type — they are written against the backend::Comm handle — but
+// the machine hands out handles wrapping it, and messages stamp/fold the
+// per-rank cost clocks documented in sim/clock.hpp.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "backend/comm.hpp"
 #include "sim/machine.hpp"
 
 namespace qr3d::sim {
 
-class Comm {
+class SimComm : public backend::CommImpl {
  public:
-  /// Default-constructed communicators are invalid placeholders (valid() ==
-  /// false); they are produced by split(color < 0) and usable as members of
-  /// structs built before the real communicator exists.
-  Comm() = default;
-
-  int rank() const { return rank_; }
-  int size() const { return static_cast<int>(group_->members.size()); }
-  const CostParams& params() const { return machine_->params(); }
-  Machine& machine() const { return *machine_; }
-
-  /// Asynchronous point-to-point send of `payload` to local rank `dst`.
-  /// Charges alpha + beta*|payload| (+1 message, +|payload| words) to this
-  /// rank's path and stamps the message with the updated clock.
-  void send(int dst, std::vector<double> payload, int tag);
-
-  /// Blocking receive from local rank `src` with matching `tag` (FIFO per
-  /// (src, tag)).  Charges the receive task and folds the sender's clock.
-  std::vector<double> recv(int src, int tag);
-
-  /// Charge `f` local arithmetic operations to this rank's path.
-  void charge_flops(double f);
-
-  /// Collectively split this communicator: ranks passing the same `color`
-  /// form a new communicator, ordered by (key, old rank).  Every member of
-  /// this communicator must call split (MPI_Comm_split semantics).  Ranks
-  /// passing color < 0 receive an invalid (size-0) communicator.
-  /// Communicator construction is free in the cost model.
-  Comm split(int color, int key);
-
-  /// This rank's critical-path clock (shared with the machine).
-  const CostClock& clock() const { return *clock_; }
-
-  bool valid() const { return group_ != nullptr; }
-
- private:
-  friend class Machine;
-
-  Comm(Machine* machine, std::shared_ptr<detail::GroupShared> group, int rank, CostClock* clock,
-       CostTotals* totals)
+  SimComm(Machine* machine, std::shared_ptr<detail::GroupShared> group, int rank, CostClock* clock,
+          CostTotals* totals)
       : machine_(machine), group_(std::move(group)), rank_(rank), clock_(clock),
         totals_(totals) {}
 
+  int rank() const override { return rank_; }
+  int size() const override { return static_cast<int>(group_->members.size()); }
+  const CostParams& params() const override { return machine_->params(); }
+
+  /// Charges alpha + beta*|payload| (+1 message, +|payload| words) to this
+  /// rank's path and stamps the message with the updated clock.
+  void send(int dst, std::vector<double>&& payload, int tag) override;
+
+  /// Charges the receive task and folds the sender's clock.
+  std::vector<double> recv(int src, int tag) override;
+
+  /// Charge `f` local arithmetic operations to this rank's path.
+  void charge_flops(double f) override;
+
+  /// Communicator construction is free in the cost model.
+  std::shared_ptr<backend::CommImpl> split(int color, int key) override;
+
+  /// This rank's critical-path clock (shared with the machine).
+  const CostClock* cost_clock() const override { return clock_; }
+
+ private:
   Machine* machine_ = nullptr;
   std::shared_ptr<detail::GroupShared> group_;
   int rank_ = -1;

@@ -1,5 +1,6 @@
 #include "sim/machine.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -34,7 +35,13 @@ Envelope Mailbox::pop_match(int src_global, std::uint64_t context, int tag,
   }
 }
 
-void Mailbox::notify_abort() { cv_.notify_all(); }
+void Mailbox::notify_abort() {
+  // Taking the mutex serializes with a receiver that has just evaluated its
+  // wait predicate but not yet gone to sleep — notifying without it can be
+  // lost, leaving the receiver blocked forever after an abort.
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
 
 void Mailbox::clear() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -49,7 +56,7 @@ Machine::Machine(int P, CostParams params)
   QR3D_CHECK(P >= 1, "machine needs at least one processor");
 }
 
-void Machine::run(const std::function<void(Comm&)>& body) {
+void Machine::run(const std::function<void(backend::Comm&)>& body) {
   for (auto& mb : mailboxes_) mb.clear();
   for (auto& c : clocks_) c = CostClock{};
   for (auto& t : totals_) t = CostTotals{};
@@ -61,13 +68,15 @@ void Machine::run(const std::function<void(Comm&)>& body) {
   world->members.resize(static_cast<std::size_t>(P_));
   for (int p = 0; p < P_; ++p) world->members[static_cast<std::size_t>(p)] = p;
 
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P_));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(P_));
   for (int p = 0; p < P_; ++p) {
     threads.emplace_back([this, p, &body, &world, &errors]() {
-      Comm comm(this, world, p, &clocks_[static_cast<std::size_t>(p)],
-                &totals_[static_cast<std::size_t>(p)]);
+      backend::Comm comm(std::make_shared<SimComm>(this, world, p,
+                                                   &clocks_[static_cast<std::size_t>(p)],
+                                                   &totals_[static_cast<std::size_t>(p)]));
       try {
         body(comm);
       } catch (...) {
@@ -78,6 +87,7 @@ void Machine::run(const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);

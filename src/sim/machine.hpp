@@ -19,11 +19,12 @@
 #include <mutex>
 #include <vector>
 
+#include "backend/comm.hpp"
 #include "sim/clock.hpp"
 
 namespace qr3d::sim {
 
-class Comm;
+class SimComm;
 
 namespace detail {
 
@@ -74,17 +75,22 @@ struct GroupShared {
 /// The simulated machine.  Construct with the processor count and cost
 /// parameters, then call run() with an SPMD body; afterwards query the
 /// measured critical-path costs.
-class Machine {
+class Machine : public backend::Machine {
  public:
   explicit Machine(int P, CostParams params = {});
 
-  int size() const { return P_; }
-  const CostParams& params() const { return params_; }
+  backend::Kind kind() const override { return backend::Kind::Simulated; }
+  int size() const override { return P_; }
+  const CostParams& params() const override { return params_; }
 
   /// Execute `body` on all P simulated processors (one thread each) and wait
   /// for completion.  Cost clocks and mailboxes are reset first.  If any rank
   /// throws, all ranks are aborted and the lowest-ranked exception rethrown.
-  void run(const std::function<void(Comm&)>& body);
+  void run(const std::function<void(backend::Comm&)>& body) override;
+
+  /// Wall-clock seconds of the last run() — the *host's* time running the
+  /// simulation, unrelated to the simulated clocks below.
+  double last_wall_seconds() const override { return wall_seconds_; }
 
   /// Critical-path costs of the last run: per-metric maxima over processors.
   CostClock critical_path() const;
@@ -96,7 +102,7 @@ class Machine {
   CostTotals totals() const;
 
  private:
-  friend class Comm;
+  friend class SimComm;
 
   std::uint64_t new_context() { return next_context_++; }
   bool aborted() const { return aborted_; }
@@ -108,6 +114,7 @@ class Machine {
   std::vector<CostTotals> totals_;
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
+  double wall_seconds_ = 0.0;
 };
 
 }  // namespace qr3d::sim

@@ -9,6 +9,7 @@
 #include "qr3d.hpp"
 
 namespace la = qr3d::la;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 using la::index_t;
 using qr3d::Dist;
@@ -26,7 +27,7 @@ TEST_P(DistRoundTrip, FromGlobalGatherRecoversTheMatrix) {
   const int P = 4;
   la::Matrix A = la::random_matrix(m, n, 101);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     DistMatrix Ad = DistMatrix::from_global(c, A.view(), dist);
     EXPECT_EQ(Ad.rows(), m);
     EXPECT_EQ(Ad.cols(), n);
@@ -52,7 +53,7 @@ TEST_P(DistRoundTrip, ScatterFromRootMatchesFromGlobal) {
   const int P = 5;
   la::Matrix A = la::random_matrix(m, n, 102);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     // Only the root holds the global matrix; everyone else passes a dummy.
     DistMatrix Ad = DistMatrix::scatter(c, c.rank() == 0 ? A : la::Matrix(), m, n, dist);
     DistMatrix ref = DistMatrix::from_global(c, A.view(), dist);
@@ -67,7 +68,7 @@ TEST_P(DistRoundTrip, RedistributeThereAndBack) {
   const int P = 3;
   la::Matrix A = la::random_matrix(m, n, 103);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     DistMatrix Ad = DistMatrix::from_global(c, A.view(), dist);
     DistMatrix moved = Ad.redistribute(other);
     EXPECT_EQ(moved.dist(), other);
@@ -84,7 +85,7 @@ INSTANTIATE_TEST_SUITE_P(Layouts, DistRoundTrip,
 
 TEST(DistMatrixValidation, WrapRejectsMismatchedLocalBlock) {
   sim::Machine machine(3);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     la::Matrix wrong(1, 2);  // 12 rows over 3 ranks is 4 rows each
     DistMatrix::wrap(c, std::move(wrong), 12, 2, Dist::CyclicRows);
   }),
@@ -100,7 +101,7 @@ TEST(SolverFacade, FactorsReconstructAndQIsOrthogonal) {
   const int P = 4;
   la::Matrix A = la::random_matrix(m, n, 104);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     qr3d::Factorization f = qr3d::Solver().factor(DistMatrix::from_global(c, A.view()));
     la::Matrix V = f.v().gather();
     la::Matrix T = f.t().gather();
@@ -123,7 +124,7 @@ TEST(SolverFacade, BlockRowsInputIsRedistributedAndFactored) {
   const int P = 5;
   la::Matrix A = la::random_matrix(m, n, 105);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     qr3d::Factorization f =
         qr3d::factor(DistMatrix::from_global(c, A.view(), Dist::BlockRows));
     la::Matrix R = f.r().gather();
@@ -143,7 +144,7 @@ TEST(SolverFacade, ApplyQRoundTripIsIdentity) {
   la::Matrix A = la::random_matrix(m, n, 106);
   la::Matrix X = la::random_matrix(m, k, 107);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     qr3d::Factorization f = qr3d::Solver().factor(DistMatrix::from_global(c, A.view()));
     DistMatrix Xd = DistMatrix::from_global(c, X.view());
     DistMatrix Y = f.apply_q(Xd, la::Op::ConjTrans);
@@ -158,7 +159,7 @@ TEST(SolverFacade, RebuildKernelMatchesStoredTAndIsCached) {
   const int P = 5;
   la::Matrix A = la::random_matrix(m, n, 108);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     qr3d::Factorization f = qr3d::Solver().factor(DistMatrix::from_global(c, A.view()));
     const DistMatrix& T1 = f.rebuild_kernel();
     const DistMatrix& T2 = f.rebuild_kernel();  // cached: same object, no collective
@@ -183,7 +184,7 @@ namespace {
 /// bit-identical cost clocks.
 sim::CostClock factor_costs(const la::Matrix& A, int P, qr3d::Algorithm alg) {
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     qr3d::factor(DistMatrix::from_global(c, A.view()),
                  qr3d::QrOptions().with_algorithm(alg));
   });
@@ -236,7 +237,7 @@ TEST(LeastSquares, MatchesSerialQrSolve) {
            x_ref.view());
 
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     la::Matrix x = qr3d::solve_least_squares(DistMatrix::from_global(c, A.view()),
                                              DistMatrix::from_global(c, B.view()));
     // Replicated on every rank, and equal to the serial solution.
@@ -249,7 +250,7 @@ TEST(LeastSquares, MatchesSerialQrSolve) {
   // And the normal-equations residual optimality check: A^H (A x - B) ~ 0.
   la::Matrix x0;
   sim::Machine machine2(P);
-  machine2.run([&](sim::Comm& c) {
+  machine2.run([&](backend::Comm& c) {
     la::Matrix x = qr3d::solve_least_squares(DistMatrix::from_global(c, A.view()),
                                              DistMatrix::from_global(c, B.view()));
     if (c.rank() == 0) x0 = std::move(x);
@@ -284,7 +285,7 @@ TEST(OptionsValidation, NegativeBlockSizesThrow) {
 
 TEST(OptionsValidation, FactorRejectsWideMatrices) {
   sim::Machine machine(2);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     qr3d::factor(DistMatrix::random(c, 4, 8, 1));
   }),
                std::invalid_argument);
@@ -292,7 +293,7 @@ TEST(OptionsValidation, FactorRejectsWideMatrices) {
 
 TEST(OptionsValidation, FactorRejectsBlockSizeBeyondN) {
   sim::Machine machine(2);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     qr3d::factor(DistMatrix::random(c, 16, 4, 2), qr3d::QrOptions().with_block_size(5));
   }),
                std::invalid_argument);
@@ -300,7 +301,7 @@ TEST(OptionsValidation, FactorRejectsBlockSizeBeyondN) {
 
 TEST(OptionsValidation, FactorRejectsBaseBlockLargerThanBlock) {
   sim::Machine machine(2);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     qr3d::factor(DistMatrix::random(c, 16, 8, 3),
                  qr3d::QrOptions().with_block_size(4).with_base_block_size(6));
   }),
@@ -309,7 +310,7 @@ TEST(OptionsValidation, FactorRejectsBaseBlockLargerThanBlock) {
 
 TEST(OptionsValidation, SolveLeastSquaresRejectsMismatchedRhs) {
   sim::Machine machine(2);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     qr3d::Factorization f = qr3d::factor(DistMatrix::random(c, 16, 4, 4));
     f.solve_least_squares(DistMatrix::random(c, 8, 1, 5));  // wrong row count
   }),

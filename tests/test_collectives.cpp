@@ -11,6 +11,7 @@
 #include "sim/machine.hpp"
 
 namespace coll = qr3d::coll;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 using coll::Alg;
 
@@ -38,7 +39,7 @@ TEST_P(CollectivesP, ScatterDeliversRootBlocks) {
   const int P = GetParam();
   sim::Machine m(P);
   for (int root : {0, P - 1, P / 2}) {
-    m.run([&](sim::Comm& c) {
+    m.run([&](backend::Comm& c) {
       std::vector<std::size_t> counts(P);
       for (int q = 0; q < P; ++q) counts[q] = 3 + static_cast<std::size_t>(q % 4);
       std::vector<std::vector<double>> blocks;
@@ -56,7 +57,7 @@ TEST_P(CollectivesP, GatherCollectsAllBlocks) {
   const int P = GetParam();
   sim::Machine m(P);
   for (int root : {0, P - 1}) {
-    m.run([&](sim::Comm& c) {
+    m.run([&](backend::Comm& c) {
       std::vector<std::size_t> counts(P);
       for (int q = 0; q < P; ++q) counts[q] = 2 + static_cast<std::size_t>((q * 3) % 5);
       auto out = coll::gather(c, root, make_block(c.rank(), root, counts[c.rank()]), counts);
@@ -73,7 +74,7 @@ TEST_P(CollectivesP, BroadcastBothAlgorithmsAgree) {
   sim::Machine m(P);
   for (Alg alg : {Alg::Binomial, Alg::BidirExchange, Alg::Auto}) {
     for (std::size_t B : {std::size_t{1}, std::size_t{5}, std::size_t{257}}) {
-      m.run([&](sim::Comm& c) {
+      m.run([&](backend::Comm& c) {
         const int root = P > 2 ? 2 : 0;
         std::vector<double> data(B, 0.0);
         if (c.rank() == root) data = make_block(root, root, B);
@@ -89,7 +90,7 @@ TEST_P(CollectivesP, ReduceSumsToRoot) {
   sim::Machine m(P);
   for (Alg alg : {Alg::Binomial, Alg::BidirExchange, Alg::Auto}) {
     for (std::size_t B : {std::size_t{1}, std::size_t{64}}) {
-      m.run([&](sim::Comm& c) {
+      m.run([&](backend::Comm& c) {
         const int root = P - 1;
         std::vector<double> data(B);
         for (std::size_t i = 0; i < B; ++i) data[i] = c.rank() + 1.0 + static_cast<double>(i);
@@ -108,7 +109,7 @@ TEST_P(CollectivesP, AllReduceDeliversSumEverywhere) {
   const int P = GetParam();
   sim::Machine m(P);
   for (Alg alg : {Alg::Binomial, Alg::BidirExchange, Alg::Auto}) {
-    m.run([&](sim::Comm& c) {
+    m.run([&](backend::Comm& c) {
       std::vector<double> data = {static_cast<double>(c.rank()), 1.0};
       coll::all_reduce(c, data, alg);
       EXPECT_DOUBLE_EQ(data[0], P * (P - 1) / 2.0);
@@ -120,7 +121,7 @@ TEST_P(CollectivesP, AllReduceDeliversSumEverywhere) {
 TEST_P(CollectivesP, AllGatherDeliversAllBlocksEverywhere) {
   const int P = GetParam();
   sim::Machine m(P);
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     std::vector<std::size_t> counts(P);
     for (int q = 0; q < P; ++q) counts[q] = 1 + static_cast<std::size_t>(q % 3);
     auto all = coll::all_gather(c, make_block(c.rank(), 0, counts[c.rank()]), counts);
@@ -132,7 +133,7 @@ TEST_P(CollectivesP, AllGatherDeliversAllBlocksEverywhere) {
 TEST_P(CollectivesP, ReduceScatterSumsPerDestination) {
   const int P = GetParam();
   sim::Machine m(P);
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     std::vector<std::vector<double>> contributions(P);
     for (int q = 0; q < P; ++q) {
       contributions[q].assign(2 + static_cast<std::size_t>(q % 3), 0.0);
@@ -152,7 +153,7 @@ TEST_P(CollectivesP, AllToAllBothAlgorithmsDeliver) {
   const int P = GetParam();
   sim::Machine m(P);
   for (Alg alg : {Alg::Index, Alg::TwoPhase, Alg::Auto}) {
-    m.run([&](sim::Comm& c) {
+    m.run([&](backend::Comm& c) {
       std::vector<std::vector<double>> outgoing(P);
       for (int q = 0; q < P; ++q)
         outgoing[q] = make_block(c.rank(), q, 1 + static_cast<std::size_t>((c.rank() + q) % 5));
@@ -168,7 +169,7 @@ TEST_P(CollectivesP, AllToAllWithEmptyAndSkewedBlocks) {
   const int P = GetParam();
   sim::Machine m(P);
   for (Alg alg : {Alg::Index, Alg::TwoPhase}) {
-    m.run([&](sim::Comm& c) {
+    m.run([&](backend::Comm& c) {
       // Only rank 0 sends, and only to rank P-1 (maximal skew); everything
       // else is empty.
       std::vector<std::vector<double>> outgoing(P);
@@ -201,7 +202,7 @@ class CollectiveCosts : public ::testing::TestWithParam<std::tuple<int, int>> {}
 TEST_P(CollectiveCosts, BroadcastMeetsTable1Bound) {
   auto [P, B] = GetParam();
   sim::Machine m(P);
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     std::vector<double> data(B, 1.0);
     coll::broadcast(c, 0, data);
   });
@@ -214,7 +215,7 @@ TEST_P(CollectiveCosts, BroadcastMeetsTable1Bound) {
 TEST_P(CollectiveCosts, ReduceMeetsTable1Bound) {
   auto [P, B] = GetParam();
   sim::Machine m(P);
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     std::vector<double> data(B, 1.0);
     coll::reduce(c, 0, data);
   });
@@ -229,7 +230,7 @@ TEST_P(CollectiveCosts, ScatterGatherMeetTable1Bound) {
   auto [P, B] = GetParam();
   sim::Machine m(P);
   std::vector<std::size_t> counts(P, static_cast<std::size_t>(B));
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     std::vector<std::vector<double>> blocks;
     if (c.rank() == 0) blocks.assign(P, std::vector<double>(B, 1.0));
     auto mine = coll::scatter(c, 0, blocks, counts);
@@ -245,7 +246,7 @@ TEST_P(CollectiveCosts, AllGatherReduceScatterMeetTable1Bound) {
   auto [P, B] = GetParam();
   sim::Machine m(P);
   std::vector<std::size_t> counts(P, static_cast<std::size_t>(B));
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     std::vector<std::vector<double>> contribs(P, std::vector<double>(B, 1.0));
     auto mine = coll::reduce_scatter(c, std::move(contribs));
     coll::all_gather(c, std::vector<double>(B, 1.0), counts);
@@ -258,7 +259,7 @@ TEST_P(CollectiveCosts, AllGatherReduceScatterMeetTable1Bound) {
 TEST_P(CollectiveCosts, AllToAllTwoPhaseMeetsTable1Bound) {
   auto [P, B] = GetParam();
   sim::Machine m(P);
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     std::vector<std::vector<double>> outgoing(P, std::vector<double>(B, 1.0));
     coll::all_to_all(c, std::move(outgoing), Alg::TwoPhase);
   });
@@ -280,7 +281,7 @@ TEST(CollectiveCosts, BidirBeatsBinomialForLargeBlocks) {
   const int B = 4096;
   auto measure = [&](Alg alg) {
     sim::Machine m(P);
-    m.run([&](sim::Comm& c) {
+    m.run([&](backend::Comm& c) {
       std::vector<double> data(B, 1.0);
       coll::broadcast(c, 0, data, alg);
     });
@@ -301,7 +302,7 @@ TEST(CollectiveCosts, BinomialBeatsBidirForTinyBlocks) {
   const int P = 32;
   auto measure = [&](Alg alg) {
     sim::Machine m(P);
-    m.run([&](sim::Comm& c) {
+    m.run([&](backend::Comm& c) {
       std::vector<double> data(2, 1.0);
       coll::broadcast(c, 0, data, alg);
     });
@@ -321,7 +322,7 @@ TEST(CollectiveCosts, TwoPhaseBalancesSkewedAllToAll) {
   const std::size_t big = 16384;
   auto measure = [&](Alg alg) {
     sim::Machine m(P);
-    m.run([&](sim::Comm& c) {
+    m.run([&](backend::Comm& c) {
       std::vector<std::vector<double>> outgoing(P);
       if (c.rank() == 0) outgoing[P - 1].assign(big, 1.0);
       coll::all_to_all(c, std::move(outgoing), alg);
@@ -340,7 +341,7 @@ TEST(CollectiveCosts, ReduceScatterFlopsMatchTable1) {
   const int P = 8;
   const std::size_t B = 256;
   sim::Machine m(P);
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     std::vector<std::vector<double>> contribs(P, std::vector<double>(B, 1.0));
     coll::reduce_scatter(c, std::move(contribs));
   });
@@ -352,8 +353,8 @@ TEST(CollectiveCosts, BroadcastValueIndependentOfAlgorithmUnderSubComms) {
   // Collectives on split communicators stay isolated per group.
   const int P = 8;
   sim::Machine m(P);
-  m.run([&](sim::Comm& c) {
-    sim::Comm half = c.split(c.rank() % 2, c.rank());
+  m.run([&](backend::Comm& c) {
+    backend::Comm half = c.split(c.rank() % 2, c.rank());
     std::vector<double> data(33, 0.0);
     if (half.rank() == 0) data.assign(33, 5.0 + c.rank() % 2);
     coll::broadcast(half, 0, data);

@@ -10,6 +10,7 @@ namespace core = qr3d::core;
 namespace cost = qr3d::cost;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 using la::index_t;
 
@@ -128,7 +129,7 @@ TEST(Tuner, ProfilesProduceFiniteDistinctChoices) {
 
 namespace {
 
-la::Matrix cyclic_local(sim::Comm& c, const la::Matrix& A) {
+la::Matrix cyclic_local(backend::Comm& c, const la::Matrix& A) {
   return qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::CyclicRows);
 }
 
@@ -142,7 +143,7 @@ TEST_P(ApiCase, QrAndApplyQRoundTrip) {
   la::Matrix X = la::random_matrix(m, 3, 7100 + m);
 
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     la::Matrix Al = cyclic_local(c, A);
     core::CyclicQr f = core::qr(c, la::ConstMatrixView(Al.view()), m, n);
 
@@ -175,7 +176,7 @@ TEST(Api, ForcedAlgorithmsAgreeOnR) {
   la::Matrix A = la::random_matrix(m, n, 42);
   for (core::Algorithm alg : {core::Algorithm::CaqrEg3d, core::Algorithm::BaseCase}) {
     sim::Machine machine(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       la::Matrix Al = cyclic_local(c, A);
       core::QrOptions opts;
       opts.algorithm = alg;
@@ -197,7 +198,7 @@ TEST(Api, TunedQrStillCorrect) {
   const int P = 8;
   la::Matrix A = la::random_matrix(m, n, 77);
   sim::Machine machine(P, sim::profiles::cloud());
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     la::Matrix Al = cyclic_local(c, A);
     core::QrOptions opts;
     opts.tune_for_machine = true;
@@ -214,7 +215,7 @@ TEST(Api, GatherToRootRoundTrip) {
   const int P = 3;
   la::Matrix A = la::random_matrix(rows, cols, 3);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     la::Matrix loc = cyclic_local(c, A);
     la::Matrix full = core::gather_to_root(c, loc, rows, cols);
     if (c.rank() == 0) {

@@ -1,0 +1,160 @@
+// Cost-pinning regression tests.
+//
+// The send() API change (donating std::vector<double>&& / explicit
+// send_copy instead of pass-by-value) must not change what the simulator
+// charges: a message of w words costs alpha + w*beta at each endpoint,
+// regardless of how the payload buffer reached the backend.  These tests pin
+// the *exact* critical-path and aggregate message/word counts of every
+// collective variant at P = 8, B = 16 — snapshots taken when the backend
+// refactor landed — so any refactor that silently alters simulated costs
+// (an extra hop, a lost donation turning into a charged copy, a changed
+// tree shape) fails loudly here.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "backend/comm.hpp"
+#include "coll/coll.hpp"
+#include "sim/machine.hpp"
+
+namespace backend = qr3d::backend;
+namespace coll = qr3d::coll;
+namespace sim = qr3d::sim;
+using Alg = coll::Alg;
+
+namespace {
+
+constexpr int P = 8;
+constexpr std::size_t B = 16;
+
+struct Pinned {
+  double cp_msgs, cp_words, tot_msgs, tot_words;
+};
+
+void expect_pinned(const char* name, const Pinned& want,
+                   const std::function<void(backend::Comm&)>& body) {
+  sim::Machine m(P);
+  m.run(body);
+  const sim::CostClock cp = m.critical_path();
+  const sim::CostTotals tot = m.totals();
+  EXPECT_DOUBLE_EQ(cp.msgs, want.cp_msgs) << name << ": critical-path messages";
+  EXPECT_DOUBLE_EQ(cp.words, want.cp_words) << name << ": critical-path words";
+  EXPECT_DOUBLE_EQ(tot.msgs_sent, want.tot_msgs) << name << ": total messages";
+  EXPECT_DOUBLE_EQ(tot.words_sent, want.tot_words) << name << ": total words";
+}
+
+}  // namespace
+
+// Donating a buffer and sending an explicit copy charge identically: the
+// cost model sees w words either way.
+TEST(CostRegression, MoveSendAndCopySendChargeIdentically) {
+  auto run = [](bool use_copy) {
+    sim::Machine m(2);
+    m.run([use_copy](backend::Comm& c) {
+      if (c.rank() == 0) {
+        std::vector<double> payload(B, 1.0);
+        if (use_copy) c.send_copy(1, payload, 5);
+        else c.send(1, std::move(payload), 5);
+      } else {
+        c.recv(0, 5);
+      }
+    });
+    return m.critical_path();
+  };
+  const sim::CostClock moved = run(false);
+  const sim::CostClock copied = run(true);
+  EXPECT_DOUBLE_EQ(moved.msgs, copied.msgs);
+  EXPECT_DOUBLE_EQ(moved.words, copied.words);
+  EXPECT_DOUBLE_EQ(moved.time, copied.time);
+  EXPECT_DOUBLE_EQ(moved.msgs, 2.0);   // send + recv endpoints
+  EXPECT_DOUBLE_EQ(moved.words, 32.0); // 16 words charged at each endpoint
+}
+
+// --- Rooted collectives (per-rank blocks of B; vectors of P*B). -------------
+
+TEST(CostRegression, ScatterBinomial) {
+  expect_pinned("scatter_binomial", {6, 224, 7, 192}, [](backend::Comm& c) {
+    std::vector<std::vector<double>> blocks(P, std::vector<double>(B, 1.0));
+    coll::scatter(c, 0, blocks, std::vector<std::size_t>(P, B), Alg::Binomial);
+  });
+}
+
+TEST(CostRegression, GatherBinomial) {
+  expect_pinned("gather_binomial", {6, 224, 7, 192}, [](backend::Comm& c) {
+    coll::gather(c, 0, std::vector<double>(B, 1.0), std::vector<std::size_t>(P, B),
+                 Alg::Binomial);
+  });
+}
+
+TEST(CostRegression, BroadcastBinomial) {
+  expect_pinned("broadcast_binomial", {6, 768, 7, 896}, [](backend::Comm& c) {
+    std::vector<double> d(B * P, 1.0);
+    coll::broadcast(c, 0, d, Alg::Binomial);
+  });
+}
+
+TEST(CostRegression, BroadcastBidirectional) {
+  expect_pinned("broadcast_bidir", {12, 448, 31, 1088}, [](backend::Comm& c) {
+    std::vector<double> d(B * P, 1.0);
+    coll::broadcast(c, 0, d, Alg::BidirExchange);
+  });
+}
+
+TEST(CostRegression, ReduceBinomial) {
+  expect_pinned("reduce_binomial", {6, 768, 7, 896}, [](backend::Comm& c) {
+    std::vector<double> d(B * P, 1.0);
+    coll::reduce(c, 0, d, Alg::Binomial);
+  });
+}
+
+TEST(CostRegression, ReduceBidirectional) {
+  expect_pinned("reduce_bidir", {12, 448, 31, 1088}, [](backend::Comm& c) {
+    std::vector<double> d(B * P, 1.0);
+    coll::reduce(c, 0, d, Alg::BidirExchange);
+  });
+}
+
+// --- Non-rooted collectives. -------------------------------------------------
+
+TEST(CostRegression, AllReduceBinomial) {
+  expect_pinned("all_reduce_binomial", {12, 1536, 14, 1792}, [](backend::Comm& c) {
+    std::vector<double> d(B * P, 1.0);
+    coll::all_reduce(c, d, Alg::Binomial);
+  });
+}
+
+TEST(CostRegression, AllReduceBidirectional) {
+  expect_pinned("all_reduce_bidir", {12, 448, 48, 1792}, [](backend::Comm& c) {
+    std::vector<double> d(B * P, 1.0);
+    coll::all_reduce(c, d, Alg::BidirExchange);
+  });
+}
+
+TEST(CostRegression, AllGatherBidirectional) {
+  expect_pinned("all_gather_bidir", {6, 224, 24, 896}, [](backend::Comm& c) {
+    coll::all_gather(c, std::vector<double>(B, 1.0), std::vector<std::size_t>(P, B),
+                     Alg::BidirExchange);
+  });
+}
+
+TEST(CostRegression, ReduceScatterBidirectional) {
+  expect_pinned("reduce_scatter_bidir", {6, 224, 24, 896}, [](backend::Comm& c) {
+    std::vector<std::vector<double>> contrib(P, std::vector<double>(B, 1.0));
+    coll::reduce_scatter(c, std::move(contrib), Alg::BidirExchange);
+  });
+}
+
+TEST(CostRegression, AllToAllIndex) {
+  expect_pinned("all_to_all_index", {6, 534, 24, 2136}, [](backend::Comm& c) {
+    std::vector<std::vector<double>> out(P, std::vector<double>(B, 1.0));
+    coll::all_to_all(c, std::move(out), Alg::Index);
+  });
+}
+
+TEST(CostRegression, AllToAllTwoPhase) {
+  expect_pinned("all_to_all_two_phase", {12, 2700, 48, 10800}, [](backend::Comm& c) {
+    std::vector<std::vector<double>> out(P, std::vector<double>(B, 1.0));
+    coll::all_to_all(c, std::move(out), Alg::TwoPhase);
+  });
+}

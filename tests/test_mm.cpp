@@ -17,6 +17,7 @@
 
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 using la::index_t;
 
@@ -187,7 +188,7 @@ TEST_P(RedistributeP, RoundTripsAcrossLayoutKinds) {
   for (const mm::Layout* to : targets) {
     sim::Machine machine(P);
     std::vector<std::vector<double>> results(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       auto mine = local_buffer(from, c.rank(), A);
       auto out = mm::redistribute(c, from, *to, mine);
       results[c.rank()] = std::move(out);
@@ -203,7 +204,7 @@ TEST_P(RedistributeP, IdentityRedistributionMovesNoWords) {
   la::Matrix A = la::random_matrix(m, n, 56);
   mm::CyclicRows layout(m, n, P);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     auto mine = local_buffer(layout, c.rank(), A);
     auto out = mm::redistribute(c, layout, layout, mine);
     EXPECT_EQ(out, mine);
@@ -212,7 +213,7 @@ TEST_P(RedistributeP, IdentityRedistributionMovesNoWords) {
   EXPECT_DOUBLE_EQ(machine.totals().words_sent - 0.0,
                    machine.totals().words_sent);  // smoke: totals accessible
   sim::Machine machine2(P);
-  machine2.run([&](sim::Comm& c) {
+  machine2.run([&](backend::Comm& c) {
     auto mine = local_buffer(layout, c.rank(), A);
     mm::redistribute(c, layout, layout, mine, qr3d::coll::Alg::Index);
   });
@@ -247,7 +248,7 @@ TEST_P(Mm1dP, InnerMatchesReference) {
 
   mm::CyclicRows layout(K, 1, P);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     mm::CyclicRows lx(K, I, P), ly(K, J, P);
     la::Matrix Xl = rows_of(lx, c.rank(), X);
     la::Matrix Yl = rows_of(ly, c.rank(), Y);
@@ -268,7 +269,7 @@ TEST_P(Mm1dP, OuterMatchesReference) {
   la::Matrix want = la::multiply<double>(la::Op::NoTrans, A.view(), la::Op::NoTrans, B.view());
 
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     mm::CyclicRows layout(I, K, P);
     la::Matrix Al = rows_of(layout, c.rank(), A);
     la::Matrix got =
@@ -292,7 +293,7 @@ TEST_P(Mm3dCase, MatchesLocalReference) {
   mm::CyclicRows la_(I, K, P), lb(K, J, P), lc(I, J, P);
   sim::Machine machine(P);
   std::vector<std::vector<double>> results(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     auto a = local_buffer(la_, c.rank(), A);
     auto b = local_buffer(lb, c.rank(), B);
     results[c.rank()] = mm::mm_3d(c, I, J, K, la_, a, lb, b, lc);
@@ -322,7 +323,7 @@ TEST(Mm3d, TransposedLeftFactorViaCyclicCols) {
   mm::CyclicRows ly(K, J, P), lc(I, J, P);
   sim::Machine machine(P);
   std::vector<std::vector<double>> results(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     // Build A = V^H's local buffer: for each owned column k (a row of V),
     // all I entries.
     mm::CyclicRows lv(K, I, P);
@@ -348,7 +349,7 @@ TEST(Mm3d, BandwidthScalesAsLemma4) {
     la::Matrix A = la::random_matrix(n, n, 90);
     la::Matrix B = la::random_matrix(n, n, 91);
     sim::Machine machine(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       auto a = local_buffer(da, c.rank(), A);
       auto b = local_buffer(db, c.rank(), B);
       mm::mm_3d_core(c, n, n, n, g, a, b);
@@ -370,7 +371,7 @@ TEST(Mm3d, IndexAndTwoPhaseRedistributionsAgree) {
   for (auto alg : {qr3d::coll::Alg::TwoPhase, qr3d::coll::Alg::Index}) {
     sim::Machine machine(P);
     auto& out = (alg == qr3d::coll::Alg::TwoPhase) ? r1 : r2;
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       auto a = local_buffer(la_, c.rank(), A);
       auto b = local_buffer(lb, c.rank(), B);
       out[c.rank()] = mm::mm_3d(c, I, J, K, la_, a, lb, b, lc, alg);

@@ -21,6 +21,7 @@
 namespace core = qr3d::core;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 using la::index_t;
 
@@ -111,7 +112,7 @@ TEST_P(House1dCase, FactorsReconstruct) {
   sim::Machine machine(P);
   std::vector<la::Matrix> vs(P);
   la::Matrix T, R;
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     la::Matrix Al = la::copy<double>(
         A.block(starts[c.rank()], 0, starts[c.rank() + 1] - starts[c.rank()], n));
     core::DistributedQr r = core::house_1d(c, la::ConstMatrixView(Al.view()));
@@ -140,7 +141,7 @@ TEST(House1d, ZeroMatrixIsHandled) {
   la::Matrix A(32, 4);  // all zeros: every tau = 0
   const auto starts = block_starts(32, 4);
   sim::Machine machine(4);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     la::Matrix Al = la::copy<double>(
         A.block(starts[c.rank()], 0, starts[c.rank() + 1] - starts[c.rank()], 4));
     core::DistributedQr r = core::house_1d(c, la::ConstMatrixView(Al.view()));
@@ -159,7 +160,7 @@ TEST(House1d, CostsMatchTable3Row1) {
     la::Matrix A = la::random_matrix(m, n, 9);
     const auto starts = block_starts(m, P);
     sim::Machine machine(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       la::Matrix Al = la::copy<double>(
           A.block(starts[c.rank()], 0, starts[c.rank() + 1] - starts[c.rank()], n));
       core::house_1d(c, la::ConstMatrixView(Al.view()));
@@ -192,7 +193,7 @@ TEST_P(Grid2dCase, House2dFactorsReconstruct) {
   sim::Machine machine(P);
   std::vector<la::Matrix> locals(P);
   std::vector<la::Matrix> Ts;
-  machine.run([&](sim::Comm& comm) {
+  machine.run([&](backend::Comm& comm) {
     la::Matrix Al = bc_local(bc, bc.g.row_of(comm.rank()), bc.g.col_of(comm.rank()), A);
     core::Grid2dQr out = core::house_2d(comm, la::ConstMatrixView(Al.view()), m, n, opts);
     locals[comm.rank()] = std::move(out.local);
@@ -213,7 +214,7 @@ TEST_P(Grid2dCase, Caqr2dFactorsReconstruct) {
   sim::Machine machine(P);
   std::vector<la::Matrix> locals(P);
   std::vector<la::Matrix> Ts;
-  machine.run([&](sim::Comm& comm) {
+  machine.run([&](backend::Comm& comm) {
     la::Matrix Al = bc_local(bc, bc.g.row_of(comm.rank()), bc.g.col_of(comm.rank()), A);
     core::Grid2dQr out = core::caqr_2d(comm, la::ConstMatrixView(Al.view()), m, n, opts);
     locals[comm.rank()] = std::move(out.local);
@@ -294,7 +295,7 @@ TEST(Grid2d, CaqrBeatsHouse2dOnMessages) {
   hopts.grid_r = grid.r;
   hopts.grid_c = grid.c;
   core::BlockCyclic hbc{m, n, 1, grid};
-  const auto house = measure([&](sim::Comm& comm) {
+  const auto house = measure([&](backend::Comm& comm) {
     la::Matrix Al = bc_local(hbc, hbc.g.row_of(comm.rank()), hbc.g.col_of(comm.rank()), A);
     core::house_2d(comm, la::ConstMatrixView(Al.view()), m, n, hopts);
   });
@@ -307,7 +308,7 @@ TEST(Grid2d, CaqrBeatsHouse2dOnMessages) {
   const index_t cb = std::min<index_t>(
       n, static_cast<index_t>(std::ceil(n / std::sqrt(ratio))));
   core::BlockCyclic cbc{m, n, cb, grid};
-  const auto caqr = measure([&](sim::Comm& comm) {
+  const auto caqr = measure([&](backend::Comm& comm) {
     la::Matrix Al = bc_local(cbc, cbc.g.row_of(comm.rank()), cbc.g.col_of(comm.rank()), A);
     core::caqr_2d(comm, la::ConstMatrixView(Al.view()), m, n, copts);
   });

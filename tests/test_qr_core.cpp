@@ -19,6 +19,7 @@
 namespace core = qr3d::core;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 using la::index_t;
 
@@ -50,7 +51,7 @@ Assembled run_1d(const la::Matrix& A, int P, Fn&& algo) {
   sim::Machine machine(P);
   std::vector<la::Matrix> vs(P);
   Assembled out;
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     la::Matrix Al = rows_slice(A, starts[c.rank()], starts[c.rank() + 1]);
     core::DistributedQr r = algo(c, la::ConstMatrixView(Al.view()));
     vs[c.rank()] = std::move(r.V);
@@ -104,7 +105,7 @@ class TsqrCase : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 TEST_P(TsqrCase, FactorsReconstructAndAreOrthogonal) {
   auto [m, n, P] = GetParam();
   la::Matrix A = la::random_matrix(m, n, 1000 + m + n + P);
-  Assembled f = run_1d(A, P, [](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f = run_1d(A, P, [](backend::Comm& c, la::ConstMatrixView Al) {
     return core::tsqr(c, Al);
   });
   expect_valid_qr(A, f);
@@ -119,7 +120,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Tsqr, GradedMatrixStaysStable) {
   la::Matrix A = la::graded_matrix(96, 8, 1e10, 7);
-  Assembled f = run_1d(A, 8, [](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f = run_1d(A, 8, [](backend::Comm& c, la::ConstMatrixView Al) {
     return core::tsqr(c, Al);
   });
   expect_valid_qr(A, f, 1e-10);
@@ -134,7 +135,7 @@ TEST(Tsqr, CostsMatchLemma5) {
     la::Matrix A = la::random_matrix(m, n, 31);
     const auto starts = block_starts(m, P);
     sim::Machine machine(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       la::Matrix Al = rows_slice(A, starts[c.rank()], starts[c.rank() + 1]);
       core::tsqr(c, la::ConstMatrixView(Al.view()));
     });
@@ -149,7 +150,7 @@ TEST(Tsqr, CostsMatchLemma5) {
 
 TEST(Tsqr, RejectsShortLocalBlocks) {
   sim::Machine machine(4);
-  EXPECT_THROW(machine.run([&](sim::Comm& c) {
+  EXPECT_THROW(machine.run([&](backend::Comm& c) {
     la::Matrix Al = la::random_matrix(3, 5, 1);  // m_p < n
     core::tsqr(c, la::ConstMatrixView(Al.view()));
   }),
@@ -167,7 +168,7 @@ TEST_P(CaqrEg1dCase, FactorsReconstructAcrossThresholds) {
   la::Matrix A = la::random_matrix(m, n, 2000 + m + n + P + b);
   core::CaqrEg1dOptions opts;
   opts.b = b;
-  Assembled f = run_1d(A, P, [&](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f = run_1d(A, P, [&](backend::Comm& c, la::ConstMatrixView Al) {
     return core::caqr_eg_1d(c, Al, opts);
   });
   expect_valid_qr(A, f);
@@ -186,7 +187,7 @@ TEST(CaqrEg1d, EpsilonDerivedThresholdWorks) {
   for (double eps : {0.0, 0.5, 1.0}) {
     core::CaqrEg1dOptions opts;
     opts.epsilon = eps;
-    Assembled f = run_1d(A, 8, [&](sim::Comm& c, la::ConstMatrixView Al) {
+    Assembled f = run_1d(A, 8, [&](backend::Comm& c, la::ConstMatrixView Al) {
       return core::caqr_eg_1d(c, Al, opts);
     });
     expect_valid_qr(A, f);
@@ -198,10 +199,10 @@ TEST(CaqrEg1d, MatchesTsqrWhenBEqualsN) {
   la::Matrix A = la::random_matrix(64, 8, 3);
   core::CaqrEg1dOptions opts;
   opts.b = 8;
-  Assembled f1 = run_1d(A, 4, [&](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f1 = run_1d(A, 4, [&](backend::Comm& c, la::ConstMatrixView Al) {
     return core::caqr_eg_1d(c, Al, opts);
   });
-  Assembled f2 = run_1d(A, 4, [](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f2 = run_1d(A, 4, [](backend::Comm& c, la::ConstMatrixView Al) {
     return core::tsqr(c, Al);
   });
   EXPECT_LT(la::diff_norm(f1.V.view(), f2.V.view()), 1e-13);
@@ -220,17 +221,17 @@ TEST(CaqrEg1d, BandwidthBeatsTsqrOnWideProblems) {
 
   auto measure = [&](auto&& algo) {
     sim::Machine machine(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       la::Matrix Al = rows_slice(A, starts[c.rank()], starts[c.rank() + 1]);
       algo(c, la::ConstMatrixView(Al.view()));
     });
     return machine.critical_path();
   };
-  const auto tsqr_cp = measure([](sim::Comm& c, la::ConstMatrixView Al) { core::tsqr(c, Al); });
+  const auto tsqr_cp = measure([](backend::Comm& c, la::ConstMatrixView Al) { core::tsqr(c, Al); });
   core::CaqrEg1dOptions opts;
   opts.epsilon = 1.0;
   const auto eg_cp =
-      measure([&](sim::Comm& c, la::ConstMatrixView Al) { core::caqr_eg_1d(c, Al, opts); });
+      measure([&](backend::Comm& c, la::ConstMatrixView Al) { core::caqr_eg_1d(c, Al, opts); });
 
   EXPECT_LT(eg_cp.words, 0.7 * tsqr_cp.words);  // bandwidth win
   EXPECT_GT(eg_cp.msgs, tsqr_cp.msgs);          // latency price
@@ -249,7 +250,7 @@ Assembled run_3d(const la::Matrix& A, int P, core::CaqrEg3dOptions opts) {
   mm::CyclicRows tlay(n, n, P, 0);
   sim::Machine machine(P);
   std::vector<core::CyclicQr> results(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     la::Matrix Al = qr3d::DistMatrix::local_of(c, A.view());
     results[c.rank()] = core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), m, n, opts);
   });
@@ -330,7 +331,7 @@ TEST(CaqrEg3d, AgreesWithTsqrUpToRowSigns) {
   opts.b = 3;
   opts.b_star = 1;
   Assembled f3 = run_3d(A, 4, opts);
-  Assembled f1 = run_1d(A, 4, [](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f1 = run_1d(A, 4, [](backend::Comm& c, la::ConstMatrixView Al) {
     return core::tsqr(c, Al);
   });
   for (index_t i = 0; i < 6; ++i)
@@ -382,10 +383,10 @@ TEST(Tsqr, UBroadcastAlgorithmDoesNotChangeResults) {
   core::TsqrOptions binom;
   core::TsqrOptions bidir;
   bidir.u_bcast_alg = qr3d::coll::Alg::BidirExchange;
-  Assembled f1 = run_1d(A, P, [&](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f1 = run_1d(A, P, [&](backend::Comm& c, la::ConstMatrixView Al) {
     return core::tsqr(c, Al, binom);
   });
-  Assembled f2 = run_1d(A, P, [&](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f2 = run_1d(A, P, [&](backend::Comm& c, la::ConstMatrixView Al) {
     return core::tsqr(c, Al, bidir);
   });
   EXPECT_EQ(f1.V, f2.V);
@@ -396,7 +397,7 @@ TEST(CaqrEg1d, ThresholdLargerThanNClampsToTsqr) {
   la::Matrix A = la::random_matrix(40, 8, 101);
   core::CaqrEg1dOptions opts;
   opts.b = 1000;  // clamped to n
-  Assembled f = run_1d(A, 4, [&](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f = run_1d(A, 4, [&](backend::Comm& c, la::ConstMatrixView Al) {
     return core::caqr_eg_1d(c, Al, opts);
   });
   expect_valid_qr(A, f);
@@ -410,10 +411,10 @@ TEST(Tsqr, RecursiveLocalKernelMatchesUnblocked) {
   la::Matrix A = la::random_matrix(m, n, 202);
   core::TsqrOptions rec_opts;
   rec_opts.local_recursive_threshold = 3;
-  Assembled f1 = run_1d(A, P, [&](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f1 = run_1d(A, P, [&](backend::Comm& c, la::ConstMatrixView Al) {
     return core::tsqr(c, Al, rec_opts);
   });
-  Assembled f2 = run_1d(A, P, [](sim::Comm& c, la::ConstMatrixView Al) {
+  Assembled f2 = run_1d(A, P, [](backend::Comm& c, la::ConstMatrixView Al) {
     return core::tsqr(c, Al);
   });
   expect_valid_qr(A, f1);

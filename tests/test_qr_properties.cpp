@@ -10,17 +10,18 @@
 namespace core = qr3d::core;
 namespace la = qr3d::la;
 namespace mm = qr3d::mm;
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 using la::index_t;
 
 namespace {
 
 // Distribution helpers: the one DistMatrix implementation, nothing hand-rolled.
-la::Matrix cyclic_local(sim::Comm& c, const la::Matrix& A) {
+la::Matrix cyclic_local(backend::Comm& c, const la::Matrix& A) {
   return qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::CyclicRows);
 }
 
-la::Matrix block_local(sim::Comm& c, const la::Matrix& A) {
+la::Matrix block_local(backend::Comm& c, const la::Matrix& A) {
   return qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::BlockRows);
 }
 
@@ -40,7 +41,7 @@ std::vector<la::Matrix> all_algorithm_abs_r(const la::Matrix& A, int P) {
   for (int which = 0; which < 3; ++which) {
     sim::Machine machine(P);
     la::Matrix R;
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       la::Matrix Al = block_local(c, A);
       core::DistributedQr r;
       if (which == 0) r = core::tsqr(c, la::ConstMatrixView(Al.view()));
@@ -55,7 +56,7 @@ std::vector<la::Matrix> all_algorithm_abs_r(const la::Matrix& A, int P) {
   {
     sim::Machine machine(P);
     la::Matrix R;
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       core::CaqrEg3dOptions opts;
       opts.b = std::max<index_t>(1, n / 2);
       core::CyclicQr f = core::caqr_eg_3d(
@@ -76,7 +77,7 @@ std::vector<la::Matrix> all_algorithm_abs_r(const la::Matrix& A, int P) {
     opts.grid_c = grid.c;
     sim::Machine machine(P);
     std::vector<la::Matrix> locals(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       la::Matrix Al(bc.local_rows(bc.g.row_of(c.rank())), bc.local_cols(bc.g.col_of(c.rank())));
       for (index_t li = 0; li < Al.rows(); ++li)
         for (index_t lj = 0; lj < Al.cols(); ++lj)
@@ -125,7 +126,7 @@ TEST(Determinism, IdenticalRunsProduceIdenticalCostsAndFactors) {
 
   auto run_once = [&](la::Matrix& R_out) {
     sim::Machine machine(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       core::CyclicQr f = core::qr(c, la::ConstMatrixView(cyclic_local(c, A).view()),
                                   m, n);
       la::Matrix Rg = core::gather_to_root(c, f.R, n, n);
@@ -159,7 +160,7 @@ TEST(CostClock, TimeRespectsPerMetricBoundsAcrossAlgorithms) {
     const index_t m = which == 0 ? 64 : static_cast<index_t>(P) * 2 * n;
     la::Matrix A = la::random_matrix(m, n, 17);
     sim::Machine machine(P, params);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       if (which == 0) {
         core::qr(c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n);
       } else {
@@ -185,7 +186,7 @@ TEST(DistributionInvariance, TsqrRMatchesAcrossBlockSplits) {
   for (int P : {2, 3, 5, 6}) {
     sim::Machine machine(P);
     la::Matrix R;
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       la::Matrix Al = block_local(c, A);
       core::DistributedQr r = core::tsqr(c, la::ConstMatrixView(Al.view()));
       if (c.rank() == 0) R = std::move(r.R);
@@ -208,7 +209,7 @@ TEST(KernelRebuild, Section23IdentityHoldsForDistributedV) {
   const int P = 5;
   la::Matrix A = la::random_matrix(m, n, 41);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     core::CyclicQr f =
         core::qr(c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n);
     la::Matrix T_rebuilt = core::rebuild_kernel_cyclic(c, f.V, m, n);
@@ -227,7 +228,7 @@ TEST(GradedMatrices, AllAlgorithmsStayStableAcrossConditioning) {
     la::Matrix A = la::graded_matrix(m, n, cond, 61);
     // 3D path.
     sim::Machine machine(P);
-    machine.run([&](sim::Comm& c) {
+    machine.run([&](backend::Comm& c) {
       core::CyclicQr f =
           core::qr(c, la::ConstMatrixView(cyclic_local(c, A).view()), m, n);
       la::Matrix V = core::gather_to_root(c, f.V, m, n);
@@ -249,7 +250,7 @@ TEST(GradedMatrices, AllAlgorithmsStayStableAcrossConditioning) {
 
 TEST(Validation, TsqrRejectsTooFewLocalRows) {
   sim::Machine machine(3);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     la::Matrix Al = la::random_matrix(2, 4, 1);
     core::tsqr(c, la::ConstMatrixView(Al.view()));
   }),
@@ -258,7 +259,7 @@ TEST(Validation, TsqrRejectsTooFewLocalRows) {
 
 TEST(Validation, CaqrEg3dRejectsWideMatrices) {
   sim::Machine machine(2);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     la::Matrix Al(2, 8);
     core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), 4, 8, {});
   }),
@@ -267,7 +268,7 @@ TEST(Validation, CaqrEg3dRejectsWideMatrices) {
 
 TEST(Validation, CaqrEg3dRejectsWrongLocalRowCount) {
   sim::Machine machine(4);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     la::Matrix Al(1, 2);  // every rank claims 1 row of a 16-row matrix
     core::caqr_eg_3d(c, la::ConstMatrixView(Al.view()), 16, 2, {});
   }),
@@ -276,7 +277,7 @@ TEST(Validation, CaqrEg3dRejectsWrongLocalRowCount) {
 
 TEST(Validation, House2dRejectsMismatchedLocalBlock) {
   sim::Machine machine(4);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     core::House2dOptions opts;
     opts.grid_r = 2;
     opts.grid_c = 2;
@@ -288,7 +289,7 @@ TEST(Validation, House2dRejectsMismatchedLocalBlock) {
 
 TEST(Validation, ApplyQRejectsWrongXShape) {
   sim::Machine machine(2);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     mm::CyclicRows lay(8, 4, 2, 0);
     la::Matrix Al(lay.local_rows(c.rank()), 4);
     for (la::index_t i = 0; i < Al.rows(); ++i) Al(i, 0) = 1.0;
@@ -301,7 +302,7 @@ TEST(Validation, ApplyQRejectsWrongXShape) {
 
 TEST(Validation, Mm3dRejectsMismatchedLayouts) {
   sim::Machine machine(2);
-  EXPECT_THROW(machine.run([](sim::Comm& c) {
+  EXPECT_THROW(machine.run([](backend::Comm& c) {
     mm::CyclicRows wrong(5, 5, 2, 0);
     std::vector<double> buf(static_cast<std::size_t>(wrong.local_count(c.rank())), 0.0);
     mm::mm_3d(c, 4, 4, 4, wrong, buf, wrong, buf, wrong);
@@ -322,7 +323,7 @@ TEST(IterativeTopLevel, ReconstructsAndAgreesWithRecursive) {
   la::Matrix V, R, R_rec;
   std::vector<la::Matrix> Ts;
   std::vector<index_t> starts;
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     core::IterativeOptions opts;
     opts.panel = 6;  // three panels: 6 + 6 + 4
     opts.inner.b = 3;
@@ -381,7 +382,7 @@ TEST(IterativeTopLevel, KernelStorageIsBlockDiagonal) {
   const int P = 4;
   la::Matrix A = la::random_matrix(m, n, 72);
   sim::Machine machine(P);
-  machine.run([&](sim::Comm& c) {
+  machine.run([&](backend::Comm& c) {
     core::IterativeOptions opts;
     opts.panel = 8;
     core::IterativeQr f = core::caqr_eg_3d_iterative(

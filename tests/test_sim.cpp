@@ -5,15 +5,16 @@
 #include <stdexcept>
 #include <vector>
 
-#include "sim/comm.hpp"
+#include "backend/comm.hpp"
 #include "sim/machine.hpp"
 
+namespace backend = qr3d::backend;
 namespace sim = qr3d::sim;
 
 TEST(Machine, SingleRankRuns) {
   sim::Machine m(1);
   int ran = 0;
-  m.run([&](sim::Comm& c) {
+  m.run([&](backend::Comm& c) {
     EXPECT_EQ(c.rank(), 0);
     EXPECT_EQ(c.size(), 1);
     ran = 1;
@@ -23,7 +24,7 @@ TEST(Machine, SingleRankRuns) {
 
 TEST(Machine, PingPongValues) {
   sim::Machine m(2);
-  m.run([](sim::Comm& c) {
+  m.run([](backend::Comm& c) {
     if (c.rank() == 0) {
       c.send(1, {1.0, 2.0, 3.0}, 7);
       auto back = c.recv(1, 8);
@@ -40,7 +41,7 @@ TEST(Machine, PingPongValues) {
 
 TEST(Machine, FifoOrderPerSourceAndTag) {
   sim::Machine m(2);
-  m.run([](sim::Comm& c) {
+  m.run([](backend::Comm& c) {
     if (c.rank() == 0) {
       c.send(1, {1.0}, 5);
       c.send(1, {2.0}, 5);
@@ -60,7 +61,7 @@ TEST(Machine, SendCostAccounting) {
   cp.beta = 0.5;
   cp.gamma = 0.0;
   sim::Machine m(2, cp);
-  m.run([](sim::Comm& c) {
+  m.run([](backend::Comm& c) {
     if (c.rank() == 0) {
       c.send(1, std::vector<double>(10, 1.0), 1);
     } else {
@@ -84,7 +85,7 @@ TEST(Machine, CriticalPathTakesMaxAcrossIndependentWork) {
   cp.beta = 0.0;
   cp.gamma = 1.0;
   sim::Machine m(2, cp);
-  m.run([](sim::Comm& c) {
+  m.run([](backend::Comm& c) {
     c.charge_flops(c.rank() == 0 ? 100.0 : 40.0);
   });
   EXPECT_DOUBLE_EQ(m.critical_path().flops, 100.0);
@@ -97,7 +98,7 @@ TEST(Machine, ReceiveMergesSenderClock) {
   cp.beta = 0.0;
   cp.gamma = 1.0;
   sim::Machine m(2, cp);
-  m.run([](sim::Comm& c) {
+  m.run([](backend::Comm& c) {
     if (c.rank() == 0) {
       c.charge_flops(50.0);
       c.send(1, {}, 3);
@@ -105,9 +106,10 @@ TEST(Machine, ReceiveMergesSenderClock) {
       c.charge_flops(5.0);
       c.recv(0, 3);
       // Receiver's flop path is max(5, 50) = 50 — flops ride the message edge.
-      EXPECT_DOUBLE_EQ(c.clock().flops, 50.0);
+      ASSERT_NE(c.cost_clock(), nullptr);
+      EXPECT_DOUBLE_EQ(c.cost_clock()->flops, 50.0);
       // Time: max(5*gamma, 50*gamma + alpha) + alpha = 52.
-      EXPECT_DOUBLE_EQ(c.clock().time, 52.0);
+      EXPECT_DOUBLE_EQ(c.cost_clock()->time, 52.0);
     }
   });
 }
@@ -120,7 +122,7 @@ TEST(Machine, PerMetricPathsAreIndependent) {
   cp.beta = 1.0;
   cp.gamma = 1.0;
   sim::Machine m(3, cp);
-  m.run([](sim::Comm& c) {
+  m.run([](backend::Comm& c) {
     if (c.rank() == 0) {
       c.charge_flops(1000.0);
       c.send(2, {1.0}, 1);  // 1 word
@@ -140,9 +142,9 @@ TEST(Machine, PerMetricPathsAreIndependent) {
 
 TEST(Machine, SplitFormsRowGroups) {
   sim::Machine m(6);
-  m.run([](sim::Comm& world) {
+  m.run([](backend::Comm& world) {
     // Two groups of three: color = rank / 3, ordered by rank.
-    sim::Comm row = world.split(world.rank() / 3, world.rank());
+    backend::Comm row = world.split(world.rank() / 3, world.rank());
     EXPECT_EQ(row.size(), 3);
     EXPECT_EQ(row.rank(), world.rank() % 3);
     // Ring message inside the group: values never cross groups.
@@ -155,9 +157,9 @@ TEST(Machine, SplitFormsRowGroups) {
 
 TEST(Machine, SplitWithKeyReordersRanks) {
   sim::Machine m(4);
-  m.run([](sim::Comm& world) {
+  m.run([](backend::Comm& world) {
     // Reverse order via key.
-    sim::Comm rev = world.split(0, -world.rank());
+    backend::Comm rev = world.split(0, -world.rank());
     EXPECT_EQ(rev.size(), 4);
     EXPECT_EQ(rev.rank(), 3 - world.rank());
   });
@@ -165,8 +167,8 @@ TEST(Machine, SplitWithKeyReordersRanks) {
 
 TEST(Machine, SplitNegativeColorYieldsInvalidComm) {
   sim::Machine m(4);
-  m.run([](sim::Comm& world) {
-    sim::Comm c = world.split(world.rank() == 0 ? -1 : 0, world.rank());
+  m.run([](backend::Comm& world) {
+    backend::Comm c = world.split(world.rank() == 0 ? -1 : 0, world.rank());
     if (world.rank() == 0) {
       EXPECT_FALSE(c.valid());
     } else {
@@ -178,9 +180,9 @@ TEST(Machine, SplitNegativeColorYieldsInvalidComm) {
 
 TEST(Machine, RepeatedSplitsOnSameComm) {
   sim::Machine m(4);
-  m.run([](sim::Comm& world) {
+  m.run([](backend::Comm& world) {
     for (int round = 0; round < 3; ++round) {
-      sim::Comm c = world.split(world.rank() % 2, world.rank());
+      backend::Comm c = world.split(world.rank() % 2, world.rank());
       EXPECT_EQ(c.size(), 2);
     }
   });
@@ -188,8 +190,8 @@ TEST(Machine, RepeatedSplitsOnSameComm) {
 
 TEST(Machine, SubCommMessagesDoNotCrossIntoParent) {
   sim::Machine m(2);
-  m.run([](sim::Comm& world) {
-    sim::Comm sub = world.split(0, world.rank());
+  m.run([](backend::Comm& world) {
+    backend::Comm sub = world.split(0, world.rank());
     if (world.rank() == 0) {
       sub.send(1, {42.0}, 9);
       world.send(1, {7.0}, 9);
@@ -203,7 +205,7 @@ TEST(Machine, SubCommMessagesDoNotCrossIntoParent) {
 
 TEST(Machine, ExceptionInOneRankAbortsRun) {
   sim::Machine m(3);
-  EXPECT_THROW(m.run([](sim::Comm& c) {
+  EXPECT_THROW(m.run([](backend::Comm& c) {
     if (c.rank() == 0) throw std::runtime_error("boom");
     // Other ranks block on a message that never arrives; the abort must
     // unblock them instead of hanging the test.
@@ -212,14 +214,25 @@ TEST(Machine, ExceptionInOneRankAbortsRun) {
                std::runtime_error);
 }
 
+TEST(Machine, ExceptionInOneRankUnblocksSplitRendezvous) {
+  sim::Machine m(3);
+  EXPECT_THROW(m.run([](backend::Comm& c) {
+                 if (c.rank() == 0) throw std::runtime_error("boom");
+                 // Other ranks wait in the split() rendezvous for a rank
+                 // that will never arrive; the abort must wake them.
+                 c.split(0, c.rank());
+               }),
+               std::runtime_error);
+}
+
 TEST(Machine, SelfSendIsRejected) {
   sim::Machine m(2);
-  EXPECT_THROW(m.run([](sim::Comm& c) { c.send(c.rank(), {1.0}, 0); }), std::invalid_argument);
+  EXPECT_THROW(m.run([](backend::Comm& c) { c.send(c.rank(), {1.0}, 0); }), std::invalid_argument);
 }
 
 TEST(Machine, RunResetsStateBetweenRuns) {
   sim::Machine m(2);
-  auto body = [](sim::Comm& c) {
+  auto body = [](backend::Comm& c) {
     if (c.rank() == 0) c.send(1, {1.0}, 1);
     else c.recv(0, 1);
   };
@@ -235,7 +248,7 @@ TEST(Machine, EmptyMessageCostsOnlyLatency) {
   cp.beta = 100.0;
   cp.gamma = 0.0;
   sim::Machine m(2, cp);
-  m.run([](sim::Comm& c) {
+  m.run([](backend::Comm& c) {
     if (c.rank() == 0) c.send(1, {}, 1);
     else c.recv(0, 1);
   });
