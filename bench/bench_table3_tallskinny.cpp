@@ -19,9 +19,16 @@ namespace sim = qr3d::sim;
 
 int main(int argc, char** argv) {
   const backend::Kind kind = b::parse_backend(argc, argv);
+  const char* json_path = b::parse_flag(argc, argv, "--json");
   b::banner("E3", "Table 3: QR costs for tall/skinny matrices (m/n >= P)");
   if (kind == backend::Kind::Thread)
     std::printf("backend=%s: real std::thread ranks, wall-clock measured\n\n", backend::kind_name(kind));
+
+  b::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("table3_tallskinny");
+  json.key("backend").value(backend::kind_name(kind));
+  json.key("rows").begin_array();
 
   const la::index_t n = 32;
   for (int P : {8, 32, 128}) {
@@ -41,17 +48,30 @@ int main(int argc, char** argv) {
         la::Matrix Al = b::block_local(c, A);
         algo(c, la::ConstMatrixView(Al.view()));
       };
+      json.begin_object();
+      json.key("algorithm").value(name);
+      json.key("P").value(P);
+      json.key("m").value(static_cast<long>(m));
+      json.key("n").value(static_cast<long>(n));
       if (kind == backend::Kind::Thread) {
         // Wall time on real threads, next to the model's alpha+beta+gamma
         // prediction (unit constants; the signal is the ordering).
         const double wall = b::measure_wall(kind, P, body);
         t.row({name, b::secs(wall), b::num(model.flops + model.words + model.msgs)});
-        return;
+        json.key("wall_seconds").value(wall);
+      } else {
+        const auto cp = b::measure(P, body);
+        t.row({name, b::num(cp.flops), b::num(model.flops), b::num(cp.words), b::num(model.words),
+               b::ratio(cp.words, model.words), b::num(cp.msgs), b::num(model.msgs),
+               b::ratio(cp.msgs, model.msgs)});
+        json.key("flops").value(cp.flops);
+        json.key("words").value(cp.words);
+        json.key("msgs").value(cp.msgs);
       }
-      const auto cp = b::measure(P, body);
-      t.row({name, b::num(cp.flops), b::num(model.flops), b::num(cp.words), b::num(model.words),
-             b::ratio(cp.words, model.words), b::num(cp.msgs), b::num(model.msgs),
-             b::ratio(cp.msgs, model.msgs)});
+      json.key("model_flops").value(model.flops);
+      json.key("model_words").value(model.words);
+      json.key("model_msgs").value(model.msgs);
+      json.end_object();
     };
 
     run("1D-HOUSE", cost::table3_house_1d(m, n, P),
@@ -72,6 +92,13 @@ int main(int argc, char** argv) {
              b::num(lb.msgs), "-", "-"});
     }
     t.print();
+  }
+
+  if (json_path) {
+    json.end_array();
+    json.end_object();
+    if (!json.write_file(json_path)) return 3;
+    std::printf("wrote %s\n", json_path);
   }
   return 0;
 }

@@ -1,0 +1,186 @@
+// E10 — Serving throughput: BatchSolver vs independent Solver calls.
+//
+// The north-star workload is a stream of least-squares problems.  The
+// "naive" path pays per problem: construct a machine, spawn its ranks, tune
+// (delta, epsilon), solve one problem, tear everything down.  The serving
+// path (serve::BatchSolver) keeps one machine alive, resolves plans through
+// a per-shape cache, and streams the whole batch through a single machine
+// session.  This bench measures both on the same problems and reports
+// problems/sec, per-job latency percentiles, and the speedup.
+//
+//   bench_throughput --backend=thread [--P=4] [--jobs=64] [--m=96] [--n=24]
+//                    [--profile] [--json out.json] [--smoke]
+//
+// --profile runs serve::profile_machine first and tunes on the fitted
+// (alpha, beta, gamma).  --json writes a machine-readable record for
+// trajectory tracking.  --smoke exits nonzero unless the serving path
+// reaches >= 1 problem/sec with plan-cache hits > 0 (the CI guard).
+#include <chrono>
+
+#include "bench_util.hpp"
+
+namespace b = qr3d::bench;
+namespace backend = qr3d::backend;
+namespace la = qr3d::la;
+namespace serve = qr3d::serve;
+namespace sim = qr3d::sim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Problem {
+  la::Matrix A, rhs;
+};
+
+struct Measured {
+  double total_seconds = 0.0;
+  std::vector<double> job_seconds;
+  double problems_per_second() const {
+    return total_seconds > 0.0 ? job_seconds.size() / total_seconds : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const backend::Kind kind = b::parse_backend(argc, argv);
+  const int P = static_cast<int>(b::parse_long_flag(argc, argv, "--P", 4));
+  const int jobs = static_cast<int>(b::parse_long_flag(argc, argv, "--jobs", 64));
+  const la::index_t m = b::parse_long_flag(argc, argv, "--m", 96);
+  const la::index_t n = b::parse_long_flag(argc, argv, "--n", 24);
+  const int group = static_cast<int>(b::parse_long_flag(argc, argv, "--group", 0));
+  const bool profile = b::has_flag(argc, argv, "--profile");
+  const bool smoke = b::has_flag(argc, argv, "--smoke");
+  const char* json_path = b::parse_flag(argc, argv, "--json");
+
+  b::banner("E10", "Serving throughput: BatchSolver vs independent Solver calls");
+  std::printf("backend=%s P=%d jobs=%d shape=%lldx%lld group=%s%s\n\n", backend::kind_name(kind),
+              P, jobs, static_cast<long long>(m), static_cast<long long>(n),
+              group == 0 ? "auto" : std::to_string(group).c_str(),
+              profile ? " (tuning on measured profile)" : "");
+
+  std::vector<Problem> problems;
+  problems.reserve(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    const std::uint64_t seed = 9000 + static_cast<std::uint64_t>(j);
+    problems.push_back({la::random_matrix(m, n, seed), la::random_matrix(m, 1, seed + 50000)});
+  }
+
+  const qr3d::QrOptions qr =
+      qr3d::QrOptions().with_tune_for_machine().with_backend(
+          kind == backend::Kind::Thread ? qr3d::Backend::Thread : qr3d::Backend::Simulated);
+
+  // --- Independent path: fresh machine + fresh Solver per problem. ----------
+  Measured indep;
+  {
+    const auto t0 = Clock::now();
+    for (const Problem& p : problems) {
+      const auto j0 = Clock::now();
+      auto machine = qr3d::make_machine(qr, P);
+      machine->run([&](backend::Comm& c) {
+        qr3d::DistMatrix Ad = qr3d::DistMatrix::from_global(c, p.A.view());
+        qr3d::DistMatrix bd = qr3d::DistMatrix::from_global(c, p.rhs.view());
+        qr3d::Solver(qr).factor(Ad).solve_least_squares(bd);
+      });
+      indep.job_seconds.push_back(std::chrono::duration<double>(Clock::now() - j0).count());
+    }
+    indep.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  // --- Serving path: one BatchSolver, one flush for the whole batch. --------
+  // Timed end-to-end like the independent path: construction (worker spawn,
+  // optional profiling), submission, plan resolution AND the machine session
+  // all count, so the speedup compares like with like.
+  serve::ServeOptions sopts;
+  sopts.with_ranks(P).with_qr(qr).with_profile(profile).with_group_ranks(group);
+  const auto b0 = Clock::now();
+  serve::BatchSolver srv(sopts);
+  std::vector<serve::JobHandle> handles;
+  handles.reserve(problems.size());
+  for (const Problem& p : problems) handles.push_back(srv.submit(p.A, p.rhs));
+  srv.flush();
+
+  Measured batch;
+  batch.total_seconds = std::chrono::duration<double>(Clock::now() - b0).count();
+  for (const auto& h : handles) batch.job_seconds.push_back(h.stats().wall_seconds);
+
+  const auto& st = srv.stats();
+  const double speedup =
+      indep.problems_per_second() > 0.0 ? batch.problems_per_second() / indep.problems_per_second()
+                                        : 0.0;
+
+  b::Table t({"mode", "total", "problems/s", "p50/job", "p95/job", "plan hits", "plan misses"});
+  t.row({"independent Solver calls", b::secs(indep.total_seconds),
+         b::num(indep.problems_per_second()), b::secs(b::percentile(indep.job_seconds, 0.50)),
+         b::secs(b::percentile(indep.job_seconds, 0.95)), "-", "-"});
+  t.row({"BatchSolver (1 flush)", b::secs(batch.total_seconds), b::num(batch.problems_per_second()),
+         b::secs(b::percentile(batch.job_seconds, 0.50)),
+         b::secs(b::percentile(batch.job_seconds, 0.95)),
+         std::to_string(st.plan_cache_hits), std::to_string(st.plan_cache_misses)});
+  t.print();
+  std::printf("speedup (problems/sec): %.2fx\n", speedup);
+  if (const serve::MachineProfile* mp = srv.profile()) {
+    std::printf("measured profile: alpha=%.3g s/msg  beta=%.3g s/word  gamma=%.3g s/flop%s\n",
+                mp->fitted.alpha, mp->fitted.beta, mp->fitted.gamma,
+                mp->comm_measured ? "" : "  (single rank: declared comm params kept)");
+  }
+
+  if (json_path) {
+    b::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("throughput");
+    w.key("backend").value(backend::kind_name(kind));
+    w.key("P").value(P);
+    w.key("jobs").value(jobs);
+    w.key("m").value(static_cast<long>(m));
+    w.key("n").value(static_cast<long>(n));
+    w.key("group_ranks").value(group);
+    w.key("profiled").value(profile);
+    w.key("batch").begin_object();
+    w.key("problems_per_sec").value(batch.problems_per_second());
+    w.key("total_seconds").value(batch.total_seconds);
+    w.key("machine_seconds").value(st.serve_seconds);
+    w.key("p50_seconds").value(b::percentile(batch.job_seconds, 0.50));
+    w.key("p95_seconds").value(b::percentile(batch.job_seconds, 0.95));
+    w.key("plan_cache_hits").value(static_cast<unsigned long long>(st.plan_cache_hits));
+    w.key("plan_cache_misses").value(static_cast<unsigned long long>(st.plan_cache_misses));
+    w.key("flushes").value(static_cast<unsigned long long>(st.flushes));
+    w.end_object();
+    w.key("independent").begin_object();
+    w.key("problems_per_sec").value(indep.problems_per_second());
+    w.key("total_seconds").value(indep.total_seconds);
+    w.key("p50_seconds").value(b::percentile(indep.job_seconds, 0.50));
+    w.key("p95_seconds").value(b::percentile(indep.job_seconds, 0.95));
+    w.end_object();
+    w.key("speedup").value(speedup);
+    if (const serve::MachineProfile* mp = srv.profile()) {
+      w.key("fitted_profile").begin_object();
+      w.key("alpha").value(mp->fitted.alpha);
+      w.key("beta").value(mp->fitted.beta);
+      w.key("gamma").value(mp->fitted.gamma);
+      w.key("comm_measured").value(mp->comm_measured);
+      w.end_object();
+    }
+    w.end_object();
+    if (!w.write_file(json_path)) return 3;
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (smoke) {
+    // CI guard: the serving path must actually serve (>= 1 problem/sec) and
+    // the plan cache must be doing its job on a same-shape batch.
+    if (batch.problems_per_second() < 1.0) {
+      std::fprintf(stderr, "SMOKE FAIL: %.3f problems/sec < 1\n", batch.problems_per_second());
+      return 1;
+    }
+    if (st.plan_cache_hits == 0) {
+      std::fprintf(stderr, "SMOKE FAIL: no plan-cache hits\n");
+      return 1;
+    }
+    std::printf("smoke OK: %.1f problems/sec, %llu plan-cache hits\n",
+                batch.problems_per_second(),
+                static_cast<unsigned long long>(st.plan_cache_hits));
+  }
+  return 0;
+}

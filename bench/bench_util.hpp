@@ -9,6 +9,7 @@
 // absolute value.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +53,149 @@ inline backend::Kind parse_backend(int argc, char** argv) {
   }
   return backend::Kind::Simulated;
 }
+
+/// Value of `--name=value` or `--name value`, or `fallback` when absent.
+inline const char* parse_flag(int argc, char** argv, const char* name,
+                              const char* fallback = nullptr) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) != 0) continue;
+    if (argv[i][len] == '=') return argv[i] + len + 1;
+    if (argv[i][len] == '\0') {
+      if (i + 1 < argc) return argv[i + 1];
+      std::fprintf(stderr, "%s expects a value\n", name);
+      std::exit(2);
+    }
+  }
+  return fallback;
+}
+
+inline long parse_long_flag(int argc, char** argv, const char* name, long fallback) {
+  const char* v = parse_flag(argc, argv, name);
+  return v ? std::atol(v) : fallback;
+}
+
+/// Presence of a bare `--name` switch.
+inline bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+/// q-th percentile (q in [0, 1]) by nearest-rank on a copy of the samples.
+inline double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t idx = static_cast<std::size_t>(q * (xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+// --- Minimal JSON writer for machine-readable bench output. -------------------
+//
+// The benches emit trajectory-tracking records (`--json out.json`) so runs
+// can be diffed across PRs.  Scope is deliberately tiny: objects, arrays,
+// numbers, strings, booleans, comma bookkeeping — nothing else.
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{', '}'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('[', ']'); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    comma();
+    char buf[64];
+    // %.17g round-trips doubles; trim the noise for typical bench numbers.
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(long v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long>(v)); }
+  JsonWriter& value(unsigned long long v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    comma();
+    append_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  const std::string& str() const { return out_; }
+
+  /// Write the document to `path`; returns false (with a stderr note) on
+  /// I/O failure so benches can exit nonzero.
+  bool write_file(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+      return false;
+    }
+    const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+                    std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  JsonWriter& open(char c, char) {
+    comma();
+    out_ += c;
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    fresh_ = false;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value right after key: no comma
+      return;
+    }
+    if (!fresh_ && !out_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+  void append_string(const std::string& s) {
+    out_ += '"';
+    for (char ch : s) {
+      switch (ch) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default: out_ += ch;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;       // just opened a container: no comma before first item
+  bool pending_value_ = false;  // key emitted: next value takes no comma
+};
 
 inline std::string secs(double s) {
   char buf[64];

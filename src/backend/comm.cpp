@@ -16,6 +16,11 @@ int Comm::size() const {
   return impl_->size();
 }
 
+Kind Comm::kind() const {
+  QR3D_CHECK(valid(), "kind() on invalid communicator");
+  return impl_->kind();
+}
+
 const sim::CostParams& Comm::params() const {
   QR3D_CHECK(valid(), "params() on invalid communicator");
   return impl_->params();

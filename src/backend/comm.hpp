@@ -31,6 +31,8 @@
 
 namespace qr3d::backend {
 
+enum class Kind;
+
 /// Per-(rank, communicator) backend implementation.  One instance exists for
 /// every communicator a rank participates in; the Comm handle owns it via
 /// shared_ptr so sub-communicators survive as long as any handle does.
@@ -40,6 +42,11 @@ class CommImpl {
 
   virtual int rank() const = 0;
   virtual int size() const = 0;
+
+  /// Which backend executes this communicator (the owning Machine's kind()).
+  /// Lets layers above key caches per backend without threading the Machine
+  /// through every call (see serve::PlanCache).
+  virtual Kind kind() const = 0;
 
   /// Cost parameters of the machine.  Real backends return the parameters
   /// they were constructed with — collectives still use them to pick the
@@ -83,6 +90,7 @@ class Comm {
   bool valid() const { return impl_ != nullptr; }
   int rank() const;
   int size() const;
+  Kind kind() const;
   const sim::CostParams& params() const;
 
   /// Asynchronous point-to-point send donating `payload` to the backend —

@@ -82,6 +82,7 @@ class ThreadComm : public CommImpl {
 
   int rank() const override { return rank_; }
   int size() const override { return static_cast<int>(group_->members.size()); }
+  Kind kind() const override { return Kind::Thread; }
   const sim::CostParams& params() const override { return machine_->params(); }
 
   void send(int dst, std::vector<double>&& payload, int tag) override {
@@ -188,40 +189,89 @@ class ThreadComm : public CommImpl {
 }  // namespace detail
 
 ThreadMachine::ThreadMachine(int P, sim::CostParams params)
-    : P_(P), params_(std::move(params)), mailboxes_(static_cast<std::size_t>(P)) {
+    : P_(P), params_(std::move(params)), mailboxes_(static_cast<std::size_t>(P)),
+      errors_(static_cast<std::size_t>(P)) {
   QR3D_CHECK(P >= 1, "thread machine needs at least one rank");
 }
 
+ThreadMachine::~ThreadMachine() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadMachine::ensure_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(static_cast<std::size_t>(P_));
+  for (int p = 0; p < P_; ++p) workers_.emplace_back([this, p]() { worker_loop(p); });
+}
+
+void ThreadMachine::worker_loop(int p) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<detail::ThreadGroup> world;
+    const std::function<void(Comm&)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_cv_.wait(lock, [&]() { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      world = world_;
+      body = body_;
+    }
+    Comm comm(std::make_shared<detail::ThreadComm>(this, std::move(world), p));
+    try {
+      (*body)(comm);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(p)] = std::current_exception();
+      aborted_.store(true, std::memory_order_release);
+      for (auto& mb : mailboxes_) mb.notify_abort();
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (++done_count_ == P_) done_cv_.notify_all();
+    }
+  }
+}
+
 void ThreadMachine::run(const std::function<void(Comm&)>& body) {
+  // Reset per-run state — including leftovers of a previous run that
+  // aborted: stale envelopes, the abort flag and the context counter.
   for (auto& mb : mailboxes_) mb.clear();
   aborted_.store(false, std::memory_order_release);
   next_context_.store(1, std::memory_order_release);
+  for (auto& err : errors_) err = nullptr;
 
+  // Fresh world group every run: split() rendezvous state lives in the
+  // group, and an aborted run may have left a partial rendezvous behind.
   auto world = std::make_shared<detail::ThreadGroup>();
   world->context = 0;
   world->members.resize(static_cast<std::size_t>(P_));
   for (int p = 0; p < P_; ++p) world->members[static_cast<std::size_t>(p)] = p;
 
+  ensure_workers();
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P_));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(P_));
-  for (int p = 0; p < P_; ++p) {
-    threads.emplace_back([this, p, &body, &world, &errors]() {
-      Comm comm(std::make_shared<detail::ThreadComm>(this, world, p));
-      try {
-        body(comm);
-      } catch (...) {
-        errors[static_cast<std::size_t>(p)] = std::current_exception();
-        aborted_.store(true, std::memory_order_release);
-        for (auto& mb : mailboxes_) mb.notify_abort();
-      }
-    });
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    world_ = std::move(world);
+    body_ = &body;
+    done_count_ = 0;
+    ++generation_;
   }
-  for (auto& t : threads) t.join();
+  pool_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    done_cv_.wait(lock, [&]() { return done_count_ == P_; });
+    body_ = nullptr;
+    world_ = nullptr;
+  }
   wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ++runs_completed_;
 
-  for (auto& err : errors) {
+  for (auto& err : errors_) {
     if (err) std::rethrow_exception(err);
   }
 }

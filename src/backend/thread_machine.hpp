@@ -13,6 +13,14 @@
 // blocked receiver first spins on that counter (yielding) for a short bound
 // before falling back to a condition-variable wait, so the fine-grained
 // messages of the collectives usually rendezvous without sleeping.
+//
+// The machine is built to be REUSED: the P worker threads are spawned once
+// (lazily, on the first run()) and parked on a condition variable between
+// runs, so repeated run() calls pay a wake-up, not a thread spawn.  Mailbox,
+// abort and communicator-context state is reset at the start of every run,
+// including after a run that aborted with an exception — the serving layer
+// (serve::BatchSolver) leans on this to pipeline many problems through one
+// machine (see tests/test_machine_reuse.cpp).
 #pragma once
 
 #include <atomic>
@@ -22,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "backend/comm.hpp"
@@ -84,22 +93,36 @@ class ThreadComm;
 class ThreadMachine : public Machine {
  public:
   explicit ThreadMachine(int P, sim::CostParams params = {});
+  ~ThreadMachine() override;
+
+  ThreadMachine(const ThreadMachine&) = delete;
+  ThreadMachine& operator=(const ThreadMachine&) = delete;
 
   Kind kind() const override { return Kind::Thread; }
   int size() const override { return P_; }
   const sim::CostParams& params() const override { return params_; }
 
-  /// Execute `body` on P OS threads and wait.  If any rank throws, all ranks
-  /// are aborted and the lowest-ranked exception rethrown.
+  /// Execute `body` on the P persistent worker threads and wait.  If any
+  /// rank throws, all ranks are aborted and the lowest-ranked exception
+  /// rethrown; the machine stays usable for the next run().
   void run(const std::function<void(Comm&)>& body) override;
 
-  /// Wall-clock seconds of the last run() (thread spawn to join).
+  /// Wall-clock seconds of the last run() (dispatch to completion).
   double last_wall_seconds() const override { return wall_seconds_; }
+
+  /// Number of run() calls completed so far (including aborted ones) — the
+  /// reuse the serving layer amortizes its thread-spawn cost over.
+  std::uint64_t runs_completed() const { return runs_completed_; }
 
  private:
   friend class detail::ThreadComm;
 
   std::uint64_t new_context() { return next_context_.fetch_add(1); }
+
+  /// Spawn the parked worker threads (first run() only).
+  void ensure_workers();
+  /// Per-worker loop: park until a generation bump, execute, report done.
+  void worker_loop(int p);
 
   int P_;
   sim::CostParams params_;
@@ -107,6 +130,22 @@ class ThreadMachine : public Machine {
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
   double wall_seconds_ = 0.0;
+  std::uint64_t runs_completed_ = 0;
+
+  // Persistent worker pool.  All fields below are written under pool_mu_;
+  // workers read body_/world_ only after observing a generation bump, and
+  // the driver reads errors_ only after observing done_count_ == P_, so the
+  // mutex orders every cross-thread access.
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;   // workers park here
+  std::condition_variable done_cv_;   // driver waits here
+  const std::function<void(Comm&)>* body_ = nullptr;
+  std::shared_ptr<detail::ThreadGroup> world_;
+  std::vector<std::exception_ptr> errors_;
+  std::uint64_t generation_ = 0;
+  int done_count_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace qr3d::backend

@@ -6,6 +6,7 @@
 #include "cost/tuner.hpp"
 #include "la/flops.hpp"
 #include "la/packing.hpp"
+#include "serve/plan_cache.hpp"
 
 namespace qr3d {
 
@@ -54,18 +55,16 @@ void QrOptions::validate(la::index_t m, la::index_t n, int P) const {
 // Solver
 // ---------------------------------------------------------------------------
 
+Solver::Solver(QrOptions opts, std::shared_ptr<serve::PlanCache> cache)
+    : opts_(std::move(opts)),
+      cache_(cache ? std::move(cache) : std::make_shared<serve::PlanCache>()) {}
+
 Factorization Solver::factor(const DistMatrix& A) const {
   QR3D_CHECK(A.valid(), "Solver::factor: invalid DistMatrix");
   backend::Comm& comm = A.comm();
   const la::index_t m = A.rows(), n = A.cols();
   const int P = comm.size();
   opts_.validate(m, n, P);
-
-  // The recursion's native input distribution is row-cyclic; bring other
-  // layouts there first (collective, so every rank takes the same branch).
-  DistMatrix moved;
-  if (A.dist() != Dist::CyclicRows) moved = A.redistribute(Dist::CyclicRows);
-  const DistMatrix& Ac = moved.valid() ? moved : A;
 
   core::CaqrEg3dOptions params;
   params.b = opts_.block_size();
@@ -76,29 +75,53 @@ Factorization Solver::factor(const DistMatrix& A) const {
   params = core::resolve_algorithm(m, n, P, opts_.algorithm(), params);
 
   if (opts_.tune_for_machine() && params.b == 0) {
-    const TunedEntry t = tuned_for(m, n, P, comm.params());
-    params.delta = t.delta;
-    params.epsilon = t.epsilon;
+    // Memoized in the plan cache: tuning is a pure model computation
+    // (deterministic and free in the simulated cost model), so ranks sharing
+    // a Solver — or a whole serving process seeing the same shape again —
+    // reuse one result.
+    const serve::PlanKey key =
+        serve::make_plan_key(m, n, P, A.dist(), comm.kind(), comm.params());
+    const serve::Plan plan = cache_->lookup_or_tune(key, comm.params());
+    params.delta = plan.delta;
+    params.epsilon = plan.epsilon;
   }
+
+  return factor_resolved(A, params);
+}
+
+Factorization Solver::factor(const DistMatrix& A, const serve::Plan& plan) const {
+  QR3D_CHECK(A.valid(), "Solver::factor: invalid DistMatrix");
+  const la::index_t m = A.rows(), n = A.cols();
+  opts_.validate(m, n, A.comm().size());
+
+  core::CaqrEg3dOptions params;
+  params.b = plan.b;
+  params.b_star = plan.b_star;
+  params.delta = plan.delta;
+  params.epsilon = plan.epsilon;
+  params.alltoall_alg = opts_.alltoall();
+  // No resolve_algorithm and no tuner: the plan *is* the resolved choice.
+  // Tuned (delta, epsilon) may lie anywhere in the tuner's [0, 1] grid, like
+  // the tuned path above (the Theorem 1/2 ranges are an option-setter
+  // constraint, not an algorithmic one).
+  return factor_resolved(A, params);
+}
+
+Factorization Solver::factor_resolved(const DistMatrix& A,
+                                      const core::CaqrEg3dOptions& params) const {
+  backend::Comm& comm = A.comm();
+  const la::index_t m = A.rows(), n = A.cols();
+
+  // The recursion's native input distribution is row-cyclic; bring other
+  // layouts there first (collective, so every rank takes the same branch).
+  DistMatrix moved;
+  if (A.dist() != Dist::CyclicRows) moved = A.redistribute(Dist::CyclicRows);
+  const DistMatrix& Ac = moved.valid() ? moved : A;
 
   core::CyclicQr f = core::caqr_eg_3d(comm, la::ConstMatrixView(Ac.local().view()), m, n, params);
   return Factorization(m, n, DistMatrix::wrap(comm, std::move(f.V), m, n, Dist::CyclicRows),
                        DistMatrix::wrap(comm, std::move(f.T), n, n, Dist::CyclicRows),
                        DistMatrix::wrap(comm, std::move(f.R), n, n, Dist::CyclicRows));
-}
-
-Solver::TunedEntry Solver::tuned_for(la::index_t m, la::index_t n, int P,
-                                     const sim::CostParams& mp) const {
-  std::lock_guard<std::mutex> lock(tuned_mu_);
-  for (const auto& e : tuned_cache_)
-    if (e.m == m && e.n == n && e.P == P && e.alpha == mp.alpha && e.beta == mp.beta &&
-        e.gamma == mp.gamma)
-      return e;
-  // Pure model computation (cost/model.hpp): deterministic and free in the
-  // simulated cost model, so ranks sharing a Solver just reuse one result.
-  const cost::Tuned3d t = cost::tune_3d(static_cast<double>(m), static_cast<double>(n), P, mp);
-  tuned_cache_.push_back({m, n, P, mp.alpha, mp.beta, mp.gamma, t.delta, t.epsilon});
-  return tuned_cache_.back();
 }
 
 // ---------------------------------------------------------------------------

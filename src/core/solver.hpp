@@ -15,8 +15,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
-#include <vector>
 
 #include "backend/comm.hpp"
 #include "coll/coll.hpp"
@@ -25,6 +23,11 @@
 #include "la/blas.hpp"
 
 namespace qr3d {
+
+namespace serve {
+struct Plan;
+class PlanCache;
+}  // namespace serve
 
 /// Algorithm choice (Auto / CaqrEg3d / BaseCase) — the same dispatch the
 /// low-level core::qr driver takes, re-exported at the facade.
@@ -147,20 +150,31 @@ class Factorization {
   std::shared_ptr<DistMatrix> rebuilt_t_ = std::make_shared<DistMatrix>();
 };
 
-/// Factory for Factorizations.  Holds validated options and caches
-/// machine-tuned parameters across factor() calls with the same shape.  A
-/// Solver may be shared by all ranks of a simulated machine (the cache is
-/// mutex-guarded and tuning is a pure model computation charging no
+/// Factory for Factorizations.  Holds validated options and memoizes
+/// machine-tuned parameters across factor() calls with the same shape in a
+/// serve::PlanCache — private by default, or shared (second constructor
+/// argument) so a serving layer and its Solver see one cache with one set of
+/// hit/miss counters.  A Solver may be shared by all ranks of a machine (the
+/// cache is mutex-guarded and tuning is a pure model computation charging no
 /// simulated cost), or constructed per rank — both are safe.
 class Solver {
  public:
-  explicit Solver(QrOptions opts = {}) : opts_(std::move(opts)) {}
+  explicit Solver(QrOptions opts = {}, std::shared_ptr<serve::PlanCache> cache = nullptr);
 
   const QrOptions& options() const { return opts_; }
+
+  /// The per-shape tuning cache (never null).  Hit/miss counters on it
+  /// reflect every with_tune_for_machine() factor() through this Solver.
+  const std::shared_ptr<serve::PlanCache>& plan_cache() const { return cache_; }
 
   /// Factor A (collective).  A must be CyclicRows (BlockRows inputs are
   /// redistributed first); options are validated against (m, n, P) here.
   Factorization factor(const DistMatrix& A) const;
+
+  /// Factor A with a pre-resolved execution plan (collective).  Skips the
+  /// tuner entirely — the serving layer resolves plans driver-side through
+  /// the shared cache and pins them here, so repeated shapes never re-tune.
+  Factorization factor(const DistMatrix& A, const serve::Plan& plan) const;
 
   /// One-shot overload with per-call options.
   Factorization factor(const DistMatrix& A, const QrOptions& opts) const {
@@ -168,19 +182,10 @@ class Solver {
   }
 
  private:
-  struct TunedEntry {
-    la::index_t m, n;
-    int P;
-    double alpha, beta, gamma;
-    double delta, epsilon;
-  };
-
-  /// Cache lookup-or-compute for (m, n, P) under the machine's parameters.
-  TunedEntry tuned_for(la::index_t m, la::index_t n, int P, const sim::CostParams& mp) const;
+  Factorization factor_resolved(const DistMatrix& A, const core::CaqrEg3dOptions& params) const;
 
   QrOptions opts_;
-  mutable std::mutex tuned_mu_;
-  mutable std::vector<TunedEntry> tuned_cache_;
+  std::shared_ptr<serve::PlanCache> cache_;
 };
 
 /// Machine-agnostic entry point: build the execution backend selected by

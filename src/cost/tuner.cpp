@@ -1,8 +1,33 @@
 #include "cost/tuner.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "la/error.hpp"
+
 namespace qr3d::cost {
 
+namespace {
+
+void check_tunable(const sim::CostParams& machine) {
+  // Zero components are legitimate analytical devices (a "pure-latency"
+  // machine isolates the message term), but negative or non-finite values —
+  // the failure mode of a noisy measured fit — poison the whole grid
+  // search, and an all-zero machine makes every plan "optimal".
+  QR3D_CHECK(std::isfinite(machine.alpha) && std::isfinite(machine.beta) &&
+                 std::isfinite(machine.gamma),
+             "tuner: machine parameters must be finite");
+  QR3D_CHECK(machine.alpha >= 0.0 && machine.beta >= 0.0 && machine.gamma >= 0.0,
+             "tuner: machine parameters must be non-negative — route measured profiles "
+             "through cost::fit_params");
+  QR3D_CHECK(machine.alpha + machine.beta + machine.gamma > 0.0,
+             "tuner: at least one machine parameter must be positive");
+}
+
+}  // namespace
+
 Tuned3d tune_3d(double m, double n, int P, const sim::CostParams& machine, int steps) {
+  check_tunable(machine);
   Tuned3d best;
   double best_time = -1.0;
   for (int i = 0; i < steps; ++i) {
@@ -21,6 +46,7 @@ Tuned3d tune_3d(double m, double n, int P, const sim::CostParams& machine, int s
 }
 
 Tuned1d tune_1d(double m, double n, int P, const sim::CostParams& machine, int steps) {
+  check_tunable(machine);
   Tuned1d best;
   double best_time = -1.0;
   for (int j = 0; j < steps; ++j) {
@@ -33,6 +59,23 @@ Tuned1d tune_1d(double m, double n, int P, const sim::CostParams& machine, int s
     }
   }
   return best;
+}
+
+sim::CostParams fit_params(double alpha_seconds, double beta_seconds_per_word,
+                           double gamma_seconds_per_flop, std::string name) {
+  QR3D_CHECK(std::isfinite(alpha_seconds) && std::isfinite(beta_seconds_per_word) &&
+                 std::isfinite(gamma_seconds_per_flop),
+             "fit_params: measured parameters must be finite");
+  // Floors: measurement noise can drive a fitted parameter to zero or below
+  // (e.g. bandwidth time minus latency), but the tuner's ratios only make
+  // sense for positive values.  The floors are far below anything a real
+  // machine measures, so they only catch degenerate fits.
+  sim::CostParams p;
+  p.alpha = std::max(alpha_seconds, 1e-9);
+  p.beta = std::max(beta_seconds_per_word, 1e-12);
+  p.gamma = std::max(gamma_seconds_per_flop, 1e-13);
+  p.name = std::move(name);
+  return p;
 }
 
 }  // namespace qr3d::cost

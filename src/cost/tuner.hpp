@@ -6,7 +6,17 @@
 // the closed-form model of cost/model.hpp under a given alpha-beta-gamma
 // profile, returning the predicted-optimal (delta, epsilon) — or epsilon
 // alone for tall-skinny problems that call 1D-CAQR-EG directly.
+//
+// The profile may be *declared* (sim/profiles.hpp's stylized machines) or
+// *measured*: serve::profile_machine fits (alpha, beta, gamma) from
+// micro-benchmarks on a real backend and hands the result here through
+// fit_params(), which clamps measurement noise (a bandwidth fit can come out
+// non-positive after subtracting latency) to strictly positive floors.  The
+// tuners validate positivity so a bad fit fails loudly at this boundary
+// instead of silently degenerating the grid search.
 #pragma once
+
+#include <string>
 
 #include "cost/model.hpp"
 
@@ -29,5 +39,12 @@ Tuned3d tune_3d(double m, double n, int P, const sim::CostParams& machine, int s
 
 /// Best epsilon for 1D-CAQR-EG (tall-skinny direct call).
 Tuned1d tune_1d(double m, double n, int P, const sim::CostParams& machine, int steps = 33);
+
+/// Build a CostParams from measured (possibly noisy) per-message latency,
+/// per-word transfer time, and per-flop time, clamped to strictly positive
+/// floors so the fitted profile is always tunable.  Non-finite inputs throw
+/// std::invalid_argument.
+sim::CostParams fit_params(double alpha_seconds, double beta_seconds_per_word,
+                           double gamma_seconds_per_flop, std::string name = "fitted");
 
 }  // namespace qr3d::cost

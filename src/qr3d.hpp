@@ -22,6 +22,13 @@
 // dense kernels, collectives, cost models, and the individual algorithms the
 // paper compares):
 //
+// For throughput workloads, the serving layer amortizes machine startup and
+// tuning across a stream of problems:
+//
+//   qr3d::serve::BatchSolver       submit/flush/solve_all over one machine
+//   qr3d::serve::PlanCache         per-shape tuned-plan memoization
+//   qr3d::serve::profile_machine   fit (alpha, beta, gamma) from benchmarks
+//
 //   qr3d::backend  Comm handle, abstract Machine, ThreadMachine, make_machine
 //   qr3d::sim      simulated Machine / machine profiles (alpha-beta-gamma)
 //   qr3d::la       dense matrices, BLAS-like kernels, checks, random generators
@@ -74,3 +81,9 @@
 // The public facade.
 #include "core/dist_matrix.hpp"
 #include "core/solver.hpp"
+
+// The serving layer: batched multi-problem solving over one persistent
+// machine, per-shape plan caching, and measured machine profiles.
+#include "serve/batch_solver.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/profile.hpp"

@@ -1,0 +1,231 @@
+#include "serve/batch_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/api.hpp"
+#include "la/error.hpp"
+
+namespace qr3d::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+ServeOptions& ServeOptions::with_ranks(int P) {
+  QR3D_CHECK(P >= 1, "ServeOptions: need at least one rank");
+  ranks_ = P;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_group_ranks(int g) {
+  QR3D_CHECK(g >= 0, "ServeOptions: group_ranks must be >= 0 (0 = auto)");
+  group_ranks_ = g;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// JobHandle
+// ---------------------------------------------------------------------------
+
+bool JobHandle::done() const {
+  QR3D_CHECK(valid(), "JobHandle: default-constructed handle");
+  return job_->done;
+}
+
+const la::Matrix& JobHandle::solution() const {
+  QR3D_CHECK(valid(), "JobHandle: default-constructed handle");
+  if (!job_->done) owner_->flush();
+  QR3D_ASSERT(job_->done, "JobHandle: job still pending after flush");
+  if (job_->error) std::rethrow_exception(job_->error);
+  return job_->x;
+}
+
+const JobStats& JobHandle::stats() const {
+  QR3D_CHECK(valid(), "JobHandle: default-constructed handle");
+  QR3D_CHECK(job_->done, "JobHandle::stats: job has not run yet (flush first)");
+  if (job_->error) std::rethrow_exception(job_->error);
+  return job_->stats;
+}
+
+// ---------------------------------------------------------------------------
+// BatchSolver
+// ---------------------------------------------------------------------------
+
+BatchSolver::BatchSolver(ServeOptions opts)
+    : opts_(std::move(opts)),
+      cache_(std::make_shared<PlanCache>()),
+      solver_(opts_.qr(), cache_) {
+  // Construct, optionally profile, and (re)construct: tuning consults the
+  // machine's params(), so the fitted profile must be baked into the machine
+  // the jobs run on — that is the profile -> tune -> serve loop.
+  machine_ = make_machine(opts_.qr(), opts_.ranks(), opts_.params());
+  if (opts_.profile()) {
+    profile_ = profile_machine(*machine_, opts_.profile_options());
+    machine_ = make_machine(opts_.qr(), opts_.ranks(), profile_->fitted);
+  }
+}
+
+JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b) {
+  auto job = std::make_shared<detail::Job>();
+  job->A = std::move(A);
+  job->b = std::move(b);
+  pending_.push_back(job);
+  ++stats_.jobs_submitted;
+  return JobHandle(this, std::move(job));
+}
+
+bool BatchSolver::validate_job(detail::Job& job) {
+  try {
+    QR3D_CHECK(!job.A.empty(), "BatchSolver: job matrix A is empty");
+    QR3D_CHECK(!job.b.empty(), "BatchSolver: job right-hand side b is empty");
+    QR3D_CHECK(job.b.rows() == job.A.rows(),
+               "BatchSolver: b must have A's row count");
+    // Shape/threshold validation; the rank count a job sees is its group
+    // size, but validate() only needs P >= 1, which holds for any group.
+    opts_.qr().validate(job.A.rows(), job.A.cols(), opts_.ranks());
+    return true;
+  } catch (...) {
+    job.error = std::current_exception();
+    job.done = true;
+    ++stats_.jobs_failed;
+    return false;
+  }
+}
+
+void BatchSolver::resolve_plan(detail::Job& job, int group_ranks) {
+  // The dispatch Solver::factor would do — plus 1D-epsilon tuning for
+  // tall-skinny shapes the 3D grid search never sees — resolved driver-side
+  // through the shared cache, so repeated shapes skip resolution and tuning
+  // entirely and the hit shows up in the job's stats.
+  const la::index_t m = job.A.rows(), n = job.A.cols();
+  const sim::CostParams& mp = machine_->params();
+  const PlanKey key = make_plan_key(m, n, group_ranks, Dist::CyclicRows, machine_->kind(), mp);
+  job.stats.plan_cache_hit = cache_->contains(key);
+  job.plan = cache_->lookup_or_compute(key, [&]() {
+    core::CaqrEg3dOptions params;
+    params.b = opts_.qr().block_size();
+    params.b_star = opts_.qr().base_block_size();
+    params.delta = opts_.qr().delta();
+    params.epsilon = opts_.qr().epsilon();
+    params = core::resolve_algorithm(m, n, group_ranks, opts_.qr().algorithm(), params);
+    Plan plan;
+    plan.delta = params.delta;
+    plan.epsilon = params.epsilon;
+    plan.b = params.b;
+    plan.b_star = params.b_star;
+    if (opts_.qr().tune_for_machine()) {
+      if (params.b == 0) {
+        // Full 3D recursion: grid-search (delta, epsilon).
+        const cost::Tuned3d t =
+            cost::tune_3d(static_cast<double>(m), static_cast<double>(n), group_ranks, mp);
+        plan.delta = t.delta;
+        plan.epsilon = t.epsilon;
+        plan.predicted = t.predicted;
+      } else if (params.b == n && group_ranks >= 2) {
+        // Tall-skinny dispatch (immediate conversion + 1D-CAQR-EG): delta is
+        // moot but Theorem 2's epsilon still trades words against messages.
+        // On a single-rank group there is no communication to trade.
+        const cost::Tuned1d t =
+            cost::tune_1d(static_cast<double>(m), static_cast<double>(n), group_ranks, mp);
+        plan.epsilon = t.epsilon;
+        plan.predicted = t.predicted;
+      }
+    }
+    return plan;
+  });
+  if (job.stats.plan_cache_hit) ++stats_.plan_cache_hits;
+  else ++stats_.plan_cache_misses;
+}
+
+void BatchSolver::flush() {
+  std::vector<std::shared_ptr<detail::Job>> batch;
+  batch.swap(pending_);
+
+  std::vector<std::shared_ptr<detail::Job>> runnable;
+  runnable.reserve(batch.size());
+  for (auto& job : batch) {
+    if (validate_job(*job)) runnable.push_back(job);
+  }
+  if (runnable.empty()) return;
+
+  // Group sizing: each job runs as a collective over `g` ranks, and
+  // floor(P/g) groups execute jobs concurrently.  Auto (group_ranks == 0)
+  // fills the machine: a big batch of small problems runs rank-per-job, a
+  // lone job gets every rank.
+  const int P = opts_.ranks();
+  int g = opts_.group_ranks();
+  if (g == 0) g = std::max(1, P / static_cast<int>(runnable.size()));
+  g = std::min(g, P);
+  const int groups = P / g;
+
+  for (auto& job : runnable) resolve_plan(*job, g);
+
+  // One machine session for the whole batch.  Every rank joins its group's
+  // sub-communicator (ranks beyond groups*g idle out) and the groups
+  // round-robin the job list.  The group's rank 0 stamps per-job wall times
+  // and writes the results; the driver reads them after run() returns (the
+  // join orders the access), and distinct jobs are written by distinct
+  // group roots, so no record is shared.
+  std::exception_ptr session_error;
+  try {
+    machine_->run([&](backend::Comm& c) {
+      const int group = c.rank() / g;
+      const bool active = group < groups;
+      backend::Comm gc = c.split(active ? group : -1, c.rank());
+      if (!gc.valid()) return;
+      for (std::size_t i = static_cast<std::size_t>(group); i < runnable.size();
+           i += static_cast<std::size_t>(groups)) {
+        auto& job = runnable[i];
+        const auto t0 = Clock::now();
+        DistMatrix Ad = DistMatrix::from_global(gc, job->A.view());
+        DistMatrix bd = DistMatrix::from_global(gc, job->b.view());
+        Factorization f = solver_.factor(Ad, job->plan);
+        la::Matrix x = f.solve_least_squares(bd);
+        if (gc.rank() == 0) {
+          job->x = std::move(x);
+          job->stats.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+          job->done = true;
+        }
+      }
+    });
+  } catch (...) {
+    // A machine-level failure (an in-machine throw aborts every rank).  Jobs
+    // that completed before the abort keep their results; every unfinished
+    // job records the session error so its handle rethrows the *real* cause
+    // instead of tripping over a never-done job.  The machine itself resets
+    // cleanly on the next run (see ThreadMachine), so later flushes serve.
+    session_error = std::current_exception();
+  }
+
+  ++stats_.flushes;
+  stats_.serve_seconds += machine_->last_wall_seconds();
+  for (auto& job : runnable) {
+    if (job->done) {
+      ++stats_.jobs_completed;
+    } else {
+      QR3D_ASSERT(session_error != nullptr,
+                  "BatchSolver: machine session ended cleanly with an unfinished job");
+      job->error = session_error;
+      job->done = true;
+      ++stats_.jobs_failed;
+    }
+  }
+  if (session_error) std::rethrow_exception(session_error);
+}
+
+std::vector<la::Matrix> BatchSolver::solve_all(
+    std::vector<std::pair<la::Matrix, la::Matrix>> problems) {
+  std::vector<JobHandle> handles;
+  handles.reserve(problems.size());
+  for (auto& [A, b] : problems) handles.push_back(submit(std::move(A), std::move(b)));
+  flush();
+  std::vector<la::Matrix> xs;
+  xs.reserve(handles.size());
+  for (const auto& h : handles) xs.push_back(h.solution());  // rethrows job errors
+  return xs;
+}
+
+}  // namespace qr3d::serve

@@ -1,0 +1,218 @@
+// qr3d::serve::BatchSolver — the throughput serving layer.
+//
+// The facade solves one problem per machine: every Solver::factor spins up
+// ranks, (re-)tunes, factors, and tears everything down.  A serving process
+// answering a stream of least-squares queries wants the opposite shape:
+//
+//   serve::BatchSolver srv(serve::ServeOptions{}.with_ranks(4).with_profile());
+//   auto h1 = srv.submit(A1, b1);           // enqueue; nothing runs yet
+//   auto h2 = srv.submit(A2, b2);
+//   srv.flush();                            // ONE machine session, all jobs
+//   la::Matrix x1 = h1.solution();          // or h.solution() auto-flushes
+//
+// Four optimizations stack:
+//   1. persistent machine — the worker threads are spawned once
+//      (ThreadMachine parks them between runs) and every flush() executes
+//      the whole pending batch inside a single run(), so a 64-job batch pays
+//      one dispatch, not 64 machine spawns;
+//   2. job-group pipelining — the machine's P ranks are split into groups of
+//      `group_ranks` (auto: sized so the batch fills the machine) and jobs
+//      are round-robined across groups, running concurrently.  A problem too
+//      small to profit from P-way parallelism stops paying P-way collective
+//      latency, which is where small-problem serving throughput really is;
+//   3. plan cache — tuned (delta, epsilon) per (m, n, group size, layout,
+//      backend, machine profile) is resolved driver-side through a shared
+//      serve::PlanCache, so repeated shapes skip the tuner entirely (hits
+//      and misses are exposed and testable);
+//   4. measured profile — with_profile() runs serve::profile_machine first
+//      and feeds the fitted (alpha, beta, gamma) to machine construction, so
+//      the tuner optimizes for the machine it actually runs on instead of a
+//      declared profile.
+//
+// Failure isolation: jobs are validated driver-side before entering the
+// machine; an invalid job's std::invalid_argument is stored in its handle
+// (rethrown from solution()) and the rest of the batch is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/profile.hpp"
+
+namespace qr3d::serve {
+
+/// Options for a serving instance (validated builder, QrOptions-style).
+class ServeOptions {
+ public:
+  ServeOptions() { qr_.with_tune_for_machine().with_backend(Backend::Thread); }
+
+  /// Rank count of the owned machine.
+  ServeOptions& with_ranks(int P);
+  /// Execution backend of the owned machine (default: Thread — serving is a
+  /// wall-clock workload; Simulated serves as the conformance oracle).
+  ServeOptions& with_backend(Backend b) {
+    qr_.with_backend(b);
+    return *this;
+  }
+  /// QR options applied to every job.  This REPLACES the whole option set —
+  /// including the serving defaults (tuning on, Backend::Thread) and any
+  /// earlier with_backend() call — with exactly `q`, so set backend/tuning
+  /// on `q` itself, or call with_qr() first and with_backend() after.
+  ServeOptions& with_qr(QrOptions q) {
+    qr_ = std::move(q);
+    return *this;
+  }
+  /// Profile the machine at construction and tune on the fitted
+  /// (alpha, beta, gamma) instead of the declared parameters.
+  ServeOptions& with_profile(bool on = true) {
+    profile_ = on;
+    return *this;
+  }
+  ServeOptions& with_profile_options(ProfileOptions po) {
+    profile_options_ = po;
+    return *this;
+  }
+  /// Declared machine parameters (ignored for tuning when with_profile()).
+  ServeOptions& with_params(sim::CostParams p) {
+    params_ = std::move(p);
+    return *this;
+  }
+  /// Ranks per job group: each job runs as a collective over this many ranks
+  /// and floor(ranks/group_ranks) jobs execute concurrently.  0 (default)
+  /// sizes groups automatically per flush: with J pending jobs,
+  /// max(1, ranks/J), so a big batch of small problems runs rank-per-job
+  /// while a lone job still gets the whole machine.
+  ServeOptions& with_group_ranks(int g);
+
+  int ranks() const { return ranks_; }
+  const QrOptions& qr() const { return qr_; }
+  bool profile() const { return profile_; }
+  const ProfileOptions& profile_options() const { return profile_options_; }
+  const sim::CostParams& params() const { return params_; }
+  int group_ranks() const { return group_ranks_; }
+
+ private:
+  int ranks_ = 4;
+  QrOptions qr_;
+  bool profile_ = false;
+  ProfileOptions profile_options_;
+  sim::CostParams params_;
+  int group_ranks_ = 0;
+};
+
+/// Per-job measurements, valid once the job is done.
+struct JobStats {
+  double wall_seconds = 0.0;  ///< time inside the machine for this job
+  bool plan_cache_hit = false;  ///< shape plan came from the cache
+};
+
+namespace detail {
+
+/// Shared driver-side job record.  The machine's rank 0 writes the solution
+/// while the driver blocks in flush(), so there is no concurrent access.
+struct Job {
+  la::Matrix A, b;
+  Plan plan;
+  la::Matrix x;
+  std::exception_ptr error;
+  bool done = false;
+  JobStats stats;
+};
+
+}  // namespace detail
+
+class BatchSolver;
+
+/// Future-like handle to a submitted job.  Copyable; all copies observe the
+/// same job.  solution() flushes the owning BatchSolver if the job has not
+/// run yet, then returns the replicated n x k solution or rethrows the
+/// job's error (std::invalid_argument for jobs rejected at validation).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  bool done() const;
+  const la::Matrix& solution() const;
+  /// Valid after done(); throws if the job failed.
+  const JobStats& stats() const;
+
+ private:
+  friend class BatchSolver;
+  JobHandle(BatchSolver* owner, std::shared_ptr<detail::Job> job)
+      : owner_(owner), job_(std::move(job)) {}
+
+  BatchSolver* owner_ = nullptr;
+  std::shared_ptr<detail::Job> job_;
+};
+
+/// The serving object.  NOT thread-safe for concurrent driver calls (one
+/// serving loop per instance); the machine it owns is internally parallel.
+class BatchSolver {
+ public:
+  explicit BatchSolver(ServeOptions opts = {});
+
+  /// Enqueue min_x ||A x - b|| (A: m x n replicated driver-side, b: m x k).
+  /// Nothing executes until flush() / solution() / solve_all().
+  JobHandle submit(la::Matrix A, la::Matrix b);
+
+  /// Execute every pending job in one machine session.  Driver-side
+  /// validation errors land only in the affected handles.  A machine-level
+  /// failure (an in-machine throw aborts the whole session) rethrows from
+  /// flush() AND is recorded in every job the session did not finish, so
+  /// their handles rethrow the real cause; jobs that completed before the
+  /// abort keep their solutions, and the machine stays usable.
+  void flush();
+
+  /// Bulk API: submit all problems, flush once, return the solutions in
+  /// order.  Throws the first failed job's error (after all jobs ran).
+  std::vector<la::Matrix> solve_all(std::vector<std::pair<la::Matrix, la::Matrix>> problems);
+
+  /// Aggregate serving statistics.
+  struct Stats {
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;  ///< solved successfully
+    std::uint64_t jobs_failed = 0;     ///< rejected or errored
+    std::uint64_t flushes = 0;
+    std::uint64_t plan_cache_hits = 0;
+    std::uint64_t plan_cache_misses = 0;
+    double serve_seconds = 0.0;  ///< total machine-session time
+    double problems_per_second() const {
+      return serve_seconds > 0.0 ? static_cast<double>(jobs_completed) / serve_seconds : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// The profile measured at construction (with_profile() only).
+  const MachineProfile* profile() const { return profile_ ? &*profile_ : nullptr; }
+  /// Parameters the owned machine (and therefore the tuner) runs under —
+  /// the fitted profile when with_profile(), the declared one otherwise.
+  const sim::CostParams& machine_params() const { return machine_->params(); }
+  backend::Machine& machine() { return *machine_; }
+  const std::shared_ptr<PlanCache>& plan_cache() const { return cache_; }
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  /// Driver-side shape/option validation; returns false (with the error
+  /// stored in the job) when the job must not enter the machine.
+  bool validate_job(detail::Job& job);
+  /// Driver-side plan resolution through the shared cache for a job that
+  /// will run on a `group_ranks`-rank sub-communicator.
+  void resolve_plan(detail::Job& job, int group_ranks);
+
+  ServeOptions opts_;
+  std::unique_ptr<backend::Machine> machine_;
+  std::shared_ptr<PlanCache> cache_;
+  std::optional<MachineProfile> profile_;
+  Solver solver_;
+  std::vector<std::shared_ptr<detail::Job>> pending_;
+  Stats stats_;
+};
+
+}  // namespace qr3d::serve

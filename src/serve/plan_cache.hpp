@@ -1,0 +1,102 @@
+// Per-shape plan cache for the serving layer.
+//
+// Tuning (delta, epsilon) for a problem shape is a pure function of
+// (m, n, P) and the machine's (alpha, beta, gamma) — a 33x33 grid search
+// over the closed-form cost model (cost/tuner.hpp).  That is cheap next to
+// one factorization but not next to *thousands*: a serving process seeing
+// the same shapes over and over should tune each shape exactly once.
+//
+// PlanCache memoizes the tuner keyed by (m, n, P, layout, backend, machine
+// parameters); the machine parameters are part of the key so a re-profiled
+// machine (serve::profile_machine) transparently re-tunes instead of serving
+// stale plans.  It is shared infrastructure: qr3d::Solver consults one for
+// its with_tune_for_machine() path (each Solver owns a private cache unless
+// given a shared one), and serve::BatchSolver shares a single cache between
+// its driver-side plan resolution and its internal Solver.
+//
+// Thread safety: all methods are safe to call concurrently (one mutex); a
+// miss runs the tuner inside the lock so concurrent lookups of the same key
+// tune exactly once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "backend/comm.hpp"
+#include "core/dist_matrix.hpp"
+#include "cost/tuner.hpp"
+#include "la/matrix.hpp"
+
+namespace qr3d::serve {
+
+/// Cache key: problem shape + execution context + machine parameters.
+struct PlanKey {
+  la::index_t m = 0;
+  la::index_t n = 0;
+  int P = 0;
+  Dist layout = Dist::CyclicRows;
+  backend::Kind backend = backend::Kind::Simulated;
+  double alpha = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    auto tie = [](const PlanKey& k) {
+      return std::tuple(k.m, k.n, k.P, static_cast<int>(k.layout), static_cast<int>(k.backend),
+                        k.alpha, k.beta, k.gamma);
+    };
+    return tie(a) < tie(b);
+  }
+};
+
+/// A tuned execution plan: the recursion parameters Solver::factor needs,
+/// plus the model-predicted costs the tuner chose them by.
+struct Plan {
+  double delta = 2.0 / 3.0;
+  double epsilon = 1.0;
+  la::index_t b = 0;       ///< recursion threshold (0 = derive from delta)
+  la::index_t b_star = 0;  ///< base-case threshold (0 = derive from epsilon)
+  cost::Costs predicted;   ///< model costs under the key's machine parameters
+};
+
+class PlanCache {
+ public:
+  PlanCache() = default;
+
+  /// The cached plan for `key`, tuning (cost::tune_3d under `machine`) on a
+  /// miss.  `machine` must carry the same (alpha, beta, gamma) as the key.
+  Plan lookup_or_tune(const PlanKey& key, const sim::CostParams& machine);
+
+  /// Generic memoization: the cached plan for `key`, or `compute()` stored
+  /// and returned on a miss.  The serving layer uses this to cache *fully
+  /// resolved* plans (including pinned-b tall-skinny dispatches and
+  /// 1D-epsilon tuning), not just the 3D grid search.
+  Plan lookup_or_compute(const PlanKey& key, const std::function<Plan()>& compute);
+
+  /// Insert/overwrite an externally computed plan (e.g. hand-pinned
+  /// parameters); counts as neither hit nor miss.
+  void insert(const PlanKey& key, const Plan& plan);
+
+  /// True if `key` is cached; does not tune and does not touch the counters.
+  bool contains(const PlanKey& key) const;
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<PlanKey, Plan> plans_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// The key Solver::factor uses for a problem it is about to factor.
+PlanKey make_plan_key(la::index_t m, la::index_t n, int P, Dist layout, backend::Kind backend,
+                      const sim::CostParams& machine);
+
+}  // namespace qr3d::serve

@@ -1,0 +1,127 @@
+#include "serve/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cost/tuner.hpp"
+#include "la/blas.hpp"
+#include "la/error.hpp"
+#include "la/random.hpp"
+
+namespace qr3d::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(const Clock::time_point& t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One-way seconds per message of `words` doubles between ranks 0 and 1,
+/// measured over `reps` round trips (plus an untimed warm-up trip so first-
+/// touch allocation and thread wake-up stay out of the fit).  Ranks >= 2
+/// idle.  Returns the rank-0 measurement via the captured reference.
+///
+/// `copy` forces send_copy: the thread backend donates moved buffers
+/// (zero-copy), so a moved "streaming" payload would measure rendezvous
+/// latency again instead of word-transfer time.  The bandwidth phase copies
+/// every word, like a wire would; the latency phase moves a 1-word message,
+/// where the distinction is noise.
+void pingpong_body(backend::Comm& c, la::index_t words, int reps, bool copy, int tag,
+                   double& oneway_out) {
+  if (c.size() < 2 || c.rank() >= 2) return;
+  const std::size_t w = static_cast<std::size_t>(words);
+  const int peer = 1 - c.rank();
+  auto volley = [&](std::vector<double>& ball) {
+    if (copy) c.send_copy(peer, ball, tag);
+    else c.send(peer, std::move(ball), tag);
+    ball = c.recv(peer, tag);
+  };
+  if (c.rank() == 0) {
+    std::vector<double> ball(w, 1.0);
+    volley(ball);  // warm-up
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) volley(ball);
+    oneway_out = seconds_since(t0) / (2.0 * reps);
+  } else {
+    for (int r = 0; r < reps + 1; ++r) {
+      std::vector<double> ball = c.recv(0, tag);
+      if (copy) c.send_copy(0, ball, tag);
+      else c.send(0, std::move(ball), tag);
+    }
+  }
+}
+
+}  // namespace
+
+MachineProfile profile_machine(backend::Machine& machine, const ProfileOptions& opts) {
+  QR3D_CHECK(opts.pingpong_reps >= 1 && opts.stream_reps >= 1 && opts.gemm_reps >= 1,
+             "profile_machine: repetition counts must be >= 1");
+  QR3D_CHECK(opts.stream_words >= 1 && opts.gemm_size >= 1,
+             "profile_machine: benchmark sizes must be >= 1");
+
+  MachineProfile prof;
+  const sim::CostParams declared = machine.params();
+
+  // Phase 1: ping-pong latency (alpha).  Rank 0 writes the result; the
+  // driver reads it after run() returns, so the join orders the access.
+  double oneway_small = 0.0;
+  machine.run([&](backend::Comm& c) {
+    pingpong_body(c, 1, opts.pingpong_reps, /*copy=*/false, 101, oneway_small);
+  });
+
+  // Phase 2: streaming bandwidth (beta) — copied payloads (see pingpong_body).
+  double oneway_stream = 0.0;
+  machine.run([&](backend::Comm& c) {
+    pingpong_body(c, opts.stream_words, opts.stream_reps, /*copy=*/true, 102, oneway_stream);
+  });
+
+  // Phase 3: local gemm rate (gamma), measured on rank 0 only (the ranks are
+  // symmetric cores; measuring one avoids timing scheduler contention).
+  double gemm_seconds = 0.0;
+  const la::index_t g = opts.gemm_size;
+  machine.run([&](backend::Comm& c) {
+    if (c.rank() != 0) return;
+    la::Matrix A = la::random_matrix(g, g, 7001);
+    la::Matrix B = la::random_matrix(g, g, 7002);
+    la::Matrix C(g, g);
+    la::gemm(1.0, la::Op::NoTrans, la::ConstMatrixView(A.view()), la::Op::NoTrans,
+             la::ConstMatrixView(B.view()), 0.0, C.view());  // warm-up
+    const auto t0 = Clock::now();
+    for (int r = 0; r < opts.gemm_reps; ++r) {
+      la::gemm(1.0, la::Op::NoTrans, la::ConstMatrixView(A.view()), la::Op::NoTrans,
+               la::ConstMatrixView(B.view()), 0.0, C.view());
+    }
+    gemm_seconds = seconds_since(t0);
+  });
+
+  const double gd = static_cast<double>(g);
+  const double gemm_flops = 2.0 * gd * gd * gd * opts.gemm_reps;
+  gemm_seconds = std::max(gemm_seconds, 1e-9);  // timer-resolution guard
+  prof.gemm_flops_per_second = gemm_flops / gemm_seconds;
+  const double gamma = gemm_seconds / gemm_flops;
+
+  prof.comm_measured = machine.size() >= 2;
+  if (!prof.comm_measured) {
+    // Nothing to measure on a single link-less rank: keep the declared
+    // communication parameters, fit only the compute rate.
+    prof.fitted = cost::fit_params(declared.alpha, declared.beta, gamma,
+                                   declared.name + "+measured-gamma");
+    return prof;
+  }
+
+  oneway_small = std::max(oneway_small, 1e-12);
+  oneway_stream = std::max(oneway_stream, 1e-12);
+  prof.oneway_small_seconds = oneway_small;
+  const double alpha = oneway_small;
+  // A W-word one-way trip costs alpha + W*beta; subtract the measured alpha
+  // and attribute the rest to bandwidth.  fit_params clamps a noisy
+  // (non-positive) remainder.
+  const double beta = (oneway_stream - alpha) / static_cast<double>(opts.stream_words);
+  prof.stream_words_per_second = static_cast<double>(opts.stream_words) / oneway_stream;
+  prof.fitted = cost::fit_params(alpha, beta, gamma, "measured");
+  return prof;
+}
+
+}  // namespace qr3d::serve

@@ -1,0 +1,55 @@
+// Machine profiler: fit an effective (alpha, beta, gamma) from
+// micro-benchmarks on a live backend::Machine.
+//
+// The paper frames tuning as fitting the algorithm to the machine's
+// communication costs, and the tuner (cost/tuner.hpp) consumes exactly an
+// alpha-beta-gamma profile — but on the real threaded backend those numbers
+// were previously *declared* (defaults or sim/profiles.hpp), not measured.
+// profile_machine closes the loop with three classic micro-benchmarks:
+//
+//   * ping-pong   — R round trips of a 1-word message between ranks 0 and 1;
+//                   the one-way time fits alpha (latency per message).
+//   * streaming   — R round trips of a W-word message; the one-way time
+//                   minus alpha, per word, fits beta (inverse bandwidth).
+//   * gemm rate   — repeated local g x g x g multiplies on rank 0; seconds
+//                   per flop fits gamma.
+//
+// The fitted profile (routed through cost::fit_params, which clamps
+// measurement noise to positive floors) is what a serving process hands to
+// machine construction so that with_tune_for_machine() — and the plan cache
+// in front of it — picks (delta, epsilon) for the machine it actually runs
+// on.  Profiling a simulated machine is permitted but measures the *host's*
+// simulation speed, not the modelled machine; it is meant for real backends.
+#pragma once
+
+#include "backend/comm.hpp"
+#include "la/matrix.hpp"
+
+namespace qr3d::serve {
+
+struct ProfileOptions {
+  int pingpong_reps = 256;        ///< round trips for the latency fit
+  la::index_t stream_words = 32768;  ///< payload doubles for the bandwidth fit
+  int stream_reps = 16;           ///< round trips for the bandwidth fit
+  la::index_t gemm_size = 96;     ///< cube dimension g for the flop-rate fit
+  int gemm_reps = 4;              ///< repeated multiplies for the flop-rate fit
+};
+
+struct MachineProfile {
+  /// The fitted profile, ready for the tuner (strictly positive).
+  sim::CostParams fitted;
+  /// Raw measurements behind the fit.
+  double oneway_small_seconds = 0.0;   ///< ping-pong one-way time (= alpha)
+  double stream_words_per_second = 0.0;
+  double gemm_flops_per_second = 0.0;
+  /// False on single-rank machines, where there is no link to measure and
+  /// the declared (alpha, beta) are kept.
+  bool comm_measured = false;
+};
+
+/// Run the micro-benchmarks on `machine` (one run() per phase) and return
+/// the fitted profile.  Collective use of the machine — do not call while
+/// another run is in flight.
+MachineProfile profile_machine(backend::Machine& machine, const ProfileOptions& opts = {});
+
+}  // namespace qr3d::serve

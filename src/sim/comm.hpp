@@ -27,6 +27,7 @@ class SimComm : public backend::CommImpl {
 
   int rank() const override { return rank_; }
   int size() const override { return static_cast<int>(group_->members.size()); }
+  backend::Kind kind() const override { return backend::Kind::Simulated; }
   const CostParams& params() const override { return machine_->params(); }
 
   /// Charges alpha + beta*|payload| (+1 message, +|payload| words) to this

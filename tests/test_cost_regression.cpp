@@ -16,10 +16,16 @@
 
 #include "backend/comm.hpp"
 #include "coll/coll.hpp"
+#include "core/dist_matrix.hpp"
+#include "core/solver.hpp"
+#include "la/random.hpp"
+#include "serve/plan_cache.hpp"
 #include "sim/machine.hpp"
 
 namespace backend = qr3d::backend;
 namespace coll = qr3d::coll;
+namespace la = qr3d::la;
+namespace serve = qr3d::serve;
 namespace sim = qr3d::sim;
 using Alg = coll::Alg;
 
@@ -157,4 +163,55 @@ TEST(CostRegression, AllToAllTwoPhase) {
     std::vector<std::vector<double>> out(P, std::vector<double>(B, 1.0));
     coll::all_to_all(c, std::move(out), Alg::TwoPhase);
   });
+}
+
+// --- Plan-cache reuse. --------------------------------------------------------
+
+// A factorization whose (delta, epsilon) came out of the plan cache must
+// charge exactly the same simulated messages/words as one whose parameters
+// came from a fresh tuner run: the cache stores the tuner's answer, nothing
+// else, so reuse cannot perturb the execution by even one message.
+TEST(CostRegression, PlanCacheReuseChargesIdenticallyToFreshTune) {
+  const qr3d::la::index_t m = 64, n = 32;  // m/n < P: the tuned 3D path
+  la::Matrix A = la::random_matrix(m, n, 77);
+  qr3d::QrOptions opts = qr3d::QrOptions().with_tune_for_machine();
+
+  auto factor_counts = [&](const qr3d::Solver& solver) {
+    sim::Machine machine(P);
+    machine.run([&](backend::Comm& c) {
+      solver.factor(qr3d::DistMatrix::from_global(c, A.view()));
+    });
+    return std::pair(machine.critical_path(), machine.totals());
+  };
+
+  // Fresh Solver: the first factor tunes (cache miss).
+  qr3d::Solver fresh(opts);
+  const auto [cp_fresh, tot_fresh] = factor_counts(fresh);
+  EXPECT_EQ(fresh.plan_cache()->misses(), 1u);
+
+  // Same Solver again: the plan is served from the cache, not re-tuned.
+  const std::uint64_t hits_before = fresh.plan_cache()->hits();
+  const auto [cp_cached, tot_cached] = factor_counts(fresh);
+  EXPECT_EQ(fresh.plan_cache()->misses(), 1u);
+  EXPECT_GT(fresh.plan_cache()->hits(), hits_before);
+
+  EXPECT_DOUBLE_EQ(cp_cached.msgs, cp_fresh.msgs);
+  EXPECT_DOUBLE_EQ(cp_cached.words, cp_fresh.words);
+  EXPECT_DOUBLE_EQ(cp_cached.flops, cp_fresh.flops);
+  EXPECT_DOUBLE_EQ(cp_cached.time, cp_fresh.time);
+  EXPECT_DOUBLE_EQ(tot_cached.msgs_sent, tot_fresh.msgs_sent);
+  EXPECT_DOUBLE_EQ(tot_cached.words_sent, tot_fresh.words_sent);
+
+  // And a *pinned* plan handed back in (the serving layer's path) matches
+  // the tuned execution exactly as well.
+  const serve::PlanKey key = serve::make_plan_key(m, n, P, qr3d::Dist::CyclicRows,
+                                                  backend::Kind::Simulated, sim::CostParams{});
+  const serve::Plan plan = fresh.plan_cache()->lookup_or_tune(key, sim::CostParams{});
+  sim::Machine machine(P);
+  machine.run([&](backend::Comm& c) {
+    fresh.factor(qr3d::DistMatrix::from_global(c, A.view()), plan);
+  });
+  EXPECT_DOUBLE_EQ(machine.critical_path().msgs, cp_fresh.msgs);
+  EXPECT_DOUBLE_EQ(machine.critical_path().words, cp_fresh.words);
+  EXPECT_DOUBLE_EQ(machine.critical_path().flops, cp_fresh.flops);
 }

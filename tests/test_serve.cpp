@@ -1,0 +1,319 @@
+// Tests for the serving layer (src/serve/): BatchSolver job lifecycle and
+// failure isolation, the per-shape plan cache (hit/miss counters, sharing
+// with Solver), sim<->thread conformance of batched results, and the
+// profile -> tune -> serve loop (serve::profile_machine feeding the tuner).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "qr3d.hpp"
+
+namespace backend = qr3d::backend;
+namespace la = qr3d::la;
+namespace serve = qr3d::serve;
+namespace sim = qr3d::sim;
+using la::index_t;
+using qr3d::DistMatrix;
+
+namespace {
+
+/// A consistent least-squares problem with a planted exact solution.
+struct Planted {
+  la::Matrix A, b, x_true;
+};
+
+Planted planted_problem(index_t m, index_t n, std::uint64_t seed) {
+  Planted p;
+  p.A = la::random_matrix(m, n, seed);
+  p.x_true = la::random_matrix(n, 1, seed + 1);
+  p.b = la::multiply<double>(la::Op::NoTrans, p.A.view(), la::Op::NoTrans, p.x_true.view());
+  return p;
+}
+
+double solution_error(const la::Matrix& x, const la::Matrix& x_true) {
+  la::Matrix dx = la::copy<double>(x.view());
+  la::add(-1.0, la::ConstMatrixView(x_true.view()), dx.view());
+  return la::frobenius_norm(dx.view()) / (1.0 + la::frobenius_norm(x_true.view()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BatchSolver lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(BatchSolver, EmptyBatchIsANoOp) {
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(2));
+  srv.flush();  // nothing pending: no machine session
+  EXPECT_EQ(srv.stats().flushes, 0u);
+  EXPECT_EQ(srv.stats().jobs_submitted, 0u);
+  EXPECT_EQ(srv.solve_all({}).size(), 0u);
+  EXPECT_EQ(srv.stats().jobs_completed, 0u);
+  EXPECT_EQ(srv.stats().serve_seconds, 0.0);
+}
+
+TEST(BatchSolver, SameShapeBatchSolvesAndCaches) {
+  const index_t m = 48, n = 12;
+  const int kJobs = 8;
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(4));
+  std::vector<Planted> problems;
+  std::vector<serve::JobHandle> handles;
+  for (int j = 0; j < kJobs; ++j) {
+    problems.push_back(planted_problem(m, n, 100 + static_cast<std::uint64_t>(2 * j)));
+    handles.push_back(srv.submit(problems.back().A, problems.back().b));
+    EXPECT_FALSE(handles.back().done());
+  }
+  srv.flush();
+
+  for (int j = 0; j < kJobs; ++j) {
+    ASSERT_TRUE(handles[static_cast<std::size_t>(j)].done());
+    const la::Matrix& x = handles[static_cast<std::size_t>(j)].solution();
+    EXPECT_EQ(x.rows(), n);
+    EXPECT_EQ(x.cols(), 1);
+    EXPECT_LT(solution_error(x, problems[static_cast<std::size_t>(j)].x_true), 1e-10)
+        << "job " << j;
+  }
+
+  const auto& st = srv.stats();
+  EXPECT_EQ(st.jobs_submitted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(st.jobs_completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(st.jobs_failed, 0u);
+  EXPECT_EQ(st.flushes, 1u);
+  // One shape: the first job resolves (miss), every other job reuses.
+  EXPECT_EQ(st.plan_cache_misses, 1u);
+  EXPECT_EQ(st.plan_cache_hits, static_cast<std::uint64_t>(kJobs - 1));
+  EXPECT_FALSE(handles[0].stats().plan_cache_hit);
+  EXPECT_TRUE(handles[1].stats().plan_cache_hit);
+  EXPECT_GT(st.serve_seconds, 0.0);
+  EXPECT_GT(st.problems_per_second(), 0.0);
+}
+
+TEST(BatchSolver, MixedShapesHitAndMissCountersAreExact) {
+  // Shapes: S1, S2, S1, S2, S1 -> 2 misses, 3 hits (per-shape resolution).
+  // group_ranks pinned so the plan key's rank count is batch-size-independent.
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(4).with_group_ranks(2));
+  std::vector<std::pair<index_t, index_t>> shapes = {
+      {48, 12}, {64, 16}, {48, 12}, {64, 16}, {48, 12}};
+  std::vector<Planted> problems;
+  std::vector<serve::JobHandle> handles;
+  for (std::size_t j = 0; j < shapes.size(); ++j) {
+    problems.push_back(
+        planted_problem(shapes[j].first, shapes[j].second, 300 + 2 * static_cast<std::uint64_t>(j)));
+    handles.push_back(srv.submit(problems[j].A, problems[j].b));
+  }
+  srv.flush();
+  for (std::size_t j = 0; j < shapes.size(); ++j) {
+    EXPECT_LT(solution_error(handles[j].solution(), problems[j].x_true), 1e-10) << "job " << j;
+    EXPECT_EQ(handles[j].stats().plan_cache_hit, j >= 2);
+  }
+  EXPECT_EQ(srv.stats().plan_cache_misses, 2u);
+  EXPECT_EQ(srv.stats().plan_cache_hits, 3u);
+  EXPECT_EQ(srv.plan_cache()->size(), 2u);
+}
+
+TEST(BatchSolver, InvalidJobPropagatesWithoutPoisoningTheBatch) {
+  const index_t m = 40, n = 10;
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(3));
+
+  Planted good1 = planted_problem(m, n, 500);
+  Planted good2 = planted_problem(m, n, 502);
+  la::Matrix wide = la::random_matrix(n, m, 504);       // m < n: invalid for QR
+  la::Matrix mismatched_b = la::random_matrix(m + 1, 1, 505);  // wrong row count
+
+  serve::JobHandle h1 = srv.submit(good1.A, good1.b);
+  serve::JobHandle bad_shape = srv.submit(wide, la::random_matrix(n, 1, 506));
+  serve::JobHandle bad_rhs = srv.submit(good2.A, mismatched_b);
+  serve::JobHandle h2 = srv.submit(good2.A, good2.b);
+  srv.flush();
+
+  EXPECT_THROW(bad_shape.solution(), std::invalid_argument);
+  EXPECT_THROW(bad_rhs.solution(), std::invalid_argument);
+  EXPECT_THROW(bad_shape.stats(), std::invalid_argument);
+  // The failures are isolated: both valid jobs solved correctly.
+  EXPECT_LT(solution_error(h1.solution(), good1.x_true), 1e-10);
+  EXPECT_LT(solution_error(h2.solution(), good2.x_true), 1e-10);
+  EXPECT_EQ(srv.stats().jobs_failed, 2u);
+  EXPECT_EQ(srv.stats().jobs_completed, 2u);
+
+  // The machine is not poisoned for later flushes either.
+  Planted good3 = planted_problem(m, n, 510);
+  serve::JobHandle h3 = srv.submit(good3.A, good3.b);
+  EXPECT_LT(solution_error(h3.solution(), good3.x_true), 1e-10);  // auto-flush
+  EXPECT_EQ(srv.stats().flushes, 2u);
+}
+
+TEST(BatchSolver, SolutionAutoFlushesAndSolveAllReturnsInOrder) {
+  const index_t m = 36, n = 9;
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(2));
+  Planted p = planted_problem(m, n, 600);
+  serve::JobHandle h = srv.submit(p.A, p.b);
+  // No explicit flush: solution() drives it.
+  EXPECT_LT(solution_error(h.solution(), p.x_true), 1e-10);
+
+  std::vector<std::pair<la::Matrix, la::Matrix>> bulk;
+  std::vector<Planted> planted;
+  for (int j = 0; j < 5; ++j) {
+    planted.push_back(planted_problem(m + 4 * j, n, 700 + 2 * static_cast<std::uint64_t>(j)));
+    bulk.emplace_back(planted.back().A, planted.back().b);
+  }
+  std::vector<la::Matrix> xs = srv.solve_all(std::move(bulk));
+  ASSERT_EQ(xs.size(), 5u);
+  for (int j = 0; j < 5; ++j)
+    EXPECT_LT(solution_error(xs[static_cast<std::size_t>(j)], planted[static_cast<std::size_t>(j)].x_true),
+              1e-10)
+        << "problem " << j;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend conformance of batched results
+// ---------------------------------------------------------------------------
+
+TEST(BatchSolver, SimAndThreadBackendsProduceBitwiseIdenticalSolutions) {
+  // Same problems, same declared machine parameters, same pinned group
+  // layout: the batch must decompose and solve identically on the simulator
+  // (the oracle) and the real threaded machine — bitwise identical, like the
+  // rest of the conformance suite.
+  const int P = 4, G = 2;
+  std::vector<Planted> problems;
+  for (int j = 0; j < 6; ++j)
+    problems.push_back(
+        planted_problem(40 + 8 * (j % 2), 10, 800 + 2 * static_cast<std::uint64_t>(j)));
+
+  auto solve_on = [&](qr3d::Backend kind) {
+    serve::ServeOptions opts;
+    opts.with_ranks(P).with_group_ranks(G).with_qr(
+        qr3d::QrOptions().with_tune_for_machine().with_backend(kind));
+    serve::BatchSolver srv(opts);
+    std::vector<std::pair<la::Matrix, la::Matrix>> bulk;
+    for (const Planted& p : problems) bulk.emplace_back(p.A, p.b);
+    return srv.solve_all(std::move(bulk));
+  };
+
+  std::vector<la::Matrix> sim_xs = solve_on(qr3d::Backend::Simulated);
+  std::vector<la::Matrix> thr_xs = solve_on(qr3d::Backend::Thread);
+  ASSERT_EQ(sim_xs.size(), thr_xs.size());
+  for (std::size_t j = 0; j < sim_xs.size(); ++j) {
+    ASSERT_EQ(sim_xs[j].rows(), thr_xs[j].rows());
+    for (index_t i = 0; i < sim_xs[j].rows(); ++i)
+      EXPECT_EQ(sim_xs[j](i, 0), thr_xs[j](i, 0)) << "problem " << j << " row " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache and Solver sharing
+// ---------------------------------------------------------------------------
+
+TEST(PlanCache, SolverSharesTheCacheAcrossRanksAndCalls) {
+  const index_t m = 64, n = 32;  // m/n < P: the tuned 3D path
+  const int P = 4;
+  qr3d::Solver solver(qr3d::QrOptions().with_tune_for_machine());
+  la::Matrix A = la::random_matrix(m, n, 900);
+  sim::Machine machine(P);
+  machine.run([&](backend::Comm& c) {
+    solver.factor(DistMatrix::from_global(c, A.view()));
+    solver.factor(DistMatrix::from_global(c, A.view()));
+  });
+  // P ranks x 2 factors = 8 lookups of one key: exactly one tune.
+  EXPECT_EQ(solver.plan_cache()->misses(), 1u);
+  EXPECT_EQ(solver.plan_cache()->hits(), static_cast<std::uint64_t>(2 * P - 1));
+  EXPECT_EQ(solver.plan_cache()->size(), 1u);
+}
+
+TEST(PlanCache, KeyIncludesMachineParameters) {
+  serve::PlanCache cache;
+  const sim::CostParams cloud = sim::profiles::cloud();
+  const sim::CostParams hpc = sim::profiles::hpc_fabric();
+  const serve::PlanKey k1 = serve::make_plan_key(256, 64, 8, qr3d::Dist::CyclicRows,
+                                                 backend::Kind::Simulated, cloud);
+  const serve::PlanKey k2 = serve::make_plan_key(256, 64, 8, qr3d::Dist::CyclicRows,
+                                                 backend::Kind::Simulated, hpc);
+  cache.lookup_or_tune(k1, cloud);
+  cache.lookup_or_tune(k2, hpc);  // different machine: its own entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  cache.lookup_or_tune(k1, cloud);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// profile -> tune -> serve
+// ---------------------------------------------------------------------------
+
+TEST(ProfileMachine, FitsPositiveParametersOnTheThreadBackend) {
+  backend::ThreadMachine machine(2);
+  serve::ProfileOptions po;
+  po.pingpong_reps = 32;
+  po.stream_words = 4096;
+  po.stream_reps = 4;
+  po.gemm_size = 48;
+  po.gemm_reps = 2;
+  const serve::MachineProfile prof = serve::profile_machine(machine, po);
+  EXPECT_TRUE(prof.comm_measured);
+  EXPECT_GT(prof.fitted.alpha, 0.0);
+  EXPECT_GT(prof.fitted.beta, 0.0);
+  EXPECT_GT(prof.fitted.gamma, 0.0);
+  EXPECT_GT(prof.oneway_small_seconds, 0.0);
+  EXPECT_GT(prof.stream_words_per_second, 0.0);
+  EXPECT_GT(prof.gemm_flops_per_second, 0.0);
+  // The fitted profile is tuner-ready (would throw on non-positive params).
+  const qr3d::cost::Tuned3d t = qr3d::cost::tune_3d(4096, 1024, 64, prof.fitted);
+  EXPECT_GE(t.delta, 0.0);
+  EXPECT_LE(t.delta, 1.0);
+}
+
+TEST(ProfileMachine, SingleRankKeepsDeclaredCommParams) {
+  sim::CostParams declared = sim::profiles::commodity_cluster();
+  backend::ThreadMachine machine(1, declared);
+  serve::ProfileOptions po;
+  po.gemm_size = 32;
+  const serve::MachineProfile prof = serve::profile_machine(machine, po);
+  EXPECT_FALSE(prof.comm_measured);
+  EXPECT_EQ(prof.fitted.alpha, declared.alpha);
+  EXPECT_EQ(prof.fitted.beta, declared.beta);
+  EXPECT_GT(prof.fitted.gamma, 0.0);
+}
+
+TEST(ProfileMachine, BatchSolverConsumesTheFittedProfileEndToEnd) {
+  serve::ProfileOptions po;
+  po.pingpong_reps = 32;
+  po.stream_words = 4096;
+  po.stream_reps = 4;
+  po.gemm_size = 48;
+  po.gemm_reps = 2;
+  serve::BatchSolver srv(
+      serve::ServeOptions().with_ranks(2).with_profile().with_profile_options(po));
+  ASSERT_NE(srv.profile(), nullptr);
+  EXPECT_TRUE(srv.profile()->comm_measured);
+  // The machine the jobs run on carries the *fitted* parameters, so the
+  // tuner (and the plan-cache key) sees measured numbers.
+  EXPECT_EQ(srv.machine_params().alpha, srv.profile()->fitted.alpha);
+  EXPECT_EQ(srv.machine_params().beta, srv.profile()->fitted.beta);
+  EXPECT_EQ(srv.machine_params().gamma, srv.profile()->fitted.gamma);
+  EXPECT_EQ(srv.machine_params().name, "measured");
+
+  Planted p = planted_problem(64, 32, 1000);
+  serve::JobHandle h = srv.submit(p.A, p.b);
+  srv.flush();
+  EXPECT_LT(solution_error(h.solution(), p.x_true), 1e-10);
+  EXPECT_EQ(srv.stats().plan_cache_misses, 1u);
+}
+
+TEST(Tuner, RejectsDegenerateParamsAndFitClampsNoise) {
+  sim::CostParams bad;
+  bad.alpha = -1.0;  // a noisy fit gone negative
+  EXPECT_THROW(qr3d::cost::tune_3d(1024, 256, 16, bad), std::invalid_argument);
+  EXPECT_THROW(qr3d::cost::tune_1d(1024, 16, 16, bad), std::invalid_argument);
+  sim::CostParams zeros{0.0, 0.0, 0.0, "all-zero"};
+  EXPECT_THROW(qr3d::cost::tune_3d(1024, 256, 16, zeros), std::invalid_argument);
+  // A noisy fit (negative beta after subtracting latency) clamps positive.
+  const sim::CostParams fitted = qr3d::cost::fit_params(1e-6, -3e-9, 1e-11);
+  EXPECT_GT(fitted.beta, 0.0);
+  EXPECT_EQ(fitted.alpha, 1e-6);
+  EXPECT_THROW(qr3d::cost::fit_params(1.0, 0.5, std::nan("")), std::invalid_argument);
+}
