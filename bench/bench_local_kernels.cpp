@@ -1,92 +1,187 @@
-// E10 — google-benchmark timings of the local substrate: la:: kernels and
-// simulator overheads.  These are wall-clock sanity numbers (the paper's
-// claims are cost-model claims; this bench just documents that the substrate
-// is not pathological).
-#include <benchmark/benchmark.h>
+// E10 — local-kernel throughput: reference vs blocked (vs BLAS when built
+// in) for gemm/trmm/trsm/geqrt/larfb, wall-clock GFLOP/s.
+//
+// This is the substrate the thread backend's gamma term is made of: the
+// paper's communication-avoiding wins only show up off-simulator when these
+// run at near-BLAS3 speed (cf. arXiv:0809.2407).  The bench doubles as the
+// perf regression gate: `--smoke` exits nonzero unless the blocked gemm
+// beats the reference nest by >= 3x at 256^3 (CI runs this on every push),
+// and `--json` emits qr3d-bench/1 records so the GFLOP/s trajectory is
+// machine-readable PR over PR.
+//
+// Usage: bench_local_kernels [--json out.json] [--smoke] [--reps N]
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
-#include "qr3d.hpp"
+#include "bench_util.hpp"
 
-
+namespace b = qr3d::bench;
 namespace la = qr3d::la;
 namespace backend = qr3d::backend;
-namespace sim = qr3d::sim;
 
-static void BM_Gemm(benchmark::State& state) {
-  const la::index_t n = state.range(0);
-  la::Matrix A = la::random_matrix(n, n, 1);
-  la::Matrix B = la::random_matrix(n, n, 2);
-  la::Matrix C(n, n);
-  for (auto _ : state) {
-    la::gemm(1.0, la::Op::NoTrans, la::ConstMatrixView(A.view()), la::Op::NoTrans,
-             la::ConstMatrixView(B.view()), 0.0, C.view());
-    benchmark::DoNotOptimize(C.data());
+namespace {
+
+double seconds_of(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(
+        best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  return best;
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
 
-static void BM_Geqrt(benchmark::State& state) {
-  const la::index_t n = state.range(0);
-  la::Matrix A = la::random_matrix(4 * n, n, 3);
-  for (auto _ : state) {
-    la::Matrix F = la::copy<double>(A.view());
-    la::Matrix T(n, n);
-    la::geqrt(F.view(), T.view());
-    benchmark::DoNotOptimize(F.data());
+struct Record {
+  const char* kernel;
+  const char* variant;
+  la::index_t m, n, k;
+  double gflops;
+  double seconds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = b::has_flag(argc, argv, "--smoke");
+  const char* json_path = b::parse_flag(argc, argv, "--json");
+  const int reps = static_cast<int>(b::parse_long_flag(argc, argv, "--reps", 3));
+  b::banner("E10", "Local kernels: reference vs blocked vs BLAS (wall clock)");
+
+  std::vector<Record> records;
+  auto run = [&](const char* kernel, const char* variant, la::index_t m, la::index_t n,
+                 la::index_t k, double flops, const std::function<void()>& fn) {
+    const double s = seconds_of(fn, reps);
+    records.push_back({kernel, variant, m, n, k, flops / s * 1e-9, s});
+  };
+
+  // gemm: C = A*B, square sweeps.  The 256 row is the smoke gate.
+  for (la::index_t n : {64, 128, 256, 512}) {
+    la::Matrix A = la::random_matrix(n, n, 1);
+    la::Matrix B = la::random_matrix(n, n, 2);
+    la::Matrix C(n, n);
+    const double fl = 2.0 * static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n);
+    run("gemm", "reference", n, n, n, fl, [&]() {
+      la::gemm_reference(1.0, la::Op::NoTrans, la::ConstMatrixView(A.view()), la::Op::NoTrans,
+                         la::ConstMatrixView(B.view()), 0.0, C.view());
+    });
+    run("gemm", "blocked", n, n, n, fl, [&]() {
+      la::detail::gemm_blocked(1.0, la::Op::NoTrans, la::ConstMatrixView(A.view()),
+                               la::Op::NoTrans, la::ConstMatrixView(B.view()), 0.0, C.view());
+    });
+#ifdef QR3D_WITH_BLAS
+    run("gemm", "blas", n, n, n, fl, [&]() {
+      la::detail::gemm_blas(1.0, la::Op::NoTrans, la::ConstMatrixView(A.view()), la::Op::NoTrans,
+                            la::ConstMatrixView(B.view()), 0.0, C.view());
+    });
+#endif
   }
-  state.SetItemsProcessed(state.iterations() * 2 * (4 * n) * n * n);
-}
-BENCHMARK(BM_Geqrt)->Arg(16)->Arg(32)->Arg(64);
 
-static void BM_ApplyQ(benchmark::State& state) {
-  const la::index_t n = state.range(0);
-  la::QrFactors f = la::qr_factor<double>(la::random_matrix(4 * n, n, 4).view());
-  la::Matrix C = la::random_matrix(4 * n, n, 5);
-  for (auto _ : state) {
-    la::Matrix D = la::copy<double>(C.view());
-    la::apply_q<double>(f.V.view(), f.T_.view(), la::Op::ConjTrans, D.view());
-    benchmark::DoNotOptimize(D.data());
-  }
-}
-BENCHMARK(BM_ApplyQ)->Arg(16)->Arg(32)->Arg(64);
-
-static void BM_LuSignShift(benchmark::State& state) {
-  const la::index_t n = state.range(0);
-  la::Matrix X = la::random_matrix(n, n, 6);
-  for (auto _ : state) {
-    auto lu = la::lu_sign_shift<double>(la::ConstMatrixView(X.view()));
-    benchmark::DoNotOptimize(lu.U.data());
-  }
-}
-BENCHMARK(BM_LuSignShift)->Arg(16)->Arg(64);
-
-static void BM_MachineSpawn(benchmark::State& state) {
-  const int P = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Machine machine(P);
-    machine.run([](backend::Comm&) {});
-  }
-}
-BENCHMARK(BM_MachineSpawn)->Arg(4)->Arg(16)->Arg(64);
-
-static void BM_PingPong(benchmark::State& state) {
-  const std::size_t words = static_cast<std::size_t>(state.range(0));
-  sim::Machine machine(2);
-  for (auto _ : state) {
-    machine.run([&](backend::Comm& c) {
-      for (int i = 0; i < 10; ++i) {
-        if (c.rank() == 0) {
-          c.send(1, std::vector<double>(words, 1.0), 1);
-          c.recv(1, 2);
-        } else {
-          c.recv(0, 1);
-          c.send(0, std::vector<double>(words, 1.0), 2);
-        }
-      }
+  // trmm / trsm: n x n triangle applied to an n x n panel.
+  {
+    const la::index_t n = 256;
+    la::Matrix T = la::random_matrix(n, n, 3);
+    la::make_triangular(la::Uplo::Upper, T.view());
+    for (la::index_t i = 0; i < n; ++i) T(i, i) = 4.0 + static_cast<double>(i) * 0.01;
+    la::Matrix B0 = la::random_matrix(n, n, 4);
+    const double fl = static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n);
+    la::Matrix B = la::copy<double>(B0.view());
+    run("trmm", "reference", n, n, n, fl, [&]() {
+      la::assign<double>(B.view(), B0.view());
+      la::trmm_reference(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0,
+                         la::ConstMatrixView(T.view()), B.view());
+    });
+    run("trmm", "blocked", n, n, n, fl, [&]() {
+      la::assign<double>(B.view(), B0.view());
+      la::detail::trmm_blocked(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit,
+                               1.0, la::ConstMatrixView(T.view()), B.view());
+    });
+    run("trsm", "reference", n, n, n, fl, [&]() {
+      la::assign<double>(B.view(), B0.view());
+      la::trsm_reference(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0,
+                         la::ConstMatrixView(T.view()), B.view());
+    });
+    run("trsm", "blocked", n, n, n, fl, [&]() {
+      la::assign<double>(B.view(), B0.view());
+      la::detail::trsm_blocked(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit,
+                               1.0, la::ConstMatrixView(T.view()), B.view());
     });
   }
-  state.SetItemsProcessed(state.iterations() * 20);
-}
-BENCHMARK(BM_PingPong)->Arg(8)->Arg(1024);
 
-BENCHMARK_MAIN();
+  // geqrt + larfb (apply_q): tall panel factorization, the per-rank unit of
+  // every distributed algorithm here.  The kernel mode steers the internal
+  // gemm/trmm calls, so flip it per measurement.
+  {
+    const la::index_t m = 1024, n = 128;
+    la::Matrix A = la::random_matrix(m, n, 5);
+    const double fl = 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(n);
+    const la::KernelMode before = la::kernel_mode();
+    for (la::KernelMode mode : {la::KernelMode::Reference, la::KernelMode::Blocked}) {
+      la::set_kernel_mode(mode);
+      run("geqrt", la::kernel_mode_name(mode), m, n, 0, fl, [&]() {
+        la::Matrix F = la::copy<double>(A.view());
+        la::Matrix T(n, n);
+        la::geqrt(F.view(), T.view());
+      });
+    }
+    la::set_kernel_mode(la::KernelMode::Blocked);
+    la::QrFactors f = la::qr_factor<double>(A.view());
+    la::Matrix C0 = la::random_matrix(m, n, 6);
+    for (la::KernelMode mode : {la::KernelMode::Reference, la::KernelMode::Blocked}) {
+      la::set_kernel_mode(mode);
+      run("larfb", la::kernel_mode_name(mode), m, n, 0, 2.0 * fl, [&]() {
+        la::Matrix C = la::copy<double>(C0.view());
+        la::apply_q<double>(f.V.view(), f.T_.view(), la::Op::ConjTrans, C.view());
+      });
+    }
+    la::set_kernel_mode(before);
+  }
+
+  b::Table t({"kernel", "variant", "m", "n", "k", "GFLOP/s", "time"});
+  for (const auto& r : records)
+    t.row({r.kernel, r.variant, std::to_string(r.m), std::to_string(r.n), std::to_string(r.k),
+           b::num(r.gflops), b::secs(r.seconds)});
+  t.print();
+
+  // The smoke gate: blocked gemm >= 3x reference at 256^3.
+  double ref256 = 0.0, blk256 = 0.0;
+  for (const auto& r : records) {
+    if (std::string(r.kernel) == "gemm" && r.m == 256) {
+      if (std::string(r.variant) == "reference") ref256 = r.gflops;
+      if (std::string(r.variant) == "blocked") blk256 = r.gflops;
+    }
+  }
+  const double speedup = ref256 > 0.0 ? blk256 / ref256 : 0.0;
+  std::printf("blocked gemm speedup at 256^3: %.2fx (gate: >= 3x)\n", speedup);
+
+  if (json_path) {
+    b::JsonWriter json;
+    b::begin_bench_json(json, "local_kernels", "local");
+    json.key("reps").value(reps);
+    json.key("gemm256_blocked_speedup").value(speedup);
+    json.key("rows").begin_array();
+    for (const auto& r : records) {
+      json.begin_object();
+      json.key("kernel").value(r.kernel);
+      json.key("variant").value(r.variant);
+      json.key("m").value(static_cast<long>(r.m));
+      json.key("n").value(static_cast<long>(r.n));
+      json.key("k").value(static_cast<long>(r.k));
+      json.key("gflops").value(r.gflops);
+      json.key("seconds").value(r.seconds);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    if (!json.write_file(json_path)) return 3;
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (smoke && speedup < 3.0) {
+    std::fprintf(stderr, "SMOKE FAIL: blocked gemm %.2fx reference at 256^3 (need >= 3x)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -25,9 +25,7 @@ int main(int argc, char** argv) {
     std::printf("backend=%s: real std::thread ranks, wall-clock measured\n\n", backend::kind_name(kind));
 
   b::JsonWriter json;
-  json.begin_object();
-  json.key("bench").value("table3_tallskinny");
-  json.key("backend").value(backend::kind_name(kind));
+  b::begin_bench_json(json, "table3_tallskinny", kind);
   json.key("rows").begin_array();
 
   const la::index_t n = 32;

@@ -128,9 +128,7 @@ int main(int argc, char** argv) {
 
   if (json_path) {
     b::JsonWriter w;
-    w.begin_object();
-    w.key("bench").value("throughput");
-    w.key("backend").value(backend::kind_name(kind));
+    b::begin_bench_json(w, "throughput", kind);
     w.key("P").value(P);
     w.key("jobs").value(jobs);
     w.key("m").value(static_cast<long>(m));

@@ -92,9 +92,16 @@ inline double percentile(std::vector<double> xs, double q) {
 
 // --- Minimal JSON writer for machine-readable bench output. -------------------
 //
-// The benches emit trajectory-tracking records (`--json out.json`) so runs
-// can be diffed across PRs.  Scope is deliberately tiny: objects, arrays,
-// numbers, strings, booleans, comma bookkeeping — nothing else.
+// The benches emit trajectory-tracking records (`--json out.json`, written
+// as BENCH_<name>.json by CI) so runs can be diffed across PRs.  Scope is
+// deliberately tiny: objects, arrays, numbers, strings, booleans, comma
+// bookkeeping — nothing else.
+//
+// Every record starts with the shared envelope (see begin_bench_json):
+//   { "schema": "qr3d-bench/1", "bench": <name>, "backend": <sim|thread>,
+//     "kernel": <reference|blocked|blas>, ... }
+// Bump kBenchSchema when a bench's fields change incompatibly, so trajectory
+// tooling can refuse mixed comparisons instead of misreading them.
 
 class JsonWriter {
  public:
@@ -196,6 +203,25 @@ class JsonWriter {
   bool fresh_ = true;       // just opened a container: no comma before first item
   bool pending_value_ = false;  // key emitted: next value takes no comma
 };
+
+/// Schema tag for all BENCH_*.json records (see the JsonWriter comment).
+inline constexpr const char* kBenchSchema = "qr3d-bench/1";
+
+/// Open the standard bench-record envelope: schema, bench name, backend and
+/// active local-kernel family.  The caller fills the rest and closes the
+/// object.  Pass "local" for benches that measure kernels without a machine.
+inline JsonWriter& begin_bench_json(JsonWriter& json, const char* bench,
+                                    const char* backend_name) {
+  json.begin_object();
+  json.key("schema").value(kBenchSchema);
+  json.key("bench").value(bench);
+  json.key("backend").value(backend_name);
+  json.key("kernel").value(la::active_kernel_name());
+  return json;
+}
+inline JsonWriter& begin_bench_json(JsonWriter& json, const char* bench, backend::Kind kind) {
+  return begin_bench_json(json, bench, backend::kind_name(kind));
+}
 
 inline std::string secs(double s) {
   char buf[64];

@@ -1,0 +1,232 @@
+// Lock-free building blocks for the thread backend's transport: a bounded
+// SPSC ring with a non-blocking overflow, per-channel park/wake, and the
+// shared spin policy.
+//
+// Topology: one SpscChannel per (src, dst) rank pair.  Exactly one thread
+// (the src rank) pushes and exactly one thread (the dst rank) pops, so the
+// ring needs only a pair of acquire/release indices — no locks, no CAS.  The
+// overflow list keeps push() non-blocking when a burst outruns the ring
+// (bounded-ring backpressure could deadlock a rank that is itself blocked
+// receiving from a third party); FIFO across the ring->overflow->ring
+// boundary is preserved because the producer keeps using the overflow until
+// the consumer has drained it (the overflow_count_ handshake below).
+//
+// A receiver that exhausts the Backoff spin budget parks on the channel it
+// is receiving from — not on a per-rank doorbell — so traffic from other
+// sources never false-wakes it (at P = 128 an all-to-all round would
+// otherwise wake a parked rank over a hundred times for nothing).  The wait
+// condition is level-triggered ("this channel holds undrained data"), and
+// the producer's fence + parked check against the consumer's parked
+// increment + data check form the classic Dekker pair, so a push can never
+// slip between the consumer's last poll and its sleep.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace qr3d::backend::detail {
+
+/// Shared spin policy for anything that waits on an SPSC counter: a bounded
+/// stretch of yields with a poll per yield, then park.  Polling *every*
+/// yield matters — a burst of blind yields between polls measured ~40x
+/// slower end-to-end — and the budget is deliberately modest: the machine
+/// is routinely oversubscribed (P ranks on fewer cores), where a yield
+/// donates the timeslice to the sender and an idle rank should get off the
+/// core.  Returns true the moment `ready` holds, false when the budget is
+/// spent and the caller should park.
+struct Backoff {
+  /// Yields (one ready-poll each) before parking.
+  static constexpr int kSpinYields = 512;
+
+  template <class Ready>
+  static bool spin_until(Ready&& ready) {
+    for (int y = 0; y < kSpinYields; ++y) {
+      if (ready()) return true;
+      std::this_thread::yield();
+    }
+    return ready();
+  }
+};
+
+/// Bounded single-producer/single-consumer ring.  try_push is called only by
+/// the producer thread, try_pop only by the consumer thread.
+template <class T>
+class SpscRing {
+ public:
+  SpscRing() = default;
+  explicit SpscRing(std::size_t capacity_pow2) : mask_(capacity_pow2 - 1) {}
+
+  /// Set the capacity before first use (slots are not yet allocated).
+  void set_capacity_pow2(std::size_t capacity_pow2) { mask_ = capacity_pow2 - 1; }
+
+  bool try_push(T&& v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) return false;  // full
+    // Slots are allocated on the first push: only ~P log P of the P^2
+    // channel pairs ever talk, and a fresh machine should not fault in
+    // megabytes of never-used rings.  The consumer reads slots_ only after
+    // observing the tail publish below, so the publication is ordered.
+    if (!slots_) slots_.reset(new T[mask_ + 1]);
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return false;  // empty
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only: pushed-but-not-popped slots exist.
+  bool nonempty() const {
+    return tail_.load(std::memory_order_acquire) != head_.load(std::memory_order_relaxed);
+  }
+
+  /// Consumer only: the oldest queued slot, or nullptr when empty.  Valid
+  /// until the next try_pop/pop_head.
+  const T* peek() const {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return nullptr;
+    return &slots_[h & mask_];
+  }
+
+  /// Consumer only: take the slot peek() returned.
+  T pop_head() {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    T out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Driver-only reset between runs (no concurrent producers/consumers).
+  void clear_unsync() {
+    T dropped;
+    while (try_pop(dropped)) {}
+  }
+
+ private:
+  std::uint64_t mask_ = 7;  // default capacity 8; see set_capacity_pow2
+  std::unique_ptr<T[]> slots_;
+  // Indices on separate cache lines so producer stores do not bounce the
+  // consumer's line (and vice versa).
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+/// One mailbox slot for a (src, dst) pair: SPSC ring fast path, a
+/// mutex-guarded overflow so the producer never blocks, and the consumer's
+/// parking spot.
+template <class T>
+class SpscChannel {
+ public:
+  SpscChannel() = default;
+  explicit SpscChannel(std::size_t ring_capacity_pow2) : ring_(ring_capacity_pow2) {}
+
+  /// Set the ring capacity before first use.
+  void set_ring_capacity_pow2(std::size_t c) { ring_.set_capacity_pow2(c); }
+
+  /// Producer only.  Non-blocking: spills to the overflow when the ring is
+  /// full or while earlier overflow is still pending (FIFO preservation —
+  /// a newer message must not overtake a spilled one via the ring).
+  void push(T&& v) {
+    if (overflow_count_.load(std::memory_order_acquire) == 0 && ring_.try_push(std::move(v))) {
+      // Dekker with park(): the fence orders the ring publish before the
+      // parked_ read the same way park()'s seq_cst increment orders parked_
+      // before its data re-check — at least one side must see the other, so
+      // a consumer can never sleep through a push.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (parked_.load(std::memory_order_relaxed) > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        cv_.notify_all();
+      }
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    overflow_.push_back(std::move(v));
+    overflow_count_.fetch_add(1, std::memory_order_release);
+    if (parked_.load(std::memory_order_relaxed) > 0) cv_.notify_all();
+  }
+
+  /// Consumer only: queued messages exist that drain() has not yet taken.
+  bool has_data() const {
+    return ring_.nonempty() || overflow_count_.load(std::memory_order_acquire) > 0;
+  }
+
+  /// Consumer only, cheapest wait poll (one shared load): new ring traffic.
+  /// Sufficient for spin loops that drained the overflow beforehand — after
+  /// a drain the producer's next messages land in the ring first (it only
+  /// spills while the ring is full or a prior spill is unspliced), and the
+  /// rare stale-count spill is caught by park()'s full has_data predicate.
+  bool ring_nonempty() const { return ring_.nonempty(); }
+
+  /// Consumer only: the globally oldest queued message, or nullptr when the
+  /// ring is empty (even with overflow pending — use drain() then).  Valid
+  /// because a nonempty ring only ever holds messages older than every
+  /// unspliced overflow entry: the producer stops ring-pushing the moment it
+  /// spills and resumes only after the consumer has taken the spill.
+  const T* peek_oldest() const { return ring_.peek(); }
+
+  /// Consumer only: take the message peek_oldest() returned.
+  T take_oldest() { return ring_.pop_head(); }
+
+  /// Consumer only.  Appends every queued message, oldest first, to `out`.
+  void drain(std::vector<T>& out) {
+    T v;
+    while (ring_.try_pop(v)) out.push_back(std::move(v));
+    if (overflow_count_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (T& o : overflow_) out.push_back(std::move(o));
+      overflow_count_.fetch_sub(static_cast<std::uint64_t>(overflow_.size()),
+                                std::memory_order_release);
+      overflow_.clear();
+      // Anything the producer ring-pushed after it observed the count at
+      // zero is newer than every spilled message; picking it up on the next
+      // drain() keeps FIFO intact.
+    }
+  }
+
+  /// Consumer only.  Sleep until the channel holds data or `stop()` turns
+  /// true.  Level-triggered: has_data() stays up until drained, so there is
+  /// no wakeup epoch to miss, and the push()-side fence guarantees the
+  /// producer sees parked_ or this predicate sees the data.
+  template <class Stop>
+  void park(Stop&& stop) {
+    std::unique_lock<std::mutex> lock(mu_);
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lock, [&]() { return has_data() || stop(); });
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Wake a parked consumer whose stop() condition changed (abort).  Taking
+  /// the mutex serializes with a consumer between predicate and sleep.
+  void wake() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+
+  /// Driver-only reset between runs.
+  void clear_unsync() {
+    ring_.clear_unsync();
+    overflow_.clear();
+    overflow_count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  SpscRing<T> ring_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> overflow_;
+  std::atomic<std::uint64_t> overflow_count_{0};
+  std::atomic<int> parked_{0};
+};
+
+}  // namespace qr3d::backend::detail

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <map>
 #include <stdexcept>
-#include <thread>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "la/error.hpp"
 
@@ -13,65 +19,90 @@ namespace qr3d::backend {
 
 namespace detail {
 
-void ThreadMailbox::push(ThreadEnvelope e) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    q_.push_back(std::move(e));
-    pushes_.fetch_add(1, std::memory_order_release);
-  }
-  cv_.notify_all();
+namespace {
+
+/// Ring slots per (src, dst) pair.  Deeper rings for small machines (bursty
+/// collectives rendezvous without ever touching the overflow), shallower for
+/// big ones so the P^2 channel grid stays small.  Power of two.
+std::size_t ring_capacity_for(int P) {
+  if (P <= 16) return 64;
+  return 32;
 }
 
-ThreadEnvelope ThreadMailbox::pop_match(int src_global, std::uint64_t context, int tag,
-                                        const std::atomic<bool>& aborted) {
+}  // namespace
+
+RankPort::RankPort(int P, std::size_t ring_capacity)
+    : from_(new SpscChannel<ThreadEnvelope>[static_cast<std::size_t>(P)]),
+      pending_(static_cast<std::size_t>(P)), touched_(static_cast<std::size_t>(P)) {
+  for (int src = 0; src < P; ++src)
+    from_[static_cast<std::size_t>(src)].set_ring_capacity_pow2(ring_capacity);
+  for (auto& t : touched_) t.store(0, std::memory_order_relaxed);
+}
+
+void RankPort::push_from(int src, ThreadEnvelope&& e) {
+  auto& touched = touched_[static_cast<std::size_t>(src)];
+  if (touched.load(std::memory_order_relaxed) == 0)
+    touched.store(1, std::memory_order_relaxed);
+  from_[static_cast<std::size_t>(src)].push(std::move(e));
+}
+
+ThreadEnvelope RankPort::recv_match(int src, std::uint64_t context, int tag,
+                                    const std::atomic<bool>& aborted) {
+  auto& channel = from_[static_cast<std::size_t>(src)];
+  auto& pending = pending_[static_cast<std::size_t>(src)];
+
+  // Drain the channel into the private pending list, then take the first
+  // (context, tag) match.  Only this rank's thread touches `pending`, so the
+  // scan is lock-free and bounded by this source's unmatched backlog.
+  auto try_take = [&](ThreadEnvelope& out) {
+    channel.drain(pending);
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      if (it->context == context && it->tag == tag) {
+        out = std::move(*it);
+        pending.erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  ThreadEnvelope e;
   for (;;) {
-    std::uint64_t seen;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      for (auto it = q_.begin(); it != q_.end(); ++it) {
-        if (it->src_global == src_global && it->context == context && it->tag == tag) {
-          ThreadEnvelope e = std::move(*it);
-          q_.erase(it);
-          return e;
-        }
-      }
-      if (aborted.load(std::memory_order_acquire))
-        throw std::runtime_error("qr3d::backend: thread machine aborted while waiting for message");
-      seen = pushes_.load(std::memory_order_acquire);
+    // Fast path, retried on every wakeup: collectives overwhelmingly
+    // receive in send order, so the oldest queued message usually IS the
+    // match — take it straight off the ring, no pending-list hop, no drain.
+    if (pending.empty()) {
+      const ThreadEnvelope* head = channel.peek_oldest();
+      if (head != nullptr && head->context == context && head->tag == tag)
+        return channel.take_oldest();
     }
+    if (try_take(e)) return e;
+    if (aborted.load(std::memory_order_acquire))
+      throw std::runtime_error("qr3d::backend: thread machine aborted while waiting for message");
 
-    // Fast path: the sender is usually a running thread that will push any
-    // moment now — spin (yielding) on the push counter before sleeping.
-    bool changed = false;
-    for (int spin = 0; spin < 512; ++spin) {
-      if (pushes_.load(std::memory_order_acquire) != seen ||
-          aborted.load(std::memory_order_acquire)) {
-        changed = true;
-        break;
-      }
-      std::this_thread::yield();
-    }
-    if (changed) continue;
-
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&]() {
-      return pushes_.load(std::memory_order_acquire) != seen ||
-             aborted.load(std::memory_order_acquire);
-    });
+    // The message we are waiting for can only arrive on this channel, so
+    // poll it (level-triggered — no wakeup to miss), then park on it.
+    const bool data = Backoff::spin_until(
+        [&]() { return channel.ring_nonempty() || aborted.load(std::memory_order_relaxed); });
+    if (data) continue;
+    channel.park([&]() { return aborted.load(std::memory_order_relaxed); });
   }
 }
 
-void ThreadMailbox::notify_abort() {
-  // Taking the mutex serializes with a receiver that has just evaluated its
-  // wait predicate but not yet gone to sleep — notifying without it can be
-  // lost, leaving the receiver blocked forever after an abort.
-  std::lock_guard<std::mutex> lock(mu_);
-  cv_.notify_all();
+void RankPort::wake() {
+  for (std::size_t src = 0; src < pending_.size(); ++src) from_[src].wake();
 }
 
-void ThreadMailbox::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  q_.clear();
+void RankPort::reset() {
+  // Only channels that saw traffic need cleaning (a pending list can only be
+  // nonempty if its channel was pushed to) — O(active pairs), not O(P^2),
+  // and the untouched channels' cache lines stay cold.
+  for (std::size_t src = 0; src < pending_.size(); ++src) {
+    if (touched_[src].load(std::memory_order_relaxed) == 0) continue;
+    from_[src].clear_unsync();
+    pending_[src].clear();
+    touched_[src].store(0, std::memory_order_relaxed);
+  }
 }
 
 /// Per-(rank, communicator) implementation over the thread machine.
@@ -87,18 +118,18 @@ class ThreadComm : public CommImpl {
 
   void send(int dst, std::vector<double>&& payload, int tag) override {
     ThreadEnvelope e;
-    e.src_global = group_->members[static_cast<std::size_t>(rank_)];
     e.context = group_->context;
     e.tag = tag;
     e.payload = std::move(payload);
+    const int src_global = group_->members[static_cast<std::size_t>(rank_)];
     const int dst_global = group_->members[static_cast<std::size_t>(dst)];
-    machine_->mailboxes_[static_cast<std::size_t>(dst_global)].push(std::move(e));
+    machine_->ports_[static_cast<std::size_t>(dst_global)].push_from(src_global, std::move(e));
   }
 
   std::vector<double> recv(int src, int tag) override {
     const int me_global = group_->members[static_cast<std::size_t>(rank_)];
     const int src_global = group_->members[static_cast<std::size_t>(src)];
-    ThreadEnvelope e = machine_->mailboxes_[static_cast<std::size_t>(me_global)].pop_match(
+    ThreadEnvelope e = machine_->ports_[static_cast<std::size_t>(me_global)].recv_match(
         src_global, group_->context, tag, machine_->aborted_);
     return std::move(e.payload);
   }
@@ -188,10 +219,52 @@ class ThreadComm : public CommImpl {
 
 }  // namespace detail
 
-ThreadMachine::ThreadMachine(int P, sim::CostParams params)
-    : P_(P), params_(std::move(params)), mailboxes_(static_cast<std::size_t>(P)),
+namespace {
+
+bool env_forces_affinity() {
+  const char* env = std::getenv("QR3D_THREAD_AFFINITY");
+  return env != nullptr && (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0);
+}
+
+/// Pin the calling thread to the `index`-th CPU of the process's *allowed*
+/// set (not raw CPU ids: containers routinely run on shifted or
+/// non-contiguous cpusets like 8-15, where "CPU (base+p) mod ncpus" would
+/// name only forbidden CPUs and every pin would silently fail).
+void pin_to_allowed_cpu([[maybe_unused]] unsigned index) {
+#ifdef __linux__
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return;
+  const int count = CPU_COUNT(&allowed);
+  if (count <= 0) return;
+  int want = static_cast<int>(index % static_cast<unsigned>(count));
+  int cpu = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &allowed)) continue;
+    if (want-- == 0) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  // Best effort: a racing cpuset shrink must not kill the run.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#endif
+}
+
+}  // namespace
+
+ThreadMachine::ThreadMachine(int P, sim::CostParams params, ThreadOptions options)
+    : P_(P), params_(std::move(params)), options_(options),
       errors_(static_cast<std::size_t>(P)) {
   QR3D_CHECK(P >= 1, "thread machine needs at least one rank");
+  if (env_forces_affinity()) options_.pin_affinity = true;
+  const std::size_t cap = detail::ring_capacity_for(P);
+  ports_.reserve(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) ports_.emplace_back(P, cap);
 }
 
 ThreadMachine::~ThreadMachine() {
@@ -210,6 +283,9 @@ void ThreadMachine::ensure_workers() {
 }
 
 void ThreadMachine::worker_loop(int p) {
+  if (options_.pin_affinity) {
+    pin_to_allowed_cpu(static_cast<unsigned>(options_.affinity_base) + static_cast<unsigned>(p));
+  }
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<detail::ThreadGroup> world;
@@ -227,8 +303,8 @@ void ThreadMachine::worker_loop(int p) {
       (*body)(comm);
     } catch (...) {
       errors_[static_cast<std::size_t>(p)] = std::current_exception();
-      aborted_.store(true, std::memory_order_release);
-      for (auto& mb : mailboxes_) mb.notify_abort();
+      aborted_.store(true, std::memory_order_seq_cst);
+      for (auto& port : ports_) port.wake();
     }
     {
       std::lock_guard<std::mutex> lock(pool_mu_);
@@ -240,7 +316,7 @@ void ThreadMachine::worker_loop(int p) {
 void ThreadMachine::run(const std::function<void(Comm&)>& body) {
   // Reset per-run state — including leftovers of a previous run that
   // aborted: stale envelopes, the abort flag and the context counter.
-  for (auto& mb : mailboxes_) mb.clear();
+  for (auto& port : ports_) port.reset();
   aborted_.store(false, std::memory_order_release);
   next_context_.store(1, std::memory_order_release);
   for (auto& err : errors_) err = nullptr;

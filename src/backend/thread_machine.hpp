@@ -1,5 +1,6 @@
 // Real threaded execution backend: P std::thread ranks exchanging actual
-// buffers through per-rank mailboxes, measured by wall clock.
+// buffers through lock-free per-(src, dst) SPSC channels, measured by wall
+// clock.
 //
 // The message-passing semantics are identical to the simulator's (matched
 // (source, communicator, tag) with FIFO per triple, MPI_Comm_split-style
@@ -9,24 +10,34 @@
 // (tests/test_backend_conformance.cpp) pins this backend's results to the
 // simulator's, bitwise, for every algorithm in the repository.
 //
-// Mailboxes are "lock-free-ish": pushes bump an atomic counter, and a
-// blocked receiver first spins on that counter (yielding) for a short bound
-// before falling back to a condition-variable wait, so the fine-grained
-// messages of the collectives usually rendezvous without sleeping.
+// Transport (see backend/spsc.hpp): every (src, dst) rank pair owns a
+// bounded SPSC ring with a non-blocking overflow, so a send is one
+// atomic-published ring slot on the fast path — no lock, no scan of other
+// ranks' traffic, and the donated std::vector payload moves through
+// untouched.  The receiver drains its per-source channel into a
+// consumer-private pending list and matches (context, tag) there; an empty
+// channel costs one atomic load.  Receivers poll with the shared Backoff
+// policy, then park on the channel they are receiving from, so unrelated
+// traffic never false-wakes them — abort-safe, since aborting wakes every
+// channel.
 //
 // The machine is built to be REUSED: the P worker threads are spawned once
 // (lazily, on the first run()) and parked on a condition variable between
-// runs, so repeated run() calls pay a wake-up, not a thread spawn.  Mailbox,
+// runs, so repeated run() calls pay a wake-up, not a thread spawn.  Channel,
 // abort and communicator-context state is reset at the start of every run,
 // including after a run that aborted with an exception — the serving layer
 // (serve::BatchSolver) leans on this to pipeline many problems through one
 // machine (see tests/test_machine_reuse.cpp).
+//
+// ThreadOptions::pin_affinity (or QR3D_THREAD_AFFINITY=1) pins rank p to
+// the (affinity_base + p)-th CPU of the process's allowed set, so ranks —
+// and the rank groups a BatchSolver splits off — stop migrating between
+// cores (cpuset-aware: container-restricted CPU sets index correctly).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -34,35 +45,49 @@
 #include <vector>
 
 #include "backend/comm.hpp"
+#include "backend/spsc.hpp"
 
 namespace qr3d::backend {
 
 namespace detail {
 
 struct ThreadEnvelope {
-  int src_global = -1;
   std::uint64_t context = 0;
   int tag = 0;
   std::vector<double> payload;
 };
 
-class ThreadMailbox {
+/// One rank's receive side: a channel per source and a consumer-private
+/// pending list per source for messages drained but not yet matched (the
+/// rank parks on the channel it is receiving from).  push_from is called by
+/// source threads; everything else only by the owning rank's thread (or the
+/// driver between runs).
+class RankPort {
  public:
-  void push(ThreadEnvelope e);
-  /// Block until a message from (src, context, tag) arrives, then return the
-  /// first such message (FIFO per key).  Throws if the machine aborts.
-  ThreadEnvelope pop_match(int src_global, std::uint64_t context, int tag,
-                           const std::atomic<bool>& aborted);
-  void notify_abort();
-  void clear();
+  RankPort(int P, std::size_t ring_capacity);
+
+  /// Producer side (called by rank `src`'s thread).
+  void push_from(int src, ThreadEnvelope&& e);
+
+  /// Consumer side: block until a message from (src, context, tag) arrives,
+  /// then return the first such message (FIFO per key).  Throws if the
+  /// machine aborts.
+  ThreadEnvelope recv_match(int src, std::uint64_t context, int tag,
+                            const std::atomic<bool>& aborted);
+
+  /// Wake the owner if it is parked on any channel (abort path).
+  void wake();
+
+  /// Driver-only reset between runs (workers parked).
+  void reset();
 
  private:
-  /// Bumped (under mu_) on every push; lets pop_match spin briefly on the
-  /// fast path before blocking on cv_.
-  std::atomic<std::uint64_t> pushes_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<ThreadEnvelope> q_;
+  std::unique_ptr<SpscChannel<ThreadEnvelope>[]> from_;  // indexed by src rank
+  std::vector<std::vector<ThreadEnvelope>> pending_;     // consumer-private, by src
+  /// Set (by producers) on first push, consumed by reset(): lets the
+  /// between-runs sweep clean only pairs that actually talked.  The pool
+  /// handshake orders these relaxed accesses.
+  std::vector<std::atomic<std::uint8_t>> touched_;
 };
 
 /// Shared per-communicator state coordinating split() without messages
@@ -86,13 +111,23 @@ class ThreadComm;
 
 }  // namespace detail
 
+/// Optional knobs for ThreadMachine.  The environment variable
+/// QR3D_THREAD_AFFINITY=1 force-enables pin_affinity process-wide (useful
+/// for benches and serving without plumbing options through factories).
+struct ThreadOptions {
+  /// Pin rank p to the (affinity_base + p)-th CPU of the process's allowed
+  /// set (modulo its size).
+  bool pin_affinity = false;
+  int affinity_base = 0;
+};
+
 /// The real threaded machine.  Construct with the rank count and (optional)
 /// cost parameters — the latter are not charged anywhere but still drive
 /// Alg::Auto collective selection and machine tuning, so the same code makes
 /// the same algorithmic choices on both backends.
 class ThreadMachine : public Machine {
  public:
-  explicit ThreadMachine(int P, sim::CostParams params = {});
+  explicit ThreadMachine(int P, sim::CostParams params = {}, ThreadOptions options = {});
   ~ThreadMachine() override;
 
   ThreadMachine(const ThreadMachine&) = delete;
@@ -114,6 +149,9 @@ class ThreadMachine : public Machine {
   /// reuse the serving layer amortizes its thread-spawn cost over.
   std::uint64_t runs_completed() const { return runs_completed_; }
 
+  /// The effective options (after the environment override).
+  const ThreadOptions& options() const { return options_; }
+
  private:
   friend class detail::ThreadComm;
 
@@ -126,7 +164,8 @@ class ThreadMachine : public Machine {
 
   int P_;
   sim::CostParams params_;
-  std::vector<detail::ThreadMailbox> mailboxes_;
+  ThreadOptions options_;
+  std::vector<detail::RankPort> ports_;  // indexed by dst global rank
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
   double wall_seconds_ = 0.0;

@@ -1,3 +1,10 @@
+// Reference kernels and the kernel-mode dispatchers.
+//
+// The triple-loop nests here are the exactness oracle: deliberately simple,
+// loop orders cache-reasonable for column-major data, no packing, no
+// blocking.  The public gemm/trmm/trsm validate shapes, then route to the
+// reference nest, the blocked implementation (kernel_blocked.cpp) or system
+// BLAS (kernel_blas.cpp) according to la::kernel_mode().
 #include "la/blas.hpp"
 
 #include <complex>
@@ -14,15 +21,15 @@ T elem(ConstMatrixViewT<T> A, Op op, index_t i, index_t j) {
 }  // namespace
 
 template <class T>
-void gemm(T alpha, Op opa, arg<ConstMatrixViewT<T>> A, Op opb, arg<ConstMatrixViewT<T>> B,
-          T beta, arg<MatrixViewT<T>> C) {
+void gemm_reference(T alpha, Op opa, arg<ConstMatrixViewT<T>> A, Op opb,
+                    arg<ConstMatrixViewT<T>> B, T beta, arg<MatrixViewT<T>> C) {
   const index_t m = C.rows();
   const index_t n = C.cols();
   const index_t k = (opa == Op::NoTrans) ? A.cols() : A.rows();
-  const index_t am = (opa == Op::NoTrans) ? A.rows() : A.cols();
-  const index_t bk = (opb == Op::NoTrans) ? B.rows() : B.cols();
-  const index_t bn = (opb == Op::NoTrans) ? B.cols() : B.rows();
-  QR3D_CHECK(am == m && bk == k && bn == n, "gemm shape mismatch");
+  QR3D_CHECK(((opa == Op::NoTrans) ? A.rows() : A.cols()) == m &&
+                 ((opb == Op::NoTrans) ? B.rows() : B.cols()) == k &&
+                 ((opb == Op::NoTrans) ? B.cols() : B.rows()) == n,
+             "gemm shape mismatch");
 
   if (beta == T{0}) {
     set_zero(C);
@@ -52,8 +59,43 @@ void gemm(T alpha, Op opa, arg<ConstMatrixViewT<T>> A, Op opb, arg<ConstMatrixVi
 }
 
 template <class T>
-void trmm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<T>> Tri,
-          arg<MatrixViewT<T>> B) {
+void gemm(T alpha, Op opa, arg<ConstMatrixViewT<T>> A, Op opb, arg<ConstMatrixViewT<T>> B,
+          T beta, arg<MatrixViewT<T>> C) {
+  const index_t m = C.rows();
+  const index_t n = C.cols();
+  const index_t k = (opa == Op::NoTrans) ? A.cols() : A.rows();
+  const index_t am = (opa == Op::NoTrans) ? A.rows() : A.cols();
+  const index_t bk = (opb == Op::NoTrans) ? B.rows() : B.cols();
+  const index_t bn = (opb == Op::NoTrans) ? B.cols() : B.rows();
+  QR3D_CHECK(am == m && bk == k && bn == n, "gemm shape mismatch");
+
+  switch (kernel_mode()) {
+#ifdef QR3D_WITH_BLAS
+    case KernelMode::Blas:
+      detail::gemm_blas<T>(alpha, opa, A, opb, B, beta, C);
+      return;
+#else
+    case KernelMode::Blas:  // unreachable (set_kernel_mode rejects it)
+#endif
+    case KernelMode::Reference:
+      gemm_reference<T>(alpha, opa, A, opb, B, beta, C);
+      return;
+    case KernelMode::Blocked:
+      // Tiny products are not worth packing; the cutoff is shape-only so the
+      // choice stays deterministic.
+      if (static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k) <
+          detail::kBlockedGemmFlopCutoff) {
+        gemm_reference<T>(alpha, opa, A, opb, B, beta, C);
+      } else {
+        detail::gemm_blocked<T>(alpha, opa, A, opb, B, beta, C);
+      }
+      return;
+  }
+}
+
+template <class T>
+void trmm_reference(Side side, Uplo uplo, Op op, Diag diag, T alpha,
+                    arg<ConstMatrixViewT<T>> Tri, arg<MatrixViewT<T>> B) {
   const index_t n = Tri.rows();
   QR3D_CHECK(Tri.cols() == n, "trmm: triangle must be square");
   QR3D_CHECK((side == Side::Left ? B.rows() : B.cols()) == n, "trmm shape mismatch");
@@ -103,8 +145,32 @@ void trmm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<
 }
 
 template <class T>
-void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<T>> Tri,
+void trmm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<T>> Tri,
           arg<MatrixViewT<T>> B) {
+  const index_t n = Tri.rows();
+  QR3D_CHECK(Tri.cols() == n, "trmm: triangle must be square");
+  QR3D_CHECK((side == Side::Left ? B.rows() : B.cols()) == n, "trmm shape mismatch");
+
+  switch (kernel_mode()) {
+#ifdef QR3D_WITH_BLAS
+    case KernelMode::Blas:
+      detail::trmm_blas<T>(side, uplo, op, diag, alpha, Tri, B);
+      return;
+#else
+    case KernelMode::Blas:
+#endif
+    case KernelMode::Reference:
+      trmm_reference<T>(side, uplo, op, diag, alpha, Tri, B);
+      return;
+    case KernelMode::Blocked:
+      detail::trmm_blocked<T>(side, uplo, op, diag, alpha, Tri, B);
+      return;
+  }
+}
+
+template <class T>
+void trsm_reference(Side side, Uplo uplo, Op op, Diag diag, T alpha,
+                    arg<ConstMatrixViewT<T>> Tri, arg<MatrixViewT<T>> B) {
   const index_t n = Tri.rows();
   QR3D_CHECK(Tri.cols() == n, "trsm: triangle must be square");
   QR3D_CHECK((side == Side::Left ? B.rows() : B.cols()) == n, "trsm shape mismatch");
@@ -155,6 +221,30 @@ void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<
 }
 
 template <class T>
+void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha, arg<ConstMatrixViewT<T>> Tri,
+          arg<MatrixViewT<T>> B) {
+  const index_t n = Tri.rows();
+  QR3D_CHECK(Tri.cols() == n, "trsm: triangle must be square");
+  QR3D_CHECK((side == Side::Left ? B.rows() : B.cols()) == n, "trsm shape mismatch");
+
+  switch (kernel_mode()) {
+#ifdef QR3D_WITH_BLAS
+    case KernelMode::Blas:
+      detail::trsm_blas<T>(side, uplo, op, diag, alpha, Tri, B);
+      return;
+#else
+    case KernelMode::Blas:
+#endif
+    case KernelMode::Reference:
+      trsm_reference<T>(side, uplo, op, diag, alpha, Tri, B);
+      return;
+    case KernelMode::Blocked:
+      detail::trsm_blocked<T>(side, uplo, op, diag, alpha, Tri, B);
+      return;
+  }
+}
+
+template <class T>
 void add(T alpha, arg<ConstMatrixViewT<T>> A, arg<MatrixViewT<T>> B) {
   QR3D_CHECK(A.rows() == B.rows() && A.cols() == B.cols(), "add shape mismatch");
   for (index_t j = 0; j < A.cols(); ++j)
@@ -174,6 +264,12 @@ void scale(T alpha, arg<MatrixViewT<T>> A) {
                         arg<MatrixViewT<T>>);                                                 \
   template void trsm<T>(Side, Uplo, Op, Diag, T, arg<ConstMatrixViewT<T>>,                    \
                         arg<MatrixViewT<T>>);                                                 \
+  template void gemm_reference<T>(T, Op, arg<ConstMatrixViewT<T>>, Op,                        \
+                                  arg<ConstMatrixViewT<T>>, T, arg<MatrixViewT<T>>);          \
+  template void trmm_reference<T>(Side, Uplo, Op, Diag, T, arg<ConstMatrixViewT<T>>,          \
+                                  arg<MatrixViewT<T>>);                                       \
+  template void trsm_reference<T>(Side, Uplo, Op, Diag, T, arg<ConstMatrixViewT<T>>,          \
+                                  arg<MatrixViewT<T>>);                                       \
   template void add<T>(T, arg<ConstMatrixViewT<T>>, arg<MatrixViewT<T>>);                     \
   template void scale<T>(T, arg<MatrixViewT<T>>);
 

@@ -1,14 +1,19 @@
-// BLAS-like dense kernels (reference implementations, column-major).
+// BLAS-like dense kernels (column-major): general matrix multiply, triangular
+// multiply/solve, and entrywise updates — the local building blocks the paper
+// assumes from (P)BLAS.
 //
-// These are the local building blocks the paper assumes from (P)BLAS: general
-// matrix multiply, triangular multiply/solve, and entrywise updates.  They
-// are deliberately simple O(mnk) loops — the reproduction measures costs in
-// the alpha-beta-gamma model, so kernel micro-tuning is out of scope (the
-// loop order is still cache-reasonable for column-major data).
+// Each kernel exists in up to three implementations (see la/kernel.hpp):
+// the reference triple-loop nests (`*_reference`, the exactness oracle), the
+// cache-blocked packed kernels (kernel_blocked.cpp), and an optional system
+// BLAS binding (kernel_blas.cpp, -DQR3D_WITH_BLAS=ON builds).  The public
+// gemm/trmm/trsm validate shapes once and dispatch on the process-wide
+// kernel mode; the choice is deterministic per process, so the simulator and
+// the thread backend always produce bitwise-identical factors.
 #pragma once
 
 #include <type_traits>
 
+#include "la/kernel.hpp"
 #include "la/matrix.hpp"
 
 namespace qr3d::la {
@@ -59,5 +64,52 @@ MatrixT<T> multiply(Op opa, arg<ConstMatrixViewT<T>> A, Op opb, arg<ConstMatrixV
   gemm(T{1}, opa, A, opb, B, T{0}, C.view());
   return C;
 }
+
+// --- Per-family entry points -------------------------------------------------
+// The reference nests are public so tests and benches can pin the blocked /
+// BLAS paths against them regardless of the active mode.
+
+template <class T>
+void gemm_reference(T alpha, Op opa, arg<ConstMatrixViewT<T>> A, Op opb,
+                    arg<ConstMatrixViewT<T>> B, T beta, arg<MatrixViewT<T>> C);
+template <class T>
+void trmm_reference(Side side, Uplo uplo, Op op, Diag diag, T alpha,
+                    arg<ConstMatrixViewT<T>> Tri, arg<MatrixViewT<T>> B);
+template <class T>
+void trsm_reference(Side side, Uplo uplo, Op op, Diag diag, T alpha,
+                    arg<ConstMatrixViewT<T>> Tri, arg<MatrixViewT<T>> B);
+
+namespace detail {
+
+// Cache-blocked implementations (kernel_blocked.cpp).  Shapes are validated
+// by the public dispatchers; these assume conformant arguments.
+template <class T>
+void gemm_blocked(T alpha, Op opa, ConstMatrixViewT<T> A, Op opb, ConstMatrixViewT<T> B, T beta,
+                  MatrixViewT<T> C);
+template <class T>
+void trmm_blocked(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT<T> Tri,
+                  MatrixViewT<T> B);
+template <class T>
+void trsm_blocked(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT<T> Tri,
+                  MatrixViewT<T> B);
+
+/// Below this many fused multiply-adds the packing overhead of the blocked
+/// gemm outweighs its cache wins and the dispatcher falls through to the
+/// reference nest.  Shape-only, so dispatch stays value-independent.
+inline constexpr double kBlockedGemmFlopCutoff = 48.0 * 48.0 * 48.0;
+
+#ifdef QR3D_WITH_BLAS
+template <class T>
+void gemm_blas(T alpha, Op opa, ConstMatrixViewT<T> A, Op opb, ConstMatrixViewT<T> B, T beta,
+               MatrixViewT<T> C);
+template <class T>
+void trmm_blas(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT<T> Tri,
+               MatrixViewT<T> B);
+template <class T>
+void trsm_blas(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT<T> Tri,
+               MatrixViewT<T> B);
+#endif
+
+}  // namespace detail
 
 }  // namespace qr3d::la

@@ -1,5 +1,6 @@
 #include "la/householder.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 
@@ -62,12 +63,14 @@ void apply_reflector(MatrixViewT<T> A, index_t j, T tau) {
 
 }  // namespace
 
+namespace {
+
+/// Unblocked geqrt (LAPACK dgeqrt2): one reflector at a time, larft at the
+/// end.  The exactness oracle for the blocked path below.
 template <class T>
-void geqrt(MatrixViewT<T> A, MatrixViewT<T> Tk) {
+void geqrt_unblocked(MatrixViewT<T> A, MatrixViewT<T> Tk) {
   const index_t m = A.rows();
   const index_t n = A.cols();
-  QR3D_CHECK(m >= n, "geqrt requires m >= n");
-  QR3D_CHECK(Tk.rows() == n && Tk.cols() == n, "geqrt: T must be n x n");
 
   std::vector<T> tau(static_cast<std::size_t>(n));
   for (index_t j = 0; j < n; ++j) {
@@ -93,6 +96,59 @@ void geqrt(MatrixViewT<T> A, MatrixViewT<T> Tk) {
       for (index_t l = i; l < j; ++l) s += Tk(i, l) * z[l];
       Tk(i, j) = -tau[j] * s;
     }
+  }
+}
+
+/// Width at or below which a panel is factored unblocked.  Shape-only, so
+/// the blocked/unblocked choice stays deterministic per process.
+constexpr index_t kGeqrtPanel = 32;
+
+/// Blocked compact-WY geqrt (LAPACK dgeqrt): factor kGeqrtPanel-column
+/// panels unblocked, update the trailing columns through larfb (apply_q,
+/// whose gemm/trmm calls hit the blocked or BLAS kernels), and assemble the
+/// global T with the Elmroth-Gustavson coupling the serial recursive QR
+/// already uses:  T(0:j, j:j+b) = -T1 * (V1(j:m, :)^H V2) * T2.
+template <class T>
+void geqrt_blocked(MatrixViewT<T> A, MatrixViewT<T> Tk) {
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  set_zero(Tk);
+  for (index_t j = 0; j < n; j += kGeqrtPanel) {
+    const index_t b = std::min(kGeqrtPanel, n - j);
+    MatrixViewT<T> panel = A.block(j, j, m - j, b);
+    MatrixViewT<T> Tp = Tk.block(j, j, b, b);
+    geqrt_unblocked(panel, Tp);
+    MatrixT<T> Vp = extract_v<T>(ConstMatrixViewT<T>(panel));
+    if (j + b < n) {
+      apply_q<T>(Vp.view(), ConstMatrixViewT<T>(Tp), Op::ConjTrans,
+                 A.block(j, j + b, m - j, n - j - b));
+    }
+    if (j > 0) {
+      // Rows j..m of the previously-built V are exactly A(j:m, 0:j): every
+      // such entry lies strictly below the diagonal.
+      MatrixT<T> W = multiply<T>(Op::ConjTrans, ConstMatrixViewT<T>(A.block(j, 0, m - j, j)),
+                                 Op::NoTrans, Vp.view());
+      trmm<T>(Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit, T{1},
+              ConstMatrixViewT<T>(Tp), W.view());
+      trmm<T>(Side::Left, Uplo::Upper, Op::NoTrans, Diag::NonUnit, T{-1},
+              ConstMatrixViewT<T>(Tk.block(0, 0, j, j)), W.view());
+      assign<T>(Tk.block(0, j, j, b), ConstMatrixViewT<T>(W.view()));
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+void geqrt(MatrixViewT<T> A, MatrixViewT<T> Tk) {
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  QR3D_CHECK(m >= n, "geqrt requires m >= n");
+  QR3D_CHECK(Tk.rows() == n && Tk.cols() == n, "geqrt: T must be n x n");
+  if (kernel_mode() == KernelMode::Reference || n <= kGeqrtPanel) {
+    geqrt_unblocked(A, Tk);
+  } else {
+    geqrt_blocked(A, Tk);
   }
 }
 

@@ -28,7 +28,9 @@ using QrFactors = QrFactorsT<double>;
 
 /// In-place Householder QR of A (m x n, m >= n): on return A holds V's strict
 /// lower trapezoid below the diagonal and R on/above it; T is filled with the
-/// n x n upper triangular kernel.  (LAPACK dgeqrt, unblocked.)
+/// n x n upper triangular kernel.  (LAPACK dgeqrt.)  Under the Blocked/Blas
+/// kernel modes, wide factorizations run panel-blocked with larfb trailing
+/// updates; KernelMode::Reference keeps the one-reflector-at-a-time nest.
 template <class T>
 void geqrt(MatrixViewT<T> A, MatrixViewT<T> Tkernel);
 
@@ -46,7 +48,9 @@ MatrixT<T> extract_r(ConstMatrixViewT<T> factored);
 
 /// C := (I - V * op(T) * V^H) * C, i.e. apply Q (op = NoTrans) or Q^H
 /// (op = ConjTrans) given the Householder representation.  V is the explicit
-/// dense basis.  (LAPACK larfb with forward column-wise storage.)
+/// dense basis.  (LAPACK larfb with forward column-wise storage; its three
+/// inner products route through the active gemm/trmm kernels, so this is the
+/// blocked compact-WY apply under the Blocked/Blas modes.)
 template <class T>
 void apply_q(ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tkernel, Op op, MatrixViewT<T> C);
 

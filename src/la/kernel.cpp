@@ -1,0 +1,67 @@
+#include "la/kernel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "la/error.hpp"
+
+namespace qr3d::la {
+
+namespace {
+
+KernelMode default_mode() {
+#ifdef QR3D_WITH_BLAS
+  constexpr KernelMode compiled_default = KernelMode::Blas;
+#else
+  constexpr KernelMode compiled_default = KernelMode::Blocked;
+#endif
+  const char* env = std::getenv("QR3D_KERNEL");
+  if (env == nullptr || *env == '\0') return compiled_default;
+  if (std::strcmp(env, "reference") == 0) return KernelMode::Reference;
+  if (std::strcmp(env, "blocked") == 0) return KernelMode::Blocked;
+  if (std::strcmp(env, "blas") == 0) {
+    QR3D_CHECK(blas_available(), "QR3D_KERNEL=blas but the build has no BLAS "
+                                 "(configure with -DQR3D_WITH_BLAS=ON)");
+    return KernelMode::Blas;
+  }
+  QR3D_CHECK(false, "unknown QR3D_KERNEL value (expected reference|blocked|blas)");
+  return compiled_default;  // unreachable
+}
+
+std::atomic<KernelMode>& mode_cell() {
+  // First touch resolves the environment; later set_kernel_mode() overrides.
+  static std::atomic<KernelMode> cell{default_mode()};
+  return cell;
+}
+
+}  // namespace
+
+KernelMode kernel_mode() { return mode_cell().load(std::memory_order_relaxed); }
+
+void set_kernel_mode(KernelMode mode) {
+  QR3D_CHECK(mode != KernelMode::Blas || blas_available(),
+             "KernelMode::Blas requires a -DQR3D_WITH_BLAS=ON build");
+  mode_cell().store(mode, std::memory_order_relaxed);
+}
+
+bool blas_available() {
+#ifdef QR3D_WITH_BLAS
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* kernel_mode_name(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::Reference: return "reference";
+    case KernelMode::Blocked: return "blocked";
+    case KernelMode::Blas: return "blas";
+  }
+  return "?";
+}
+
+const char* active_kernel_name() { return kernel_mode_name(kernel_mode()); }
+
+}  // namespace qr3d::la

@@ -1,0 +1,52 @@
+// Local-kernel dispatch: which implementation backs la::gemm/trmm/trsm/geqrt.
+//
+// The paper's communication-avoiding wins only matter off-simulator if the
+// real backend's local arithmetic is not dominated by naive loop nests (cf.
+// the CAQR implementation papers arXiv:0809.2407 / arXiv:0806.2159, which
+// stress that panel kernels must run at near-BLAS3 speed).  Three kernel
+// families exist:
+//
+//   * Reference — the original triple-loop nests (src/la/blas.cpp).  The
+//     exactness oracle: every other family is tested against it.
+//   * Blocked   — cache-blocked, packed kernels with a register-tiled
+//     micro-kernel (src/la/kernel_blocked.cpp).  The default.
+//   * Blas      — system BLAS (dgemm/ztrmm/...), available only when the
+//     build was configured with -DQR3D_WITH_BLAS=ON.
+//
+// The active mode is a process-wide setting chosen once (QR3D_KERNEL
+// environment variable, or set_kernel_mode()), never per call site — both
+// execution backends share src/la, so a fixed mode keeps results bitwise
+// identical between the simulator and the thread backend within one process
+// (tests/test_backend_conformance.cpp relies on this).
+#pragma once
+
+namespace qr3d::la {
+
+enum class KernelMode {
+  Reference,  ///< triple-loop nests; slow, exact oracle
+  Blocked,    ///< cache-blocked + packed micro-kernel (default)
+  Blas,       ///< system BLAS (requires QR3D_WITH_BLAS build)
+};
+
+/// The active kernel mode.  First call reads the QR3D_KERNEL environment
+/// variable ("reference" | "blocked" | "blas"); absent, the default is Blas
+/// when compiled in, otherwise Blocked.  Throws std::invalid_argument on an
+/// unknown value or on "blas" without QR3D_WITH_BLAS — a typo must not
+/// silently change what a benchmark measures.
+KernelMode kernel_mode();
+
+/// Override the active mode (process-wide).  Throws std::invalid_argument
+/// for KernelMode::Blas when the build has no BLAS.  Intended for tests and
+/// benches that compare kernel families; services pick the mode via the
+/// environment and leave it alone.
+void set_kernel_mode(KernelMode mode);
+
+/// True when the build links a system BLAS (QR3D_WITH_BLAS).
+bool blas_available();
+
+const char* kernel_mode_name(KernelMode mode);
+
+/// Name of the active mode (shorthand used by bench JSON and profiles).
+const char* active_kernel_name();
+
+}  // namespace qr3d::la

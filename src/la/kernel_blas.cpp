@@ -1,0 +1,127 @@
+// System BLAS bindings for the local kernels (-DQR3D_WITH_BLAS=ON builds).
+//
+// Binds the Fortran LP64 symbols directly (dgemm_/zgemm_/dtrmm_/...) so no
+// vendor header is needed — any reference BLAS, OpenBLAS or MKL (LP64) link
+// works.  Results differ from the reference nests only in summation order;
+// tests/test_la.cpp pins them within the same tolerance as the blocked path.
+#ifdef QR3D_WITH_BLAS
+
+#include <complex>
+
+#include "la/blas.hpp"
+
+extern "C" {
+void dgemm_(const char* transa, const char* transb, const int* m, const int* n, const int* k,
+            const double* alpha, const double* a, const int* lda, const double* b, const int* ldb,
+            const double* beta, double* c, const int* ldc);
+void zgemm_(const char* transa, const char* transb, const int* m, const int* n, const int* k,
+            const void* alpha, const void* a, const int* lda, const void* b, const int* ldb,
+            const void* beta, void* c, const int* ldc);
+void dtrmm_(const char* side, const char* uplo, const char* transa, const char* diag,
+            const int* m, const int* n, const double* alpha, const double* a, const int* lda,
+            double* b, const int* ldb);
+void ztrmm_(const char* side, const char* uplo, const char* transa, const char* diag,
+            const int* m, const int* n, const void* alpha, const void* a, const int* lda,
+            void* b, const int* ldb);
+void dtrsm_(const char* side, const char* uplo, const char* transa, const char* diag,
+            const int* m, const int* n, const double* alpha, const double* a, const int* lda,
+            double* b, const int* ldb);
+void ztrsm_(const char* side, const char* uplo, const char* transa, const char* diag,
+            const int* m, const int* n, const void* alpha, const void* a, const int* lda,
+            void* b, const int* ldb);
+}
+
+namespace qr3d::la::detail {
+
+namespace {
+
+template <class T>
+constexpr bool is_double = std::is_same_v<T, double>;
+
+const char* op_char(Op op, bool complex_scalar) {
+  if (op == Op::NoTrans) return "N";
+  return complex_scalar ? "C" : "T";
+}
+const char* side_char(Side s) { return s == Side::Left ? "L" : "R"; }
+const char* uplo_char(Uplo u) { return u == Uplo::Upper ? "U" : "L"; }
+const char* diag_char(Diag d) { return d == Diag::Unit ? "U" : "N"; }
+
+}  // namespace
+
+template <class T>
+void gemm_blas(T alpha, Op opa, ConstMatrixViewT<T> A, Op opb, ConstMatrixViewT<T> B, T beta,
+               MatrixViewT<T> C) {
+  const int m = static_cast<int>(C.rows());
+  const int n = static_cast<int>(C.cols());
+  const int k = static_cast<int>((opa == Op::NoTrans) ? A.cols() : A.rows());
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == T{0}) {
+    // BLAS handles this too, but keep the degenerate-ld cases away from it.
+    if (beta == T{0}) {
+      set_zero(C);
+    } else if (beta != T{1}) {
+      scale(beta, C);
+    }
+    return;
+  }
+  const int lda = static_cast<int>(A.ld());
+  const int ldb = static_cast<int>(B.ld());
+  const int ldc = static_cast<int>(C.ld());
+  if constexpr (is_double<T>) {
+    dgemm_(op_char(opa, false), op_char(opb, false), &m, &n, &k, &alpha, A.data(), &lda, B.data(),
+           &ldb, &beta, C.data(), &ldc);
+  } else {
+    zgemm_(op_char(opa, true), op_char(opb, true), &m, &n, &k, &alpha, A.data(), &lda, B.data(),
+           &ldb, &beta, C.data(), &ldc);
+  }
+}
+
+template <class T>
+void trmm_blas(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT<T> Tri,
+               MatrixViewT<T> B) {
+  const int m = static_cast<int>(B.rows());
+  const int n = static_cast<int>(B.cols());
+  if (m == 0 || n == 0) return;
+  const int lda = static_cast<int>(Tri.ld());
+  const int ldb = static_cast<int>(B.ld());
+  if constexpr (is_double<T>) {
+    dtrmm_(side_char(side), uplo_char(uplo), op_char(op, false), diag_char(diag), &m, &n, &alpha,
+           Tri.data(), &lda, B.data(), &ldb);
+  } else {
+    ztrmm_(side_char(side), uplo_char(uplo), op_char(op, true), diag_char(diag), &m, &n, &alpha,
+           Tri.data(), &lda, B.data(), &ldb);
+  }
+}
+
+template <class T>
+void trsm_blas(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT<T> Tri,
+               MatrixViewT<T> B) {
+  const int m = static_cast<int>(B.rows());
+  const int n = static_cast<int>(B.cols());
+  if (m == 0 || n == 0) return;
+  const int lda = static_cast<int>(Tri.ld());
+  const int ldb = static_cast<int>(B.ld());
+  if constexpr (is_double<T>) {
+    dtrsm_(side_char(side), uplo_char(uplo), op_char(op, false), diag_char(diag), &m, &n, &alpha,
+           Tri.data(), &lda, B.data(), &ldb);
+  } else {
+    ztrsm_(side_char(side), uplo_char(uplo), op_char(op, true), diag_char(diag), &m, &n, &alpha,
+           Tri.data(), &lda, B.data(), &ldb);
+  }
+}
+
+#define QR3D_INSTANTIATE_BLASBIND(T)                                                      \
+  template void gemm_blas<T>(T, Op, ConstMatrixViewT<T>, Op, ConstMatrixViewT<T>, T,      \
+                             MatrixViewT<T>);                                             \
+  template void trmm_blas<T>(Side, Uplo, Op, Diag, T, ConstMatrixViewT<T>,                \
+                             MatrixViewT<T>);                                             \
+  template void trsm_blas<T>(Side, Uplo, Op, Diag, T, ConstMatrixViewT<T>, MatrixViewT<T>);
+
+QR3D_INSTANTIATE_BLASBIND(double)
+QR3D_INSTANTIATE_BLASBIND(std::complex<double>)
+
+#undef QR3D_INSTANTIATE_BLASBIND
+
+}  // namespace qr3d::la::detail
+
+#endif  // QR3D_WITH_BLAS

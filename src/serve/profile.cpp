@@ -100,6 +100,7 @@ MachineProfile profile_machine(backend::Machine& machine, const ProfileOptions& 
   const double gemm_flops = 2.0 * gd * gd * gd * opts.gemm_reps;
   gemm_seconds = std::max(gemm_seconds, 1e-9);  // timer-resolution guard
   prof.gemm_flops_per_second = gemm_flops / gemm_seconds;
+  prof.kernel = la::active_kernel_name();
   const double gamma = gemm_seconds / gemm_flops;
 
   prof.comm_measured = machine.size() >= 2;

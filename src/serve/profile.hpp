@@ -45,6 +45,10 @@ struct MachineProfile {
   /// False on single-rank machines, where there is no link to measure and
   /// the declared (alpha, beta) are kept.
   bool comm_measured = false;
+  /// Which local-kernel family (la/kernel.hpp) the gamma fit measured — a
+  /// profile fitted against the reference nests is not comparable to one
+  /// fitted against the blocked or BLAS kernels.
+  const char* kernel = "";
 };
 
 /// Run the micro-benchmarks on `machine` (one run() per phase) and return

@@ -9,12 +9,20 @@
 // refactor landed — so any refactor that silently alters simulated costs
 // (an extra hop, a lost donation turning into a charged copy, a changed
 // tree shape) fails loudly here.
+//
+// The pinned constants also gate *transport* rewrites: the thread backend's
+// mailboxes were replaced with per-(src, dst) SPSC channels, and because
+// every algorithm issues the same sends on every backend, the simulated
+// counts here must come through byte-identical before and after — a
+// transport change that alters modeled costs means it changed what the
+// algorithms send, not just how buffers move.
 #include <gtest/gtest.h>
 
 #include <functional>
 #include <vector>
 
 #include "backend/comm.hpp"
+#include "backend/thread_machine.hpp"
 #include "coll/coll.hpp"
 #include "core/dist_matrix.hpp"
 #include "core/solver.hpp"
@@ -214,4 +222,43 @@ TEST(CostRegression, PlanCacheReuseChargesIdenticallyToFreshTune) {
   EXPECT_DOUBLE_EQ(machine.critical_path().msgs, cp_fresh.msgs);
   EXPECT_DOUBLE_EQ(machine.critical_path().words, cp_fresh.words);
   EXPECT_DOUBLE_EQ(machine.critical_path().flops, cp_fresh.flops);
+}
+
+// --- Transport independence. --------------------------------------------------
+
+// The SPSC-channel rewrite of the thread backend (backend/spsc.hpp) lives
+// entirely below the Comm interface, so the simulator's modeled costs for a
+// full factorization must be bit-for-bit reproducible run over run — and, by
+// the pins above, identical to their pre-rewrite snapshots.  A sim machine
+// constructed while a thread machine is live charges the same, proving the
+// two backends share no accounting state.
+TEST(CostRegression, SimulatedCountsAreReproducibleAndTransportIndependent) {
+  const qr3d::la::index_t m = 64, n = 32;
+  la::Matrix A = la::random_matrix(m, n, 55);
+  qr3d::Solver solver;  // default options, deterministic plan
+
+  auto counts = [&]() {
+    sim::Machine machine(P);
+    machine.run([&](backend::Comm& c) {
+      solver.factor(qr3d::DistMatrix::from_global(c, A.view()));
+    });
+    return std::pair(machine.critical_path(), machine.totals());
+  };
+
+  const auto [cp1, tot1] = counts();
+
+  // Exercise the thread transport between the two sim measurements.
+  backend::ThreadMachine threads(4);
+  threads.run([](backend::Comm& c) {
+    if (c.rank() == 0) c.send(1, {1.0, 2.0}, 7);
+    if (c.rank() == 1) (void)c.recv(0, 7);
+  });
+
+  const auto [cp2, tot2] = counts();
+  EXPECT_DOUBLE_EQ(cp1.msgs, cp2.msgs);
+  EXPECT_DOUBLE_EQ(cp1.words, cp2.words);
+  EXPECT_DOUBLE_EQ(cp1.flops, cp2.flops);
+  EXPECT_DOUBLE_EQ(cp1.time, cp2.time);
+  EXPECT_DOUBLE_EQ(tot1.msgs_sent, tot2.msgs_sent);
+  EXPECT_DOUBLE_EQ(tot1.words_sent, tot2.words_sent);
 }

@@ -362,3 +362,237 @@ TEST(RecursiveQr, ComplexScalars) {
     for (index_t i = 0; i < 24; ++i) err += std::norm(rec.V(i, j) - ref.V(i, j));
   EXPECT_LT(std::sqrt(err), 1e-11);
 }
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch (la/kernel.hpp) and blocked-vs-reference exactness.
+//
+// The blocked kernels keep each output element's summation monotone in the
+// inner (depth) index, but re-associate across block boundaries and may fuse
+// multiply-adds differently (the blocked TU is compiled for the host ISA).
+// The documented contract is therefore agreement with the reference nest to
+// a roundoff-level tolerance — diff <= 1e-11 * (1 + |reference|_F) on every
+// shape — not bitwise equality.  Bitwise determinism is still guaranteed
+// within a process (one kernel mode, one code path), which is what the
+// sim<->thread conformance suite pins.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Temporarily force a kernel mode; restores the previous one on scope exit
+/// so test order cannot leak modes across cases.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(la::KernelMode m) : saved_(la::kernel_mode()) {
+    la::set_kernel_mode(m);
+  }
+  ~ScopedKernelMode() { la::set_kernel_mode(saved_); }
+
+ private:
+  la::KernelMode saved_;
+};
+
+double rel_diff(const la::Matrix& got, const la::Matrix& want) {
+  return la::diff_norm(got.view(), want.view()) / (1.0 + la::frobenius_norm(want.view()));
+}
+
+}  // namespace
+
+TEST(KernelMode, SetAndQueryRoundTrip) {
+  const la::KernelMode before = la::kernel_mode();
+  la::set_kernel_mode(la::KernelMode::Reference);
+  EXPECT_EQ(la::kernel_mode(), la::KernelMode::Reference);
+  EXPECT_STREQ(la::active_kernel_name(), "reference");
+  la::set_kernel_mode(la::KernelMode::Blocked);
+  EXPECT_EQ(la::kernel_mode(), la::KernelMode::Blocked);
+  if (!la::blas_available()) {
+    EXPECT_THROW(la::set_kernel_mode(la::KernelMode::Blas), std::invalid_argument);
+  } else {
+    la::set_kernel_mode(la::KernelMode::Blas);
+    EXPECT_EQ(la::kernel_mode(), la::KernelMode::Blas);
+  }
+  la::set_kernel_mode(before);
+}
+
+class BlockedGemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockedGemmShapes, MatchesReferenceAllOpsAlphaBeta) {
+  auto [m, n, k] = GetParam();
+  la::Matrix A = la::random_matrix(m, k, 91);
+  la::Matrix At = la::random_matrix(k, m, 92);
+  la::Matrix B = la::random_matrix(k, n, 93);
+  la::Matrix Bt = la::random_matrix(n, k, 94);
+  la::Matrix C0 = la::random_matrix(m, n, 95);
+
+  struct Case {
+    la::Op opa, opb;
+    const la::Matrix *a, *b;
+  } cases[] = {
+      {la::Op::NoTrans, la::Op::NoTrans, &A, &B},
+      {la::Op::ConjTrans, la::Op::NoTrans, &At, &B},
+      {la::Op::NoTrans, la::Op::ConjTrans, &A, &Bt},
+      {la::Op::ConjTrans, la::Op::ConjTrans, &At, &Bt},
+  };
+  for (const auto& c : cases) {
+    for (auto [alpha, beta] : {std::pair{1.0, 0.0}, {2.0, 1.0}, {-0.5, 0.25}}) {
+      la::Matrix want = la::copy<double>(C0.view());
+      la::gemm_reference(alpha, c.opa, la::ConstMatrixView(c.a->view()), c.opb,
+                         la::ConstMatrixView(c.b->view()), beta, want.view());
+      la::Matrix got = la::copy<double>(C0.view());
+      la::detail::gemm_blocked(alpha, c.opa, la::ConstMatrixView(c.a->view()), c.opb,
+                               la::ConstMatrixView(c.b->view()), beta, got.view());
+      EXPECT_LT(rel_diff(got, want), 1e-11);
+    }
+  }
+}
+
+// Shapes straddle every blocking boundary: micro-tile remainders (MR=NR=8),
+// the KC=256 depth split, the MC=128 row split, and tiny/tall/wide cases.
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockedGemmShapes,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{7, 9, 5},
+                                           std::tuple{64, 64, 64}, std::tuple{65, 48, 130},
+                                           std::tuple{129, 67, 255}, std::tuple{100, 3, 300},
+                                           std::tuple{3, 100, 257}, std::tuple{131, 131, 131}));
+
+TEST(BlockedKernels, ComplexGemmMatchesReference) {
+  // ConjTrans on complex data: the conjugation is resolved at pack time in
+  // the blocked path, so this pins that against the reference element map.
+  la::ZMatrix A = la::random_zmatrix(70, 90, 96);
+  la::ZMatrix B = la::random_zmatrix(65, 90, 97);
+  la::ZMatrix want(70, 65), got(70, 65);
+  const std::complex<double> one{1.0, 0.0};
+  const std::complex<double> zero{0.0, 0.0};
+  la::gemm_reference(one, la::Op::NoTrans, la::ZConstMatrixView(A.view()), la::Op::ConjTrans,
+                     la::ZConstMatrixView(B.view()), zero, want.view());
+  la::detail::gemm_blocked(one, la::Op::NoTrans, la::ZConstMatrixView(A.view()),
+                           la::Op::ConjTrans, la::ZConstMatrixView(B.view()), zero, got.view());
+  double err = 0.0, ref = 0.0;
+  for (index_t j = 0; j < 65; ++j)
+    for (index_t i = 0; i < 70; ++i) {
+      err += std::norm(got(i, j) - want(i, j));
+      ref += std::norm(want(i, j));
+    }
+  EXPECT_LT(std::sqrt(err), 1e-11 * (1.0 + std::sqrt(ref)));
+}
+
+class BlockedTriangular
+    : public ::testing::TestWithParam<std::tuple<la::Side, la::Uplo, la::Op, la::Diag>> {};
+
+TEST_P(BlockedTriangular, TrmmAndTrsmMatchReference) {
+  auto [side, uplo, op, diag] = GetParam();
+  // n = 130 crosses the TB = 64 diagonal-block boundary twice with remainder.
+  const index_t n = 130, w = 37;
+  la::Matrix T = la::random_matrix(n, n, 98);
+  la::make_triangular(uplo, T.view());
+  for (index_t i = 0; i < n; ++i) T(i, i) = 3.0 + 0.01 * static_cast<double>(i);
+  const index_t rows = (side == la::Side::Left) ? n : w;
+  const index_t cols = (side == la::Side::Left) ? w : n;
+  la::Matrix B0 = la::random_matrix(rows, cols, 99);
+
+  la::Matrix want = la::copy<double>(B0.view());
+  la::trmm_reference(side, uplo, op, diag, 1.5, la::ConstMatrixView(T.view()), want.view());
+  la::Matrix got = la::copy<double>(B0.view());
+  la::detail::trmm_blocked(side, uplo, op, diag, 1.5, la::ConstMatrixView(T.view()), got.view());
+  EXPECT_LT(rel_diff(got, want), 1e-11);
+
+  want = la::copy<double>(B0.view());
+  la::trsm_reference(side, uplo, op, diag, 0.5, la::ConstMatrixView(T.view()), want.view());
+  got = la::copy<double>(B0.view());
+  la::detail::trsm_blocked(side, uplo, op, diag, 0.5, la::ConstMatrixView(T.view()), got.view());
+  EXPECT_LT(rel_diff(got, want), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, BlockedTriangular,
+    ::testing::Combine(::testing::Values(la::Side::Left, la::Side::Right),
+                       ::testing::Values(la::Uplo::Upper, la::Uplo::Lower),
+                       ::testing::Values(la::Op::NoTrans, la::Op::ConjTrans),
+                       ::testing::Values(la::Diag::NonUnit, la::Diag::Unit)));
+
+TEST(BlockedGeqrt, MatchesUnblockedFactorization) {
+  // m x n with n well past the 32-column panel width: three panels plus a
+  // remainder, every T-coupling path exercised.
+  for (auto [m, n] : {std::pair<index_t, index_t>{200, 96}, {150, 100}, {97, 33}}) {
+    la::Matrix A = la::random_matrix(m, n, 300 + static_cast<unsigned>(m));
+
+    la::Matrix Fref = la::copy<double>(A.view());
+    la::Matrix Tref(n, n);
+    {
+      ScopedKernelMode mode(la::KernelMode::Reference);
+      la::geqrt(Fref.view(), Tref.view());
+    }
+    la::Matrix Fblk = la::copy<double>(A.view());
+    la::Matrix Tblk(n, n);
+    {
+      ScopedKernelMode mode(la::KernelMode::Blocked);
+      la::geqrt(Fblk.view(), Tblk.view());
+    }
+
+    // Same reflectors up to roundoff, and a valid factorization in its own
+    // right (the tighter residual checks).
+    EXPECT_LT(rel_diff(Fblk, Fref), 1e-10);
+    EXPECT_LT(rel_diff(Tblk, Tref), 1e-10);
+    la::Matrix V = la::extract_v<double>(la::ConstMatrixView(Fblk.view()));
+    la::Matrix R = la::extract_r<double>(la::ConstMatrixView(Fblk.view()));
+    EXPECT_LT(la::qr_residual(A.view(), V.view(), Tblk.view(), R.view()), 1e-12);
+    EXPECT_LT(la::orthogonality_loss(V.view(), Tblk.view()), 1e-12);
+  }
+}
+
+TEST(BlockedGeqrt, ComplexMatchesUnblockedFactorization) {
+  // The blocked path is the default for complex factorizations wider than
+  // the 32-column panel, and its T-coupling (W = A^H V trmm chain) is
+  // conjugation-sensitive — pin it to the unblocked nest like the double
+  // case above.
+  const index_t m = 150, n = 80;
+  la::ZMatrix A = la::random_zmatrix(m, n, 88);
+
+  la::ZMatrix Fref = la::copy<std::complex<double>>(la::ZConstMatrixView(A.view()));
+  la::ZMatrix Tref(n, n);
+  {
+    ScopedKernelMode mode(la::KernelMode::Reference);
+    la::geqrt(Fref.view(), Tref.view());
+  }
+  la::ZMatrix Fblk = la::copy<std::complex<double>>(la::ZConstMatrixView(A.view()));
+  la::ZMatrix Tblk(n, n);
+  {
+    ScopedKernelMode mode(la::KernelMode::Blocked);
+    la::geqrt(Fblk.view(), Tblk.view());
+  }
+
+  double ferr = 0.0, terr = 0.0, fnorm = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      ferr += std::norm(Fblk(i, j) - Fref(i, j));
+      fnorm += std::norm(Fref(i, j));
+    }
+    for (index_t i = 0; i < n; ++i) terr += std::norm(Tblk(i, j) - Tref(i, j));
+  }
+  EXPECT_LT(std::sqrt(ferr), 1e-10 * (1.0 + std::sqrt(fnorm)));
+  EXPECT_LT(std::sqrt(terr), 1e-10);
+
+  // And the blocked factors reconstruct A: C = Q * [R; 0] == A.
+  la::ZMatrix V = la::extract_v<std::complex<double>>(la::ZConstMatrixView(Fblk.view()));
+  la::ZMatrix R = la::extract_r<std::complex<double>>(la::ZConstMatrixView(Fblk.view()));
+  la::ZMatrix C(m, n);
+  la::assign<std::complex<double>>(C.block(0, 0, n, n), R.view());
+  la::apply_q<std::complex<double>>(V.view(), Tblk.view(), la::Op::NoTrans, C.view());
+  double rerr = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) rerr += std::norm(C(i, j) - A(i, j));
+  EXPECT_LT(std::sqrt(rerr), 1e-11 * (1.0 + std::sqrt(fnorm)));
+}
+
+TEST(BlockedGeqrt, PublicEntryPointsFollowKernelMode) {
+  // qr_factor (and everything above it) must produce a valid factorization
+  // under every available mode; this is the dispatch wiring check.
+  la::Matrix A = la::random_matrix(120, 70, 7);
+  std::vector<la::KernelMode> modes = {la::KernelMode::Reference, la::KernelMode::Blocked};
+  if (la::blas_available()) modes.push_back(la::KernelMode::Blas);
+  for (la::KernelMode m : modes) {
+    ScopedKernelMode mode(m);
+    la::QrFactors f = la::qr_factor<double>(A.view());
+    EXPECT_LT(la::qr_residual(A.view(), f.V.view(), f.T_.view(), f.R.view()), 1e-12)
+        << la::kernel_mode_name(m);
+    EXPECT_LT(la::orthogonality_loss(f.V.view(), f.T_.view()), 1e-12) << la::kernel_mode_name(m);
+  }
+}

@@ -256,3 +256,117 @@ TEST(ThreadBackend, SelfSendIsRejected) {
   EXPECT_THROW(m.run([](backend::Comm& c) { c.send(c.rank(), {1.0}, 0); }),
                std::invalid_argument);
 }
+
+// ---------------------------------------------------------------------------
+// SPSC transport property tests (backend/spsc.hpp): wide machines, bursts
+// past the ring capacity (exercising the overflow spill and the FIFO
+// guarantee across the ring->overflow->ring boundary), and randomized
+// aborts.  These are the cases the per-(src, dst) channel rewrite must hold
+// under TSan.
+// ---------------------------------------------------------------------------
+
+// A burst far deeper than the ring (capacity 32 at this P) forces every
+// message after the fill into the overflow and back; FIFO per (src, tag)
+// must survive the boundary crossings, including interleaved tags.
+TEST(ThreadBackendSpsc, BurstsBeyondRingCapacityKeepFifo) {
+  const int P = 32;
+  const int kMessages = 200;  // >> ring capacity
+  backend::ThreadMachine m(P);
+  m.run([&](backend::Comm& c) {
+    const int me = c.rank();
+    const int dst = (me + 1) % P;
+    const int src = (me + P - 1) % P;
+    for (int i = 0; i < kMessages; ++i)
+      c.send(dst, payload_of(me, dst, i % 3, i, 1 + static_cast<std::size_t>(i % 7)), i % 3);
+    // Receive per tag, in tag-major order — within a tag the sequence
+    // numbers must come back strictly in send order.
+    for (int tag = 0; tag < 3; ++tag) {
+      for (int i = tag; i < kMessages; i += 3) {
+        const auto got = c.recv(src, tag);
+        const auto want = payload_of(src, me, tag, i, 1 + static_cast<std::size_t>(i % 7));
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t w = 0; w < got.size(); ++w) ASSERT_EQ(got[w], want[w]);
+      }
+    }
+  });
+}
+
+// The all-pairs random script at machine width: P >= 32 with out-of-order
+// (src, tag) receive sweeps, repeated with different seeds.
+TEST(ThreadBackendSpsc, RandomizedWideMachineInterleavings) {
+  for (int rep = 0; rep < 6; ++rep) {
+    const int P = 32 + 5 * rep;  // 32..57 ranks
+    const auto script = make_script(P, 9000 + static_cast<std::uint32_t>(rep), 600);
+    backend::ThreadMachine m(P);
+    m.run([&](backend::Comm& c) {
+      const int me = c.rank();
+      for (const auto& s : script)
+        if (s.src == me) c.send(s.dst, payload_of(s.src, s.dst, s.tag, s.seq, s.words), s.tag);
+
+      std::vector<std::pair<int, int>> keys;
+      for (int src = 0; src < P; ++src)
+        for (int tag = 0; tag < 4; ++tag)
+          if (std::any_of(script.begin(), script.end(), [&](const ScriptedSend& s) {
+                return s.src == src && s.dst == me && s.tag == tag;
+              }))
+            keys.emplace_back(src, tag);
+      std::mt19937 rng(static_cast<std::uint32_t>(1300 + rep * 97 + me));
+      std::shuffle(keys.begin(), keys.end(), rng);
+
+      for (const auto& [src, tag] : keys) {
+        int expected_seq = 0;
+        for (const auto& s : script) {
+          if (s.src != src || s.dst != me || s.tag != tag) continue;
+          const std::vector<double> got = c.recv(src, tag);
+          ASSERT_EQ(got, payload_of(src, me, tag, expected_seq, s.words));
+          expected_seq++;
+        }
+      }
+    });
+  }
+}
+
+// Randomized aborts on a wide machine: one rank throws at a random point
+// while the rest are mid-send/mid-recv (some parked, some spinning, some
+// with bursts in the overflow).  The machine must rethrow, unblock every
+// rank, and come back clean for a follow-up run.
+TEST(ThreadBackendSpsc, RandomizedAbortsUnblockAndReset) {
+  const int P = 32;
+  backend::ThreadMachine m(P);
+  for (int rep = 0; rep < 8; ++rep) {
+    const int thrower = (rep * 7) % P;
+    EXPECT_THROW(
+        m.run([&](backend::Comm& c) {
+          const int me = c.rank();
+          const int dst = (me + 1) % P;
+          // Everyone floods its neighbor (deep enough to spill), then blocks
+          // on a message the thrower never sends.
+          for (int i = 0; i < 64; ++i) c.send(dst, {static_cast<double>(i)}, 0);
+          if (me == thrower) throw std::runtime_error("boom");
+          c.recv((me + P - 1) % P, 12345);  // never sent: must be aborted out
+        }),
+        std::runtime_error);
+
+    // The machine is reusable and fully reset after the abort.
+    m.run([&](backend::Comm& c) {
+      const int me = c.rank();
+      c.send((me + 1) % P, {static_cast<double>(rep)}, rep);
+      ASSERT_EQ(c.recv((me + P - 1) % P, rep)[0], static_cast<double>(rep));
+    });
+  }
+}
+
+// Opt-in affinity pinning: the machine must run (pinning is best-effort) and
+// report the effective option.
+TEST(ThreadBackend, AffinityPinnedMachineRuns) {
+  backend::ThreadOptions opts;
+  opts.pin_affinity = true;
+  backend::ThreadMachine m(4, {}, opts);
+  EXPECT_TRUE(m.options().pin_affinity);
+  m.run([](backend::Comm& c) {
+    if (c.rank() == 0) c.send(1, {42.0}, 0);
+    if (c.rank() == 1) {
+      ASSERT_EQ(c.recv(0, 0)[0], 42.0);
+    }
+  });
+}
