@@ -1,20 +1,32 @@
-// E10 — Serving throughput: BatchSolver vs independent Solver calls.
+// E10 — Serving throughput: BatchSolver vs independent Solver calls, and
+// async serving under continuous load.
 //
-// The north-star workload is a stream of least-squares problems.  The
-// "naive" path pays per problem: construct a machine, spawn its ranks, tune
-// (delta, epsilon), solve one problem, tear everything down.  The serving
-// path (serve::BatchSolver) keeps one machine alive, resolves plans through
-// a per-shape cache, and streams the whole batch through a single machine
-// session.  This bench measures both on the same problems and reports
-// problems/sec, per-job latency percentiles, and the speedup.
+// The north-star workload is a stream of least-squares problems.  Three
+// serving shapes are measured on the same problems:
+//
+//   * independent — fresh machine + fresh Solver per problem (pays machine
+//     spawn, tuning and teardown per request);
+//   * blocking    — one BatchSolver, submit all + one flush() (persistent
+//     machine, plan cache, group pipelining);
+//   * async       — one BatchSolver with with_async(): submission overlaps
+//     execution through the executor thread and JobHandle futures.
+//
+// A fourth segment measures CONTINUOUS load on the async path: a closed
+// loop keeps `--inflight` jobs outstanding (submitting as futures resolve),
+// which is where tail latency becomes measurable — per-job latency is
+// submit()-to-resolution, reported as p50/p95/p99.
 //
 //   bench_throughput --backend=thread [--P=4] [--jobs=64] [--m=96] [--n=24]
-//                    [--profile] [--json out.json] [--smoke]
+//                    [--group=0] [--inflight=8] [--profile]
+//                    [--json out.json] [--smoke]
 //
 // --profile runs serve::profile_machine first and tunes on the fitted
-// (alpha, beta, gamma).  --json writes a machine-readable record for
-// trajectory tracking.  --smoke exits nonzero unless the serving path
-// reaches >= 1 problem/sec with plan-cache hits > 0 (the CI guard).
+// (alpha, beta, gamma).  --json writes a machine-readable qr3d-bench/1
+// record for trajectory tracking.  --smoke exits nonzero unless the
+// blocking path reaches >= 1 problem/sec with plan-cache hits > 0 and the
+// async path holds >= 0.9x the blocking path's problems/sec (the CI guard;
+// the 0.9 floor absorbs scheduler noise on small CI hosts — structurally
+// the async path does the same machine work plus one extra thread handoff).
 #include <chrono>
 
 #include "bench_util.hpp"
@@ -35,11 +47,92 @@ struct Problem {
 
 struct Measured {
   double total_seconds = 0.0;
-  std::vector<double> job_seconds;
+  std::vector<double> job_seconds;     ///< in-machine wall time per job
+  std::vector<double> latency_seconds; ///< submit-to-resolution per job
+  serve::BatchSolver::Stats stats;
   double problems_per_second() const {
     return total_seconds > 0.0 ? job_seconds.size() / total_seconds : 0.0;
   }
 };
+
+/// End-to-end batch measurement: construction (worker spawn, optional
+/// profiling), submission, plan resolution AND the machine sessions all
+/// count, so every mode compares like with like.
+Measured run_batch_once(const std::vector<Problem>& problems, const serve::ServeOptions& sopts) {
+  const auto t0 = Clock::now();
+  serve::BatchSolver srv(sopts);
+  std::vector<serve::JobHandle> handles;
+  handles.reserve(problems.size());
+  for (const Problem& p : problems) handles.push_back(srv.submit(p.A, p.rhs));
+  srv.flush();
+  Measured out;
+  out.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const auto& h : handles) {
+    out.job_seconds.push_back(h.stats().wall_seconds);
+    out.latency_seconds.push_back(h.stats().latency_seconds);
+  }
+  out.stats = srv.stats();
+  return out;
+}
+
+/// Best of `reps` end-to-end batch runs (by total time).  One run is
+/// scheduler roulette on small hosts; the minimum is the noise-robust
+/// estimator, applied identically to every mode.
+Measured run_batch(const std::vector<Problem>& problems, const serve::ServeOptions& sopts,
+                   int reps) {
+  Measured best;
+  for (int r = 0; r < reps; ++r) {
+    Measured cur = run_batch_once(problems, sopts);
+    if (r == 0 || cur.total_seconds < best.total_seconds) best = std::move(cur);
+  }
+  return best;
+}
+
+/// Continuous-load measurement (async): keep `inflight` jobs outstanding,
+/// submitting a fresh one as the oldest future resolves, for `total` jobs.
+Measured run_continuous(const std::vector<Problem>& problems, const serve::ServeOptions& sopts,
+                        int inflight) {
+  const auto t0 = Clock::now();
+  serve::BatchSolver srv(sopts);
+  std::vector<serve::JobHandle> handles;
+  handles.reserve(problems.size());
+  std::size_t next_submit = 0, next_wait = 0;
+  while (next_wait < problems.size()) {
+    while (next_submit < problems.size() &&
+           next_submit - next_wait < static_cast<std::size_t>(inflight)) {
+      const Problem& p = problems[next_submit];
+      handles.push_back(srv.submit(p.A, p.rhs));
+      ++next_submit;
+    }
+    handles[next_wait].wait();
+    ++next_wait;
+  }
+  Measured out;
+  out.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const auto& h : handles) {
+    out.job_seconds.push_back(h.stats().wall_seconds);
+    out.latency_seconds.push_back(h.stats().latency_seconds);
+  }
+  out.stats = srv.stats();
+  return out;
+}
+
+void json_measured(b::JsonWriter& w, const Measured& m, bool with_latency) {
+  w.key("problems_per_sec").value(m.problems_per_second());
+  w.key("total_seconds").value(m.total_seconds);
+  w.key("machine_seconds").value(m.stats.serve_seconds);
+  w.key("p50_seconds").value(b::percentile(m.job_seconds, 0.50));
+  w.key("p95_seconds").value(b::percentile(m.job_seconds, 0.95));
+  if (with_latency) {
+    w.key("latency_p50_seconds").value(b::percentile(m.latency_seconds, 0.50));
+    w.key("latency_p95_seconds").value(b::percentile(m.latency_seconds, 0.95));
+    w.key("latency_p99_seconds").value(b::percentile(m.latency_seconds, 0.99));
+  }
+  w.key("plan_cache_hits").value(static_cast<unsigned long long>(m.stats.plan_cache_hits));
+  w.key("plan_cache_misses").value(static_cast<unsigned long long>(m.stats.plan_cache_misses));
+  w.key("flushes").value(static_cast<unsigned long long>(m.stats.flushes));
+  w.key("sessions").value(static_cast<unsigned long long>(m.stats.sessions));
+}
 
 }  // namespace
 
@@ -50,15 +143,20 @@ int main(int argc, char** argv) {
   const la::index_t m = b::parse_long_flag(argc, argv, "--m", 96);
   const la::index_t n = b::parse_long_flag(argc, argv, "--n", 24);
   const int group = static_cast<int>(b::parse_long_flag(argc, argv, "--group", 0));
+  const int inflight =
+      static_cast<int>(b::parse_long_flag(argc, argv, "--inflight", 2 * static_cast<long>(P)));
   const bool profile = b::has_flag(argc, argv, "--profile");
   const bool smoke = b::has_flag(argc, argv, "--smoke");
   const char* json_path = b::parse_flag(argc, argv, "--json");
+  // Best-of-N for the batch modes; --smoke defaults to 3 so the CI gate
+  // compares best-vs-best instead of flipping a scheduler coin.
+  const int reps = static_cast<int>(b::parse_long_flag(argc, argv, "--reps", smoke ? 3 : 1));
 
-  b::banner("E10", "Serving throughput: BatchSolver vs independent Solver calls");
-  std::printf("backend=%s P=%d jobs=%d shape=%lldx%lld group=%s%s\n\n", backend::kind_name(kind),
-              P, jobs, static_cast<long long>(m), static_cast<long long>(n),
-              group == 0 ? "auto" : std::to_string(group).c_str(),
-              profile ? " (tuning on measured profile)" : "");
+  b::banner("E10", "Serving throughput: blocking vs async BatchSolver vs independent Solver calls");
+  std::printf("backend=%s P=%d jobs=%d shape=%lldx%lld group=%s inflight=%d%s\n\n",
+              backend::kind_name(kind), P, jobs, static_cast<long long>(m),
+              static_cast<long long>(n), group == 0 ? "adaptive" : std::to_string(group).c_str(),
+              inflight, profile ? " (tuning on measured profile)" : "");
 
   std::vector<Problem> problems;
   problems.reserve(static_cast<std::size_t>(jobs));
@@ -70,10 +168,15 @@ int main(int argc, char** argv) {
   const qr3d::QrOptions qr =
       qr3d::QrOptions().with_tune_for_machine().with_backend(
           kind == backend::Kind::Thread ? qr3d::Backend::Thread : qr3d::Backend::Simulated);
+  serve::ServeOptions sopts;
+  sopts.with_ranks(P).with_qr(qr).with_profile(profile).with_group_ranks(group);
 
   // --- Independent path: fresh machine + fresh Solver per problem. ----------
+  // Same best-of-N estimator as the batch modes, so the speedup compares
+  // best against best.
   Measured indep;
-  {
+  for (int r = 0; r < reps; ++r) {
+    Measured cur;
     const auto t0 = Clock::now();
     for (const Problem& p : problems) {
       const auto j0 = Clock::now();
@@ -83,48 +186,53 @@ int main(int argc, char** argv) {
         qr3d::DistMatrix bd = qr3d::DistMatrix::from_global(c, p.rhs.view());
         qr3d::Solver(qr).factor(Ad).solve_least_squares(bd);
       });
-      indep.job_seconds.push_back(std::chrono::duration<double>(Clock::now() - j0).count());
+      cur.job_seconds.push_back(std::chrono::duration<double>(Clock::now() - j0).count());
     }
-    indep.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    cur.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (r == 0 || cur.total_seconds < indep.total_seconds) indep = std::move(cur);
   }
 
-  // --- Serving path: one BatchSolver, one flush for the whole batch. --------
-  // Timed end-to-end like the independent path: construction (worker spawn,
-  // optional profiling), submission, plan resolution AND the machine session
-  // all count, so the speedup compares like with like.
-  serve::ServeOptions sopts;
-  sopts.with_ranks(P).with_qr(qr).with_profile(profile).with_group_ranks(group);
-  const auto b0 = Clock::now();
-  serve::BatchSolver srv(sopts);
-  std::vector<serve::JobHandle> handles;
-  handles.reserve(problems.size());
-  for (const Problem& p : problems) handles.push_back(srv.submit(p.A, p.rhs));
-  srv.flush();
+  // --- Blocking and async batch paths on identical problems. ----------------
+  const Measured blocking = run_batch(problems, serve::ServeOptions(sopts).with_async(false), reps);
+  const Measured async = run_batch(problems, serve::ServeOptions(sopts).with_async(true), reps);
 
-  Measured batch;
-  batch.total_seconds = std::chrono::duration<double>(Clock::now() - b0).count();
-  for (const auto& h : handles) batch.job_seconds.push_back(h.stats().wall_seconds);
+  // --- Continuous load (async): closed loop, `inflight` outstanding. --------
+  const Measured cont =
+      run_continuous(problems, serve::ServeOptions(sopts).with_async(true), inflight);
 
-  const auto& st = srv.stats();
-  const double speedup =
-      indep.problems_per_second() > 0.0 ? batch.problems_per_second() / indep.problems_per_second()
-                                        : 0.0;
+  const double speedup = indep.problems_per_second() > 0.0
+                             ? blocking.problems_per_second() / indep.problems_per_second()
+                             : 0.0;
+  const double async_vs_blocking = blocking.problems_per_second() > 0.0
+                                       ? async.problems_per_second() / blocking.problems_per_second()
+                                       : 0.0;
 
-  b::Table t({"mode", "total", "problems/s", "p50/job", "p95/job", "plan hits", "plan misses"});
+  b::Table t({"mode", "total", "problems/s", "p50/job", "p95/job", "lat p99", "plan h/m"});
+  auto hm = [](const Measured& x) {
+    return std::to_string(x.stats.plan_cache_hits) + "/" + std::to_string(x.stats.plan_cache_misses);
+  };
   t.row({"independent Solver calls", b::secs(indep.total_seconds),
          b::num(indep.problems_per_second()), b::secs(b::percentile(indep.job_seconds, 0.50)),
          b::secs(b::percentile(indep.job_seconds, 0.95)), "-", "-"});
-  t.row({"BatchSolver (1 flush)", b::secs(batch.total_seconds), b::num(batch.problems_per_second()),
-         b::secs(b::percentile(batch.job_seconds, 0.50)),
-         b::secs(b::percentile(batch.job_seconds, 0.95)),
-         std::to_string(st.plan_cache_hits), std::to_string(st.plan_cache_misses)});
+  t.row({"BatchSolver blocking", b::secs(blocking.total_seconds),
+         b::num(blocking.problems_per_second()), b::secs(b::percentile(blocking.job_seconds, 0.50)),
+         b::secs(b::percentile(blocking.job_seconds, 0.95)),
+         b::secs(b::percentile(blocking.latency_seconds, 0.99)), hm(blocking)});
+  t.row({"BatchSolver async", b::secs(async.total_seconds), b::num(async.problems_per_second()),
+         b::secs(b::percentile(async.job_seconds, 0.50)),
+         b::secs(b::percentile(async.job_seconds, 0.95)),
+         b::secs(b::percentile(async.latency_seconds, 0.99)), hm(async)});
+  t.row({"async continuous load", b::secs(cont.total_seconds), b::num(cont.problems_per_second()),
+         b::secs(b::percentile(cont.job_seconds, 0.50)),
+         b::secs(b::percentile(cont.job_seconds, 0.95)),
+         b::secs(b::percentile(cont.latency_seconds, 0.99)), hm(cont)});
   t.print();
-  std::printf("speedup (problems/sec): %.2fx\n", speedup);
-  if (const serve::MachineProfile* mp = srv.profile()) {
-    std::printf("measured profile: alpha=%.3g s/msg  beta=%.3g s/word  gamma=%.3g s/flop%s\n",
-                mp->fitted.alpha, mp->fitted.beta, mp->fitted.gamma,
-                mp->comm_measured ? "" : "  (single rank: declared comm params kept)");
-  }
+  std::printf("speedup vs independent (blocking, problems/sec): %.2fx\n", speedup);
+  std::printf("async vs blocking (problems/sec): %.2fx\n", async_vs_blocking);
+  std::printf("continuous tail latency: p50=%s p95=%s p99=%s (inflight=%d)\n",
+              b::secs(b::percentile(cont.latency_seconds, 0.50)).c_str(),
+              b::secs(b::percentile(cont.latency_seconds, 0.95)).c_str(),
+              b::secs(b::percentile(cont.latency_seconds, 0.99)).c_str(), inflight);
 
   if (json_path) {
     b::JsonWriter w;
@@ -134,51 +242,56 @@ int main(int argc, char** argv) {
     w.key("m").value(static_cast<long>(m));
     w.key("n").value(static_cast<long>(n));
     w.key("group_ranks").value(group);
+    w.key("inflight").value(inflight);
     w.key("profiled").value(profile);
-    w.key("batch").begin_object();
-    w.key("problems_per_sec").value(batch.problems_per_second());
-    w.key("total_seconds").value(batch.total_seconds);
-    w.key("machine_seconds").value(st.serve_seconds);
-    w.key("p50_seconds").value(b::percentile(batch.job_seconds, 0.50));
-    w.key("p95_seconds").value(b::percentile(batch.job_seconds, 0.95));
-    w.key("plan_cache_hits").value(static_cast<unsigned long long>(st.plan_cache_hits));
-    w.key("plan_cache_misses").value(static_cast<unsigned long long>(st.plan_cache_misses));
-    w.key("flushes").value(static_cast<unsigned long long>(st.flushes));
-    w.end_object();
     w.key("independent").begin_object();
     w.key("problems_per_sec").value(indep.problems_per_second());
     w.key("total_seconds").value(indep.total_seconds);
     w.key("p50_seconds").value(b::percentile(indep.job_seconds, 0.50));
     w.key("p95_seconds").value(b::percentile(indep.job_seconds, 0.95));
     w.end_object();
+    w.key("blocking").begin_object();
+    json_measured(w, blocking, false);
+    w.end_object();
+    w.key("async").begin_object();
+    json_measured(w, async, true);
+    w.end_object();
+    w.key("continuous").begin_object();
+    json_measured(w, cont, true);
+    w.end_object();
     w.key("speedup").value(speedup);
-    if (const serve::MachineProfile* mp = srv.profile()) {
-      w.key("fitted_profile").begin_object();
-      w.key("alpha").value(mp->fitted.alpha);
-      w.key("beta").value(mp->fitted.beta);
-      w.key("gamma").value(mp->fitted.gamma);
-      w.key("comm_measured").value(mp->comm_measured);
-      w.end_object();
-    }
+    w.key("async_vs_blocking").value(async_vs_blocking);
     w.end_object();
     if (!w.write_file(json_path)) return 3;
     std::printf("wrote %s\n", json_path);
   }
 
   if (smoke) {
-    // CI guard: the serving path must actually serve (>= 1 problem/sec) and
-    // the plan cache must be doing its job on a same-shape batch.
-    if (batch.problems_per_second() < 1.0) {
-      std::fprintf(stderr, "SMOKE FAIL: %.3f problems/sec < 1\n", batch.problems_per_second());
+    // CI guard: the serving path must actually serve (>= 1 problem/sec with
+    // the plan cache doing its job on a same-shape batch), the async path
+    // must hold the blocking path's throughput, and the continuous mode
+    // must produce a measurable tail.
+    if (blocking.problems_per_second() < 1.0) {
+      std::fprintf(stderr, "SMOKE FAIL: %.3f problems/sec < 1\n",
+                   blocking.problems_per_second());
       return 1;
     }
-    if (st.plan_cache_hits == 0) {
+    if (blocking.stats.plan_cache_hits == 0) {
       std::fprintf(stderr, "SMOKE FAIL: no plan-cache hits\n");
       return 1;
     }
-    std::printf("smoke OK: %.1f problems/sec, %llu plan-cache hits\n",
-                batch.problems_per_second(),
-                static_cast<unsigned long long>(st.plan_cache_hits));
+    if (async_vs_blocking < 0.9) {
+      std::fprintf(stderr, "SMOKE FAIL: async path %.2fx of blocking (< 0.9x)\n",
+                   async_vs_blocking);
+      return 1;
+    }
+    if (b::percentile(cont.latency_seconds, 0.99) <= 0.0) {
+      std::fprintf(stderr, "SMOKE FAIL: continuous mode produced no tail latency\n");
+      return 1;
+    }
+    std::printf("smoke OK: blocking %.1f problems/sec, async %.2fx, p99 %.3fms\n",
+                blocking.problems_per_second(), async_vs_blocking,
+                b::percentile(cont.latency_seconds, 0.99) * 1e3);
   }
   return 0;
 }

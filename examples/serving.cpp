@@ -5,7 +5,11 @@
 // does exactly that: it profiles the machine (fitting alpha, beta, gamma
 // from micro-benchmarks), keeps one threaded machine alive, resolves each
 // shape's execution plan through a cache, and pipelines the batch through
-// rank groups sized to fill the machine.
+// rank groups sized adaptively from the predicted costs.  This is the
+// BLOCKING mode — explicit batches, deterministic counters; the async
+// executor-thread mode is examples/async_serving.cpp.
+//
+// The same snippets appear in docs/SERVING.md — keep them in sync.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -22,7 +26,7 @@ int main() {
   // One serving instance: 4 persistent ranks, machine profiled up front so
   // the tuner consumes measured (alpha, beta, gamma).
   serve::BatchSolver srv(serve::ServeOptions().with_ranks(4).with_profile());
-  if (const serve::MachineProfile* p = srv.profile()) {
+  if (const std::optional<serve::MachineProfile> p = srv.profile()) {
     std::printf("measured machine: alpha=%.3g s/msg, beta=%.3g s/word, gamma=%.3g s/flop\n",
                 p->fitted.alpha, p->fitted.beta, p->fitted.gamma);
   }

@@ -1,8 +1,6 @@
 #include "backend/comm.hpp"
 
-#include "backend/thread_machine.hpp"
 #include "la/error.hpp"
-#include "sim/machine.hpp"
 
 namespace qr3d::backend {
 
@@ -65,15 +63,6 @@ const char* kind_name(Kind k) {
     case Kind::Thread: return "thread";
   }
   return "?";
-}
-
-std::unique_ptr<Machine> make_machine(Kind kind, int P, sim::CostParams params) {
-  switch (kind) {
-    case Kind::Simulated: return std::make_unique<sim::Machine>(P, std::move(params));
-    case Kind::Thread: return std::make_unique<ThreadMachine>(P, std::move(params));
-  }
-  QR3D_CHECK(false, "unknown backend kind");
-  return nullptr;
 }
 
 }  // namespace qr3d::backend

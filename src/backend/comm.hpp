@@ -1,6 +1,5 @@
 // Backend-polymorphic execution layer: the communicator every algorithm in
-// coll/, mm/ and core/ is written against, plus the abstract Machine that
-// owns the ranks.
+// coll/, mm/ and core/ is written against.
 //
 // Two backends implement this interface today:
 //
@@ -18,12 +17,13 @@
 // from split()) delegating to a per-rank CommImpl.  Algorithms never know
 // which backend they run on; a future MPI backend only has to implement
 // CommImpl/Machine and inherits the whole algorithm stack plus the
-// conformance suite for free.
+// conformance suite for free.  The abstract Machine that owns the ranks
+// lives in backend/machine.hpp — include that from code that *builds* and
+// drives machines rather than merely running on them.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -130,29 +130,7 @@ enum class Kind {
   Thread,     ///< real std::thread ranks, wall-clock measured (ThreadMachine)
 };
 
+/// Short display name of a backend kind ("sim" / "thread").
 const char* kind_name(Kind k);
-
-/// Abstract machine: P ranks executing the same SPMD body.  Concrete
-/// machines add their own post-run queries (the simulator's critical_path(),
-/// the thread machine's nothing-but-wall-clock).
-class Machine {
- public:
-  virtual ~Machine() = default;
-
-  virtual Kind kind() const = 0;
-  virtual int size() const = 0;
-  virtual const sim::CostParams& params() const = 0;
-
-  /// Execute `body` on all ranks and wait for completion.  If any rank
-  /// throws, all ranks are aborted and the lowest-ranked exception rethrown.
-  virtual void run(const std::function<void(Comm&)>& body) = 0;
-
-  /// Wall-clock seconds spent inside the last run() (spawn to join).
-  virtual double last_wall_seconds() const = 0;
-};
-
-/// Construct a machine of the given kind.  `params` drives cost accounting
-/// on the simulator and algorithm selection (Alg::Auto, tuning) everywhere.
-std::unique_ptr<Machine> make_machine(Kind kind, int P, sim::CostParams params = {});
 
 }  // namespace qr3d::backend

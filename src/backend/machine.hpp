@@ -1,0 +1,64 @@
+// The abstract execution machine: P ranks running one SPMD body, plus the
+// factory that builds concrete backends.
+//
+// Split out of backend/comm.hpp so that code which *owns* machines (the
+// serving layer, benches, applications) depends on this header, while the
+// algorithm stack (coll/, mm/, core/) keeps depending only on the Comm
+// handle it is written against.  Two backends implement the interface today:
+//
+//   * sim::Machine       (sim/machine.hpp)      — the alpha-beta-gamma cost
+//     simulator of Section 3; the correctness oracle for every real backend.
+//   * backend::ThreadMachine (backend/thread_machine.hpp) — P real
+//     std::thread ranks exchanging actual buffers, measured by wall clock.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "backend/comm.hpp"
+
+namespace qr3d::backend {
+
+/// Abstract machine: P ranks executing the same SPMD body.  Concrete
+/// machines add their own post-run queries (the simulator's critical_path(),
+/// the thread machine's nothing-but-wall-clock).
+///
+/// Lifecycle: a machine is built once and reused — run() may be called any
+/// number of times, including after a run that aborted with an exception.
+/// The serving layer (serve::BatchSolver) leans on this to stream batches of
+/// problems through one persistent machine.
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  /// Which backend this machine executes (Simulated / Thread).
+  virtual Kind kind() const = 0;
+  /// Rank count the machine was constructed with.
+  virtual int size() const = 0;
+  /// Cost parameters the machine was constructed with (charged on the
+  /// simulator; steering Alg::Auto selection and tuning everywhere).
+  virtual const sim::CostParams& params() const = 0;
+
+  /// Execute `body` on all ranks and wait for completion.  If any rank
+  /// throws, all ranks are aborted and the lowest-ranked exception rethrown.
+  virtual void run(const std::function<void(Comm&)>& body) = 0;
+
+  /// Wall-clock seconds spent inside the last run() (spawn to join).
+  virtual double last_wall_seconds() const = 0;
+
+  /// Abort hook for drivers that overlap their own work with a running
+  /// session (serve::BatchSolver's executor): ask the machine to abandon the
+  /// run currently in flight.  Best effort — returns true when an in-flight
+  /// run was told to abort (it will finish "soon" by rethrowing an abort
+  /// error from run()), false when the machine is idle or the backend cannot
+  /// interrupt a run (the default).  Safe to call from any thread, including
+  /// concurrently with run(); never blocks.  A machine that aborted stays
+  /// usable for the next run().
+  virtual bool request_abort() { return false; }
+};
+
+/// Construct a machine of the given kind.  `params` drives cost accounting
+/// on the simulator and algorithm selection (Alg::Auto, tuning) everywhere.
+std::unique_ptr<Machine> make_machine(Kind kind, int P, sim::CostParams params = {});
+
+}  // namespace qr3d::backend

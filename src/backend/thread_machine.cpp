@@ -313,6 +313,18 @@ void ThreadMachine::worker_loop(int p) {
   }
 }
 
+bool ThreadMachine::request_abort() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  // body_ is set under pool_mu_ for exactly the span of a run(); done_count_
+  // == P_ means every worker already finished the body, so there is nothing
+  // left to interrupt (and the flag would leak into the next run's reset
+  // window otherwise).
+  if (body_ == nullptr || done_count_ == P_) return false;
+  aborted_.store(true, std::memory_order_seq_cst);
+  for (auto& port : ports_) port.wake();
+  return true;
+}
+
 void ThreadMachine::run(const std::function<void(Comm&)>& body) {
   // Reset per-run state — including leftovers of a previous run that
   // aborted: stale envelopes, the abort flag and the context counter.

@@ -44,7 +44,7 @@
 #include <thread>
 #include <vector>
 
-#include "backend/comm.hpp"
+#include "backend/machine.hpp"
 #include "backend/spsc.hpp"
 
 namespace qr3d::backend {
@@ -144,6 +144,17 @@ class ThreadMachine : public Machine {
 
   /// Wall-clock seconds of the last run() (dispatch to completion).
   double last_wall_seconds() const override { return wall_seconds_; }
+
+  /// Machine::request_abort — interrupt the run in flight, if any: sets the
+  /// abort flag every blocked receive and split() rendezvous polls and wakes
+  /// all parked ranks, so the session unwinds and run() rethrows a "thread
+  /// machine aborted" error.  Ranks that are mid-computation finish their
+  /// local work and abort at their next receive; a rank that completes the
+  /// body without another receive completes normally (the abort is best
+  /// effort, exactly as documented on backend::Machine).  Returns false when
+  /// no run is in flight.  Callable from any thread; the machine stays
+  /// usable for the next run().
+  bool request_abort() override;
 
   /// Number of run() calls completed so far (including aborted ones) — the
   /// reuse the serving layer amortizes its thread-spawn cost over.

@@ -16,7 +16,7 @@
 
 #include <memory>
 
-#include "backend/comm.hpp"
+#include "backend/machine.hpp"
 #include "coll/coll.hpp"
 #include "core/api.hpp"
 #include "core/dist_matrix.hpp"
@@ -43,6 +43,7 @@ class QrOptions {
  public:
   QrOptions() = default;
 
+  /// Algorithm dispatch (default Auto: the Section 1 aspect-ratio rule).
   QrOptions& with_algorithm(Algorithm a) {
     algorithm_ = a;
     return *this;
@@ -74,14 +75,14 @@ class QrOptions {
     return *this;
   }
 
-  Algorithm algorithm() const { return algorithm_; }
-  double delta() const { return delta_; }
-  double epsilon() const { return epsilon_; }
-  la::index_t block_size() const { return b_; }
-  la::index_t base_block_size() const { return b_star_; }
-  bool tune_for_machine() const { return tune_for_machine_; }
-  coll::Alg alltoall() const { return alltoall_; }
-  Backend backend() const { return backend_; }
+  Algorithm algorithm() const { return algorithm_; }          ///< dispatch choice
+  double delta() const { return delta_; }                     ///< Theorem 1 tradeoff
+  double epsilon() const { return epsilon_; }                 ///< Theorem 2 tradeoff
+  la::index_t block_size() const { return b_; }               ///< pinned b (0 = derive)
+  la::index_t base_block_size() const { return b_star_; }     ///< pinned b* (0 = derive)
+  bool tune_for_machine() const { return tune_for_machine_; } ///< machine tuning on?
+  coll::Alg alltoall() const { return alltoall_; }            ///< all-to-all variant
+  Backend backend() const { return backend_; }                ///< machine factory kind
 
   /// Problem-dependent validation: shape (m >= n >= 1, P >= 1) and threshold
   /// ordering (b <= n, b* <= n, b* <= b when both are pinned).  Called by
@@ -107,9 +108,9 @@ class QrOptions {
 /// was created in (gather what you need before the body returns).
 class Factorization {
  public:
-  la::index_t rows() const { return m_; }
-  la::index_t cols() const { return n_; }
-  backend::Comm& comm() const { return v_.comm(); }
+  la::index_t rows() const { return m_; }            ///< m of the factored matrix
+  la::index_t cols() const { return n_; }            ///< n of the factored matrix
+  backend::Comm& comm() const { return v_.comm(); }  ///< the factoring communicator
 
   /// The m x n Householder basis (unit lower trapezoidal), row-cyclic.
   const DistMatrix& v() const { return v_; }
@@ -161,6 +162,7 @@ class Solver {
  public:
   explicit Solver(QrOptions opts = {}, std::shared_ptr<serve::PlanCache> cache = nullptr);
 
+  /// The validated options this Solver factors with.
   const QrOptions& options() const { return opts_; }
 
   /// The per-shape tuning cache (never null).  Hit/miss counters on it

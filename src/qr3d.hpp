@@ -23,11 +23,13 @@
 // paper compares):
 //
 // For throughput workloads, the serving layer amortizes machine startup and
-// tuning across a stream of problems:
+// tuning across a stream of problems (see docs/SERVING.md):
 //
-//   qr3d::serve::BatchSolver       submit/flush/solve_all over one machine
+//   qr3d::serve::BatchSolver       blocking or async serving over one machine
+//   qr3d::serve::JobHandle         per-job future: ready / wait / get
 //   qr3d::serve::PlanCache         per-shape tuned-plan memoization
 //   qr3d::serve::profile_machine   fit (alpha, beta, gamma) from benchmarks
+//   qr3d::serve::choose_group_ranks  predicted-cost adaptive group sizing
 //
 //   qr3d::backend  Comm handle, abstract Machine, ThreadMachine, make_machine
 //   qr3d::sim      simulated Machine / machine profiles (alpha-beta-gamma)
@@ -51,6 +53,7 @@
 
 // Execution backends and collectives.
 #include "backend/comm.hpp"
+#include "backend/machine.hpp"
 #include "backend/thread_machine.hpp"
 #include "coll/coll.hpp"
 #include "sim/comm.hpp"

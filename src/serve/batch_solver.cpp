@@ -1,7 +1,9 @@
 #include "serve/batch_solver.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <cmath>
+#include <map>
+#include <stdexcept>
 
 #include "core/api.hpp"
 #include "la/error.hpp"
@@ -12,6 +14,16 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The error queued/unstarted jobs resolve with when the solver aborts.
+std::exception_ptr abort_error() {
+  return std::make_exception_ptr(
+      std::runtime_error("qr3d::serve: BatchSolver aborted with jobs pending"));
+}
+
 }  // namespace
 
 ServeOptions& ServeOptions::with_ranks(int P) {
@@ -21,31 +33,124 @@ ServeOptions& ServeOptions::with_ranks(int P) {
 }
 
 ServeOptions& ServeOptions::with_group_ranks(int g) {
-  QR3D_CHECK(g >= 0, "ServeOptions: group_ranks must be >= 0 (0 = auto)");
+  QR3D_CHECK(g >= 0, "ServeOptions: group_ranks must be >= 0 (0 = adaptive)");
   group_ranks_ = g;
   return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Plan resolution and adaptive group sizing
+// ---------------------------------------------------------------------------
+
+Plan resolve_shape_plan(la::index_t m, la::index_t n, int P, const QrOptions& qr,
+                        PlanCache& cache, backend::Kind kind, const sim::CostParams& machine) {
+  const PlanKey key = make_plan_key(m, n, P, Dist::CyclicRows, kind, machine);
+  return cache.lookup_or_compute(key, [&]() {
+    core::CaqrEg3dOptions params;
+    params.b = qr.block_size();
+    params.b_star = qr.base_block_size();
+    params.delta = qr.delta();
+    params.epsilon = qr.epsilon();
+    params = core::resolve_algorithm(m, n, P, qr.algorithm(), params);
+    Plan plan;
+    plan.delta = params.delta;
+    plan.epsilon = params.epsilon;
+    plan.b = params.b;
+    plan.b_star = params.b_star;
+    const double md = static_cast<double>(m), nd = static_cast<double>(n);
+    if (P <= 1) {
+      // Single-rank group: a local serial QR, no communication to tune.
+      plan.predicted = cost::Costs{2.0 * md * nd * nd, 0.0, 0.0};
+    } else if (params.b == 0) {
+      // Full 3D recursion: grid-search (delta, epsilon) when tuning, else
+      // predict at the resolved defaults.
+      if (qr.tune_for_machine()) {
+        const cost::Tuned3d t = cost::tune_3d(md, nd, P, machine);
+        plan.delta = t.delta;
+        plan.epsilon = t.epsilon;
+        plan.predicted = t.predicted;
+      } else {
+        plan.predicted = cost::caqr_eg_3d(md, nd, P, plan.delta, plan.epsilon);
+      }
+    } else if (params.b == n) {
+      // Tall-skinny dispatch (immediate conversion + 1D-CAQR-EG): delta is
+      // moot but Theorem 2's epsilon still trades words against messages.
+      if (qr.tune_for_machine()) {
+        const cost::Tuned1d t = cost::tune_1d(md, nd, P, machine);
+        plan.epsilon = t.epsilon;
+        plan.predicted = t.predicted;
+      } else {
+        plan.predicted = cost::caqr_eg_1d(md, nd, P, plan.epsilon);
+      }
+    } else {
+      // Hand-pinned recursion threshold: predict at exactly those blocks.
+      plan.predicted = cost::caqr_eg_3d_b(md, nd, P, static_cast<double>(params.b),
+                                          std::max(1.0, static_cast<double>(params.b_star)));
+    }
+    return plan;
+  });
+}
+
+std::vector<int> group_size_candidates(int P) {
+  std::vector<int> gs;
+  for (int g = 1; g < P; g *= 2) gs.push_back(g);
+  gs.push_back(P);
+  return gs;
+}
+
+GroupChoice choose_group_ranks(la::index_t m, la::index_t n, int jobs, int P,
+                               const QrOptions& qr, PlanCache& cache, backend::Kind kind,
+                               const sim::CostParams& machine) {
+  QR3D_CHECK(jobs >= 1, "choose_group_ranks: need at least one job");
+  QR3D_CHECK(P >= 1, "choose_group_ranks: need at least one rank");
+  GroupChoice best;
+  bool have_best = false;
+  for (int g : group_size_candidates(P)) {
+    const Plan plan = resolve_shape_plan(m, n, g, qr, cache, kind, machine);
+    const double t_job = plan.predicted.time(machine);
+    const int groups = P / g;
+    const double rounds = std::ceil(static_cast<double>(jobs) / static_cast<double>(groups));
+    const double makespan = rounds * t_job;
+    // Strictly better makespan wins; a makespan within 1% of the incumbent
+    // (the model is asymptotic — hair-thin differences are noise) goes to
+    // the larger group for its lower per-job latency.
+    const bool better = !have_best || makespan < 0.99 * best.makespan_seconds ||
+                        (makespan <= 1.01 * best.makespan_seconds && t_job < best.job_seconds);
+    if (better) {
+      best.group_ranks = g;
+      best.job_seconds = t_job;
+      best.makespan_seconds = makespan;
+      have_best = true;
+    }
+  }
+  return best;
 }
 
 // ---------------------------------------------------------------------------
 // JobHandle
 // ---------------------------------------------------------------------------
 
-bool JobHandle::done() const {
+bool JobHandle::ready() const {
   QR3D_CHECK(valid(), "JobHandle: default-constructed handle");
-  return job_->done;
+  return job_->done.load(std::memory_order_acquire);
 }
 
-const la::Matrix& JobHandle::solution() const {
+void JobHandle::wait() const {
   QR3D_CHECK(valid(), "JobHandle: default-constructed handle");
-  if (!job_->done) owner_->flush();
-  QR3D_ASSERT(job_->done, "JobHandle: job still pending after flush");
+  if (job_->done.load(std::memory_order_acquire)) return;
+  owner_->wait_for(job_);
+}
+
+const la::Matrix& JobHandle::get() const {
+  wait();
   if (job_->error) std::rethrow_exception(job_->error);
   return job_->x;
 }
 
 const JobStats& JobHandle::stats() const {
   QR3D_CHECK(valid(), "JobHandle: default-constructed handle");
-  QR3D_CHECK(job_->done, "JobHandle::stats: job has not run yet (flush first)");
+  QR3D_CHECK(job_->done.load(std::memory_order_acquire),
+             "JobHandle::stats: job has not resolved yet (wait first)");
   if (job_->error) std::rethrow_exception(job_->error);
   return job_->stats;
 }
@@ -66,154 +171,328 @@ BatchSolver::BatchSolver(ServeOptions opts)
     profile_ = profile_machine(*machine_, opts_.profile_options());
     machine_ = make_machine(opts_.qr(), opts_.ranks(), profile_->fitted);
   }
+  if (opts_.async()) executor_ = std::thread([this]() { executor_loop(); });
 }
+
+BatchSolver::~BatchSolver() { shutdown(); }
 
 JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b) {
   auto job = std::make_shared<detail::Job>();
   job->A = std::move(A);
   job->b = std::move(b);
-  pending_.push_back(job);
-  ++stats_.jobs_submitted;
+  job->submitted_at = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QR3D_CHECK(!stop_, "BatchSolver: submit after shutdown/abort");
+    queue_.push_back(job);
+    ++stats_.jobs_submitted;
+  }
+  if (opts_.async()) queue_cv_.notify_one();
   return JobHandle(this, std::move(job));
 }
 
-bool BatchSolver::validate_job(detail::Job& job) {
+void BatchSolver::resolve_job(const std::shared_ptr<detail::Job>& job, std::exception_ptr error) {
+  if (error) job->error = error;
+  job->stats.latency_seconds = seconds_since(job->submitted_at);
+  job->done.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job->error) ++stats_.jobs_failed;
+    else ++stats_.jobs_completed;
+  }
+  done_cv_.notify_all();
+}
+
+bool BatchSolver::validate_job(const std::shared_ptr<detail::Job>& job) {
   try {
-    QR3D_CHECK(!job.A.empty(), "BatchSolver: job matrix A is empty");
-    QR3D_CHECK(!job.b.empty(), "BatchSolver: job right-hand side b is empty");
-    QR3D_CHECK(job.b.rows() == job.A.rows(),
-               "BatchSolver: b must have A's row count");
+    QR3D_CHECK(!job->A.empty(), "BatchSolver: job matrix A is empty");
+    QR3D_CHECK(!job->b.empty(), "BatchSolver: job right-hand side b is empty");
+    QR3D_CHECK(job->b.rows() == job->A.rows(), "BatchSolver: b must have A's row count");
     // Shape/threshold validation; the rank count a job sees is its group
     // size, but validate() only needs P >= 1, which holds for any group.
-    opts_.qr().validate(job.A.rows(), job.A.cols(), opts_.ranks());
+    opts_.qr().validate(job->A.rows(), job->A.cols(), opts_.ranks());
     return true;
   } catch (...) {
-    job.error = std::current_exception();
-    job.done = true;
-    ++stats_.jobs_failed;
+    resolve_job(job, std::current_exception());
     return false;
   }
 }
 
-void BatchSolver::resolve_plan(detail::Job& job, int group_ranks) {
-  // The dispatch Solver::factor would do — plus 1D-epsilon tuning for
-  // tall-skinny shapes the 3D grid search never sees — resolved driver-side
-  // through the shared cache, so repeated shapes skip resolution and tuning
-  // entirely and the hit shows up in the job's stats.
-  const la::index_t m = job.A.rows(), n = job.A.cols();
-  const sim::CostParams& mp = machine_->params();
-  const PlanKey key = make_plan_key(m, n, group_ranks, Dist::CyclicRows, machine_->kind(), mp);
-  job.stats.plan_cache_hit = cache_->contains(key);
-  job.plan = cache_->lookup_or_compute(key, [&]() {
-    core::CaqrEg3dOptions params;
-    params.b = opts_.qr().block_size();
-    params.b_star = opts_.qr().base_block_size();
-    params.delta = opts_.qr().delta();
-    params.epsilon = opts_.qr().epsilon();
-    params = core::resolve_algorithm(m, n, group_ranks, opts_.qr().algorithm(), params);
-    Plan plan;
-    plan.delta = params.delta;
-    plan.epsilon = params.epsilon;
-    plan.b = params.b;
-    plan.b_star = params.b_star;
-    if (opts_.qr().tune_for_machine()) {
-      if (params.b == 0) {
-        // Full 3D recursion: grid-search (delta, epsilon).
-        const cost::Tuned3d t =
-            cost::tune_3d(static_cast<double>(m), static_cast<double>(n), group_ranks, mp);
-        plan.delta = t.delta;
-        plan.epsilon = t.epsilon;
-        plan.predicted = t.predicted;
-      } else if (params.b == n && group_ranks >= 2) {
-        // Tall-skinny dispatch (immediate conversion + 1D-CAQR-EG): delta is
-        // moot but Theorem 2's epsilon still trades words against messages.
-        // On a single-rank group there is no communication to trade.
-        const cost::Tuned1d t =
-            cost::tune_1d(static_cast<double>(m), static_cast<double>(n), group_ranks, mp);
-        plan.epsilon = t.epsilon;
-        plan.predicted = t.predicted;
-      }
-    }
-    return plan;
-  });
-  if (job.stats.plan_cache_hit) ++stats_.plan_cache_hits;
-  else ++stats_.plan_cache_misses;
+void BatchSolver::maybe_reprofile() {
+  if (opts_.reprofile_every() == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dispatches_since_profile_ < opts_.reprofile_every()) return;
+  }
+  try {
+    MachineProfile fresh = profile_machine(*machine_, opts_.profile_options());
+    auto machine = make_machine(opts_.qr(), opts_.ranks(), fresh.fitted);
+    std::lock_guard<std::mutex> lock(mu_);
+    machine_ = std::move(machine);
+    profile_ = fresh;
+    // New parameters mean new plan keys: clear the sized-shape set so every
+    // shape re-sizes and re-tunes against the fresh fit (counted as misses).
+    sized_shapes_.clear();
+    dispatches_since_profile_ = 0;
+    ++stats_.reprofiles;
+  } catch (...) {
+    // Profiling interrupted (e.g. an abort() racing the micro-benchmarks):
+    // keep the previous profile and machine; the next dispatch retries.
+  }
 }
 
-void BatchSolver::flush() {
-  std::vector<std::shared_ptr<detail::Job>> batch;
-  batch.swap(pending_);
+void BatchSolver::run_session(int g, const std::vector<std::shared_ptr<detail::Job>>& jobs) {
+  const int P = opts_.ranks();
+  const int groups = P / g;
+  // Every rank joins its group's sub-communicator (ranks beyond groups*g
+  // idle out) and the groups round-robin the job list.  The group's rank 0
+  // stamps per-job wall times, writes the results, and resolves the job —
+  // distinct jobs are written by distinct group roots, so no record is
+  // shared, and resolve_job publishes each record with a release store.
+  machine_->run([&](backend::Comm& c) {
+    const int group = c.rank() / g;
+    const bool active = group < groups;
+    backend::Comm gc = c.split(active ? group : -1, c.rank());
+    if (!gc.valid()) return;
+    for (std::size_t i = static_cast<std::size_t>(group); i < jobs.size();
+         i += static_cast<std::size_t>(groups)) {
+      auto& job = jobs[i];
+      const auto t0 = Clock::now();
+      DistMatrix Ad = DistMatrix::from_global(gc, job->A.view());
+      DistMatrix bd = DistMatrix::from_global(gc, job->b.view());
+      Factorization f = solver_.factor(Ad, job->plan);
+      la::Matrix x = f.solve_least_squares(bd);
+      if (gc.rank() == 0) {
+        job->x = std::move(x);
+        job->stats.wall_seconds = seconds_since(t0);
+        resolve_job(job, nullptr);
+      }
+    }
+  });
+}
+
+std::exception_ptr BatchSolver::process_batch(std::vector<std::shared_ptr<detail::Job>> batch) {
+  // abort() must not have to wait out a whole drained batch: its latency is
+  // bounded by ONE machine session, because the dispatch re-checks the
+  // abort flag here and before every session and fails the rest of the
+  // batch into the handles (with the same error abort() gives queued jobs).
+  const auto abort_requested = [&]() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborting_;
+  };
 
   std::vector<std::shared_ptr<detail::Job>> runnable;
   runnable.reserve(batch.size());
   for (auto& job : batch) {
-    if (validate_job(*job)) runnable.push_back(job);
+    if (validate_job(job)) runnable.push_back(job);
   }
-  if (runnable.empty()) return;
+  if (runnable.empty()) return nullptr;
+  if (abort_requested()) {
+    resolve_unfinished(runnable, abort_error());
+    return nullptr;
+  }
 
-  // Group sizing: each job runs as a collective over `g` ranks, and
-  // floor(P/g) groups execute jobs concurrently.  Auto (group_ranks == 0)
-  // fills the machine: a big batch of small problems runs rank-per-job, a
-  // lone job gets every rank.
+  maybe_reprofile();
+  {
+    // Counted before any job of this dispatch can resolve, so a reader that
+    // observed a resolved handle also observes its dispatch.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.flushes;
+    ++dispatches_since_profile_;
+  }
+  const sim::CostParams mp = machine_->params();
+  const backend::Kind kind = machine_->kind();
   const int P = opts_.ranks();
-  int g = opts_.group_ranks();
-  if (g == 0) g = std::max(1, P / static_cast<int>(runnable.size()));
-  g = std::min(g, P);
-  const int groups = P / g;
 
-  for (auto& job : runnable) resolve_plan(*job, g);
-
-  // One machine session for the whole batch.  Every rank joins its group's
-  // sub-communicator (ranks beyond groups*g idle out) and the groups
-  // round-robin the job list.  The group's rank 0 stamps per-job wall times
-  // and writes the results; the driver reads them after run() returns (the
-  // join orders the access), and distinct jobs are written by distinct
-  // group roots, so no record is shared.
-  std::exception_ptr session_error;
-  try {
-    machine_->run([&](backend::Comm& c) {
-      const int group = c.rank() / g;
-      const bool active = group < groups;
-      backend::Comm gc = c.split(active ? group : -1, c.rank());
-      if (!gc.valid()) return;
-      for (std::size_t i = static_cast<std::size_t>(group); i < runnable.size();
-           i += static_cast<std::size_t>(groups)) {
-        auto& job = runnable[i];
-        const auto t0 = Clock::now();
-        DistMatrix Ad = DistMatrix::from_global(gc, job->A.view());
-        DistMatrix bd = DistMatrix::from_global(gc, job->b.view());
-        Factorization f = solver_.factor(Ad, job->plan);
-        la::Matrix x = f.solve_least_squares(bd);
-        if (gc.rank() == 0) {
-          job->x = std::move(x);
-          job->stats.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-          job->done = true;
-        }
-      }
-    });
-  } catch (...) {
-    // A machine-level failure (an in-machine throw aborts every rank).  Jobs
-    // that completed before the abort keep their results; every unfinished
-    // job records the session error so its handle rethrows the *real* cause
-    // instead of tripping over a never-done job.  The machine itself resets
-    // cleanly on the next run (see ThreadMachine), so later flushes serve.
-    session_error = std::current_exception();
+  // Per-shape sizing and plan resolution.  Shapes keep first-seen order so
+  // session composition (and every counter) is deterministic for a given
+  // submission order.
+  std::vector<std::pair<la::index_t, la::index_t>> shapes;
+  std::map<std::pair<la::index_t, la::index_t>, std::vector<std::shared_ptr<detail::Job>>> by_shape;
+  for (auto& job : runnable) {
+    const auto shape = std::make_pair(job->A.rows(), job->A.cols());
+    auto& bucket = by_shape[shape];
+    if (bucket.empty()) shapes.push_back(shape);
+    bucket.push_back(job);
   }
 
-  ++stats_.flushes;
-  stats_.serve_seconds += machine_->last_wall_seconds();
-  for (auto& job : runnable) {
-    if (job->done) {
-      ++stats_.jobs_completed;
-    } else {
+  // Jobs partitioned by chosen group size; larger groups run first (they
+  // are the latency-critical big problems).
+  std::map<int, std::vector<std::shared_ptr<detail::Job>>, std::greater<int>> by_group;
+  for (const auto& shape : shapes) {
+    auto& bucket = by_shape[shape];
+    int g = opts_.group_ranks();
+    Plan plan;
+    try {
+      if (g > 0) {
+        g = std::min(g, P);
+      } else {
+        g = choose_group_ranks(shape.first, shape.second, static_cast<int>(bucket.size()), P,
+                               opts_.qr(), *cache_, kind, mp)
+                .group_ranks;
+      }
+      plan = resolve_shape_plan(shape.first, shape.second, g, opts_.qr(), *cache_, kind, mp);
+    } catch (...) {
+      // Sizing/tuning failed for this shape (a degenerate fitted profile,
+      // say): isolate the failure to this shape's jobs, keep serving the
+      // rest of the batch.
+      for (auto& job : bucket) resolve_job(job, std::current_exception());
+      continue;
+    }
+    bool first_sizing = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (std::find(sized_shapes_.begin(), sized_shapes_.end(), shape) == sized_shapes_.end()) {
+        sized_shapes_.push_back(shape);
+        first_sizing = true;
+      }
+      stats_.plan_cache_misses += first_sizing ? 1 : 0;
+      stats_.plan_cache_hits += bucket.size() - (first_sizing ? 1 : 0);
+    }
+    for (std::size_t j = 0; j < bucket.size(); ++j) {
+      bucket[j]->plan = plan;
+      bucket[j]->group_ranks = g;
+      bucket[j]->stats.group_ranks = g;
+      bucket[j]->stats.plan_cache_hit = !(first_sizing && j == 0);
+    }
+    auto& cls = by_group[g];
+    cls.insert(cls.end(), bucket.begin(), bucket.end());
+  }
+
+  // One machine session per distinct group size.  A machine-level failure
+  // (an in-machine throw aborts every rank of that session) is recorded in
+  // every job the session did not finish — jobs that completed before the
+  // abort keep their solutions — and the machine resets cleanly for the
+  // next session (see ThreadMachine), so later classes and dispatches serve.
+  std::exception_ptr first_error;
+  for (auto& [g, jobs] : by_group) {
+    if (abort_requested()) {
+      resolve_unfinished(jobs, abort_error());
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.sessions;  // before the run, like flushes: resolution implies visibility
+    }
+    std::exception_ptr session_error;
+    try {
+      run_session(g, jobs);
+    } catch (...) {
+      session_error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.serve_seconds += machine_->last_wall_seconds();
+    }
+    for (auto& job : jobs) {
+      if (job->done.load(std::memory_order_acquire)) continue;
       QR3D_ASSERT(session_error != nullptr,
                   "BatchSolver: machine session ended cleanly with an unfinished job");
-      job->error = session_error;
-      job->done = true;
-      ++stats_.jobs_failed;
+      resolve_job(job, session_error);
     }
+    if (session_error && !first_error) first_error = session_error;
   }
-  if (session_error) std::rethrow_exception(session_error);
+  return first_error;
+}
+
+std::vector<std::shared_ptr<detail::Job>> BatchSolver::drain_queue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<detail::Job>> batch(queue_.begin(), queue_.end());
+  queue_.clear();
+  return batch;
+}
+
+void BatchSolver::resolve_unfinished(const std::vector<std::shared_ptr<detail::Job>>& jobs,
+                                     std::exception_ptr error) {
+  for (auto& job : jobs) {
+    if (!job->done.load(std::memory_order_acquire)) resolve_job(job, error);
+  }
+}
+
+void BatchSolver::executor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&]() { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    lock.unlock();
+    std::vector<std::shared_ptr<detail::Job>> batch = drain_queue();
+    // Errors are resolved into the affected handles by process_batch; the
+    // executor has no caller to rethrow to.  The catch is defensive: the
+    // executor must survive anything, so an unexpected throw resolves the
+    // batch's remaining jobs instead of terminating the process.
+    try {
+      (void)process_batch(batch);
+    } catch (...) {
+      resolve_unfinished(batch, std::current_exception());
+    }
+    lock.lock();
+  }
+}
+
+void BatchSolver::flush() {
+  if (opts_.async()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::uint64_t target = stats_.jobs_submitted;
+    done_cv_.wait(lock,
+                  [&]() { return stats_.jobs_completed + stats_.jobs_failed >= target; });
+    return;
+  }
+  if (std::exception_ptr err = process_batch(drain_queue())) std::rethrow_exception(err);
+}
+
+void BatchSolver::wait_for(const std::shared_ptr<detail::Job>& job) {
+  if (opts_.async()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&]() { return job->done.load(std::memory_order_acquire); });
+    return;
+  }
+  flush();
+  QR3D_ASSERT(job->done.load(std::memory_order_acquire),
+              "BatchSolver: job still pending after flush");
+}
+
+void BatchSolver::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !opts_.async()) return;
+    stop_ = true;  // closes submissions; the async executor drains, then exits
+  }
+  if (opts_.async()) {
+    queue_cv_.notify_all();
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    if (executor_.joinable()) executor_.join();
+    return;
+  }
+  // Blocking mode: drain the queue inline.  Machine-level session errors
+  // are already recorded in the affected handles, and shutdown (called from
+  // the destructor) must never throw, so nothing is rethrown here — the
+  // catch mirrors the executor's defensive guard and resolves whatever an
+  // unexpected throw left unresolved.
+  std::vector<std::shared_ptr<detail::Job>> batch = drain_queue();
+  try {
+    (void)process_batch(batch);
+  } catch (...) {
+    resolve_unfinished(batch, std::current_exception());
+  }
+}
+
+void BatchSolver::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    aborting_ = true;
+    // Interrupt the session in flight, if any (best effort; a backend that
+    // cannot abort finishes the session normally and the executor then
+    // observes stop_).
+    machine_->request_abort();
+  }
+  queue_cv_.notify_all();
+  resolve_unfinished(drain_queue(), abort_error());
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (executor_.joinable()) executor_.join();
 }
 
 std::vector<la::Matrix> BatchSolver::solve_all(
@@ -224,8 +503,23 @@ std::vector<la::Matrix> BatchSolver::solve_all(
   flush();
   std::vector<la::Matrix> xs;
   xs.reserve(handles.size());
-  for (const auto& h : handles) xs.push_back(h.solution());  // rethrows job errors
+  for (const auto& h : handles) xs.push_back(h.get());  // rethrows job errors
   return xs;
+}
+
+BatchSolver::Stats BatchSolver::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::optional<MachineProfile> BatchSolver::profile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return profile_;
+}
+
+sim::CostParams BatchSolver::machine_params() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return machine_->params();
 }
 
 }  // namespace qr3d::serve

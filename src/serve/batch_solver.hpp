@@ -4,40 +4,64 @@
 // ranks, (re-)tunes, factors, and tears everything down.  A serving process
 // answering a stream of least-squares queries wants the opposite shape:
 //
-//   serve::BatchSolver srv(serve::ServeOptions{}.with_ranks(4).with_profile());
-//   auto h1 = srv.submit(A1, b1);           // enqueue; nothing runs yet
-//   auto h2 = srv.submit(A2, b2);
-//   srv.flush();                            // ONE machine session, all jobs
-//   la::Matrix x1 = h1.solution();          // or h.solution() auto-flushes
+//   serve::BatchSolver srv(serve::ServeOptions{}.with_ranks(4).with_async());
+//   auto h1 = srv.submit(A1, b1);           // returns immediately; the
+//   auto h2 = srv.submit(A2, b2);           // executor thread runs the jobs
+//   h1.wait();                              // JobHandle is a real future
+//   la::Matrix x1 = h1.get();               // solution, or rethrows the error
 //
-// Four optimizations stack:
+// Five optimizations stack:
 //   1. persistent machine — the worker threads are spawned once
-//      (ThreadMachine parks them between runs) and every flush() executes
-//      the whole pending batch inside a single run(), so a 64-job batch pays
-//      one dispatch, not 64 machine spawns;
+//      (ThreadMachine parks them between runs) and every dispatch executes
+//      a whole pending batch inside machine sessions, so a 64-job batch pays
+//      a handful of dispatches, not 64 machine spawns;
 //   2. job-group pipelining — the machine's P ranks are split into groups of
-//      `group_ranks` (auto: sized so the batch fills the machine) and jobs
-//      are round-robined across groups, running concurrently.  A problem too
-//      small to profit from P-way parallelism stops paying P-way collective
-//      latency, which is where small-problem serving throughput really is;
-//   3. plan cache — tuned (delta, epsilon) per (m, n, group size, layout,
+//      g ranks and jobs are round-robined across the P/g groups, running
+//      concurrently.  A problem too small to profit from P-way parallelism
+//      stops paying P-way collective latency, which is where small-problem
+//      serving throughput really is;
+//   3. adaptive group sizing — g is chosen *per problem shape* from the
+//      plan cache's model-predicted costs under the machine's (alpha, beta,
+//      gamma): big problems get big groups, small ones pipeline
+//      (choose_group_ranks below; with_group_ranks pins g instead);
+//   4. plan cache — tuned (delta, epsilon) per (m, n, group size, layout,
 //      backend, machine profile) is resolved driver-side through a shared
 //      serve::PlanCache, so repeated shapes skip the tuner entirely (hits
 //      and misses are exposed and testable);
-//   4. measured profile — with_profile() runs serve::profile_machine first
+//   5. measured profile — with_profile() runs serve::profile_machine first
 //      and feeds the fitted (alpha, beta, gamma) to machine construction, so
 //      the tuner optimizes for the machine it actually runs on instead of a
-//      declared profile.
+//      declared profile; with_reprofile_every() repeats the measurement
+//      periodically so the fit tracks thermal/contention drift.
+//
+// Asynchrony: by default (blocking mode) nothing executes until flush() —
+// submission is cheap, execution is explicit, and every counter is exactly
+// reproducible.  with_async() starts an executor thread that owns the
+// machine and drains a concurrent queue instead: submit() returns
+// immediately, execution overlaps further submission, flush() is a barrier
+// ("everything submitted before this call has resolved"), and JobHandle is
+// a real future (ready / wait / get).  Clean shutdown is shutdown() or the
+// destructor (both drain); abort() fails queued jobs and interrupts the
+// in-flight machine session via backend::Machine::request_abort.
 //
 // Failure isolation: jobs are validated driver-side before entering the
 // machine; an invalid job's std::invalid_argument is stored in its handle
-// (rethrown from solution()) and the rest of the batch is unaffected.
+// (rethrown from get()) and the rest of the batch is unaffected.  A
+// machine-level failure aborts only the session it happened in: jobs that
+// completed before the abort keep their solutions, unfinished jobs record
+// the session error, and the machine stays usable.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -74,6 +98,7 @@ class ServeOptions {
     profile_ = on;
     return *this;
   }
+  /// Micro-benchmark sizes for profiling (and periodic re-profiling).
   ServeOptions& with_profile_options(ProfileOptions po) {
     profile_options_ = po;
     return *this;
@@ -85,17 +110,44 @@ class ServeOptions {
   }
   /// Ranks per job group: each job runs as a collective over this many ranks
   /// and floor(ranks/group_ranks) jobs execute concurrently.  0 (default)
-  /// sizes groups automatically per flush: with J pending jobs,
-  /// max(1, ranks/J), so a big batch of small problems runs rank-per-job
-  /// while a lone job still gets the whole machine.
+  /// sizes groups adaptively per problem shape from the plan cache's
+  /// model-predicted costs (see choose_group_ranks); a nonzero value pins
+  /// one size for every job.
   ServeOptions& with_group_ranks(int g);
+  /// Run an executor thread that owns the machine and drains submissions as
+  /// they arrive: submit() returns immediately, execution overlaps further
+  /// submission, and JobHandle behaves as a real future.  Off by default
+  /// (execution happens inside flush(), deterministically).
+  ServeOptions& with_async(bool on = true) {
+    async_ = on;
+    return *this;
+  }
+  /// Re-profile the machine after every `dispatches` batch dispatches and
+  /// re-tune on the fresh fit, so the profile tracks thermal/contention
+  /// drift.  0 (default) never re-profiles.  A nonzero value implies
+  /// with_profile().
+  ServeOptions& with_reprofile_every(std::uint64_t dispatches) {
+    reprofile_every_ = dispatches;
+    return *this;
+  }
 
+  /// Rank count of the owned machine.
   int ranks() const { return ranks_; }
+  /// QR options applied to every job.
   const QrOptions& qr() const { return qr_; }
-  bool profile() const { return profile_; }
+  /// Whether the machine is profiled at construction (explicitly requested,
+  /// or implied by a nonzero re-profile period).
+  bool profile() const { return profile_ || reprofile_every_ > 0; }
+  /// Micro-benchmark sizes used when profiling.
   const ProfileOptions& profile_options() const { return profile_options_; }
+  /// Declared machine parameters.
   const sim::CostParams& params() const { return params_; }
+  /// Pinned ranks per job group (0 = adaptive).
   int group_ranks() const { return group_ranks_; }
+  /// Whether the executor thread drains submissions asynchronously.
+  bool async() const { return async_; }
+  /// Batch dispatches between re-profiles (0 = never).
+  std::uint64_t reprofile_every() const { return reprofile_every_; }
 
  private:
   int ranks_ = 4;
@@ -104,43 +156,68 @@ class ServeOptions {
   ProfileOptions profile_options_;
   sim::CostParams params_;
   int group_ranks_ = 0;
+  bool async_ = false;
+  std::uint64_t reprofile_every_ = 0;
 };
 
-/// Per-job measurements, valid once the job is done.
+/// Per-job measurements, valid once the job has resolved successfully.
 struct JobStats {
-  double wall_seconds = 0.0;  ///< time inside the machine for this job
+  double wall_seconds = 0.0;    ///< time inside the machine for this job
+  double latency_seconds = 0.0; ///< submit() to resolution (queueing included)
   bool plan_cache_hit = false;  ///< shape plan came from the cache
+  int group_ranks = 0;          ///< ranks of the group the job ran on
 };
 
 namespace detail {
 
-/// Shared driver-side job record.  The machine's rank 0 writes the solution
-/// while the driver blocks in flush(), so there is no concurrent access.
+/// Shared driver-side job record.  Success fields (x, stats) are written by
+/// the machine's group-root rank *before* the release-store of `done`;
+/// readers load `done` with acquire first (JobHandle::ready), so the record
+/// is safe to read from any thread once a handle reports ready.
 struct Job {
   la::Matrix A, b;
   Plan plan;
+  int group_ranks = 0;
   la::Matrix x;
   std::exception_ptr error;
-  bool done = false;
+  std::atomic<bool> done{false};
   JobStats stats;
+  std::chrono::steady_clock::time_point submitted_at;
 };
 
 }  // namespace detail
 
 class BatchSolver;
 
-/// Future-like handle to a submitted job.  Copyable; all copies observe the
-/// same job.  solution() flushes the owning BatchSolver if the job has not
-/// run yet, then returns the replicated n x k solution or rethrows the
-/// job's error (std::invalid_argument for jobs rejected at validation).
+/// Future to a submitted job.  Copyable; all copies observe the same job.
+/// ready() is non-blocking; wait() blocks until the job resolves (in
+/// blocking mode it drives the owning BatchSolver's flush()); get() waits
+/// and returns the replicated n x k solution or rethrows the job's error
+/// (std::invalid_argument for jobs rejected at validation, the session's
+/// error for jobs lost to a machine-level abort).
+///
+/// Lifetime: the job record is shared, so a handle on a *resolved* job
+/// outlives its BatchSolver safely — and the BatchSolver destructor resolves
+/// every job before returning.  Do not block in wait()/get() on one thread
+/// while destroying the owning BatchSolver on another.
 class JobHandle {
  public:
   JobHandle() = default;
 
+  /// False only for default-constructed handles.
   bool valid() const { return job_ != nullptr; }
-  bool done() const;
-  const la::Matrix& solution() const;
-  /// Valid after done(); throws if the job failed.
+  /// Non-blocking: has the job resolved (solution or error)?
+  bool ready() const;
+  /// Legacy alias of ready().
+  bool done() const { return ready(); }
+  /// Block until the job resolves.  Async mode: sleeps on the owner's
+  /// completion signal; blocking mode: drives owner->flush().
+  void wait() const;
+  /// wait(), then the solution — or rethrow the job's stored error.
+  const la::Matrix& get() const;
+  /// Alias of get() (the pre-async name).
+  const la::Matrix& solution() const { return get(); }
+  /// Valid once ready; throws the job's error if it failed.
   const JobStats& stats() const;
 
  private:
@@ -152,67 +229,166 @@ class JobHandle {
   std::shared_ptr<detail::Job> job_;
 };
 
-/// The serving object.  NOT thread-safe for concurrent driver calls (one
-/// serving loop per instance); the machine it owns is internally parallel.
+/// Outcome of adaptive group sizing for one problem shape (see
+/// choose_group_ranks).
+struct GroupChoice {
+  int group_ranks = 1;            ///< chosen ranks per job group
+  double job_seconds = 0.0;       ///< predicted per-job seconds at that size
+  double makespan_seconds = 0.0;  ///< predicted batch makespan at that size
+};
+
+/// Candidate group sizes on a P-rank machine: the powers of two below P,
+/// plus P itself (ascending).
+std::vector<int> group_size_candidates(int P);
+
+/// Resolve the execution plan for an (m, n) problem on a P-rank
+/// (sub-)communicator through `cache`: algorithm dispatch plus machine
+/// tuning when `qr.tune_for_machine()`, exactly what Solver::factor would
+/// do — and the plan's `predicted` costs are always filled (from the tuner,
+/// or from the closed-form model at the resolved parameters), so callers
+/// can compare shapes and group sizes by predicted time.
+Plan resolve_shape_plan(la::index_t m, la::index_t n, int P, const QrOptions& qr,
+                        PlanCache& cache, backend::Kind kind, const sim::CostParams& machine);
+
+/// Adaptive group sizing: pick ranks-per-group for `jobs` problems of shape
+/// m x n on a P-rank machine, minimizing the model-predicted batch makespan
+/// ceil(jobs / (P/g)) * predicted_job_seconds(g) over group_size_candidates.
+/// Near-tied makespans (within 1%) prefer the larger group — lower per-job
+/// latency at equal throughput.  Pure model arithmetic: candidate plans are
+/// resolved through `cache`, so repeated calls for a known shape cost a map
+/// lookup.  This is the policy behind ServeOptions auto grouping; it is
+/// exposed so tests can pin its decisions and benches can report them.
+GroupChoice choose_group_ranks(la::index_t m, la::index_t n, int jobs, int P,
+                               const QrOptions& qr, PlanCache& cache, backend::Kind kind,
+                               const sim::CostParams& machine);
+
+/// The serving object.  submit() is safe to call from any number of driver
+/// threads in both modes.  In blocking mode the execution entry points
+/// (flush / solve_all / handle waits) are single-driver: one serving loop
+/// per instance.  In async mode the executor thread is the only machine
+/// driver, and every public method is safe to call concurrently.
 class BatchSolver {
  public:
   explicit BatchSolver(ServeOptions opts = {});
+  /// Clean shutdown: drains every submitted job (see shutdown()), so no
+  /// handle is left pending.  Destroying with jobs in flight is safe.
+  ~BatchSolver();
+
+  BatchSolver(const BatchSolver&) = delete;
+  BatchSolver& operator=(const BatchSolver&) = delete;
 
   /// Enqueue min_x ||A x - b|| (A: m x n replicated driver-side, b: m x k).
-  /// Nothing executes until flush() / solution() / solve_all().
+  /// Blocking mode: nothing executes until flush() / get() / solve_all().
+  /// Async mode: the executor picks the job up immediately.  Throws
+  /// std::invalid_argument after shutdown()/abort().
   JobHandle submit(la::Matrix A, la::Matrix b);
 
-  /// Execute every pending job in one machine session.  Driver-side
-  /// validation errors land only in the affected handles.  A machine-level
-  /// failure (an in-machine throw aborts the whole session) rethrows from
-  /// flush() AND is recorded in every job the session did not finish, so
-  /// their handles rethrow the real cause; jobs that completed before the
-  /// abort keep their solutions, and the machine stays usable.
+  /// Barrier: every job submitted before this call has resolved when it
+  /// returns.  Blocking mode executes the pending batch inline and rethrows
+  /// a machine-level session error (after recording it in the affected
+  /// handles); async mode only waits — errors stay in the handles, where
+  /// per-job failure isolation puts them.
   void flush();
 
-  /// Bulk API: submit all problems, flush once, return the solutions in
-  /// order.  Throws the first failed job's error (after all jobs ran).
+  /// Bulk API: submit all problems, flush, return the solutions in order.
+  /// Throws the first failed job's error (after all jobs ran).
   std::vector<la::Matrix> solve_all(std::vector<std::pair<la::Matrix, la::Matrix>> problems);
 
-  /// Aggregate serving statistics.
+  /// Clean shutdown: drain every pending job, then stop the executor.
+  /// Idempotent; called by the destructor.  After shutdown, submit()
+  /// throws.  Blocking mode: equivalent to flush() + closing submissions.
+  void shutdown();
+
+  /// Abort: fail every queued-but-unstarted job with a shutdown error,
+  /// interrupt the in-flight machine session (backend::Machine::
+  /// request_abort — best effort; jobs that already completed keep their
+  /// solutions), and stop the executor.  Every handle resolves: unfinished
+  /// futures observe the abort as their error.  Idempotent with shutdown().
+  void abort();
+
+  /// Aggregate serving statistics (a consistent snapshot).
   struct Stats {
     std::uint64_t jobs_submitted = 0;
     std::uint64_t jobs_completed = 0;  ///< solved successfully
-    std::uint64_t jobs_failed = 0;     ///< rejected or errored
-    std::uint64_t flushes = 0;
-    std::uint64_t plan_cache_hits = 0;
-    std::uint64_t plan_cache_misses = 0;
+    std::uint64_t jobs_failed = 0;     ///< rejected, errored, or aborted
+    std::uint64_t flushes = 0;         ///< batch dispatches (executor drains / flush calls)
+    std::uint64_t sessions = 0;        ///< machine sessions (>= flushes: one per group size)
+    std::uint64_t reprofiles = 0;      ///< periodic re-profiles performed
+    std::uint64_t plan_cache_hits = 0;    ///< jobs whose shape was already sized+tuned
+    std::uint64_t plan_cache_misses = 0;  ///< jobs that triggered sizing+tuning
     double serve_seconds = 0.0;  ///< total machine-session time
     double problems_per_second() const {
       return serve_seconds > 0.0 ? static_cast<double>(jobs_completed) / serve_seconds : 0.0;
     }
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
-  /// The profile measured at construction (with_profile() only).
-  const MachineProfile* profile() const { return profile_ ? &*profile_ : nullptr; }
+  /// The most recent measured profile (empty unless
+  /// with_profile()/with_reprofile_every()).  A value copy: periodic
+  /// re-profiling replaces the stored profile concurrently, so no reference
+  /// into it can be handed out safely.
+  std::optional<MachineProfile> profile() const;
   /// Parameters the owned machine (and therefore the tuner) runs under —
-  /// the fitted profile when with_profile(), the declared one otherwise.
-  const sim::CostParams& machine_params() const { return machine_->params(); }
+  /// the fitted profile when profiling, the declared one otherwise.
+  sim::CostParams machine_params() const;
+  /// The owned machine.  Driver-side use only while no jobs are in flight
+  /// (the async executor owns it between submit and resolution).
   backend::Machine& machine() { return *machine_; }
   const std::shared_ptr<PlanCache>& plan_cache() const { return cache_; }
   const ServeOptions& options() const { return opts_; }
 
  private:
   /// Driver-side shape/option validation; returns false (with the error
-  /// stored in the job) when the job must not enter the machine.
-  bool validate_job(detail::Job& job);
-  /// Driver-side plan resolution through the shared cache for a job that
-  /// will run on a `group_ranks`-rank sub-communicator.
-  void resolve_plan(detail::Job& job, int group_ranks);
+  /// resolved into the job) when the job must not enter the machine.
+  bool validate_job(const std::shared_ptr<detail::Job>& job);
+  /// Mark a job resolved (error == nullptr: success fields already written),
+  /// stamp latency, bump completion counters, wake waiters.  Called from
+  /// the driver, the executor, or a machine group-root rank.
+  void resolve_job(const std::shared_ptr<detail::Job>& job, std::exception_ptr error);
+  /// Validate, size, plan and execute one drained batch (executor thread or
+  /// blocking flush).  Returns the first machine-level session error (also
+  /// recorded in the affected handles), or nullptr.
+  std::exception_ptr process_batch(std::vector<std::shared_ptr<detail::Job>> batch);
+  /// One machine session: all `jobs` round-robined over P/g groups of g.
+  void run_session(int g, const std::vector<std::shared_ptr<detail::Job>>& jobs);
+  /// Periodic re-profiling (called between dispatches when configured).
+  void maybe_reprofile();
+  /// Snapshot-and-clear the submission queue (takes mu_).
+  std::vector<std::shared_ptr<detail::Job>> drain_queue();
+  /// Resolve every not-yet-done job in `jobs` with `error`.
+  void resolve_unfinished(const std::vector<std::shared_ptr<detail::Job>>& jobs,
+                          std::exception_ptr error);
+  /// Executor thread body (async mode).
+  void executor_loop();
+  void wait_for(const std::shared_ptr<detail::Job>& job);
+  friend class JobHandle;
 
   ServeOptions opts_;
   std::unique_ptr<backend::Machine> machine_;
   std::shared_ptr<PlanCache> cache_;
   std::optional<MachineProfile> profile_;
   Solver solver_;
-  std::vector<std::shared_ptr<detail::Job>> pending_;
+
+  /// mu_ guards: queue_, stats_, submitted_/finished_, sized_shapes_,
+  /// stop_/aborting_, and swaps of machine_/profile_ during re-profiling.
+  /// Never held across a machine session.
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< executor wakes on submissions/stop
+  std::condition_variable done_cv_;   ///< flush()/wait() completion signal
+  std::deque<std::shared_ptr<detail::Job>> queue_;
+  std::uint64_t dispatches_since_profile_ = 0;
+  /// Shapes already sized+planned under the current profile: membership
+  /// drives the per-job hit/miss counters, and re-profiling clears it so
+  /// every shape re-tunes against the fresh fit.
+  std::vector<std::pair<la::index_t, la::index_t>> sized_shapes_;
+  bool stop_ = false;
+  bool aborting_ = false;
   Stats stats_;
+  /// Serializes executor_.join() across concurrent shutdown()/abort()/
+  /// destructor calls (never held together with mu_; the executor never
+  /// takes it).
+  std::mutex join_mu_;
+  std::thread executor_;
 };
 
 }  // namespace qr3d::serve

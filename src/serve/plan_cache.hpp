@@ -34,15 +34,16 @@ namespace qr3d::serve {
 
 /// Cache key: problem shape + execution context + machine parameters.
 struct PlanKey {
-  la::index_t m = 0;
-  la::index_t n = 0;
-  int P = 0;
-  Dist layout = Dist::CyclicRows;
-  backend::Kind backend = backend::Kind::Simulated;
-  double alpha = 0.0;
-  double beta = 0.0;
-  double gamma = 0.0;
+  la::index_t m = 0;  ///< problem rows
+  la::index_t n = 0;  ///< problem columns
+  int P = 0;          ///< ranks of the (sub-)communicator the plan targets
+  Dist layout = Dist::CyclicRows;                  ///< input distribution
+  backend::Kind backend = backend::Kind::Simulated;  ///< executing backend
+  double alpha = 0.0;  ///< machine seconds per message
+  double beta = 0.0;   ///< machine seconds per word
+  double gamma = 0.0;  ///< machine seconds per flop
 
+  /// Lexicographic order over every field (std::map key requirement).
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     auto tie = [](const PlanKey& k) {
       return std::tuple(k.m, k.n, k.P, static_cast<int>(k.layout), static_cast<int>(k.backend),
@@ -55,8 +56,8 @@ struct PlanKey {
 /// A tuned execution plan: the recursion parameters Solver::factor needs,
 /// plus the model-predicted costs the tuner chose them by.
 struct Plan {
-  double delta = 2.0 / 3.0;
-  double epsilon = 1.0;
+  double delta = 2.0 / 3.0;  ///< Theorem 1 bandwidth/latency tradeoff
+  double epsilon = 1.0;      ///< Theorem 2 base-case tradeoff
   la::index_t b = 0;       ///< recursion threshold (0 = derive from delta)
   la::index_t b_star = 0;  ///< base-case threshold (0 = derive from epsilon)
   cost::Costs predicted;   ///< model costs under the key's machine parameters
@@ -83,9 +84,13 @@ class PlanCache {
   /// True if `key` is cached; does not tune and does not touch the counters.
   bool contains(const PlanKey& key) const;
 
+  /// Lookups served from the cache so far.
   std::uint64_t hits() const;
+  /// Lookups that had to tune/compute so far.
   std::uint64_t misses() const;
+  /// Number of cached plans.
   std::size_t size() const;
+  /// Drop every plan and zero the counters.
   void clear();
 
  private:

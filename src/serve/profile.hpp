@@ -22,7 +22,7 @@
 // simulation speed, not the modelled machine; it is meant for real backends.
 #pragma once
 
-#include "backend/comm.hpp"
+#include "backend/machine.hpp"
 #include "la/matrix.hpp"
 
 namespace qr3d::serve {

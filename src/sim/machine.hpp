@@ -19,7 +19,7 @@
 #include <mutex>
 #include <vector>
 
-#include "backend/comm.hpp"
+#include "backend/machine.hpp"
 #include "sim/clock.hpp"
 
 namespace qr3d::sim {

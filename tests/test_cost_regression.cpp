@@ -18,6 +18,7 @@
 // algorithms send, not just how buffers move.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
 #include <vector>
 
@@ -27,8 +28,10 @@
 #include "core/dist_matrix.hpp"
 #include "core/solver.hpp"
 #include "la/random.hpp"
+#include "serve/batch_solver.hpp"
 #include "serve/plan_cache.hpp"
 #include "sim/machine.hpp"
+#include "sim/profiles.hpp"
 
 namespace backend = qr3d::backend;
 namespace coll = qr3d::coll;
@@ -261,4 +264,47 @@ TEST(CostRegression, SimulatedCountsAreReproducibleAndTransportIndependent) {
   EXPECT_DOUBLE_EQ(cp1.time, cp2.time);
   EXPECT_DOUBLE_EQ(tot1.msgs_sent, tot2.msgs_sent);
   EXPECT_DOUBLE_EQ(tot1.words_sent, tot2.words_sent);
+}
+
+// --- Adaptive group sizing. ---------------------------------------------------
+
+// The serving layer's auto grouping (serve::choose_group_ranks) is pure
+// model arithmetic over the plan cache's predicted costs, so its decisions
+// are exactly reproducible — pin them.  The policy under pin: on the default
+// declared profile (alpha = 1s: communication absurdly expensive) everything
+// pipelines at g = 1; on a low-latency fabric a lone big problem takes the
+// whole machine, a machine-filling batch of the same shape pipelines, and a
+// memory-bound tall-skinny batch still prefers the full machine.
+TEST(CostRegression, AdaptiveGroupSizingDecisionsArePinned) {
+  serve::PlanCache cache;
+  const qr3d::QrOptions qr = qr3d::QrOptions().with_tune_for_machine();
+  const auto choose = [&](qr3d::la::index_t m, qr3d::la::index_t n, int jobs, int ranks,
+                          const sim::CostParams& mp) {
+    return serve::choose_group_ranks(m, n, jobs, ranks, qr, cache,
+                                     backend::Kind::Simulated, mp);
+  };
+
+  const sim::CostParams def{};  // alpha=1, beta=1e-2, gamma=1e-6
+  EXPECT_EQ(choose(64, 16, 8, 8, def).group_ranks, 1);
+  EXPECT_EQ(choose(2048, 512, 1, 8, def).group_ranks, 1);
+
+  const sim::CostParams hpc = sim::profiles::hpc_fabric();
+  EXPECT_EQ(choose(64, 16, 8, 8, hpc).group_ranks, 1);      // small batch: pipeline
+  EXPECT_EQ(choose(2048, 512, 1, 8, hpc).group_ranks, 8);   // lone big: whole machine
+  EXPECT_EQ(choose(2048, 512, 8, 8, hpc).group_ranks, 1);   // filled batch: pipeline
+  EXPECT_EQ(choose(65536, 512, 4, 8, hpc).group_ranks, 8);  // tall-skinny: parallel wins
+
+  // Internal consistency: makespan = ceil(jobs / (P/g)) * per-job seconds.
+  const serve::GroupChoice tall = choose(65536, 512, 4, 8, hpc);
+  EXPECT_DOUBLE_EQ(tall.makespan_seconds,
+                   std::ceil(4.0 / (8 / tall.group_ranks)) * tall.job_seconds);
+
+  // Bitwise-reproducible: a second evaluation returns the identical choice
+  // and costs nothing new — every candidate plan is already cached.
+  const std::uint64_t misses_before = cache.misses();
+  const serve::GroupChoice again = choose(65536, 512, 4, 8, hpc);
+  EXPECT_EQ(again.group_ranks, tall.group_ranks);
+  EXPECT_DOUBLE_EQ(again.job_seconds, tall.job_seconds);
+  EXPECT_DOUBLE_EQ(again.makespan_seconds, tall.makespan_seconds);
+  EXPECT_EQ(cache.misses(), misses_before);
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <thread>
 
 #include "backend/thread_machine.hpp"
 #include "core/dist_matrix.hpp"
@@ -103,4 +104,42 @@ TEST(MachineReuse, SingleRankMachineReuses) {
   }
   EXPECT_EQ(sum, 100.0);
   EXPECT_EQ(machine.runs_completed(), 100u);
+}
+
+TEST(MachineReuse, RequestAbortInterruptsABlockedRunAndStaysUsable) {
+  // The serving layer's abort() path: a driver-side thread interrupts a run
+  // whose ranks are blocked waiting for messages that will never come.
+  const int P = 4;
+  backend::ThreadMachine machine(P);
+  EXPECT_FALSE(machine.request_abort());  // idle: nothing to interrupt
+
+  for (int round = 0; round < 5; ++round) {
+    std::exception_ptr run_error;
+    std::thread driver([&]() {
+      try {
+        machine.run([&](backend::Comm& c) {
+          if (c.rank() == 0) (void)c.recv(1, 42);  // never sent: blocks forever
+        });
+      } catch (...) {
+        run_error = std::current_exception();
+      }
+    });
+    // Poll until the abort lands on an in-flight run (the worker may not
+    // have started blocking yet; request_abort is false while idle).
+    while (!machine.request_abort()) std::this_thread::yield();
+    driver.join();
+    ASSERT_NE(run_error, nullptr);
+    EXPECT_THROW(std::rethrow_exception(run_error), std::runtime_error);
+
+    // The machine must serve the next run cleanly.
+    machine.run([&](backend::Comm& c) {
+      if (c.rank() == 0) c.send(1, {3.5}, 7);
+      if (c.rank() == 1) {
+        std::vector<double> got = c.recv(0, 7);
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_EQ(got[0], 3.5);
+      }
+    });
+  }
+  EXPECT_FALSE(machine.request_abort());  // idle again
 }

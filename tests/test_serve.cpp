@@ -288,7 +288,7 @@ TEST(ProfileMachine, BatchSolverConsumesTheFittedProfileEndToEnd) {
   po.gemm_reps = 2;
   serve::BatchSolver srv(
       serve::ServeOptions().with_ranks(2).with_profile().with_profile_options(po));
-  ASSERT_NE(srv.profile(), nullptr);
+  ASSERT_TRUE(srv.profile().has_value());
   EXPECT_TRUE(srv.profile()->comm_measured);
   // The machine the jobs run on carries the *fitted* parameters, so the
   // tuner (and the plan-cache key) sees measured numbers.
