@@ -132,6 +132,12 @@ void json_measured(b::JsonWriter& w, const Measured& m, bool with_latency) {
   w.key("plan_cache_misses").value(static_cast<unsigned long long>(m.stats.plan_cache_misses));
   w.key("flushes").value(static_cast<unsigned long long>(m.stats.flushes));
   w.key("sessions").value(static_cast<unsigned long long>(m.stats.sessions));
+  // Self-healing counters (additive to qr3d-bench/1): total machine attempts
+  // across jobs, and jobs that needed a rank-death requeue to finish.  Both
+  // stay at the no-fault baseline (attempts == jobs entering sessions,
+  // recovered == 0) unless a fault plan was installed.
+  w.key("attempts").value(static_cast<unsigned long long>(m.stats.attempts));
+  w.key("recovered").value(static_cast<unsigned long long>(m.stats.recovered));
 }
 
 }  // namespace

@@ -6,6 +6,10 @@
 
 namespace qr3d::backend {
 
+void Machine::set_fault_plan(fault::Plan plan) {
+  QR3D_CHECK(plan.empty(), "this backend does not support fault injection");
+}
+
 std::unique_ptr<Machine> make_machine(Kind kind, int P, sim::CostParams params) {
   switch (kind) {
     case Kind::Simulated: return std::make_unique<sim::Machine>(P, std::move(params));

@@ -14,8 +14,10 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "backend/comm.hpp"
+#include "fault/plan.hpp"
 
 namespace qr3d::backend {
 
@@ -55,6 +57,21 @@ class Machine {
   /// concurrently with run(); never blocks.  A machine that aborted stays
   /// usable for the next run().
   virtual bool request_abort() { return false; }
+
+  /// Install a deterministic fault plan (see fault/plan.hpp): kill or stall
+  /// rank r at logical comm-op step s on subsequent run() calls.  Driver-side
+  /// only, machine idle.  Events are one-shot across runs until a new plan
+  /// replaces them; install an empty plan to disarm.  The default
+  /// implementation accepts only the empty plan — backends that support
+  /// injection (both current ones do) override.
+  virtual void set_fault_plan(fault::Plan plan);
+
+  /// Global ranks killed by the fault plan during the last run() (ascending;
+  /// empty when no plan is armed).  A run in which ranks died but every
+  /// survivor completed cleanly returns normally from run() — callers that
+  /// need to distinguish "finished" from "finished short-handed" (the
+  /// serving layer's self-healing requeue) query this afterwards.
+  virtual std::vector<int> last_run_deaths() const { return {}; }
 };
 
 /// Construct a machine of the given kind.  `params` drives cost accounting

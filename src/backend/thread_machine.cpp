@@ -47,7 +47,8 @@ void RankPort::push_from(int src, ThreadEnvelope&& e) {
 }
 
 ThreadEnvelope RankPort::recv_match(int src, std::uint64_t context, int tag,
-                                    const std::atomic<bool>& aborted) {
+                                    const std::atomic<bool>& aborted,
+                                    const fault::Injector& injector) {
   auto& channel = from_[static_cast<std::size_t>(src)];
   auto& pending = pending_[static_cast<std::size_t>(src)];
 
@@ -77,15 +78,30 @@ ThreadEnvelope RankPort::recv_match(int src, std::uint64_t context, int tag,
         return channel.take_oldest();
     }
     if (try_take(e)) return e;
+    // Death before abort: a peer's death often *causes* the abort (another
+    // survivor threw RankDeath first), and the death flag is visible whenever
+    // the abort it caused is — checking in this order keeps the surfaced
+    // error deterministically RankDeath instead of racing on which flag the
+    // waiter observes first.
+    if (injector.is_dead(src)) {
+      // The death flag is released after the dying rank's last push, so one
+      // more drain under the acquire load catches anything it sent first.
+      if (try_take(e)) return e;
+      throw fault::RankDeath(src, "qr3d::backend: rank " + std::to_string(src) +
+                                      " died before sending the awaited message");
+    }
     if (aborted.load(std::memory_order_acquire))
       throw std::runtime_error("qr3d::backend: thread machine aborted while waiting for message");
 
     // The message we are waiting for can only arrive on this channel, so
     // poll it (level-triggered — no wakeup to miss), then park on it.
-    const bool data = Backoff::spin_until(
-        [&]() { return channel.ring_nonempty() || aborted.load(std::memory_order_relaxed); });
+    const bool data = Backoff::spin_until([&]() {
+      return channel.ring_nonempty() || aborted.load(std::memory_order_relaxed) ||
+             injector.is_dead(src);
+    });
     if (data) continue;
-    channel.park([&]() { return aborted.load(std::memory_order_relaxed); });
+    channel.park(
+        [&]() { return aborted.load(std::memory_order_relaxed) || injector.is_dead(src); });
   }
 }
 
@@ -117,20 +133,22 @@ class ThreadComm : public CommImpl {
   const sim::CostParams& params() const override { return machine_->params(); }
 
   void send(int dst, std::vector<double>&& payload, int tag) override {
+    const int src_global = group_->members[static_cast<std::size_t>(rank_)];
+    machine_->injector_.before_op(src_global, machine_->aborted_);
     ThreadEnvelope e;
     e.context = group_->context;
     e.tag = tag;
     e.payload = std::move(payload);
-    const int src_global = group_->members[static_cast<std::size_t>(rank_)];
     const int dst_global = group_->members[static_cast<std::size_t>(dst)];
     machine_->ports_[static_cast<std::size_t>(dst_global)].push_from(src_global, std::move(e));
   }
 
   std::vector<double> recv(int src, int tag) override {
     const int me_global = group_->members[static_cast<std::size_t>(rank_)];
+    machine_->injector_.before_op(me_global, machine_->aborted_);
     const int src_global = group_->members[static_cast<std::size_t>(src)];
     ThreadEnvelope e = machine_->ports_[static_cast<std::size_t>(me_global)].recv_match(
-        src_global, group_->context, tag, machine_->aborted_);
+        src_global, group_->context, tag, machine_->aborted_, machine_->injector_);
     return std::move(e.payload);
   }
 
@@ -141,9 +159,19 @@ class ThreadComm : public CommImpl {
     const int n = size();
 
     // The rendezvous must not outlive an abort: a rank that threw will never
-    // arrive, so waiters poll the abort flag instead of sleeping forever.
+    // arrive, so waiters poll the abort flag instead of sleeping forever.  A
+    // group member killed by the fault plan will likewise never arrive, so
+    // waiters also poll for member deaths and surface fault::RankDeath.
     auto wait_or_abort = [&](std::unique_lock<std::mutex>& lk, auto&& pred) {
       while (!g.cv.wait_for(lk, std::chrono::milliseconds(1), pred)) {
+        // Death before abort: see RankPort::recv_match — a death usually
+        // causes the abort, and checking in this order surfaces RankDeath
+        // deterministically.
+        for (int member : g.members) {
+          if (machine_->injector_.is_dead(member))
+            throw fault::RankDeath(member, "qr3d::backend: rank " + std::to_string(member) +
+                                               " died during communicator split");
+        }
         if (machine_->aborted_.load(std::memory_order_acquire))
           throw std::runtime_error(
               "qr3d::backend: thread machine aborted during communicator split");
@@ -301,6 +329,12 @@ void ThreadMachine::worker_loop(int p) {
     Comm comm(std::make_shared<detail::ThreadComm>(this, std::move(world), p));
     try {
       (*body)(comm);
+    } catch (const fault::detail::InjectedKill&) {
+      // An injected death is not an error of the run: mark the rank dead and
+      // wake every parked receiver so survivors detect it and either recover
+      // (fault::coded_tsqr) or fail with fault::RankDeath.
+      injector_.mark_dead(p);
+      for (auto& port : ports_) port.wake();
     } catch (...) {
       errors_[static_cast<std::size_t>(p)] = std::current_exception();
       aborted_.store(true, std::memory_order_seq_cst);
@@ -331,6 +365,7 @@ void ThreadMachine::run(const std::function<void(Comm&)>& body) {
   for (auto& port : ports_) port.reset();
   aborted_.store(false, std::memory_order_release);
   next_context_.store(1, std::memory_order_release);
+  injector_.reset_run();
   for (auto& err : errors_) err = nullptr;
 
   // Fresh world group every run: split() rendezvous state lives in the

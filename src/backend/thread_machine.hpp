@@ -46,6 +46,7 @@
 
 #include "backend/machine.hpp"
 #include "backend/spsc.hpp"
+#include "fault/injector.hpp"
 
 namespace qr3d::backend {
 
@@ -71,9 +72,12 @@ class RankPort {
 
   /// Consumer side: block until a message from (src, context, tag) arrives,
   /// then return the first such message (FIFO per key).  Throws if the
-  /// machine aborts.
+  /// machine aborts, or fault::RankDeath once the injector reports `src`
+  /// killed and no already-delivered message matches (messages pushed before
+  /// the death are still received in order — death is detected, not
+  /// retroactive; ports are indexed by global rank, so `src` is global).
   ThreadEnvelope recv_match(int src, std::uint64_t context, int tag,
-                            const std::atomic<bool>& aborted);
+                            const std::atomic<bool>& aborted, const fault::Injector& injector);
 
   /// Wake the owner if it is parked on any channel (abort path).
   void wake();
@@ -163,6 +167,11 @@ class ThreadMachine : public Machine {
   /// The effective options (after the environment override).
   const ThreadOptions& options() const { return options_; }
 
+  /// Deterministic fault injection (see fault/plan.hpp) — same semantics as
+  /// the simulator's, pinned by tests/test_backend_conformance.cpp.
+  void set_fault_plan(fault::Plan plan) override { injector_.install(std::move(plan), P_); }
+  std::vector<int> last_run_deaths() const override { return injector_.deaths(); }
+
  private:
   friend class detail::ThreadComm;
 
@@ -179,6 +188,7 @@ class ThreadMachine : public Machine {
   std::vector<detail::RankPort> ports_;  // indexed by dst global rank
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
+  fault::Injector injector_;
   double wall_seconds_ = 0.0;
   std::uint64_t runs_completed_ = 0;
 

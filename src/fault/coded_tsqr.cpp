@@ -1,0 +1,333 @@
+#include "fault/coded_tsqr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "fault/plan.hpp"
+#include "la/blas.hpp"
+#include "la/error.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+#include "la/lu.hpp"
+#include "la/packing.hpp"
+#include "la/qr_eg_serial.hpp"
+#include "la/triangular.hpp"
+
+namespace qr3d::fault {
+
+namespace {
+
+constexpr int kTagUpsweep = 8111;
+constexpr int kTagDownsweep = 8112;
+constexpr int kTagStatus = 8113;
+constexpr int kTagRecover = 8114;
+constexpr int kTagFinal = 8115;
+
+/// One stored internal node of this rank's path through the reduction tree
+/// (same shape as core::tsqr's — kept only for the clean downsweep).
+struct TreeNode {
+  int partner;
+  la::Matrix V;
+  la::Matrix T;
+};
+
+/// Checksum weight of rank p in checksum j: (p+1)^j.  Distinct positive
+/// bases make every square subsystem a nonsingular Vandermonde system.
+double weight(int p, int j) {
+  return std::pow(static_cast<double>(p + 1), static_cast<double>(j));
+}
+
+/// Solve the e x e system M x = rhs[k] for every k (Gaussian elimination
+/// with partial pivoting, factored once).  M is row-major, overwritten; each
+/// rhs column is overwritten with its solution.
+void solve_inplace(int e, std::vector<double>& M, std::vector<std::vector<double>>& rhs) {
+  std::vector<int> perm(static_cast<std::size_t>(e));
+  for (int i = 0; i < e; ++i) perm[static_cast<std::size_t>(i)] = i;
+  auto at = [&](int r, int c) -> double& {
+    return M[static_cast<std::size_t>(perm[static_cast<std::size_t>(r)] * e + c)];
+  };
+  for (int k = 0; k < e; ++k) {
+    int piv = k;
+    for (int r = k + 1; r < e; ++r)
+      if (std::abs(at(r, k)) > std::abs(at(piv, k))) piv = r;
+    std::swap(perm[static_cast<std::size_t>(k)], perm[static_cast<std::size_t>(piv)]);
+    for (auto& col : rhs)
+      std::swap(col[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])],
+                col[static_cast<std::size_t>(perm[static_cast<std::size_t>(piv)])]);
+    QR3D_ASSERT(at(k, k) != 0.0, "coded_tsqr: singular recovery system");
+    for (int r = k + 1; r < e; ++r) {
+      const double l = at(r, k) / at(k, k);
+      at(r, k) = 0.0;
+      for (int c = k + 1; c < e; ++c) at(r, c) -= l * at(k, c);
+      for (auto& col : rhs)
+        col[static_cast<std::size_t>(r)] -= l * col[static_cast<std::size_t>(k)];
+    }
+  }
+  for (auto& col : rhs) {
+    for (int r = e - 1; r >= 0; --r) {
+      double s = col[static_cast<std::size_t>(r)];
+      for (int c = r + 1; c < e; ++c) s -= at(r, c) * col[static_cast<std::size_t>(c)];
+      col[static_cast<std::size_t>(r)] = s / at(r, r);
+    }
+  }
+}
+
+}  // namespace
+
+CodedTsqrResult coded_tsqr(backend::Comm& comm, la::ConstMatrixView A_local,
+                           CodedTsqrOptions opts) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  const la::index_t mp = A_local.rows();
+  const la::index_t n = A_local.cols();
+  QR3D_CHECK(mp >= n, "coded_tsqr: every rank needs at least n rows (m/n >= P)");
+  QR3D_CHECK(opts.f >= 1 && opts.f <= P, "coded_tsqr: f must be in [1, P]");
+  const int keeper = P - 1;  // checksum home, off the tree root
+  const std::size_t L = static_cast<std::size_t>(la::packed_upper_size(n));
+  const int f = opts.f;
+
+  // --- Local QR (identical kernel choice to core::tsqr). -------------------
+  la::Matrix V0, T0, R;
+  if (opts.tsqr.local_recursive_threshold > 0) {
+    la::QrFactors fac = la::qr_factor_recursive<double>(A_local, opts.tsqr.local_recursive_threshold);
+    V0 = std::move(fac.V);
+    T0 = std::move(fac.T_);
+    R = std::move(fac.R);
+  } else {
+    la::Matrix F = la::copy<double>(A_local);
+    T0 = la::Matrix(n, n);
+    la::geqrt(F.view(), T0.view());
+    V0 = la::extract_v<double>(F.view());
+    R = la::extract_r<double>(F.view());
+  }
+  comm.charge_flops(la::flops::geqrt(mp, n));
+
+  // The original local block, kept verbatim for the recovery round.
+  const std::vector<double> packed0 = la::pack_upper(R.view());
+
+  // --- Encode: f weighted checksums reduced to the keeper, one message. ----
+  std::vector<double> checksums(static_cast<std::size_t>(f) * L);
+  for (int j = 0; j < f; ++j) {
+    const double w = weight(me, j);
+    for (std::size_t i = 0; i < L; ++i) checksums[static_cast<std::size_t>(j) * L + i] = w * packed0[i];
+  }
+  comm.charge_flops(static_cast<double>(f) * static_cast<double>(L));
+  coll::reduce(comm, keeper, checksums, coll::Alg::Binomial);
+
+  // --- Upsweep: plain TSQR combines + one completeness word per message. ---
+  bool complete = true;
+  std::vector<TreeNode> nodes;
+  int parent = -1;
+  for (int mask = 1; mask < P; mask <<= 1) {
+    if ((me & mask) != 0) {
+      parent = me - mask;
+      std::vector<double> payload;
+      payload.reserve(1 + L);
+      payload.push_back(complete ? 1.0 : 0.0);
+      const std::vector<double> pr = la::pack_upper(R.view());
+      payload.insert(payload.end(), pr.begin(), pr.end());
+      comm.send(parent, std::move(payload), kTagUpsweep);
+      break;
+    }
+    if (me + mask < P) {
+      std::vector<double> payload;
+      try {
+        payload = comm.recv(me + mask, kTagUpsweep);
+      } catch (const RankDeath&) {
+        // Child's subtree is gone; continue with the partial aggregate and
+        // let the status phase route everyone into recovery.
+        complete = false;
+        continue;
+      }
+      if (payload.front() != 1.0) complete = false;
+      la::Matrix Rq = la::unpack_upper(n, std::vector<double>(payload.begin() + 1, payload.end()));
+      la::Matrix stacked(2 * n, n);
+      la::assign<double>(stacked.block(0, 0, n, n), R.view());
+      la::assign<double>(stacked.block(n, 0, n, n), Rq.view());
+      la::Matrix Tl(n, n);
+      la::geqrt(stacked.view(), Tl.view());
+      comm.charge_flops(la::flops::geqrt(2 * n, n));
+      R = la::extract_r<double>(stacked.view());
+      nodes.push_back(TreeNode{me + mask, la::extract_v<double>(stacked.view()), std::move(Tl)});
+    }
+  }
+
+  // --- Status: root direct-sends the mode to every rank.  Direct (not via
+  // the tree) so no survivor's status depends on an intermediate rank that
+  // may have died after forwarding its aggregate. ---------------------------
+  bool recovery;
+  if (me == 0) {
+    recovery = !complete;
+    for (int p = 1; p < P; ++p) comm.send(p, {recovery ? 1.0 : 0.0}, kTagStatus);
+  } else {
+    // Root dead => RankDeath propagates: unrecoverable session failure.
+    recovery = comm.recv(0, kTagStatus).front() == 1.0;
+  }
+
+  if (!recovery) {
+    // --- Clean downsweep + Householder reconstruction: verbatim core::tsqr
+    // arithmetic, so the zero-fault result is bitwise identical. -----------
+    la::Matrix B;
+    if (me == 0) {
+      B = la::Matrix::identity(n);
+    } else {
+      B = la::from_vector(n, n, comm.recv(parent, kTagDownsweep));
+    }
+    for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+      la::Matrix C(2 * n, n);
+      la::assign<double>(C.block(0, 0, n, n), B.view());
+      la::apply_q<double>(it->V.view(), it->T.view(), la::Op::NoTrans, C.view());
+      comm.charge_flops(la::flops::larfb(2 * n, n, n));
+      B = la::copy<double>(C.block(0, 0, n, n));
+      comm.send(it->partner, la::to_vector(C.block(n, 0, n, n)), kTagDownsweep);
+    }
+
+    la::Matrix W(mp, n);
+    la::assign<double>(W.block(0, 0, n, n), B.view());
+    la::apply_q<double>(V0.view(), T0.view(), la::Op::NoTrans, W.view());
+    comm.charge_flops(la::flops::larfb(mp, n, n));
+
+    CodedTsqrResult out;
+    std::vector<double> u_flat(static_cast<std::size_t>(n * n));
+    if (me == 0) {
+      la::LuSignShift lu = la::lu_sign_shift<double>(la::ConstMatrixView(W.block(0, 0, n, n)));
+      comm.charge_flops(la::flops::lu(n));
+
+      la::Matrix Tk = la::copy<double>(lu.U.view());
+      for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t i = 0; i <= j; ++i) Tk(i, j) *= lu.S[static_cast<std::size_t>(j)];
+      la::trsm(la::Side::Right, la::Uplo::Lower, la::Op::ConjTrans, la::Diag::Unit, 1.0,
+               lu.L.view(), Tk.view());
+      comm.charge_flops(la::flops::trsm(n, n));
+      la::make_triangular(la::Uplo::Upper, Tk.view());
+
+      for (la::index_t i = 0; i < n; ++i)
+        for (la::index_t j = i; j < n; ++j) R(i, j) *= -lu.S[static_cast<std::size_t>(i)];
+
+      out.qr.V = la::Matrix(mp, n);
+      la::assign<double>(out.qr.V.block(0, 0, n, n), lu.L.view());
+      if (mp > n) {
+        la::MatrixView lower = out.qr.V.block(n, 0, mp - n, n);
+        la::assign<double>(lower, W.block(n, 0, mp - n, n));
+        la::trsm(la::Side::Right, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0,
+                 lu.U.view(), lower);
+        comm.charge_flops(la::flops::trsm(n, mp - n));
+      }
+      out.qr.T = std::move(Tk);
+      out.qr.R = std::move(R);
+      u_flat = la::to_vector(lu.U.view());
+    }
+
+    coll::broadcast(comm, 0, u_flat, opts.tsqr.u_bcast_alg);
+    if (me != 0) {
+      la::Matrix U = la::from_vector(n, n, u_flat);
+      out.qr.V = std::move(W);
+      la::trsm(la::Side::Right, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0, U.view(),
+               out.qr.V.view());
+      comm.charge_flops(la::flops::trsm(n, mp));
+    }
+    return out;
+  }
+
+  // --- Recovery: rebuild R from the surviving blocks + checksums. ----------
+  if (me != 0) {
+    std::vector<double> payload = packed0;
+    if (me == keeper) payload.insert(payload.end(), checksums.begin(), checksums.end());
+    comm.send(0, std::move(payload), kTagRecover);
+
+    const std::vector<double> fin = comm.recv(0, kTagFinal);
+    const int e = static_cast<int>(fin.front());
+    CodedTsqrResult out;
+    out.recovered = true;
+    for (int i = 0; i < e; ++i) out.lost.push_back(static_cast<int>(fin[1 + static_cast<std::size_t>(i)]));
+    out.qr.R = la::unpack_upper(
+        n, std::vector<double>(fin.begin() + 1 + e, fin.end()));
+    return out;
+  }
+
+  // Root: collect every rank's original block; deaths surface per-recv.
+  std::vector<std::vector<double>> blocks(static_cast<std::size_t>(P));
+  blocks[0] = packed0;
+  std::vector<double> C;
+  std::vector<int> dead;
+  for (int p = 1; p < P; ++p) {
+    try {
+      std::vector<double> payload = comm.recv(p, kTagRecover);
+      blocks[static_cast<std::size_t>(p)].assign(payload.begin(),
+                                                 payload.begin() + static_cast<std::ptrdiff_t>(L));
+      if (p == keeper)
+        C.assign(payload.begin() + static_cast<std::ptrdiff_t>(L), payload.end());
+    } catch (const RankDeath&) {
+      if (p == keeper)
+        throw RankDeath(p, "coded_tsqr: checksum keeper (rank " + std::to_string(p) +
+                               ") died; the run is unrecoverable");
+      dead.push_back(p);
+    }
+  }
+  const int e = static_cast<int>(dead.size());
+  if (e > f)
+    throw RankDeath(dead.front(), "coded_tsqr: " + std::to_string(e) + " ranks died but only " +
+                                      std::to_string(f) + " checksums were encoded");
+
+  if (e > 0) {
+    // Subtract the surviving weighted blocks from the first e checksums; the
+    // remainder is the e x e Vandermonde image of the dead blocks.
+    std::vector<std::vector<double>> rhs(L, std::vector<double>(static_cast<std::size_t>(e)));
+    for (int j = 0; j < e; ++j) {
+      for (std::size_t i = 0; i < L; ++i) {
+        double s = C[static_cast<std::size_t>(j) * L + i];
+        for (int p = 0; p < P; ++p) {
+          const auto& b = blocks[static_cast<std::size_t>(p)];
+          if (!b.empty()) s -= weight(p, j) * b[i];
+        }
+        rhs[i][static_cast<std::size_t>(j)] = s;
+      }
+    }
+    std::vector<double> M(static_cast<std::size_t>(e) * static_cast<std::size_t>(e));
+    for (int j = 0; j < e; ++j)
+      for (int i = 0; i < e; ++i)
+        M[static_cast<std::size_t>(j * e + i)] = weight(dead[static_cast<std::size_t>(i)], j);
+    solve_inplace(e, M, rhs);
+    comm.charge_flops(2.0 * static_cast<double>(e) * static_cast<double>(P) * static_cast<double>(L) +
+                      2.0 * static_cast<double>(e) * static_cast<double>(e) * static_cast<double>(L));
+    for (int i = 0; i < e; ++i) {
+      auto& b = blocks[static_cast<std::size_t>(dead[static_cast<std::size_t>(i)])];
+      b.resize(L);
+      for (std::size_t k = 0; k < L; ++k) b[k] = rhs[k][static_cast<std::size_t>(i)];
+    }
+  }
+
+  la::Matrix stacked(static_cast<la::index_t>(P) * n, n);
+  for (int p = 0; p < P; ++p) {
+    la::Matrix Rp = la::unpack_upper(n, blocks[static_cast<std::size_t>(p)]);
+    la::assign<double>(stacked.block(static_cast<la::index_t>(p) * n, 0, n, n), Rp.view());
+  }
+  la::Matrix Tl(n, n);
+  la::geqrt(stacked.view(), Tl.view());
+  comm.charge_flops(la::flops::geqrt(static_cast<la::index_t>(P) * n, n));
+  la::Matrix Rtrue = la::extract_r<double>(stacked.view());
+
+  std::vector<double> fin;
+  fin.reserve(1 + static_cast<std::size_t>(e) + L);
+  fin.push_back(static_cast<double>(e));
+  for (int d : dead) fin.push_back(static_cast<double>(d));
+  const std::vector<double> pt = la::pack_upper(Rtrue.view());
+  fin.insert(fin.end(), pt.begin(), pt.end());
+  for (int p = 1; p < P; ++p) {
+    if (std::find(dead.begin(), dead.end(), p) != dead.end()) continue;
+    comm.send(p, std::vector<double>(fin), kTagFinal);
+  }
+
+  CodedTsqrResult out;
+  out.recovered = true;
+  out.lost = std::move(dead);
+  out.qr.R = std::move(Rtrue);
+  return out;
+}
+
+}  // namespace qr3d::fault

@@ -1,0 +1,75 @@
+// Checksum-protected TSQR: the [BDG+15] reduction tree of core/tsqr.hpp
+// armored with a linear erasure code over the per-rank R-blocks, so the
+// factorization completes even when up to f ranks die mid-reduction (see
+// fault/plan.hpp for how deaths are injected and detected).
+//
+// The code exploits the Gram identity R^T R = A^T A = sum_p R_p^T R_p: the
+// true R is the R-factor of the stacked per-rank R_p blocks, so protecting
+// the n x n R_p blocks protects the whole factorization.  Before the
+// reduction tree runs, every rank contributes f weighted copies of its
+// packed R_p to a checksum reduce rooted at the *keeper* (rank P-1, chosen
+// off the tree root so the checksum never travels with the data it
+// protects):
+//
+//   C_j = sum_p w_jp R_p,   w_jp = (p+1)^j,   j = 0..f-1.
+//
+// The upsweep then proceeds exactly as in plain TSQR — byte-identical
+// arithmetic — except each message carries one extra completeness word, and
+// a rank whose child died (fault::RankDeath on the upsweep recv) continues
+// with its partial aggregate and clears the flag.  After the upsweep the
+// root direct-sends a one-word status to every rank:
+//
+//   * clean    — the normal downsweep + Householder reconstruction runs and
+//                the result is bitwise identical to core::tsqr (V, T, R);
+//   * recovery — every surviving rank re-sends its original packed R_p to
+//                the root (the keeper appends the checksums); ranks whose
+//                blocks never arrive (<= f of them, or the run is
+//                unrecoverable) are reconstructed by solving the e x e
+//                Vandermonde system the weights define; the root QRs the
+//                stacked alive + recovered blocks and direct-sends the true
+//                R to every survivor.  The recovered result is R-only.
+//
+// Deaths at timings the code cannot cover (during the encode reduce, after
+// a clean status was issued, or the keeper/root themselves) surface as
+// fault::RankDeath from run() — a *session* failure the serving layer heals
+// by requeueing (see docs/SERVING.md), not a hang.
+#pragma once
+
+#include <vector>
+
+#include "backend/comm.hpp"
+#include "core/qr_result.hpp"
+#include "core/tsqr.hpp"
+#include "la/matrix.hpp"
+
+namespace qr3d::fault {
+
+struct CodedTsqrOptions {
+  /// Number of redundant checksum blocks == maximum dead ranks the
+  /// factorization survives.  Must be in [1, P].
+  int f = 1;
+  /// Options forwarded to the underlying TSQR (local kernel, U broadcast
+  /// algorithm) — the zero-fault path matches core::tsqr under the same
+  /// options bitwise.
+  core::TsqrOptions tsqr;
+};
+
+struct CodedTsqrResult {
+  /// Zero-fault: the full factorization, bitwise identical to core::tsqr.
+  /// After recovery: R only (root's R replicated to every survivor); V and T
+  /// are empty — the tree Q died with the dead ranks.
+  core::DistributedQr qr;
+  /// True when the recovery path ran (the result is R-only).
+  bool recovered = false;
+  /// Ranks whose R-blocks were reconstructed from checksums (ascending).
+  std::vector<int> lost;
+};
+
+/// Collective over `comm`; same data-distribution contract as core::tsqr
+/// (each rank owns m_p >= n rows, root is rank 0).  Throws fault::RankDeath
+/// when more than `f` blocks are missing or a structurally required rank
+/// (root, checksum keeper) died.
+CodedTsqrResult coded_tsqr(backend::Comm& comm, la::ConstMatrixView A_local,
+                           CodedTsqrOptions opts = {});
+
+}  // namespace qr3d::fault

@@ -1,0 +1,72 @@
+// The per-machine fault-injection engine shared by both execution backends.
+//
+// An Injector owns the installed fault::Plan plus the runtime state needed
+// to fire it deterministically: a per-rank logical comm-op counter (bumped
+// by the backend at every send and recv), per-event fired flags (one-shot
+// semantics across runs), and the per-rank death flags surviving ranks poll
+// to detect a dead peer.
+//
+// Threading contract (what keeps this TSan-clean):
+//   * install() and reset_run() are driver-only, called while the machine is
+//     idle; the machine's run-dispatch handshake orders them against worker
+//     access.
+//   * before_op(rank) is called only on rank's own thread — the step counter
+//     and fired flags are effectively thread-private.
+//   * mark_dead()/is_dead()/deaths() use atomics: a victim's runner thread
+//     stores with release, detecting peers load with acquire, so everything
+//     the victim published (messages sent before dying) is visible to a
+//     survivor that observed the death.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "fault/plan.hpp"
+
+namespace qr3d::fault {
+
+class Injector {
+ public:
+  /// Install `plan` for a P-rank machine (driver-only, machine idle).
+  /// Resets all step counters, fired flags and death flags; an empty plan
+  /// disarms injection entirely.
+  void install(Plan plan, int P);
+
+  /// Per-run reset (driver-only, machine idle): clears step counters and
+  /// death flags but keeps fired flags, so one-shot events stay consumed on
+  /// the next run.
+  void reset_run();
+
+  /// True when a non-empty plan is installed — backends skip all per-op
+  /// bookkeeping when disarmed, so the common case costs one branch.
+  bool armed() const { return armed_; }
+
+  /// Fault hook, called on `rank`'s own thread before every send/recv.
+  /// Advances the rank's logical step; if an un-fired event matches, fires
+  /// it: Kill throws detail::InjectedKill (the runner catches it and marks
+  /// the rank dead); Stall blocks until `aborted` turns true, then throws
+  /// the backend's abort error (a std::runtime_error), so an abort always
+  /// wins against an injected stall.
+  void before_op(int rank, const std::atomic<bool>& aborted);
+
+  /// Runner-side: record `rank` as dead (release) after catching its
+  /// InjectedKill.
+  void mark_dead(int rank);
+
+  /// Survivor-side dead-peer poll (acquire).  Safe with no plan installed.
+  bool is_dead(int rank) const;
+
+  /// Global ranks that died (ascending).  Driver-only, machine idle.
+  std::vector<int> deaths() const;
+
+ private:
+  Plan plan_;
+  bool armed_ = false;
+  int P_ = 0;
+  std::vector<std::uint64_t> steps_;          // per-rank, own-thread only
+  std::vector<char> fired_;                   // per-event, victim-thread only
+  std::unique_ptr<std::atomic<bool>[]> dead_; // per-rank, cross-thread
+};
+
+}  // namespace qr3d::fault

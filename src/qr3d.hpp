@@ -31,6 +31,14 @@
 //   qr3d::serve::profile_machine   fit (alpha, beta, gamma) from benchmarks
 //   qr3d::serve::choose_group_ranks  predicted-cost adaptive group sizing
 //
+// Fault tolerance (deterministic injection + coded recovery, see
+// docs/SERVING.md "Fault tolerance"):
+//
+//   qr3d::fault::Plan        scripted/random kill or stall events, installed
+//                            via backend::Machine::set_fault_plan
+//   qr3d::fault::RankDeath   the error survivors observe for a dead peer
+//   qr3d::fault::coded_tsqr  checksum-protected TSQR surviving <= f deaths
+//
 //   qr3d::backend  Comm handle, abstract Machine, ThreadMachine, make_machine
 //   qr3d::sim      simulated Machine / machine profiles (alpha-beta-gamma)
 //   qr3d::la       dense matrices, BLAS-like kernels, checks, random generators
@@ -59,6 +67,10 @@
 #include "sim/comm.hpp"
 #include "sim/machine.hpp"
 #include "sim/profiles.hpp"
+
+// Fault injection and coded recovery.
+#include "fault/coded_tsqr.hpp"
+#include "fault/plan.hpp"
 
 // Layouts and distributed matrix multiplication.
 #include "mm/layout.hpp"

@@ -1,11 +1,14 @@
 #include "serve/batch_solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <thread>
 
 #include "core/api.hpp"
+#include "fault/plan.hpp"
 #include "la/error.hpp"
 
 namespace qr3d::serve {
@@ -35,6 +38,12 @@ ServeOptions& ServeOptions::with_ranks(int P) {
 ServeOptions& ServeOptions::with_group_ranks(int g) {
   QR3D_CHECK(g >= 0, "ServeOptions: group_ranks must be >= 0 (0 = adaptive)");
   group_ranks_ = g;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_max_attempts(int attempts) {
+  QR3D_CHECK(attempts >= 1, "ServeOptions: max_attempts must be >= 1");
+  max_attempts_ = attempts;
   return *this;
 }
 
@@ -171,7 +180,12 @@ BatchSolver::BatchSolver(ServeOptions opts)
     profile_ = profile_machine(*machine_, opts_.profile_options());
     machine_ = make_machine(opts_.qr(), opts_.ranks(), profile_->fitted);
   }
-  if (opts_.async()) executor_ = std::thread([this]() { executor_loop(); });
+  if (opts_.async()) {
+    executor_ = std::thread([this]() {
+      executor_loop();
+      executor_exited_.store(true, std::memory_order_release);
+    });
+  }
 }
 
 BatchSolver::~BatchSolver() { shutdown(); }
@@ -197,8 +211,12 @@ void BatchSolver::resolve_job(const std::shared_ptr<detail::Job>& job, std::exce
   job->done.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (job->error) ++stats_.jobs_failed;
-    else ++stats_.jobs_completed;
+    if (job->error) {
+      ++stats_.jobs_failed;
+    } else {
+      ++stats_.jobs_completed;
+      if (job->stats.recovered) ++stats_.recovered;
+    }
   }
   done_cv_.notify_all();
 }
@@ -243,15 +261,31 @@ void BatchSolver::maybe_reprofile() {
 
 void BatchSolver::run_session(int g, const std::vector<std::shared_ptr<detail::Job>>& jobs) {
   const int P = opts_.ranks();
-  const int groups = P / g;
-  // Every rank joins its group's sub-communicator (ranks beyond groups*g
-  // idle out) and the groups round-robin the job list.  The group's rank 0
-  // stamps per-job wall times, writes the results, and resolves the job —
-  // distinct jobs are written by distinct group roots, so no record is
-  // shared, and resolve_job publishes each record with a release store.
+  // The machine view shrinks as ranks die: sessions group only surviving
+  // ranks (dead ones split out with color -1 and idle), and the group size
+  // clamps to what is left.
+  std::vector<int> alive;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<char> dead(static_cast<std::size_t>(P), 0);
+    for (int r : dead_ranks_) dead[static_cast<std::size_t>(r)] = 1;
+    for (int r = 0; r < P; ++r)
+      if (!dead[static_cast<std::size_t>(r)]) alive.push_back(r);
+  }
+  QR3D_ASSERT(!alive.empty(), "BatchSolver: no surviving ranks to run a session on");
+  const int ga = std::min(g, static_cast<int>(alive.size()));
+  const int groups = static_cast<int>(alive.size()) / ga;
+  // Every surviving rank joins its group's sub-communicator (ranks beyond
+  // groups*ga idle out) and the groups round-robin the job list.  The
+  // group's rank 0 stamps per-job wall times, writes the results, and
+  // resolves the job — distinct jobs are written by distinct group roots, so
+  // no record is shared, and resolve_job publishes each record with a
+  // release store.
   machine_->run([&](backend::Comm& c) {
-    const int group = c.rank() / g;
-    const bool active = group < groups;
+    const auto it = std::find(alive.begin(), alive.end(), c.rank());
+    const int idx = it == alive.end() ? -1 : static_cast<int>(it - alive.begin());
+    const int group = idx < 0 ? -1 : idx / ga;
+    const bool active = group >= 0 && group < groups;
     backend::Comm gc = c.split(active ? group : -1, c.rank());
     if (!gc.valid()) return;
     for (std::size_t i = static_cast<std::size_t>(group); i < jobs.size();
@@ -265,6 +299,7 @@ void BatchSolver::run_session(int g, const std::vector<std::shared_ptr<detail::J
       if (gc.rank() == 0) {
         job->x = std::move(x);
         job->stats.wall_seconds = seconds_since(t0);
+        job->stats.group_ranks = gc.size();
         resolve_job(job, nullptr);
       }
     }
@@ -364,33 +399,84 @@ std::exception_ptr BatchSolver::process_batch(std::vector<std::shared_ptr<detail
   // every job the session did not finish — jobs that completed before the
   // abort keep their solutions — and the machine resets cleanly for the
   // next session (see ThreadMachine), so later classes and dispatches serve.
+  //
+  // Self-healing: when the failure was a rank death (fault::RankDeath, or
+  // the machine reports deaths after a run that otherwise ended cleanly),
+  // the unfinished jobs are requeued on the surviving ranks — run_session
+  // excludes dead_ranks_ — until they resolve or max_attempts is exhausted,
+  // in which case the ORIGINAL session error lands in the handles.
   std::exception_ptr first_error;
   for (auto& [g, jobs] : by_group) {
-    if (abort_requested()) {
-      resolve_unfinished(jobs, abort_error());
-      continue;
+    std::vector<std::shared_ptr<detail::Job>> pending = jobs;
+    std::exception_ptr original_death;  // first rank-death error, kept for exhaustion
+    int attempt = 0;
+    while (!pending.empty()) {
+      if (abort_requested()) {
+        resolve_unfinished(pending, abort_error());
+        break;
+      }
+      ++attempt;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.sessions;  // before the run, like flushes: resolution implies visibility
+        stats_.attempts += pending.size();
+      }
+      for (auto& job : pending) {
+        job->stats.attempts = attempt;
+        job->stats.recovered = attempt > 1;
+      }
+      std::exception_ptr session_error;
+      try {
+        run_session(g, pending);
+      } catch (...) {
+        session_error = std::current_exception();
+      }
+      std::vector<int> session_deaths = machine_->last_run_deaths();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.serve_seconds += machine_->last_wall_seconds();
+        for (int r : session_deaths) {
+          if (std::find(dead_ranks_.begin(), dead_ranks_.end(), r) == dead_ranks_.end())
+            dead_ranks_.push_back(r);
+        }
+      }
+
+      std::vector<std::shared_ptr<detail::Job>> unfinished;
+      for (auto& job : pending) {
+        if (!job->done.load(std::memory_order_acquire)) unfinished.push_back(job);
+      }
+      if (unfinished.empty()) break;  // every job resolved (this or an earlier attempt)
+
+      bool is_rank_death = !session_deaths.empty();
+      if (session_error) {
+        try {
+          std::rethrow_exception(session_error);
+        } catch (const fault::RankDeath&) {
+          is_rank_death = true;
+        } catch (...) {
+        }
+      } else {
+        QR3D_ASSERT(is_rank_death,
+                    "BatchSolver: machine session ended cleanly with an unfinished job");
+        // Ranks died but no survivor tripped over them (they held no job the
+        // survivors needed): the unfinished jobs were simply lost with their
+        // group — synthesize the death error the survivors never saw.
+        session_error = std::make_exception_ptr(fault::RankDeath(
+            session_deaths.front(), "qr3d::serve: rank " + std::to_string(session_deaths.front()) +
+                                        " died; its group's jobs did not finish"));
+      }
+      if (is_rank_death && !original_death) original_death = session_error;
+
+      if (!is_rank_death || attempt >= opts_.max_attempts()) {
+        // Not recoverable by requeueing (an abort, a numerical failure), or
+        // out of attempts: store the original error in the handles.
+        const std::exception_ptr err = is_rank_death ? original_death : session_error;
+        resolve_unfinished(unfinished, err);
+        if (!first_error) first_error = err;
+        break;
+      }
+      pending = std::move(unfinished);  // requeue on the survivors
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.sessions;  // before the run, like flushes: resolution implies visibility
-    }
-    std::exception_ptr session_error;
-    try {
-      run_session(g, jobs);
-    } catch (...) {
-      session_error = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.serve_seconds += machine_->last_wall_seconds();
-    }
-    for (auto& job : jobs) {
-      if (job->done.load(std::memory_order_acquire)) continue;
-      QR3D_ASSERT(session_error != nullptr,
-                  "BatchSolver: machine session ended cleanly with an unfinished job");
-      resolve_job(job, session_error);
-    }
-    if (session_error && !first_error) first_error = session_error;
   }
   return first_error;
 }
@@ -491,6 +577,23 @@ void BatchSolver::abort() {
   }
   queue_cv_.notify_all();
   resolve_unfinished(drain_queue(), abort_error());
+  if (opts_.async()) {
+    // One request is not enough in async mode: the executor commits to a
+    // session (sessions/attempts counters) slightly before the machine run
+    // begins, and request_abort() on a machine with no active run is
+    // deliberately dropped — a single request landing in that window would
+    // leave a stalled session un-aborted and the join below hung forever.
+    // Retry until a live run takes the abort or the executor exits on its
+    // own; aborting_ keeps new sessions from starting in between.
+    for (;;) {
+      if (executor_exited_.load(std::memory_order_acquire)) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (machine_->request_abort()) break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
   std::lock_guard<std::mutex> join_lock(join_mu_);
   if (executor_.joinable()) executor_.join();
 }

@@ -50,6 +50,15 @@
 // machine-level failure aborts only the session it happened in: jobs that
 // completed before the abort keep their solutions, unfinished jobs record
 // the session error, and the machine stays usable.
+//
+// Self-healing: when a session loses ranks (fault::RankDeath — see
+// backend::Machine::set_fault_plan and docs/SERVING.md), jobs that had
+// already resolved keep their solutions and the unfinished ones are requeued
+// on the surviving ranks — dead ranks are excluded from every later
+// session's groups — up to ServeOptions::with_max_attempts total attempts,
+// after which the ORIGINAL session error (fault::RankDeath, not a wrapper)
+// is stored in the handles.  JobStats records attempts/recovered per job and
+// Stats aggregates them.
 #pragma once
 
 #include <atomic>
@@ -130,6 +139,12 @@ class ServeOptions {
     reprofile_every_ = dispatches;
     return *this;
   }
+  /// Maximum machine attempts per job when a session loses ranks
+  /// (fault::RankDeath, see set_fault_plan): unfinished jobs of a session in
+  /// which ranks died are requeued on the surviving ranks up to this many
+  /// total attempts, then resolved with the original session error.  Must be
+  /// >= 1; 1 disables the requeue (first fault fails the job).
+  ServeOptions& with_max_attempts(int attempts);
 
   /// Rank count of the owned machine.
   int ranks() const { return ranks_; }
@@ -148,6 +163,8 @@ class ServeOptions {
   bool async() const { return async_; }
   /// Batch dispatches between re-profiles (0 = never).
   std::uint64_t reprofile_every() const { return reprofile_every_; }
+  /// Maximum machine attempts per job under rank deaths.
+  int max_attempts() const { return max_attempts_; }
 
  private:
   int ranks_ = 4;
@@ -158,6 +175,7 @@ class ServeOptions {
   int group_ranks_ = 0;
   bool async_ = false;
   std::uint64_t reprofile_every_ = 0;
+  int max_attempts_ = 3;
 };
 
 /// Per-job measurements, valid once the job has resolved successfully.
@@ -166,6 +184,8 @@ struct JobStats {
   double latency_seconds = 0.0; ///< submit() to resolution (queueing included)
   bool plan_cache_hit = false;  ///< shape plan came from the cache
   int group_ranks = 0;          ///< ranks of the group the job ran on
+  int attempts = 0;             ///< machine attempts (> 1 after a requeue)
+  bool recovered = false;       ///< solved after a rank-death requeue
 };
 
 namespace detail {
@@ -316,6 +336,8 @@ class BatchSolver {
     std::uint64_t reprofiles = 0;      ///< periodic re-profiles performed
     std::uint64_t plan_cache_hits = 0;    ///< jobs whose shape was already sized+tuned
     std::uint64_t plan_cache_misses = 0;  ///< jobs that triggered sizing+tuning
+    std::uint64_t attempts = 0;   ///< job machine attempts (>= jobs entering sessions)
+    std::uint64_t recovered = 0;  ///< jobs solved after a rank-death requeue
     double serve_seconds = 0.0;  ///< total machine-session time
     double problems_per_second() const {
       return serve_seconds > 0.0 ? static_cast<double>(jobs_completed) / serve_seconds : 0.0;
@@ -349,7 +371,9 @@ class BatchSolver {
   /// blocking flush).  Returns the first machine-level session error (also
   /// recorded in the affected handles), or nullptr.
   std::exception_ptr process_batch(std::vector<std::shared_ptr<detail::Job>> batch);
-  /// One machine session: all `jobs` round-robined over P/g groups of g.
+  /// One machine session: all `jobs` round-robined over groups of (up to) g
+  /// ranks drawn from the machine's *surviving* ranks — ranks recorded in
+  /// dead_ranks_ idle out, so a shrunken machine keeps serving.
   void run_session(int g, const std::vector<std::shared_ptr<detail::Job>>& jobs);
   /// Periodic re-profiling (called between dispatches when configured).
   void maybe_reprofile();
@@ -383,11 +407,18 @@ class BatchSolver {
   std::vector<std::pair<la::index_t, la::index_t>> sized_shapes_;
   bool stop_ = false;
   bool aborting_ = false;
+  /// Ranks that died in an earlier session (fault::RankDeath self-healing):
+  /// excluded from every subsequent session's groups.  Ascending, guarded by
+  /// mu_; never cleared for the solver's lifetime.
+  std::vector<int> dead_ranks_;
   Stats stats_;
   /// Serializes executor_.join() across concurrent shutdown()/abort()/
   /// destructor calls (never held together with mu_; the executor never
   /// takes it).
   std::mutex join_mu_;
+  /// Set when executor_loop() returns: abort()'s request_abort retry loop
+  /// needs a lock-free "nothing left to interrupt" exit condition.
+  std::atomic<bool> executor_exited_{false};
   std::thread executor_;
 };
 

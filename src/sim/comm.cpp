@@ -11,6 +11,8 @@
 namespace qr3d::sim {
 
 void SimComm::send(int dst, std::vector<double>&& payload, int tag) {
+  machine_->injector_.before_op(group_->members[static_cast<std::size_t>(rank_)],
+                                machine_->aborted_);
   const double w = static_cast<double>(payload.size());
   const CostParams& cp = machine_->params();
   clock_->msgs += 1;
@@ -31,9 +33,11 @@ void SimComm::send(int dst, std::vector<double>&& payload, int tag) {
 
 std::vector<double> SimComm::recv(int src, int tag) {
   const int me_global = group_->members[static_cast<std::size_t>(rank_)];
+  machine_->injector_.before_op(me_global, machine_->aborted_);
   const int src_global = group_->members[static_cast<std::size_t>(src)];
   detail::Envelope e = machine_->mailboxes_[static_cast<std::size_t>(me_global)].pop_match(
-      src_global, group_->context, tag, [this]() { return machine_->aborted(); });
+      src_global, group_->context, tag, [this]() { return machine_->aborted(); },
+      [this, src_global]() { return machine_->injector_.is_dead(src_global); });
 
   const double w = static_cast<double>(e.payload.size());
   const CostParams& cp = machine_->params();
@@ -55,9 +59,19 @@ std::shared_ptr<backend::CommImpl> SimComm::split(int color, int key) {
   const int n = size();
 
   // The rendezvous must not outlive an abort: a rank that threw will never
-  // arrive, so waiters poll the abort flag instead of sleeping forever.
+  // arrive, so waiters poll the abort flag instead of sleeping forever.  A
+  // group member killed by the fault plan will likewise never arrive, so
+  // waiters also poll for member deaths and surface fault::RankDeath.
   auto wait_or_abort = [&](std::unique_lock<std::mutex>& lk, auto&& pred) {
     while (!g.cv.wait_for(lk, std::chrono::milliseconds(1), pred)) {
+      // Death before abort: see Mailbox::pop_match — a death usually causes
+      // the abort, and checking in this order surfaces RankDeath
+      // deterministically.
+      for (int member : g.members) {
+        if (machine_->injector_.is_dead(member))
+          throw fault::RankDeath(member, "qr3d::sim: rank " + std::to_string(member) +
+                                             " died during communicator split");
+      }
       if (machine_->aborted())
         throw std::runtime_error("qr3d::sim: machine aborted during communicator split");
     }

@@ -20,7 +20,8 @@ void Mailbox::push(Envelope e) {
 }
 
 Envelope Mailbox::pop_match(int src_global, std::uint64_t context, int tag,
-                            const std::function<bool()>& aborted) {
+                            const std::function<bool()>& aborted,
+                            const std::function<bool()>& src_dead) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     for (auto it = q_.begin(); it != q_.end(); ++it) {
@@ -30,6 +31,14 @@ Envelope Mailbox::pop_match(int src_global, std::uint64_t context, int tag,
         return e;
       }
     }
+    // Death before abort: a peer's death often *causes* the abort (another
+    // survivor threw RankDeath first), and the death flag is visible whenever
+    // the abort it caused is — checking in this order keeps the surfaced
+    // error deterministically RankDeath instead of racing on which flag the
+    // waiter observes first.
+    if (src_dead())
+      throw fault::RankDeath(src_global, "qr3d::sim: rank " + std::to_string(src_global) +
+                                             " died before sending the awaited message");
     if (aborted()) throw std::runtime_error("qr3d::sim: machine aborted while waiting for message");
     cv_.wait(lock);
   }
@@ -62,6 +71,7 @@ void Machine::run(const std::function<void(backend::Comm&)>& body) {
   for (auto& t : totals_) t = CostTotals{};
   aborted_ = false;
   next_context_ = 1;
+  injector_.reset_run();
 
   auto world = std::make_shared<detail::GroupShared>();
   world->context = 0;
@@ -79,6 +89,12 @@ void Machine::run(const std::function<void(backend::Comm&)>& body) {
                                                    &totals_[static_cast<std::size_t>(p)]));
       try {
         body(comm);
+      } catch (const fault::detail::InjectedKill&) {
+        // An injected death is not an error of the run: mark the rank dead
+        // and wake every blocked receiver so survivors detect it and either
+        // recover (fault::coded_tsqr) or fail with fault::RankDeath.
+        injector_.mark_dead(p);
+        for (auto& mb : mailboxes_) mb.notify_abort();
       } catch (...) {
         errors[static_cast<std::size_t>(p)] = std::current_exception();
         aborted_ = true;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "backend/machine.hpp"
+#include "fault/injector.hpp"
 #include "sim/clock.hpp"
 
 namespace qr3d::sim {
@@ -40,9 +41,13 @@ class Mailbox {
  public:
   void push(Envelope e);
   /// Block until a message from (src, context, tag) arrives, then return the
-  /// first such message (FIFO per key).  Throws if the machine aborts.
+  /// first such message (FIFO per key).  Throws if the machine aborts, or
+  /// fault::RankDeath once `src_dead` reports the sender killed and no
+  /// already-delivered message matches (messages sent before the death are
+  /// still received in order — death is detected, not retroactive).
   Envelope pop_match(int src_global, std::uint64_t context, int tag,
-                     const std::function<bool()>& aborted);
+                     const std::function<bool()>& aborted,
+                     const std::function<bool()>& src_dead);
   void notify_abort();
   void clear();
 
@@ -101,6 +106,11 @@ class Machine : public backend::Machine {
   /// Aggregate volume counters of the last run (summed over processors).
   CostTotals totals() const;
 
+  /// Deterministic fault injection (see fault/plan.hpp): the simulator is
+  /// the oracle the thread backend's fault behavior conforms to.
+  void set_fault_plan(fault::Plan plan) override { injector_.install(std::move(plan), P_); }
+  std::vector<int> last_run_deaths() const override { return injector_.deaths(); }
+
  private:
   friend class SimComm;
 
@@ -114,6 +124,7 @@ class Machine : public backend::Machine {
   std::vector<CostTotals> totals_;
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
+  fault::Injector injector_;
   double wall_seconds_ = 0.0;
 };
 

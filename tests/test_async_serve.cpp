@@ -239,6 +239,90 @@ TEST(AsyncServe, BlockingModeAbortFailsAllQueuedFuturesDeterministically) {
   EXPECT_EQ(srv.stats().jobs_completed, 0u);
 }
 
+TEST(AsyncServe, AbortWinsOverAnInjectedStall) {
+  // A fault-plan Stall blocks a rank (and with it the in-flight session)
+  // until the machine aborts.  Driver-side abort() must win that race:
+  // every future resolves (no hang), the counters stay consistent, and the
+  // solver shuts down cleanly.  The plan is installed before the first
+  // submission — the machine is only driver-accessible while idle.
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_group_ranks(2).with_async();
+  serve::BatchSolver srv(opts);
+  srv.machine().set_fault_plan(qr3d::fault::Plan::stall(1, 3));
+
+  std::vector<Planted> problems;
+  std::vector<serve::JobHandle> handles;
+  for (int j = 0; j < 4; ++j) {
+    problems.push_back(planted_problem(40, 10, 7800 + 2 * static_cast<std::uint64_t>(j)));
+    handles.push_back(srv.submit(problems.back().A, problems.back().b));
+  }
+  // Wait until the executor has actually entered a machine session, so the
+  // abort exercises the stalled-session path rather than the queued path.
+  while (srv.stats().sessions == 0) std::this_thread::yield();
+  srv.abort();
+
+  std::uint64_t ok = 0, failed = 0;
+  for (int j = 0; j < 4; ++j) {
+    ASSERT_TRUE(handles[static_cast<std::size_t>(j)].ready()) << "job " << j;
+    try {
+      const la::Matrix& x = handles[static_cast<std::size_t>(j)].get();
+      EXPECT_LT(solution_error(x, problems[static_cast<std::size_t>(j)].x_true), 1e-10);
+      ++ok;
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  const auto st = srv.stats();
+  EXPECT_EQ(ok + failed, 4u);
+  EXPECT_EQ(st.jobs_completed, ok);
+  EXPECT_EQ(st.jobs_failed, failed);
+  EXPECT_GE(failed, 1u);  // the stalled session's in-flight job cannot finish
+  // A stall is not a death: nothing was recovered, nothing marked dead.
+  EXPECT_EQ(st.recovered, 0u);
+}
+
+TEST(AsyncServe, RankDeathRecoveryUnderTheExecutor) {
+  // The self-healing requeue driven by the executor thread: a one-shot kill
+  // fails one session mid-batch, the unfinished jobs are requeued on the
+  // surviving ranks, and every future still resolves with its solution.
+  // flush() is the async barrier, so by the time it returns the attempts/
+  // recovered stats are final.
+  serve::ServeOptions opts;
+  opts.with_ranks(4).with_group_ranks(2).with_async();
+  serve::BatchSolver srv(opts);
+  // Kill a rank of the FIRST group: round-robin assignment starts there, so
+  // whatever batch sizes the executor happens to drain, the first session
+  // gives that group a job and the one-shot kill fires deterministically.
+  srv.machine().set_fault_plan(qr3d::fault::Plan::kill(1, 5));
+
+  std::vector<Planted> problems;
+  std::vector<serve::JobHandle> handles;
+  for (int j = 0; j < 8; ++j) {
+    problems.push_back(planted_problem(48, 8, 7900 + 2 * static_cast<std::uint64_t>(j)));
+    handles.push_back(srv.submit(problems.back().A, problems.back().b));
+  }
+  srv.flush();
+
+  bool any_recovered = false;
+  for (int j = 0; j < 8; ++j) {
+    const auto& h = handles[static_cast<std::size_t>(j)];
+    ASSERT_TRUE(h.ready()) << "job " << j;
+    EXPECT_LT(solution_error(h.get(), problems[static_cast<std::size_t>(j)].x_true), 1e-10)
+        << "job " << j;
+    EXPECT_GE(h.stats().attempts, 1) << "job " << j;
+    if (h.stats().recovered) {
+      any_recovered = true;
+      EXPECT_GE(h.stats().attempts, 2) << "job " << j;
+    }
+  }
+  const auto st = srv.stats();
+  EXPECT_EQ(st.jobs_completed, 8u);
+  EXPECT_EQ(st.jobs_failed, 0u);
+  EXPECT_GE(st.recovered, 1u);
+  EXPECT_GT(st.attempts, 8u);
+  EXPECT_TRUE(any_recovered);
+}
+
 // ---------------------------------------------------------------------------
 // Failure isolation under the executor
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@
 #include "backend/thread_machine.hpp"
 #include "core/dist_matrix.hpp"
 #include "core/solver.hpp"
+#include "fault/plan.hpp"
 #include "la/checks.hpp"
 #include "la/random.hpp"
 #include "sim/machine.hpp"
@@ -142,4 +143,71 @@ TEST(MachineReuse, RequestAbortInterruptsABlockedRunAndStaysUsable) {
     });
   }
   EXPECT_FALSE(machine.request_abort());  // idle again
+}
+
+TEST(MachineReuse, RequestAbortWinsOverInjectedStall) {
+  // An injected Stall blocks the rank until the machine aborts — it must
+  // LOSE the race against a driver-side request_abort(): the run terminates
+  // with the abort error (no hang), and the machine serves the next run.
+  const int P = 4;
+  backend::ThreadMachine machine(P);
+  machine.set_fault_plan(qr3d::fault::Plan::stall(2, 1));
+
+  std::exception_ptr run_error;
+  std::thread driver([&]() {
+    try {
+      machine.run([&](backend::Comm& c) {
+        // Rank 2's first op stalls it here; its peers block on it.
+        if (c.rank() == 2) c.send(3, {1.0}, 11);
+        if (c.rank() == 3) (void)c.recv(2, 11);
+      });
+    } catch (...) {
+      run_error = std::current_exception();
+    }
+  });
+  while (!machine.request_abort()) std::this_thread::yield();
+  driver.join();
+  ASSERT_NE(run_error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(run_error), std::runtime_error);
+  // A stall is not a death: no rank is reported dead.
+  EXPECT_TRUE(machine.last_run_deaths().empty());
+
+  // Disarm and verify the machine is fully reusable.
+  machine.set_fault_plan(qr3d::fault::Plan{});
+  machine.run([&](backend::Comm& c) {
+    if (c.rank() == 2) c.send(3, {6.5}, 11);
+    if (c.rank() == 3) {
+      std::vector<double> got = c.recv(2, 11);
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], 6.5);
+    }
+  });
+}
+
+TEST(MachineReuse, StalledSimRunAbortsCleanly) {
+  // The stall-loses-to-abort race on the simulator backend (the oracle):
+  // sim::Machine has no driver-side request_abort, so the abort comes from a
+  // peer rank's error — which must still unblock the stalled rank instead of
+  // hanging the run.
+  const int P = 2;
+  sim::Machine machine(P);
+  machine.set_fault_plan(qr3d::fault::Plan::stall(1, 1));
+
+  EXPECT_THROW(machine.run([&](backend::Comm& c) {
+    if (c.rank() == 1) c.send(0, {1.0}, 4);  // first op: stalls here
+    if (c.rank() == 0) throw std::runtime_error("peer gave up");
+  }),
+               std::runtime_error);
+  // A stall is not a death: no rank is reported dead.
+  EXPECT_TRUE(machine.last_run_deaths().empty());
+
+  machine.set_fault_plan(qr3d::fault::Plan{});
+  machine.run([&](backend::Comm& c) {
+    if (c.rank() == 1) c.send(0, {2.5}, 4);
+    if (c.rank() == 0) {
+      std::vector<double> got = c.recv(1, 4);
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], 2.5);
+    }
+  });
 }
