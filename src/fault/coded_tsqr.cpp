@@ -36,10 +36,17 @@ struct TreeNode {
   la::Matrix T;
 };
 
-/// Checksum weight of rank p in checksum j: (p+1)^j.  Distinct positive
-/// bases make every square subsystem a nonsingular Vandermonde system.
-double weight(int p, int j) {
-  return std::pow(static_cast<double>(p + 1), static_cast<double>(j));
+/// Checksum weight of rank p in checksum j: x_p^j with x_p the p-th
+/// Chebyshev point of the P-point grid on [-1, 1].  Distinct nodes make
+/// every square recovery subsystem a nonsingular Vandermonde system, and
+/// Chebyshev spacing keeps its conditioning growing like ~2^e with the
+/// number of dead ranks e, instead of the ~P^e of naive integer nodes
+/// (p+1)^j — see the practical bound on f in coded_tsqr.hpp.
+double weight(int p, int j, int P) {
+  constexpr double kPi = 3.14159265358979323846;
+  const double node = std::cos(kPi * (2.0 * static_cast<double>(p) + 1.0) /
+                               (2.0 * static_cast<double>(P)));
+  return std::pow(node, static_cast<double>(j));
 }
 
 /// Solve the e x e system M x = rhs[k] for every k (Gaussian elimination
@@ -56,9 +63,11 @@ void solve_inplace(int e, std::vector<double>& M, std::vector<std::vector<double
     for (int r = k + 1; r < e; ++r)
       if (std::abs(at(r, k)) > std::abs(at(piv, k))) piv = r;
     std::swap(perm[static_cast<std::size_t>(k)], perm[static_cast<std::size_t>(piv)]);
+    // rhs stays in VIRTUAL row order throughout (col[r] pairs with at(r, .)),
+    // so exchanging virtual rows k and piv of the matrix exchanges rhs rows
+    // k and piv — not the physical rows perm maps them to.
     for (auto& col : rhs)
-      std::swap(col[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])],
-                col[static_cast<std::size_t>(perm[static_cast<std::size_t>(piv)])]);
+      std::swap(col[static_cast<std::size_t>(k)], col[static_cast<std::size_t>(piv)]);
     QR3D_ASSERT(at(k, k) != 0.0, "coded_tsqr: singular recovery system");
     for (int r = k + 1; r < e; ++r) {
       const double l = at(r, k) / at(k, k);
@@ -113,7 +122,7 @@ CodedTsqrResult coded_tsqr(backend::Comm& comm, la::ConstMatrixView A_local,
   // --- Encode: f weighted checksums reduced to the keeper, one message. ----
   std::vector<double> checksums(static_cast<std::size_t>(f) * L);
   for (int j = 0; j < f; ++j) {
-    const double w = weight(me, j);
+    const double w = weight(me, j, P);
     for (std::size_t i = 0; i < L; ++i) checksums[static_cast<std::size_t>(j) * L + i] = w * packed0[i];
   }
   comm.charge_flops(static_cast<double>(f) * static_cast<double>(L));
@@ -283,7 +292,7 @@ CodedTsqrResult coded_tsqr(backend::Comm& comm, la::ConstMatrixView A_local,
         double s = C[static_cast<std::size_t>(j) * L + i];
         for (int p = 0; p < P; ++p) {
           const auto& b = blocks[static_cast<std::size_t>(p)];
-          if (!b.empty()) s -= weight(p, j) * b[i];
+          if (!b.empty()) s -= weight(p, j, P) * b[i];
         }
         rhs[i][static_cast<std::size_t>(j)] = s;
       }
@@ -291,7 +300,7 @@ CodedTsqrResult coded_tsqr(backend::Comm& comm, la::ConstMatrixView A_local,
     std::vector<double> M(static_cast<std::size_t>(e) * static_cast<std::size_t>(e));
     for (int j = 0; j < e; ++j)
       for (int i = 0; i < e; ++i)
-        M[static_cast<std::size_t>(j * e + i)] = weight(dead[static_cast<std::size_t>(i)], j);
+        M[static_cast<std::size_t>(j * e + i)] = weight(dead[static_cast<std::size_t>(i)], j, P);
     solve_inplace(e, M, rhs);
     comm.charge_flops(2.0 * static_cast<double>(e) * static_cast<double>(P) * static_cast<double>(L) +
                       2.0 * static_cast<double>(e) * static_cast<double>(e) * static_cast<double>(L));

@@ -11,7 +11,9 @@
 // off the tree root so the checksum never travels with the data it
 // protects):
 //
-//   C_j = sum_p w_jp R_p,   w_jp = (p+1)^j,   j = 0..f-1.
+//   C_j = sum_p w_jp R_p,   w_jp = x_p^j,   j = 0..f-1,
+//
+// with x_p = cos(pi (2p+1) / 2P) the p-th Chebyshev point on [-1, 1].
 //
 // The upsweep then proceeds exactly as in plain TSQR — byte-identical
 // arithmetic — except each message carries one extra completeness word, and
@@ -47,6 +49,16 @@ namespace qr3d::fault {
 struct CodedTsqrOptions {
   /// Number of redundant checksum blocks == maximum dead ranks the
   /// factorization survives.  Must be in [1, P].
+  ///
+  /// Accuracy caveat: reconstructing e dead blocks solves an e x e
+  /// Vandermonde system whose conditioning grows roughly like 2^e even on
+  /// the Chebyshev-spaced encoding nodes used here (integer nodes would be
+  /// far worse, ~P^e).  The recovered R loses about e bits of the ~52-bit
+  /// double mantissa, so f up to ~20 simultaneous deaths stays well within
+  /// working precision; far beyond that, recovery still completes but the
+  /// reconstructed blocks degrade gracefully rather than staying at
+  /// round-off.  Typical deployments encode the small f they expect to
+  /// survive (1-4), where the solve is accurate to machine precision.
   int f = 1;
   /// Options forwarded to the underlying TSQR (local kernel, U broadcast
   /// algorithm) — the zero-fault path matches core::tsqr under the same

@@ -72,6 +72,10 @@ void Machine::run(const std::function<void(backend::Comm&)>& body) {
   aborted_ = false;
   next_context_ = 1;
   injector_.reset_run();
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    run_active_ = true;  // after the resets: an abort landing now sticks
+  }
 
   auto world = std::make_shared<detail::GroupShared>();
   world->context = 0;
@@ -103,11 +107,24 @@ void Machine::run(const std::function<void(backend::Comm&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    run_active_ = false;
+  }
   wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }
+}
+
+bool Machine::request_abort() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (!run_active_) return false;
+  aborted_ = true;
+  // Wake every blocked receiver; injected stalls poll aborted_ directly.
+  for (auto& mb : mailboxes_) mb.notify_abort();
+  return true;
 }
 
 CostClock Machine::critical_path() const {

@@ -106,6 +106,13 @@ class Machine : public backend::Machine {
   /// Aggregate volume counters of the last run (summed over processors).
   CostTotals totals() const;
 
+  /// Machine::request_abort — interrupt the run in flight, if any: sets the
+  /// abort flag every blocked mailbox wait (and every injected stall) polls
+  /// and wakes all receivers, so the run unwinds with the abort error and
+  /// the machine stays reusable.  Returns false while idle (the request is
+  /// dropped, matching ThreadMachine's contract).
+  bool request_abort() override;
+
   /// Deterministic fault injection (see fault/plan.hpp): the simulator is
   /// the oracle the thread backend's fault behavior conforms to.
   void set_fault_plan(fault::Plan plan) override { injector_.install(std::move(plan), P_); }
@@ -124,6 +131,11 @@ class Machine : public backend::Machine {
   std::vector<CostTotals> totals_;
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
+  // Serializes request_abort() against run()'s reset/spawn and join windows:
+  // an abort request while idle must be dropped, never leak into (or be
+  // erased by) the next run's reset.
+  std::mutex run_mu_;
+  bool run_active_ = false;
   fault::Injector injector_;
   double wall_seconds_ = 0.0;
 };

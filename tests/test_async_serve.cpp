@@ -281,6 +281,45 @@ TEST(AsyncServe, AbortWinsOverAnInjectedStall) {
   EXPECT_EQ(st.recovered, 0u);
 }
 
+TEST(AsyncServe, AbortWinsOverAnInjectedStallOnTheSimBackend) {
+  // The same race on the simulator backend: abort()'s retry loop depends on
+  // sim::Machine::request_abort() interrupting the stalled session — without
+  // it the loop would busy-poll forever (the stall only releases on the
+  // machine's abort flag, which nothing else sets).
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_group_ranks(2).with_async().with_qr(
+      qr3d::QrOptions().with_tune_for_machine().with_backend(qr3d::Backend::Simulated));
+  serve::BatchSolver srv(opts);
+  srv.machine().set_fault_plan(qr3d::fault::Plan::stall(1, 3));
+
+  std::vector<Planted> problems;
+  std::vector<serve::JobHandle> handles;
+  for (int j = 0; j < 4; ++j) {
+    problems.push_back(planted_problem(40, 10, 8800 + 2 * static_cast<std::uint64_t>(j)));
+    handles.push_back(srv.submit(problems.back().A, problems.back().b));
+  }
+  while (srv.stats().sessions == 0) std::this_thread::yield();
+  srv.abort();
+
+  std::uint64_t ok = 0, failed = 0;
+  for (int j = 0; j < 4; ++j) {
+    ASSERT_TRUE(handles[static_cast<std::size_t>(j)].ready()) << "job " << j;
+    try {
+      const la::Matrix& x = handles[static_cast<std::size_t>(j)].get();
+      EXPECT_LT(solution_error(x, problems[static_cast<std::size_t>(j)].x_true), 1e-10);
+      ++ok;
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  const auto st = srv.stats();
+  EXPECT_EQ(ok + failed, 4u);
+  EXPECT_EQ(st.jobs_completed, ok);
+  EXPECT_EQ(st.jobs_failed, failed);
+  EXPECT_GE(failed, 1u);  // the stalled session's in-flight job cannot finish
+  EXPECT_EQ(st.recovered, 0u);
+}
+
 TEST(AsyncServe, RankDeathRecoveryUnderTheExecutor) {
   // The self-healing requeue driven by the executor thread: a one-shot kill
   // fails one session mid-batch, the unfinished jobs are requeued on the

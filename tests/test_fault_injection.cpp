@@ -358,6 +358,58 @@ TEST(CodedTsqr, DoubleKillRecoversWithTwoChecksums) {
   EXPECT_TRUE(found) << "no kill-step pair produced a two-block recovery";
 }
 
+TEST(CodedTsqr, FiveSimultaneousDeathsRecover) {
+  // e = 5 simultaneous deaths drives the recovery solve through several
+  // pivoting rounds — with e <= 2 a rhs/permutation desync in the e x e
+  // Vandermonde elimination cannot surface (regression test: the rhs must
+  // stay in virtual row order while the matrix is virtually pivoted).
+  const index_t m = 64, n = 4;
+  const int P = 8;
+  la::Matrix A = la::random_matrix(m, n, 246);
+  sim::Machine machine(P);
+  fault::CodedTsqrOptions opts;
+  opts.f = 5;
+  const std::vector<int> victims{1, 2, 3, 4, 5};
+
+  // Find, per victim, a kill step that solo-yields a checksum recovery of
+  // exactly that rank — a death in the post-encode, pre-upsweep-send window.
+  // A rank's op sequence up to the status phase does not depend on peer
+  // deaths (a recv from a dead child throws-and-is-caught but still counts
+  // one op), so the solo steps compose into one simultaneous 5-death plan.
+  std::vector<std::uint64_t> steps;
+  for (int v : victims) {
+    std::uint64_t found = 0;
+    for (std::uint64_t step = 1; step <= 32 && found == 0; ++step) {
+      machine.set_fault_plan(fault::Plan::kill(v, step));
+      const CodedRun r = run_coded(machine, A, opts);
+      if (r.threw) continue;
+      if (r.results[0].recovered && r.results[0].lost == std::vector<int>{v}) found = step;
+    }
+    ASSERT_NE(found, 0u) << "no kill step produced a solo recovery of rank " << v;
+    steps.push_back(found);
+  }
+
+  fault::Plan plan;
+  for (std::size_t i = 0; i < victims.size(); ++i)
+    plan.events.push_back(fault::Event{victims[i], steps[i], fault::Action::Kill, false});
+  machine.set_fault_plan(std::move(plan));
+  const CodedRun r = run_coded(machine, A, opts);
+  ASSERT_FALSE(r.threw);
+  const auto& root = r.results[0];
+  ASSERT_TRUE(root.recovered);
+  EXPECT_EQ(root.lost, victims);
+  EXPECT_LT(gram_error(A, root.qr.R), 1e-10);
+  // Every survivor holds the identical recovered R.
+  for (int p = 1; p < P; ++p) {
+    if (std::find(victims.begin(), victims.end(), p) != victims.end()) continue;
+    const auto& pr = r.results[static_cast<std::size_t>(p)];
+    EXPECT_TRUE(pr.recovered);
+    EXPECT_EQ(pr.lost, victims);
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j) EXPECT_EQ(pr.qr.R(i, j), root.qr.R(i, j));
+  }
+}
+
 TEST(CodedTsqr, MoreDeathsThanChecksumsIsUnrecoverable) {
   const index_t m = 64, n = 8;
   const int P = 8;

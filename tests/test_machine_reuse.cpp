@@ -184,11 +184,51 @@ TEST(MachineReuse, RequestAbortWinsOverInjectedStall) {
   });
 }
 
+TEST(MachineReuse, SimRequestAbortInterruptsStallAndStaysUsable) {
+  // The driver-side half of the race on the simulator backend: an injected
+  // Stall parks a rank until the machine aborts, and with no peer error the
+  // only way out is sim::Machine::request_abort() — the hook the serving
+  // layer's abort() retry loop leans on.  It must interrupt the run (no
+  // busy-poll forever), and the machine must serve the next run cleanly.
+  const int P = 2;
+  sim::Machine machine(P);
+  EXPECT_FALSE(machine.request_abort());  // idle: nothing to interrupt
+  machine.set_fault_plan(qr3d::fault::Plan::stall(1, 1));
+
+  std::exception_ptr run_error;
+  std::thread driver([&]() {
+    try {
+      machine.run([&](backend::Comm& c) {
+        if (c.rank() == 1) c.send(0, {1.0}, 4);  // first op: stalls here
+        if (c.rank() == 0) (void)c.recv(1, 4);   // blocked on the stalled rank
+      });
+    } catch (...) {
+      run_error = std::current_exception();
+    }
+  });
+  while (!machine.request_abort()) std::this_thread::yield();
+  driver.join();
+  ASSERT_NE(run_error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(run_error), std::runtime_error);
+  // A stall is not a death: no rank is reported dead.
+  EXPECT_TRUE(machine.last_run_deaths().empty());
+  EXPECT_FALSE(machine.request_abort());  // idle again
+
+  machine.set_fault_plan(qr3d::fault::Plan{});
+  machine.run([&](backend::Comm& c) {
+    if (c.rank() == 1) c.send(0, {2.5}, 4);
+    if (c.rank() == 0) {
+      std::vector<double> got = c.recv(1, 4);
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], 2.5);
+    }
+  });
+}
+
 TEST(MachineReuse, StalledSimRunAbortsCleanly) {
-  // The stall-loses-to-abort race on the simulator backend (the oracle):
-  // sim::Machine has no driver-side request_abort, so the abort comes from a
-  // peer rank's error — which must still unblock the stalled rank instead of
-  // hanging the run.
+  // The stall-loses-to-abort race on the simulator backend (the oracle)
+  // when the abort comes from a PEER RANK'S error rather than the driver —
+  // it must still unblock the stalled rank instead of hanging the run.
   const int P = 2;
   sim::Machine machine(P);
   machine.set_fault_plan(qr3d::fault::Plan::stall(1, 1));
