@@ -14,19 +14,29 @@
 // A fourth segment measures CONTINUOUS load on the async path: a closed
 // loop keeps `--inflight` jobs outstanding (submitting as futures resolve),
 // which is where tail latency becomes measurable — per-job latency is
-// submit()-to-resolution, reported as p50/p95/p99.
+// submit()-to-resolution, split into queue + exec and reported as
+// p50/p95/p99.
+//
+// A fifth segment measures MIXED-PRIORITY continuous load (the traffic-
+// shaping headline): a backlog of big low-priority jobs saturates the
+// machine while a closed-loop stream of small high-priority jobs measures
+// response latency.  Per-class p50/p95/p99 are reported, and --smoke gates
+// the high-priority tail: p99_high <= --tail-gate * p50_high + p95 of the
+// big class's exec time (the one in-flight slice a newly arrived job can
+// never jump — per-round dispatch bounds the wait at exactly that).
 //
 //   bench_throughput --backend=thread [--P=4] [--jobs=64] [--m=96] [--n=24]
-//                    [--group=0] [--inflight=8] [--profile]
+//                    [--group=0] [--inflight=8] [--tail-gate=3] [--profile]
 //                    [--json out.json] [--smoke]
 //
 // --profile runs serve::profile_machine first and tunes on the fitted
 // (alpha, beta, gamma).  --json writes a machine-readable qr3d-bench/1
 // record for trajectory tracking.  --smoke exits nonzero unless the
-// blocking path reaches >= 1 problem/sec with plan-cache hits > 0 and the
+// blocking path reaches >= 1 problem/sec with plan-cache hits > 0, the
 // async path holds >= 0.9x the blocking path's problems/sec (the CI guard;
 // the 0.9 floor absorbs scheduler noise on small CI hosts — structurally
-// the async path does the same machine work plus one extra thread handoff).
+// the async path does the same machine work plus one extra thread handoff),
+// and the mixed-priority tail gate above holds.
 #include <chrono>
 
 #include "bench_util.hpp"
@@ -49,11 +59,20 @@ struct Measured {
   double total_seconds = 0.0;
   std::vector<double> job_seconds;     ///< in-machine wall time per job
   std::vector<double> latency_seconds; ///< submit-to-resolution per job
+  std::vector<double> queue_seconds;   ///< submit-to-first-dispatch per job
+  std::vector<double> exec_seconds;    ///< first-dispatch-to-resolution per job
   serve::BatchSolver::Stats stats;
   double problems_per_second() const {
     return total_seconds > 0.0 ? job_seconds.size() / total_seconds : 0.0;
   }
 };
+
+void record_job(Measured& out, const serve::JobStats& st) {
+  out.job_seconds.push_back(st.wall_seconds);
+  out.latency_seconds.push_back(st.latency_seconds);
+  out.queue_seconds.push_back(st.queue_seconds);
+  out.exec_seconds.push_back(st.exec_seconds);
+}
 
 /// End-to-end batch measurement: construction (worker spawn, optional
 /// profiling), submission, plan resolution AND the machine sessions all
@@ -67,10 +86,7 @@ Measured run_batch_once(const std::vector<Problem>& problems, const serve::Serve
   srv.flush();
   Measured out;
   out.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-  for (const auto& h : handles) {
-    out.job_seconds.push_back(h.stats().wall_seconds);
-    out.latency_seconds.push_back(h.stats().latency_seconds);
-  }
+  for (const auto& h : handles) record_job(out, h.stats());
   out.stats = srv.stats();
   return out;
 }
@@ -109,11 +125,54 @@ Measured run_continuous(const std::vector<Problem>& problems, const serve::Serve
   }
   Measured out;
   out.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-  for (const auto& h : handles) {
-    out.job_seconds.push_back(h.stats().wall_seconds);
-    out.latency_seconds.push_back(h.stats().latency_seconds);
-  }
+  for (const auto& h : handles) record_job(out, h.stats());
   out.stats = srv.stats();
+  return out;
+}
+
+/// Mixed-priority continuous load: a window of `lows` big low-priority jobs
+/// kept `inflight`-deep saturates the machine while `highs` small
+/// high-priority jobs stream through one at a time (closed loop), measuring
+/// the response latency traffic shaping is supposed to protect.
+struct MixedMeasured {
+  double total_seconds = 0.0;
+  Measured high, low;  ///< per-class samples (stats only filled on `high`)
+};
+
+MixedMeasured run_mixed(const serve::ServeOptions& sopts, la::index_t big_m, la::index_t small_m,
+                        la::index_t n, int highs, int lows, int inflight) {
+  const auto t0 = Clock::now();
+  serve::BatchSolver srv(serve::ServeOptions(sopts).with_async(true));
+  const la::Matrix big_A = la::random_matrix(big_m, n, 9900);
+  const la::Matrix big_b = la::random_matrix(big_m, 1, 9901);
+  const la::Matrix small_A = la::random_matrix(small_m, n, 9902);
+  const la::Matrix small_b = la::random_matrix(small_m, 1, 9903);
+
+  std::vector<serve::JobHandle> low_handles;
+  low_handles.reserve(static_cast<std::size_t>(lows));
+  std::size_t low_reaped = 0;
+  const auto refill_lows = [&]() {
+    while (low_reaped < low_handles.size() && low_handles[low_reaped].ready()) ++low_reaped;
+    while (low_handles.size() < static_cast<std::size_t>(lows) &&
+           low_handles.size() - low_reaped < static_cast<std::size_t>(inflight)) {
+      low_handles.push_back(srv.submit(
+          big_A, big_b, serve::SubmitOptions().with_priority(serve::Priority::Low)));
+    }
+  };
+
+  MixedMeasured out;
+  refill_lows();
+  for (int i = 0; i < highs; ++i) {
+    refill_lows();
+    serve::JobHandle h = srv.submit(
+        small_A, small_b, serve::SubmitOptions().with_priority(serve::Priority::High));
+    h.wait();
+    record_job(out.high, h.stats());
+  }
+  srv.flush();  // finish the remaining backlog
+  for (const auto& h : low_handles) record_job(out.low, h.stats());
+  out.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.high.stats = srv.stats();
   return out;
 }
 
@@ -127,6 +186,12 @@ void json_measured(b::JsonWriter& w, const Measured& m, bool with_latency) {
     w.key("latency_p50_seconds").value(b::percentile(m.latency_seconds, 0.50));
     w.key("latency_p95_seconds").value(b::percentile(m.latency_seconds, 0.95));
     w.key("latency_p99_seconds").value(b::percentile(m.latency_seconds, 0.99));
+    // The latency split (latency = queue + exec per job): how much of the
+    // tail is waiting in line vs being in the machine.
+    w.key("queue_p50_seconds").value(b::percentile(m.queue_seconds, 0.50));
+    w.key("queue_p95_seconds").value(b::percentile(m.queue_seconds, 0.95));
+    w.key("exec_p50_seconds").value(b::percentile(m.exec_seconds, 0.50));
+    w.key("exec_p95_seconds").value(b::percentile(m.exec_seconds, 0.95));
   }
   w.key("plan_cache_hits").value(static_cast<unsigned long long>(m.stats.plan_cache_hits));
   w.key("plan_cache_misses").value(static_cast<unsigned long long>(m.stats.plan_cache_misses));
@@ -138,6 +203,10 @@ void json_measured(b::JsonWriter& w, const Measured& m, bool with_latency) {
   // recovered == 0) unless a fault plan was installed.
   w.key("attempts").value(static_cast<unsigned long long>(m.stats.attempts));
   w.key("recovered").value(static_cast<unsigned long long>(m.stats.recovered));
+  // Traffic-shaping counters (additive to qr3d-bench/1): admission rejects
+  // and deadline misses stay 0 unless a cap/deadlines were configured.
+  w.key("jobs_rejected").value(static_cast<unsigned long long>(m.stats.jobs_rejected));
+  w.key("deadline_misses").value(static_cast<unsigned long long>(m.stats.deadline_misses));
 }
 
 }  // namespace
@@ -151,6 +220,8 @@ int main(int argc, char** argv) {
   const int group = static_cast<int>(b::parse_long_flag(argc, argv, "--group", 0));
   const int inflight =
       static_cast<int>(b::parse_long_flag(argc, argv, "--inflight", 2 * static_cast<long>(P)));
+  const double tail_gate =
+      static_cast<double>(b::parse_long_flag(argc, argv, "--tail-gate", 3));
   const bool profile = b::has_flag(argc, argv, "--profile");
   const bool smoke = b::has_flag(argc, argv, "--smoke");
   const char* json_path = b::parse_flag(argc, argv, "--json");
@@ -206,6 +277,20 @@ int main(int argc, char** argv) {
   const Measured cont =
       run_continuous(problems, serve::ServeOptions(sopts).with_async(true), inflight);
 
+  // --- Mixed-priority continuous load (traffic shaping headline). -----------
+  // A backlog of 4x-taller low-priority jobs saturates the machine; small
+  // high-priority jobs stream through and their tail is what per-round
+  // dispatch + priority pop protect.
+  const MixedMeasured mixed =
+      run_mixed(sopts, 4 * m, m, n, jobs, std::max(4, jobs / 2), inflight);
+  const double high_p50 = b::percentile(mixed.high.latency_seconds, 0.50);
+  const double high_p99 = b::percentile(mixed.high.latency_seconds, 0.99);
+  const double low_exec_p95 = b::percentile(mixed.low.exec_seconds, 0.95);
+  // The bound a newly arrived high-priority job cannot beat: the round in
+  // flight (one big job's exec, p95) plus its own service time scaled by
+  // the gate's noise allowance.
+  const double tail_bound = tail_gate * high_p50 + low_exec_p95;
+
   const double speedup = indep.problems_per_second() > 0.0
                              ? blocking.problems_per_second() / indep.problems_per_second()
                              : 0.0;
@@ -232,6 +317,13 @@ int main(int argc, char** argv) {
          b::secs(b::percentile(cont.job_seconds, 0.50)),
          b::secs(b::percentile(cont.job_seconds, 0.95)),
          b::secs(b::percentile(cont.latency_seconds, 0.99)), hm(cont)});
+  t.row({"mixed: high-priority small", b::secs(mixed.total_seconds), "-",
+         b::secs(b::percentile(mixed.high.job_seconds, 0.50)),
+         b::secs(b::percentile(mixed.high.job_seconds, 0.95)), b::secs(high_p99), "-"});
+  t.row({"mixed: low-priority big", "-", "-",
+         b::secs(b::percentile(mixed.low.job_seconds, 0.50)),
+         b::secs(b::percentile(mixed.low.job_seconds, 0.95)),
+         b::secs(b::percentile(mixed.low.latency_seconds, 0.99)), "-"});
   t.print();
   std::printf("speedup vs independent (blocking, problems/sec): %.2fx\n", speedup);
   std::printf("async vs blocking (problems/sec): %.2fx\n", async_vs_blocking);
@@ -239,6 +331,10 @@ int main(int argc, char** argv) {
               b::secs(b::percentile(cont.latency_seconds, 0.50)).c_str(),
               b::secs(b::percentile(cont.latency_seconds, 0.95)).c_str(),
               b::secs(b::percentile(cont.latency_seconds, 0.99)).c_str(), inflight);
+  std::printf(
+      "mixed high-priority tail: p50=%s p99=%s vs bound %s (= %.0fx p50 + big exec p95 %s)\n",
+      b::secs(high_p50).c_str(), b::secs(high_p99).c_str(), b::secs(tail_bound).c_str(),
+      tail_gate, b::secs(low_exec_p95).c_str());
 
   if (json_path) {
     b::JsonWriter w;
@@ -264,6 +360,21 @@ int main(int argc, char** argv) {
     w.end_object();
     w.key("continuous").begin_object();
     json_measured(w, cont, true);
+    w.end_object();
+    w.key("mixed").begin_object();
+    w.key("total_seconds").value(mixed.total_seconds);
+    w.key("tail_gate").value(tail_gate);
+    w.key("tail_bound_seconds").value(tail_bound);
+    w.key("high").begin_object();
+    json_measured(w, mixed.high, true);
+    w.end_object();
+    w.key("low").begin_object();
+    w.key("latency_p50_seconds").value(b::percentile(mixed.low.latency_seconds, 0.50));
+    w.key("latency_p95_seconds").value(b::percentile(mixed.low.latency_seconds, 0.95));
+    w.key("latency_p99_seconds").value(b::percentile(mixed.low.latency_seconds, 0.99));
+    w.key("queue_p95_seconds").value(b::percentile(mixed.low.queue_seconds, 0.95));
+    w.key("exec_p95_seconds").value(low_exec_p95);
+    w.end_object();
     w.end_object();
     w.key("speedup").value(speedup);
     w.key("async_vs_blocking").value(async_vs_blocking);
@@ -295,9 +406,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "SMOKE FAIL: continuous mode produced no tail latency\n");
       return 1;
     }
-    std::printf("smoke OK: blocking %.1f problems/sec, async %.2fx, p99 %.3fms\n",
-                blocking.problems_per_second(), async_vs_blocking,
-                b::percentile(cont.latency_seconds, 0.99) * 1e3);
+    // Traffic-shaping gate: while the machine is saturated with big
+    // low-priority work, a high-priority job's p99 stays within the gate's
+    // multiple of its p50 plus one in-flight big slice — the head-of-line
+    // bound per-round dispatch guarantees.
+    if (high_p99 > tail_bound) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: mixed high-priority p99 %.3fms > %.3fms "
+                   "(%.0fx p50 %.3fms + big exec p95 %.3fms)\n",
+                   high_p99 * 1e3, tail_bound * 1e3, tail_gate, high_p50 * 1e3,
+                   low_exec_p95 * 1e3);
+      return 1;
+    }
+    std::printf(
+        "smoke OK: blocking %.1f problems/sec, async %.2fx, p99 %.3fms, "
+        "mixed high p99 %.3fms <= %.3fms\n",
+        blocking.problems_per_second(), async_vs_blocking,
+        b::percentile(cont.latency_seconds, 0.99) * 1e3, high_p99 * 1e3, tail_bound * 1e3);
   }
   return 0;
 }

@@ -98,7 +98,10 @@
 #include "core/solver.hpp"
 
 // The serving layer: batched multi-problem solving over one persistent
-// machine, per-shape plan caching, and measured machine profiles.
+// machine, per-shape plan caching, measured machine profiles, and traffic
+// shaping (priority/deadline scheduling with bounded admission —
+// serve::Scheduler, serve::SubmitOptions, serve::AdmissionError).
 #include "serve/batch_solver.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/profile.hpp"
+#include "serve/scheduler.hpp"

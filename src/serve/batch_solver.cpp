@@ -47,6 +47,13 @@ ServeOptions& ServeOptions::with_max_attempts(int attempts) {
   return *this;
 }
 
+ServeOptions& ServeOptions::with_age_promote_after(std::chrono::steady_clock::duration d) {
+  QR3D_CHECK(d >= std::chrono::steady_clock::duration::zero(),
+             "ServeOptions: age_promote_after must be >= 0 (0 disables aging)");
+  age_promote_after_ = d;
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Plan resolution and adaptive group sizing
 // ---------------------------------------------------------------------------
@@ -170,8 +177,9 @@ const JobStats& JobHandle::stats() const {
 
 BatchSolver::BatchSolver(ServeOptions opts)
     : opts_(std::move(opts)),
-      cache_(std::make_shared<PlanCache>()),
-      solver_(opts_.qr(), cache_) {
+      cache_(std::make_shared<PlanCache>(opts_.plan_cache_capacity())),
+      solver_(opts_.qr(), cache_),
+      sched_(opts_.age_promote_after()) {
   // Construct, optionally profile, and (re)construct: tuning consults the
   // machine's params(), so the fitted profile must be baked into the machine
   // the jobs run on — that is the profile -> tune -> serve loop.
@@ -191,15 +199,41 @@ BatchSolver::BatchSolver(ServeOptions opts)
 BatchSolver::~BatchSolver() { shutdown(); }
 
 JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b) {
+  return submit(std::move(A), std::move(b), SubmitOptions{});
+}
+
+JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b, const SubmitOptions& sopts) {
   auto job = std::make_shared<detail::Job>();
   job->A = std::move(A);
   job->b = std::move(b);
   job->submitted_at = Clock::now();
+  job->priority = sopts.priority;
+  job->stats.priority = sopts.priority;
+  if (sopts.deadline) {
+    job->has_deadline = true;
+    job->deadline = job->submitted_at + *sopts.deadline;
+  }
+  bool rejected = false;
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     QR3D_CHECK(!stop_, "BatchSolver: submit after shutdown/abort");
-    queue_.push_back(job);
     ++stats_.jobs_submitted;
+    job->seq = next_seq_++;
+    depth = sched_.size();
+    if (opts_.max_queue_depth() > 0 && depth >= opts_.max_queue_depth()) {
+      // Fail-fast admission: the handle resolves with AdmissionError right
+      // here (outside the lock, below) instead of the queue growing — the
+      // caller can never hang on a rejected job.
+      rejected = true;
+      ++stats_.jobs_rejected;
+    } else {
+      sched_.push(job);
+    }
+  }
+  if (rejected) {
+    resolve_job(job, std::make_exception_ptr(AdmissionError(depth, opts_.max_queue_depth())));
+    return JobHandle(this, std::move(job));
   }
   if (opts_.async()) queue_cv_.notify_one();
   return JobHandle(this, std::move(job));
@@ -207,16 +241,31 @@ JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b) {
 
 void BatchSolver::resolve_job(const std::shared_ptr<detail::Job>& job, std::exception_ptr error) {
   if (error) job->error = error;
-  job->stats.latency_seconds = seconds_since(job->submitted_at);
+  const double latency = seconds_since(job->submitted_at);
+  job->stats.latency_seconds = latency;
+  if (job->dispatched) {
+    // queue_seconds was stamped at the first machine dispatch; the rest of
+    // the latency (machine rounds, requeue waits) is execution.
+    job->stats.exec_seconds = std::max(0.0, latency - job->stats.queue_seconds);
+  } else {
+    // Never entered the machine (validation reject, admission reject,
+    // abort): the whole latency was spent queued.
+    job->stats.queue_seconds = latency;
+  }
+  if (job->has_deadline && Clock::now() > job->deadline) job->stats.deadline_missed = true;
   job->done.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A popped-but-unresolved job lives in in_flight_ so flush() barriers
+    // can see it; resolution retires it.
+    in_flight_.erase(std::remove(in_flight_.begin(), in_flight_.end(), job), in_flight_.end());
     if (job->error) {
       ++stats_.jobs_failed;
     } else {
       ++stats_.jobs_completed;
       if (job->stats.recovered) ++stats_.recovered;
     }
+    if (job->stats.deadline_missed) ++stats_.deadline_misses;
   }
   done_cv_.notify_all();
 }
@@ -306,186 +355,197 @@ void BatchSolver::run_session(int g, const std::vector<std::shared_ptr<detail::J
   });
 }
 
-std::exception_ptr BatchSolver::process_batch(std::vector<std::shared_ptr<detail::Job>> batch) {
-  // abort() must not have to wait out a whole drained batch: its latency is
-  // bounded by ONE machine session, because the dispatch re-checks the
-  // abort flag here and before every session and fails the rest of the
-  // batch into the handles (with the same error abort() gives queued jobs).
-  const auto abort_requested = [&]() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return aborting_;
-  };
-
-  std::vector<std::shared_ptr<detail::Job>> runnable;
-  runnable.reserve(batch.size());
-  for (auto& job : batch) {
-    if (validate_job(job)) runnable.push_back(job);
-  }
-  if (runnable.empty()) return nullptr;
-  if (abort_requested()) {
-    resolve_unfinished(runnable, abort_error());
-    return nullptr;
-  }
-
-  maybe_reprofile();
+bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
+  // --- Pop the best-ranked job (the scheduling decision) -------------------
+  std::shared_ptr<detail::Job> top;
+  std::size_t shape_hint = 0;
   {
-    // Counted before any job of this dispatch can resolve, so a reader that
-    // observed a resolved handle also observes its dispatch.
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.flushes;
-    ++dispatches_since_profile_;
+    if (aborting_) return false;  // abort() drains and resolves the queue
+    top = sched_.pop(Clock::now());
+    if (!top) return false;
+    // Popped jobs move to in_flight_ under the SAME lock: a flush barrier
+    // snapshot (queue + in_flight_) must never catch a job in neither.
+    in_flight_.push_back(top);
+    // Sizing hint: how many same-shape jobs the batch could pipeline.
+    shape_hint = sched_.count_shape(top->A.rows(), top->A.cols()) + 1;
   }
+  if (!validate_job(top)) return true;  // resolved (and retired) the round
+
+  const la::index_t m = top->A.rows(), n = top->A.cols();
   const sim::CostParams mp = machine_->params();
   const backend::Kind kind = machine_->kind();
   const int P = opts_.ranks();
 
-  // Per-shape sizing and plan resolution.  Shapes keep first-seen order so
-  // session composition (and every counter) is deterministic for a given
-  // submission order.
-  std::vector<std::pair<la::index_t, la::index_t>> shapes;
-  std::map<std::pair<la::index_t, la::index_t>, std::vector<std::shared_ptr<detail::Job>>> by_shape;
-  for (auto& job : runnable) {
-    const auto shape = std::make_pair(job->A.rows(), job->A.cols());
-    auto& bucket = by_shape[shape];
-    if (bucket.empty()) shapes.push_back(shape);
-    bucket.push_back(job);
+  // --- Size the group and resolve the plan for the popped job's shape -----
+  int g = opts_.group_ranks();
+  Plan plan;
+  try {
+    if (g > 0) {
+      g = std::min(g, P);
+    } else {
+      g = choose_group_ranks(m, n, static_cast<int>(shape_hint), P, opts_.qr(), *cache_, kind, mp)
+              .group_ranks;
+    }
+    plan = resolve_shape_plan(m, n, g, opts_.qr(), *cache_, kind, mp);
+  } catch (...) {
+    // Sizing/tuning failed for this shape (a degenerate fitted profile,
+    // say): isolate the failure to this job, keep serving the queue.
+    resolve_job(top, std::current_exception());
+    return true;
   }
 
-  // Jobs partitioned by chosen group size; larger groups run first (they
-  // are the latency-critical big problems).
-  std::map<int, std::vector<std::shared_ptr<detail::Job>>, std::greater<int>> by_group;
-  for (const auto& shape : shapes) {
-    auto& bucket = by_shape[shape];
-    int g = opts_.group_ranks();
-    Plan plan;
-    try {
-      if (g > 0) {
-        g = std::min(g, P);
-      } else {
-        g = choose_group_ranks(shape.first, shape.second, static_cast<int>(bucket.size()), P,
-                               opts_.qr(), *cache_, kind, mp)
-                .group_ranks;
-      }
-      plan = resolve_shape_plan(shape.first, shape.second, g, opts_.qr(), *cache_, kind, mp);
-    } catch (...) {
-      // Sizing/tuning failed for this shape (a degenerate fitted profile,
-      // say): isolate the failure to this shape's jobs, keep serving the
-      // rest of the batch.
-      for (auto& job : bucket) resolve_job(job, std::current_exception());
-      continue;
-    }
-    bool first_sizing = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
+  // --- Fill the idle groups with same-shape riders -------------------------
+  // The machine view shrinks as ranks die; the group size clamps to the
+  // survivors and the round carries one job per group.  Riders share the
+  // popped job's plan, so they pipeline for free whatever their class —
+  // preemption granularity stays one round either way.
+  int ga = 1;
+  std::vector<std::shared_ptr<detail::Job>> riders;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int alive = std::max(1, P - static_cast<int>(dead_ranks_.size()));
+    ga = std::min(g, alive);
+    const int groups = std::max(1, alive / ga);
+    riders = sched_.pop_same_shape(m, n, static_cast<std::size_t>(groups - 1), Clock::now());
+    for (auto& r : riders) in_flight_.push_back(r);
+  }
+  std::vector<std::shared_ptr<detail::Job>> round;
+  round.push_back(top);
+  for (auto& r : riders) {
+    if (validate_job(r)) round.push_back(r);  // invalid riders resolve here
+  }
+
+  // --- Accounting (before the run: resolution implies visibility) ---------
+  bool abort_now = false;
+  bool first_sizing = false;
+  std::uint64_t round_no = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborting_) {
+      abort_now = true;
+    } else {
+      const auto shape = std::make_pair(m, n);
       if (std::find(sized_shapes_.begin(), sized_shapes_.end(), shape) == sized_shapes_.end()) {
         sized_shapes_.push_back(shape);
         first_sizing = true;
       }
-      stats_.plan_cache_misses += first_sizing ? 1 : 0;
-      stats_.plan_cache_hits += bucket.size() - (first_sizing ? 1 : 0);
-    }
-    for (std::size_t j = 0; j < bucket.size(); ++j) {
-      bucket[j]->plan = plan;
-      bucket[j]->group_ranks = g;
-      bucket[j]->stats.group_ranks = g;
-      bucket[j]->stats.plan_cache_hit = !(first_sizing && j == 0);
-    }
-    auto& cls = by_group[g];
-    cls.insert(cls.end(), bucket.begin(), bucket.end());
-  }
-
-  // One machine session per distinct group size.  A machine-level failure
-  // (an in-machine throw aborts every rank of that session) is recorded in
-  // every job the session did not finish — jobs that completed before the
-  // abort keep their solutions — and the machine resets cleanly for the
-  // next session (see ThreadMachine), so later classes and dispatches serve.
-  //
-  // Self-healing: when the failure was a rank death (fault::RankDeath, or
-  // the machine reports deaths after a run that otherwise ended cleanly),
-  // the unfinished jobs are requeued on the surviving ranks — run_session
-  // excludes dead_ranks_ — until they resolve or max_attempts is exhausted,
-  // in which case the ORIGINAL session error lands in the handles.
-  std::exception_ptr first_error;
-  for (auto& [g, jobs] : by_group) {
-    std::vector<std::shared_ptr<detail::Job>> pending = jobs;
-    std::exception_ptr original_death;  // first rank-death error, kept for exhaustion
-    int attempt = 0;
-    while (!pending.empty()) {
-      if (abort_requested()) {
-        resolve_unfinished(pending, abort_error());
-        break;
-      }
-      ++attempt;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.sessions;  // before the run, like flushes: resolution implies visibility
-        stats_.attempts += pending.size();
-      }
-      for (auto& job : pending) {
-        job->stats.attempts = attempt;
-        job->stats.recovered = attempt > 1;
-      }
-      std::exception_ptr session_error;
-      try {
-        run_session(g, pending);
-      } catch (...) {
-        session_error = std::current_exception();
-      }
-      std::vector<int> session_deaths = machine_->last_run_deaths();
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        stats_.serve_seconds += machine_->last_wall_seconds();
-        for (int r : session_deaths) {
-          if (std::find(dead_ranks_.begin(), dead_ranks_.end(), r) == dead_ranks_.end())
-            dead_ranks_.push_back(r);
-        }
-      }
-
-      std::vector<std::shared_ptr<detail::Job>> unfinished;
-      for (auto& job : pending) {
-        if (!job->done.load(std::memory_order_acquire)) unfinished.push_back(job);
-      }
-      if (unfinished.empty()) break;  // every job resolved (this or an earlier attempt)
-
-      bool is_rank_death = !session_deaths.empty();
-      if (session_error) {
-        try {
-          std::rethrow_exception(session_error);
-        } catch (const fault::RankDeath&) {
-          is_rank_death = true;
-        } catch (...) {
-        }
-      } else {
-        QR3D_ASSERT(is_rank_death,
-                    "BatchSolver: machine session ended cleanly with an unfinished job");
-        // Ranks died but no survivor tripped over them (they held no job the
-        // survivors needed): the unfinished jobs were simply lost with their
-        // group — synthesize the death error the survivors never saw.
-        session_error = std::make_exception_ptr(fault::RankDeath(
-            session_deaths.front(), "qr3d::serve: rank " + std::to_string(session_deaths.front()) +
-                                        " died; its group's jobs did not finish"));
-      }
-      if (is_rank_death && !original_death) original_death = session_error;
-
-      if (!is_rank_death || attempt >= opts_.max_attempts()) {
-        // Not recoverable by requeueing (an abort, a numerical failure), or
-        // out of attempts: store the original error in the handles.
-        const std::exception_ptr err = is_rank_death ? original_death : session_error;
-        resolve_unfinished(unfinished, err);
-        if (!first_error) first_error = err;
-        break;
-      }
-      pending = std::move(unfinished);  // requeue on the survivors
+      // Hit/miss counters are per job on its FIRST dispatch only — a
+      // fault-recovery requeue re-enters the round but not the counters.
+      std::uint64_t fresh = 0;
+      for (const auto& job : round)
+        if (!job->dispatched) ++fresh;
+      const std::uint64_t miss = first_sizing ? 1 : 0;
+      stats_.plan_cache_misses += miss;
+      stats_.plan_cache_hits += fresh >= miss ? fresh - miss : 0;
+      ++stats_.sessions;
+      stats_.attempts += round.size();
+      round_no = stats_.sessions;
     }
   }
-  return first_error;
-}
+  if (abort_now) {
+    resolve_unfinished(round, abort_error());
+    return true;
+  }
+  for (std::size_t j = 0; j < round.size(); ++j) {
+    auto& job = round[j];
+    job->plan = plan;
+    job->group_ranks = g;
+    job->stats.group_ranks = g;
+    if (!job->dispatched) {
+      job->dispatched = true;
+      job->stats.queue_seconds = seconds_since(job->submitted_at);
+      job->stats.plan_cache_hit = !(first_sizing && j == 0);
+    }
+    ++job->attempts;
+    job->stats.attempts = job->attempts;
+    job->stats.recovered = job->attempts > 1;
+    job->stats.priority = job->priority;
+    job->stats.round = round_no;
+  }
 
-std::vector<std::shared_ptr<detail::Job>> BatchSolver::drain_queue() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::shared_ptr<detail::Job>> batch(queue_.begin(), queue_.end());
-  queue_.clear();
-  return batch;
+  // --- Run exactly this round as one machine session -----------------------
+  // A machine-level failure (an in-machine throw aborts every rank of the
+  // session) is recorded in every job the session did not finish — jobs that
+  // completed before the abort keep their solutions — and the machine resets
+  // cleanly for the next round (see ThreadMachine), so the queue keeps
+  // serving.
+  std::exception_ptr session_error;
+  try {
+    run_session(ga, round);
+  } catch (...) {
+    session_error = std::current_exception();
+  }
+  const std::vector<int> session_deaths = machine_->last_run_deaths();
+
+  std::vector<std::shared_ptr<detail::Job>> unfinished;
+  for (auto& job : round) {
+    if (!job->done.load(std::memory_order_acquire)) unfinished.push_back(job);
+  }
+
+  // Self-healing classification: a rank death (fault::RankDeath, or the
+  // machine reporting deaths after a run that otherwise ended cleanly) is
+  // recoverable by requeueing on the survivors; anything else is final.
+  bool is_rank_death = !session_deaths.empty();
+  if (session_error) {
+    try {
+      std::rethrow_exception(session_error);
+    } catch (const fault::RankDeath&) {
+      is_rank_death = true;
+    } catch (...) {
+    }
+  } else if (!unfinished.empty()) {
+    QR3D_ASSERT(is_rank_death,
+                "BatchSolver: machine session ended cleanly with an unfinished job");
+    // Ranks died but no survivor tripped over them (they held no job the
+    // survivors needed): the unfinished jobs were simply lost with their
+    // group — synthesize the death error the survivors never saw.
+    session_error = std::make_exception_ptr(fault::RankDeath(
+        session_deaths.front(), "qr3d::serve: rank " + std::to_string(session_deaths.front()) +
+                                    " died; its group's jobs did not finish"));
+  }
+
+  std::vector<std::shared_ptr<detail::Job>> exhausted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.serve_seconds += machine_->last_wall_seconds();
+    for (int r : session_deaths) {
+      if (std::find(dead_ranks_.begin(), dead_ranks_.end(), r) == dead_ranks_.end())
+        dead_ranks_.push_back(r);
+    }
+    if (!unfinished.empty() && is_rank_death) {
+      for (auto& job : unfinished) {
+        if (!job->original_death) job->original_death = session_error;
+        if (job->attempts >= opts_.max_attempts()) {
+          exhausted.push_back(job);  // resolved below, outside the lock
+        } else {
+          // Requeue on the survivors with the job's original seq, priority
+          // and submit time — recovery does not reset its place in line (and
+          // aging keeps crediting the full wait).  Atomic with the
+          // in_flight_ erase so a flush barrier snapshot never misses the
+          // job; bypasses admission (the job was already admitted).
+          in_flight_.erase(std::remove(in_flight_.begin(), in_flight_.end(), job),
+                           in_flight_.end());
+          sched_.push(job);
+        }
+      }
+    }
+  }
+  if (!unfinished.empty()) {
+    if (!is_rank_death) {
+      // Not recoverable by requeueing (an abort, a numerical failure):
+      // store the session error in the handles.
+      resolve_unfinished(unfinished, session_error);
+      if (session_error_out && !*session_error_out) *session_error_out = session_error;
+    } else {
+      // Out of attempts: the ORIGINAL death (not a wrapper, not the latest
+      // one) lands in the handles, and blocking flush() rethrows it.
+      for (auto& job : exhausted) resolve_job(job, job->original_death);
+      if (!exhausted.empty() && session_error_out && !*session_error_out)
+        *session_error_out = exhausted.front()->original_death;
+    }
+  }
+  return true;
 }
 
 void BatchSolver::resolve_unfinished(const std::vector<std::shared_ptr<detail::Job>>& jobs,
@@ -498,21 +558,38 @@ void BatchSolver::resolve_unfinished(const std::vector<std::shared_ptr<detail::J
 void BatchSolver::executor_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    queue_cv_.wait(lock, [&]() { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    queue_cv_.wait(lock, [&]() { return stop_ || !sched_.empty(); });
+    if (sched_.empty()) {
       if (stop_) return;
       continue;
     }
     lock.unlock();
-    std::vector<std::shared_ptr<detail::Job>> batch = drain_queue();
-    // Errors are resolved into the affected handles by process_batch; the
-    // executor has no caller to rethrow to.  The catch is defensive: the
-    // executor must survive anything, so an unexpected throw resolves the
-    // batch's remaining jobs instead of terminating the process.
+    maybe_reprofile();
+    {
+      // One drain cycle (idle -> busy transition) counts as one flush,
+      // counted before any job of the cycle can resolve so a reader that
+      // observed a resolved handle also observes its dispatch.
+      std::lock_guard<std::mutex> count_lock(mu_);
+      ++stats_.flushes;
+      ++dispatches_since_profile_;
+    }
+    // Round at a time until the queue drains: every iteration re-pops, so a
+    // high-priority submission landing mid-cycle runs next round — that is
+    // the preemption granularity.  Errors are resolved into the affected
+    // handles by dispatch_round; the executor has no caller to rethrow to.
+    // The catch is defensive: the executor must survive anything, so an
+    // unexpected throw resolves the in-flight jobs instead of terminating
+    // the process.
     try {
-      (void)process_batch(batch);
+      while (dispatch_round(nullptr)) {
+      }
     } catch (...) {
-      resolve_unfinished(batch, std::current_exception());
+      std::vector<std::shared_ptr<detail::Job>> stranded;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        stranded = in_flight_;
+      }
+      resolve_unfinished(stranded, std::current_exception());
     }
     lock.lock();
   }
@@ -520,13 +597,37 @@ void BatchSolver::executor_loop() {
 
 void BatchSolver::flush() {
   if (opts_.async()) {
+    // Per-job barrier: snapshot every job submitted before this call that
+    // has not resolved yet (still queued, or popped into a round), then wait
+    // for exactly those.  A count-based wait ("completed + failed >=
+    // submitted-at-entry") is WRONG under priority scheduling: jobs no
+    // longer resolve in submission order, so later high-priority completions
+    // can satisfy the count while an earlier low-priority job still waits.
     std::unique_lock<std::mutex> lock(mu_);
-    const std::uint64_t target = stats_.jobs_submitted;
-    done_cv_.wait(lock,
-                  [&]() { return stats_.jobs_completed + stats_.jobs_failed >= target; });
+    std::vector<std::shared_ptr<detail::Job>> pending = sched_.snapshot();
+    pending.insert(pending.end(), in_flight_.begin(), in_flight_.end());
+    done_cv_.wait(lock, [&]() {
+      for (const auto& job : pending) {
+        if (!job->done.load(std::memory_order_acquire)) return false;
+      }
+      return true;
+    });
     return;
   }
-  if (std::exception_ptr err = process_batch(drain_queue())) std::rethrow_exception(err);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sched_.empty()) return;  // nothing pending: not a dispatch
+  }
+  maybe_reprofile();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.flushes;
+    ++dispatches_since_profile_;
+  }
+  std::exception_ptr first_error;
+  while (dispatch_round(&first_error)) {
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void BatchSolver::wait_for(const std::shared_ptr<detail::Job>& job) {
@@ -554,14 +655,23 @@ void BatchSolver::shutdown() {
   }
   // Blocking mode: drain the queue inline.  Machine-level session errors
   // are already recorded in the affected handles, and shutdown (called from
-  // the destructor) must never throw, so nothing is rethrown here — the
-  // catch mirrors the executor's defensive guard and resolves whatever an
-  // unexpected throw left unresolved.
-  std::vector<std::shared_ptr<detail::Job>> batch = drain_queue();
+  // the destructor) must never throw, so flush()'s rethrow is swallowed —
+  // and if an *unexpected* throw cut the drain short, whatever it stranded
+  // is resolved with that error so no handle is left pending.
+  std::exception_ptr err;
   try {
-    (void)process_batch(batch);
+    flush();
   } catch (...) {
-    resolve_unfinished(batch, std::current_exception());
+    err = std::current_exception();
+  }
+  if (err) {
+    std::vector<std::shared_ptr<detail::Job>> stranded;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stranded = sched_.drain();
+      stranded.insert(stranded.end(), in_flight_.begin(), in_flight_.end());
+    }
+    resolve_unfinished(stranded, err);
   }
 }
 
@@ -576,7 +686,12 @@ void BatchSolver::abort() {
     machine_->request_abort();
   }
   queue_cv_.notify_all();
-  resolve_unfinished(drain_queue(), abort_error());
+  std::vector<std::shared_ptr<detail::Job>> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued = sched_.drain();
+  }
+  resolve_unfinished(queued, abort_error());
   if (opts_.async()) {
     // One request is not enough in async mode: the executor commits to a
     // session (sessions/attempts counters) slightly before the machine run
@@ -612,7 +727,9 @@ std::vector<la::Matrix> BatchSolver::solve_all(
 
 BatchSolver::Stats BatchSolver::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  s.plan_cache_evictions = cache_->evictions();
+  return s;
 }
 
 std::optional<MachineProfile> BatchSolver::profile() const {

@@ -44,6 +44,20 @@
 // destructor (both drain); abort() fails queued jobs and interrupts the
 // in-flight machine session via backend::Machine::request_abort.
 //
+// Traffic shaping (serve/scheduler.hpp has the policy): jobs carry a
+// Priority and an optional deadline (submit with SubmitOptions), the queue
+// pop is EDF within priority classes with anti-starvation aging, and the
+// queue depth is bounded by with_max_queue_depth — a submission beyond it
+// resolves its handle with AdmissionError immediately (fail-fast
+// backpressure) instead of growing the queue.  Preemption is at group-
+// dispatch granularity: the dispatcher pops ONE job, sizes its group, fills
+// the idle groups with queued same-shape jobs, and runs exactly that round
+// as a machine session — so a big backlog yields a scheduling decision
+// between every round and a newly arrived high-priority job waits at most
+// one in-flight slice, never the whole backlog.  Requeued fault-recovery
+// jobs keep their original sequence number, priority and submit time, so
+// recovery does not reset their place in line.
+//
 // Failure isolation: jobs are validated driver-side before entering the
 // machine; an invalid job's std::invalid_argument is stored in its handle
 // (rethrown from get()) and the rest of the batch is unaffected.  A
@@ -65,7 +79,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -77,6 +90,7 @@
 #include "core/solver.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/profile.hpp"
+#include "serve/scheduler.hpp"
 
 namespace qr3d::serve {
 
@@ -145,6 +159,26 @@ class ServeOptions {
   /// total attempts, then resolved with the original session error.  Must be
   /// >= 1; 1 disables the requeue (first fault fails the job).
   ServeOptions& with_max_attempts(int attempts);
+  /// Admission cap: a submit() that would push the queue past this depth
+  /// resolves its handle with AdmissionError immediately instead of
+  /// queueing (fail-fast backpressure).  0 (default) = unbounded.
+  /// Fault-recovery requeues bypass the cap — the job was already admitted.
+  ServeOptions& with_max_queue_depth(std::size_t depth) {
+    max_queue_depth_ = depth;
+    return *this;
+  }
+  /// LRU capacity of the owned PlanCache (0 = unbounded).  Long-running
+  /// services should keep this bounded: every distinct (shape, group size,
+  /// machine-profile) key is cached, and re-profiling mints new keys.
+  ServeOptions& with_plan_cache_capacity(std::size_t capacity) {
+    plan_cache_capacity_ = capacity;
+    return *this;
+  }
+  /// Anti-starvation aging: a queued job's effective priority class
+  /// improves one step per this much waiting, so sustained high-priority
+  /// load cannot starve the low classes forever.  Zero disables aging
+  /// (strict classes).  Must be >= 0.  Default: 1 second.
+  ServeOptions& with_age_promote_after(std::chrono::steady_clock::duration d);
 
   /// Rank count of the owned machine.
   int ranks() const { return ranks_; }
@@ -165,6 +199,12 @@ class ServeOptions {
   std::uint64_t reprofile_every() const { return reprofile_every_; }
   /// Maximum machine attempts per job under rank deaths.
   int max_attempts() const { return max_attempts_; }
+  /// Admission cap on the queue depth (0 = unbounded).
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+  /// LRU capacity of the owned PlanCache (0 = unbounded).
+  std::size_t plan_cache_capacity() const { return plan_cache_capacity_; }
+  /// Waiting time that improves a queued job's class by one step (0 = off).
+  std::chrono::steady_clock::duration age_promote_after() const { return age_promote_after_; }
 
  private:
   int ranks_ = 4;
@@ -176,36 +216,10 @@ class ServeOptions {
   bool async_ = false;
   std::uint64_t reprofile_every_ = 0;
   int max_attempts_ = 3;
+  std::size_t max_queue_depth_ = 0;
+  std::size_t plan_cache_capacity_ = PlanCache::kDefaultCapacity;
+  std::chrono::steady_clock::duration age_promote_after_ = std::chrono::seconds(1);
 };
-
-/// Per-job measurements, valid once the job has resolved successfully.
-struct JobStats {
-  double wall_seconds = 0.0;    ///< time inside the machine for this job
-  double latency_seconds = 0.0; ///< submit() to resolution (queueing included)
-  bool plan_cache_hit = false;  ///< shape plan came from the cache
-  int group_ranks = 0;          ///< ranks of the group the job ran on
-  int attempts = 0;             ///< machine attempts (> 1 after a requeue)
-  bool recovered = false;       ///< solved after a rank-death requeue
-};
-
-namespace detail {
-
-/// Shared driver-side job record.  Success fields (x, stats) are written by
-/// the machine's group-root rank *before* the release-store of `done`;
-/// readers load `done` with acquire first (JobHandle::ready), so the record
-/// is safe to read from any thread once a handle reports ready.
-struct Job {
-  la::Matrix A, b;
-  Plan plan;
-  int group_ranks = 0;
-  la::Matrix x;
-  std::exception_ptr error;
-  std::atomic<bool> done{false};
-  JobStats stats;
-  std::chrono::steady_clock::time_point submitted_at;
-};
-
-}  // namespace detail
 
 class BatchSolver;
 
@@ -303,6 +317,13 @@ class BatchSolver {
   /// std::invalid_argument after shutdown()/abort().
   JobHandle submit(la::Matrix A, la::Matrix b);
 
+  /// submit() with traffic-shaping directives: a priority class and an
+  /// optional relative deadline (EDF within the class).  When the queue is
+  /// at the admission cap (with_max_queue_depth) the returned handle is
+  /// already resolved with AdmissionError — submit() itself never throws
+  /// for admission, so a rejected job cannot hang a caller.
+  JobHandle submit(la::Matrix A, la::Matrix b, const SubmitOptions& sopts);
+
   /// Barrier: every job submitted before this call has resolved when it
   /// returns.  Blocking mode executes the pending batch inline and rethrows
   /// a machine-level session error (after recording it in the affected
@@ -331,6 +352,8 @@ class BatchSolver {
     std::uint64_t jobs_submitted = 0;
     std::uint64_t jobs_completed = 0;  ///< solved successfully
     std::uint64_t jobs_failed = 0;     ///< rejected, errored, or aborted
+    std::uint64_t jobs_rejected = 0;   ///< failed fast at admission (counted in jobs_failed)
+    std::uint64_t deadline_misses = 0;  ///< jobs resolved after their deadline
     std::uint64_t flushes = 0;         ///< batch dispatches (executor drains / flush calls)
     std::uint64_t sessions = 0;        ///< machine sessions (>= flushes: one per group size)
     std::uint64_t reprofiles = 0;      ///< periodic re-profiles performed
@@ -338,6 +361,7 @@ class BatchSolver {
     std::uint64_t plan_cache_misses = 0;  ///< jobs that triggered sizing+tuning
     std::uint64_t attempts = 0;   ///< job machine attempts (>= jobs entering sessions)
     std::uint64_t recovered = 0;  ///< jobs solved after a rank-death requeue
+    std::uint64_t plan_cache_evictions = 0;  ///< LRU evictions in the owned PlanCache
     double serve_seconds = 0.0;  ///< total machine-session time
     double problems_per_second() const {
       return serve_seconds > 0.0 ? static_cast<double>(jobs_completed) / serve_seconds : 0.0;
@@ -364,21 +388,25 @@ class BatchSolver {
   /// resolved into the job) when the job must not enter the machine.
   bool validate_job(const std::shared_ptr<detail::Job>& job);
   /// Mark a job resolved (error == nullptr: success fields already written),
-  /// stamp latency, bump completion counters, wake waiters.  Called from
-  /// the driver, the executor, or a machine group-root rank.
+  /// stamp latency (split into queue/exec), bump completion counters, wake
+  /// waiters.  Called from the driver, the executor, or a machine group-root
+  /// rank.
   void resolve_job(const std::shared_ptr<detail::Job>& job, std::exception_ptr error);
-  /// Validate, size, plan and execute one drained batch (executor thread or
-  /// blocking flush).  Returns the first machine-level session error (also
-  /// recorded in the affected handles), or nullptr.
-  std::exception_ptr process_batch(std::vector<std::shared_ptr<detail::Job>> batch);
+  /// Dispatch one scheduling round: pop the best-ranked job, size its
+  /// group, fill the idle groups with queued same-shape jobs, and run
+  /// exactly that round as one machine session (the preemption slice).
+  /// Handles validation, rank-death requeueing and session errors for the
+  /// round.  Returns false when the queue was empty or the solver is
+  /// aborting (nothing dispatched).  A machine-level session error is
+  /// recorded in the affected handles and, when `session_error` is non-null
+  /// and empty, stored there too (blocking flush() rethrows it).
+  bool dispatch_round(std::exception_ptr* session_error);
   /// One machine session: all `jobs` round-robined over groups of (up to) g
   /// ranks drawn from the machine's *surviving* ranks — ranks recorded in
   /// dead_ranks_ idle out, so a shrunken machine keeps serving.
   void run_session(int g, const std::vector<std::shared_ptr<detail::Job>>& jobs);
   /// Periodic re-profiling (called between dispatches when configured).
   void maybe_reprofile();
-  /// Snapshot-and-clear the submission queue (takes mu_).
-  std::vector<std::shared_ptr<detail::Job>> drain_queue();
   /// Resolve every not-yet-done job in `jobs` with `error`.
   void resolve_unfinished(const std::vector<std::shared_ptr<detail::Job>>& jobs,
                           std::exception_ptr error);
@@ -393,13 +421,19 @@ class BatchSolver {
   std::optional<MachineProfile> profile_;
   Solver solver_;
 
-  /// mu_ guards: queue_, stats_, submitted_/finished_, sized_shapes_,
+  /// mu_ guards: sched_, in_flight_, next_seq_, stats_, sized_shapes_,
   /// stop_/aborting_, and swaps of machine_/profile_ during re-profiling.
   /// Never held across a machine session.
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  ///< executor wakes on submissions/stop
   std::condition_variable done_cv_;   ///< flush()/wait() completion signal
-  std::deque<std::shared_ptr<detail::Job>> queue_;
+  /// The ready queue (traffic shaping policy lives in serve/scheduler.hpp).
+  Scheduler sched_;
+  /// Jobs of the round currently inside the machine: flush()'s barrier
+  /// snapshot is sched_.snapshot() + in_flight_ (a popped-but-unresolved job
+  /// is in neither the queue nor done).
+  std::vector<std::shared_ptr<detail::Job>> in_flight_;
+  std::uint64_t next_seq_ = 0;  ///< submission sequence (FIFO tiebreak)
   std::uint64_t dispatches_since_profile_ = 0;
   /// Shapes already sized+planned under the current profile: membership
   /// drives the per-job hit/miss counters, and re-profiling clears it so

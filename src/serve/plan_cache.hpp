@@ -14,6 +14,15 @@
 // given a shared one), and serve::BatchSolver shares a single cache between
 // its driver-side plan resolution and its internal Solver.
 //
+// Capacity: a long-running service sees an unbounded stream of distinct
+// keys (every new shape, group size, or re-profiled machine parameter set
+// is one), so memoizing forever is a slow memory leak.  The cache is LRU-
+// bounded: every lookup/insert freshens its key, and an insert past
+// `capacity()` evicts the least-recently-used plan (counted in
+// `evictions()`).  An evicted key simply re-tunes on its next lookup — a
+// re-miss, never an error.  The default capacity is generous (kDefault-
+// Capacity plans of a few hundred bytes each); 0 means unbounded.
+//
 // Thread safety: all methods are safe to call concurrently (one mutex); a
 // miss runs the tuner inside the lock so concurrent lookups of the same key
 // tune exactly once.
@@ -21,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -65,7 +75,12 @@ struct Plan {
 
 class PlanCache {
  public:
-  PlanCache() = default;
+  /// Default LRU capacity: generous for any realistic shape mix, bounded
+  /// for a service that never restarts.
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// `capacity` = maximum cached plans before LRU eviction (0 = unbounded).
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
 
   /// The cached plan for `key`, tuning (cost::tune_3d under `machine`) on a
   /// miss.  `machine` must carry the same (alpha, beta, gamma) as the key.
@@ -88,16 +103,36 @@ class PlanCache {
   std::uint64_t hits() const;
   /// Lookups that had to tune/compute so far.
   std::uint64_t misses() const;
-  /// Number of cached plans.
+  /// Plans dropped by LRU eviction so far.
+  std::uint64_t evictions() const;
+  /// Number of cached plans (<= capacity() when bounded).
   std::size_t size() const;
-  /// Drop every plan and zero the counters.
+  /// Maximum cached plans before eviction (0 = unbounded).
+  std::size_t capacity() const;
+  /// Change the capacity; shrinking evicts (and counts) LRU plans at once.
+  void set_capacity(std::size_t capacity);
+  /// Drop every plan and zero the counters (evictions included).
   void clear();
 
  private:
+  /// Entry: the plan plus its position in the recency list.
+  struct Entry {
+    Plan plan;
+    std::list<PlanKey>::iterator lru;
+  };
+
+  /// Move `it`'s key to the most-recent end; requires mu_ held.
+  void touch(std::map<PlanKey, Entry>::iterator it);
+  /// Evict LRU plans until size() <= capacity_; requires mu_ held.
+  void enforce_capacity();
+
   mutable std::mutex mu_;
-  std::map<PlanKey, Plan> plans_;
+  std::map<PlanKey, Entry> plans_;
+  std::list<PlanKey> lru_;  ///< front = most recently used
+  std::size_t capacity_ = kDefaultCapacity;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// The key Solver::factor uses for a problem it is about to factor.

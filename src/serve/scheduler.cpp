@@ -1,0 +1,101 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "la/error.hpp"
+
+namespace qr3d::serve {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::High:
+      return "high";
+    case Priority::Normal:
+      return "normal";
+    case Priority::Low:
+      return "low";
+  }
+  return "?";
+}
+
+AdmissionError::AdmissionError(std::size_t queue_depth, std::size_t max_queue_depth)
+    : std::runtime_error("qr3d::serve: submission rejected — queue depth " +
+                         std::to_string(queue_depth) + " at the admission cap of " +
+                         std::to_string(max_queue_depth) +
+                         " (fail-fast backpressure; retry later or shed load)"),
+      queue_depth_(queue_depth),
+      max_queue_depth_(max_queue_depth) {}
+
+void Scheduler::push(std::shared_ptr<detail::Job> job) {
+  QR3D_ASSERT(job != nullptr, "Scheduler::push: null job");
+  queue_.push_back(std::move(job));
+}
+
+int Scheduler::effective_class(const detail::Job& job,
+                               std::chrono::steady_clock::time_point now) const {
+  int cls = static_cast<int>(job.priority);
+  if (age_promote_after_ > std::chrono::steady_clock::duration::zero() &&
+      now > job.submitted_at) {
+    const auto waited = now - job.submitted_at;
+    const auto promotions = static_cast<int>(waited / age_promote_after_);
+    cls = std::max(0, cls - promotions);
+  }
+  return cls;
+}
+
+bool Scheduler::before(const detail::Job& a, const detail::Job& b,
+                       std::chrono::steady_clock::time_point now) const {
+  const int ca = effective_class(a, now), cb = effective_class(b, now);
+  if (ca != cb) return ca < cb;
+  // EDF within the class; a job without a deadline sorts after every
+  // deadlined peer (deadline = +inf).
+  const auto da = a.has_deadline ? a.deadline : std::chrono::steady_clock::time_point::max();
+  const auto db = b.has_deadline ? b.deadline : std::chrono::steady_clock::time_point::max();
+  if (da != db) return da < db;
+  return a.seq < b.seq;  // FIFO tiebreak
+}
+
+std::shared_ptr<detail::Job> Scheduler::pop(std::chrono::steady_clock::time_point now) {
+  if (queue_.empty()) return nullptr;
+  auto best = queue_.begin();
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    if (before(**it, **best, now)) best = it;
+  }
+  std::shared_ptr<detail::Job> job = std::move(*best);
+  queue_.erase(best);
+  return job;
+}
+
+std::vector<std::shared_ptr<detail::Job>> Scheduler::pop_same_shape(
+    la::index_t m, la::index_t n, std::size_t max_jobs,
+    std::chrono::steady_clock::time_point now) {
+  std::vector<std::shared_ptr<detail::Job>> out;
+  while (out.size() < max_jobs) {
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->A.rows() != m || (*it)->A.cols() != n) continue;
+      if (best == queue_.end() || before(**it, **best, now)) best = it;
+    }
+    if (best == queue_.end()) break;
+    out.push_back(std::move(*best));
+    queue_.erase(best);
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<detail::Job>> Scheduler::drain() {
+  std::vector<std::shared_ptr<detail::Job>> out = std::move(queue_);
+  queue_.clear();
+  return out;
+}
+
+std::vector<std::shared_ptr<detail::Job>> Scheduler::snapshot() const { return queue_; }
+
+std::size_t Scheduler::count_shape(la::index_t m, la::index_t n) const {
+  std::size_t count = 0;
+  for (const auto& job : queue_)
+    if (job->A.rows() == m && job->A.cols() == n) ++count;
+  return count;
+}
+
+}  // namespace qr3d::serve

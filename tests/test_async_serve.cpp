@@ -2,12 +2,17 @@
 // futures (ready/wait/get), submit/execute overlap, concurrent submitters,
 // clean shutdown via the destructor with jobs still pending, abort
 // propagation into unresolved futures, failure isolation under the executor,
-// periodic re-profiling, and async-vs-blocking agreement at a pinned group
-// layout.  This suite runs under ThreadSanitizer in CI — every cross-thread
+// periodic re-profiling, async-vs-blocking agreement at a pinned group
+// layout, and traffic shaping under the executor (priority preemption, the
+// per-job flush barrier, anti-starvation aging, bounded admission).  This suite runs under ThreadSanitizer in CI — every cross-thread
 // handoff here (submit -> executor -> machine group root -> waiting driver)
 // is a TSan claim, not just a correctness claim.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -495,4 +500,181 @@ TEST(AdaptiveGrouping, BigLoneProblemsGetBigGroupsSmallBatchesPipeline) {
   EXPECT_EQ(serve::group_size_candidates(8), (std::vector<int>{1, 2, 4, 8}));
   EXPECT_EQ(serve::group_size_candidates(6), (std::vector<int>{1, 2, 4, 6}));
   EXPECT_EQ(serve::group_size_candidates(1), (std::vector<int>{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Traffic shaping under the executor (priority preemption, the per-job flush
+// barrier, aging, bounded admission) — every one of these is also a TSan
+// claim on the scheduler/dispatcher handoffs.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void high_priority_overtakes_backlog(qr3d::Backend bk) {
+  // A big low-priority backlog is in flight; a high-priority job submitted
+  // mid-drain must run next round (preemption at group-dispatch
+  // granularity), not behind the whole backlog — the head-of-line blocking
+  // the old whole-queue snapshot dispatch suffered from.
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_group_ranks(2).with_async().with_qr(
+      qr3d::QrOptions().with_tune_for_machine().with_backend(bk));
+  serve::BatchSolver srv(opts);
+
+  const int kBacklog = 12;
+  std::vector<Planted> big;
+  std::vector<serve::JobHandle> lows;
+  for (int j = 0; j < kBacklog; ++j) {
+    big.push_back(planted_problem(384, 96, 8300 + 2 * static_cast<std::uint64_t>(j)));
+    lows.push_back(srv.submit(big[static_cast<std::size_t>(j)].A,
+                              big[static_cast<std::size_t>(j)].b,
+                              serve::SubmitOptions().with_priority(serve::Priority::Low)));
+  }
+  // Wait for the executor to enter the backlog, then jump the line.
+  while (srv.stats().sessions == 0) std::this_thread::yield();
+  Planted small = planted_problem(48, 12, 8400);
+  serve::JobHandle high =
+      srv.submit(small.A, small.b, serve::SubmitOptions().with_priority(serve::Priority::High));
+  srv.flush();
+
+  EXPECT_LT(solution_error(high.get(), small.x_true), 1e-8);
+  std::uint64_t last_low_round = 0;
+  for (int j = 0; j < kBacklog; ++j) {
+    const auto& h = lows[static_cast<std::size_t>(j)];
+    EXPECT_LT(solution_error(h.get(), big[static_cast<std::size_t>(j)].x_true), 1e-8)
+        << "job " << j;
+    last_low_round = std::max(last_low_round, h.stats().round);
+  }
+  // The high job ran before the backlog finished: it waited out at most the
+  // round in flight, never the queue.
+  EXPECT_LT(high.stats().round, last_low_round);
+}
+
+}  // namespace
+
+TEST(AsyncServe, HighPriorityOvertakesABigBacklog) {
+  high_priority_overtakes_backlog(qr3d::Backend::Thread);
+}
+
+TEST(AsyncServe, HighPriorityOvertakesABigBacklogOnTheSimBackend) {
+  high_priority_overtakes_backlog(qr3d::Backend::Simulated);
+}
+
+TEST(AsyncServe, FlushIsAPerJobBarrierNotACount) {
+  // Pin the flush() contract under priority scheduling: a barrier for the
+  // jobs submitted happens-before the call, and nothing more.  A concurrent
+  // submitter keeps a stream of high-priority jobs arriving for the whole
+  // duration, so (a) the old count-based wait ("completed+failed >= count at
+  // entry") would be satisfied by LATER high-priority completions while the
+  // earlier low-priority jobs still sit queued, and (b) a flush that tracked
+  // later submissions would chase the stream and never return.
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_group_ranks(2).with_async().with_age_promote_after(
+      std::chrono::milliseconds(50));  // keeps the lows' wait bounded on any machine
+  serve::BatchSolver srv(opts);
+  Planted small = planted_problem(32, 8, 8500);
+  std::atomic<bool> stop{false};
+  std::thread submitter([&]() {
+    // Throttled so the executor keeps pace: the stream exists to overtake
+    // the lows, not to flood the queue (and the post-test drain) unboundedly.
+    for (int i = 0; i < 500 && !stop.load(std::memory_order_acquire); ++i) {
+      (void)srv.submit(small.A, small.b,
+                       serve::SubmitOptions().with_priority(serve::Priority::High));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<Planted> big;
+  std::vector<serve::JobHandle> lows;
+  for (int j = 0; j < 6; ++j) {
+    big.push_back(planted_problem(256, 64, 8600 + 2 * static_cast<std::uint64_t>(j)));
+    lows.push_back(srv.submit(big.back().A, big.back().b,
+                              serve::SubmitOptions().with_priority(serve::Priority::Low)));
+  }
+  srv.flush();
+  // The barrier: every pre-flush job has resolved, however many queued
+  // high-priority jobs overtook them in the meantime.
+  for (int j = 0; j < 6; ++j) {
+    ASSERT_TRUE(lows[static_cast<std::size_t>(j)].ready()) << "job " << j;
+    EXPECT_LT(solution_error(lows[static_cast<std::size_t>(j)].get(),
+                             big[static_cast<std::size_t>(j)].x_true),
+              1e-8)
+        << "job " << j;
+  }
+  stop.store(true, std::memory_order_release);
+  submitter.join();
+  srv.shutdown();  // drains the stream's stragglers
+  const auto st = srv.stats();
+  EXPECT_EQ(st.jobs_completed + st.jobs_failed, st.jobs_submitted);
+}
+
+TEST(AsyncServe, AgingPreventsStarvationUnderSustainedHighLoad) {
+  // Keep several high-priority jobs outstanding at all times — under strict
+  // classes the lone low-priority job would never run.  Aging promotes its
+  // effective class one step per 25ms waited, so within the (bounded) loop
+  // it must get served.
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_group_ranks(2).with_async().with_age_promote_after(
+      std::chrono::milliseconds(25));
+  serve::BatchSolver srv(opts);
+
+  Planted lowp = planted_problem(32, 8, 8700);
+  serve::JobHandle low =
+      srv.submit(lowp.A, lowp.b, serve::SubmitOptions().with_priority(serve::Priority::Low));
+
+  Planted smalls = planted_problem(32, 8, 8702);
+  std::deque<serve::JobHandle> outstanding;
+  bool served = false;
+  for (int i = 0; i < 5000; ++i) {
+    while (outstanding.size() < 4) {
+      outstanding.push_back(srv.submit(
+          smalls.A, smalls.b, serve::SubmitOptions().with_priority(serve::Priority::High)));
+    }
+    outstanding.front().wait();
+    outstanding.pop_front();
+    if (low.ready()) {
+      served = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(served) << "low-priority job starved under sustained high-priority load";
+  EXPECT_LT(solution_error(low.get(), lowp.x_true), 1e-8);
+}
+
+TEST(AsyncServe, AdmissionRejectsConsistentlyUnderTheExecutor) {
+  // Bounded admission with the executor busy: one big job in the machine,
+  // one job admitted into the queue, and the burst behind it fails fast —
+  // every handle resolves (ready or AdmissionError), nothing hangs, and the
+  // counters add up.
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_group_ranks(2).with_async().with_max_queue_depth(1);
+  serve::BatchSolver srv(opts);
+
+  Planted big = planted_problem(384, 96, 8800);
+  serve::JobHandle busy = srv.submit(big.A, big.b);
+  while (srv.stats().sessions == 0) std::this_thread::yield();  // big is in the machine
+
+  Planted small = planted_problem(32, 8, 8802);
+  std::vector<serve::JobHandle> burst;
+  for (int j = 0; j < 4; ++j) burst.push_back(srv.submit(small.A, small.b));
+  srv.flush();
+
+  EXPECT_LT(solution_error(busy.get(), big.x_true), 1e-8);
+  std::uint64_t rejected = 0;
+  for (int j = 0; j < 4; ++j) {
+    auto& h = burst[static_cast<std::size_t>(j)];
+    ASSERT_TRUE(h.ready()) << "job " << j;  // flush resolved or admission did
+    try {
+      (void)h.get();
+    } catch (const serve::AdmissionError& e) {
+      ++rejected;
+      EXPECT_EQ(e.max_queue_depth(), 1u);
+      EXPECT_GE(e.queue_depth(), 1u);
+    }
+  }
+  EXPECT_GE(rejected, 1u);  // the burst outran one queue slot
+  const auto st = srv.stats();
+  EXPECT_EQ(st.jobs_submitted, 5u);
+  EXPECT_EQ(st.jobs_rejected, rejected);
+  EXPECT_EQ(st.jobs_completed + st.jobs_failed, st.jobs_submitted);
+  EXPECT_EQ(st.jobs_completed, 5u - rejected);
 }

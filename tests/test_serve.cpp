@@ -241,6 +241,77 @@ TEST(PlanCache, KeyIncludesMachineParameters) {
   EXPECT_EQ(cache.hits(), 0u);
 }
 
+TEST(PlanCache, LruEvictionKeepsASweepBounded) {
+  // A shape sweep past the capacity stays bounded: every insert past the cap
+  // evicts the least-recently-used plan, counted in evictions().
+  serve::PlanCache cache(4);
+  const sim::CostParams cloud = sim::profiles::cloud();
+  auto key = [&](index_t m) {
+    return serve::make_plan_key(m, 16, 4, qr3d::Dist::CyclicRows, backend::Kind::Simulated,
+                                cloud);
+  };
+  for (index_t m = 64; m < 64 + 10 * 32; m += 32) cache.lookup_or_tune(key(m), cloud);
+  EXPECT_EQ(cache.size(), 4u);  // bounded, not 10
+  EXPECT_EQ(cache.misses(), 10u);
+  EXPECT_EQ(cache.evictions(), 6u);
+  EXPECT_EQ(cache.capacity(), 4u);
+  // The 4 most recent shapes survived; the oldest re-tunes on re-miss —
+  // a fresh miss, never an error — and evicts the then-LRU survivor.
+  EXPECT_TRUE(cache.contains(key(64 + 9 * 32)));
+  EXPECT_FALSE(cache.contains(key(64)));
+  cache.lookup_or_tune(key(64), cloud);
+  EXPECT_EQ(cache.misses(), 11u);
+  EXPECT_EQ(cache.evictions(), 7u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(PlanCache, LookupFreshensRecency) {
+  serve::PlanCache cache(2);
+  const sim::CostParams cloud = sim::profiles::cloud();
+  auto key = [&](index_t m) {
+    return serve::make_plan_key(m, 16, 4, qr3d::Dist::CyclicRows, backend::Kind::Simulated,
+                                cloud);
+  };
+  cache.lookup_or_tune(key(64), cloud);
+  cache.lookup_or_tune(key(96), cloud);
+  cache.lookup_or_tune(key(64), cloud);  // freshen 64: 96 is now the LRU
+  cache.lookup_or_tune(key(128), cloud);
+  EXPECT_TRUE(cache.contains(key(64)));
+  EXPECT_FALSE(cache.contains(key(96)));
+  EXPECT_EQ(cache.evictions(), 1u);
+  // Shrinking the capacity evicts (and counts) at once; 0 = unbounded.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  serve::PlanCache unbounded(0);
+  for (index_t m = 64; m < 64 + 8 * 32; m += 32) unbounded.lookup_or_tune(key(m), cloud);
+  EXPECT_EQ(unbounded.size(), 8u);
+  EXPECT_EQ(unbounded.evictions(), 0u);
+}
+
+TEST(PlanCache, ServeSweepPastCapacityStaysBoundedAndRetunes) {
+  // End-to-end: a BatchSolver with a small plan-cache capacity serves a
+  // shape sweep wider than the cache.  The cache stays bounded, evictions
+  // surface in Stats, and a re-encountered evicted shape simply re-tunes.
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_group_ranks(2).with_plan_cache_capacity(3).with_qr(
+      qr3d::QrOptions().with_tune_for_machine().with_backend(qr3d::Backend::Simulated));
+  serve::BatchSolver srv(opts);
+  for (int round = 0; round < 2; ++round) {
+    for (int s = 0; s < 6; ++s) {
+      const index_t m = 48 + 16 * static_cast<index_t>(s);
+      const Planted p = planted_problem(m, 12, 5000 + 10 * static_cast<std::uint64_t>(s));
+      auto h = srv.submit(p.A, p.b);
+      srv.flush();
+      EXPECT_LT(solution_error(h.get(), p.x_true), 1e-10) << "shape " << s;
+    }
+  }
+  EXPECT_LE(srv.plan_cache()->size(), 3u);
+  const auto st = srv.stats();
+  EXPECT_GT(st.plan_cache_evictions, 0u);
+  EXPECT_EQ(st.jobs_completed, 12u);
+}
+
 // ---------------------------------------------------------------------------
 // profile -> tune -> serve
 // ---------------------------------------------------------------------------

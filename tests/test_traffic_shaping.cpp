@@ -1,0 +1,286 @@
+// Tests for traffic shaping in the serving layer (src/serve/scheduler.hpp +
+// the per-round dispatch in BatchSolver): EDF-within-priority-class pop
+// order, anti-starvation aging, bounded admission (fail-fast
+// AdmissionError), the queue/exec latency split, deadline-miss accounting,
+// and the pin that a fault-recovery requeue keeps a job's place in line.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "qr3d.hpp"
+
+namespace fault = qr3d::fault;
+namespace la = qr3d::la;
+namespace serve = qr3d::serve;
+using la::index_t;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// A consistent least-squares problem with a planted exact solution.
+struct Planted {
+  la::Matrix A, b, x_true;
+};
+
+Planted planted_problem(index_t m, index_t n, std::uint64_t seed) {
+  Planted p;
+  p.A = la::random_matrix(m, n, seed);
+  p.x_true = la::random_matrix(n, 1, seed + 1);
+  p.b = la::multiply<double>(la::Op::NoTrans, p.A.view(), la::Op::NoTrans, p.x_true.view());
+  return p;
+}
+
+double solution_error(const la::Matrix& x, const la::Matrix& x_true) {
+  la::Matrix dx = la::copy<double>(x.view());
+  la::add(-1.0, la::ConstMatrixView(x_true.view()), dx.view());
+  return la::frobenius_norm(dx.view()) / (1.0 + la::frobenius_norm(x_true.view()));
+}
+
+/// Fabricate a queue entry for Scheduler unit tests: `aged` is how long ago
+/// it was submitted, `deadline` a relative deadline from that submit time.
+std::shared_ptr<serve::detail::Job> make_job(
+    std::uint64_t seq, serve::Priority pri, Clock::duration aged = Clock::duration::zero(),
+    std::optional<Clock::duration> deadline = std::nullopt, index_t m = 8, index_t n = 2) {
+  auto job = std::make_shared<serve::detail::Job>();
+  job->A = la::random_matrix(m, n, seq + 1);
+  job->b = la::random_matrix(m, 1, seq + 2);
+  job->seq = seq;
+  job->priority = pri;
+  job->submitted_at = Clock::now() - aged;
+  if (deadline) {
+    job->has_deadline = true;
+    job->deadline = job->submitted_at + *deadline;
+  }
+  return job;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scheduler policy (unit level)
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, PopOrdersByClassThenDeadlineThenSeq) {
+  serve::Scheduler sched;  // aging off: strict classes
+  sched.push(make_job(0, serve::Priority::Low));
+  sched.push(make_job(1, serve::Priority::Normal, {}, seconds(2)));
+  sched.push(make_job(2, serve::Priority::Normal, {}, seconds(1)));
+  sched.push(make_job(3, serve::Priority::Normal));  // no deadline: after EDF peers
+  sched.push(make_job(4, serve::Priority::High));
+  sched.push(make_job(5, serve::Priority::Normal, {}, seconds(1)));  // ties 2 on deadline
+
+  std::vector<std::uint64_t> order;
+  const auto now = Clock::now();
+  while (auto job = sched.pop(now)) order.push_back(job->seq);
+  // High first; Normals earliest-deadline-first with seq breaking the tie
+  // and the deadline-less Normal last of its class; Low dead last.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{4, 2, 5, 1, 3, 0}));
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, AgingPromotesTheStarvedClass) {
+  serve::Scheduler sched(milliseconds(100));
+  auto starved = make_job(0, serve::Priority::Low, milliseconds(250));
+  auto fresh_high = make_job(1, serve::Priority::High);
+  sched.push(fresh_high);
+  sched.push(starved);
+
+  const auto now = Clock::now();
+  // 250ms / 100ms = two promotions: Low (2) -> High (0), floored there.
+  EXPECT_EQ(sched.effective_class(*starved, now), 0);
+  EXPECT_EQ(sched.effective_class(*fresh_high, now), 0);
+  // Class tie, neither has a deadline: the starved job's lower seq wins.
+  EXPECT_EQ(sched.pop(now)->seq, 0u);
+  EXPECT_EQ(sched.pop(now)->seq, 1u);
+}
+
+TEST(Scheduler, PopSameShapeFiltersByShapeInSchedulingOrder) {
+  serve::Scheduler sched;
+  sched.push(make_job(0, serve::Priority::Low, {}, std::nullopt, 8, 2));
+  sched.push(make_job(1, serve::Priority::Normal, {}, std::nullopt, 16, 4));
+  sched.push(make_job(2, serve::Priority::High, {}, std::nullopt, 8, 2));
+  sched.push(make_job(3, serve::Priority::Normal, {}, std::nullopt, 8, 2));
+  EXPECT_EQ(sched.count_shape(8, 2), 3u);
+
+  const auto now = Clock::now();
+  auto riders = sched.pop_same_shape(8, 2, 2, now);
+  ASSERT_EQ(riders.size(), 2u);
+  EXPECT_EQ(riders[0]->seq, 2u);  // High before Normal before Low
+  EXPECT_EQ(riders[1]->seq, 3u);
+  // The other-shape job and the leftover Low stay queued.
+  EXPECT_EQ(sched.size(), 2u);
+  EXPECT_EQ(sched.count_shape(8, 2), 1u);
+}
+
+TEST(Scheduler, PriorityNames) {
+  EXPECT_STREQ(serve::priority_name(serve::Priority::High), "high");
+  EXPECT_STREQ(serve::priority_name(serve::Priority::Normal), "normal");
+  EXPECT_STREQ(serve::priority_name(serve::Priority::Low), "low");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scheduling order (blocking mode: rounds are exact)
+// ---------------------------------------------------------------------------
+
+TEST(TrafficShaping, EdfWithPriorityClassesPinnedByRounds) {
+  // One rank = one group = one job per machine round, so JobStats::round is
+  // exactly the pop order.  Aging off: the order is a pure (class, deadline,
+  // seq) pin, independent of how long the flush takes.
+  const index_t m = 32, n = 8;
+  serve::BatchSolver srv(serve::ServeOptions()
+                             .with_ranks(1)
+                             .with_age_promote_after(Clock::duration::zero()));
+  std::vector<Planted> problems;
+  for (int j = 0; j < 4; ++j)
+    problems.push_back(planted_problem(m, n, 9100 + 2 * static_cast<std::uint64_t>(j)));
+
+  auto h_low = srv.submit(problems[0].A, problems[0].b,
+                          serve::SubmitOptions().with_priority(serve::Priority::Low));
+  auto h_high = srv.submit(problems[1].A, problems[1].b,
+                           serve::SubmitOptions().with_priority(serve::Priority::High));
+  auto h_late = srv.submit(problems[2].A, problems[2].b,
+                           serve::SubmitOptions().with_deadline(seconds(20)));
+  auto h_soon = srv.submit(problems[3].A, problems[3].b,
+                           serve::SubmitOptions().with_deadline(seconds(10)));
+  srv.flush();
+
+  EXPECT_EQ(h_high.stats().round, 1u);
+  EXPECT_EQ(h_soon.stats().round, 2u);  // EDF inside Normal beats submit order
+  EXPECT_EQ(h_late.stats().round, 3u);
+  EXPECT_EQ(h_low.stats().round, 4u);
+  EXPECT_EQ(h_high.stats().priority, serve::Priority::High);
+  EXPECT_EQ(h_low.stats().priority, serve::Priority::Low);
+  EXPECT_LT(solution_error(h_high.get(), problems[1].x_true), 1e-8);
+  EXPECT_LT(solution_error(h_low.get(), problems[0].x_true), 1e-8);
+  EXPECT_EQ(srv.stats().sessions, 4u);
+  EXPECT_EQ(srv.stats().flushes, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded admission (fail-fast, both backends)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void admission_fails_fast(qr3d::Backend backend) {
+  const index_t m = 32, n = 8;
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_max_queue_depth(2).with_qr(
+      qr3d::QrOptions().with_tune_for_machine().with_backend(backend));
+  serve::BatchSolver srv(opts);
+
+  std::vector<Planted> problems;
+  std::vector<serve::JobHandle> handles;
+  for (int j = 0; j < 3; ++j) {
+    problems.push_back(planted_problem(m, n, 9300 + 2 * static_cast<std::uint64_t>(j)));
+    handles.push_back(srv.submit(problems.back().A, problems.back().b));
+  }
+  // The third submission hit the cap: its handle is ALREADY resolved (no
+  // flush needed, nothing to hang on) and carries AdmissionError.
+  ASSERT_TRUE(handles[2].ready());
+  try {
+    handles[2].get();
+    FAIL() << "expected AdmissionError";
+  } catch (const serve::AdmissionError& e) {
+    EXPECT_EQ(e.queue_depth(), 2u);
+    EXPECT_EQ(e.max_queue_depth(), 2u);
+  }
+
+  srv.flush();  // the admitted jobs are unaffected
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_LT(solution_error(handles[static_cast<std::size_t>(j)].get(),
+                             problems[static_cast<std::size_t>(j)].x_true),
+              1e-8)
+        << "job " << j;
+  }
+  const auto st = srv.stats();
+  EXPECT_EQ(st.jobs_submitted, 3u);
+  EXPECT_EQ(st.jobs_completed, 2u);
+  EXPECT_EQ(st.jobs_failed, 1u);
+  EXPECT_EQ(st.jobs_rejected, 1u);  // the reject is counted in jobs_failed
+}
+
+}  // namespace
+
+TEST(TrafficShaping, AdmissionFailsFastOnTheThreadBackend) {
+  admission_fails_fast(qr3d::Backend::Thread);
+}
+
+TEST(TrafficShaping, AdmissionFailsFastOnTheSimBackend) {
+  admission_fails_fast(qr3d::Backend::Simulated);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-recovery requeue keeps its place in line
+// ---------------------------------------------------------------------------
+
+TEST(TrafficShaping, RequeuedJobKeepsItsPlaceInLine) {
+  // Round 1 runs job X over both ranks and rank 1 dies (one-shot kill), so X
+  // requeues.  X keeps its original seq/priority/submit time, so round 2 is
+  // X's retry on the survivor — job Y, submitted after X at the same
+  // priority, must NOT overtake it.
+  const index_t m = 40, n = 10;
+  serve::ServeOptions opts;
+  opts.with_ranks(2).with_group_ranks(2).with_max_attempts(3).with_age_promote_after(
+      Clock::duration::zero());
+  serve::BatchSolver srv(opts);
+  srv.machine().set_fault_plan(fault::Plan::kill(1, 1));
+
+  const Planted px = planted_problem(m, n, 9500);
+  const Planted py = planted_problem(m, n, 9502);
+  auto hx = srv.submit(px.A, px.b, serve::SubmitOptions().with_priority(serve::Priority::Low));
+  auto hy = srv.submit(py.A, py.b, serve::SubmitOptions().with_priority(serve::Priority::Low));
+  srv.flush();
+
+  EXPECT_LT(solution_error(hx.get(), px.x_true), 1e-8);
+  EXPECT_LT(solution_error(hy.get(), py.x_true), 1e-8);
+  EXPECT_EQ(hx.stats().attempts, 2);
+  EXPECT_TRUE(hx.stats().recovered);
+  EXPECT_EQ(hx.stats().priority, serve::Priority::Low);
+  EXPECT_LT(hx.stats().round, hy.stats().round);  // the requeue kept X ahead of Y
+  const auto st = srv.stats();
+  EXPECT_EQ(st.jobs_completed, 2u);
+  EXPECT_EQ(st.recovered, 1u);
+  EXPECT_EQ(st.attempts, 3u);  // X twice, Y once
+}
+
+// ---------------------------------------------------------------------------
+// Latency split and deadline accounting
+// ---------------------------------------------------------------------------
+
+TEST(TrafficShaping, LatencySplitsIntoQueuePlusExec) {
+  const index_t m = 48, n = 12;
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(2));
+  const Planted p = planted_problem(m, n, 9700);
+  auto h = srv.submit(p.A, p.b);
+  srv.flush();
+
+  const serve::JobStats& st = h.stats();
+  EXPECT_GE(st.queue_seconds, 0.0);
+  EXPECT_GT(st.exec_seconds, 0.0);  // the machine round is real wall time
+  // The split is exact by construction: latency = queue + exec.
+  EXPECT_DOUBLE_EQ(st.latency_seconds, st.queue_seconds + st.exec_seconds);
+  EXPECT_FALSE(st.deadline_missed);  // no deadline, never missed
+  EXPECT_EQ(srv.stats().deadline_misses, 0u);
+}
+
+TEST(TrafficShaping, ADeadlineMissIsCountedNotDropped) {
+  const index_t m = 32, n = 8;
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(2));
+  const Planted p = planted_problem(m, n, 9800);
+  // An already-expired deadline: the job still runs and solves (deadlines
+  // are scheduling hints, not drop policies) but is counted as a miss.
+  auto h = srv.submit(p.A, p.b, serve::SubmitOptions().with_deadline(Clock::duration::zero()));
+  srv.flush();
+
+  EXPECT_LT(solution_error(h.get(), p.x_true), 1e-8);
+  EXPECT_TRUE(h.stats().deadline_missed);
+  EXPECT_EQ(srv.stats().deadline_misses, 1u);
+  EXPECT_EQ(srv.stats().jobs_completed, 1u);
+}
