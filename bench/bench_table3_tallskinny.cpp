@@ -8,6 +8,11 @@
 // algorithm across P, with the model columns beside them.  The expected
 // shape: TSQR kills 1D-HOUSE's Theta(n) latency factor; 1D-CAQR-EG (eps = 1)
 // further removes the log P bandwidth factor at a log P latency price.
+//
+// --trace=<path> additionally runs one TSQR at the smallest P with an
+// obs::TraceBuffer installed and writes the per-rank comm timeline as Chrome
+// trace_event JSON (sim backend: the cost model's predicted timeline; thread
+// backend: measured wall clock).
 #include "bench_util.hpp"
 
 namespace b = qr3d::bench;
@@ -97,6 +102,25 @@ int main(int argc, char** argv) {
     json.end_object();
     if (!json.write_file(json_path)) return 3;
     std::printf("wrote %s\n", json_path);
+  }
+
+  if (const char* trace_path = b::parse_flag(argc, argv, "--trace")) {
+    // One traced TSQR run, outside the measured sweep.  On the simulator the
+    // event timestamps are the cost model's predicted clock — the expected
+    // timeline an execution should follow.
+    const int P = 8;
+    const la::index_t m = static_cast<la::index_t>(P) * 2 * n;
+    la::Matrix A = la::random_matrix(m, n, 333);
+    auto trace = std::make_shared<qr3d::obs::TraceBuffer>();
+    auto machine = backend::make_machine(kind, P, sim::CostParams{});
+    machine->set_trace_sink(trace);
+    machine->run([&](backend::Comm& c) {
+      la::Matrix Al = b::block_local(c, A);
+      core::tsqr(c, la::ConstMatrixView(Al.view()));
+    });
+    if (!qr3d::obs::write_chrome_trace(trace->events(), trace_path)) return 3;
+    std::printf("wrote %s (%zu trace events; open in chrome://tracing)\n", trace_path,
+                trace->size());
   }
   return 0;
 }

@@ -27,11 +27,15 @@
 //
 //   bench_throughput --backend=thread [--P=4] [--jobs=64] [--m=96] [--n=24]
 //                    [--group=0] [--inflight=8] [--tail-gate=3] [--profile]
-//                    [--json out.json] [--smoke]
+//                    [--json out.json] [--trace out.trace.json] [--smoke]
 //
 // --profile runs serve::profile_machine first and tunes on the fitted
 // (alpha, beta, gamma).  --json writes a machine-readable qr3d-bench/1
-// record for trajectory tracking.  --smoke exits nonzero unless the
+// record for trajectory tracking.  --trace runs one extra (untimed) blocking
+// batch with an obs::TraceBuffer installed and writes the Chrome trace_event
+// JSON — open it in chrome://tracing or Perfetto; the measured segments stay
+// untraced so tracing cost never leaks into the numbers.  --smoke exits
+// nonzero unless the
 // blocking path reaches >= 1 problem/sec with plan-cache hits > 0, the
 // async path holds >= 0.9x the blocking path's problems/sec (the CI guard;
 // the 0.9 floor absorbs scheduler noise on small CI hosts — structurally
@@ -207,6 +211,12 @@ void json_measured(b::JsonWriter& w, const Measured& m, bool with_latency) {
   // and deadline misses stay 0 unless a cap/deadlines were configured.
   w.key("jobs_rejected").value(static_cast<unsigned long long>(m.stats.jobs_rejected));
   w.key("deadline_misses").value(static_cast<unsigned long long>(m.stats.deadline_misses));
+  // Cost-model drift (additive to qr3d-bench/1): wall/predicted ratio per
+  // completed job — the reprofile-on-drift signal, exported so trajectory
+  // tooling can watch the model's calibration degrade across PRs.
+  w.key("drift_samples").value(static_cast<unsigned long long>(m.stats.drift_samples));
+  w.key("drift_p50").value(m.stats.drift_p50);
+  w.key("drift_p95").value(m.stats.drift_p95);
 }
 
 }  // namespace
@@ -225,6 +235,7 @@ int main(int argc, char** argv) {
   const bool profile = b::has_flag(argc, argv, "--profile");
   const bool smoke = b::has_flag(argc, argv, "--smoke");
   const char* json_path = b::parse_flag(argc, argv, "--json");
+  const char* trace_path = b::parse_flag(argc, argv, "--trace");
   // Best-of-N for the batch modes; --smoke defaults to 3 so the CI gate
   // compares best-vs-best instead of flipping a scheduler coin.
   const int reps = static_cast<int>(b::parse_long_flag(argc, argv, "--reps", smoke ? 3 : 1));
@@ -335,6 +346,19 @@ int main(int argc, char** argv) {
       "mixed high-priority tail: p50=%s p99=%s vs bound %s (= %.0fx p50 + big exec p95 %s)\n",
       b::secs(high_p50).c_str(), b::secs(high_p99).c_str(), b::secs(tail_bound).c_str(),
       tail_gate, b::secs(low_exec_p95).c_str());
+
+  if (trace_path) {
+    // One extra traced blocking batch, outside every timed segment: the
+    // measured numbers above never pay for tracing, and the trace shows a
+    // representative serving timeline (machine comm ops on track 0, serving
+    // spans on track 1).
+    auto trace = std::make_shared<qr3d::obs::TraceBuffer>();
+    run_batch_once(problems,
+                   serve::ServeOptions(sopts).with_async(false).with_trace(trace));
+    if (!qr3d::obs::write_chrome_trace(trace->events(), trace_path)) return 3;
+    std::printf("wrote %s (%zu trace events; open in chrome://tracing)\n", trace_path,
+                trace->size());
+  }
 
   if (json_path) {
     b::JsonWriter w;

@@ -83,11 +83,10 @@ inline bool has_flag(int argc, char** argv, const char* name) {
 }
 
 /// q-th percentile (q in [0, 1]) by nearest-rank on a copy of the samples.
+/// Delegates to obs::percentile — the shared, edge-hardened implementation
+/// (empty input, single sample, q outside [0, 1], NaN q).
 inline double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const std::size_t idx = static_cast<std::size_t>(q * (xs.size() - 1) + 0.5);
-  return xs[std::min(idx, xs.size() - 1)];
+  return obs::percentile(std::move(xs), q);
 }
 
 // --- Minimal JSON writer for machine-readable bench output. -------------------

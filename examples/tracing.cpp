@@ -1,0 +1,89 @@
+// Observability: per-rank comm timelines, serving spans, and cost-model
+// drift in one program.
+//
+// Three demonstrations of the obs subsystem (src/obs/):
+//
+//   1. A traced TSQR on the simulator — every send/recv/flop charge becomes
+//      a TraceEvent whose timestamps are the cost model's *predicted* clock,
+//      so the exported file is the expected timeline (the oracle).  The same
+//      machine API traces the thread backend on measured wall clock.
+//   2. A traced BatchSolver run — job lifecycle spans (submit -> queued ->
+//      exec) and per-round session spans share the machine's timeline, so
+//      chrome://tracing (or https://ui.perfetto.dev) shows where each job's
+//      latency went.
+//   3. The metrics registry behind BatchSolver::stats() — "serve.*"
+//      counters and histograms, snapshot-able wholesale, including the
+//      wall/predicted drift ratio the reprofile-on-drift detector watches.
+//
+// The same snippets appear in docs/OBSERVABILITY.md — keep them in sync.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "qr3d.hpp"
+
+namespace la = qr3d::la;
+namespace obs = qr3d::obs;
+namespace serve = qr3d::serve;
+namespace sim = qr3d::sim;
+
+int main() {
+  // --- 1. Trace a TSQR run on the simulator's predicted clock. --------------
+  const int P = 8;
+  auto machine_trace = std::make_shared<obs::TraceBuffer>();
+  sim::Machine machine(P);
+  machine.set_trace_sink(machine_trace);
+  machine.run([](qr3d::backend::Comm& c) {
+    la::Matrix Al = la::random_matrix(32, 8, 100 + static_cast<std::uint64_t>(c.rank()));
+    qr3d::core::tsqr(c, la::ConstMatrixView(Al.view()));
+  });
+  std::printf("TSQR on %d simulated ranks: %zu trace events, predicted span %.3f model-s\n",
+              P, machine_trace->size(), machine.critical_path().time);
+  if (!obs::write_chrome_trace(machine_trace->events(), "tsqr_predicted.trace.json")) return 1;
+  std::printf("wrote tsqr_predicted.trace.json (open in chrome://tracing)\n\n");
+
+  // --- 2. Trace a serving run: job spans + machine ops on one timeline. -----
+  auto serve_trace = std::make_shared<obs::TraceBuffer>();
+  serve::ServeOptions opts;
+  opts.with_ranks(4).with_group_ranks(2).with_trace(serve_trace).with_qr(
+      qr3d::QrOptions().with_tune_for_machine().with_backend(qr3d::Backend::Simulated));
+  serve::BatchSolver srv(opts);
+
+  std::vector<serve::JobHandle> handles;
+  for (int j = 0; j < 6; ++j) {
+    la::Matrix A = la::random_matrix(64, 12, 200 + 2 * static_cast<std::uint64_t>(j));
+    la::Matrix b = la::random_matrix(64, 1, 201 + 2 * static_cast<std::uint64_t>(j));
+    handles.push_back(srv.submit(A, b));
+  }
+  srv.flush();
+  for (auto& h : handles) h.get();
+  if (!obs::write_chrome_trace(serve_trace->events(), "serving.trace.json")) return 1;
+  std::printf("served %zu jobs: %zu trace events -> serving.trace.json\n", handles.size(),
+              serve_trace->size());
+
+  // --- 3. The metrics behind stats(): registry snapshot + drift. ------------
+  const auto st = srv.stats();
+  std::printf("stats(): %llu completed, %llu sessions, drift p50 %.3g (%llu samples)\n",
+              static_cast<unsigned long long>(st.jobs_completed),
+              static_cast<unsigned long long>(st.sessions), st.drift_p50,
+              static_cast<unsigned long long>(st.drift_samples));
+  const obs::Registry::Snapshot snap = srv.metrics().snapshot();
+  std::printf("registry snapshot (%zu counters, %zu histograms):\n", snap.counters.size(),
+              snap.histograms.size());
+  for (const auto& [name, value] : snap.counters) {
+    std::printf("  %-28s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+  const obs::Histogram::Snapshot lat = snap.histograms.at("serve.latency_seconds");
+  std::printf("  %-28s count=%llu p50=%.3gs p95=%.3gs\n", "serve.latency_seconds",
+              static_cast<unsigned long long>(lat.count), lat.p50, lat.p95);
+
+  // Per-job drift: how far the machine's measured wall time ran from the
+  // model's prediction — the signal ServeOptions::with_reprofile_on_drift
+  // re-fits (alpha, beta, gamma) on when it walks away from 1.
+  const serve::JobStats js = handles.front().stats();
+  if (js.predicted_seconds > 0.0) {
+    std::printf("job 0: wall %.3gs vs predicted %.3gs (ratio %.3g)\n", js.wall_seconds,
+                js.predicted_seconds, js.wall_seconds / js.predicted_seconds);
+  }
+  return 0;
+}

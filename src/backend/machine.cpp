@@ -10,6 +10,10 @@ void Machine::set_fault_plan(fault::Plan plan) {
   QR3D_CHECK(plan.empty(), "this backend does not support fault injection");
 }
 
+void Machine::set_trace_sink(std::shared_ptr<obs::TraceSink> sink) {
+  QR3D_CHECK(sink == nullptr, "this backend does not support trace sinks");
+}
+
 std::unique_ptr<Machine> make_machine(Kind kind, int P, sim::CostParams params) {
   switch (kind) {
     case Kind::Simulated: return std::make_unique<sim::Machine>(P, std::move(params));

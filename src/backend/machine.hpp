@@ -19,6 +19,10 @@
 #include "backend/comm.hpp"
 #include "fault/plan.hpp"
 
+namespace qr3d::obs {
+class TraceSink;
+}
+
 namespace qr3d::backend {
 
 /// Abstract machine: P ranks executing the same SPMD body.  Concrete
@@ -65,6 +69,15 @@ class Machine {
   /// implementation accepts only the empty plan — backends that support
   /// injection (both current ones do) override.
   virtual void set_fault_plan(fault::Plan plan);
+
+  /// Install an event trace sink (see obs/trace.hpp): subsequent run()
+  /// calls emit one TraceEvent per comm op on every rank — wall-clock
+  /// timestamps on the thread backend, predicted cost-model timestamps on
+  /// the simulator — plus "rank_death" instants from fault injection.
+  /// Driver-side only, machine idle; install nullptr to stop tracing.  The
+  /// default implementation accepts only nullptr — backends that support
+  /// tracing (both current ones do) override.
+  virtual void set_trace_sink(std::shared_ptr<obs::TraceSink> sink);
 
   /// Global ranks killed by the fault plan during the last run() (ascending;
   /// empty when no plan is armed).  A run in which ranks died but every

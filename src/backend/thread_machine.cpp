@@ -135,11 +135,24 @@ class ThreadComm : public CommImpl {
   void send(int dst, std::vector<double>&& payload, int tag) override {
     const int src_global = group_->members[static_cast<std::size_t>(rank_)];
     machine_->injector_.before_op(src_global, machine_->aborted_);
+    const std::size_t w = payload.size();
     ThreadEnvelope e;
     e.context = group_->context;
     e.tag = tag;
     e.payload = std::move(payload);
     const int dst_global = group_->members[static_cast<std::size_t>(dst)];
+    // Trace before the push (see obs/trace.hpp: the send event must be
+    // globally ordered before the recv it pairs with), on the wall clock.
+    if (obs::TraceSink* ts = machine_->trace_.get()) {
+      obs::TraceEvent ev;
+      ev.kind = obs::TraceEvent::Kind::Send;
+      ev.rank = src_global;
+      ev.peer = dst_global;
+      ev.tag = tag;
+      ev.words = static_cast<double>(w);
+      ev.t0 = ev.t1 = obs::trace_now();
+      ts->record(std::move(ev));
+    }
     machine_->ports_[static_cast<std::size_t>(dst_global)].push_from(src_global, std::move(e));
   }
 
@@ -147,8 +160,21 @@ class ThreadComm : public CommImpl {
     const int me_global = group_->members[static_cast<std::size_t>(rank_)];
     machine_->injector_.before_op(me_global, machine_->aborted_);
     const int src_global = group_->members[static_cast<std::size_t>(src)];
+    obs::TraceSink* ts = machine_->trace_.get();
+    const double t0 = ts != nullptr ? obs::trace_now() : 0.0;
     ThreadEnvelope e = machine_->ports_[static_cast<std::size_t>(me_global)].recv_match(
         src_global, group_->context, tag, machine_->aborted_, machine_->injector_);
+    if (ts != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::TraceEvent::Kind::Recv;
+      ev.rank = me_global;
+      ev.peer = src_global;
+      ev.tag = tag;
+      ev.words = static_cast<double>(e.payload.size());
+      ev.t0 = t0;  // the interval covers the wait for the sender, as on sim
+      ev.t1 = obs::trace_now();
+      ts->record(std::move(ev));
+    }
     return std::move(e.payload);
   }
 
@@ -334,6 +360,14 @@ void ThreadMachine::worker_loop(int p) {
       // wake every parked receiver so survivors detect it and either recover
       // (fault::coded_tsqr) or fail with fault::RankDeath.
       injector_.mark_dead(p);
+      if (obs::TraceSink* ts = trace_.get()) {
+        obs::TraceEvent ev;
+        ev.kind = obs::TraceEvent::Kind::Instant;
+        ev.rank = p;
+        ev.name = "rank_death";
+        ev.t0 = ev.t1 = obs::trace_now();
+        ts->record(std::move(ev));
+      }
       for (auto& port : ports_) port.wake();
     } catch (...) {
       errors_[static_cast<std::size_t>(p)] = std::current_exception();

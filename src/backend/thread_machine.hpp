@@ -47,6 +47,7 @@
 #include "backend/machine.hpp"
 #include "backend/spsc.hpp"
 #include "fault/injector.hpp"
+#include "obs/trace.hpp"
 
 namespace qr3d::backend {
 
@@ -172,6 +173,14 @@ class ThreadMachine : public Machine {
   void set_fault_plan(fault::Plan plan) override { injector_.install(std::move(plan), P_); }
   std::vector<int> last_run_deaths() const override { return injector_.deaths(); }
 
+  /// Event tracing on the wall clock (obs::trace_now() seconds): every
+  /// send/recv emits a TraceEvent, fault injection emits "rank_death"
+  /// instants.  Driver-side only, machine idle (the run() pool handshake
+  /// publishes the sink to workers, same as the fault plan).
+  void set_trace_sink(std::shared_ptr<obs::TraceSink> sink) override {
+    trace_ = std::move(sink);
+  }
+
  private:
   friend class detail::ThreadComm;
 
@@ -189,6 +198,7 @@ class ThreadMachine : public Machine {
   std::atomic<std::uint64_t> next_context_{1};
   std::atomic<bool> aborted_{false};
   fault::Injector injector_;
+  std::shared_ptr<obs::TraceSink> trace_;
   double wall_seconds_ = 0.0;
   std::uint64_t runs_completed_ = 0;
 

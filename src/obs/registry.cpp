@@ -1,0 +1,155 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qr3d::obs {
+
+namespace {
+
+// CAS-loop accumulate / min / max over std::atomic<double> (fetch_add on
+// floating atomics is C++20-optional; the loop is portable and the metrics
+// are not contended enough for it to matter).
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(Options opts, bool live) : opts_(opts), live_(live) {
+  if (opts_.buckets < 1) opts_.buckets = 1;
+  if (!(opts_.min_value > 0.0)) opts_.min_value = 1e-9;
+  if (!(opts_.max_value > opts_.min_value)) opts_.max_value = opts_.min_value * 10.0;
+  log_min_ = std::log(opts_.min_value);
+  inv_log_step_ = opts_.buckets / (std::log(opts_.max_value) - log_min_);
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(opts_.buckets) + 2);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucket_of(double v) const {
+  if (!(v >= opts_.min_value)) return 0;  // underflow (also NaN)
+  if (v >= opts_.max_value) return buckets_.size() - 1;
+  const auto b =
+      static_cast<std::size_t>((std::log(v) - log_min_) * inv_log_step_) + 1;
+  return std::min(b, buckets_.size() - 2);
+}
+
+double Histogram::bucket_mid(std::size_t b) const {
+  if (b == 0) return opts_.min_value;
+  if (b == buckets_.size() - 1) return opts_.max_value;
+  return std::exp(log_min_ + (static_cast<double>(b) - 0.5) / inv_log_step_);
+}
+
+void Histogram::record(double v) {
+  if (!live_) return;
+  if (std::isnan(v)) v = 0.0;
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (std::isnan(q) || q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest rank, matching obs::percentile's index arithmetic.
+  const auto k = static_cast<std::uint64_t>(
+      q * static_cast<double>(total - 1) + 0.5);
+  std::uint64_t cum = 0;
+  std::size_t hit = buckets_.size() - 1;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    cum += buckets_[b].load(std::memory_order_relaxed);
+    if (cum > k) {
+      hit = b;
+      break;
+    }
+  }
+  return std::clamp(bucket_mid(hit), min(), max());
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  if (!enabled_) return dead_counter_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.try_emplace(name, true).first->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  if (!enabled_) return dead_gauge_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.try_emplace(name, true).first->second;
+}
+
+Histogram& Registry::histogram(const std::string& name, Histogram::Options opts) {
+  if (!enabled_) return dead_hist_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.try_emplace(name, opts, true).first->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) s.counters.emplace(name, c.value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g.value());
+  for (const auto& [name, h] : histograms_) s.histograms.emplace(name, h.snapshot());
+  return s;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  if (std::isnan(q) || q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::sort(xs.begin(), xs.end());
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1) + 0.5);
+  idx = std::min(idx, xs.size() - 1);
+  return xs[idx];
+}
+
+}  // namespace qr3d::obs

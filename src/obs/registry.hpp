@@ -1,0 +1,200 @@
+// Lock-cheap metrics: counters, gauges, and log-scale histograms, interned
+// by name in a process-local registry.
+//
+// Design targets (docs/OBSERVABILITY.md has the prose version):
+//
+//   * Hot-path cost is one relaxed atomic RMW per increment/record — no
+//     mutex, no allocation.  The registry mutex is taken only to intern a
+//     new metric by name and to take snapshots.
+//   * Metric handles are plain references into node-stable std::map storage,
+//     so callers resolve them once and keep them for the registry's
+//     lifetime.
+//   * A disabled registry (Registry{false}) hands out shared dead metrics
+//     whose mutators are a single predictable branch — near-zero cost, so
+//     instrumentation can stay compiled in unconditionally.
+//   * Histograms use fixed log-spaced buckets (no rebalancing, no locking on
+//     record), which makes quantile queries approximate: a reported pXX is
+//     the geometric midpoint of the bucket holding the nearest-rank sample,
+//     within one bucket width (~12% relative with the default layout) of the
+//     exact order statistic.  Exact percentiles over raw samples live in
+//     obs::percentile below — the single implementation both the library
+//     and bench_util route through.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qr3d::obs {
+
+/// Monotonic event counter.  inc() is one relaxed fetch_add; value() is a
+/// relaxed load.  Cross-counter consistency is the *caller's* serialization:
+/// writers and readers that agree on a lock (serve::BatchSolver bumps every
+/// serving counter under its own mutex and copies them under the same mutex)
+/// get tear-free multi-counter snapshots.
+class Counter {
+ public:
+  explicit Counter(bool live = true) : live_(live) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t delta = 1) {
+    if (live_) v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+  const bool live_;
+};
+
+/// Last-value / accumulating gauge over a double (seconds, ratios, sizes).
+class Gauge {
+ public:
+  explicit Gauge(bool live = true) : live_(live) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) {
+    if (live_) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!live_) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+  const bool live_;
+};
+
+/// Bucket layout for Histogram.  (A free struct, not nested, so its default
+/// member values are usable in Histogram's own default arguments.)
+struct HistogramOptions {
+  /// Smallest / largest finite value resolved by its own bucket; values
+  /// outside land in the underflow/overflow buckets (still counted, and
+  /// still clamped by observed min/max in quantile()).  Defaults cover
+  /// nanoseconds through ~30 years in seconds, and any latency ratio a
+  /// drift detector could meet.
+  double min_value = 1e-9;
+  double max_value = 1e9;
+  /// Log-spaced bucket count between min_value and max_value.  The default
+  /// (20 per decade over 18 decades) bounds quantile error at ~12% relative.
+  int buckets = 360;
+};
+
+/// Fixed-bucket log-scale histogram.  record() is one relaxed fetch_add on
+/// the owning bucket plus count/sum updates; quantile() walks the buckets
+/// (nearest-rank) and returns the bucket's geometric midpoint, clamped to
+/// the observed min/max so single-valued and narrow distributions report
+/// sensible numbers.
+class Histogram {
+ public:
+  using Options = HistogramOptions;
+
+  explicit Histogram(Options opts = {}, bool live = true);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value (0 when empty).
+  double min() const;
+  double max() const;
+
+  /// Approximate nearest-rank quantile, q clamped to [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+  /// Forget every sample (the drift detector resets its since-last-profile
+  /// histogram after re-profiling).  Not atomic against concurrent record();
+  /// callers serialize reset vs record externally.
+  void reset();
+
+  /// One coherent-enough read of the summary stats (taken metric-by-metric;
+  /// callers needing hard consistency serialize against writers).
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::size_t bucket_of(double v) const;
+  double bucket_mid(std::size_t b) const;
+
+  Options opts_;
+  const bool live_;
+  double log_min_ = 0.0;      // std::log(opts_.min_value)
+  double inv_log_step_ = 0.0; // buckets / (log(max) - log(min))
+  // [0] underflow, [1..buckets] log-spaced, [buckets+1] overflow.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Named-metric registry.  Metrics are interned on first use and live as
+/// long as the registry; handles are stable references.  counter()/gauge()/
+/// histogram() take a mutex only on the interning path — resolve handles
+/// once, then mutate lock-free.
+class Registry {
+ public:
+  explicit Registry(bool enabled = true)
+      : enabled_(enabled), dead_hist_(HistogramOptions{}, false) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Intern (or find) a metric by name.  On a disabled registry every call
+  /// returns the same shared dead metric whose mutators no-op.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, Histogram::Options opts = {});
+
+  /// Point-in-time copy of every metric (names sorted).  Taken under the
+  /// registry mutex, so no metric is half-interned; per-metric values are
+  /// relaxed reads (see Counter's consistency note).
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  const bool enabled_;
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  Counter dead_counter_{false};
+  Gauge dead_gauge_{false};
+  Histogram dead_hist_;
+};
+
+/// Exact nearest-rank percentile of `xs` at quantile `q`, the shared
+/// implementation behind bench_util::percentile and the tests' reference
+/// values.  Hardened edges: empty input returns 0; a single sample is every
+/// percentile of itself; q is clamped into [0, 1] (so q<=0 is the minimum
+/// and q>=1 the maximum, never an underflowed index).  NaN q is treated
+/// as 0.  Takes `xs` by value and sorts the copy.
+double percentile(std::vector<double> xs, double q);
+
+}  // namespace qr3d::obs

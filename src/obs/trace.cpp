@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace qr3d::obs {
+
+const char* trace_kind_name(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::Send: return "send";
+    case TraceEvent::Kind::Recv: return "recv";
+    case TraceEvent::Kind::Flops: return "flops";
+    case TraceEvent::Kind::Span: return "span";
+    case TraceEvent::Kind::Instant: return "instant";
+  }
+  return "?";
+}
+
+void TraceBuffer::record(TraceEvent e) {
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& s =
+      stripes_[static_cast<std::size_t>(e.rank & 0x7fffffff) % kStripes];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.events.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.insert(out.end(), s.events.begin(), s.events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.events.size();
+  }
+  return n;
+}
+
+void TraceBuffer::clear() {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.events.clear();
+  }
+}
+
+namespace {
+
+// Fixed eagerly at static-init time (not lazily on first use): a lazy epoch
+// would be stamped *after* the first caller captured its own now(), making
+// the very first event's timestamp slightly negative.
+const std::chrono::steady_clock::time_point kTraceEpoch = std::chrono::steady_clock::now();
+
+std::chrono::steady_clock::time_point trace_epoch() { return kTraceEpoch; }
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+double trace_now() { return trace_seconds(std::chrono::steady_clock::now()); }
+
+double trace_seconds(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double>(tp - trace_epoch()).count();
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  bool first = true;
+  auto emit = [&](const std::string& row) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += row;
+  };
+
+  // Process-name metadata for every track present.
+  bool track_seen[2] = {false, false};
+  for (const TraceEvent& e : events) {
+    if (e.track == 0) track_seen[0] = true;
+    if (e.track == 1) track_seen[1] = true;
+  }
+  if (track_seen[0]) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"machine\"}}");
+  }
+  if (track_seen[1]) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"serve\"}}");
+  }
+
+  char buf[96];
+  for (const TraceEvent& e : events) {
+    std::string row = "{\"name\":\"";
+    switch (e.kind) {
+      case TraceEvent::Kind::Send:
+        std::snprintf(buf, sizeof(buf), "send to %d", e.peer);
+        row += buf;
+        break;
+      case TraceEvent::Kind::Recv:
+        std::snprintf(buf, sizeof(buf), "recv from %d", e.peer);
+        row += buf;
+        break;
+      case TraceEvent::Kind::Flops:
+        row += "flops";
+        break;
+      default:
+        append_escaped(row, e.name);
+    }
+    row += "\",\"cat\":\"";
+    row += trace_kind_name(e.kind);
+    const bool instant = e.kind == TraceEvent::Kind::Instant;
+    std::snprintf(buf, sizeof(buf), "\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                  instant ? "i" : "X", e.track, e.rank);
+    row += buf;
+    append_num(row, e.t0 * 1e6);
+    if (instant) {
+      row += ",\"s\":\"t\"";
+    } else {
+      row += ",\"dur\":";
+      append_num(row, std::max(0.0, e.t1 - e.t0) * 1e6);
+    }
+    row += ",\"args\":{";
+    bool arg_first = true;
+    auto arg = [&](const char* key, double v) {
+      if (!arg_first) row += ',';
+      arg_first = false;
+      row += '"';
+      row += key;
+      row += "\":";
+      append_num(row, v);
+    };
+    if (e.kind == TraceEvent::Kind::Send || e.kind == TraceEvent::Kind::Recv) {
+      arg("peer", e.peer);
+      arg("words", e.words);
+      arg("tag", e.tag);
+    } else if (e.kind == TraceEvent::Kind::Flops) {
+      arg("flops", e.words);
+    } else {
+      if (e.id != 0) arg("id", static_cast<double>(e.id));
+      if (e.words != 0.0) arg("n", e.words);
+      if (e.peer >= 0) arg("peer", e.peer);
+    }
+    arg("seq", static_cast<double>(e.seq));
+    row += "}}";
+    emit(row);
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::vector<TraceEvent>& events, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << chrome_trace_json(events);
+  return static_cast<bool>(f);
+}
+
+}  // namespace qr3d::obs

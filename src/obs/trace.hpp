@@ -1,0 +1,121 @@
+// Comm-op and serving-span event tracing: the TraceSink hook that
+// backend::Machine implementations and serve::BatchSolver emit into, a
+// thread-safe TraceBuffer collector, and a Chrome trace_event JSON exporter
+// (open the file in chrome://tracing or https://ui.perfetto.dev).
+//
+// Event semantics by emitter:
+//
+//   * sim::Machine emits Send/Recv/Flops with t0/t1 on the cost model's
+//     *predicted* clock (the per-rank alpha-beta-gamma critical-path time,
+//     offset so consecutive run() sessions stay monotonic).  The sim trace
+//     is therefore the expected timeline — the oracle — and test_obs.cpp
+//     replays it op-by-op against the model, bit-exactly.
+//   * backend::ThreadMachine emits Send/Recv with wall-clock t0/t1 (seconds
+//     since the process trace epoch, trace_now()).  Comparing the two
+//     traces for the same run is exactly the measured-vs-predicted story
+//     of the paper, per operation.
+//   * Both backends emit a "rank_death" Instant when fault injection kills
+//     a rank; serve::BatchSolver emits job spans (submit/queued/exec),
+//     "requeue" instants on fault recovery, and per-round session spans.
+//
+// Emission order contract: a backend records the Send event *before* making
+// the message visible to the receiver, so for any matched pair the send's
+// global sequence number is below the recv's — consumers can FIFO-pair the
+// k-th send(src→dst, tag) with the k-th recv(dst←src, tag) in seq order.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qr3d::obs {
+
+/// One trace event.  Field use varies by kind; unused fields are left at
+/// their defaults.  `track`/`rank` map onto Chrome's pid/tid: track 0 holds
+/// the machine's per-rank timelines, track 1 the serving layer's per-job
+/// lanes.
+struct TraceEvent {
+  enum class Kind {
+    Send,     ///< comm op: rank sent `words` doubles to `peer` (tag `tag`)
+    Recv,     ///< comm op: rank received `words` doubles from `peer`
+    Flops,    ///< sim only: `words` holds the flop count charged
+    Span,     ///< named interval [t0, t1] (serving spans, sessions)
+    Instant,  ///< named point event at t0 (==t1): rank_death, requeue, ...
+  };
+
+  Kind kind = Kind::Instant;
+  int track = 0;          ///< Chrome pid: 0 = machine, 1 = serving
+  int rank = 0;           ///< Chrome tid: machine rank or job lane
+  int peer = -1;          ///< comm ops: the other endpoint's global rank
+  int tag = 0;            ///< comm ops: message tag
+  double words = 0.0;     ///< payload doubles (Send/Recv) or flops (Flops)
+  double t0 = 0.0;        ///< start, seconds on the emitter's clock
+  double t1 = 0.0;        ///< end, seconds (== t0 for Instant)
+  std::uint64_t id = 0;   ///< serving: job sequence number / session round
+  std::string name;       ///< Span/Instant label; empty for comm ops
+  std::uint64_t seq = 0;  ///< global arrival order, stamped by TraceBuffer
+};
+
+/// Human-readable kind name ("send", "recv", "flops", "span", "instant").
+const char* trace_kind_name(TraceEvent::Kind k);
+
+/// Where emitters deliver events.  record() must be safe to call from any
+/// rank thread concurrently; implementations should be cheap — backends
+/// call it on every message when tracing is enabled.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(TraceEvent e) = 0;
+};
+
+/// The standard collector: appends events into per-thread-striped vectors
+/// (mutex per stripe, so concurrent ranks rarely contend) and stamps each
+/// with a global sequence number.  events() merges the stripes sorted by
+/// that sequence — total order of arrival.
+class TraceBuffer final : public TraceSink {
+ public:
+  TraceBuffer() = default;
+  void record(TraceEvent e) override;
+
+  /// Merged copy of everything recorded so far, sorted by `seq`.  Safe to
+  /// call concurrently with record(), but the natural use is after the
+  /// traced work quiesced.
+  std::vector<TraceEvent> events() const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+  static constexpr std::size_t kStripes = 16;
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+/// Seconds since the process-wide trace epoch (a steady_clock instant fixed
+/// on first use).  Every wall-clock emitter — ThreadMachine comm ops and
+/// the serving layer's spans — uses this one clock, so their events align
+/// on a shared timeline.
+double trace_now();
+
+/// Convert a steady_clock time point onto the trace_now() timeline.
+double trace_seconds(std::chrono::steady_clock::time_point tp);
+
+/// Render events as Chrome trace_event JSON (the {"traceEvents": [...]}
+/// object form).  Send/Recv/Flops/Span become "ph":"X" complete events with
+/// microsecond ts/dur; Instant becomes "ph":"i".  Track 0/1 get process_name
+/// metadata "machine"/"serve" so Perfetto labels the groups.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// chrome_trace_json + write to `path`.  Returns false (and writes nothing)
+/// when the file cannot be opened.
+bool write_chrome_trace(const std::vector<TraceEvent>& events, const std::string& path);
+
+}  // namespace qr3d::obs

@@ -39,6 +39,13 @@
 //   qr3d::fault::RankDeath   the error survivors observe for a dead peer
 //   qr3d::fault::coded_tsqr  checksum-protected TSQR surviving <= f deaths
 //
+// Observability (metrics + per-rank comm tracing, see docs/OBSERVABILITY.md):
+//
+//   qr3d::obs::Registry      named counters/gauges/log-scale histograms
+//   qr3d::obs::TraceBuffer   comm-op trace sink, installed via
+//                            backend::Machine::set_trace_sink
+//   qr3d::obs::write_chrome_trace  export for chrome://tracing / Perfetto
+//
 //   qr3d::backend  Comm handle, abstract Machine, ThreadMachine, make_machine
 //   qr3d::sim      simulated Machine / machine profiles (alpha-beta-gamma)
 //   qr3d::la       dense matrices, BLAS-like kernels, checks, random generators
@@ -71,6 +78,10 @@
 // Fault injection and coded recovery.
 #include "fault/coded_tsqr.hpp"
 #include "fault/plan.hpp"
+
+// Observability: metrics registry and comm-op tracing (docs/OBSERVABILITY.md).
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 // Layouts and distributed matrix multiplication.
 #include "mm/layout.hpp"

@@ -27,6 +27,25 @@ std::exception_ptr abort_error() {
       std::runtime_error("qr3d::serve: BatchSolver aborted with jobs pending"));
 }
 
+/// Completed-job drift samples required since the last profile before the
+/// drift trigger (with_reprofile_on_drift) may fire — a couple of outliers
+/// must not thrash the profiler.
+constexpr std::uint64_t kDriftMinSamples = 8;
+
+/// One serving-span instant on track 1 (the job lane is the sequence
+/// number), timestamped now.
+void trace_instant(const std::shared_ptr<obs::TraceSink>& tr, const char* name,
+                   std::uint64_t seq, double t) {
+  obs::TraceEvent ev;
+  ev.kind = obs::TraceEvent::Kind::Instant;
+  ev.track = 1;
+  ev.rank = static_cast<int>(seq);
+  ev.id = seq;
+  ev.name = name;
+  ev.t0 = ev.t1 = t;
+  tr->record(std::move(ev));
+}
+
 }  // namespace
 
 ServeOptions& ServeOptions::with_ranks(int P) {
@@ -38,6 +57,13 @@ ServeOptions& ServeOptions::with_ranks(int P) {
 ServeOptions& ServeOptions::with_group_ranks(int g) {
   QR3D_CHECK(g >= 0, "ServeOptions: group_ranks must be >= 0 (0 = adaptive)");
   group_ranks_ = g;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_reprofile_on_drift(double factor) {
+  QR3D_CHECK(factor == 0.0 || factor > 1.0,
+             "ServeOptions: reprofile_on_drift factor must be > 1 (0 disables)");
+  reprofile_on_drift_ = factor;
   return *this;
 }
 
@@ -180,6 +206,28 @@ BatchSolver::BatchSolver(ServeOptions opts)
       cache_(std::make_shared<PlanCache>(opts_.plan_cache_capacity())),
       solver_(opts_.qr(), cache_),
       sched_(opts_.age_promote_after()) {
+  // Resolve every metric handle once: interning takes the registry mutex,
+  // after which the serving hot path mutates lock-free atomics (still under
+  // mu_ for cross-counter snapshot consistency — see the header).
+  m_.submitted = &registry_.counter("serve.jobs_submitted");
+  m_.completed = &registry_.counter("serve.jobs_completed");
+  m_.failed = &registry_.counter("serve.jobs_failed");
+  m_.rejected = &registry_.counter("serve.jobs_rejected");
+  m_.deadline_misses = &registry_.counter("serve.deadline_misses");
+  m_.flushes = &registry_.counter("serve.flushes");
+  m_.sessions = &registry_.counter("serve.sessions");
+  m_.reprofiles = &registry_.counter("serve.reprofiles");
+  m_.plan_hits = &registry_.counter("serve.plan_cache_hits");
+  m_.plan_misses = &registry_.counter("serve.plan_cache_misses");
+  m_.attempts = &registry_.counter("serve.attempts");
+  m_.recovered = &registry_.counter("serve.recovered");
+  m_.serve_seconds = &registry_.gauge("serve.serve_seconds");
+  m_.latency = &registry_.histogram("serve.latency_seconds");
+  m_.queue_wait = &registry_.histogram("serve.queue_seconds");
+  m_.exec = &registry_.histogram("serve.exec_seconds");
+  m_.drift = &registry_.histogram("serve.drift_ratio");
+  m_.drift_since_profile = &registry_.histogram("serve.drift_ratio_since_profile");
+
   // Construct, optionally profile, and (re)construct: tuning consults the
   // machine's params(), so the fitted profile must be baked into the machine
   // the jobs run on — that is the profile -> tune -> serve loop.
@@ -188,6 +236,7 @@ BatchSolver::BatchSolver(ServeOptions opts)
     profile_ = profile_machine(*machine_, opts_.profile_options());
     machine_ = make_machine(opts_.qr(), opts_.ranks(), profile_->fitted);
   }
+  if (opts_.trace()) machine_->set_trace_sink(opts_.trace());
   if (opts_.async()) {
     executor_ = std::thread([this]() {
       executor_loop();
@@ -218,7 +267,7 @@ JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b, const SubmitOptions& s
   {
     std::lock_guard<std::mutex> lock(mu_);
     QR3D_CHECK(!stop_, "BatchSolver: submit after shutdown/abort");
-    ++stats_.jobs_submitted;
+    m_.submitted->inc();
     job->seq = next_seq_++;
     depth = sched_.size();
     if (opts_.max_queue_depth() > 0 && depth >= opts_.max_queue_depth()) {
@@ -226,10 +275,14 @@ JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b, const SubmitOptions& s
       // here (outside the lock, below) instead of the queue growing — the
       // caller can never hang on a rejected job.
       rejected = true;
-      ++stats_.jobs_rejected;
+      m_.rejected->inc();
     } else {
       sched_.push(job);
     }
+  }
+  if (const auto& tr = opts_.trace()) {
+    trace_instant(tr, rejected ? "admission_reject" : "submit", job->seq,
+                  obs::trace_seconds(job->submitted_at));
   }
   if (rejected) {
     resolve_job(job, std::make_exception_ptr(AdmissionError(depth, opts_.max_queue_depth())));
@@ -260,14 +313,44 @@ void BatchSolver::resolve_job(const std::shared_ptr<detail::Job>& job, std::exce
     // can see it; resolution retires it.
     in_flight_.erase(std::remove(in_flight_.begin(), in_flight_.end(), job), in_flight_.end());
     if (job->error) {
-      ++stats_.jobs_failed;
+      m_.failed->inc();
     } else {
-      ++stats_.jobs_completed;
-      if (job->stats.recovered) ++stats_.recovered;
+      m_.completed->inc();
+      if (job->stats.recovered) m_.recovered->inc();
     }
-    if (job->stats.deadline_missed) ++stats_.deadline_misses;
+    if (job->stats.deadline_missed) m_.deadline_misses->inc();
+    m_.latency->record(latency);
+    m_.queue_wait->record(job->stats.queue_seconds);
+    m_.exec->record(job->stats.exec_seconds);
+    // Drift detector: one sample per successfully completed job that has
+    // both a measured in-machine time and a model prediction.  The ratio is
+    // accumulated twice — since construction (surfaced in Stats) and since
+    // the last profile (the with_reprofile_on_drift trigger).
+    if (!job->error && job->stats.wall_seconds > 0.0 && job->stats.predicted_seconds > 0.0) {
+      const double ratio = job->stats.wall_seconds / job->stats.predicted_seconds;
+      m_.drift->record(ratio);
+      m_.drift_since_profile->record(ratio);
+    }
   }
   done_cv_.notify_all();
+  if (const auto& tr = opts_.trace()) {
+    // The job's terminal span: exec (dispatch -> resolution) once it entered
+    // the machine, queued (submit -> resolution) when it never did.
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEvent::Kind::Span;
+    ev.track = 1;
+    ev.rank = static_cast<int>(job->seq);
+    ev.id = job->seq;
+    if (job->dispatched) {
+      ev.name = job->error ? "exec (failed)" : "exec";
+      ev.t0 = obs::trace_seconds(job->dispatched_at);
+    } else {
+      ev.name = job->error ? "queued (failed)" : "queued";
+      ev.t0 = obs::trace_seconds(job->submitted_at);
+    }
+    ev.t1 = obs::trace_now();
+    tr->record(std::move(ev));
+  }
 }
 
 bool BatchSolver::validate_job(const std::shared_ptr<detail::Job>& job) {
@@ -286,14 +369,27 @@ bool BatchSolver::validate_job(const std::shared_ptr<detail::Job>& job) {
 }
 
 void BatchSolver::maybe_reprofile() {
-  if (opts_.reprofile_every() == 0) return;
+  const bool periodic = opts_.reprofile_every() > 0;
+  const bool on_drift = opts_.reprofile_on_drift() > 0.0;
+  if (!periodic && !on_drift) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (dispatches_since_profile_ < opts_.reprofile_every()) return;
+    bool due = periodic && dispatches_since_profile_ >= opts_.reprofile_every();
+    if (!due && on_drift && m_.drift_since_profile->count() >= kDriftMinSamples) {
+      // The drift *signal*: the median measured/predicted ratio of jobs
+      // completed since the last profile.  Only a sustained departure from
+      // [1/factor, factor] re-fits — p50, not max, so one noisy job cannot
+      // thrash the profiler.
+      const double med = m_.drift_since_profile->quantile(0.5);
+      const double f = opts_.reprofile_on_drift();
+      due = med > f || med < 1.0 / f;
+    }
+    if (!due) return;
   }
   try {
     MachineProfile fresh = profile_machine(*machine_, opts_.profile_options());
     auto machine = make_machine(opts_.qr(), opts_.ranks(), fresh.fitted);
+    if (opts_.trace()) machine->set_trace_sink(opts_.trace());
     std::lock_guard<std::mutex> lock(mu_);
     machine_ = std::move(machine);
     profile_ = fresh;
@@ -301,10 +397,22 @@ void BatchSolver::maybe_reprofile() {
     // shape re-sizes and re-tunes against the fresh fit (counted as misses).
     sized_shapes_.clear();
     dispatches_since_profile_ = 0;
-    ++stats_.reprofiles;
+    // The drift trigger compares against the *new* fit from here on.
+    m_.drift_since_profile->reset();
+    m_.reprofiles->inc();
   } catch (...) {
     // Profiling interrupted (e.g. an abort() racing the micro-benchmarks):
     // keep the previous profile and machine; the next dispatch retries.
+    return;
+  }
+  if (const auto& tr = opts_.trace()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEvent::Kind::Instant;
+    ev.track = 1;
+    ev.rank = -1;  // the dispatcher lane, same as session spans
+    ev.name = "reprofile";
+    ev.t0 = ev.t1 = obs::trace_now();
+    tr->record(std::move(ev));
   }
 }
 
@@ -436,26 +544,44 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
       for (const auto& job : round)
         if (!job->dispatched) ++fresh;
       const std::uint64_t miss = first_sizing ? 1 : 0;
-      stats_.plan_cache_misses += miss;
-      stats_.plan_cache_hits += fresh >= miss ? fresh - miss : 0;
-      ++stats_.sessions;
-      stats_.attempts += round.size();
-      round_no = stats_.sessions;
+      m_.plan_misses->inc(miss);
+      m_.plan_hits->inc(fresh >= miss ? fresh - miss : 0);
+      m_.sessions->inc();
+      m_.attempts->inc(round.size());
+      round_no = m_.sessions->value();
     }
   }
   if (abort_now) {
     resolve_unfinished(round, abort_error());
     return true;
   }
+  const double predicted_seconds = plan.predicted.time(mp);
   for (std::size_t j = 0; j < round.size(); ++j) {
     auto& job = round[j];
     job->plan = plan;
     job->group_ranks = g;
     job->stats.group_ranks = g;
+    // Stamped every dispatch (the clamped group or a fresh profile can
+    // change the prediction between attempts): what the cost model expects
+    // this job to take, the denominator of its drift ratio.
+    job->stats.predicted_seconds = predicted_seconds;
     if (!job->dispatched) {
       job->dispatched = true;
+      job->dispatched_at = Clock::now();
       job->stats.queue_seconds = seconds_since(job->submitted_at);
       job->stats.plan_cache_hit = !(first_sizing && j == 0);
+      if (const auto& tr = opts_.trace()) {
+        // Close the job's queued span: submit -> first machine dispatch.
+        obs::TraceEvent ev;
+        ev.kind = obs::TraceEvent::Kind::Span;
+        ev.track = 1;
+        ev.rank = static_cast<int>(job->seq);
+        ev.id = job->seq;
+        ev.name = "queued";
+        ev.t0 = obs::trace_seconds(job->submitted_at);
+        ev.t1 = obs::trace_seconds(job->dispatched_at);
+        tr->record(std::move(ev));
+      }
     }
     ++job->attempts;
     job->stats.attempts = job->attempts;
@@ -471,10 +597,26 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
   // cleanly for the next round (see ThreadMachine), so the queue keeps
   // serving.
   std::exception_ptr session_error;
+  const double session_t0 = opts_.trace() ? obs::trace_now() : 0.0;
   try {
     run_session(ga, round);
   } catch (...) {
     session_error = std::current_exception();
+  }
+  if (const auto& tr = opts_.trace()) {
+    // The machine-session span on the dispatcher lane: job exec spans and
+    // the machine's own per-rank op events nest under it in wall time.
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEvent::Kind::Span;
+    ev.track = 1;
+    ev.rank = -1;  // dispatcher lane
+    ev.id = round_no;
+    ev.peer = ga;
+    ev.words = static_cast<double>(round.size());
+    ev.name = "session";
+    ev.t0 = session_t0;
+    ev.t1 = obs::trace_now();
+    tr->record(std::move(ev));
   }
   const std::vector<int> session_deaths = machine_->last_run_deaths();
 
@@ -506,9 +648,10 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
   }
 
   std::vector<std::shared_ptr<detail::Job>> exhausted;
+  std::vector<std::uint64_t> requeued;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats_.serve_seconds += machine_->last_wall_seconds();
+    m_.serve_seconds->add(machine_->last_wall_seconds());
     for (int r : session_deaths) {
       if (std::find(dead_ranks_.begin(), dead_ranks_.end(), r) == dead_ranks_.end())
         dead_ranks_.push_back(r);
@@ -527,9 +670,15 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
           in_flight_.erase(std::remove(in_flight_.begin(), in_flight_.end(), job),
                            in_flight_.end());
           sched_.push(job);
+          requeued.push_back(job->seq);
         }
       }
     }
+  }
+  if (const auto& tr = opts_.trace()) {
+    // Fault-recovery edges: one instant per job sent back to the queue.
+    const double now = obs::trace_now();
+    for (std::uint64_t seq : requeued) trace_instant(tr, "requeue", seq, now);
   }
   if (!unfinished.empty()) {
     if (!is_rank_death) {
@@ -570,7 +719,7 @@ void BatchSolver::executor_loop() {
       // counted before any job of the cycle can resolve so a reader that
       // observed a resolved handle also observes its dispatch.
       std::lock_guard<std::mutex> count_lock(mu_);
-      ++stats_.flushes;
+      m_.flushes->inc();
       ++dispatches_since_profile_;
     }
     // Round at a time until the queue drains: every iteration re-pops, so a
@@ -621,7 +770,7 @@ void BatchSolver::flush() {
   maybe_reprofile();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.flushes;
+    m_.flushes->inc();
     ++dispatches_since_profile_;
   }
   std::exception_ptr first_error;
@@ -726,9 +875,29 @@ std::vector<la::Matrix> BatchSolver::solve_all(
 }
 
 BatchSolver::Stats BatchSolver::stats() const {
+  // Copied under mu_ — the same lock every mutation holds — so cross-counter
+  // invariants (completed + failed <= submitted, recovered <= completed, ...)
+  // are never observed torn.  See the Stats doc comment; pinned by the
+  // stats-consistency test under TSan.
   std::lock_guard<std::mutex> lock(mu_);
-  Stats s = stats_;
+  Stats s;
+  s.jobs_submitted = m_.submitted->value();
+  s.jobs_completed = m_.completed->value();
+  s.jobs_failed = m_.failed->value();
+  s.jobs_rejected = m_.rejected->value();
+  s.deadline_misses = m_.deadline_misses->value();
+  s.flushes = m_.flushes->value();
+  s.sessions = m_.sessions->value();
+  s.reprofiles = m_.reprofiles->value();
+  s.plan_cache_hits = m_.plan_hits->value();
+  s.plan_cache_misses = m_.plan_misses->value();
   s.plan_cache_evictions = cache_->evictions();
+  s.attempts = m_.attempts->value();
+  s.recovered = m_.recovered->value();
+  s.serve_seconds = m_.serve_seconds->value();
+  s.drift_samples = m_.drift->count();
+  s.drift_p50 = m_.drift->quantile(0.5);
+  s.drift_p95 = m_.drift->quantile(0.95);
   return s;
 }
 

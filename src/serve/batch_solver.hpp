@@ -88,6 +88,8 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/profile.hpp"
 #include "serve/scheduler.hpp"
@@ -153,6 +155,25 @@ class ServeOptions {
     reprofile_every_ = dispatches;
     return *this;
   }
+  /// Drift-triggered re-profiling: re-profile when the median measured/
+  /// predicted time ratio of jobs completed since the last profile leaves
+  /// [1/factor, factor] (with at least a handful of samples — the fixed
+  /// kDriftMinSamples floor on BatchSolver).  This gives with_reprofile_every
+  /// a *signal* instead of a fixed period: the machine re-fits when the cost
+  /// model demonstrably stopped matching reality, and not before.  Composes
+  /// with with_reprofile_every (either trigger fires); implies
+  /// with_profile().  Must be > 1; 0 (default) disables.
+  ServeOptions& with_reprofile_on_drift(double factor);
+  /// Observability: install `sink` (see obs/trace.hpp) on the owned machine
+  /// and the serving layer.  The machine emits per-rank comm-op events
+  /// (wall clock on Thread, predicted cost-model clock on Simulated) and the
+  /// serving layer emits per-job spans (submit -> queued -> exec, requeue
+  /// instants, per-round session spans) into the same sink, so one Chrome
+  /// trace shows the full path of every job.  Null (default) disables.
+  ServeOptions& with_trace(std::shared_ptr<obs::TraceSink> sink) {
+    trace_ = std::move(sink);
+    return *this;
+  }
   /// Maximum machine attempts per job when a session loses ranks
   /// (fault::RankDeath, see set_fault_plan): unfinished jobs of a session in
   /// which ranks died are requeued on the surviving ranks up to this many
@@ -185,8 +206,10 @@ class ServeOptions {
   /// QR options applied to every job.
   const QrOptions& qr() const { return qr_; }
   /// Whether the machine is profiled at construction (explicitly requested,
-  /// or implied by a nonzero re-profile period).
-  bool profile() const { return profile_ || reprofile_every_ > 0; }
+  /// or implied by a re-profile period or drift trigger).
+  bool profile() const {
+    return profile_ || reprofile_every_ > 0 || reprofile_on_drift_ > 0.0;
+  }
   /// Micro-benchmark sizes used when profiling.
   const ProfileOptions& profile_options() const { return profile_options_; }
   /// Declared machine parameters.
@@ -197,6 +220,10 @@ class ServeOptions {
   bool async() const { return async_; }
   /// Batch dispatches between re-profiles (0 = never).
   std::uint64_t reprofile_every() const { return reprofile_every_; }
+  /// Drift factor that triggers a re-profile (0 = disabled).
+  double reprofile_on_drift() const { return reprofile_on_drift_; }
+  /// The installed trace sink (null = tracing off).
+  const std::shared_ptr<obs::TraceSink>& trace() const { return trace_; }
   /// Maximum machine attempts per job under rank deaths.
   int max_attempts() const { return max_attempts_; }
   /// Admission cap on the queue depth (0 = unbounded).
@@ -215,6 +242,8 @@ class ServeOptions {
   int group_ranks_ = 0;
   bool async_ = false;
   std::uint64_t reprofile_every_ = 0;
+  double reprofile_on_drift_ = 0.0;
+  std::shared_ptr<obs::TraceSink> trace_;
   int max_attempts_ = 3;
   std::size_t max_queue_depth_ = 0;
   std::size_t plan_cache_capacity_ = PlanCache::kDefaultCapacity;
@@ -347,7 +376,11 @@ class BatchSolver {
   /// futures observe the abort as their error.  Idempotent with shutdown().
   void abort();
 
-  /// Aggregate serving statistics (a consistent snapshot).
+  /// Aggregate serving statistics.  stats() returns one mutex-held copy of
+  /// registry-backed counters that are themselves only bumped under the same
+  /// mutex, so the snapshot is consistent across fields — invariants like
+  /// jobs_completed + jobs_failed <= jobs_submitted hold in every snapshot,
+  /// never torn mid-update (pinned under TSan by test_obs.cpp).
   struct Stats {
     std::uint64_t jobs_submitted = 0;
     std::uint64_t jobs_completed = 0;  ///< solved successfully
@@ -363,6 +396,14 @@ class BatchSolver {
     std::uint64_t recovered = 0;  ///< jobs solved after a rank-death requeue
     std::uint64_t plan_cache_evictions = 0;  ///< LRU evictions in the owned PlanCache
     double serve_seconds = 0.0;  ///< total machine-session time
+    /// Cost-model drift: measured wall seconds / model-predicted seconds per
+    /// completed job, aggregated in a log-scale histogram since
+    /// construction.  A p50 near 1 means the fitted (alpha, beta, gamma)
+    /// still describe the machine; sustained p50 far from 1 is the signal
+    /// with_reprofile_on_drift acts on.
+    std::uint64_t drift_samples = 0;  ///< completed jobs with a drift measurement
+    double drift_p50 = 0.0;           ///< median wall/predicted ratio
+    double drift_p95 = 0.0;           ///< tail wall/predicted ratio
     double problems_per_second() const {
       return serve_seconds > 0.0 ? static_cast<double>(jobs_completed) / serve_seconds : 0.0;
     }
@@ -382,6 +423,10 @@ class BatchSolver {
   backend::Machine& machine() { return *machine_; }
   const std::shared_ptr<PlanCache>& plan_cache() const { return cache_; }
   const ServeOptions& options() const { return opts_; }
+  /// The registry backing Stats: the same counters plus latency/queue/exec
+  /// and drift histograms under "serve.*" names, snapshot-able wholesale
+  /// (obs::Registry::snapshot) for export.
+  const obs::Registry& metrics() const { return registry_; }
 
  private:
   /// Driver-side shape/option validation; returns false (with the error
@@ -421,9 +466,9 @@ class BatchSolver {
   std::optional<MachineProfile> profile_;
   Solver solver_;
 
-  /// mu_ guards: sched_, in_flight_, next_seq_, stats_, sized_shapes_,
-  /// stop_/aborting_, and swaps of machine_/profile_ during re-profiling.
-  /// Never held across a machine session.
+  /// mu_ guards: sched_, in_flight_, next_seq_, the serving metrics,
+  /// sized_shapes_, stop_/aborting_, and swaps of machine_/profile_ during
+  /// re-profiling.  Never held across a machine session.
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  ///< executor wakes on submissions/stop
   std::condition_variable done_cv_;   ///< flush()/wait() completion signal
@@ -445,7 +490,34 @@ class BatchSolver {
   /// excluded from every subsequent session's groups.  Ascending, guarded by
   /// mu_; never cleared for the solver's lifetime.
   std::vector<int> dead_ranks_;
-  Stats stats_;
+  /// Registry backing every serving metric (the old ad-hoc Stats fields
+  /// migrated here).  Individual updates are relaxed atomics, but every bump
+  /// happens under mu_ and stats() copies under mu_, so cross-counter
+  /// invariants are never observed torn.
+  obs::Registry registry_;
+  /// Handles into registry_, resolved once at construction (interning takes
+  /// the registry mutex; these pointers make the hot path lock-free).
+  struct Metrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* deadline_misses = nullptr;
+    obs::Counter* flushes = nullptr;
+    obs::Counter* sessions = nullptr;
+    obs::Counter* reprofiles = nullptr;
+    obs::Counter* plan_hits = nullptr;
+    obs::Counter* plan_misses = nullptr;
+    obs::Counter* attempts = nullptr;
+    obs::Counter* recovered = nullptr;
+    obs::Gauge* serve_seconds = nullptr;
+    obs::Histogram* latency = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* exec = nullptr;
+    obs::Histogram* drift = nullptr;
+    obs::Histogram* drift_since_profile = nullptr;
+  };
+  Metrics m_;
   /// Serializes executor_.join() across concurrent shutdown()/abort()/
   /// destructor calls (never held together with mu_; the executor never
   /// takes it).

@@ -111,6 +111,12 @@ struct JobStats {
   /// submit() to resolution — queue_seconds + exec_seconds, kept whole for
   /// compatibility with pre-split callers.
   double latency_seconds = 0.0;
+  /// Model-predicted seconds for the job's plan at its group size under the
+  /// machine's fitted (alpha, beta, gamma); 0 until dispatched.  The ratio
+  /// wall_seconds / predicted_seconds is the job's cost-model drift — the
+  /// signal BatchSolver's drift detector aggregates (see
+  /// ServeOptions::with_reprofile_on_drift).
+  double predicted_seconds = 0.0;
   bool plan_cache_hit = false;  ///< shape plan came from the cache
   int group_ranks = 0;          ///< ranks of the group the job ran on
   int attempts = 0;             ///< machine attempts (> 1 after a requeue)
@@ -145,6 +151,7 @@ struct Job {
   std::uint64_t seq = 0;  ///< submission sequence number (FIFO tiebreak)
   // Dispatch state (only the dispatching thread writes these).
   bool dispatched = false;  ///< entered the machine at least once
+  std::chrono::steady_clock::time_point dispatched_at;  ///< first machine dispatch
   int attempts = 0;         ///< machine attempts so far
   std::exception_ptr original_death;  ///< first rank-death session error
 };

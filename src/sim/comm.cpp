@@ -11,23 +11,38 @@
 namespace qr3d::sim {
 
 void SimComm::send(int dst, std::vector<double>&& payload, int tag) {
-  machine_->injector_.before_op(group_->members[static_cast<std::size_t>(rank_)],
-                                machine_->aborted_);
+  const int me_global = group_->members[static_cast<std::size_t>(rank_)];
+  machine_->injector_.before_op(me_global, machine_->aborted_);
   const double w = static_cast<double>(payload.size());
   const CostParams& cp = machine_->params();
+  const double t_before = clock_->time;
   clock_->msgs += 1;
   clock_->words += w;
   clock_->time += cp.alpha + cp.beta * w;
   totals_->msgs_sent += 1;
   totals_->words_sent += w;
 
+  const int dst_global = group_->members[static_cast<std::size_t>(dst)];
+  // Trace before the mailbox push: the send event must be globally ordered
+  // before the recv event it will pair with (see obs/trace.hpp).
+  if (obs::TraceSink* ts = machine_->trace_.get()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEvent::Kind::Send;
+    ev.rank = me_global;
+    ev.peer = dst_global;
+    ev.tag = tag;
+    ev.words = w;
+    ev.t0 = machine_->trace_base_ + t_before;
+    ev.t1 = machine_->trace_base_ + clock_->time;
+    ts->record(std::move(ev));
+  }
+
   detail::Envelope e;
-  e.src_global = group_->members[static_cast<std::size_t>(rank_)];
+  e.src_global = me_global;
   e.context = group_->context;
   e.tag = tag;
   e.payload = std::move(payload);
   e.clock = *clock_;
-  const int dst_global = group_->members[static_cast<std::size_t>(dst)];
   machine_->mailboxes_[static_cast<std::size_t>(dst_global)].push(std::move(e));
 }
 
@@ -41,17 +56,44 @@ std::vector<double> SimComm::recv(int src, int tag) {
 
   const double w = static_cast<double>(e.payload.size());
   const CostParams& cp = machine_->params();
+  const double t_before = clock_->time;
   clock_->merge(e.clock);
   clock_->msgs += 1;
   clock_->words += w;
   clock_->time += cp.alpha + cp.beta * w;
+  if (obs::TraceSink* ts = machine_->trace_.get()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEvent::Kind::Recv;
+    ev.rank = me_global;
+    ev.peer = src_global;
+    ev.tag = tag;
+    ev.words = w;
+    // t0 is the rank's own clock before the merge — the interval [t0, t1]
+    // covers both the wait for the sender's path and the receive charge, so
+    // each rank's traced timeline stays contiguous.
+    ev.t0 = machine_->trace_base_ + t_before;
+    ev.t1 = machine_->trace_base_ + clock_->time;
+    ts->record(std::move(ev));
+  }
   return std::move(e.payload);
 }
 
 void SimComm::charge_flops(double f) {
+  const double t_before = clock_->time;
   clock_->flops += f;
   clock_->time += f * machine_->params().gamma;
   totals_->flops += f;
+  if (f != 0.0) {
+    if (obs::TraceSink* ts = machine_->trace_.get()) {
+      obs::TraceEvent ev;
+      ev.kind = obs::TraceEvent::Kind::Flops;
+      ev.rank = group_->members[static_cast<std::size_t>(rank_)];
+      ev.words = f;
+      ev.t0 = machine_->trace_base_ + t_before;
+      ev.t1 = machine_->trace_base_ + clock_->time;
+      ts->record(std::move(ev));
+    }
+  }
 }
 
 std::shared_ptr<backend::CommImpl> SimComm::split(int color, int key) {

@@ -98,6 +98,14 @@ void Machine::run(const std::function<void(backend::Comm&)>& body) {
         // and wake every blocked receiver so survivors detect it and either
         // recover (fault::coded_tsqr) or fail with fault::RankDeath.
         injector_.mark_dead(p);
+        if (obs::TraceSink* ts = trace_.get()) {
+          obs::TraceEvent ev;
+          ev.kind = obs::TraceEvent::Kind::Instant;
+          ev.rank = p;
+          ev.name = "rank_death";
+          ev.t0 = ev.t1 = trace_base_ + clocks_[static_cast<std::size_t>(p)].time;
+          ts->record(std::move(ev));
+        }
         for (auto& mb : mailboxes_) mb.notify_abort();
       } catch (...) {
         errors[static_cast<std::size_t>(p)] = std::current_exception();
@@ -112,6 +120,9 @@ void Machine::run(const std::function<void(backend::Comm&)>& body) {
     run_active_ = false;
   }
   wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // Advance the trace-time base past this session so the next run's
+  // predicted timeline starts where this one ended.
+  if (trace_) trace_base_ += critical_path().time;
 
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);

@@ -21,6 +21,7 @@
 
 #include "backend/machine.hpp"
 #include "fault/injector.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 
 namespace qr3d::sim {
@@ -118,6 +119,16 @@ class Machine : public backend::Machine {
   void set_fault_plan(fault::Plan plan) override { injector_.install(std::move(plan), P_); }
   std::vector<int> last_run_deaths() const override { return injector_.deaths(); }
 
+  /// Event tracing on the *predicted* clock: every send/recv/flop charge
+  /// emits a TraceEvent whose t0/t1 are the rank's cost-model time before
+  /// and after the charge, offset by the accumulated critical path of
+  /// earlier runs so a multi-session trace stays monotonic.  The sim trace
+  /// is the expected timeline (oracle) the thread backend's wall-clock
+  /// trace is compared against.
+  void set_trace_sink(std::shared_ptr<obs::TraceSink> sink) override {
+    trace_ = std::move(sink);
+  }
+
  private:
   friend class SimComm;
 
@@ -138,6 +149,10 @@ class Machine : public backend::Machine {
   bool run_active_ = false;
   fault::Injector injector_;
   double wall_seconds_ = 0.0;
+  std::shared_ptr<obs::TraceSink> trace_;
+  // Sum of earlier runs' critical-path times: the trace-time offset that
+  // keeps consecutive sessions' predicted timelines monotonic.
+  double trace_base_ = 0.0;
 };
 
 }  // namespace qr3d::sim

@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -538,6 +540,52 @@ TEST(SelfHealingServe, DeterministicFaultSweepCompletesEveryJob) {
       EXPECT_EQ(st.jobs_failed, 0u) << "victim " << victim << " step " << step;
     }
   }
+}
+
+TEST(SelfHealingServe, TraceRecordsDeathAndRequeue) {
+  // The observability contract for fault recovery: a traced serving run that
+  // suffers a rank death records a "rank_death" instant on the machine track
+  // (the victim's rank, at its death time) and a "requeue" instant per job
+  // sent back to the queue on the serving track — and both survive into the
+  // Chrome trace export the kill-sweep smoke ships as a CI artifact.
+  const int P = 4;
+  auto trace = std::make_shared<qr3d::obs::TraceBuffer>();
+  serve::ServeOptions opts;
+  opts.with_ranks(P).with_group_ranks(2).with_trace(trace).with_qr(
+      qr3d::QrOptions().with_tune_for_machine().with_backend(qr3d::Backend::Simulated));
+  serve::BatchSolver srv(opts);
+  srv.machine().set_fault_plan(fault::Plan::kill(3, 9));
+
+  std::vector<Planted> problems;
+  std::vector<serve::JobHandle> handles;
+  for (int j = 0; j < 6; ++j) {
+    problems.push_back(planted_problem(48, 8, 600 + 2 * static_cast<std::uint64_t>(j)));
+    handles.push_back(srv.submit(problems.back().A, problems.back().b));
+  }
+  srv.flush();
+  const auto st = srv.stats();
+  ASSERT_EQ(st.jobs_completed, 6u);
+  ASSERT_EQ(st.jobs_failed, 0u);
+  ASSERT_GE(st.recovered, 1u);
+
+  int deaths = 0, requeues = 0;
+  for (const auto& e : trace->events()) {
+    if (e.kind != qr3d::obs::TraceEvent::Kind::Instant) continue;
+    if (e.name == "rank_death") {
+      ++deaths;
+      EXPECT_EQ(e.track, 0);  // machine track
+      EXPECT_EQ(e.rank, 3);   // the planned victim
+    } else if (e.name == "requeue") {
+      ++requeues;
+      EXPECT_EQ(e.track, 1);  // serving track
+    }
+  }
+  EXPECT_GE(deaths, 1);
+  EXPECT_GE(requeues, 1);
+
+  const std::string json = qr3d::obs::chrome_trace_json(trace->events());
+  EXPECT_NE(json.find("rank_death"), std::string::npos);
+  EXPECT_NE(json.find("requeue"), std::string::npos);
 }
 
 TEST(SelfHealingServe, ExhaustedRetriesRethrowOriginalRankDeath) {
