@@ -25,8 +25,17 @@
 // big class's exec time (the one in-flight slice a newly arrived job can
 // never jump — per-round dispatch bounds the wait at exactly that).
 //
+// A sixth segment is CHAOS: the same continuous async load with seeded
+// random kills AND stalls injected (fault::Plan::random_faults) while the
+// fail-slow watchdog (with_session_timeout_factor), retry backoff and rank
+// quarantine are armed.  It reports availability — the fraction of
+// submitted jobs that still resolve successfully — plus the fail-slow
+// counters (session timeouts, cause-split requeues, quarantines); --smoke
+// gates availability >= 0.99 and a finite latency tail.
+//
 //   bench_throughput --backend=thread [--P=4] [--jobs=64] [--m=96] [--n=24]
 //                    [--group=0] [--inflight=8] [--tail-gate=3] [--profile]
+//                    [--chaos-kills=1] [--chaos-stalls=2] [--chaos-seed=42]
 //                    [--json out.json] [--trace out.trace.json] [--smoke]
 //
 // --profile runs serve::profile_machine first and tunes on the fitted
@@ -47,6 +56,7 @@
 
 namespace b = qr3d::bench;
 namespace backend = qr3d::backend;
+namespace fault = qr3d::fault;
 namespace la = qr3d::la;
 namespace serve = qr3d::serve;
 namespace sim = qr3d::sim;
@@ -180,6 +190,57 @@ MixedMeasured run_mixed(const serve::ServeOptions& sopts, la::index_t big_m, la:
   return out;
 }
 
+/// Chaos segment: continuous async load with seeded random kills AND stalls
+/// injected (fault::Plan::random_faults) while the fail-slow watchdog and
+/// retry backoff are armed.  The question the segment answers is
+/// availability: what fraction of submitted jobs still resolve successfully
+/// when ranks die and hang mid-serving — self-healing requeues + session
+/// timeouts should keep it at 1.0, and --smoke gates >= 0.99.
+struct ChaosMeasured {
+  double total_seconds = 0.0;
+  Measured ok;                ///< samples of the jobs that completed
+  std::uint64_t submitted = 0, completed = 0, failed = 0;
+  double availability() const {
+    return submitted > 0 ? static_cast<double>(completed) / static_cast<double>(submitted) : 0.0;
+  }
+};
+
+ChaosMeasured run_chaos(const std::vector<Problem>& problems, const serve::ServeOptions& sopts,
+                        int inflight, int kills, int stalls, std::uint64_t seed) {
+  const auto t0 = Clock::now();
+  serve::BatchSolver srv(serve::ServeOptions(sopts).with_async(true));
+  srv.machine().set_fault_plan(
+      fault::Plan::random_faults(sopts.ranks(), kills, stalls, 40, seed));
+
+  ChaosMeasured out;
+  std::vector<serve::JobHandle> handles;
+  handles.reserve(problems.size());
+  std::size_t next_submit = 0, next_wait = 0;
+  while (next_wait < problems.size()) {
+    while (next_submit < problems.size() &&
+           next_submit - next_wait < static_cast<std::size_t>(inflight)) {
+      const Problem& p = problems[next_submit];
+      handles.push_back(srv.submit(p.A, p.rhs));
+      ++next_submit;
+    }
+    handles[next_wait].wait();
+    ++next_wait;
+  }
+  out.total_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.ok.total_seconds = out.total_seconds;
+  out.submitted = handles.size();
+  for (const auto& h : handles) {
+    try {
+      record_job(out.ok, h.stats());  // throws the job's error if it failed
+      ++out.completed;
+    } catch (const std::exception&) {
+      ++out.failed;
+    }
+  }
+  out.ok.stats = srv.stats();
+  return out;
+}
+
 void json_measured(b::JsonWriter& w, const Measured& m, bool with_latency) {
   w.key("problems_per_sec").value(m.problems_per_second());
   w.key("total_seconds").value(m.total_seconds);
@@ -302,6 +363,28 @@ int main(int argc, char** argv) {
   // the gate's noise allowance.
   const double tail_bound = tail_gate * high_p50 + low_exec_p95;
 
+  // --- Chaos: continuous load under seeded kills AND stalls. ----------------
+  // Watchdog + retry backoff armed; tiny declared params keep the session
+  // deadline floor-governed (0.05 virtual s on sim, 0.2 wall s on threads —
+  // the model predicts the factorization, not the session framing, so a
+  // tight factor over real predictions would time out honest sessions).
+  const int chaos_kills = static_cast<int>(b::parse_long_flag(argc, argv, "--chaos-kills", 1));
+  const int chaos_stalls = static_cast<int>(b::parse_long_flag(argc, argv, "--chaos-stalls", 2));
+  const std::uint64_t chaos_seed =
+      static_cast<std::uint64_t>(b::parse_long_flag(argc, argv, "--chaos-seed", 42));
+  serve::ServeOptions chaos_opts(sopts);
+  chaos_opts.with_max_attempts(4)
+      .with_session_timeout_factor(3.0)
+      .with_session_timeout_floor(kind == backend::Kind::Thread ? 0.2 : 0.05)
+      .with_retry_backoff(1e-3, 1e-2, chaos_seed)
+      .with_params(sim::CostParams{1e-7, 1e-9, 1e-10})
+      // Faults inject at comm ops, so the chaos segment needs multi-rank
+      // groups (adaptive sizing under tiny params picks 1-rank groups,
+      // which never communicate and would dodge every event).
+      .with_group_ranks(group > 0 ? group : std::min(2, P));
+  const ChaosMeasured chaos =
+      run_chaos(problems, chaos_opts, inflight, chaos_kills, chaos_stalls, chaos_seed);
+
   const double speedup = indep.problems_per_second() > 0.0
                              ? blocking.problems_per_second() / indep.problems_per_second()
                              : 0.0;
@@ -335,6 +418,11 @@ int main(int argc, char** argv) {
          b::secs(b::percentile(mixed.low.job_seconds, 0.50)),
          b::secs(b::percentile(mixed.low.job_seconds, 0.95)),
          b::secs(b::percentile(mixed.low.latency_seconds, 0.99)), "-"});
+  t.row({"chaos (kills+stalls)", b::secs(chaos.total_seconds),
+         b::num(chaos.ok.problems_per_second()),
+         b::secs(b::percentile(chaos.ok.job_seconds, 0.50)),
+         b::secs(b::percentile(chaos.ok.job_seconds, 0.95)),
+         b::secs(b::percentile(chaos.ok.latency_seconds, 0.99)), hm(chaos.ok)});
   t.print();
   std::printf("speedup vs independent (blocking, problems/sec): %.2fx\n", speedup);
   std::printf("async vs blocking (problems/sec): %.2fx\n", async_vs_blocking);
@@ -346,6 +434,17 @@ int main(int argc, char** argv) {
       "mixed high-priority tail: p50=%s p99=%s vs bound %s (= %.0fx p50 + big exec p95 %s)\n",
       b::secs(high_p50).c_str(), b::secs(high_p99).c_str(), b::secs(tail_bound).c_str(),
       tail_gate, b::secs(low_exec_p95).c_str());
+  std::printf(
+      "chaos (seed=%llu, %d kills + %d stalls): availability %.4f (%llu/%llu), "
+      "timeouts=%llu requeues=%llu+%llu recovered=%llu quarantined=%llu\n",
+      static_cast<unsigned long long>(chaos_seed), chaos_kills, chaos_stalls,
+      chaos.availability(), static_cast<unsigned long long>(chaos.completed),
+      static_cast<unsigned long long>(chaos.submitted),
+      static_cast<unsigned long long>(chaos.ok.stats.session_timeouts),
+      static_cast<unsigned long long>(chaos.ok.stats.requeues_timeout),
+      static_cast<unsigned long long>(chaos.ok.stats.requeues_rank_death),
+      static_cast<unsigned long long>(chaos.ok.stats.recovered),
+      static_cast<unsigned long long>(chaos.ok.stats.ranks_quarantined));
 
   if (trace_path) {
     // One extra traced blocking batch, outside every timed segment: the
@@ -400,6 +499,27 @@ int main(int argc, char** argv) {
     w.key("exec_p95_seconds").value(low_exec_p95);
     w.end_object();
     w.end_object();
+    w.key("chaos").begin_object();
+    w.key("seed").value(static_cast<unsigned long long>(chaos_seed));
+    w.key("kills").value(chaos_kills);
+    w.key("stalls").value(chaos_stalls);
+    w.key("availability").value(chaos.availability());
+    w.key("jobs_submitted").value(static_cast<unsigned long long>(chaos.submitted));
+    w.key("jobs_completed").value(static_cast<unsigned long long>(chaos.completed));
+    w.key("jobs_failed").value(static_cast<unsigned long long>(chaos.failed));
+    w.key("latency_p99_seconds").value(b::percentile(chaos.ok.latency_seconds, 0.99));
+    w.key("session_timeouts")
+        .value(static_cast<unsigned long long>(chaos.ok.stats.session_timeouts));
+    w.key("requeues_timeout")
+        .value(static_cast<unsigned long long>(chaos.ok.stats.requeues_timeout));
+    w.key("requeues_rank_death")
+        .value(static_cast<unsigned long long>(chaos.ok.stats.requeues_rank_death));
+    w.key("recovered").value(static_cast<unsigned long long>(chaos.ok.stats.recovered));
+    w.key("ranks_quarantined")
+        .value(static_cast<unsigned long long>(chaos.ok.stats.ranks_quarantined));
+    w.key("ranks_reinstated")
+        .value(static_cast<unsigned long long>(chaos.ok.stats.ranks_reinstated));
+    w.end_object();
     w.key("speedup").value(speedup);
     w.key("async_vs_blocking").value(async_vs_blocking);
     w.end_object();
@@ -442,11 +562,32 @@ int main(int argc, char** argv) {
                    low_exec_p95 * 1e3);
       return 1;
     }
+    // Fail-slow gate: under seeded kills AND stalls the serving layer must
+    // keep availability — every job resolves, and at least 99% of them
+    // resolve successfully (self-healing + watchdog retries) — with a
+    // finite measured tail.
+    if (chaos.completed + chaos.failed != chaos.submitted) {
+      std::fprintf(stderr, "SMOKE FAIL: chaos left %llu jobs unresolved\n",
+                   static_cast<unsigned long long>(chaos.submitted - chaos.completed -
+                                                  chaos.failed));
+      return 1;
+    }
+    if (chaos.availability() < 0.99) {
+      std::fprintf(stderr, "SMOKE FAIL: chaos availability %.4f < 0.99 (seed=%llu)\n",
+                   chaos.availability(), static_cast<unsigned long long>(chaos_seed));
+      return 1;
+    }
+    if (!chaos.ok.latency_seconds.empty() &&
+        b::percentile(chaos.ok.latency_seconds, 0.99) <= 0.0) {
+      std::fprintf(stderr, "SMOKE FAIL: chaos mode produced no tail latency\n");
+      return 1;
+    }
     std::printf(
         "smoke OK: blocking %.1f problems/sec, async %.2fx, p99 %.3fms, "
-        "mixed high p99 %.3fms <= %.3fms\n",
+        "mixed high p99 %.3fms <= %.3fms, chaos availability %.4f\n",
         blocking.problems_per_second(), async_vs_blocking,
-        b::percentile(cont.latency_seconds, 0.99) * 1e3, high_p99 * 1e3, tail_bound * 1e3);
+        b::percentile(cont.latency_seconds, 0.99) * 1e3, high_p99 * 1e3, tail_bound * 1e3,
+        chaos.availability());
   }
   return 0;
 }

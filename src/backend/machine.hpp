@@ -85,6 +85,35 @@ class Machine {
   /// need to distinguish "finished" from "finished short-handed" (the
   /// serving layer's self-healing requeue) query this afterwards.
   virtual std::vector<int> last_run_deaths() const { return {}; }
+
+  /// Global ranks whose injected Stall fired during the last run()
+  /// (ascending; empty when no plan is armed).  The fail-slow analogue of
+  /// last_run_deaths(): after a timed-out session the serving layer
+  /// quarantines exactly these ranks.  (Real-world fail-slow without
+  /// injection is detected — the session times out — but not *attributed*;
+  /// rank-level attribution there needs per-rank progress heartbeats, a
+  /// follow-on.)
+  virtual std::vector<int> last_run_stalls() const { return {}; }
+
+  /// Deadline for subsequent run() calls, in the machine's own time base —
+  /// or 0 to clear.  Returns true when the backend ENFORCES the deadline
+  /// itself: the simulator does, on its virtual cost clock (a rank whose
+  /// predicted time crosses the deadline throws health::SessionTimeout, and
+  /// an injected stall jumps its clock to exactly the deadline — so timeout
+  /// firing is bit-reproducible and wall-time-free).  The default returns
+  /// false — the deadline is not enforced and the caller must arm its own
+  /// wall-clock watchdog around run() (health::Watchdog + request_abort,
+  /// what serve::BatchSolver does on the thread backend).  Driver-side only,
+  /// machine idle.
+  virtual bool set_session_deadline(double seconds) {
+    (void)seconds;
+    return false;
+  }
+
+  /// Whether the last run() was ended by the session deadline (only a
+  /// backend that enforces deadlines itself — set_session_deadline returned
+  /// true — can report this; the default is false).
+  virtual bool last_run_timed_out() const { return false; }
 };
 
 /// Construct a machine of the given kind.  `params` drives cost accounting

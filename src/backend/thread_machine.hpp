@@ -172,6 +172,7 @@ class ThreadMachine : public Machine {
   /// the simulator's, pinned by tests/test_backend_conformance.cpp.
   void set_fault_plan(fault::Plan plan) override { injector_.install(std::move(plan), P_); }
   std::vector<int> last_run_deaths() const override { return injector_.deaths(); }
+  std::vector<int> last_run_stalls() const override { return injector_.stalls(); }
 
   /// Event tracing on the wall clock (obs::trace_now() seconds): every
   /// send/recv emits a TraceEvent, fault injection emits "rank_death"

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -45,10 +46,27 @@ class Injector {
   /// Fault hook, called on `rank`'s own thread before every send/recv.
   /// Advances the rank's logical step; if an un-fired event matches, fires
   /// it: Kill throws detail::InjectedKill (the runner catches it and marks
-  /// the rank dead); Stall blocks until `aborted` turns true, then throws
-  /// the backend's abort error (a std::runtime_error), so an abort always
-  /// wins against an injected stall.
+  /// the rank dead); Stall first records the rank stalled, then gives the
+  /// backend's stall hook a chance to preempt (see set_stall_hook), and
+  /// finally blocks until `aborted` turns true, throwing the backend's abort
+  /// error (a std::runtime_error) — so an abort always wins against an
+  /// injected stall.
   void before_op(int rank, const std::atomic<bool>& aborted);
+
+  /// Backend-side stall behavior override, invoked on the stalling rank's
+  /// own thread when a Stall event fires (after the stalled flag is set,
+  /// before the wall-clock abort-poll loop).  A hook that THROWS replaces
+  /// the wall block entirely — the simulator's virtual-deadline enforcement
+  /// advances the rank's cost clock to the session deadline and throws
+  /// health::SessionTimeout, making fail-slow detection bit-reproducible on
+  /// the predicted clock.  A hook that returns falls through to the wall
+  /// block.  Driver-only, machine idle; survives install()/reset_run().
+  void set_stall_hook(std::function<void(int)> hook) { stall_hook_ = std::move(hook); }
+
+  /// Global ranks whose Stall event fired during the current/last run
+  /// (ascending).  The fail-slow analogue of deaths(): the serving layer
+  /// quarantines these after a session timeout.  Driver-only, machine idle.
+  std::vector<int> stalls() const;
 
   /// Runner-side: record `rank` as dead (release) after catching its
   /// InjectedKill.
@@ -67,6 +85,8 @@ class Injector {
   std::vector<std::uint64_t> steps_;          // per-rank, own-thread only
   std::vector<char> fired_;                   // per-event, victim-thread only
   std::unique_ptr<std::atomic<bool>[]> dead_; // per-rank, cross-thread
+  std::unique_ptr<std::atomic<bool>[]> stalled_;  // per-rank, cross-thread
+  std::function<void(int)> stall_hook_;       // backend override of the wall block
 };
 
 }  // namespace qr3d::fault

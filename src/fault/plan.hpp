@@ -71,6 +71,18 @@ struct Plan {
   /// step drawn uniformly from [1, max_step].  Deterministic in `seed`
   /// (splitmix64), so a "random" sweep is exactly reproducible.
   static Plan random_kills(int P, int kills, std::uint64_t max_step, std::uint64_t seed);
+
+  /// Seeded random plan of stalls only: `stalls` distinct ranks, each
+  /// stalled at a step drawn uniformly from [1, max_step].
+  static Plan random_stalls(int P, int stalls, std::uint64_t max_step, std::uint64_t seed);
+
+  /// Seeded random mixed plan: `kills` + `stalls` DISTINCT ranks (a rank is
+  /// killed or stalled, never both), steps drawn uniformly from
+  /// [1, max_step].  random_faults(P, k, 0, s, seed) draws exactly the same
+  /// events as random_kills(P, k, s, seed) — chaos sweeps that add stalls to
+  /// an existing kill seed keep the kill schedule bit-identical.
+  static Plan random_faults(int P, int kills, int stalls, std::uint64_t max_step,
+                            std::uint64_t seed);
 };
 
 /// The error a dead rank's channels surface: thrown by a surviving rank's

@@ -1,0 +1,81 @@
+// qr3d::health::Backoff — deterministic exponential backoff with seeded
+// jitter.
+//
+// A retrying serving layer without backoff thrashes: a session lost to a
+// fail-slow rank is requeued, dispatched immediately, and — if the machine is
+// still sick — lost again, burning machine time that healthy jobs needed.
+// The classic fix is exponential backoff with jitter; the repo's twist is
+// that the jitter must be DETERMINISTIC, because every fault-path behavior
+// here is pinned by tests (the simulator is the oracle and the thread
+// backend conforms).  So the "random" factor is a pure function of
+// (seed, stream key, attempt) through splitmix64 — the same job retries with
+// the same delays on every run with the same seed, while distinct jobs still
+// decorrelate (each job's sequence number is its stream key).
+//
+// The schedule is equal-jitter: delay(attempt) lands uniformly in
+// [raw/2, raw) where raw = min(cap, base * 2^(attempt-1)) — never more than
+// the deterministic cap, never less than half the deterministic floor, so
+// tests can bound it from both sides.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace qr3d::health {
+
+namespace detail {
+
+/// splitmix64 step (public-domain mixer): stateless here — callers pass the
+/// combined seed material directly.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// Deterministic equal-jitter exponential backoff.  Value type; cheap to
+/// copy.  base == 0 disables backoff entirely (every delay is 0), which is
+/// the serving layer's default — existing immediate-retry behavior is
+/// preserved until a caller opts in.
+class Backoff {
+ public:
+  Backoff() = default;
+  /// `base`: first-retry delay in seconds (0 disables).  `cap`: upper bound
+  /// the doubling saturates at.  `seed`: jitter seed — fixed seed, fixed
+  /// delays.
+  Backoff(double base, double cap, std::uint64_t seed = kDefaultSeed)
+      : base_(base), cap_(std::max(base, cap)), seed_(seed) {}
+
+  static constexpr std::uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ULL;
+
+  bool enabled() const { return base_ > 0.0; }
+  double base() const { return base_; }
+  double cap() const { return cap_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Delay in seconds before retry number `attempt` (1 = the first retry) of
+  /// stream `key` (the job's sequence number).  Deterministic in
+  /// (seed, key, attempt); uniform over [raw/2, raw) with
+  /// raw = min(cap, base * 2^(attempt-1)).
+  double delay(int attempt, std::uint64_t key) const {
+    if (base_ <= 0.0) return 0.0;
+    const int e = std::max(0, std::min(attempt - 1, 62));
+    const double raw = std::min(cap_, std::ldexp(base_, e));
+    const std::uint64_t h =
+        detail::mix64(seed_ ^ detail::mix64(key) ^ (static_cast<std::uint64_t>(attempt) << 32));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    return raw * (0.5 + 0.5 * u);
+  }
+
+ private:
+  double base_ = 0.0;
+  double cap_ = 0.0;
+  std::uint64_t seed_ = kDefaultSeed;
+};
+
+}  // namespace qr3d::health

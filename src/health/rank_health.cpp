@@ -1,0 +1,43 @@
+#include "health/rank_health.hpp"
+
+#include "la/error.hpp"
+
+namespace qr3d::health {
+
+RankHealth::RankHealth(int probation) : probation_(probation) {
+  QR3D_CHECK(probation >= 0, "health::RankHealth: probation must be >= 0 (0 disables)");
+}
+
+bool RankHealth::quarantine(int rank) {
+  if (probation_ <= 0) return false;
+  QR3D_CHECK(rank >= 0, "health::RankHealth: rank must be >= 0");
+  const bool fresh = remaining_.find(rank) == remaining_.end();
+  remaining_[rank] = probation_;  // re-offending resets the clock
+  return fresh;
+}
+
+std::vector<int> RankHealth::record_clean_session() {
+  std::vector<int> reinstated;
+  for (auto it = remaining_.begin(); it != remaining_.end();) {
+    if (--it->second <= 0) {
+      reinstated.push_back(it->first);
+      it = remaining_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reinstated;  // std::map iteration order: already ascending
+}
+
+bool RankHealth::is_quarantined(int rank) const {
+  return remaining_.find(rank) != remaining_.end();
+}
+
+std::vector<int> RankHealth::quarantined() const {
+  std::vector<int> out;
+  out.reserve(remaining_.size());
+  for (const auto& [rank, left] : remaining_) out.push_back(rank);
+  return out;
+}
+
+}  // namespace qr3d::health

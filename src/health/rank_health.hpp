@@ -1,0 +1,55 @@
+// qr3d::health::RankHealth — quarantine-with-probation tracking for
+// fail-slow ranks.
+//
+// A rank implicated in a session timeout is probably *sick*, not dead: a
+// transient stall (page fault storm, noisy neighbor, thermal throttle)
+// clears; permanent exclusion — the right call for a killed rank — would
+// shrink the machine forever on a hiccup.  So fail-slow ranks are
+// QUARANTINED instead: excluded from sessions like dead ranks, but with a
+// probation counter that counts down on every clean session the rest of the
+// machine completes, and reinstated when it reaches zero.  A rank that
+// stalls again after reinstatement simply re-enters quarantine — a
+// persistently sick rank oscillates in, mostly-out of service, shedding the
+// load it cannot carry.
+//
+// Thread safety: NONE — a plain container, externally synchronized exactly
+// like serve::Scheduler (BatchSolver guards every call with its own mutex).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace qr3d::health {
+
+class RankHealth {
+ public:
+  /// `probation`: clean sessions a quarantined rank must sit out before
+  /// reinstatement.  0 disables quarantine entirely (every call no-ops).
+  explicit RankHealth(int probation = 0);
+
+  bool enabled() const { return probation_ > 0; }
+  int probation() const { return probation_; }
+
+  /// Quarantine `rank` (resetting its probation if already quarantined).
+  /// Returns true when the rank newly entered quarantine.
+  bool quarantine(int rank);
+
+  /// A session completed cleanly (no deaths, no timeout): every quarantined
+  /// rank's probation counts down one; ranks reaching zero are reinstated
+  /// and returned (ascending).
+  std::vector<int> record_clean_session();
+
+  bool is_quarantined(int rank) const;
+
+  /// Currently quarantined ranks (ascending).
+  std::vector<int> quarantined() const;
+
+  std::size_t quarantined_count() const { return remaining_.size(); }
+
+ private:
+  int probation_ = 0;
+  std::map<int, int> remaining_;  // rank -> clean sessions left to sit out
+};
+
+}  // namespace qr3d::health

@@ -1,0 +1,38 @@
+// qr3d::health::SessionTimeout — the typed error a watchdogged machine
+// session surfaces when it exceeds its deadline.
+//
+// Converting fail-slow into fail-stop means the session must end with a
+// *classifiable* error: the serving layer's failure path treats a timeout
+// like a rank death (requeue the unfinished jobs, with backoff) rather than
+// like a numerical failure (final).  Derives std::runtime_error so
+// timeout-unaware machine-failure handling keeps working.
+//
+// Thrown by the simulator's virtual-deadline enforcement (the rank whose
+// cost clock crossed the deadline throws it on its own thread) and
+// synthesized by serve::BatchSolver for jobs lost to a wall-clock watchdog
+// abort on the thread backend.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qr3d::health {
+
+class SessionTimeout : public std::runtime_error {
+ public:
+  /// `deadline_seconds`: the deadline that fired — virtual (cost-model)
+  /// seconds on the simulator, wall seconds on the thread backend.  `rank`:
+  /// the rank whose clock crossed it, or -1 when the firing side cannot
+  /// attribute (the wall-clock watchdog).
+  SessionTimeout(double deadline_seconds, int rank, const std::string& what)
+      : std::runtime_error(what), deadline_seconds_(deadline_seconds), rank_(rank) {}
+
+  double deadline_seconds() const { return deadline_seconds_; }
+  int rank() const { return rank_; }
+
+ private:
+  double deadline_seconds_;
+  int rank_;
+};
+
+}  // namespace qr3d::health

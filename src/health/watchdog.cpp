@@ -1,0 +1,89 @@
+#include "health/watchdog.hpp"
+
+#include "la/error.hpp"
+
+namespace qr3d::health {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Retry cadence for a callback that reported "nothing to interrupt yet".
+constexpr std::chrono::milliseconds kRetryInterval{1};
+
+}  // namespace
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::arm(double seconds, std::function<bool()> on_expire) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QR3D_CHECK(!armed_, "health::Watchdog: arm() while already armed (disarm first)");
+  QR3D_CHECK(seconds >= 0.0, "health::Watchdog: deadline must be >= 0 seconds");
+  QR3D_CHECK(on_expire != nullptr, "health::Watchdog: null expiry callback");
+  if (!thread_.joinable()) thread_ = std::thread([this]() { loop(); });
+  ++generation_;
+  armed_ = true;
+  fired_ = false;
+  deadline_ = Clock::now() +
+              std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(seconds));
+  on_expire_ = std::move(on_expire);
+  cv_.notify_all();
+}
+
+bool Watchdog::disarm() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!armed_) return false;
+  ++generation_;
+  armed_ = false;
+  // A callback caught mid-flight belongs to the arming being closed: wait it
+  // out so its effect (an abort) is attributed here, never to the next
+  // session.  The loop records its success into fired_ before re-checking
+  // the generation, so the answer below is complete.
+  cv_.wait(lock, [&]() { return !callback_active_; });
+  const bool fired = fired_;
+  fired_ = false;
+  on_expire_ = nullptr;
+  return fired;
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&]() { return stop_ || (armed_ && !fired_); });
+    if (stop_) return;
+    if (Clock::now() < deadline_) {
+      cv_.wait_until(lock, deadline_);
+      continue;  // re-evaluate: disarm / re-arm / stop may have landed
+    }
+    // Deadline passed and this arming is still live: fire outside the lock
+    // (the callback takes the machine's own locks).
+    const std::uint64_t gen = generation_;
+    auto cb = on_expire_;
+    callback_active_ = true;
+    lock.unlock();
+    bool handled = false;
+    try {
+      handled = cb();
+    } catch (...) {
+      handled = true;  // a throwing callback must not spin the retry loop
+    }
+    lock.lock();
+    callback_active_ = false;
+    // Record success BEFORE the generation check: a disarm racing the
+    // callback still learns its arming fired (see disarm()).
+    if (handled) fired_ = true;
+    cv_.notify_all();
+    if (generation_ != gen || !armed_ || handled) continue;
+    // The machine was idle (the commit-to-session window): retry shortly.
+    deadline_ = Clock::now() + kRetryInterval;
+  }
+}
+
+}  // namespace qr3d::health

@@ -1,0 +1,69 @@
+// qr3d::health::Watchdog — a wall-clock session deadline that fires a
+// callback, converting fail-slow into fail-stop.
+//
+// The serving layer arms the watchdog around every machine session whose
+// backend cannot enforce a deadline on its own clock (the thread backend;
+// the simulator enforces deadlines on its virtual cost clock instead — see
+// backend::Machine::set_session_deadline).  On expiry the watchdog invokes
+// the armed callback — typically backend::Machine::request_abort — and
+// RETRIES it on a short interval until it reports success or the owner
+// disarms: request_abort deliberately drops requests landing while the
+// machine is idle, so a single shot fired in the commit-to-session window
+// would leave a stalled session unguarded (the same race serve::BatchSolver::
+// abort documents).
+//
+// One watchdog owns one background thread (spawned lazily on the first
+// arm), and one arming is active at a time: arm() -> session -> disarm().
+// disarm() waits out an in-flight callback before returning, so a stale
+// expiry can never abort the *next* session, and returns whether the
+// callback succeeded for the arming it closes — the owner's fail-slow
+// classification signal.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace qr3d::health {
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  /// Stops and joins the background thread.  The owner must disarm() (or
+  /// never have armed) before destruction.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Arm a deadline `seconds` of wall time from now.  When it expires,
+  /// `on_expire` is invoked off-thread; a false return means "nothing to
+  /// interrupt yet" and the watchdog retries every millisecond until true or
+  /// disarm().  Exactly one arming may be active; arm() again only after
+  /// disarm().
+  void arm(double seconds, std::function<bool()> on_expire);
+
+  /// Cancel the current arming (no-op when none is active).  Blocks until an
+  /// in-flight callback returns, then reports whether the callback succeeded
+  /// (returned true) during this arming — i.e. whether the deadline fired.
+  bool disarm();
+
+ private:
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;              // spawned lazily by the first arm()
+  bool stop_ = false;
+  bool armed_ = false;
+  bool fired_ = false;              // callback returned true this arming
+  bool callback_active_ = false;    // callback running outside mu_
+  std::uint64_t generation_ = 0;    // invalidates stale expiries
+  std::chrono::steady_clock::time_point deadline_;
+  std::function<bool()> on_expire_;
+};
+
+}  // namespace qr3d::health

@@ -83,6 +83,14 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
+// Fail-slow tolerance: deterministic retry backoff, wall-clock watchdog,
+// rank quarantine, and the typed session-timeout error the serving layer
+// raises when a deadline fires (docs/SERVING.md, "Fault tolerance").
+#include "health/backoff.hpp"
+#include "health/rank_health.hpp"
+#include "health/timeout.hpp"
+#include "health/watchdog.hpp"
+
 // Layouts and distributed matrix multiplication.
 #include "mm/layout.hpp"
 #include "mm/mm_1d.hpp"

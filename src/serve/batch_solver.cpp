@@ -9,6 +9,7 @@
 
 #include "core/api.hpp"
 #include "fault/plan.hpp"
+#include "health/timeout.hpp"
 #include "la/error.hpp"
 
 namespace qr3d::serve {
@@ -77,6 +78,36 @@ ServeOptions& ServeOptions::with_age_promote_after(std::chrono::steady_clock::du
   QR3D_CHECK(d >= std::chrono::steady_clock::duration::zero(),
              "ServeOptions: age_promote_after must be >= 0 (0 disables aging)");
   age_promote_after_ = d;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_session_timeout_factor(double factor) {
+  QR3D_CHECK(factor == 0.0 || factor >= 1.0,
+             "ServeOptions: session_timeout_factor must be 0 (off) or >= 1");
+  session_timeout_factor_ = factor;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_session_timeout_floor(double seconds) {
+  QR3D_CHECK(seconds >= 0.0, "ServeOptions: session_timeout_floor must be >= 0");
+  session_timeout_floor_ = seconds;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_quarantine_probation(int sessions) {
+  QR3D_CHECK(sessions >= 0,
+             "ServeOptions: quarantine_probation must be >= 0 (0 disables quarantine)");
+  quarantine_probation_ = sessions;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_retry_backoff(double base_seconds, double cap_seconds,
+                                               std::uint64_t seed) {
+  QR3D_CHECK(base_seconds >= 0.0 && cap_seconds >= 0.0,
+             "ServeOptions: retry backoff base and cap must be >= 0");
+  retry_backoff_base_ = base_seconds;
+  retry_backoff_cap_ = cap_seconds;
+  retry_backoff_seed_ = seed;
   return *this;
 }
 
@@ -205,7 +236,10 @@ BatchSolver::BatchSolver(ServeOptions opts)
     : opts_(std::move(opts)),
       cache_(std::make_shared<PlanCache>(opts_.plan_cache_capacity())),
       solver_(opts_.qr(), cache_),
-      sched_(opts_.age_promote_after()) {
+      sched_(opts_.age_promote_after()),
+      backoff_(opts_.retry_backoff_base(), opts_.retry_backoff_cap(),
+               opts_.retry_backoff_seed()),
+      rank_health_(opts_.quarantine_probation()) {
   // Resolve every metric handle once: interning takes the registry mutex,
   // after which the serving hot path mutates lock-free atomics (still under
   // mu_ for cross-counter snapshot consistency — see the header).
@@ -221,6 +255,14 @@ BatchSolver::BatchSolver(ServeOptions opts)
   m_.plan_misses = &registry_.counter("serve.plan_cache_misses");
   m_.attempts = &registry_.counter("serve.attempts");
   m_.recovered = &registry_.counter("serve.recovered");
+  m_.timeouts = &registry_.counter("health.session_timeouts");
+  m_.requeues_timeout = &registry_.counter("health.requeues_timeout");
+  m_.requeues_rank_death = &registry_.counter("health.requeues_rank_death");
+  m_.quarantined = &registry_.counter("health.ranks_quarantined");
+  m_.reinstated = &registry_.counter("health.ranks_reinstated");
+  m_.quarantined_now = &registry_.gauge("health.quarantined_now");
+  m_.retry_after = &registry_.gauge("serve.retry_after_seconds");
+  m_.backoff_delay = &registry_.histogram("health.backoff_seconds");
   m_.serve_seconds = &registry_.gauge("serve.serve_seconds");
   m_.latency = &registry_.histogram("serve.latency_seconds");
   m_.queue_wait = &registry_.histogram("serve.queue_seconds");
@@ -264,6 +306,7 @@ JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b, const SubmitOptions& s
   }
   bool rejected = false;
   std::size_t depth = 0;
+  double retry_after = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     QR3D_CHECK(!stop_, "BatchSolver: submit after shutdown/abort");
@@ -273,9 +316,14 @@ JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b, const SubmitOptions& s
     if (opts_.max_queue_depth() > 0 && depth >= opts_.max_queue_depth()) {
       // Fail-fast admission: the handle resolves with AdmissionError right
       // here (outside the lock, below) instead of the queue growing — the
-      // caller can never hang on a rejected job.
+      // caller can never hang on a rejected job.  The error carries a
+      // retry-after hint: how long the backlog should take to drain at the
+      // model-predicted per-job rate (0 until a round has been dispatched
+      // and a prediction exists).
       rejected = true;
       m_.rejected->inc();
+      retry_after = static_cast<double>(depth) * last_predicted_job_seconds_;
+      m_.retry_after->set(retry_after);
     } else {
       sched_.push(job);
     }
@@ -285,7 +333,8 @@ JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b, const SubmitOptions& s
                   obs::trace_seconds(job->submitted_at));
   }
   if (rejected) {
-    resolve_job(job, std::make_exception_ptr(AdmissionError(depth, opts_.max_queue_depth())));
+    resolve_job(job, std::make_exception_ptr(
+                         AdmissionError(depth, opts_.max_queue_depth(), retry_after)));
     return JobHandle(this, std::move(job));
   }
   if (opts_.async()) queue_cv_.notify_one();
@@ -416,18 +465,30 @@ void BatchSolver::maybe_reprofile() {
   }
 }
 
-void BatchSolver::run_session(int g, const std::vector<std::shared_ptr<detail::Job>>& jobs) {
+std::vector<int> BatchSolver::usable_ranks_locked() const {
   const int P = opts_.ranks();
-  // The machine view shrinks as ranks die: sessions group only surviving
-  // ranks (dead ones split out with color -1 and idle), and the group size
-  // clamps to what is left.
+  std::vector<char> dead(static_cast<std::size_t>(P), 0);
+  for (int r : dead_ranks_) dead[static_cast<std::size_t>(r)] = 1;
+  std::vector<int> alive, usable;
+  for (int r = 0; r < P; ++r) {
+    if (dead[static_cast<std::size_t>(r)]) continue;
+    alive.push_back(r);
+    if (!rank_health_.is_quarantined(r)) usable.push_back(r);
+  }
+  // Capacity wins: quarantining every survivor would halt serving, so a
+  // quarantine that empties the usable set is ignored for this session (the
+  // suspects still serve their probation and reinstate on clean sessions).
+  return usable.empty() ? alive : usable;
+}
+
+void BatchSolver::run_session(int g, const std::vector<std::shared_ptr<detail::Job>>& jobs) {
+  // The machine view shrinks as ranks die or get quarantined: sessions group
+  // only usable ranks (the rest split out with color -1 and idle), and the
+  // group size clamps to what is left.
   std::vector<int> alive;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<char> dead(static_cast<std::size_t>(P), 0);
-    for (int r : dead_ranks_) dead[static_cast<std::size_t>(r)] = 1;
-    for (int r = 0; r < P; ++r)
-      if (!dead[static_cast<std::size_t>(r)]) alive.push_back(r);
+    alive = usable_ranks_locked();
   }
   QR3D_ASSERT(!alive.empty(), "BatchSolver: no surviving ranks to run a session on");
   const int ga = std::min(g, static_cast<int>(alive.size()));
@@ -463,14 +524,14 @@ void BatchSolver::run_session(int g, const std::vector<std::shared_ptr<detail::J
   });
 }
 
-bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
-  // --- Pop the best-ranked job (the scheduling decision) -------------------
+bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out, bool include_delayed) {
+  // --- Pop the best-ranked READY job (the scheduling decision) -------------
   std::shared_ptr<detail::Job> top;
   std::size_t shape_hint = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (aborting_) return false;  // abort() drains and resolves the queue
-    top = sched_.pop(Clock::now());
+    top = sched_.pop(Clock::now(), include_delayed);
     if (!top) return false;
     // Popped jobs move to in_flight_ under the SAME lock: a flush barrier
     // snapshot (queue + in_flight_) must never catch a job in neither.
@@ -509,13 +570,15 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
   // popped job's plan, so they pipeline for free whatever their class —
   // preemption granularity stays one round either way.
   int ga = 1;
+  int groups = 1;
   std::vector<std::shared_ptr<detail::Job>> riders;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const int alive = std::max(1, P - static_cast<int>(dead_ranks_.size()));
+    const int alive = std::max(1, static_cast<int>(usable_ranks_locked().size()));
     ga = std::min(g, alive);
-    const int groups = std::max(1, alive / ga);
-    riders = sched_.pop_same_shape(m, n, static_cast<std::size_t>(groups - 1), Clock::now());
+    groups = std::max(1, alive / ga);
+    riders = sched_.pop_same_shape(m, n, static_cast<std::size_t>(groups - 1), Clock::now(),
+                                   include_delayed);
     for (auto& r : riders) in_flight_.push_back(r);
   }
   std::vector<std::shared_ptr<detail::Job>> round;
@@ -525,14 +588,24 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
   }
 
   // --- Accounting (before the run: resolution implies visibility) ---------
+  const double predicted_seconds = plan.predicted.time(mp);
   bool abort_now = false;
   bool first_sizing = false;
   std::uint64_t round_no = 0;
+  double drift_scale = 1.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (aborting_) {
       abort_now = true;
     } else {
+      // The admission retry-after hint and the session deadline both lean on
+      // the model: remember this round's per-job prediction, and read the
+      // observed drift p95 (how much slower than predicted real jobs run, at
+      // the tail) so the deadline scales with the model's demonstrated error
+      // bars instead of trusting the raw prediction.
+      last_predicted_job_seconds_ = predicted_seconds;
+      if (m_.drift->count() >= kDriftMinSamples)
+        drift_scale = std::max(1.0, m_.drift->quantile(0.95));
       const auto shape = std::make_pair(m, n);
       if (std::find(sized_shapes_.begin(), sized_shapes_.end(), shape) == sized_shapes_.end()) {
         sized_shapes_.push_back(shape);
@@ -555,7 +628,6 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
     resolve_unfinished(round, abort_error());
     return true;
   }
-  const double predicted_seconds = plan.predicted.time(mp);
   for (std::size_t j = 0; j < round.size(); ++j) {
     auto& job = round[j];
     job->plan = plan;
@@ -590,6 +662,33 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
     job->stats.round = round_no;
   }
 
+  // --- Arm the session deadline (fail-slow watchdog) -----------------------
+  // The deadline is what the cost model says this session should take —
+  // predicted per-job seconds times the jobs each group runs in series —
+  // scaled by the observed drift p95 (the model's own demonstrated error
+  // bars) and the user's factor, floored absolutely.  A backend that
+  // enforces deadlines itself (the simulator, on its virtual clock) just
+  // takes the number; otherwise a watchdog thread fires request_abort() at
+  // the wall deadline.  The callback returns whether a live run took the
+  // abort: the executor commits to a session slightly before run() begins,
+  // and request_abort() while idle is deliberately dropped — so the
+  // watchdog retries until the abort lands or disarm().
+  double deadline_seconds = 0.0;
+  bool machine_enforces = false;
+  bool watchdog_armed = false;
+  if (opts_.session_timeout_factor() > 0.0) {
+    const double jobs_per_group =
+        std::ceil(static_cast<double>(round.size()) / static_cast<double>(groups));
+    deadline_seconds = std::max(opts_.session_timeout_floor(),
+                                predicted_seconds * jobs_per_group * drift_scale *
+                                    opts_.session_timeout_factor());
+    machine_enforces = machine_->set_session_deadline(deadline_seconds);
+    if (!machine_enforces) {
+      watchdog_.arm(deadline_seconds, [this]() { return machine_->request_abort(); });
+      watchdog_armed = true;
+    }
+  }
+
   // --- Run exactly this round as one machine session -----------------------
   // A machine-level failure (an in-machine throw aborts every rank of the
   // session) is recorded in every job the session did not finish — jobs that
@@ -603,6 +702,15 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
   } catch (...) {
     session_error = std::current_exception();
   }
+  // Did the deadline fire?  The watchdog knows whether its abort landed
+  // (disarm waits out an in-flight callback, so this cannot race the next
+  // round); a self-enforcing backend reports it directly.  Classification
+  // keys on THIS, never on the exception type — the lowest-ranked rethrow
+  // can surface a generic abort error even when the root cause was the
+  // deadline.
+  bool timed_out = false;
+  if (watchdog_armed) timed_out = watchdog_.disarm();
+  if (machine_enforces) timed_out = machine_->last_run_timed_out();
   if (const auto& tr = opts_.trace()) {
     // The machine-session span on the dispatcher lane: job exec spans and
     // the machine's own per-rank op events nest under it in wall time.
@@ -617,8 +725,19 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
     ev.t0 = session_t0;
     ev.t1 = obs::trace_now();
     tr->record(std::move(ev));
+    if (timed_out) {
+      obs::TraceEvent ti;
+      ti.kind = obs::TraceEvent::Kind::Instant;
+      ti.track = 1;
+      ti.rank = -1;  // dispatcher lane, next to the session span
+      ti.id = round_no;
+      ti.name = "session_timeout";
+      ti.t0 = ti.t1 = obs::trace_now();
+      tr->record(std::move(ti));
+    }
   }
   const std::vector<int> session_deaths = machine_->last_run_deaths();
+  const std::vector<int> session_stalls = machine_->last_run_stalls();
 
   std::vector<std::shared_ptr<detail::Job>> unfinished;
   for (auto& job : round) {
@@ -626,8 +745,9 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
   }
 
   // Self-healing classification: a rank death (fault::RankDeath, or the
-  // machine reporting deaths after a run that otherwise ended cleanly) is
-  // recoverable by requeueing on the survivors; anything else is final.
+  // machine reporting deaths after a run that otherwise ended cleanly) and a
+  // session timeout (fail-slow, converted to fail-stop above) are both
+  // recoverable by requeueing; anything else is final.
   bool is_rank_death = !session_deaths.empty();
   if (session_error) {
     try {
@@ -636,7 +756,7 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
       is_rank_death = true;
     } catch (...) {
     }
-  } else if (!unfinished.empty()) {
+  } else if (!unfinished.empty() && !timed_out) {
     QR3D_ASSERT(is_rank_death,
                 "BatchSolver: machine session ended cleanly with an unfinished job");
     // Ranks died but no survivor tripped over them (they held no job the
@@ -646,9 +766,30 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
         session_deaths.front(), "qr3d::serve: rank " + std::to_string(session_deaths.front()) +
                                     " died; its group's jobs did not finish"));
   }
+  const bool recoverable = is_rank_death || timed_out;
+  // The error a job of this session keeps as its first-failure cause (and
+  // resolves with when attempts run out).  On a timeout this is normalized
+  // to the typed health::SessionTimeout — the raw session error is whichever
+  // rank's exception won the lowest-rank rethrow (often the generic abort),
+  // useless to a caller deciding whether to resubmit.
+  std::exception_ptr cause_error = session_error;
+  const RetryCause cause = timed_out ? RetryCause::Timeout : RetryCause::RankDeath;
+  if (timed_out) {
+    const int suspect = session_stalls.empty() ? -1 : session_stalls.front();
+    cause_error = std::make_exception_ptr(health::SessionTimeout(
+        deadline_seconds, suspect,
+        "qr3d::serve: session " + std::to_string(round_no) +
+            " exceeded its deadline of " + std::to_string(deadline_seconds) +
+            " s (fail-slow watchdog; see ServeOptions::with_session_timeout_factor)"));
+  }
 
   std::vector<std::shared_ptr<detail::Job>> exhausted;
-  std::vector<std::uint64_t> requeued;
+  std::vector<std::shared_ptr<detail::Job>> aborted_jobs;
+  struct Requeued {
+    std::uint64_t seq;
+    double delay;
+  };
+  std::vector<Requeued> requeued;
   {
     std::lock_guard<std::mutex> lock(mu_);
     m_.serve_seconds->add(machine_->last_wall_seconds());
@@ -656,42 +797,76 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out) {
       if (std::find(dead_ranks_.begin(), dead_ranks_.end(), r) == dead_ranks_.end())
         dead_ranks_.push_back(r);
     }
-    if (!unfinished.empty() && is_rank_death) {
+    // Health bookkeeping: a timed-out session quarantines the ranks whose
+    // stall implicates them (probation starts, or restarts for a repeat
+    // offender); a clean session credits every quarantined rank one step and
+    // reinstates those that served their probation.
+    if (timed_out) {
+      m_.timeouts->inc();
+      for (int r : session_stalls) {
+        if (rank_health_.quarantine(r)) m_.quarantined->inc();
+      }
+    } else if (!session_error && session_deaths.empty()) {
+      const std::vector<int> back = rank_health_.record_clean_session();
+      m_.reinstated->inc(back.size());
+    }
+    m_.quarantined_now->set(static_cast<double>(rank_health_.quarantined_count()));
+    if (!unfinished.empty() && recoverable) {
       for (auto& job : unfinished) {
-        if (!job->original_death) job->original_death = session_error;
-        if (job->attempts >= opts_.max_attempts()) {
+        if (!job->original_error) job->original_error = cause_error;
+        if (aborting_) {
+          // abort() has drained the queue already: a requeue landing now
+          // would strand the job forever (nothing dispatches after an
+          // abort).  Hand it to the abort path instead.
+          aborted_jobs.push_back(job);
+        } else if (job->attempts >= opts_.max_attempts()) {
           exhausted.push_back(job);  // resolved below, outside the lock
         } else {
           // Requeue on the survivors with the job's original seq, priority
           // and submit time — recovery does not reset its place in line (and
           // aging keeps crediting the full wait).  Atomic with the
           // in_flight_ erase so a flush barrier snapshot never misses the
-          // job; bypasses admission (the job was already admitted).
+          // job; bypasses admission (the job was already admitted).  The
+          // deterministic backoff delays the next attempt: attempt k waits
+          // jittered min(cap, base * 2^(k-1)) seconds keyed on (seed, seq,
+          // attempt), so a fixed seed reproduces the schedule exactly.
+          const double delay = backoff_.delay(job->attempts, job->seq);
+          job->ready_at = delay > 0.0
+                              ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                                   std::chrono::duration<double>(delay))
+                              : Clock::time_point{};
+          job->stats.retries.push_back(RetryRecord{cause, delay});
+          if (delay > 0.0) m_.backoff_delay->record(delay);
+          (cause == RetryCause::Timeout ? m_.requeues_timeout : m_.requeues_rank_death)->inc();
           in_flight_.erase(std::remove(in_flight_.begin(), in_flight_.end(), job),
                            in_flight_.end());
           sched_.push(job);
-          requeued.push_back(job->seq);
+          requeued.push_back(Requeued{job->seq, delay});
         }
       }
     }
   }
   if (const auto& tr = opts_.trace()) {
-    // Fault-recovery edges: one instant per job sent back to the queue.
+    // Fault-recovery edges: one cause-tagged instant per job sent back.
     const double now = obs::trace_now();
-    for (std::uint64_t seq : requeued) trace_instant(tr, "requeue", seq, now);
+    const char* name =
+        cause == RetryCause::Timeout ? "requeue (timeout)" : "requeue (rank_death)";
+    for (const auto& rq : requeued) trace_instant(tr, name, rq.seq, now);
   }
+  resolve_unfinished(aborted_jobs, abort_error());
   if (!unfinished.empty()) {
-    if (!is_rank_death) {
+    if (!recoverable) {
       // Not recoverable by requeueing (an abort, a numerical failure):
       // store the session error in the handles.
       resolve_unfinished(unfinished, session_error);
       if (session_error_out && !*session_error_out) *session_error_out = session_error;
     } else {
-      // Out of attempts: the ORIGINAL death (not a wrapper, not the latest
-      // one) lands in the handles, and blocking flush() rethrows it.
-      for (auto& job : exhausted) resolve_job(job, job->original_death);
+      // Out of attempts: the ORIGINAL cause (fault::RankDeath or
+      // health::SessionTimeout — not a wrapper, not the latest one) lands in
+      // the handles, and blocking flush() rethrows it.
+      for (auto& job : exhausted) resolve_job(job, job->original_error);
       if (!exhausted.empty() && session_error_out && !*session_error_out)
-        *session_error_out = exhausted.front()->original_death;
+        *session_error_out = exhausted.front()->original_error;
     }
   }
   return true;
@@ -712,6 +887,19 @@ void BatchSolver::executor_loop() {
       if (stop_) return;
       continue;
     }
+    // Backoff gate: when every queued job is still waiting out its retry
+    // delay, sleep until the earliest ready_at (or a new submission / stop)
+    // instead of busy-popping an all-delayed queue.  The shutdown drain
+    // ignores delays — a backing-off job must still resolve before the
+    // executor dies.
+    if (!stop_ && !sched_.has_ready(Clock::now())) {
+      const auto next = sched_.next_ready_at();
+      if (next) {
+        queue_cv_.wait_until(lock, *next);
+        continue;
+      }
+    }
+    const bool include_delayed = stop_;
     lock.unlock();
     maybe_reprofile();
     {
@@ -730,7 +918,7 @@ void BatchSolver::executor_loop() {
     // unexpected throw resolves the in-flight jobs instead of terminating
     // the process.
     try {
-      while (dispatch_round(nullptr)) {
+      while (dispatch_round(nullptr, include_delayed)) {
       }
     } catch (...) {
       std::vector<std::shared_ptr<detail::Job>> stranded;
@@ -744,28 +932,32 @@ void BatchSolver::executor_loop() {
   }
 }
 
-void BatchSolver::flush() {
-  if (opts_.async()) {
-    // Per-job barrier: snapshot every job submitted before this call that
-    // has not resolved yet (still queued, or popped into a round), then wait
-    // for exactly those.  A count-based wait ("completed + failed >=
-    // submitted-at-entry") is WRONG under priority scheduling: jobs no
-    // longer resolve in submission order, so later high-priority completions
-    // can satisfy the count while an earlier low-priority job still waits.
-    std::unique_lock<std::mutex> lock(mu_);
-    std::vector<std::shared_ptr<detail::Job>> pending = sched_.snapshot();
-    pending.insert(pending.end(), in_flight_.begin(), in_flight_.end());
-    done_cv_.wait(lock, [&]() {
-      for (const auto& job : pending) {
-        if (!job->done.load(std::memory_order_acquire)) return false;
-      }
-      return true;
-    });
-    return;
-  }
+bool BatchSolver::flush_async(std::optional<Clock::time_point> deadline) {
+  // Per-job barrier: snapshot every job submitted before this call that
+  // has not resolved yet (still queued, or popped into a round), then wait
+  // for exactly those.  A count-based wait ("completed + failed >=
+  // submitted-at-entry") is WRONG under priority scheduling: jobs no
+  // longer resolve in submission order, so later high-priority completions
+  // can satisfy the count while an earlier low-priority job still waits.
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<detail::Job>> pending = sched_.snapshot();
+  pending.insert(pending.end(), in_flight_.begin(), in_flight_.end());
+  const auto all_done = [&]() {
+    for (const auto& job : pending) {
+      if (!job->done.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+  if (deadline) return done_cv_.wait_until(lock, *deadline, all_done);
+  done_cv_.wait(lock, all_done);
+  return true;
+}
+
+bool BatchSolver::flush_blocking(std::optional<Clock::time_point> deadline,
+                                 bool include_delayed, std::exception_ptr* first_error) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (sched_.empty()) return;  // nothing pending: not a dispatch
+    if (sched_.empty()) return true;  // nothing pending: not a dispatch
   }
   maybe_reprofile();
   {
@@ -773,10 +965,50 @@ void BatchSolver::flush() {
     m_.flushes->inc();
     ++dispatches_since_profile_;
   }
-  std::exception_ptr first_error;
-  while (dispatch_round(&first_error)) {
+  // Round at a time until the queue drains, sleeping out retry-backoff
+  // delays in between.  The deadline is only checked BETWEEN rounds: an
+  // individual session is never cut short by the flush budget (session
+  // deadlines do that), so a bounded flush can overrun by one session.
+  for (;;) {
+    if (deadline && Clock::now() >= *deadline) break;
+    if (dispatch_round(first_error, include_delayed)) continue;
+    std::optional<Clock::time_point> next;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (sched_.empty() || aborting_) break;
+      next = sched_.next_ready_at();
+    }
+    if (!next) break;  // raced with a concurrent drain
+    auto wake = *next;
+    if (deadline && *deadline < wake) {
+      // Sleeping out the backoff would blow the budget: stop at the budget
+      // so the caller gets its answer on time.
+      wake = *deadline;
+    }
+    std::this_thread::sleep_until(wake);
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  return sched_.empty();
+}
+
+void BatchSolver::flush() {
+  if (opts_.async()) {
+    flush_async(std::nullopt);
+    return;
+  }
+  std::exception_ptr first_error;
+  flush_blocking(std::nullopt, false, &first_error);
   if (first_error) std::rethrow_exception(first_error);
+}
+
+bool BatchSolver::flush_for(double timeout_seconds) {
+  QR3D_CHECK(timeout_seconds >= 0.0, "BatchSolver::flush_for: timeout must be >= 0");
+  const auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                           std::chrono::duration<double>(timeout_seconds));
+  if (opts_.async()) return flush_async(deadline);
+  // Bounded blocking flush: session errors stay in the affected handles
+  // (unlike flush(), which rethrows) — the return value is the contract.
+  return flush_blocking(deadline, false, nullptr);
 }
 
 void BatchSolver::wait_for(const std::shared_ptr<detail::Job>& job) {
@@ -802,14 +1034,15 @@ void BatchSolver::shutdown() {
     if (executor_.joinable()) executor_.join();
     return;
   }
-  // Blocking mode: drain the queue inline.  Machine-level session errors
-  // are already recorded in the affected handles, and shutdown (called from
-  // the destructor) must never throw, so flush()'s rethrow is swallowed —
-  // and if an *unexpected* throw cut the drain short, whatever it stranded
-  // is resolved with that error so no handle is left pending.
+  // Blocking mode: drain the queue inline, ignoring retry-backoff delays
+  // (a backing-off job must resolve before the solver dies, not after its
+  // jittered wait).  Machine-level session errors are already recorded in
+  // the affected handles, and shutdown (called from the destructor) must
+  // never throw — if an *unexpected* throw cut the drain short, whatever it
+  // stranded is resolved with that error so no handle is left pending.
   std::exception_ptr err;
   try {
-    flush();
+    flush_blocking(std::nullopt, true, nullptr);
   } catch (...) {
     err = std::current_exception();
   }
@@ -894,6 +1127,13 @@ BatchSolver::Stats BatchSolver::stats() const {
   s.plan_cache_evictions = cache_->evictions();
   s.attempts = m_.attempts->value();
   s.recovered = m_.recovered->value();
+  s.session_timeouts = m_.timeouts->value();
+  s.requeues_timeout = m_.requeues_timeout->value();
+  s.requeues_rank_death = m_.requeues_rank_death->value();
+  s.ranks_quarantined = m_.quarantined->value();
+  s.ranks_reinstated = m_.reinstated->value();
+  s.quarantined_now = static_cast<std::uint64_t>(m_.quarantined_now->value());
+  s.retry_after_seconds = m_.retry_after->value();
   s.serve_seconds = m_.serve_seconds->value();
   s.drift_samples = m_.drift->count();
   s.drift_p50 = m_.drift->quantile(0.5);

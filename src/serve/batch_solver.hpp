@@ -73,6 +73,22 @@
 // after which the ORIGINAL session error (fault::RankDeath, not a wrapper)
 // is stored in the handles.  JobStats records attempts/recovered per job and
 // Stats aggregates them.
+//
+// Fail-slow tolerance (src/health/ has the machinery): a rank that is slow
+// instead of dead used to hold its session — and a blocking-mode solver —
+// forever.  with_session_timeout_factor(f) arms a deadline per session:
+// the cost model's predicted session makespan, scaled by the observed drift
+// p95 (the model's own error bars) and by f, floored at
+// with_session_timeout_floor.  A backend that enforces deadlines itself
+// (the simulator, on its virtual cost clock — bit-reproducible firing) just
+// gets the number; otherwise a health::Watchdog thread fires
+// request_abort() at the wall-clock deadline, converting fail-slow into
+// fail-stop.  The timed-out session's unfinished jobs requeue through the
+// self-healing path with deterministic exponential backoff + seeded jitter
+// (with_retry_backoff), and the ranks whose injected stall caused the
+// timeout are quarantined — excluded from later sessions' groups — until
+// with_quarantine_probation consecutive clean sessions reinstate them
+// (capacity wins: quarantine never empties the alive set).
 #pragma once
 
 #include <atomic>
@@ -88,6 +104,9 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "health/backoff.hpp"
+#include "health/rank_health.hpp"
+#include "health/watchdog.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "serve/plan_cache.hpp"
@@ -200,6 +219,32 @@ class ServeOptions {
   /// load cannot starve the low classes forever.  Zero disables aging
   /// (strict classes).  Must be >= 0.  Default: 1 second.
   ServeOptions& with_age_promote_after(std::chrono::steady_clock::duration d);
+  /// Fail-slow watchdog: arm a deadline on every machine session of
+  /// predicted-makespan x observed-drift-p95 x `factor`, floored at
+  /// with_session_timeout_floor.  A session still running at the deadline
+  /// is aborted (fail-slow converted to fail-stop) and its unfinished jobs
+  /// requeue through the self-healing path.  Must be 0 (default, disabled)
+  /// or >= 1 — a factor below 1 would time out sessions the model itself
+  /// expects to run longer.
+  ServeOptions& with_session_timeout_factor(double factor);
+  /// Absolute floor on the session deadline, in seconds (default 0.05).
+  /// Guards tiny problems: a microsecond-scale prediction must not arm a
+  /// microsecond watchdog that scheduling noise trips.  Must be >= 0.
+  ServeOptions& with_session_timeout_floor(double seconds);
+  /// Quarantine probation: ranks implicated in a session timeout are
+  /// excluded from later sessions' groups until this many consecutive
+  /// clean (no fault, no timeout) sessions pass, then reinstated.  0
+  /// disables quarantine.  Default: 2.  Only effective together with
+  /// with_session_timeout_factor.
+  ServeOptions& with_quarantine_probation(int sessions);
+  /// Deterministic retry backoff for requeued jobs: attempt k waits
+  /// min(cap, base * 2^(k-1)) seconds, equal-jittered into [raw/2, raw) by
+  /// a seeded hash of (seed, job seq, attempt) — reproducible under a fixed
+  /// seed, decorrelated across jobs.  base 0 (default) disables backoff
+  /// (immediate requeue, the pre-backoff behavior).  base and cap must be
+  /// >= 0; cap below base is raised to base.
+  ServeOptions& with_retry_backoff(double base_seconds, double cap_seconds,
+                                   std::uint64_t seed = health::Backoff::kDefaultSeed);
 
   /// Rank count of the owned machine.
   int ranks() const { return ranks_; }
@@ -232,6 +277,18 @@ class ServeOptions {
   std::size_t plan_cache_capacity() const { return plan_cache_capacity_; }
   /// Waiting time that improves a queued job's class by one step (0 = off).
   std::chrono::steady_clock::duration age_promote_after() const { return age_promote_after_; }
+  /// Session-deadline factor over the drift-scaled prediction (0 = off).
+  double session_timeout_factor() const { return session_timeout_factor_; }
+  /// Absolute floor on the session deadline, seconds.
+  double session_timeout_floor() const { return session_timeout_floor_; }
+  /// Clean sessions a quarantined rank waits before reinstatement (0 = off).
+  int quarantine_probation() const { return quarantine_probation_; }
+  /// Retry-backoff base delay, seconds (0 = immediate requeue).
+  double retry_backoff_base() const { return retry_backoff_base_; }
+  /// Retry-backoff delay cap, seconds.
+  double retry_backoff_cap() const { return retry_backoff_cap_; }
+  /// Seed of the deterministic backoff jitter.
+  std::uint64_t retry_backoff_seed() const { return retry_backoff_seed_; }
 
  private:
   int ranks_ = 4;
@@ -248,6 +305,12 @@ class ServeOptions {
   std::size_t max_queue_depth_ = 0;
   std::size_t plan_cache_capacity_ = PlanCache::kDefaultCapacity;
   std::chrono::steady_clock::duration age_promote_after_ = std::chrono::seconds(1);
+  double session_timeout_factor_ = 0.0;
+  double session_timeout_floor_ = 0.05;
+  int quarantine_probation_ = 2;
+  double retry_backoff_base_ = 0.0;
+  double retry_backoff_cap_ = 0.0;
+  std::uint64_t retry_backoff_seed_ = health::Backoff::kDefaultSeed;
 };
 
 class BatchSolver;
@@ -360,6 +423,19 @@ class BatchSolver {
   /// per-job failure isolation puts them.
   void flush();
 
+  /// Bounded-wait flush: like flush(), but gives up after `timeout_seconds`
+  /// and returns whether the barrier completed (every job submitted before
+  /// the call resolved).  False means jobs are still pending — queued,
+  /// backing off, or held by a stalled session (arm
+  /// with_session_timeout_factor to convert the latter into a retry).
+  /// Async mode: a timed wait on the completion signal.  Blocking mode:
+  /// dispatches rounds until the queue drains or the budget runs out
+  /// between rounds — an individual machine session is never cut short by
+  /// the flush budget (session deadlines do that), so the wait can overrun
+  /// by up to one session.  Unlike flush(), never rethrows a session error
+  /// (it stays in the affected handles).
+  bool flush_for(double timeout_seconds);
+
   /// Bulk API: submit all problems, flush, return the solutions in order.
   /// Throws the first failed job's error (after all jobs ran).
   std::vector<la::Matrix> solve_all(std::vector<std::pair<la::Matrix, la::Matrix>> problems);
@@ -393,8 +469,20 @@ class BatchSolver {
     std::uint64_t plan_cache_hits = 0;    ///< jobs whose shape was already sized+tuned
     std::uint64_t plan_cache_misses = 0;  ///< jobs that triggered sizing+tuning
     std::uint64_t attempts = 0;   ///< job machine attempts (>= jobs entering sessions)
-    std::uint64_t recovered = 0;  ///< jobs solved after a rank-death requeue
+    std::uint64_t recovered = 0;  ///< jobs solved after a fault/timeout requeue
     std::uint64_t plan_cache_evictions = 0;  ///< LRU evictions in the owned PlanCache
+    /// Fail-slow tolerance (all zero unless with_session_timeout_factor).
+    std::uint64_t session_timeouts = 0;   ///< sessions ended by the watchdog deadline
+    std::uint64_t requeues_timeout = 0;   ///< job requeues caused by a session timeout
+    std::uint64_t requeues_rank_death = 0;  ///< job requeues caused by rank deaths
+    std::uint64_t ranks_quarantined = 0;  ///< quarantine entries (cumulative)
+    std::uint64_t ranks_reinstated = 0;   ///< quarantined ranks reinstated after probation
+    std::uint64_t quarantined_now = 0;    ///< ranks currently quarantined
+    /// Admission retry hint of the most recent rejection: queue depth at the
+    /// cap times the predicted per-job execution seconds of the last
+    /// dispatched round (0 until a rejection with a known prediction).  The
+    /// same number lands in the rejected handle's AdmissionError.
+    double retry_after_seconds = 0.0;
     double serve_seconds = 0.0;  ///< total machine-session time
     /// Cost-model drift: measured wall seconds / model-predicted seconds per
     /// completed job, aggregated in a log-scale histogram since
@@ -439,17 +527,33 @@ class BatchSolver {
   void resolve_job(const std::shared_ptr<detail::Job>& job, std::exception_ptr error);
   /// Dispatch one scheduling round: pop the best-ranked job, size its
   /// group, fill the idle groups with queued same-shape jobs, and run
-  /// exactly that round as one machine session (the preemption slice).
-  /// Handles validation, rank-death requeueing and session errors for the
-  /// round.  Returns false when the queue was empty or the solver is
-  /// aborting (nothing dispatched).  A machine-level session error is
-  /// recorded in the affected handles and, when `session_error` is non-null
-  /// and empty, stored there too (blocking flush() rethrows it).
-  bool dispatch_round(std::exception_ptr* session_error);
+  /// exactly that round as one machine session (the preemption slice) under
+  /// the session deadline when one is configured.  Handles validation,
+  /// rank-death/timeout requeueing (with backoff), quarantine bookkeeping
+  /// and session errors for the round.  Returns false when no job was ready
+  /// (empty queue, or everything backing off unless `include_delayed`) or
+  /// the solver is aborting (nothing dispatched).  A machine-level session
+  /// error is recorded in the affected handles and, when `session_error` is
+  /// non-null and empty, stored there too (blocking flush() rethrows it).
+  bool dispatch_round(std::exception_ptr* session_error, bool include_delayed = false);
   /// One machine session: all `jobs` round-robined over groups of (up to) g
-  /// ranks drawn from the machine's *surviving* ranks — ranks recorded in
-  /// dead_ranks_ idle out, so a shrunken machine keeps serving.
+  /// ranks drawn from the machine's *usable* ranks — dead ranks idle out
+  /// permanently, quarantined ranks until reinstated — so a shrunken
+  /// machine keeps serving.
   void run_session(int g, const std::vector<std::shared_ptr<detail::Job>>& jobs);
+  /// Ranks a session may group (mu_ held): survivors minus quarantined —
+  /// unless that would be empty, in which case capacity wins and the
+  /// quarantine is ignored for this session.
+  std::vector<int> usable_ranks_locked() const;
+  /// Blocking-mode flush engine: dispatch rounds (sleeping out backoff
+  /// delays) until the queue drains, `deadline` passes between rounds, or a
+  /// non-recoverable session error occurs.  Returns whether the queue
+  /// drained.  The first session error lands in *first_error when non-null.
+  bool flush_blocking(std::optional<std::chrono::steady_clock::time_point> deadline,
+                      bool include_delayed, std::exception_ptr* first_error);
+  /// Async-mode flush barrier: wait (bounded when `deadline`) until every
+  /// job pending at entry resolved; returns whether that happened.
+  bool flush_async(std::optional<std::chrono::steady_clock::time_point> deadline);
   /// Periodic re-profiling (called between dispatches when configured).
   void maybe_reprofile();
   /// Resolve every not-yet-done job in `jobs` with `error`.
@@ -490,6 +594,15 @@ class BatchSolver {
   /// excluded from every subsequent session's groups.  Ascending, guarded by
   /// mu_; never cleared for the solver's lifetime.
   std::vector<int> dead_ranks_;
+  /// Fail-slow machinery (src/health/).  backoff_ is immutable after
+  /// construction; rank_health_ is guarded by mu_ (externally synchronized,
+  /// like sched_); watchdog_ is used only by the dispatching thread.
+  health::Backoff backoff_;
+  health::RankHealth rank_health_;
+  health::Watchdog watchdog_;
+  /// Model-predicted per-job seconds of the most recent dispatched round
+  /// (guarded by mu_): the basis of the admission retry-after hint.
+  double last_predicted_job_seconds_ = 0.0;
   /// Registry backing every serving metric (the old ad-hoc Stats fields
   /// migrated here).  Individual updates are relaxed atomics, but every bump
   /// happens under mu_ and stats() copies under mu_, so cross-counter
@@ -510,6 +623,14 @@ class BatchSolver {
     obs::Counter* plan_misses = nullptr;
     obs::Counter* attempts = nullptr;
     obs::Counter* recovered = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* requeues_timeout = nullptr;
+    obs::Counter* requeues_rank_death = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Counter* reinstated = nullptr;
+    obs::Gauge* quarantined_now = nullptr;
+    obs::Gauge* retry_after = nullptr;
+    obs::Histogram* backoff_delay = nullptr;
     obs::Gauge* serve_seconds = nullptr;
     obs::Histogram* latency = nullptr;
     obs::Histogram* queue_wait = nullptr;

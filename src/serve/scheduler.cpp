@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "la/error.hpp"
 
@@ -18,13 +19,40 @@ const char* priority_name(Priority p) {
   return "?";
 }
 
+const char* retry_cause_name(RetryCause c) {
+  switch (c) {
+    case RetryCause::RankDeath:
+      return "rank_death";
+    case RetryCause::Timeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string admission_message(std::size_t queue_depth, std::size_t max_queue_depth,
+                              double retry_after_seconds) {
+  std::string msg = "qr3d::serve: submission rejected — queue depth " +
+                    std::to_string(queue_depth) + " at the admission cap of " +
+                    std::to_string(max_queue_depth) +
+                    " (fail-fast backpressure; retry later or shed load)";
+  if (retry_after_seconds > 0.0)
+    msg += "; estimated retry-after " + std::to_string(retry_after_seconds) + " s";
+  return msg;
+}
+
+}  // namespace
+
 AdmissionError::AdmissionError(std::size_t queue_depth, std::size_t max_queue_depth)
-    : std::runtime_error("qr3d::serve: submission rejected — queue depth " +
-                         std::to_string(queue_depth) + " at the admission cap of " +
-                         std::to_string(max_queue_depth) +
-                         " (fail-fast backpressure; retry later or shed load)"),
+    : AdmissionError(queue_depth, max_queue_depth, 0.0) {}
+
+AdmissionError::AdmissionError(std::size_t queue_depth, std::size_t max_queue_depth,
+                               double retry_after_seconds)
+    : std::runtime_error(admission_message(queue_depth, max_queue_depth, retry_after_seconds)),
       queue_depth_(queue_depth),
-      max_queue_depth_(max_queue_depth) {}
+      max_queue_depth_(max_queue_depth),
+      retry_after_seconds_(retry_after_seconds) {}
 
 void Scheduler::push(std::shared_ptr<detail::Job> job) {
   QR3D_ASSERT(job != nullptr, "Scheduler::push: null job");
@@ -55,12 +83,14 @@ bool Scheduler::before(const detail::Job& a, const detail::Job& b,
   return a.seq < b.seq;  // FIFO tiebreak
 }
 
-std::shared_ptr<detail::Job> Scheduler::pop(std::chrono::steady_clock::time_point now) {
-  if (queue_.empty()) return nullptr;
-  auto best = queue_.begin();
-  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
-    if (before(**it, **best, now)) best = it;
+std::shared_ptr<detail::Job> Scheduler::pop(std::chrono::steady_clock::time_point now,
+                                            bool include_delayed) {
+  auto best = queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (!include_delayed && (*it)->ready_at > now) continue;
+    if (best == queue_.end() || before(**it, **best, now)) best = it;
   }
+  if (best == queue_.end()) return nullptr;
   std::shared_ptr<detail::Job> job = std::move(*best);
   queue_.erase(best);
   return job;
@@ -68,12 +98,13 @@ std::shared_ptr<detail::Job> Scheduler::pop(std::chrono::steady_clock::time_poin
 
 std::vector<std::shared_ptr<detail::Job>> Scheduler::pop_same_shape(
     la::index_t m, la::index_t n, std::size_t max_jobs,
-    std::chrono::steady_clock::time_point now) {
+    std::chrono::steady_clock::time_point now, bool include_delayed) {
   std::vector<std::shared_ptr<detail::Job>> out;
   while (out.size() < max_jobs) {
     auto best = queue_.end();
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if ((*it)->A.rows() != m || (*it)->A.cols() != n) continue;
+      if (!include_delayed && (*it)->ready_at > now) continue;
       if (best == queue_.end() || before(**it, **best, now)) best = it;
     }
     if (best == queue_.end()) break;
@@ -81,6 +112,19 @@ std::vector<std::shared_ptr<detail::Job>> Scheduler::pop_same_shape(
     queue_.erase(best);
   }
   return out;
+}
+
+bool Scheduler::has_ready(std::chrono::steady_clock::time_point now) const {
+  for (const auto& job : queue_)
+    if (job->ready_at <= now) return true;
+  return false;
+}
+
+std::optional<std::chrono::steady_clock::time_point> Scheduler::next_ready_at() const {
+  std::optional<std::chrono::steady_clock::time_point> next;
+  for (const auto& job : queue_)
+    if (!next || job->ready_at < *next) next = job->ready_at;
+  return next;
 }
 
 std::vector<std::shared_ptr<detail::Job>> Scheduler::drain() {

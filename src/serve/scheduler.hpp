@@ -72,14 +72,25 @@ inline constexpr int kPriorityClasses = 3;
 class AdmissionError : public std::runtime_error {
  public:
   AdmissionError(std::size_t queue_depth, std::size_t max_queue_depth);
+  /// With a retry hint: `retry_after_seconds` estimates when the queue will
+  /// have drained enough to admit a resubmission — depth at rejection times
+  /// the model-predicted per-job execution time of the last dispatched
+  /// round (0 when the solver has not dispatched anything yet, so no
+  /// prediction exists).  A *hint*, not a guarantee: it assumes the backlog
+  /// drains at the predicted rate with no further arrivals.
+  AdmissionError(std::size_t queue_depth, std::size_t max_queue_depth,
+                 double retry_after_seconds);
   /// Queue depth observed at the rejected submission.
   std::size_t queue_depth() const { return queue_depth_; }
   /// The configured admission cap.
   std::size_t max_queue_depth() const { return max_queue_depth_; }
+  /// Estimated seconds until a resubmission would be admitted (0 = unknown).
+  double retry_after_seconds() const { return retry_after_seconds_; }
 
  private:
   std::size_t queue_depth_;
   std::size_t max_queue_depth_;
+  double retry_after_seconds_ = 0.0;
 };
 
 /// Per-job scheduling directives, passed to BatchSolver::submit.  The
@@ -103,6 +114,23 @@ struct SubmitOptions {
   }
 };
 
+/// Why a job was sent back to the queue for another machine attempt.
+enum class RetryCause : int {
+  RankDeath = 0,  ///< its session lost ranks (fault::RankDeath)
+  Timeout = 1,    ///< its session blew the watchdog deadline (fail-slow)
+};
+
+/// Human-readable cause name ("rank_death" / "timeout").
+const char* retry_cause_name(RetryCause c);
+
+/// One requeue of a job: why it went back, and the deterministic backoff
+/// delay it waited before becoming dispatchable again (0 when backoff is
+/// disabled — ServeOptions::with_retry_backoff).
+struct RetryRecord {
+  RetryCause cause = RetryCause::RankDeath;
+  double backoff_seconds = 0.0;
+};
+
 /// Per-job measurements, valid once the job has resolved successfully.
 struct JobStats {
   double wall_seconds = 0.0;   ///< time inside the machine for this job
@@ -120,7 +148,11 @@ struct JobStats {
   bool plan_cache_hit = false;  ///< shape plan came from the cache
   int group_ranks = 0;          ///< ranks of the group the job ran on
   int attempts = 0;             ///< machine attempts (> 1 after a requeue)
-  bool recovered = false;       ///< solved after a rank-death requeue
+  bool recovered = false;       ///< solved after a fault/timeout requeue
+  /// One record per requeue, in order: why the job went back (rank death vs
+  /// session timeout) and the backoff delay it waited.  Size == attempts - 1
+  /// for a job that eventually resolved through the self-healing path.
+  std::vector<RetryRecord> retries;
   Priority priority = Priority::Normal;  ///< class the job was submitted at
   /// 1-based machine round (BatchSolver::Stats::sessions value) that last
   /// dispatched the job; 0 if it never entered the machine.  Tests pin
@@ -153,7 +185,11 @@ struct Job {
   bool dispatched = false;  ///< entered the machine at least once
   std::chrono::steady_clock::time_point dispatched_at;  ///< first machine dispatch
   int attempts = 0;         ///< machine attempts so far
-  std::exception_ptr original_death;  ///< first rank-death session error
+  std::exception_ptr original_error;  ///< first recoverable session error
+  /// Retry backoff: the job is not dispatchable before this instant
+  /// (default epoch = immediately).  Set on requeue from the deterministic
+  /// backoff schedule; the scheduler's pop skips not-yet-ready jobs.
+  std::chrono::steady_clock::time_point ready_at{};
 };
 
 }  // namespace detail
@@ -174,16 +210,29 @@ class Scheduler {
   void push(std::shared_ptr<detail::Job> job);
 
   /// Remove and return the best-ranked job at `now` — minimal
-  /// (effective class, deadline, seq) — or nullptr when empty.
-  std::shared_ptr<detail::Job> pop(std::chrono::steady_clock::time_point now);
+  /// (effective class, deadline, seq) — or nullptr when no job is ready.
+  /// Jobs whose retry backoff has not elapsed (ready_at > now) are skipped
+  /// unless `include_delayed` (the shutdown drain ignores backoff: a job
+  /// waiting out a delay must still resolve before the solver dies).
+  std::shared_ptr<detail::Job> pop(std::chrono::steady_clock::time_point now,
+                                   bool include_delayed = false);
 
   /// Remove and return up to `max_jobs` further jobs with shape (m, n), in
   /// scheduling order at `now`.  The dispatcher uses this to fill the idle
   /// rank groups of the round it is about to run: same-shape jobs share the
   /// popped job's plan, so they ride along for free whatever their class.
+  /// Backoff-delayed jobs are skipped unless `include_delayed`.
   std::vector<std::shared_ptr<detail::Job>> pop_same_shape(
       la::index_t m, la::index_t n, std::size_t max_jobs,
-      std::chrono::steady_clock::time_point now);
+      std::chrono::steady_clock::time_point now, bool include_delayed = false);
+
+  /// Is any queued job dispatchable at `now` (retry backoff elapsed)?
+  bool has_ready(std::chrono::steady_clock::time_point now) const;
+
+  /// Earliest instant at which some queued job is (or becomes) dispatchable
+  /// — the executor's sleep target when the whole queue is backing off.
+  /// nullopt when the queue is empty.
+  std::optional<std::chrono::steady_clock::time_point> next_ready_at() const;
 
   /// Remove and return everything (abort/shutdown drain), in push order.
   std::vector<std::shared_ptr<detail::Job>> drain();

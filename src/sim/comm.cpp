@@ -21,6 +21,7 @@ void SimComm::send(int dst, std::vector<double>&& payload, int tag) {
   clock_->time += cp.alpha + cp.beta * w;
   totals_->msgs_sent += 1;
   totals_->words_sent += w;
+  machine_->check_deadline(*clock_, me_global);
 
   const int dst_global = group_->members[static_cast<std::size_t>(dst)];
   // Trace before the mailbox push: the send event must be globally ordered
@@ -61,6 +62,7 @@ std::vector<double> SimComm::recv(int src, int tag) {
   clock_->msgs += 1;
   clock_->words += w;
   clock_->time += cp.alpha + cp.beta * w;
+  machine_->check_deadline(*clock_, me_global);
   if (obs::TraceSink* ts = machine_->trace_.get()) {
     obs::TraceEvent ev;
     ev.kind = obs::TraceEvent::Kind::Recv;
@@ -83,6 +85,7 @@ void SimComm::charge_flops(double f) {
   clock_->flops += f;
   clock_->time += f * machine_->params().gamma;
   totals_->flops += f;
+  machine_->check_deadline(*clock_, group_->members[static_cast<std::size_t>(rank_)]);
   if (f != 0.0) {
     if (obs::TraceSink* ts = machine_->trace_.get()) {
       obs::TraceEvent ev;

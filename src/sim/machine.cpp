@@ -1,9 +1,12 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "health/timeout.hpp"
 #include "la/error.hpp"
 #include "sim/comm.hpp"
 
@@ -63,6 +66,36 @@ Machine::Machine(int P, CostParams params)
     : P_(P), params_(std::move(params)), mailboxes_(static_cast<std::size_t>(P)),
       clocks_(static_cast<std::size_t>(P)), totals_(static_cast<std::size_t>(P)) {
   QR3D_CHECK(P >= 1, "machine needs at least one processor");
+  // Virtual-deadline stall semantics: an injected Stall under an armed
+  // session deadline does not block wall time at all — the stalling rank's
+  // cost clock jumps to EXACTLY the deadline (a stalled rank makes no
+  // progress, so the watchdog fires precisely when the deadline passes on
+  // the predicted timeline) and throws the typed timeout.  Without a
+  // deadline the hook returns and the injector wall-blocks until abort, the
+  // pre-watchdog behavior.
+  injector_.set_stall_hook([this](int rank) {
+    const double deadline = session_deadline_;
+    if (deadline <= 0.0) return;
+    CostClock& clock = clocks_[static_cast<std::size_t>(rank)];
+    clock.time = std::max(clock.time, deadline);
+    timed_out_.store(true, std::memory_order_release);
+    throw health::SessionTimeout(
+        deadline, rank,
+        "qr3d::sim: rank " + std::to_string(rank) +
+            " stalled past the session deadline of " + std::to_string(deadline) +
+            " simulated seconds (fail-slow converted to fail-stop)");
+  });
+}
+
+void Machine::check_deadline(const CostClock& clock, int rank) {
+  const double deadline = session_deadline_;
+  if (deadline <= 0.0 || clock.time <= deadline) return;
+  timed_out_.store(true, std::memory_order_release);
+  throw health::SessionTimeout(
+      deadline, rank,
+      "qr3d::sim: rank " + std::to_string(rank) + " crossed the session deadline of " +
+          std::to_string(deadline) + " simulated seconds at predicted time " +
+          std::to_string(clock.time));
 }
 
 void Machine::run(const std::function<void(backend::Comm&)>& body) {
@@ -70,6 +103,7 @@ void Machine::run(const std::function<void(backend::Comm&)>& body) {
   for (auto& c : clocks_) c = CostClock{};
   for (auto& t : totals_) t = CostTotals{};
   aborted_ = false;
+  timed_out_.store(false, std::memory_order_relaxed);
   next_context_ = 1;
   injector_.reset_run();
   {

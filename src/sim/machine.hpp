@@ -118,6 +118,22 @@ class Machine : public backend::Machine {
   /// the oracle the thread backend's fault behavior conforms to.
   void set_fault_plan(fault::Plan plan) override { injector_.install(std::move(plan), P_); }
   std::vector<int> last_run_deaths() const override { return injector_.deaths(); }
+  std::vector<int> last_run_stalls() const override { return injector_.stalls(); }
+
+  /// Virtual-clock session deadline (`seconds` of simulated time per run; 0
+  /// clears): a rank whose cost clock crosses it throws
+  /// health::SessionTimeout, and an injected Stall advances the stalling
+  /// rank's clock to EXACTLY the deadline and throws — no wall time passes,
+  /// and the firing point is a deterministic function of the cost model, so
+  /// tests pin it bitwise (the simulator is the fail-slow oracle).  Enforced
+  /// by this backend: returns true.
+  bool set_session_deadline(double seconds) override {
+    session_deadline_ = seconds;
+    return true;
+  }
+  bool last_run_timed_out() const override {
+    return timed_out_.load(std::memory_order_acquire);
+  }
 
   /// Event tracing on the *predicted* clock: every send/recv/flop charge
   /// emits a TraceEvent whose t0/t1 are the rank's cost-model time before
@@ -134,6 +150,10 @@ class Machine : public backend::Machine {
 
   std::uint64_t new_context() { return next_context_++; }
   bool aborted() const { return aborted_; }
+  /// Deadline check at every cost-charge point (called on the rank's own
+  /// thread after its clock advanced): past the deadline, record the timeout
+  /// and throw health::SessionTimeout.
+  void check_deadline(const CostClock& clock, int rank);
 
   int P_;
   CostParams params_;
@@ -148,6 +168,11 @@ class Machine : public backend::Machine {
   std::mutex run_mu_;
   bool run_active_ = false;
   fault::Injector injector_;
+  /// Session deadline in simulated seconds (0 = off).  Written driver-side
+  /// while idle; read by worker threads (ordered by spawn/join).
+  double session_deadline_ = 0.0;
+  /// Set (release) by the rank that crossed the deadline; reset per run.
+  std::atomic<bool> timed_out_{false};
   double wall_seconds_ = 0.0;
   std::shared_ptr<obs::TraceSink> trace_;
   // Sum of earlier runs' critical-path times: the trace-time offset that

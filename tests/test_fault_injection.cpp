@@ -545,8 +545,9 @@ TEST(SelfHealingServe, DeterministicFaultSweepCompletesEveryJob) {
 TEST(SelfHealingServe, TraceRecordsDeathAndRequeue) {
   // The observability contract for fault recovery: a traced serving run that
   // suffers a rank death records a "rank_death" instant on the machine track
-  // (the victim's rank, at its death time) and a "requeue" instant per job
-  // sent back to the queue on the serving track — and both survive into the
+  // (the victim's rank, at its death time) and a cause-tagged
+  // "requeue (rank_death)" instant per job sent back to the queue on the
+  // serving track — and both survive into the
   // Chrome trace export the kill-sweep smoke ships as a CI artifact.
   const int P = 4;
   auto trace = std::make_shared<qr3d::obs::TraceBuffer>();
@@ -575,7 +576,7 @@ TEST(SelfHealingServe, TraceRecordsDeathAndRequeue) {
       ++deaths;
       EXPECT_EQ(e.track, 0);  // machine track
       EXPECT_EQ(e.rank, 3);   // the planned victim
-    } else if (e.name == "requeue") {
+    } else if (e.name == "requeue (rank_death)") {
       ++requeues;
       EXPECT_EQ(e.track, 1);  // serving track
     }
@@ -616,4 +617,147 @@ TEST(SelfHealingServe, ExhaustedRetriesRethrowOriginalRankDeath) {
   serve::JobHandle h2 = srv.submit(q.A, q.b);
   srv.flush();
   EXPECT_LT(solution_error(h2.get(), q.x_true), 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: mixed random kills and stalls (src/health/ + self-healing together)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+namespace health = qr3d::health;
+
+/// Bitwise equality: a recovered job must reproduce the clean run exactly
+/// (the retry runs at the same group size, so the arithmetic is identical).
+void expect_bitwise_equal(const la::Matrix& a, const la::Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j)
+      ASSERT_EQ(a(i, j), b(i, j)) << what << " differs at (" << i << ", " << j << ")";
+}
+
+/// Serving options for the chaos sweep: fixed group size (bitwise retries),
+/// enough attempts to outlast one kill + one stall, the fail-slow watchdog
+/// armed, and tiny declared params so the deadline floor governs (0.05
+/// virtual seconds on the simulator, 0.2 wall seconds on threads).
+serve::ServeOptions chaos_opts(qr3d::Backend be) {
+  serve::ServeOptions opts;
+  opts.with_ranks(4)
+      .with_group_ranks(2)
+      .with_max_attempts(4)
+      .with_session_timeout_factor(3.0)
+      .with_qr(qr3d::QrOptions().with_tune_for_machine().with_backend(be))
+      .with_params(sim::CostParams{1e-7, 1e-9, 1e-10});
+  opts.with_session_timeout_floor(be == qr3d::Backend::Thread ? 0.2 : 0.05);
+  return opts;
+}
+
+}  // namespace
+
+TEST(FaultPlan, RandomFaultsPreserveTheKillDraw) {
+  // Adding stalls to a chaos plan must not reshuffle the kill draw: the
+  // kill prefix of random_faults is bit-identical to random_kills under the
+  // same seed, so a kills-only baseline stays comparable.
+  for (std::uint64_t seed : {7u, 42u, 1234u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto kills = fault::Plan::random_kills(8, 3, 20, seed);
+    const auto none = fault::Plan::random_faults(8, 3, 0, 20, seed);
+    const auto mixed = fault::Plan::random_faults(8, 3, 2, 20, seed);
+    ASSERT_EQ(none.events.size(), kills.events.size());
+    ASSERT_EQ(mixed.events.size(), kills.events.size() + 2);
+    for (std::size_t i = 0; i < kills.events.size(); ++i) {
+      for (const auto* p : {&none.events[i], &mixed.events[i]}) {
+        EXPECT_EQ(p->rank, kills.events[i].rank) << "event " << i;
+        EXPECT_EQ(p->step, kills.events[i].step) << "event " << i;
+        EXPECT_EQ(p->action, fault::Action::Kill) << "event " << i;
+      }
+    }
+    for (std::size_t i = kills.events.size(); i < mixed.events.size(); ++i)
+      EXPECT_EQ(mixed.events[i].action, fault::Action::Stall) << "event " << i;
+  }
+}
+
+TEST(SelfHealingServe, StallSweepCompletesEveryJob) {
+  // The stall-side counterpart of DeterministicFaultSweepCompletesEveryJob
+  // (the CI smoke runs both): stall each rank at each step class; with the
+  // watchdog armed the BatchSolver must complete 100% of the jobs.
+  const int P = 4;
+  for (int victim = 0; victim < P; ++victim) {
+    for (std::uint64_t step : {1u, 5u, 9u, 17u, 33u}) {
+      SCOPED_TRACE("victim=" + std::to_string(victim) + " step=" + std::to_string(step));
+      serve::BatchSolver srv(chaos_opts(qr3d::Backend::Simulated));
+      srv.machine().set_fault_plan(fault::Plan::stall(victim, step));
+
+      std::vector<Planted> problems;
+      std::vector<serve::JobHandle> handles;
+      for (int j = 0; j < 4; ++j) {
+        problems.push_back(planted_problem(40, 8, 900 + 2 * static_cast<std::uint64_t>(j)));
+        handles.push_back(srv.submit(problems.back().A, problems.back().b));
+      }
+      srv.flush();
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_LT(solution_error(handles[static_cast<std::size_t>(j)].get(),
+                                 problems[static_cast<std::size_t>(j)].x_true),
+                  1e-10)
+            << "job " << j;
+      }
+      const auto st = srv.stats();
+      EXPECT_EQ(st.jobs_completed, 4u);
+      EXPECT_EQ(st.jobs_failed, 0u);
+      EXPECT_GE(st.session_timeouts, 1u);
+    }
+  }
+}
+
+TEST(SelfHealingServe, ChaosSweepMixedKillsAndStalls) {
+  // Seeded chaos on both backends: one random kill AND one random stall per
+  // run.  Whatever the interleaving, every job must either complete bitwise
+  // identical to a clean run or fail with the original typed error — never
+  // hang, never surface a wrapper.  The seed is in the trace so a failure
+  // reproduces exactly.
+  const index_t m = 40, n = 8;
+  const int kJobs = 4;
+  std::vector<Planted> problems;
+  for (int j = 0; j < kJobs; ++j)
+    problems.push_back(planted_problem(m, n, 3000 + 2 * static_cast<std::uint64_t>(j)));
+
+  for (qr3d::Backend be : {qr3d::Backend::Simulated, qr3d::Backend::Thread}) {
+    // Clean reference run per backend (identical options, no faults).
+    std::vector<la::Matrix> clean;
+    {
+      serve::BatchSolver srv(chaos_opts(be));
+      std::vector<serve::JobHandle> hs;
+      for (const auto& p : problems) hs.push_back(srv.submit(p.A, p.b));
+      srv.flush();
+      for (auto& h : hs) clean.push_back(h.get());
+    }
+
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      SCOPED_TRACE(std::string(be == qr3d::Backend::Simulated ? "sim" : "thread") +
+                   " seed=" + std::to_string(seed));
+      serve::BatchSolver srv(chaos_opts(be));
+      srv.machine().set_fault_plan(fault::Plan::random_faults(4, 1, 1, 12, seed));
+
+      std::vector<serve::JobHandle> hs;
+      for (const auto& p : problems) hs.push_back(srv.submit(p.A, p.b));
+      srv.flush();
+
+      for (int j = 0; j < kJobs; ++j) {
+        const auto& h = hs[static_cast<std::size_t>(j)];
+        ASSERT_TRUE(h.ready()) << "job " << j << " left unresolved";
+        try {
+          expect_bitwise_equal(h.get(), clean[static_cast<std::size_t>(j)], "chaos");
+        } catch (const fault::RankDeath&) {
+          // Typed original error: acceptable only if retries were exhausted.
+        } catch (const health::SessionTimeout&) {
+          // Likewise for the fail-slow path.
+        }
+      }
+      const auto st = srv.stats();
+      EXPECT_EQ(st.jobs_completed + st.jobs_failed, static_cast<std::uint64_t>(kJobs));
+      // One kill + one stall against four attempts: nothing should exhaust.
+      EXPECT_EQ(st.jobs_failed, 0u);
+    }
+  }
 }
