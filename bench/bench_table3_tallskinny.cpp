@@ -9,11 +9,22 @@
 // shape: TSQR kills 1D-HOUSE's Theta(n) latency factor; 1D-CAQR-EG (eps = 1)
 // further removes the log P bandwidth factor at a log P latency price.
 //
+// Beyond the paper's table the harness carries the serving layer's fast
+// path: CHOLESKYQR2 (two Gram all-reduces, explicit Q) rides as an extra row
+// so its constant-messages / low-word profile sits next to TSQR's.
+// --algo=<key> (house1d | tsqr | caqr_eg_1d | choleskyqr2) restricts the
+// sweep to one algorithm's rows; --smoke gates the headline claim the
+// serving dispatch relies on — on the default simulated machine, CholeskyQR2
+// predicts >= 1.5x faster than TSQR at every tall-skinny shape in the sweep
+// (exit 2 otherwise).
+//
 // --trace=<path> additionally runs one TSQR at the smallest P with an
 // obs::TraceBuffer installed and writes the per-rank comm timeline as Chrome
 // trace_event JSON (sim backend: the cost model's predicted timeline; thread
 // backend: measured wall clock).
 #include "bench_util.hpp"
+
+#include <cstring>
 
 namespace b = qr3d::bench;
 namespace core = qr3d::core;
@@ -25,6 +36,9 @@ namespace sim = qr3d::sim;
 int main(int argc, char** argv) {
   const backend::Kind kind = b::parse_backend(argc, argv);
   const char* json_path = b::parse_flag(argc, argv, "--json");
+  const char* algo_filter = b::parse_flag(argc, argv, "--algo");
+  const bool smoke = b::has_flag(argc, argv, "--smoke");
+  bool smoke_ok = true;
   b::banner("E3", "Table 3: QR costs for tall/skinny matrices (m/n >= P)");
   if (kind == backend::Kind::Thread)
     std::printf("backend=%s: real std::thread ranks, wall-clock measured\n\n", backend::kind_name(kind));
@@ -45,8 +59,9 @@ int main(int argc, char** argv) {
                                               "words(meas)", "words(model)", "w-ratio",
                                               "msgs(meas)", "msgs(model)", "m-ratio"});
 
-    auto run = [&](const char* name, const cost::Costs& model,
+    auto run = [&](const char* name, const char* key, const cost::Costs& model,
                    const std::function<void(backend::Comm&, la::ConstMatrixView)>& algo) {
+      if (algo_filter && std::strcmp(algo_filter, key) != 0) return;
       auto body = [&](backend::Comm& c) {
         la::Matrix Al = b::block_local(c, A);
         algo(c, la::ConstMatrixView(Al.view()));
@@ -77,17 +92,34 @@ int main(int argc, char** argv) {
       json.end_object();
     };
 
-    run("1D-HOUSE", cost::table3_house_1d(m, n, P),
+    run("1D-HOUSE", "house1d", cost::table3_house_1d(m, n, P),
         [](backend::Comm& c, la::ConstMatrixView Al) { core::house_1d(c, Al); });
-    run("TSQR", cost::table3_tsqr(m, n, P),
+    run("TSQR", "tsqr", cost::table3_tsqr(m, n, P),
         [](backend::Comm& c, la::ConstMatrixView Al) { core::tsqr(c, Al); });
+    run("CHOLESKYQR2", "choleskyqr2", cost::cholesky_qr2(m, n, P),
+        [](backend::Comm& c, la::ConstMatrixView Al) { core::cholesky_qr2(c, Al); });
     for (double eps : {0.0, 0.5, 1.0}) {
       core::CaqrEg1dOptions opts;
       opts.epsilon = eps;
       char name[64];
       std::snprintf(name, sizeof(name), "1D-CAQR-EG (eps=%.1f)", eps);
-      run(name, cost::table3_caqr_eg_1d(m, n, P, eps),
+      run(name, "caqr_eg_1d", cost::table3_caqr_eg_1d(m, n, P, eps),
           [&](backend::Comm& c, la::ConstMatrixView Al) { core::caqr_eg_1d(c, Al, opts); });
+    }
+
+    // The serving dispatch's headline: on the default simulated machine the
+    // fast path must predict at least 1.5x faster than TSQR at this shape
+    // (test_cost_regression pins the model terms; this gates the claim in CI
+    // as the sweep's shapes evolve).
+    if (smoke) {
+      const double t_tsqr = cost::tsqr(static_cast<double>(m), static_cast<double>(n), P)
+                                .time(sim::CostParams{});
+      const double t_cq2 = cost::cholesky_qr2(static_cast<double>(m), static_cast<double>(n), P)
+                               .time(sim::CostParams{});
+      const double speedup = t_tsqr / t_cq2;
+      std::printf("smoke: CHOLESKYQR2 predicted %.2fx TSQR at P=%d %s\n", speedup, P,
+                  speedup >= 1.5 ? "(>= 1.5x ok)" : "(FAIL: below 1.5x gate)");
+      if (speedup < 1.5) smoke_ok = false;
     }
     if (kind == backend::Kind::Simulated) {
       const auto lb = cost::lower_bound_tall_skinny(m, n, P);
@@ -122,5 +154,6 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%zu trace events; open in chrome://tracing)\n", trace_path,
                 trace->size());
   }
+  if (smoke && !smoke_ok) return 2;
   return 0;
 }

@@ -26,6 +26,28 @@ enum class Algorithm {
   BaseCase,  ///< force the tall-skinny path (b = n)
 };
 
+/// The per-job accuracy/speed contract (docs/TUNING.md "Accuracy/speed
+/// contract").  It steers the serving layer's algorithm dispatch for
+/// tall-skinny least-squares jobs:
+///
+///   * Fast     — CholeskyQR2 with a float first pass (double refinement),
+///                guarded at core::kFastMaxCondition;
+///   * Balanced — CholeskyQR2 in double, guarded at
+///                core::kBalancedMaxCondition;
+///   * Accurate — always the Householder path (TSQR / 3D-CAQR-EG),
+///                unconditionally backward stable.
+///
+/// Fast and Balanced are contracts about the *attempt*, not the result: a
+/// guard trip or non-SPD Gram falls back to the Householder path in-session
+/// (serve::JobStats::cholesky_fallbacks), so every mode returns a correct
+/// factorization — the modes trade how much conditioning headroom is
+/// required before the gemm-dominant fast path is tried.
+enum class Accuracy {
+  Fast,      ///< CholeskyQR2, float first pass; tightest condition guard
+  Balanced,  ///< CholeskyQR2 in double with the standard guard (default)
+  Accurate,  ///< Householder only: no conditioning assumptions
+};
+
 struct QrOptions {
   Algorithm algorithm = Algorithm::Auto;
   /// Tune (delta, epsilon) for the machine's cost parameters instead of the

@@ -1,0 +1,227 @@
+#include "core/cholesky_qr2.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/flops.hpp"
+#include "la/packing.hpp"
+
+namespace qr3d::core {
+
+namespace {
+
+la::Matrix widen(const la::MatrixT<float>& a) {
+  la::Matrix out(a.rows(), a.cols());
+  for (la::index_t j = 0; j < a.cols(); ++j)
+    for (la::index_t i = 0; i < a.rows(); ++i) out(i, j) = static_cast<double>(a(i, j));
+  return out;
+}
+
+la::MatrixT<float> narrow(la::ConstMatrixView a) {
+  la::MatrixT<float> out(a.rows(), a.cols());
+  for (la::index_t j = 0; j < a.cols(); ++j)
+    for (la::index_t i = 0; i < a.rows(); ++i) out(i, j) = static_cast<float>(a(i, j));
+  return out;
+}
+
+/// Sum the local Gram contributions: pack the upper triangle (the message
+/// size the paper counts, n(n+1)/2 words), all-reduce, unpack.  Every rank
+/// ends with the same replicated Gram — the basis for both the deterministic
+/// condition guard and the rank-symmetric Cholesky.
+la::Matrix reduce_gram(backend::Comm& comm, la::ConstMatrixView gram_local, coll::Alg alg) {
+  std::vector<double> packed = la::pack_upper(gram_local);
+  coll::all_reduce(comm, packed, alg);
+  return la::unpack_upper(gram_local.rows(), packed);
+}
+
+/// A-priori dispatch guard on the replicated Gram (all ranks estimate the
+/// same value, so all ranks throw together or none does).
+void check_condition_guard(backend::Comm& comm, const la::Matrix& gram,
+                           const CholeskyQr2Options& opts) {
+  const la::index_t n = gram.rows();
+  const double est =
+      estimate_condition_from_gram(la::ConstMatrixView(gram.view()), opts.condition_iters);
+  comm.charge_flops(la::flops::cholesky(static_cast<double>(n)) +
+                    opts.condition_iters *
+                        (la::flops::gemm(static_cast<double>(n), 1.0, static_cast<double>(n)) +
+                         2.0 * la::flops::trsm(static_cast<double>(n), 1.0)));
+  if (!(est <= opts.max_condition)) {
+    throw CholeskyQrUnstable("cholesky_qr2: estimated condition " + std::to_string(est) +
+                             " exceeds the dispatch guard " + std::to_string(opts.max_condition));
+  }
+}
+
+/// Cholesky with the typed-failure translation: a non-SPD Gram is the
+/// canonical "kappa^2 overwhelmed the precision" outcome.
+template <class T>
+void cholesky_or_throw(la::MatrixViewT<T> gram) {
+  try {
+    la::cholesky<T>(gram);
+  } catch (const la::NotPositiveDefinite& e) {
+    throw CholeskyQrUnstable(std::string("cholesky_qr2: Gram matrix is not positive definite "
+                                         "in the working precision (") +
+                             e.what() + ")");
+  }
+}
+
+/// One double-precision CholeskyQR pass: X := X R^{-1}, returns R.
+la::Matrix pass_double(backend::Comm& comm, la::Matrix& X, const CholeskyQr2Options& opts,
+                       bool guard) {
+  const la::index_t mp = X.rows();
+  const la::index_t n = X.cols();
+  la::Matrix G = la::multiply<double>(la::Op::ConjTrans, la::ConstMatrixView(X.view()),
+                                      la::Op::NoTrans, la::ConstMatrixView(X.view()));
+  comm.charge_flops(la::flops::gemm(static_cast<double>(n), static_cast<double>(n),
+                                    static_cast<double>(mp)));
+  G = reduce_gram(comm, la::ConstMatrixView(G.view()), opts.allreduce_alg);
+  if (guard && opts.max_condition > 0.0) check_condition_guard(comm, G, opts);
+  cholesky_or_throw<double>(G.view());
+  comm.charge_flops(la::flops::cholesky(static_cast<double>(n)));
+  la::trsm(la::Side::Right, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0,
+           la::ConstMatrixView(G.view()), X.view());
+  comm.charge_flops(la::flops::trsm(static_cast<double>(n), static_cast<double>(mp)));
+  return G;
+}
+
+/// The float first pass: gram, Cholesky and solve all in float; only the
+/// all-reduce wire stays double (the canonical message format — word counts
+/// are identical, so the cost pins hold for both precisions).  X comes back
+/// widened for the double refinement pass.
+la::Matrix pass_float(backend::Comm& comm, la::Matrix& X, const CholeskyQr2Options& opts,
+                      bool guard) {
+  const la::index_t mp = X.rows();
+  const la::index_t n = X.cols();
+  la::MatrixT<float> Xf = narrow(la::ConstMatrixView(X.view()));
+  la::MatrixT<float> Gf = la::multiply<float>(la::Op::ConjTrans, la::ConstMatrixViewT<float>(Xf.view()),
+                                              la::Op::NoTrans, la::ConstMatrixViewT<float>(Xf.view()));
+  comm.charge_flops(la::flops::gemm(static_cast<double>(n), static_cast<double>(n),
+                                    static_cast<double>(mp)));
+  la::Matrix G = widen(Gf);
+  G = reduce_gram(comm, la::ConstMatrixView(G.view()), opts.allreduce_alg);
+  if (guard && opts.max_condition > 0.0) check_condition_guard(comm, G, opts);
+  la::MatrixT<float> Rf = narrow(la::ConstMatrixView(G.view()));
+  cholesky_or_throw<float>(Rf.view());
+  comm.charge_flops(la::flops::cholesky(static_cast<double>(n)));
+  la::trsm(la::Side::Right, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0f,
+           la::ConstMatrixViewT<float>(Rf.view()), Xf.view());
+  comm.charge_flops(la::flops::trsm(static_cast<double>(n), static_cast<double>(mp)));
+  X = widen(Xf);
+  return widen(Rf);
+}
+
+}  // namespace
+
+double estimate_condition_from_gram(la::ConstMatrixView gram, int iters) {
+  const la::index_t n = gram.rows();
+  QR3D_CHECK(gram.cols() == n, "estimate_condition_from_gram: Gram matrix must be square");
+  QR3D_CHECK(iters >= 1, "estimate_condition_from_gram: need at least one iteration");
+  if (n == 1) return 1.0;
+
+  const double inv_sqrt_n = 1.0 / std::sqrt(static_cast<double>(n));
+  auto norm = [&](const la::Matrix& v) {
+    double s = 0.0;
+    for (la::index_t i = 0; i < n; ++i) s += v(i, 0) * v(i, 0);
+    return std::sqrt(s);
+  };
+
+  // lambda_max by plain power iteration from the deterministic all-ones
+  // direction; ||G v|| of a unit v converges to the top eigenvalue.
+  la::Matrix v(n, 1), w(n, 1);
+  for (la::index_t i = 0; i < n; ++i) v(i, 0) = inv_sqrt_n;
+  double lambda_max = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    la::gemm(1.0, la::Op::NoTrans, gram, la::Op::NoTrans, la::ConstMatrixView(v.view()), 0.0,
+             w.view());
+    lambda_max = norm(w);
+    if (lambda_max <= 0.0) return std::numeric_limits<double>::infinity();
+    for (la::index_t i = 0; i < n; ++i) v(i, 0) = w(i, 0) / lambda_max;
+  }
+
+  // lambda_min by INVERSE iteration through a Cholesky of a copy.  Power
+  // iteration on the shifted operator lambda_max*I - G does NOT work here:
+  // recovering lambda_min from (lambda_max - lambda_shift) needs the shift
+  // estimate accurate to lambda_min/lambda_max RELATIVE error, far beyond
+  // what a few matvecs deliver on the nearly degenerate shifted spectrum —
+  // an earlier implementation did exactly that and under-reported kappa=1e6
+  // as ~20, silently disarming the dispatch guard (pinned by the
+  // conditioning sweep in tests/test_accuracy_sweep.cpp).  Inverse iteration
+  // instead converges at rate lambda_min/lambda_{next} — fast for graded
+  // spectra — and a Gram whose Cholesky fails outright is by definition
+  // conditioned beyond the working precision.
+  la::Matrix R = la::copy<double>(gram);
+  try {
+    la::cholesky<double>(R.view());
+  } catch (const la::NotPositiveDefinite&) {
+    return std::numeric_limits<double>::infinity();
+  }
+  for (la::index_t i = 0; i < n; ++i) v(i, 0) = inv_sqrt_n;
+  double growth = 0.0;  // ||G^{-1} v|| of a unit v -> 1 / lambda_min
+  for (int it = 0; it < iters; ++it) {
+    la::assign<double>(w.view(), la::ConstMatrixView(v.view()));
+    la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::ConjTrans, la::Diag::NonUnit, 1.0,
+             la::ConstMatrixView(R.view()), w.view());
+    la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0,
+             la::ConstMatrixView(R.view()), w.view());
+    growth = norm(w);
+    if (!(growth > 0.0) || !std::isfinite(growth))
+      return std::numeric_limits<double>::infinity();
+    for (la::index_t i = 0; i < n; ++i) v(i, 0) = w(i, 0) / growth;
+  }
+
+  return std::sqrt(lambda_max * growth);  // kappa(A) = sqrt(lambda_max / lambda_min)
+}
+
+ExplicitQr cholesky_qr2(backend::Comm& comm, la::ConstMatrixView A_local,
+                        const CholeskyQr2Options& opts) {
+  const la::index_t n = A_local.cols();
+  QR3D_CHECK(n >= 1, "cholesky_qr2: need at least one column");
+  QR3D_CHECK(opts.condition_iters >= 1, "cholesky_qr2: condition_iters must be >= 1");
+
+  ExplicitQr out;
+  out.Q = la::copy<double>(A_local);
+
+  // Pass 1 factors (with the guard); pass 2 *is* the reorthogonalization —
+  // always double, so a float pass 1 gets its precision refined here.
+  la::Matrix R1 = opts.factor_in_float ? pass_float(comm, out.Q, opts, /*guard=*/true)
+                                       : pass_double(comm, out.Q, opts, /*guard=*/true);
+  la::Matrix R2 = pass_double(comm, out.Q, opts, /*guard=*/false);
+
+  // A = Q (R2 R1): combine the replicated triangles locally.
+  la::trmm(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0,
+           la::ConstMatrixView(R2.view()), R1.view());
+  comm.charge_flops(la::flops::trmm(static_cast<double>(n), static_cast<double>(n)));
+  out.R = std::move(R1);
+  return out;
+}
+
+la::Matrix cholesky_qr2_least_squares(backend::Comm& comm, la::ConstMatrixView A_local,
+                                      la::ConstMatrixView B_local,
+                                      const CholeskyQr2Options& opts) {
+  QR3D_CHECK(A_local.rows() == B_local.rows(),
+             "cholesky_qr2_least_squares: A and B must agree on local rows");
+  const la::index_t n = A_local.cols();
+  const la::index_t k = B_local.cols();
+  const la::index_t mp = A_local.rows();
+
+  ExplicitQr f = cholesky_qr2(comm, A_local, opts);
+
+  // y = Q^T B: local contribution plus one n*k-word all-reduce.
+  la::Matrix y = la::multiply<double>(la::Op::ConjTrans, la::ConstMatrixView(f.Q.view()),
+                                      la::Op::NoTrans, B_local);
+  comm.charge_flops(la::flops::gemm(static_cast<double>(n), static_cast<double>(k),
+                                    static_cast<double>(mp)));
+  std::vector<double> flat = la::to_vector(la::ConstMatrixView(y.view()));
+  coll::all_reduce(comm, flat, opts.allreduce_alg);
+  y = la::from_vector(n, k, flat);
+
+  // Solve R x = y; R and y are replicated, so x is too.
+  la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0,
+           la::ConstMatrixView(f.R.view()), y.view());
+  comm.charge_flops(la::flops::trsm(static_cast<double>(n), static_cast<double>(k)));
+  return y;
+}
+
+}  // namespace qr3d::core

@@ -1,0 +1,110 @@
+// CholeskyQR2: the conditioning-dependent fast path for tall-skinny QR.
+//
+// One CholeskyQR pass is three steps — Gram matrix G = A^T A (local gemm +
+// one all-reduce of the packed upper triangle), Cholesky G = R^T R, and the
+// triangular solve Q = A R^{-1} — and costs O(mn^2/P) *gemm-shaped* flops,
+// O(n^2) words and O(log P) messages.  Its orthogonality error grows like
+// kappa(A)^2 * eps, so a second pass on Q recovers O(eps) orthogonality
+// whenever the first pass succeeds at all ("CholeskyQR2", see also
+// "Communication-avoiding CholeskyQR2 for rectangular matrices",
+// arXiv 1710.08471).  Against TSQR (Lemma 5) that trades a reduction tree of
+// n^2-word messages for two n(n+1)/2-word all-reduces and replaces
+// Householder panel flops with pure gemm/trsm — a wide predicted-time win on
+// well-conditioned inputs (cost::cholesky_qr2 vs cost::tsqr), and the reason
+// the serving layer's `fast`/`balanced` accuracy contract dispatches here
+// (serve/batch_solver.cpp).
+//
+// Correctness is *conditional*: the Gram matrix squares the condition
+// number, so for kappa(A) ≳ 1/sqrt(eps) the Cholesky meets a non-positive
+// pivot and the factorization is impossible in the working precision.  That
+// failure is a typed, deterministic outcome (CholeskyQrUnstable), and an
+// optional a-priori guard estimates kappa from the already-reduced Gram
+// matrix (power iteration — purely local, the all-reduce is reused) so
+// callers can fall back to TSQR *before* wasting the solve.
+//
+// Mixed precision composes on the same structure: with factor_in_float the
+// first pass runs entirely in float (gram, Cholesky, solve), and the second
+// pass — which *is* the reorthogonalization — refines in double.  The
+// doubled-precision refinement restores O(eps_double) orthogonality provided
+// kappa(A)^2 * eps_float stays below 1, which is why the fast contract pairs
+// float with the tighter kFastMaxCondition guard.
+//
+// Unlike the Householder algorithms the result is an *explicit* Q, not a
+// (V, T) representation; R is replicated on every rank (the all-reduce
+// already paid for that).  The row distribution of A is immaterial — each
+// rank contributes its local rows to the Gram sum and gets the matching rows
+// of Q back — so block and cyclic layouts both work unchanged.
+#pragma once
+
+#include <stdexcept>
+
+#include "backend/comm.hpp"
+#include "coll/coll.hpp"
+#include "la/matrix.hpp"
+
+namespace qr3d::core {
+
+/// Dispatch guard defaults for the serving layer's accuracy contract
+/// (docs/TUNING.md "Accuracy/speed contract"): the estimated kappa(A) above
+/// which CholeskyQR2 is not attempted.  Balanced (double-double) tolerates
+/// kappa^2 * eps_double ~ 2e-4 after the first pass; fast (float first pass)
+/// needs kappa^2 * eps_float < 1.
+inline constexpr double kBalancedMaxCondition = 1e6;
+inline constexpr double kFastMaxCondition = 1e3;
+
+/// Thrown when CholeskyQR2 cannot factor in the working precision: either
+/// the a-priori condition guard tripped, or the Gram matrix's Cholesky met a
+/// non-positive pivot (kappa(A)^2 overwhelmed the precision).  The serving
+/// layer catches exactly this type and retries the job with TSQR in the same
+/// session (JobStats::cholesky_fallbacks).
+class CholeskyQrUnstable : public std::runtime_error {
+ public:
+  explicit CholeskyQrUnstable(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct CholeskyQr2Options {
+  /// Collective variant for the Gram (and refinement) all-reduces.
+  coll::Alg allreduce_alg = coll::Alg::Auto;
+  /// Mixed precision: run the first pass (gram, Cholesky, solve) in float
+  /// and let the second, double-precision pass act as iterative refinement.
+  bool factor_in_float = false;
+  /// A-priori guard: estimated kappa(A) above which CholeskyQrUnstable is
+  /// thrown before attempting the Cholesky (0 disables; the Cholesky itself
+  /// still guards a-posteriori).  The estimate costs O(n^2) local flops per
+  /// power-iteration step and no extra communication.
+  double max_condition = 0.0;
+  /// Power-iteration steps for the condition estimate.
+  int condition_iters = 12;
+};
+
+/// Result: an explicit orthonormal basis (this rank's rows, distributed like
+/// the input) and the replicated n x n upper-triangular R with A = Q R.
+struct ExplicitQr {
+  la::Matrix Q;  ///< this rank's rows of the m x n orthonormal factor
+  la::Matrix R;  ///< n x n upper triangular, replicated on every rank
+};
+
+/// Factor a distributed tall-skinny matrix (m >= n, any row distribution)
+/// by two CholeskyQR passes.  Collective; throws CholeskyQrUnstable when the
+/// input is too ill-conditioned for the working precision (deterministically
+/// — all ranks see the same replicated Gram, so all ranks throw together).
+ExplicitQr cholesky_qr2(backend::Comm& comm, la::ConstMatrixView A_local,
+                        const CholeskyQr2Options& opts = {});
+
+/// min_x ||A x - B||_F over CholeskyQR2: x = R^{-1} (Q^T B), with the Q^T B
+/// product summed by one more k-column all-reduce.  Returns the n x k
+/// solution replicated on every rank.  Collective; throws CholeskyQrUnstable
+/// like cholesky_qr2 (the serving layer's fast-path least-squares driver).
+la::Matrix cholesky_qr2_least_squares(backend::Comm& comm, la::ConstMatrixView A_local,
+                                      la::ConstMatrixView B_local,
+                                      const CholeskyQr2Options& opts = {});
+
+/// The condition estimate behind the guard, exposed for tests and the
+/// dispatch-threshold docs: sqrt(lambda_max / lambda_min) of an SPD Gram
+/// matrix, lambda_max by power iteration and lambda_min by inverse iteration
+/// through a Cholesky of a copy (deterministic all-ones starts).  Returns
+/// +inf when the Gram is not positive definite in double — already beyond
+/// any finite guard.  Purely local.
+double estimate_condition_from_gram(la::ConstMatrixView gram, int iters);
+
+}  // namespace qr3d::core

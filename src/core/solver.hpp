@@ -37,6 +37,11 @@ using Algorithm = core::Algorithm;
 /// facade.  See make_machine() below.
 using Backend = backend::Kind;
 
+/// Per-job accuracy/speed contract (fast | balanced | accurate), re-exported
+/// at the facade.  Consulted by the serving layer's plan resolution (and
+/// overridable per job via serve::SubmitOptions::with_accuracy).
+using Accuracy = core::Accuracy;
+
 /// Validated options builder.  Setters check ranges immediately and return
 /// *this for chaining; problem-dependent checks run in Solver::factor.
 class QrOptions {
@@ -74,6 +79,15 @@ class QrOptions {
     backend_ = b;
     return *this;
   }
+  /// Accuracy/speed contract (default Balanced).  Solver::factor itself
+  /// always returns the backward-stable Householder factorization; the
+  /// contract steers the *serving layer's* per-shape dispatch between
+  /// CholeskyQR2 (fast/balanced, condition-guarded, TSQR fallback) and the
+  /// Householder path (accurate) — see docs/TUNING.md.
+  QrOptions& with_accuracy(Accuracy a) {
+    accuracy_ = a;
+    return *this;
+  }
 
   Algorithm algorithm() const { return algorithm_; }          ///< dispatch choice
   double delta() const { return delta_; }                     ///< Theorem 1 tradeoff
@@ -83,6 +97,7 @@ class QrOptions {
   bool tune_for_machine() const { return tune_for_machine_; } ///< machine tuning on?
   coll::Alg alltoall() const { return alltoall_; }            ///< all-to-all variant
   Backend backend() const { return backend_; }                ///< machine factory kind
+  Accuracy accuracy() const { return accuracy_; }             ///< accuracy/speed contract
 
   /// Problem-dependent validation: shape (m >= n >= 1, P >= 1) and threshold
   /// ordering (b <= n, b* <= n, b* <= b when both are pinned).  Called by
@@ -98,6 +113,7 @@ class QrOptions {
   bool tune_for_machine_ = false;
   coll::Alg alltoall_ = coll::Alg::Auto;
   Backend backend_ = Backend::Simulated;
+  Accuracy accuracy_ = Accuracy::Balanced;
 };
 
 /// Handle to a computed factorization A = Q [R; 0] with Q = I - V T V^H in

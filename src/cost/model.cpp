@@ -62,6 +62,14 @@ Costs tsqr(double m, double n, int P) {
   return {2.0 * m * n * n / P + n * n * n * L, n * n * L, L};
 }
 
+Costs cholesky_qr2(double m, double n, int P) {
+  const Costs ar = all_reduce(n * (n + 1.0) / 2.0, P);
+  // Two passes of gram gemm (2mn^2/P) + all-reduce + Cholesky (n^3/3) +
+  // trsm (mn^2/P), then the replicated R2*R1 trmm (n^3).
+  return {2.0 * (3.0 * m * n * n / P + n * n * n / 3.0 + ar.flops) + n * n * n,
+          2.0 * ar.words, 2.0 * ar.msgs};
+}
+
 Costs caqr_eg_1d_b(double m, double n, int P, double b) {
   // Eq. (11).
   const double L = lg(P);

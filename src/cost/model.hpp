@@ -45,6 +45,16 @@ Costs mm_3d(double I, double J, double K, int P);
 /// Lemma 5 (TSQR).
 Costs tsqr(double m, double n, int P);
 
+/// CholeskyQR2 (two Gram/Cholesky/solve passes; arXiv 1710.08471): per pass
+/// one n x n local gram gemm (2mn^2/P), one all-reduce of the packed upper
+/// triangle (n(n+1)/2 words), the replicated Cholesky (n^3/3) and the local
+/// triangular solve (mn^2/P); plus the final replicated R2*R1 trmm (n^3).
+/// Gemm-dominant: no Householder panel factor anywhere.  Constants are kept
+/// (not dropped to asymptotics) so the predicted-time comparison against
+/// tsqr() — the serving dispatch and the bench_table3_tallskinny smoke gate
+/// — is meaningful at benchmark sizes.
+Costs cholesky_qr2(double m, double n, int P);
+
 /// Eq. (11): 1D-CAQR-EG with explicit threshold b.
 Costs caqr_eg_1d_b(double m, double n, int P, double b);
 /// Theorem 2 parameterization: b = n/(log P)^epsilon.

@@ -273,6 +273,7 @@ void scale(T alpha, arg<MatrixViewT<T>> A) {
   template void add<T>(T, arg<ConstMatrixViewT<T>>, arg<MatrixViewT<T>>);                     \
   template void scale<T>(T, arg<MatrixViewT<T>>);
 
+QR3D_INSTANTIATE_BLAS(float)
 QR3D_INSTANTIATE_BLAS(double)
 QR3D_INSTANTIATE_BLAS(std::complex<double>)
 

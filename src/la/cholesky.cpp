@@ -1,0 +1,36 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+namespace qr3d::la {
+
+template <class T>
+void cholesky(arg<MatrixViewT<T>> A) {
+  const index_t n = A.rows();
+  QR3D_CHECK(A.cols() == n, "cholesky: matrix must be square");
+
+  // Right-looking kji update, upper convention: at step k, scale row k of the
+  // triangle by 1/sqrt(pivot) and subtract its outer product from the
+  // trailing upper triangle.  Deterministic accumulation order so both
+  // execution backends factor (and fail) identically.
+  for (index_t k = 0; k < n; ++k) {
+    const T pivot = A(k, k);
+    if (!(pivot > T{0}) || !std::isfinite(static_cast<double>(pivot))) {
+      throw NotPositiveDefinite(k, static_cast<double>(pivot));
+    }
+    const T rkk = std::sqrt(pivot);
+    A(k, k) = rkk;
+    for (index_t j = k + 1; j < n; ++j) A(k, j) /= rkk;
+    for (index_t j = k + 1; j < n; ++j) {
+      const T rkj = A(k, j);
+      for (index_t i = k + 1; i <= j; ++i) A(i, j) -= A(k, i) * rkj;
+    }
+  }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) A(i, j) = T{0};
+}
+
+template void cholesky<double>(arg<MatrixViewT<double>>);
+template void cholesky<float>(arg<MatrixViewT<float>>);
+
+}  // namespace qr3d::la

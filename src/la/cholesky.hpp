@@ -1,0 +1,46 @@
+// Cholesky factorization of a symmetric positive-definite matrix.
+//
+// The upper-triangular convention matches the rest of the library: G = R^H R
+// with R upper triangular, so the CholeskyQR family can hand R straight to
+// trsm/trmm.  Failure is a first-class, *typed* outcome here, not a numerical
+// accident: CholeskyQR2's Gram matrix loses positive definiteness exactly
+// when kappa(A)^2 overwhelms the working precision, and the serving layer
+// dispatches on catching NotPositiveDefinite (core/cholesky_qr2.hpp,
+// serve/batch_solver.cpp).  The factorization is a deterministic right-
+// looking scalar loop (no blocking, no pivoting), so the failure point — and
+// therefore the fallback decision — is bitwise identical across backends.
+#pragma once
+
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace qr3d::la {
+
+/// Thrown by cholesky() when a diagonal pivot is non-positive or non-finite:
+/// the input is not (numerically) positive definite.  Carries the failing
+/// pivot index so callers can report how far the factorization got.
+class NotPositiveDefinite : public std::runtime_error {
+ public:
+  NotPositiveDefinite(index_t pivot, double value)
+      : std::runtime_error("la::cholesky: matrix is not positive definite (pivot " +
+                           std::to_string(pivot) + " = " + std::to_string(value) + ")"),
+        pivot_(pivot) {}
+
+  /// Index of the first non-positive pivot.
+  index_t pivot() const { return pivot_; }
+
+ private:
+  index_t pivot_ = 0;
+};
+
+/// Factor a symmetric positive-definite n x n matrix in place: on return the
+/// upper triangle of A holds R with A = R^T R; the strict lower triangle is
+/// zeroed.  Only the upper triangle of the input is read.  Throws
+/// NotPositiveDefinite on the first non-positive (or non-finite) pivot —
+/// flops::cholesky(n) = n^3/3.
+template <class T>
+void cholesky(arg<MatrixViewT<T>> A);
+
+}  // namespace qr3d::la

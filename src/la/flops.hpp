@@ -25,6 +25,9 @@ inline count_t geqrt(count_t m, count_t n) { return 2.0 * m * n * n + n * n * n 
 /// LU (no pivoting) of an n x n matrix.
 inline count_t lu(count_t n) { return 2.0 / 3.0 * n * n * n; }
 
+/// Cholesky factorization of an n x n SPD matrix.
+inline count_t cholesky(count_t n) { return n * n * n / 3.0; }
+
 /// Inversion of an n x n triangular matrix.
 inline count_t trtri(count_t n) { return n * n * n / 3.0; }
 

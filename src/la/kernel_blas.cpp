@@ -11,18 +11,27 @@
 #include "la/blas.hpp"
 
 extern "C" {
+void sgemm_(const char* transa, const char* transb, const int* m, const int* n, const int* k,
+            const float* alpha, const float* a, const int* lda, const float* b, const int* ldb,
+            const float* beta, float* c, const int* ldc);
 void dgemm_(const char* transa, const char* transb, const int* m, const int* n, const int* k,
             const double* alpha, const double* a, const int* lda, const double* b, const int* ldb,
             const double* beta, double* c, const int* ldc);
 void zgemm_(const char* transa, const char* transb, const int* m, const int* n, const int* k,
             const void* alpha, const void* a, const int* lda, const void* b, const int* ldb,
             const void* beta, void* c, const int* ldc);
+void strmm_(const char* side, const char* uplo, const char* transa, const char* diag,
+            const int* m, const int* n, const float* alpha, const float* a, const int* lda,
+            float* b, const int* ldb);
 void dtrmm_(const char* side, const char* uplo, const char* transa, const char* diag,
             const int* m, const int* n, const double* alpha, const double* a, const int* lda,
             double* b, const int* ldb);
 void ztrmm_(const char* side, const char* uplo, const char* transa, const char* diag,
             const int* m, const int* n, const void* alpha, const void* a, const int* lda,
             void* b, const int* ldb);
+void strsm_(const char* side, const char* uplo, const char* transa, const char* diag,
+            const int* m, const int* n, const float* alpha, const float* a, const int* lda,
+            float* b, const int* ldb);
 void dtrsm_(const char* side, const char* uplo, const char* transa, const char* diag,
             const int* m, const int* n, const double* alpha, const double* a, const int* lda,
             double* b, const int* ldb);
@@ -37,6 +46,8 @@ namespace {
 
 template <class T>
 constexpr bool is_double = std::is_same_v<T, double>;
+template <class T>
+constexpr bool is_float = std::is_same_v<T, float>;
 
 const char* op_char(Op op, bool complex_scalar) {
   if (op == Op::NoTrans) return "N";
@@ -67,7 +78,10 @@ void gemm_blas(T alpha, Op opa, ConstMatrixViewT<T> A, Op opb, ConstMatrixViewT<
   const int lda = static_cast<int>(A.ld());
   const int ldb = static_cast<int>(B.ld());
   const int ldc = static_cast<int>(C.ld());
-  if constexpr (is_double<T>) {
+  if constexpr (is_float<T>) {
+    sgemm_(op_char(opa, false), op_char(opb, false), &m, &n, &k, &alpha, A.data(), &lda, B.data(),
+           &ldb, &beta, C.data(), &ldc);
+  } else if constexpr (is_double<T>) {
     dgemm_(op_char(opa, false), op_char(opb, false), &m, &n, &k, &alpha, A.data(), &lda, B.data(),
            &ldb, &beta, C.data(), &ldc);
   } else {
@@ -84,7 +98,10 @@ void trmm_blas(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT
   if (m == 0 || n == 0) return;
   const int lda = static_cast<int>(Tri.ld());
   const int ldb = static_cast<int>(B.ld());
-  if constexpr (is_double<T>) {
+  if constexpr (is_float<T>) {
+    strmm_(side_char(side), uplo_char(uplo), op_char(op, false), diag_char(diag), &m, &n, &alpha,
+           Tri.data(), &lda, B.data(), &ldb);
+  } else if constexpr (is_double<T>) {
     dtrmm_(side_char(side), uplo_char(uplo), op_char(op, false), diag_char(diag), &m, &n, &alpha,
            Tri.data(), &lda, B.data(), &ldb);
   } else {
@@ -101,7 +118,10 @@ void trsm_blas(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT
   if (m == 0 || n == 0) return;
   const int lda = static_cast<int>(Tri.ld());
   const int ldb = static_cast<int>(B.ld());
-  if constexpr (is_double<T>) {
+  if constexpr (is_float<T>) {
+    strsm_(side_char(side), uplo_char(uplo), op_char(op, false), diag_char(diag), &m, &n, &alpha,
+           Tri.data(), &lda, B.data(), &ldb);
+  } else if constexpr (is_double<T>) {
     dtrsm_(side_char(side), uplo_char(uplo), op_char(op, false), diag_char(diag), &m, &n, &alpha,
            Tri.data(), &lda, B.data(), &ldb);
   } else {
@@ -117,6 +137,7 @@ void trsm_blas(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixViewT
                              MatrixViewT<T>);                                             \
   template void trsm_blas<T>(Side, Uplo, Op, Diag, T, ConstMatrixViewT<T>, MatrixViewT<T>);
 
+QR3D_INSTANTIATE_BLASBIND(float)
 QR3D_INSTANTIATE_BLASBIND(double)
 QR3D_INSTANTIATE_BLASBIND(std::complex<double>)
 

@@ -319,6 +319,7 @@ void trsm_blocked(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixVi
   template void trsm_blocked<T>(Side, Uplo, Op, Diag, T, ConstMatrixViewT<T>,              \
                                 MatrixViewT<T>);
 
+QR3D_INSTANTIATE_BLOCKED(float)
 QR3D_INSTANTIATE_BLOCKED(double)
 QR3D_INSTANTIATE_BLOCKED(std::complex<double>)
 

@@ -51,13 +51,14 @@
 //   qr3d::la       dense matrices, BLAS-like kernels, checks, random generators
 //   qr3d::coll     the eight collectives of Section 3
 //   qr3d::mm       layouts, redistribution, 1D/3D matrix multiplication
-//   qr3d::core     TSQR, 1D/3D-CAQR-EG, 2D baselines, block-size rules
+//   qr3d::core     TSQR, 1D/3D-CAQR-EG, CholeskyQR2, 2D baselines, block rules
 //   qr3d::cost     closed-form cost models (Tables 1-3) and the machine tuner
 #pragma once
 
 // Dense linear algebra.
 #include "la/blas.hpp"
 #include "la/checks.hpp"
+#include "la/cholesky.hpp"
 #include "la/householder.hpp"
 #include "la/lu.hpp"
 #include "la/matrix.hpp"
@@ -103,6 +104,7 @@
 #include "core/caqr_eg_1d.hpp"
 #include "core/caqr_eg_3d.hpp"
 #include "core/caqr_eg_3d_iterative.hpp"
+#include "core/cholesky_qr2.hpp"
 #include "core/house_1d.hpp"
 #include "core/house_2d.hpp"
 #include "core/params.hpp"

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "core/api.hpp"
+#include "core/cholesky_qr2.hpp"
+#include "cost/model.hpp"
 #include "fault/plan.hpp"
 #include "health/timeout.hpp"
 #include "la/error.hpp"
@@ -116,8 +118,9 @@ ServeOptions& ServeOptions::with_retry_backoff(double base_seconds, double cap_s
 // ---------------------------------------------------------------------------
 
 Plan resolve_shape_plan(la::index_t m, la::index_t n, int P, const QrOptions& qr,
-                        PlanCache& cache, backend::Kind kind, const sim::CostParams& machine) {
-  const PlanKey key = make_plan_key(m, n, P, Dist::CyclicRows, kind, machine);
+                        PlanCache& cache, backend::Kind kind, const sim::CostParams& machine,
+                        core::Accuracy accuracy, double float_flop_scale) {
+  const PlanKey key = make_plan_key(m, n, P, Dist::CyclicRows, kind, machine, accuracy);
   return cache.lookup_or_compute(key, [&]() {
     core::CaqrEg3dOptions params;
     params.b = qr.block_size();
@@ -160,6 +163,31 @@ Plan resolve_shape_plan(la::index_t m, la::index_t n, int P, const QrOptions& qr
       plan.predicted = cost::caqr_eg_3d_b(md, nd, P, static_cast<double>(params.b),
                                           std::max(1.0, static_cast<double>(params.b_star)));
     }
+    // Accuracy-contract dispatch: fast/balanced jobs take the CholeskyQR2
+    // fast path when the model says it wins at this shape under the key's
+    // machine parameters (tall-skinny shapes — squarish ones, and P = 1
+    // where the local serial QR is cheaper, lose the comparison and stay on
+    // Householder).  The Householder fields above are NOT cleared: they are
+    // the fallback plan the session retries with when the condition guard
+    // trips or the Gram goes non-SPD.
+    if (accuracy != core::Accuracy::Accurate && m >= n) {
+      cost::Costs cq = cost::cholesky_qr2(md, nd, P);
+      const bool use_float = accuracy == core::Accuracy::Fast;
+      if (use_float && float_flop_scale < 1.0) {
+        // Float first pass: its local work (gram + Cholesky + solve) runs at
+        // the float rate.  Expressed as "effective double flops" so
+        // Costs::time under the double-calibrated gamma stays comparable.
+        const double pass1 = 3.0 * md * nd * nd / P + nd * nd * nd / 3.0;
+        cq.flops -= pass1 * (1.0 - float_flop_scale);
+      }
+      if (cq.time(machine) < plan.predicted.time(machine)) {
+        plan.algorithm = PlanAlgorithm::CholeskyQr2;
+        plan.use_float = use_float;
+        plan.max_condition =
+            use_float ? core::kFastMaxCondition : core::kBalancedMaxCondition;
+        plan.predicted = cq;
+      }
+    }
     return plan;
   });
 }
@@ -173,13 +201,15 @@ std::vector<int> group_size_candidates(int P) {
 
 GroupChoice choose_group_ranks(la::index_t m, la::index_t n, int jobs, int P,
                                const QrOptions& qr, PlanCache& cache, backend::Kind kind,
-                               const sim::CostParams& machine) {
+                               const sim::CostParams& machine, core::Accuracy accuracy,
+                               double float_flop_scale) {
   QR3D_CHECK(jobs >= 1, "choose_group_ranks: need at least one job");
   QR3D_CHECK(P >= 1, "choose_group_ranks: need at least one rank");
   GroupChoice best;
   bool have_best = false;
   for (int g : group_size_candidates(P)) {
-    const Plan plan = resolve_shape_plan(m, n, g, qr, cache, kind, machine);
+    const Plan plan = resolve_shape_plan(m, n, g, qr, cache, kind, machine, accuracy,
+                                         float_flop_scale);
     const double t_job = plan.predicted.time(machine);
     const int groups = P / g;
     const double rounds = std::ceil(static_cast<double>(jobs) / static_cast<double>(groups));
@@ -255,6 +285,8 @@ BatchSolver::BatchSolver(ServeOptions opts)
   m_.plan_misses = &registry_.counter("serve.plan_cache_misses");
   m_.attempts = &registry_.counter("serve.attempts");
   m_.recovered = &registry_.counter("serve.recovered");
+  m_.cholesky_jobs = &registry_.counter("serve.jobs_choleskyqr2");
+  m_.cholesky_fallbacks = &registry_.counter("serve.cholesky_fallbacks");
   m_.timeouts = &registry_.counter("health.session_timeouts");
   m_.requeues_timeout = &registry_.counter("health.requeues_timeout");
   m_.requeues_rank_death = &registry_.counter("health.requeues_rank_death");
@@ -300,6 +332,10 @@ JobHandle BatchSolver::submit(la::Matrix A, la::Matrix b, const SubmitOptions& s
   job->submitted_at = Clock::now();
   job->priority = sopts.priority;
   job->stats.priority = sopts.priority;
+  // The accuracy contract resolves at submit time: per-job override, else
+  // the solver-wide QrOptions default.  Plan resolution keys on it.
+  job->accuracy = sopts.accuracy.value_or(opts_.qr().accuracy());
+  job->stats.accuracy = job->accuracy;
   if (sopts.deadline) {
     job->has_deadline = true;
     job->deadline = job->submitted_at + *sopts.deadline;
@@ -512,8 +548,37 @@ void BatchSolver::run_session(int g, const std::vector<std::shared_ptr<detail::J
       const auto t0 = Clock::now();
       DistMatrix Ad = DistMatrix::from_global(gc, job->A.view());
       DistMatrix bd = DistMatrix::from_global(gc, job->b.view());
-      Factorization f = solver_.factor(Ad, job->plan);
-      la::Matrix x = f.solve_least_squares(bd);
+      la::Matrix x;
+      bool solved = false;
+      if (job->plan.algorithm == PlanAlgorithm::CholeskyQr2) {
+        // The accuracy-contract fast path: x = R^{-1} (Q^T b) over two
+        // condition-guarded CholeskyQR passes on the local row blocks.
+        // CholeskyQrUnstable is deterministic — the guard and the Cholesky
+        // both act on the replicated Gram, so every rank of the group
+        // throws together — which is what makes the in-place Householder
+        // retry below collective-safe.
+        core::CholeskyQr2Options cq;
+        cq.factor_in_float = job->plan.use_float;
+        cq.max_condition = job->plan.max_condition;
+        try {
+          x = core::cholesky_qr2_least_squares(gc, la::ConstMatrixView(Ad.local().view()),
+                                               la::ConstMatrixView(bd.local().view()), cq);
+          solved = true;
+        } catch (const core::CholeskyQrUnstable&) {
+          // Too ill-conditioned for the contract's working precision: fall
+          // back to the tuned Householder fields of the same plan, in the
+          // same session.  Only the group root writes the job record.
+          if (gc.rank() == 0) {
+            ++job->stats.cholesky_fallbacks;
+            std::lock_guard<std::mutex> lock(mu_);
+            m_.cholesky_fallbacks->inc();
+          }
+        }
+      }
+      if (!solved) {
+        Factorization f = solver_.factor(Ad, job->plan);
+        x = f.solve_least_squares(bd);
+      }
       if (gc.rank() == 0) {
         job->x = std::move(x);
         job->stats.wall_seconds = seconds_since(t0);
@@ -545,6 +610,16 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out, bool inc
   const sim::CostParams mp = machine_->params();
   const backend::Kind kind = machine_->kind();
   const int P = opts_.ranks();
+  const core::Accuracy acc = top->accuracy;
+  // Mixed-precision discount for fast-contract plans: how much cheaper a
+  // float flop is than a double one on THIS machine (measured gamma_float /
+  // gamma; 1 when unprofiled or float is no faster).
+  double float_scale = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (profile_ && profile_->gamma_float > 0.0 && profile_->fitted.gamma > 0.0)
+      float_scale = std::min(1.0, profile_->gamma_float / profile_->fitted.gamma);
+  }
 
   // --- Size the group and resolve the plan for the popped job's shape -----
   int g = opts_.group_ranks();
@@ -553,10 +628,11 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out, bool inc
     if (g > 0) {
       g = std::min(g, P);
     } else {
-      g = choose_group_ranks(m, n, static_cast<int>(shape_hint), P, opts_.qr(), *cache_, kind, mp)
+      g = choose_group_ranks(m, n, static_cast<int>(shape_hint), P, opts_.qr(), *cache_, kind, mp,
+                             acc, float_scale)
               .group_ranks;
     }
-    plan = resolve_shape_plan(m, n, g, opts_.qr(), *cache_, kind, mp);
+    plan = resolve_shape_plan(m, n, g, opts_.qr(), *cache_, kind, mp, acc, float_scale);
   } catch (...) {
     // Sizing/tuning failed for this shape (a degenerate fitted profile,
     // say): isolate the failure to this job, keep serving the queue.
@@ -585,6 +661,23 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out, bool inc
   round.push_back(top);
   for (auto& r : riders) {
     if (validate_job(r)) round.push_back(r);  // invalid riders resolve here
+  }
+
+  // Riders keep their own accuracy contract: one whose contract differs
+  // from the popped job's resolves its own plan (cached — same shape and
+  // group size, a different accuracy key).  A resolution failure downgrades
+  // the rider to the popped job's Householder fields instead of failing it.
+  std::vector<Plan> round_plans(round.size(), plan);
+  for (std::size_t j = 1; j < round.size(); ++j) {
+    if (round[j]->accuracy == acc) continue;
+    try {
+      round_plans[j] = resolve_shape_plan(m, n, g, opts_.qr(), *cache_, kind, mp,
+                                          round[j]->accuracy, float_scale);
+    } catch (...) {
+      round_plans[j].algorithm = PlanAlgorithm::Householder;
+      round_plans[j].use_float = false;
+      round_plans[j].max_condition = 0.0;
+    }
   }
 
   // --- Accounting (before the run: resolution implies visibility) ---------
@@ -621,6 +714,10 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out, bool inc
       m_.plan_hits->inc(fresh >= miss ? fresh - miss : 0);
       m_.sessions->inc();
       m_.attempts->inc(round.size());
+      std::uint64_t cq_jobs = 0;
+      for (const auto& jp : round_plans)
+        if (jp.algorithm == PlanAlgorithm::CholeskyQr2) ++cq_jobs;
+      m_.cholesky_jobs->inc(cq_jobs);
       round_no = m_.sessions->value();
     }
   }
@@ -630,13 +727,13 @@ bool BatchSolver::dispatch_round(std::exception_ptr* session_error_out, bool inc
   }
   for (std::size_t j = 0; j < round.size(); ++j) {
     auto& job = round[j];
-    job->plan = plan;
+    job->plan = round_plans[j];
     job->group_ranks = g;
     job->stats.group_ranks = g;
     // Stamped every dispatch (the clamped group or a fresh profile can
     // change the prediction between attempts): what the cost model expects
     // this job to take, the denominator of its drift ratio.
-    job->stats.predicted_seconds = predicted_seconds;
+    job->stats.predicted_seconds = round_plans[j].predicted.time(mp);
     if (!job->dispatched) {
       job->dispatched = true;
       job->dispatched_at = Clock::now();
@@ -1127,6 +1224,8 @@ BatchSolver::Stats BatchSolver::stats() const {
   s.plan_cache_evictions = cache_->evictions();
   s.attempts = m_.attempts->value();
   s.recovered = m_.recovered->value();
+  s.jobs_choleskyqr2 = m_.cholesky_jobs->value();
+  s.cholesky_fallbacks = m_.cholesky_fallbacks->value();
   s.session_timeouts = m_.timeouts->value();
   s.requeues_timeout = m_.requeues_timeout->value();
   s.requeues_rank_death = m_.requeues_rank_death->value();

@@ -58,6 +58,17 @@
 // jobs keep their original sequence number, priority and submit time, so
 // recovery does not reset their place in line.
 //
+// Accuracy contracts (docs/SERVING.md "Accuracy contracts"): every job
+// carries fast | balanced | accurate — SubmitOptions::with_accuracy, or the
+// solver-wide QrOptions::with_accuracy default.  Fast and balanced let the
+// plan resolution dispatch a job to CholeskyQR2 (core/cholesky_qr2.hpp) —
+// condition-guarded, and under fast with a float first pass — whenever the
+// cost model predicts it beats the tuned Householder plan at the job's
+// shape.  A tripped guard or a non-SPD Gram aborts only that fast path: the
+// session retries the job with the Householder fallback plan in place,
+// counted in JobStats::cholesky_fallbacks (and Stats::cholesky_fallbacks).
+// Accurate never leaves the Householder path.
+//
 // Failure isolation: jobs are validated driver-side before entering the
 // machine; an invalid job's std::invalid_argument is stored in its handle
 // (rethrown from get()) and the rest of the batch is unaffected.  A
@@ -373,8 +384,19 @@ std::vector<int> group_size_candidates(int P);
 /// do — and the plan's `predicted` costs are always filled (from the tuner,
 /// or from the closed-form model at the resolved parameters), so callers
 /// can compare shapes and group sizes by predicted time.
+///
+/// `accuracy` is the job's accuracy/speed contract: under Fast or Balanced
+/// the plan dispatches to CholeskyQR2 (PlanAlgorithm::CholeskyQr2, with the
+/// matching condition guard, and under Fast a float first pass) whenever the
+/// model predicts it beats the Householder plan at this shape — the tuned
+/// Householder fields stay filled as the in-session fallback.  Accurate
+/// never dispatches CholeskyQR2.  `float_flop_scale` discounts the float
+/// first pass of Fast plans (gamma_float / gamma from a measured
+/// MachineProfile; 1 = float no faster than double).
 Plan resolve_shape_plan(la::index_t m, la::index_t n, int P, const QrOptions& qr,
-                        PlanCache& cache, backend::Kind kind, const sim::CostParams& machine);
+                        PlanCache& cache, backend::Kind kind, const sim::CostParams& machine,
+                        core::Accuracy accuracy = core::Accuracy::Balanced,
+                        double float_flop_scale = 1.0);
 
 /// Adaptive group sizing: pick ranks-per-group for `jobs` problems of shape
 /// m x n on a P-rank machine, minimizing the model-predicted batch makespan
@@ -386,7 +408,9 @@ Plan resolve_shape_plan(la::index_t m, la::index_t n, int P, const QrOptions& qr
 /// exposed so tests can pin its decisions and benches can report them.
 GroupChoice choose_group_ranks(la::index_t m, la::index_t n, int jobs, int P,
                                const QrOptions& qr, PlanCache& cache, backend::Kind kind,
-                               const sim::CostParams& machine);
+                               const sim::CostParams& machine,
+                               core::Accuracy accuracy = core::Accuracy::Balanced,
+                               double float_flop_scale = 1.0);
 
 /// The serving object.  submit() is safe to call from any number of driver
 /// threads in both modes.  In blocking mode the execution entry points
@@ -470,6 +494,13 @@ class BatchSolver {
     std::uint64_t plan_cache_misses = 0;  ///< jobs that triggered sizing+tuning
     std::uint64_t attempts = 0;   ///< job machine attempts (>= jobs entering sessions)
     std::uint64_t recovered = 0;  ///< jobs solved after a fault/timeout requeue
+    /// Accuracy-contract dispatch (docs/SERVING.md "Accuracy contracts"):
+    /// job dispatches whose plan attempted the CholeskyQR2 fast path, and how
+    /// many of those abandoned it in-session (condition guard or non-SPD
+    /// Gram) and fell back to the Householder plan.  Per-job detail is in
+    /// JobStats::accuracy / JobStats::cholesky_fallbacks.
+    std::uint64_t jobs_choleskyqr2 = 0;
+    std::uint64_t cholesky_fallbacks = 0;
     std::uint64_t plan_cache_evictions = 0;  ///< LRU evictions in the owned PlanCache
     /// Fail-slow tolerance (all zero unless with_session_timeout_factor).
     std::uint64_t session_timeouts = 0;   ///< sessions ended by the watchdog deadline
@@ -623,6 +654,8 @@ class BatchSolver {
     obs::Counter* plan_misses = nullptr;
     obs::Counter* attempts = nullptr;
     obs::Counter* recovered = nullptr;
+    obs::Counter* cholesky_jobs = nullptr;
+    obs::Counter* cholesky_fallbacks = nullptr;
     obs::Counter* timeouts = nullptr;
     obs::Counter* requeues_timeout = nullptr;
     obs::Counter* requeues_rank_death = nullptr;

@@ -105,7 +105,7 @@ void PlanCache::clear() {
 }
 
 PlanKey make_plan_key(la::index_t m, la::index_t n, int P, Dist layout, backend::Kind backend,
-                      const sim::CostParams& machine) {
+                      const sim::CostParams& machine, core::Accuracy accuracy) {
   PlanKey key;
   key.m = m;
   key.n = n;
@@ -115,6 +115,7 @@ PlanKey make_plan_key(la::index_t m, la::index_t n, int P, Dist layout, backend:
   key.alpha = machine.alpha;
   key.beta = machine.beta;
   key.gamma = machine.gamma;
+  key.accuracy = accuracy;
   return key;
 }
 

@@ -36,13 +36,16 @@
 #include <tuple>
 
 #include "backend/comm.hpp"
+#include "core/api.hpp"
 #include "core/dist_matrix.hpp"
 #include "cost/tuner.hpp"
 #include "la/matrix.hpp"
 
 namespace qr3d::serve {
 
-/// Cache key: problem shape + execution context + machine parameters.
+/// Cache key: problem shape + execution context + machine parameters +
+/// accuracy contract (fast and accurate jobs of the same shape resolve to
+/// different algorithms, so they must not share a cache line).
 struct PlanKey {
   la::index_t m = 0;  ///< problem rows
   la::index_t n = 0;  ///< problem columns
@@ -52,25 +55,40 @@ struct PlanKey {
   double alpha = 0.0;  ///< machine seconds per message
   double beta = 0.0;   ///< machine seconds per word
   double gamma = 0.0;  ///< machine seconds per flop
+  core::Accuracy accuracy = core::Accuracy::Balanced;  ///< accuracy/speed contract
 
   /// Lexicographic order over every field (std::map key requirement).
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     auto tie = [](const PlanKey& k) {
       return std::tuple(k.m, k.n, k.P, static_cast<int>(k.layout), static_cast<int>(k.backend),
-                        k.alpha, k.beta, k.gamma);
+                        k.alpha, k.beta, k.gamma, static_cast<int>(k.accuracy));
     };
     return tie(a) < tie(b);
   }
 };
 
+/// Which algorithm a resolved plan executes.
+enum class PlanAlgorithm {
+  Householder,  ///< TSQR / 1D / 3D-CAQR-EG via Solver::factor
+  CholeskyQr2,  ///< the gemm-dominant fast path (core/cholesky_qr2.hpp)
+};
+
 /// A tuned execution plan: the recursion parameters Solver::factor needs,
-/// plus the model-predicted costs the tuner chose them by.
+/// plus the model-predicted costs the tuner chose them by.  For CholeskyQR2
+/// plans the recursion parameters are unused; `use_float` selects the mixed-
+/// precision first pass and the Householder fields double as the fallback
+/// plan when the condition guard trips in-session.
 struct Plan {
   double delta = 2.0 / 3.0;  ///< Theorem 1 bandwidth/latency tradeoff
   double epsilon = 1.0;      ///< Theorem 2 base-case tradeoff
   la::index_t b = 0;       ///< recursion threshold (0 = derive from delta)
   la::index_t b_star = 0;  ///< base-case threshold (0 = derive from epsilon)
   cost::Costs predicted;   ///< model costs under the key's machine parameters
+  PlanAlgorithm algorithm = PlanAlgorithm::Householder;  ///< dispatch choice
+  bool use_float = false;  ///< CholeskyQR2 only: float first pass (fast mode)
+  /// CholeskyQR2 only: the condition guard the session enforces
+  /// (core::kFastMaxCondition / kBalancedMaxCondition; 0 = no guard).
+  double max_condition = 0.0;
 };
 
 class PlanCache {
@@ -136,7 +154,10 @@ class PlanCache {
 };
 
 /// The key Solver::factor uses for a problem it is about to factor.
+/// `accuracy` defaults to Balanced — the serving layer passes the per-job
+/// contract so modes resolve (and cache) independently.
 PlanKey make_plan_key(la::index_t m, la::index_t n, int P, Dist layout, backend::Kind backend,
-                      const sim::CostParams& machine);
+                      const sim::CostParams& machine,
+                      core::Accuracy accuracy = core::Accuracy::Balanced);
 
 }  // namespace qr3d::serve

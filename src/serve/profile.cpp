@@ -96,12 +96,40 @@ MachineProfile profile_machine(backend::Machine& machine, const ProfileOptions& 
     gemm_seconds = seconds_since(t0);
   });
 
+  // Phase 3b: the same gemm in single precision (gamma_float).  Per-precision
+  // rates, not a guessed 2x: with SIMD kernels float can be ~2x the double
+  // rate, with scalar reference nests nearly 1x — the fit should know which.
+  double gemm_float_seconds = 0.0;
+  machine.run([&](backend::Comm& c) {
+    if (c.rank() != 0) return;
+    const la::Matrix A = la::random_matrix(g, g, 7003);
+    const la::Matrix B = la::random_matrix(g, g, 7004);
+    la::MatrixT<float> Af(g, g), Bf(g, g), Cf(g, g);
+    for (la::index_t j = 0; j < g; ++j) {
+      for (la::index_t i = 0; i < g; ++i) {
+        Af(i, j) = static_cast<float>(A(i, j));
+        Bf(i, j) = static_cast<float>(B(i, j));
+      }
+    }
+    la::gemm(1.0f, la::Op::NoTrans, la::ConstMatrixViewT<float>(Af.view()), la::Op::NoTrans,
+             la::ConstMatrixViewT<float>(Bf.view()), 0.0f, Cf.view());  // warm-up
+    const auto t0 = Clock::now();
+    for (int r = 0; r < opts.gemm_reps; ++r) {
+      la::gemm(1.0f, la::Op::NoTrans, la::ConstMatrixViewT<float>(Af.view()), la::Op::NoTrans,
+               la::ConstMatrixViewT<float>(Bf.view()), 0.0f, Cf.view());
+    }
+    gemm_float_seconds = seconds_since(t0);
+  });
+
   const double gd = static_cast<double>(g);
   const double gemm_flops = 2.0 * gd * gd * gd * opts.gemm_reps;
   gemm_seconds = std::max(gemm_seconds, 1e-9);  // timer-resolution guard
   prof.gemm_flops_per_second = gemm_flops / gemm_seconds;
   prof.kernel = la::active_kernel_name();
   const double gamma = gemm_seconds / gemm_flops;
+  gemm_float_seconds = std::max(gemm_float_seconds, 1e-9);
+  prof.gemm_float_flops_per_second = gemm_flops / gemm_float_seconds;
+  prof.gamma_float = std::max(gemm_float_seconds / gemm_flops, 1e-13);
 
   prof.comm_measured = machine.size() >= 2;
   if (!prof.comm_measured) {

@@ -12,7 +12,12 @@
 //   * streaming   — R round trips of a W-word message; the one-way time
 //                   minus alpha, per word, fits beta (inverse bandwidth).
 //   * gemm rate   — repeated local g x g x g multiplies on rank 0; seconds
-//                   per flop fits gamma.
+//                   per flop fits gamma (double precision).
+//   * float gemm  — the same multiplies in single precision; seconds per
+//                   float flop fits gamma_float.  The cost model keeps one
+//                   gamma (double — every Householder flop is double), and
+//                   the float rate rides alongside for the mixed-precision
+//                   CholeskyQR2 fast path, whose first pass runs in float.
 //
 // The fitted profile (routed through cost::fit_params, which clamps
 // measurement noise to positive floors) is what a serving process hands to
@@ -42,6 +47,16 @@ struct MachineProfile {
   double oneway_small_seconds = 0.0;   ///< ping-pong one-way time (= alpha)
   double stream_words_per_second = 0.0;
   double gemm_flops_per_second = 0.0;
+  /// Float gemm rate, measured by a fourth phase that repeats the gemm
+  /// benchmark in single precision (same size, same reps).  The cost model's
+  /// single gamma is fitted from the DOUBLE rate; this field keeps the float
+  /// rate alongside it so per-precision consumers do not have to guess a 2x.
+  double gemm_float_flops_per_second = 0.0;
+  /// Fitted seconds per float flop (gamma_float).  The serving layer uses
+  /// gamma_float / fitted.gamma to discount the float first pass of
+  /// fast-contract CholeskyQR2 plans when predicting their time.  Strictly
+  /// positive whenever the profile ran (same floor as gamma).
+  double gamma_float = 0.0;
   /// False on single-rank machines, where there is no link to measure and
   /// the declared (alpha, beta) are kept.
   bool comm_measured = false;

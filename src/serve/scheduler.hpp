@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "core/api.hpp"
 #include "la/matrix.hpp"
 #include "serve/plan_cache.hpp"
 
@@ -101,6 +102,12 @@ struct SubmitOptions {
   /// Relative deadline (from submit time) for EDF ordering within the
   /// class; nullopt = no deadline (runs after every deadlined peer).
   std::optional<std::chrono::steady_clock::duration> deadline;
+  /// Per-job accuracy/speed contract; nullopt inherits the solver-wide
+  /// QrOptions::accuracy().  Fast/Balanced let the plan resolution dispatch
+  /// tall-skinny least-squares jobs to CholeskyQR2 (condition-guarded, with
+  /// an automatic in-session TSQR fallback counted in
+  /// JobStats::cholesky_fallbacks); Accurate forces the Householder path.
+  std::optional<core::Accuracy> accuracy;
 
   /// Set the priority class.
   SubmitOptions& with_priority(Priority p) {
@@ -110,6 +117,11 @@ struct SubmitOptions {
   /// Set a relative deadline (EDF within the priority class).
   SubmitOptions& with_deadline(std::chrono::steady_clock::duration d) {
     deadline = d;
+    return *this;
+  }
+  /// Set the per-job accuracy/speed contract (fast | balanced | accurate).
+  SubmitOptions& with_accuracy(core::Accuracy a) {
+    accuracy = a;
     return *this;
   }
 };
@@ -159,6 +171,13 @@ struct JobStats {
   /// scheduling order with this.
   std::uint64_t round = 0;
   bool deadline_missed = false;  ///< resolved after its deadline passed
+  /// Contract the job resolved under (submit-time override or the solver
+  /// default).
+  core::Accuracy accuracy = core::Accuracy::Balanced;
+  /// Times the CholeskyQR2 fast path was abandoned for this job — a tripped
+  /// condition guard or a non-SPD Gram — and the session fell back to the
+  /// Householder path in place.  Always 0 under Accuracy::Accurate.
+  int cholesky_fallbacks = 0;
 };
 
 namespace detail {
@@ -181,6 +200,8 @@ struct Job {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline;  ///< absolute, if has_deadline
   std::uint64_t seq = 0;  ///< submission sequence number (FIFO tiebreak)
+  /// Resolved accuracy contract (submit-time override or solver default).
+  core::Accuracy accuracy = core::Accuracy::Balanced;
   // Dispatch state (only the dispatching thread writes these).
   bool dispatched = false;  ///< entered the machine at least once
   std::chrono::steady_clock::time_point dispatched_at;  ///< first machine dispatch

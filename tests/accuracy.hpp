@@ -1,0 +1,70 @@
+// Shared numerical-accuracy harness for the QR tests.
+//
+// Two factorization representations coexist in this repo — the Householder
+// (V, T, R) form every CAQR variant returns, and the explicit (Q, R) form
+// CholeskyQR2 returns — and before this header each test file hand-rolled
+// its own error checks against one of them.  The harness gives every test
+// the same two metrics with the same names for both representations:
+//
+//   orthogonality_error  ||Q^T Q - I||_F          (how orthonormal is Q?)
+//   residual_error       ||A - Q R||_F / ||A||_F  (does the product recover A?)
+//
+// plus make_matrix_with_condition, the seeded generator behind every
+// conditioning sweep (log-spaced singular values, so kappa is exact by
+// construction — the envelope assertions in test_accuracy_sweep.cpp lean on
+// that).  Header-only; tests/ is not globbed into the library build.
+#pragma once
+
+#include <cstdint>
+
+#include "la/blas.hpp"
+#include "la/checks.hpp"
+#include "la/matrix.hpp"
+#include "la/random.hpp"
+
+namespace qr3d::tests {
+
+/// ||Q^T Q - I||_F of an explicit basis Q (m x n, m >= n).  O(eps) for a
+/// numerically orthonormal Q; grows like kappa(A)^2 * eps after a single
+/// CholeskyQR pass — the quantity the second pass exists to repair.
+inline double orthogonality_error(la::ConstMatrixView Q) {
+  la::Matrix G = la::multiply<double>(la::Op::ConjTrans, Q, la::Op::NoTrans, Q);
+  for (la::index_t i = 0; i < G.rows(); ++i) G(i, i) -= 1.0;
+  return la::frobenius_norm(la::ConstMatrixView(G.view()));
+}
+
+/// Householder-representation overload: ||Qn^T Qn - I||_F of the Q implied
+/// by (V, T) (la::orthogonality_loss under the harness's common name).
+inline double orthogonality_error(la::ConstMatrixView V, la::ConstMatrixView T) {
+  return la::orthogonality_loss(V, T);
+}
+
+/// Relative backward error ||A - Q R||_F / ||A||_F of an explicit-Q
+/// factorization.  O(eps) for every backward-stable method — residuals stay
+/// small even where orthogonality degrades, which is why the conditioning
+/// sweep asserts both.
+inline double residual_error(la::ConstMatrixView A, la::ConstMatrixView Q,
+                             la::ConstMatrixView R) {
+  la::Matrix QR = la::multiply<double>(la::Op::NoTrans, Q, la::Op::NoTrans, R);
+  const double na = la::frobenius_norm(A);
+  return la::diff_norm(la::ConstMatrixView(QR.view()), A) / (na == 0.0 ? 1.0 : na);
+}
+
+/// Householder-representation overload: ||A - Q [R; 0]||_F / ||A||_F for
+/// (V, T, R) (la::qr_residual under the harness's common name).
+inline double residual_error(la::ConstMatrixView A, la::ConstMatrixView V,
+                             la::ConstMatrixView T, la::ConstMatrixView R) {
+  return la::qr_residual(A, V, T, R);
+}
+
+/// m x n test matrix (m >= n) with prescribed 2-norm condition number
+/// `kappa`: Q1 * D * Q2^T with log-spaced singular values in [1/kappa, 1]
+/// (la::graded_matrix).  kappa = 1 gives a perfectly conditioned matrix;
+/// kappa near 1/eps exercises the regime where Gram-based methods must
+/// refuse and Householder methods must still deliver O(eps).
+inline la::Matrix make_matrix_with_condition(la::index_t m, la::index_t n, double kappa,
+                                             std::uint64_t seed) {
+  return la::graded_matrix(m, n, kappa, seed);
+}
+
+}  // namespace qr3d::tests

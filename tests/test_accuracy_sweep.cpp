@@ -1,0 +1,340 @@
+// Conditioning sweep: the numerical-accuracy contracts of the two tall-
+// skinny factorization families, held against matrices of exactly known
+// condition number (tests/accuracy.hpp) on BOTH execution backends.
+//
+// The envelopes under test are the ones the serving layer's accuracy
+// contract (core/cholesky_qr2.hpp, serve::resolve_shape_plan) is built on:
+//
+//   * TSQR (Householder): O(eps) orthogonality and residual at EVERY kappa —
+//     unconditional stability is what makes it the fallback.
+//   * one CholeskyQR pass: orthogonality error grows like kappa^2 * eps
+//     (verified as a growth law, not a constant) — the reason a guard exists.
+//   * CholeskyQR2: O(eps) orthogonality while kappa^2 * eps < 1, and a
+//     deterministic typed failure (CholeskyQrUnstable, every rank together)
+//     past the threshold — never a wrong answer, never a hang.
+//   * float first pass (the fast contract): double-quality orthogonality
+//     while kappa^2 * eps_float < 1, failure past it — a much lower ceiling,
+//     which is why the fast guard is kFastMaxCondition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "accuracy.hpp"
+#include "qr3d.hpp"
+
+namespace backend = qr3d::backend;
+namespace core = qr3d::core;
+namespace la = qr3d::la;
+namespace mm = qr3d::mm;
+namespace sim = qr3d::sim;
+namespace tests = qr3d::tests;
+using la::index_t;
+
+namespace {
+
+constexpr double kEpsDouble = 2.220446049250313e-16;
+constexpr double kEpsFloat = 1.1920928955078125e-07;
+
+/// Balanced block-row distribution, rank 0 on top (same helper as the core
+/// QR tests).
+std::vector<index_t> block_starts(index_t m, int P) {
+  mm::BlockRows b = mm::BlockRows::balanced(m, 1, P);
+  std::vector<index_t> starts(static_cast<std::size_t>(P) + 1);
+  for (int p = 0; p <= P; ++p)
+    starts[static_cast<std::size_t>(p)] = p == P ? m : b.row_start(p);
+  return starts;
+}
+
+/// Both backends under one name: the sweep runs every configuration on the
+/// simulator (the oracle) and on real threads.
+std::unique_ptr<backend::Machine> make_machine_for(const char* which, int P) {
+  if (which == std::string("sim")) return std::make_unique<sim::Machine>(P);
+  return std::make_unique<backend::ThreadMachine>(P);
+}
+
+constexpr const char* kBackends[] = {"sim", "thread"};
+
+/// One CholeskyQR2 run on a block-row distributed A: the assembled explicit
+/// factors on success, or the deterministic-failure observation.
+struct SweepRun {
+  bool unstable = false;  ///< every rank threw CholeskyQrUnstable
+  la::Matrix Q, R;        ///< assembled factors (success only)
+};
+
+SweepRun run_cholesky_qr2(backend::Machine& machine, const la::Matrix& A,
+                          const core::CholeskyQr2Options& opts) {
+  const index_t m = A.rows(), n = A.cols();
+  const int P = machine.size();
+  const auto starts = block_starts(m, P);
+  std::vector<la::Matrix> qs(static_cast<std::size_t>(P));
+  SweepRun out;
+  std::atomic<int> unstable{0};
+  machine.run([&](backend::Comm& c) {
+    const int p = c.rank();
+    la::Matrix Al = la::copy<double>(A.block(starts[p], 0, starts[p + 1] - starts[p], n));
+    try {
+      core::ExplicitQr f = core::cholesky_qr2(c, la::ConstMatrixView(Al.view()), opts);
+      qs[static_cast<std::size_t>(p)] = std::move(f.Q);
+      if (p == 0) out.R = std::move(f.R);
+    } catch (const core::CholeskyQrUnstable&) {
+      unstable.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // The failure contract: the guard and the Cholesky act on the REPLICATED
+  // Gram, so instability is all-or-nothing across ranks — a split outcome
+  // would deadlock a real collective and is a bug by itself.
+  EXPECT_TRUE(unstable == 0 || unstable == P)
+      << unstable << " of " << P << " ranks threw CholeskyQrUnstable";
+  out.unstable = unstable > 0;
+  if (!out.unstable) {
+    out.Q = la::Matrix(m, n);
+    for (int p = 0; p < P; ++p)
+      la::assign<double>(out.Q.block(starts[p], 0, starts[p + 1] - starts[p], n),
+                         qs[static_cast<std::size_t>(p)].view());
+  }
+  return out;
+}
+
+/// TSQR on the same distribution, assembled to (V, T, R).
+struct TsqrRun {
+  la::Matrix V, T, R;
+};
+
+TsqrRun run_tsqr(backend::Machine& machine, const la::Matrix& A) {
+  const index_t m = A.rows(), n = A.cols();
+  const int P = machine.size();
+  const auto starts = block_starts(m, P);
+  std::vector<la::Matrix> vs(static_cast<std::size_t>(P));
+  TsqrRun out;
+  machine.run([&](backend::Comm& c) {
+    const int p = c.rank();
+    la::Matrix Al = la::copy<double>(A.block(starts[p], 0, starts[p + 1] - starts[p], n));
+    core::DistributedQr r = core::tsqr(c, la::ConstMatrixView(Al.view()));
+    vs[static_cast<std::size_t>(p)] = std::move(r.V);
+    if (p == 0) {
+      out.T = std::move(r.T);
+      out.R = std::move(r.R);
+    }
+  });
+  out.V = la::Matrix(m, n);
+  for (int p = 0; p < P; ++p)
+    la::assign<double>(out.V.block(starts[p], 0, starts[p + 1] - starts[p], n),
+                       vs[static_cast<std::size_t>(p)].view());
+  return out;
+}
+
+/// One hand-rolled CholeskyQR pass, purely local: the kappa^2 growth law is
+/// a property of the algorithm, not of the distribution.
+double single_pass_orthogonality(const la::Matrix& A) {
+  la::Matrix G = la::multiply<double>(la::Op::ConjTrans, la::ConstMatrixView(A.view()),
+                                      la::Op::NoTrans, la::ConstMatrixView(A.view()));
+  la::cholesky<double>(G.view());
+  la::Matrix Q = la::copy<double>(A.view());
+  la::trsm(la::Side::Right, la::Uplo::Upper, la::Op::NoTrans, la::Diag::NonUnit, 1.0,
+           la::ConstMatrixView(G.view()), Q.view());
+  return tests::orthogonality_error(Q.view());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The sweep: kappa x {CholeskyQR2, TSQR} x {sim, thread}
+// ---------------------------------------------------------------------------
+
+TEST(AccuracySweep, TsqrIsStableAtEveryConditionNumber) {
+  const index_t m = 96, n = 8;
+  const int P = 4;
+  for (const char* which : kBackends) {
+    for (double kappa : {1e0, 1e4, 1e8, 1e12, 1e15}) {
+      la::Matrix A = tests::make_matrix_with_condition(m, n, kappa, 901);
+      auto machine = make_machine_for(which, P);
+      TsqrRun f = run_tsqr(*machine, A);
+      EXPECT_LT(tests::orthogonality_error(f.V.view(), f.T.view()), 1e-10)
+          << which << " kappa=" << kappa;
+      EXPECT_LT(tests::residual_error(A.view(), f.V.view(), f.T.view(), f.R.view()), 1e-10)
+          << which << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(AccuracySweep, CholeskyQr2EnvelopeAndTypedFailure) {
+  const index_t m = 96, n = 8;
+  const int P = 4;
+  for (const char* which : kBackends) {
+    for (double kappa : {1e0, 1e4, 1e8, 1e12, 1e15}) {
+      la::Matrix A = tests::make_matrix_with_condition(m, n, kappa, 902);
+      auto machine = make_machine_for(which, P);
+      SweepRun f = run_cholesky_qr2(*machine, A, core::CholeskyQr2Options{});
+      const bool must_succeed = kappa * kappa * kEpsDouble < 1e-4;   // {1e0, 1e4}
+      const bool must_fail = kappa * kappa * kEpsDouble > 1e+4;      // {1e12, 1e15}
+      if (must_succeed) {
+        ASSERT_FALSE(f.unstable) << which << " kappa=" << kappa;
+      } else if (must_fail) {
+        ASSERT_TRUE(f.unstable) << which << " kappa=" << kappa;
+      }
+      // kappa = 1e8 sits at the kappa^2 * eps ~ 1 boundary: either outcome
+      // is acceptable, but it must be the SAME deterministic outcome on both
+      // backends (checked below via the sim-first iteration order: the sim
+      // result for this seed is the oracle for the thread result).
+      if (!f.unstable) {
+        EXPECT_LT(tests::orthogonality_error(f.Q.view()), 1e-11)
+            << which << " kappa=" << kappa << ": the second pass must repair orthogonality";
+        EXPECT_LT(tests::residual_error(A.view(), f.Q.view(), f.R.view()), 1e-11)
+            << which << " kappa=" << kappa;
+        EXPECT_TRUE(la::is_upper_triangular(f.R.view(), 1e-12));
+      }
+    }
+  }
+  // Boundary determinism, explicitly: same input, same outcome, both backends.
+  la::Matrix A = tests::make_matrix_with_condition(m, n, 1e8, 902);
+  sim::Machine oracle(P);
+  backend::ThreadMachine real(P);
+  const bool sim_unstable = run_cholesky_qr2(oracle, A, {}).unstable;
+  const bool thread_unstable = run_cholesky_qr2(real, A, {}).unstable;
+  EXPECT_EQ(sim_unstable, thread_unstable);
+}
+
+TEST(AccuracySweep, FloatFirstPassHasTheLowerCeiling) {
+  const index_t m = 96, n = 8;
+  const int P = 4;
+  core::CholeskyQr2Options fast;
+  fast.factor_in_float = true;
+  for (const char* which : kBackends) {
+    // Well inside the float envelope (kappa^2 * eps_float << 1): the double
+    // second pass refines to double-quality orthogonality, while the
+    // residual keeps the float first pass's accuracy — that asymmetry is
+    // the fast contract.
+    for (double kappa : {1e0, 1e2}) {
+      la::Matrix A = tests::make_matrix_with_condition(m, n, kappa, 903);
+      auto machine = make_machine_for(which, P);
+      SweepRun f = run_cholesky_qr2(*machine, A, fast);
+      ASSERT_FALSE(f.unstable) << which << " kappa=" << kappa;
+      EXPECT_LT(tests::orthogonality_error(f.Q.view()), 1e-11) << which << " kappa=" << kappa;
+      EXPECT_LT(tests::residual_error(A.view(), f.Q.view(), f.R.view()), 1e-5)
+          << which << " kappa=" << kappa;
+    }
+    // Deep past the float envelope (kappa^2 * eps_float >> 1): the float
+    // Gram is numerically non-SPD, where the double pass still sails
+    // through.  (kappa = 1e4 is only ~12x over eps_float — the marginal zone
+    // where the raw Cholesky may limp through with garbage, which is exactly
+    // why the fast contract pairs float with the kFastMaxCondition = 1e3
+    // a-priori guard; see ConditionGuardTripsBeforeTheCholesky.)
+    for (double kappa : {1e6, 1e8}) {
+      la::Matrix A = tests::make_matrix_with_condition(m, n, kappa, 903);
+      auto machine = make_machine_for(which, P);
+      SweepRun ffast = run_cholesky_qr2(*machine, A, fast);
+      EXPECT_TRUE(ffast.unstable) << which << " kappa=" << kappa;
+      auto machine2 = make_machine_for(which, P);
+      SweepRun fdouble = run_cholesky_qr2(*machine2, A, {});
+      EXPECT_FALSE(fdouble.unstable) << which << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(AccuracySweep, ConditionGuardTripsBeforeTheCholesky) {
+  const index_t m = 96, n = 8;
+  const int P = 4;
+  for (const char* which : kBackends) {
+    // Balanced guard: kappa = 1e8 > kBalancedMaxCondition = 1e6 trips the
+    // a-priori estimate even though the double Cholesky itself might limp
+    // through at this kappa.
+    core::CholeskyQr2Options balanced;
+    balanced.max_condition = core::kBalancedMaxCondition;
+    la::Matrix A8 = tests::make_matrix_with_condition(m, n, 1e8, 904);
+    auto machine = make_machine_for(which, P);
+    EXPECT_TRUE(run_cholesky_qr2(*machine, A8, balanced).unstable) << which;
+    // Fast guard: kappa = 1e4 > kFastMaxCondition = 1e3.
+    core::CholeskyQr2Options fastg;
+    fastg.factor_in_float = true;
+    fastg.max_condition = core::kFastMaxCondition;
+    la::Matrix A4 = tests::make_matrix_with_condition(m, n, 1e4, 904);
+    auto machine2 = make_machine_for(which, P);
+    EXPECT_TRUE(run_cholesky_qr2(*machine2, A4, fastg).unstable) << which;
+    // And a well-conditioned input passes the same guards untouched.
+    la::Matrix A0 = tests::make_matrix_with_condition(m, n, 1e1, 904);
+    auto machine3 = make_machine_for(which, P);
+    EXPECT_FALSE(run_cholesky_qr2(*machine3, A0, balanced).unstable) << which;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The growth law and the estimator behind the guard
+// ---------------------------------------------------------------------------
+
+TEST(AccuracySweep, SinglePassOrthogonalityGrowsLikeKappaSquared) {
+  const index_t m = 96, n = 8;
+  // One CholeskyQR pass loses orthogonality like kappa^2 * eps.  Pin the
+  // growth LAW: two decades of kappa must cost within [1e2, 1e6] of error
+  // growth (the theory says 1e4), and every point stays under a generous
+  // absolute envelope c * kappa^2 * eps.  This is the measurement the
+  // dispatch thresholds (kFast/kBalancedMaxCondition) are calibrated by.
+  double prev = 0.0;
+  for (double kappa : {1e2, 1e4, 1e6}) {
+    la::Matrix A = tests::make_matrix_with_condition(m, n, kappa, 905);
+    const double orth = single_pass_orthogonality(A);
+    EXPECT_LT(orth, 1e3 * kappa * kappa * kEpsDouble) << "kappa=" << kappa;
+    if (prev > 0.0) {
+      EXPECT_GT(orth, 1e2 * prev) << "kappa=" << kappa << ": growth law broken (too flat)";
+      EXPECT_LT(orth, 1e6 * prev) << "kappa=" << kappa << ": growth law broken (too steep)";
+    }
+    prev = orth;
+    // ... and the second pass repairs exactly this quantity.
+    sim::Machine machine(4);
+    SweepRun f2 = run_cholesky_qr2(machine, A, {});
+    ASSERT_FALSE(f2.unstable);
+    EXPECT_LT(tests::orthogonality_error(f2.Q.view()), 1e-11) << "kappa=" << kappa;
+  }
+}
+
+TEST(AccuracySweep, ConditionEstimateTracksTrueKappa) {
+  const index_t m = 96, n = 8;
+  // The dispatch guard's power-iteration estimate only has to be right to
+  // within an order of magnitude — the thresholds it is compared against are
+  // three decades apart.  kappa = 1 must come back exactly 1 (flat-spectrum
+  // short-circuit).
+  for (double kappa : {1e1, 1e3, 1e6}) {
+    la::Matrix A = tests::make_matrix_with_condition(m, n, kappa, 906);
+    la::Matrix G = la::multiply<double>(la::Op::ConjTrans, la::ConstMatrixView(A.view()),
+                                        la::Op::NoTrans, la::ConstMatrixView(A.view()));
+    const double est = core::estimate_condition_from_gram(la::ConstMatrixView(G.view()), 12);
+    EXPECT_GT(est, kappa / 10.0) << "kappa=" << kappa;
+    EXPECT_LT(est, kappa * 10.0) << "kappa=" << kappa;
+  }
+  la::Matrix I = la::Matrix::identity(n);
+  EXPECT_EQ(core::estimate_condition_from_gram(la::ConstMatrixView(I.view()), 12), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Least squares through the fast path
+// ---------------------------------------------------------------------------
+
+TEST(AccuracySweep, CholeskyQr2LeastSquaresMatchesPlantedSolution) {
+  const index_t m = 96, n = 8, k = 2;
+  const int P = 4;
+  la::Matrix A = tests::make_matrix_with_condition(m, n, 1e2, 907);
+  la::Matrix x_true = la::random_matrix(n, k, 908);
+  la::Matrix B = la::multiply<double>(la::Op::NoTrans, la::ConstMatrixView(A.view()),
+                                      la::Op::NoTrans, la::ConstMatrixView(x_true.view()));
+  const auto starts = block_starts(m, P);
+  for (const char* which : kBackends) {
+    auto machine = make_machine_for(which, P);
+    std::vector<la::Matrix> xs(static_cast<std::size_t>(P));
+    machine->run([&](backend::Comm& c) {
+      const int p = c.rank();
+      la::Matrix Al = la::copy<double>(A.block(starts[p], 0, starts[p + 1] - starts[p], n));
+      la::Matrix Bl = la::copy<double>(B.block(starts[p], 0, starts[p + 1] - starts[p], k));
+      xs[static_cast<std::size_t>(p)] = core::cholesky_qr2_least_squares(
+          c, la::ConstMatrixView(Al.view()), la::ConstMatrixView(Bl.view()), {});
+    });
+    for (int p = 0; p < P; ++p) {
+      // Replicated solution: every rank holds the same n x k answer.
+      EXPECT_LT(la::diff_norm(xs[static_cast<std::size_t>(p)].view(), x_true.view()),
+                1e-9 * (1.0 + la::frobenius_norm(x_true.view())))
+          << which << " rank " << p;
+    }
+  }
+}

@@ -184,6 +184,52 @@ TEST(BackendConformance, Tsqr) {
   });
 }
 
+TEST(BackendConformance, CholeskyQr2) {
+  const index_t m = 64, n = 8;
+  const int P = 8;
+  // Well-conditioned input, both precisions of the first pass: explicit Q
+  // and the replicated R must be bitwise identical across backends (the
+  // packed-upper all-reduce fixes the summation order, everything else is
+  // rank-local).
+  la::Matrix A = la::graded_matrix(m, n, 1e2, 912);
+  expect_conformant(P, [&](backend::Comm& c) {
+    std::vector<double> out;
+    for (bool in_float : {false, true}) {
+      la::Matrix Al = qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::BlockRows);
+      core::CholeskyQr2Options opts;
+      opts.factor_in_float = in_float;
+      opts.max_condition = in_float ? core::kFastMaxCondition : core::kBalancedMaxCondition;
+      core::ExplicitQr f = core::cholesky_qr2(c, la::ConstMatrixView(Al.view()), opts);
+      put(out, f.Q);
+      put(out, f.R);
+    }
+    return out;
+  });
+}
+
+TEST(BackendConformance, CholeskyQr2UnstableIsDeterministicOnBothBackends) {
+  // The failure contract is part of conformance: an ill-conditioned input
+  // must make EVERY rank throw CholeskyQrUnstable (the guard acts on the
+  // replicated Gram), identically on the simulator and on real threads —
+  // that all-or-nothing symmetry is what makes the serving layer's
+  // collective-safe Householder retry possible.
+  const index_t m = 64, n = 8;
+  const int P = 8;
+  la::Matrix A = la::graded_matrix(m, n, 1e12, 913);
+  expect_conformant(P, [&](backend::Comm& c) {
+    la::Matrix Al = qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::BlockRows);
+    std::vector<double> out;
+    try {
+      core::ExplicitQr f = core::cholesky_qr2(c, la::ConstMatrixView(Al.view()), {});
+      put(out, 0.0);  // unexpectedly succeeded — conformance will still agree,
+      put(out, f.Q);  // but the accuracy sweep pins that this kappa must fail
+    } catch (const core::CholeskyQrUnstable&) {
+      put(out, 1.0);
+    }
+    return out;
+  });
+}
+
 TEST(BackendConformance, House1d) {
   const index_t m = 48, n = 6;
   const int P = 4;

@@ -25,8 +25,10 @@
 #include "backend/comm.hpp"
 #include "backend/thread_machine.hpp"
 #include "coll/coll.hpp"
+#include "core/cholesky_qr2.hpp"
 #include "core/dist_matrix.hpp"
 #include "core/solver.hpp"
+#include "cost/model.hpp"
 #include "core/tsqr.hpp"
 #include "fault/coded_tsqr.hpp"
 #include "fault/plan.hpp"
@@ -364,6 +366,76 @@ TEST(CostRegression, CodedTsqrRecoveryCostsArePinned) {
   EXPECT_DOUBLE_EQ(cp.words, 994.0);
   EXPECT_DOUBLE_EQ(tot.msgs_sent, 32.0);
   EXPECT_DOUBLE_EQ(tot.words_sent, 961.0);
+}
+
+// --- CholeskyQR2: the fast path's communication budget. -----------------------
+
+// CholeskyQR2's entire communication is two packed-upper all-reduces of
+// L = n(n+1)/2 = 36 words (m = 64, n = 8, P = 8) — everything else is
+// rank-local.  Pin the simulated counts absolutely AND as the analytic
+// identity "2x one 36-word all-reduce", and pin that the float first pass
+// charges byte-identically to the double one (the wire format is always
+// packed double, which is what lets one set of pins cover both precisions
+// and keeps fast/balanced plans comparable in the cost model).
+TEST(CostRegression, CholeskyQr2CountsArePinnedAndPrecisionIndependent) {
+  la::Matrix A = la::graded_matrix(64, 8, 1e2, 912);
+  const auto counts = [&](bool in_float) {
+    sim::Machine machine(P);
+    machine.run([&](backend::Comm& c) {
+      la::Matrix Al = qr3d::DistMatrix::local_of(c, A.view(), qr3d::Dist::BlockRows);
+      qr3d::core::CholeskyQr2Options opts;
+      opts.factor_in_float = in_float;
+      (void)qr3d::core::cholesky_qr2(c, la::ConstMatrixView(Al.view()), opts);
+    });
+    return std::pair(machine.critical_path(), machine.totals());
+  };
+
+  const auto [cp, tot] = counts(false);
+
+  // One 36-word all-reduce at P = 8, Alg::Auto, measured in isolation.
+  sim::Machine one(P);
+  one.run([](backend::Comm& c) {
+    std::vector<double> d(36, 1.0);
+    coll::all_reduce(c, d);
+  });
+  EXPECT_DOUBLE_EQ(cp.msgs, 2.0 * one.critical_path().msgs);
+  EXPECT_DOUBLE_EQ(cp.words, 2.0 * one.critical_path().words);
+  EXPECT_DOUBLE_EQ(tot.msgs_sent, 2.0 * one.totals().msgs_sent);
+  EXPECT_DOUBLE_EQ(tot.words_sent, 2.0 * one.totals().words_sent);
+
+  // Absolute snapshots, so a changed collective default fails loudly here
+  // rather than silently re-deriving the identity above.
+  EXPECT_DOUBLE_EQ(cp.msgs, 24.0);
+  EXPECT_DOUBLE_EQ(cp.words, 280.0);
+  EXPECT_DOUBLE_EQ(tot.msgs_sent, 96.0);
+  EXPECT_DOUBLE_EQ(tot.words_sent, 1008.0);
+
+  const auto [cp_f, tot_f] = counts(true);
+  EXPECT_DOUBLE_EQ(cp_f.msgs, cp.msgs);
+  EXPECT_DOUBLE_EQ(cp_f.words, cp.words);
+  EXPECT_DOUBLE_EQ(tot_f.msgs_sent, tot.msgs_sent);
+  EXPECT_DOUBLE_EQ(tot_f.words_sent, tot.words_sent);
+}
+
+// The cost-model entry the serving dispatch and the CI bench smoke lean on:
+// pin its (alpha, beta, gamma) terms analytically at the TSQR pin shape, and
+// pin the headline ratio — on the default simulated machine and the serving
+// layer's tall-skinny shape (m = 2nP), CholeskyQR2 predicts at least 1.5x
+// faster than TSQR.
+TEST(CostRegression, CholeskyQr2ModelTermsAndSpeedupArePinned) {
+  namespace cost = qr3d::cost;
+  const double m = 64.0, n = 8.0;
+  const cost::Costs cq = cost::cholesky_qr2(m, n, P);
+  const cost::Costs ar = cost::all_reduce(n * (n + 1.0) / 2.0, P);
+  EXPECT_DOUBLE_EQ(cq.msgs, 2.0 * ar.msgs);
+  EXPECT_DOUBLE_EQ(cq.words, 2.0 * ar.words);
+  EXPECT_DOUBLE_EQ(cq.flops,
+                   2.0 * (3.0 * m * n * n / P + n * n * n / 3.0 + ar.flops) + n * n * n);
+
+  const double nn = 32.0, mm = 2.0 * nn * P;  // the serving tall-skinny shape
+  const sim::CostParams def{};
+  EXPECT_GE(qr3d::cost::tsqr(mm, nn, P).time(def),
+            1.5 * qr3d::cost::cholesky_qr2(mm, nn, P).time(def));
 }
 
 // --- Adaptive group sizing. ---------------------------------------------------

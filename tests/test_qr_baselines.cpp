@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "accuracy.hpp"
 #include "core/caqr_2d.hpp"
 #include "core/caqr_eg_1d.hpp"
 #include "core/house_1d.hpp"
@@ -128,8 +129,8 @@ TEST_P(House1dCase, FactorsReconstruct) {
 
   EXPECT_TRUE(la::is_unit_lower_trapezoidal(V.view(), 1e-12));
   EXPECT_TRUE(la::is_upper_triangular(T.view(), 1e-12));
-  EXPECT_LT(la::qr_residual(A.view(), V.view(), T.view(), R.view()), 1e-11);
-  EXPECT_LT(la::orthogonality_loss(V.view(), T.view()), 1e-11);
+  EXPECT_LT(qr3d::tests::residual_error(A.view(), V.view(), T.view(), R.view()), 1e-11);
+  EXPECT_LT(qr3d::tests::orthogonality_error(V.view(), T.view()), 1e-11);
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, House1dCase,

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "accuracy.hpp"
 #include "core/caqr_eg_1d.hpp"
 #include "core/caqr_eg_3d.hpp"
 #include "core/dist_matrix.hpp"
@@ -76,8 +77,8 @@ void expect_valid_qr(const la::Matrix& A, const Assembled& f, double tol = 1e-11
   EXPECT_TRUE(la::is_unit_lower_trapezoidal(f.V.view(), 1e-12));
   EXPECT_TRUE(la::is_upper_triangular(f.T.view(), 1e-12));
   EXPECT_TRUE(la::is_upper_triangular(f.R.view(), 1e-12));
-  EXPECT_LT(la::qr_residual(A.view(), f.V.view(), f.T.view(), f.R.view()), tol);
-  EXPECT_LT(la::orthogonality_loss(f.V.view(), f.T.view()), tol);
+  EXPECT_LT(qr3d::tests::residual_error(A.view(), f.V.view(), f.T.view(), f.R.view()), tol);
+  EXPECT_LT(qr3d::tests::orthogonality_error(f.V.view(), f.T.view()), tol);
 }
 
 /// |R| must match the reference local QR's |R| (QR is unique up to row signs

@@ -203,6 +203,125 @@ TEST(BatchSolver, SimAndThreadBackendsProduceBitwiseIdenticalSolutions) {
 }
 
 // ---------------------------------------------------------------------------
+// Accuracy contracts: plan dispatch and the in-session fallback
+// ---------------------------------------------------------------------------
+
+TEST(AccuracyContract, ResolveShapePlanDispatchesByContract) {
+  // Tall-skinny shape where the cost model predicts CholeskyQR2 beats the
+  // Householder plan: fast and balanced dispatch it with their matching
+  // guards, accurate never does, and the Householder fields stay filled as
+  // the in-session fallback plan.
+  const index_t m = 512, n = 32;
+  const int P = 4;
+  const qr3d::QrOptions qr;
+  const sim::CostParams mp{};
+  serve::PlanCache cache;
+
+  const serve::Plan fast = serve::resolve_shape_plan(m, n, P, qr, cache, backend::Kind::Simulated,
+                                                     mp, qr3d::core::Accuracy::Fast);
+  EXPECT_EQ(fast.algorithm, serve::PlanAlgorithm::CholeskyQr2);
+  EXPECT_TRUE(fast.use_float);
+  EXPECT_EQ(fast.max_condition, qr3d::core::kFastMaxCondition);
+
+  const serve::Plan balanced = serve::resolve_shape_plan(
+      m, n, P, qr, cache, backend::Kind::Simulated, mp, qr3d::core::Accuracy::Balanced);
+  EXPECT_EQ(balanced.algorithm, serve::PlanAlgorithm::CholeskyQr2);
+  EXPECT_FALSE(balanced.use_float);
+  EXPECT_EQ(balanced.max_condition, qr3d::core::kBalancedMaxCondition);
+
+  const serve::Plan accurate = serve::resolve_shape_plan(
+      m, n, P, qr, cache, backend::Kind::Simulated, mp, qr3d::core::Accuracy::Accurate);
+  EXPECT_EQ(accurate.algorithm, serve::PlanAlgorithm::Householder);
+
+  // The three contracts key separately: one shape, three cached plans.
+  EXPECT_EQ(cache.size(), 3u);
+
+  // On one rank the model never prefers CholeskyQR2 (2x the local flops of
+  // Householder QR with no communication to save): the predicted-time
+  // predicate, not a shape whitelist, keeps the fast path away.
+  serve::PlanCache solo;
+  const serve::Plan p1 = serve::resolve_shape_plan(m, n, 1, qr, solo, backend::Kind::Simulated,
+                                                   mp, qr3d::core::Accuracy::Fast);
+  EXPECT_EQ(p1.algorithm, serve::PlanAlgorithm::Householder);
+
+  // A measured float speedup makes fast plans predict strictly cheaper.
+  serve::PlanCache c1, c2;
+  const serve::Plan full = serve::resolve_shape_plan(m, n, P, qr, c1, backend::Kind::Simulated,
+                                                     mp, qr3d::core::Accuracy::Fast, 1.0);
+  const serve::Plan half = serve::resolve_shape_plan(m, n, P, qr, c2, backend::Kind::Simulated,
+                                                     mp, qr3d::core::Accuracy::Fast, 0.5);
+  EXPECT_LT(half.predicted.time(mp), full.predicted.time(mp));
+}
+
+TEST(AccuracyContract, FastAndBalancedJobsRideCholeskyQr2EndToEnd) {
+  // Shape where dispatch picks CholeskyQR2 (see ResolveShapePlanDispatchesByContract);
+  // the group size is pinned because the default declared profile's adaptive
+  // sizing pipelines at one rank per job, where Householder wins on flops.
+  const index_t m = 512, n = 32;
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(4).with_group_ranks(4));
+  Planted pf = planted_problem(m, n, 910);
+  Planted pb = planted_problem(m, n, 912);
+  serve::JobHandle hf =
+      srv.submit(pf.A, pf.b, serve::SubmitOptions().with_accuracy(qr3d::core::Accuracy::Fast));
+  serve::JobHandle hb = srv.submit(
+      pb.A, pb.b, serve::SubmitOptions().with_accuracy(qr3d::core::Accuracy::Balanced));
+  srv.flush();
+
+  // Both jobs dispatched the fast path and neither needed the fallback; the
+  // float first pass gives the fast job float-level solution accuracy, the
+  // balanced job stays at double.
+  EXPECT_EQ(hf.stats().accuracy, qr3d::core::Accuracy::Fast);
+  EXPECT_EQ(hb.stats().accuracy, qr3d::core::Accuracy::Balanced);
+  EXPECT_EQ(hf.stats().cholesky_fallbacks, 0);
+  EXPECT_EQ(hb.stats().cholesky_fallbacks, 0);
+  EXPECT_LT(solution_error(hf.solution(), pf.x_true), 1e-4);
+  EXPECT_LT(solution_error(hb.solution(), pb.x_true), 1e-10);
+  EXPECT_EQ(srv.stats().jobs_choleskyqr2, 2u);
+  EXPECT_EQ(srv.stats().cholesky_fallbacks, 0u);
+}
+
+TEST(AccuracyContract, AccurateForcesTheHouseholderPath) {
+  const index_t m = 512, n = 32;
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(4).with_group_ranks(4));
+  Planted p = planted_problem(m, n, 914);
+  serve::JobHandle h = srv.submit(
+      p.A, p.b, serve::SubmitOptions().with_accuracy(qr3d::core::Accuracy::Accurate));
+  srv.flush();
+  EXPECT_LT(solution_error(h.solution(), p.x_true), 1e-10);
+  EXPECT_EQ(srv.stats().jobs_choleskyqr2, 0u);
+  EXPECT_EQ(srv.stats().cholesky_fallbacks, 0u);
+}
+
+TEST(AccuracyContract, IllConditionedJobFallsBackToHouseholderInSession) {
+  // kappa = 1e8 is past the balanced guard (1e6): the plan still dispatches
+  // CholeskyQR2 (dispatch sees only the shape), the guard trips inside the
+  // session on every rank together, and the job is retried with the plan's
+  // Householder fields — same session, correct answer, fallback counted.
+  const index_t m = 512, n = 32;
+  la::Matrix A = la::graded_matrix(m, n, 1e8, 916);
+  la::Matrix x_true = la::random_matrix(n, 1, 917);
+  la::Matrix b =
+      la::multiply<double>(la::Op::NoTrans, A.view(), la::Op::NoTrans, x_true.view());
+
+  serve::BatchSolver srv(serve::ServeOptions().with_ranks(4).with_group_ranks(4));
+  serve::JobHandle h =
+      srv.submit(A, b, serve::SubmitOptions().with_accuracy(qr3d::core::Accuracy::Balanced));
+  // A well-conditioned rider in the same flush must not be disturbed.
+  Planted ok = planted_problem(m, n, 918);
+  serve::JobHandle hok = srv.submit(
+      ok.A, ok.b, serve::SubmitOptions().with_accuracy(qr3d::core::Accuracy::Balanced));
+  srv.flush();
+
+  EXPECT_EQ(h.stats().cholesky_fallbacks, 1);
+  EXPECT_LT(solution_error(h.solution(), x_true), 1e-4);  // kappa-limited forward error
+  EXPECT_EQ(hok.stats().cholesky_fallbacks, 0);
+  EXPECT_LT(solution_error(hok.solution(), ok.x_true), 1e-10);
+  EXPECT_EQ(srv.stats().cholesky_fallbacks, 1u);
+  EXPECT_GE(srv.stats().jobs_choleskyqr2, 2u);
+  EXPECT_EQ(srv.stats().jobs_failed, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Plan cache and Solver sharing
 // ---------------------------------------------------------------------------
 
